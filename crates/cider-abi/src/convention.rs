@@ -1,0 +1,184 @@
+//! Low-level syscall calling and error conventions.
+//!
+//! The two kernels disagree on how a syscall reports failure: Linux returns
+//! a negative errno in the result register, while "many XNU syscalls return
+//! an error indication through CPU flags" (paper §4.1) — the carry flag is
+//! set and the positive errno is left in the result register. Cider's
+//! syscall exit path converts between the two, and this module is the
+//! single place that encodes both conventions.
+
+use crate::errno::{Errno, XnuErrno};
+
+/// Simulated CPU condition flags relevant to the syscall return path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CpuFlags {
+    /// Carry flag — set by XNU's Unix syscall exit path on error.
+    pub carry: bool,
+}
+
+/// How syscall arguments are passed and results returned for a persona.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallingConvention {
+    /// Linux ARM EABI: syscall number in `r7`, args in `r0..r6`,
+    /// result (or negative errno) in `r0`.
+    LinuxEabi,
+    /// XNU ARM: trap number in `ip`/`r12`, args in `r0..r6`, result in
+    /// `r0`/`r1`, carry flag signals error for Unix-class calls.
+    XnuArm,
+}
+
+impl CallingConvention {
+    /// Register index holding the syscall number.
+    pub fn number_register(self) -> usize {
+        match self {
+            CallingConvention::LinuxEabi => 7,
+            CallingConvention::XnuArm => 12,
+        }
+    }
+
+    /// How many argument registers the convention provides.
+    pub fn arg_registers(self) -> usize {
+        7
+    }
+}
+
+/// The outcome of a syscall, in a representation-neutral form.
+///
+/// The kernel produces `SyscallOutcome`s; the per-persona ABI layer encodes
+/// them into the register/flag representation the binary expects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyscallOutcome {
+    /// Success, with the primary return value.
+    Ok(i64),
+    /// Failure with a domestic (Linux) errno.
+    Err(Errno),
+}
+
+impl SyscallOutcome {
+    /// Encodes the outcome using the Linux convention: value, or negative
+    /// errno in the result register; flags untouched.
+    pub fn encode_linux(self) -> (i64, CpuFlags) {
+        match self {
+            SyscallOutcome::Ok(v) => (v, CpuFlags::default()),
+            SyscallOutcome::Err(e) => {
+                (-(e.as_raw() as i64), CpuFlags::default())
+            }
+        }
+    }
+
+    /// Encodes the outcome using the XNU Unix-class convention: positive
+    /// errno in the result register with the carry flag set.
+    pub fn encode_xnu(self) -> (i64, CpuFlags) {
+        match self {
+            SyscallOutcome::Ok(v) => (v, CpuFlags { carry: false }),
+            SyscallOutcome::Err(e) => {
+                let xe = XnuErrno::from(e);
+                (xe.as_raw() as i64, CpuFlags { carry: true })
+            }
+        }
+    }
+
+    /// Decodes a Linux-convention register value back into an outcome.
+    /// Unknown negative values decode to `EINVAL`, mirroring glibc's
+    /// conservative handling.
+    pub fn decode_linux(raw: i64) -> SyscallOutcome {
+        if raw < 0 {
+            match Errno::from_raw((-raw) as i32) {
+                Some(e) => SyscallOutcome::Err(e),
+                None => SyscallOutcome::Err(Errno::EINVAL),
+            }
+        } else {
+            SyscallOutcome::Ok(raw)
+        }
+    }
+
+    /// Decodes an XNU-convention (value, flags) pair back into an outcome.
+    pub fn decode_xnu(raw: i64, flags: CpuFlags) -> SyscallOutcome {
+        if flags.carry {
+            match XnuErrno::from_raw(raw as i32) {
+                Some(e) => SyscallOutcome::Err(Errno::from(e)),
+                None => SyscallOutcome::Err(Errno::EINVAL),
+            }
+        } else {
+            SyscallOutcome::Ok(raw)
+        }
+    }
+
+    /// Returns the success value or the errno as a `Result`.
+    pub fn into_result(self) -> Result<i64, Errno> {
+        match self {
+            SyscallOutcome::Ok(v) => Ok(v),
+            SyscallOutcome::Err(e) => Err(e),
+        }
+    }
+}
+
+impl From<Result<i64, Errno>> for SyscallOutcome {
+    fn from(r: Result<i64, Errno>) -> Self {
+        match r {
+            Ok(v) => SyscallOutcome::Ok(v),
+            Err(e) => SyscallOutcome::Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_encoding_roundtrips() {
+        for o in [SyscallOutcome::Ok(42), SyscallOutcome::Err(Errno::ENOENT)] {
+            let (raw, _) = o.encode_linux();
+            assert_eq!(SyscallOutcome::decode_linux(raw), o);
+        }
+    }
+
+    #[test]
+    fn xnu_encoding_roundtrips() {
+        for o in [SyscallOutcome::Ok(7), SyscallOutcome::Err(Errno::EAGAIN)] {
+            let (raw, flags) = o.encode_xnu();
+            assert_eq!(SyscallOutcome::decode_xnu(raw, flags), o);
+        }
+    }
+
+    #[test]
+    fn xnu_error_uses_carry_and_positive_errno() {
+        let (raw, flags) = SyscallOutcome::Err(Errno::EAGAIN).encode_xnu();
+        assert!(flags.carry);
+        // EAGAIN is 35 in the XNU numbering, not Linux's 11.
+        assert_eq!(raw, 35);
+    }
+
+    #[test]
+    fn linux_error_is_negative() {
+        let (raw, flags) = SyscallOutcome::Err(Errno::EAGAIN).encode_linux();
+        assert!(!flags.carry);
+        assert_eq!(raw, -11);
+    }
+
+    #[test]
+    fn success_value_preserved_both_ways() {
+        let (raw, flags) = SyscallOutcome::Ok(1 << 40).encode_xnu();
+        assert!(!flags.carry);
+        assert_eq!(raw, 1 << 40);
+        let (raw, _) = SyscallOutcome::Ok(1 << 40).encode_linux();
+        assert_eq!(raw, 1 << 40);
+    }
+
+    #[test]
+    fn conventions_have_distinct_number_registers() {
+        assert_ne!(
+            CallingConvention::LinuxEabi.number_register(),
+            CallingConvention::XnuArm.number_register()
+        );
+        assert_eq!(CallingConvention::LinuxEabi.arg_registers(), 7);
+    }
+
+    #[test]
+    fn into_result_and_from_result() {
+        assert_eq!(SyscallOutcome::Ok(3).into_result(), Ok(3));
+        let e: SyscallOutcome = Err(Errno::EBADF).into();
+        assert_eq!(e, SyscallOutcome::Err(Errno::EBADF));
+    }
+}

@@ -1,0 +1,353 @@
+//! Domestic (Linux) and foreign (XNU/BSD) error numbers and the mapping
+//! between them.
+//!
+//! The first 34 errno values are identical on Linux and BSD, but the two
+//! families diverge afterwards — most famously `EAGAIN`/`EDEADLK`, which
+//! have *swapped-looking* values (Linux: `EAGAIN` = 11, `EDEADLK` = 35;
+//! XNU: `EDEADLK` = 11, `EAGAIN` = 35). Cider's syscall exit path and its
+//! diplomatic-function errno conversion both depend on this table.
+
+use std::fmt;
+
+macro_rules! errno_enum {
+    ($(#[$meta:meta])* $name:ident { $($(#[$vmeta:meta])* $variant:ident = $val:expr, $msg:expr;)+ }) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[non_exhaustive]
+        pub enum $name {
+            $($(#[$vmeta])* $variant = $val,)+
+        }
+
+        impl $name {
+            /// All defined values, in declaration order.
+            pub const ALL: &'static [$name] = &[$($name::$variant,)+];
+
+            /// The raw integer errno value for this kernel family.
+            pub const fn as_raw(self) -> i32 {
+                self as i32
+            }
+
+            /// Looks up an errno by its raw value.
+            pub fn from_raw(raw: i32) -> Option<$name> {
+                match raw {
+                    $($val => Some($name::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// Symbolic name, e.g. `"ENOENT"`.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $($name::$variant => stringify!($variant),)+
+                }
+            }
+
+            /// Human-readable message in the `strerror` style.
+            pub fn message(self) -> &'static str {
+                match self {
+                    $($name::$variant => $msg,)+
+                }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} ({})", self.name(), self.message())
+            }
+        }
+
+        impl std::error::Error for $name {}
+    };
+}
+
+errno_enum! {
+    /// Linux errno values (the domestic kernel's error numbering).
+    Errno {
+        EPERM = 1, "operation not permitted";
+        ENOENT = 2, "no such file or directory";
+        ESRCH = 3, "no such process";
+        EINTR = 4, "interrupted system call";
+        EIO = 5, "input/output error";
+        ENXIO = 6, "no such device or address";
+        E2BIG = 7, "argument list too long";
+        ENOEXEC = 8, "exec format error";
+        EBADF = 9, "bad file descriptor";
+        ECHILD = 10, "no child processes";
+        EAGAIN = 11, "resource temporarily unavailable";
+        ENOMEM = 12, "cannot allocate memory";
+        EACCES = 13, "permission denied";
+        EFAULT = 14, "bad address";
+        ENOTBLK = 15, "block device required";
+        EBUSY = 16, "device or resource busy";
+        EEXIST = 17, "file exists";
+        EXDEV = 18, "invalid cross-device link";
+        ENODEV = 19, "no such device";
+        ENOTDIR = 20, "not a directory";
+        EISDIR = 21, "is a directory";
+        EINVAL = 22, "invalid argument";
+        ENFILE = 23, "too many open files in system";
+        EMFILE = 24, "too many open files";
+        ENOTTY = 25, "inappropriate ioctl for device";
+        ETXTBSY = 26, "text file busy";
+        EFBIG = 27, "file too large";
+        ENOSPC = 28, "no space left on device";
+        ESPIPE = 29, "illegal seek";
+        EROFS = 30, "read-only file system";
+        EMLINK = 31, "too many links";
+        EPIPE = 32, "broken pipe";
+        EDOM = 33, "numerical argument out of domain";
+        ERANGE = 34, "numerical result out of range";
+        EDEADLK = 35, "resource deadlock avoided";
+        ENAMETOOLONG = 36, "file name too long";
+        ENOLCK = 37, "no locks available";
+        ENOSYS = 38, "function not implemented";
+        ENOTEMPTY = 39, "directory not empty";
+        ELOOP = 40, "too many levels of symbolic links";
+        ENOMSG = 42, "no message of desired type";
+        EOVERFLOW = 75, "value too large for defined data type";
+        ENOTSOCK = 88, "socket operation on non-socket";
+        EMSGSIZE = 90, "message too long";
+        EOPNOTSUPP = 95, "operation not supported";
+        EAFNOSUPPORT = 97, "address family not supported by protocol";
+        EADDRINUSE = 98, "address already in use";
+        ECONNRESET = 104, "connection reset by peer";
+        ENOBUFS = 105, "no buffer space available";
+        ENOTCONN = 107, "transport endpoint is not connected";
+        ETIMEDOUT = 110, "connection timed out";
+        ECONNREFUSED = 111, "connection refused";
+    }
+}
+
+errno_enum! {
+    /// XNU/BSD errno values (the foreign kernel's error numbering).
+    XnuErrno {
+        EPERM = 1, "operation not permitted";
+        ENOENT = 2, "no such file or directory";
+        ESRCH = 3, "no such process";
+        EINTR = 4, "interrupted system call";
+        EIO = 5, "input/output error";
+        ENXIO = 6, "device not configured";
+        E2BIG = 7, "argument list too long";
+        ENOEXEC = 8, "exec format error";
+        EBADF = 9, "bad file descriptor";
+        ECHILD = 10, "no child processes";
+        EDEADLK = 11, "resource deadlock avoided";
+        ENOMEM = 12, "cannot allocate memory";
+        EACCES = 13, "permission denied";
+        EFAULT = 14, "bad address";
+        ENOTBLK = 15, "block device required";
+        EBUSY = 16, "device / resource busy";
+        EEXIST = 17, "file exists";
+        EXDEV = 18, "cross-device link";
+        ENODEV = 19, "operation not supported by device";
+        ENOTDIR = 20, "not a directory";
+        EISDIR = 21, "is a directory";
+        EINVAL = 22, "invalid argument";
+        ENFILE = 23, "too many open files in system";
+        EMFILE = 24, "too many open files";
+        ENOTTY = 25, "inappropriate ioctl for device";
+        ETXTBSY = 26, "text file busy";
+        EFBIG = 27, "file too large";
+        ENOSPC = 28, "no space left on device";
+        ESPIPE = 29, "illegal seek";
+        EROFS = 30, "read-only file system";
+        EMLINK = 31, "too many links";
+        EPIPE = 32, "broken pipe";
+        EDOM = 33, "numerical argument out of domain";
+        ERANGE = 34, "result too large";
+        EAGAIN = 35, "resource temporarily unavailable";
+        ENOTSOCK = 38, "socket operation on non-socket";
+        EMSGSIZE = 40, "message too long";
+        EAFNOSUPPORT = 47, "address family not supported by protocol family";
+        EADDRINUSE = 48, "address already in use";
+        ENOBUFS = 55, "no buffer space available";
+        ECONNRESET = 54, "connection reset by peer";
+        ENOTCONN = 57, "socket is not connected";
+        ETIMEDOUT = 60, "operation timed out";
+        ECONNREFUSED = 61, "connection refused";
+        ELOOP = 62, "too many levels of symbolic links";
+        ENAMETOOLONG = 63, "file name too long";
+        ENOTEMPTY = 66, "directory not empty";
+        ENOLCK = 77, "no locks available";
+        ENOSYS = 78, "function not implemented";
+        EOVERFLOW = 84, "value too large to be stored in data type";
+        ENOMSG = 91, "no message of desired type";
+        EOPNOTSUPP = 102, "operation not supported";
+    }
+}
+
+impl From<Errno> for XnuErrno {
+    fn from(e: Errno) -> XnuErrno {
+        match e {
+            Errno::EPERM => XnuErrno::EPERM,
+            Errno::ENOENT => XnuErrno::ENOENT,
+            Errno::ESRCH => XnuErrno::ESRCH,
+            Errno::EINTR => XnuErrno::EINTR,
+            Errno::EIO => XnuErrno::EIO,
+            Errno::ENXIO => XnuErrno::ENXIO,
+            Errno::E2BIG => XnuErrno::E2BIG,
+            Errno::ENOEXEC => XnuErrno::ENOEXEC,
+            Errno::EBADF => XnuErrno::EBADF,
+            Errno::ECHILD => XnuErrno::ECHILD,
+            Errno::EAGAIN => XnuErrno::EAGAIN,
+            Errno::ENOMEM => XnuErrno::ENOMEM,
+            Errno::EACCES => XnuErrno::EACCES,
+            Errno::EFAULT => XnuErrno::EFAULT,
+            Errno::ENOTBLK => XnuErrno::ENOTBLK,
+            Errno::EBUSY => XnuErrno::EBUSY,
+            Errno::EEXIST => XnuErrno::EEXIST,
+            Errno::EXDEV => XnuErrno::EXDEV,
+            Errno::ENODEV => XnuErrno::ENODEV,
+            Errno::ENOTDIR => XnuErrno::ENOTDIR,
+            Errno::EISDIR => XnuErrno::EISDIR,
+            Errno::EINVAL => XnuErrno::EINVAL,
+            Errno::ENFILE => XnuErrno::ENFILE,
+            Errno::EMFILE => XnuErrno::EMFILE,
+            Errno::ENOTTY => XnuErrno::ENOTTY,
+            Errno::ETXTBSY => XnuErrno::ETXTBSY,
+            Errno::EFBIG => XnuErrno::EFBIG,
+            Errno::ENOSPC => XnuErrno::ENOSPC,
+            Errno::ESPIPE => XnuErrno::ESPIPE,
+            Errno::EROFS => XnuErrno::EROFS,
+            Errno::EMLINK => XnuErrno::EMLINK,
+            Errno::EPIPE => XnuErrno::EPIPE,
+            Errno::EDOM => XnuErrno::EDOM,
+            Errno::ERANGE => XnuErrno::ERANGE,
+            Errno::EDEADLK => XnuErrno::EDEADLK,
+            Errno::ENAMETOOLONG => XnuErrno::ENAMETOOLONG,
+            Errno::ENOLCK => XnuErrno::ENOLCK,
+            Errno::ENOSYS => XnuErrno::ENOSYS,
+            Errno::ENOTEMPTY => XnuErrno::ENOTEMPTY,
+            Errno::ELOOP => XnuErrno::ELOOP,
+            Errno::ENOMSG => XnuErrno::ENOMSG,
+            Errno::EOVERFLOW => XnuErrno::EOVERFLOW,
+            Errno::ENOTSOCK => XnuErrno::ENOTSOCK,
+            Errno::EMSGSIZE => XnuErrno::EMSGSIZE,
+            Errno::EOPNOTSUPP => XnuErrno::EOPNOTSUPP,
+            Errno::EAFNOSUPPORT => XnuErrno::EAFNOSUPPORT,
+            Errno::EADDRINUSE => XnuErrno::EADDRINUSE,
+            Errno::ECONNRESET => XnuErrno::ECONNRESET,
+            Errno::ENOBUFS => XnuErrno::ENOBUFS,
+            Errno::ENOTCONN => XnuErrno::ENOTCONN,
+            Errno::ETIMEDOUT => XnuErrno::ETIMEDOUT,
+            Errno::ECONNREFUSED => XnuErrno::ECONNREFUSED,
+        }
+    }
+}
+
+impl From<XnuErrno> for Errno {
+    fn from(e: XnuErrno) -> Errno {
+        // The mapping is a bijection on the variants we define, so the
+        // reverse direction goes through the symbolic name.
+        match e {
+            XnuErrno::EPERM => Errno::EPERM,
+            XnuErrno::ENOENT => Errno::ENOENT,
+            XnuErrno::ESRCH => Errno::ESRCH,
+            XnuErrno::EINTR => Errno::EINTR,
+            XnuErrno::EIO => Errno::EIO,
+            XnuErrno::ENXIO => Errno::ENXIO,
+            XnuErrno::E2BIG => Errno::E2BIG,
+            XnuErrno::ENOEXEC => Errno::ENOEXEC,
+            XnuErrno::EBADF => Errno::EBADF,
+            XnuErrno::ECHILD => Errno::ECHILD,
+            XnuErrno::EDEADLK => Errno::EDEADLK,
+            XnuErrno::ENOMEM => Errno::ENOMEM,
+            XnuErrno::EACCES => Errno::EACCES,
+            XnuErrno::EFAULT => Errno::EFAULT,
+            XnuErrno::ENOTBLK => Errno::ENOTBLK,
+            XnuErrno::EBUSY => Errno::EBUSY,
+            XnuErrno::EEXIST => Errno::EEXIST,
+            XnuErrno::EXDEV => Errno::EXDEV,
+            XnuErrno::ENODEV => Errno::ENODEV,
+            XnuErrno::ENOTDIR => Errno::ENOTDIR,
+            XnuErrno::EISDIR => Errno::EISDIR,
+            XnuErrno::EINVAL => Errno::EINVAL,
+            XnuErrno::ENFILE => Errno::ENFILE,
+            XnuErrno::EMFILE => Errno::EMFILE,
+            XnuErrno::ENOTTY => Errno::ENOTTY,
+            XnuErrno::ETXTBSY => Errno::ETXTBSY,
+            XnuErrno::EFBIG => Errno::EFBIG,
+            XnuErrno::ENOSPC => Errno::ENOSPC,
+            XnuErrno::ESPIPE => Errno::ESPIPE,
+            XnuErrno::EROFS => Errno::EROFS,
+            XnuErrno::EMLINK => Errno::EMLINK,
+            XnuErrno::EPIPE => Errno::EPIPE,
+            XnuErrno::EDOM => Errno::EDOM,
+            XnuErrno::ERANGE => Errno::ERANGE,
+            XnuErrno::EAGAIN => Errno::EAGAIN,
+            XnuErrno::ENAMETOOLONG => Errno::ENAMETOOLONG,
+            XnuErrno::ENOLCK => Errno::ENOLCK,
+            XnuErrno::ENOSYS => Errno::ENOSYS,
+            XnuErrno::ENOTEMPTY => Errno::ENOTEMPTY,
+            XnuErrno::ELOOP => Errno::ELOOP,
+            XnuErrno::ENOMSG => Errno::ENOMSG,
+            XnuErrno::EOVERFLOW => Errno::EOVERFLOW,
+            XnuErrno::ENOTSOCK => Errno::ENOTSOCK,
+            XnuErrno::EMSGSIZE => Errno::EMSGSIZE,
+            XnuErrno::EOPNOTSUPP => Errno::EOPNOTSUPP,
+            XnuErrno::EAFNOSUPPORT => Errno::EAFNOSUPPORT,
+            XnuErrno::EADDRINUSE => Errno::EADDRINUSE,
+            XnuErrno::ECONNRESET => Errno::ECONNRESET,
+            XnuErrno::ENOBUFS => Errno::ENOBUFS,
+            XnuErrno::ENOTCONN => Errno::ENOTCONN,
+            XnuErrno::ETIMEDOUT => Errno::ETIMEDOUT,
+            XnuErrno::ECONNREFUSED => Errno::ECONNREFUSED,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_values_agree() {
+        // The first 34 errnos are shared heritage and must agree.
+        for e in Errno::ALL.iter().copied() {
+            if e.as_raw() <= 10 || (e.as_raw() >= 12 && e.as_raw() <= 34) {
+                let x = XnuErrno::from(e);
+                assert_eq!(e.as_raw(), x.as_raw(), "{e:?} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn eagain_edeadlk_swap() {
+        assert_eq!(Errno::EAGAIN.as_raw(), 11);
+        assert_eq!(XnuErrno::EAGAIN.as_raw(), 35);
+        assert_eq!(Errno::EDEADLK.as_raw(), 35);
+        assert_eq!(XnuErrno::EDEADLK.as_raw(), 11);
+    }
+
+    #[test]
+    fn translation_roundtrips_all_variants() {
+        for e in Errno::ALL.iter().copied() {
+            assert_eq!(Errno::from(XnuErrno::from(e)), e);
+        }
+        for x in XnuErrno::ALL.iter().copied() {
+            assert_eq!(XnuErrno::from(Errno::from(x)), x);
+        }
+    }
+
+    #[test]
+    fn same_symbolic_names_both_sides() {
+        for e in Errno::ALL.iter().copied() {
+            assert_eq!(e.name(), XnuErrno::from(e).name());
+        }
+    }
+
+    #[test]
+    fn from_raw_lookup() {
+        assert_eq!(Errno::from_raw(2), Some(Errno::ENOENT));
+        assert_eq!(XnuErrno::from_raw(35), Some(XnuErrno::EAGAIN));
+        assert_eq!(Errno::from_raw(0), None);
+        assert_eq!(Errno::from_raw(-1), None);
+    }
+
+    #[test]
+    fn display_contains_name_and_message() {
+        let s = Errno::ENOENT.to_string();
+        assert!(s.contains("ENOENT"));
+        assert!(s.contains("no such file"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Newtype identifiers used across the kernel simulator and the Cider layer.
+//!
+//! Each identifier wraps a plain integer but is statically distinct from the
+//! others, so a `Pid` can never be passed where a `Tid` or a Mach `PortName`
+//! is expected.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Constructs the identifier from its raw integer value.
+            pub const fn new(raw: $inner) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw integer value.
+            pub const fn as_raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(raw: $inner) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Process identifier.
+    Pid, u32, "pid:"
+);
+id_newtype!(
+    /// Thread identifier (unique across the whole system, like a Linux TID).
+    Tid, u32, "tid:"
+);
+id_newtype!(
+    /// File descriptor within one process's descriptor table.
+    Fd, i32, "fd:"
+);
+id_newtype!(
+    /// User identifier.
+    Uid, u32, "uid:"
+);
+id_newtype!(
+    /// Group identifier.
+    Gid, u32, "gid:"
+);
+id_newtype!(
+    /// Mach port name within one task's IPC space.
+    ///
+    /// Port names are task-local, exactly like file descriptors: the same
+    /// underlying port may have different names in different tasks.
+    PortName, u32, "port:"
+);
+
+impl PortName {
+    /// The reserved null port name (`MACH_PORT_NULL`).
+    pub const NULL: PortName = PortName(0);
+
+    /// The reserved dead-name marker (`MACH_PORT_DEAD`).
+    pub const DEAD: PortName = PortName(u32::MAX);
+
+    /// Whether this is a usable (non-null, non-dead) name.
+    pub fn is_valid(self) -> bool {
+        self != Self::NULL && self != Self::DEAD
+    }
+}
+
+impl Fd {
+    /// Standard input.
+    pub const STDIN: Fd = Fd(0);
+    /// Standard output.
+    pub const STDOUT: Fd = Fd(1);
+    /// Standard error.
+    pub const STDERR: Fd = Fd(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newtypes_are_distinct_and_roundtrip() {
+        let pid = Pid::new(42);
+        assert_eq!(pid.as_raw(), 42);
+        assert_eq!(Pid::from(42), pid);
+        assert_eq!(pid.to_string(), "pid:42");
+        let tid = Tid::new(42);
+        assert_eq!(tid.to_string(), "tid:42");
+    }
+
+    #[test]
+    fn port_name_reserved_values() {
+        assert!(!PortName::NULL.is_valid());
+        assert!(!PortName::DEAD.is_valid());
+        assert!(PortName::new(7).is_valid());
+    }
+
+    #[test]
+    fn std_fds() {
+        assert_eq!(Fd::STDIN.as_raw(), 0);
+        assert_eq!(Fd::STDOUT.as_raw(), 1);
+        assert_eq!(Fd::STDERR.as_raw(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-thread execution personas.
+//!
+//! Cider defines a *persona* as an execution mode assigned to each thread,
+//! identifying the thread as executing either foreign (iOS) or domestic
+//! (Android) code. Personas are tracked per thread, inherited on fork or
+//! clone, and a single process may contain threads of both personas
+//! simultaneously (the property diplomatic functions rely on).
+
+use std::fmt;
+
+/// Execution mode of a thread: domestic (Android/Linux ABI) or foreign
+/// (iOS/XNU ABI).
+///
+/// The names follow the paper's terminology; in the prototype the domestic
+/// OS is Android and the foreign OS is iOS, and the two pairs of terms are
+/// used interchangeably.
+///
+/// # Example
+///
+/// ```
+/// use cider_abi::Persona;
+///
+/// let p = Persona::default();
+/// assert_eq!(p, Persona::Domestic);
+/// assert_eq!(p.other(), Persona::Foreign);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Persona {
+    /// The device's own ABI (Android / Linux in the prototype).
+    #[default]
+    Domestic,
+    /// The guest ABI (iOS / XNU in the prototype).
+    Foreign,
+}
+
+impl Persona {
+    /// All personas, in a stable order.
+    pub const ALL: [Persona; 2] = [Persona::Domestic, Persona::Foreign];
+
+    /// Returns `true` for the foreign (iOS) persona.
+    pub fn is_foreign(self) -> bool {
+        matches!(self, Persona::Foreign)
+    }
+
+    /// Returns `true` for the domestic (Android) persona.
+    pub fn is_domestic(self) -> bool {
+        matches!(self, Persona::Domestic)
+    }
+
+    /// The opposite persona; used by diplomatic functions which always
+    /// switch to "the other side" and back.
+    pub fn other(self) -> Persona {
+        match self {
+            Persona::Domestic => Persona::Foreign,
+            Persona::Foreign => Persona::Domestic,
+        }
+    }
+
+    /// Short ecosystem name as used in logs and benchmark tables.
+    pub fn ecosystem(self) -> &'static str {
+        match self {
+            Persona::Domestic => "android",
+            Persona::Foreign => "ios",
+        }
+    }
+}
+
+impl fmt::Display for Persona {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.ecosystem())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_domestic() {
+        assert_eq!(Persona::default(), Persona::Domestic);
+    }
+
+    #[test]
+    fn other_is_involutive() {
+        for p in Persona::ALL {
+            assert_eq!(p.other().other(), p);
+            assert_ne!(p.other(), p);
+        }
+    }
+
+    #[test]
+    fn predicates_are_exclusive() {
+        for p in Persona::ALL {
+            assert_ne!(p.is_foreign(), p.is_domestic());
+        }
+    }
+
+    #[test]
+    fn display_matches_ecosystem() {
+        assert_eq!(Persona::Domestic.to_string(), "android");
+        assert_eq!(Persona::Foreign.to_string(), "ios");
+    }
+}

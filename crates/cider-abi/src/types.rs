@@ -1,0 +1,256 @@
+//! Plain data structures that cross the user/kernel boundary, in both the
+//! domestic and foreign layouts, plus the conversions Cider's wrapper
+//! syscalls perform ("maps arguments from XNU structures to Linux
+//! structures and then calls the Linux implementation", paper §4.1).
+
+use std::fmt;
+
+/// Open flags, modelled as a transparent bit set (the sanctioned dependency
+/// list has no `bitflags`, so this is a hand-rolled equivalent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OpenFlags(pub u32);
+
+impl OpenFlags {
+    /// Open read-only.
+    pub const RDONLY: OpenFlags = OpenFlags(0o0);
+    /// Open write-only.
+    pub const WRONLY: OpenFlags = OpenFlags(0o1);
+    /// Open read-write.
+    pub const RDWR: OpenFlags = OpenFlags(0o2);
+    /// Create the file if absent.
+    pub const CREAT: OpenFlags = OpenFlags(0o100);
+    /// Fail if `CREAT` and the file exists.
+    pub const EXCL: OpenFlags = OpenFlags(0o200);
+    /// Truncate on open.
+    pub const TRUNC: OpenFlags = OpenFlags(0o1000);
+    /// Append on every write.
+    pub const APPEND: OpenFlags = OpenFlags(0o2000);
+    /// Bypass the page cache: reads and writes pay raw storage cost.
+    /// Used by the PassMark storage workloads, which measure flash rather
+    /// than memory-copy bandwidth.
+    pub const DIRECT: OpenFlags = OpenFlags(0o200000);
+
+    /// Set union of two flag sets.
+    pub const fn union(self, other: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | other.0)
+    }
+
+    /// Whether every bit of `other` is set in `self`.
+    pub const fn contains(self, other: OpenFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the flags permit writing.
+    pub const fn writable(self) -> bool {
+        self.0 & 0o3 == Self::WRONLY.0 || self.0 & 0o3 == Self::RDWR.0
+    }
+
+    /// Whether the flags permit reading.
+    pub const fn readable(self) -> bool {
+        self.0 & 0o3 == Self::RDONLY.0 || self.0 & 0o3 == Self::RDWR.0
+    }
+}
+
+impl std::ops::BitOr for OpenFlags {
+    type Output = OpenFlags;
+    fn bitor(self, rhs: OpenFlags) -> OpenFlags {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Display for OpenFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O_{:o}", self.0)
+    }
+}
+
+/// File type recorded in [`Stat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FileType {
+    /// Regular file.
+    #[default]
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+    /// Character device node.
+    CharDevice,
+    /// FIFO / pipe.
+    Fifo,
+    /// Socket.
+    Socket,
+}
+
+/// The kernel's native (Linux-layout) `stat` result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stat {
+    /// Inode number.
+    pub ino: u64,
+    /// File type.
+    pub file_type: FileType,
+    /// Permission bits.
+    pub mode: u32,
+    /// Size in bytes.
+    pub size: u64,
+    /// Block count (512-byte units).
+    pub blocks: u64,
+    /// Modification time, seconds.
+    pub mtime_sec: i64,
+    /// Modification time, nanoseconds.
+    pub mtime_nsec: i64,
+    /// Number of hard links.
+    pub nlink: u32,
+}
+
+/// XNU's `stat64` layout, as an iOS binary sees it. Field order and the
+/// split of the timestamp differ from Linux; the birthtime field does not
+/// exist on Linux at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct XnuStat64 {
+    /// Inode number (`st_ino`).
+    pub ino: u64,
+    /// Mode including the file-type bits, BSD encoding.
+    pub mode: u32,
+    /// Number of hard links.
+    pub nlink: u32,
+    /// Size in bytes.
+    pub size: u64,
+    /// Blocks, 512-byte units.
+    pub blocks: u64,
+    /// Modification timespec.
+    pub mtimespec: TimeSpec,
+    /// Birth (creation) timespec — no Linux equivalent; Cider fills it
+    /// with mtime, matching what its wrapper can know.
+    pub birthtimespec: TimeSpec,
+}
+
+/// BSD file-type bits used inside [`XnuStat64::mode`].
+pub mod bsd_mode {
+    /// Regular file.
+    pub const S_IFREG: u32 = 0o100000;
+    /// Directory.
+    pub const S_IFDIR: u32 = 0o040000;
+    /// Symbolic link.
+    pub const S_IFLNK: u32 = 0o120000;
+    /// Character device.
+    pub const S_IFCHR: u32 = 0o020000;
+    /// FIFO.
+    pub const S_IFIFO: u32 = 0o010000;
+    /// Socket.
+    pub const S_IFSOCK: u32 = 0o140000;
+}
+
+impl From<Stat> for XnuStat64 {
+    fn from(s: Stat) -> XnuStat64 {
+        let type_bits = match s.file_type {
+            FileType::Regular => bsd_mode::S_IFREG,
+            FileType::Directory => bsd_mode::S_IFDIR,
+            FileType::Symlink => bsd_mode::S_IFLNK,
+            FileType::CharDevice => bsd_mode::S_IFCHR,
+            FileType::Fifo => bsd_mode::S_IFIFO,
+            FileType::Socket => bsd_mode::S_IFSOCK,
+        };
+        let ts = TimeSpec {
+            sec: s.mtime_sec,
+            nsec: s.mtime_nsec,
+        };
+        XnuStat64 {
+            ino: s.ino,
+            mode: type_bits | (s.mode & 0o7777),
+            nlink: s.nlink,
+            size: s.size,
+            blocks: s.blocks,
+            mtimespec: ts,
+            birthtimespec: ts,
+        }
+    }
+}
+
+/// A `timespec` (seconds + nanoseconds), shared layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeSpec {
+    /// Whole seconds.
+    pub sec: i64,
+    /// Nanoseconds within the second, `0..1_000_000_000`.
+    pub nsec: i64,
+}
+
+impl TimeSpec {
+    /// Builds a timespec from a nanosecond count.
+    pub fn from_nanos(ns: u64) -> TimeSpec {
+        TimeSpec {
+            sec: (ns / 1_000_000_000) as i64,
+            nsec: (ns % 1_000_000_000) as i64,
+        }
+    }
+
+    /// Converts back to a nanosecond count.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the timespec is negative.
+    pub fn as_nanos(self) -> u64 {
+        debug_assert!(self.sec >= 0 && self.nsec >= 0);
+        self.sec as u64 * 1_000_000_000 + self.nsec as u64
+    }
+}
+
+/// A `timeval` (seconds + microseconds) used by `select`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeVal {
+    /// Whole seconds.
+    pub sec: i64,
+    /// Microseconds within the second.
+    pub usec: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_flags_union_and_contains() {
+        let f = OpenFlags::RDWR | OpenFlags::CREAT | OpenFlags::TRUNC;
+        assert!(f.contains(OpenFlags::CREAT));
+        assert!(!f.contains(OpenFlags::APPEND));
+        assert!(f.writable());
+        assert!(f.readable());
+    }
+
+    #[test]
+    fn rdonly_is_not_writable() {
+        assert!(OpenFlags::RDONLY.readable());
+        assert!(!OpenFlags::RDONLY.writable());
+        assert!(OpenFlags::WRONLY.writable());
+        assert!(!OpenFlags::WRONLY.readable());
+    }
+
+    #[test]
+    fn stat_conversion_sets_bsd_type_bits() {
+        let s = Stat {
+            ino: 5,
+            file_type: FileType::Directory,
+            mode: 0o755,
+            size: 4096,
+            blocks: 8,
+            mtime_sec: 100,
+            mtime_nsec: 42,
+            nlink: 2,
+        };
+        let x = XnuStat64::from(s);
+        assert_eq!(x.mode & 0o170000, bsd_mode::S_IFDIR);
+        assert_eq!(x.mode & 0o7777, 0o755);
+        assert_eq!(x.mtimespec, TimeSpec { sec: 100, nsec: 42 });
+        // birthtime is synthesized from mtime.
+        assert_eq!(x.birthtimespec, x.mtimespec);
+    }
+
+    #[test]
+    fn timespec_roundtrip() {
+        let ts = TimeSpec::from_nanos(1_500_000_042);
+        assert_eq!(ts.sec, 1);
+        assert_eq!(ts.nsec, 500_000_042);
+        assert_eq!(ts.as_nanos(), 1_500_000_042);
+    }
+}

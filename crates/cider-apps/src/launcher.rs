@@ -1,0 +1,162 @@
+//! The Android Launcher integration: home-screen shortcuts, the
+//! background `.ipa` unpacker, and the recents list.
+//!
+//! "A small background process automatically unpacked each .ipa and
+//! created Android shortcuts on the Launcher home screen, pointing each
+//! one to the CiderPress Android app. The iOS app icon was used for the
+//! Android shortcut" (paper §6.1).
+
+use cider_abi::errno::Errno;
+use cider_core::system::CiderSystem;
+
+use crate::package::Ipa;
+
+/// What a home-screen shortcut launches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchTarget {
+    /// CiderPress, pointed at an installed iOS bundle binary.
+    CiderPress {
+        /// Path of the bundle's Mach-O.
+        binary_path: String,
+    },
+    /// A plain Android app.
+    AndroidApp {
+        /// Package name.
+        package: String,
+    },
+}
+
+/// A home-screen shortcut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shortcut {
+    /// Display label.
+    pub label: String,
+    /// Icon bytes (the iOS app icon for Cider shortcuts).
+    pub icon: Vec<u8>,
+    /// Launch target.
+    pub target: LaunchTarget,
+}
+
+/// The Launcher home screen.
+#[derive(Debug, Default)]
+pub struct Launcher {
+    /// Shortcuts in home-screen order.
+    pub shortcuts: Vec<Shortcut>,
+    /// Recent activity entries (label + screenshot).
+    pub recents: Vec<(String, Vec<u32>)>,
+}
+
+impl Launcher {
+    /// Empty home screen.
+    pub fn new() -> Launcher {
+        Launcher::default()
+    }
+
+    /// Adds an Android app shortcut.
+    pub fn add_android_app(&mut self, label: &str, package: &str) {
+        self.shortcuts.push(Shortcut {
+            label: label.to_string(),
+            icon: format!("android-icon:{package}").into_bytes(),
+            target: LaunchTarget::AndroidApp {
+                package: package.to_string(),
+            },
+        });
+    }
+
+    /// Records a screenshot into the recents list.
+    pub fn push_recent(&mut self, label: &str, screenshot: Vec<u32>) {
+        self.recents.push((label.to_string(), screenshot));
+    }
+}
+
+/// The background unpacker: installs a (decrypted) `.ipa` into
+/// `/Applications` and returns the bundle binary path.
+///
+/// # Errors
+///
+/// `EACCES` if the package is still encrypted (it would never launch),
+/// VFS errors otherwise.
+pub fn install_ipa(sys: &mut CiderSystem, ipa: &Ipa) -> Result<String, Errno> {
+    let bundle_dir = format!("/Applications/{}.app", ipa.name);
+    let binary_path = format!("{bundle_dir}/{}", ipa.name);
+    sys.kernel.vfs.mkdir_p_overlay(&bundle_dir)?;
+    sys.kernel
+        .vfs
+        .write_file_overlay(&binary_path, ipa.binary.clone())?;
+    for (path, data) in &ipa.data_files {
+        sys.kernel
+            .vfs
+            .write_file_overlay(&format!("{bundle_dir}/{path}"), data.clone())?;
+    }
+    Ok(binary_path)
+}
+
+/// The unpacker plus shortcut creation: what the small background
+/// process does for each copied `.ipa`.
+///
+/// # Errors
+///
+/// Same as [`install_ipa`].
+pub fn install_ipa_with_shortcut(
+    sys: &mut CiderSystem,
+    launcher: &mut Launcher,
+    ipa: &Ipa,
+) -> Result<String, Errno> {
+    let binary_path = install_ipa(sys, ipa)?;
+    launcher.shortcuts.push(Shortcut {
+        label: ipa.name.clone(),
+        icon: ipa.icon.clone(),
+        target: LaunchTarget::CiderPress {
+            binary_path: binary_path.clone(),
+        },
+    });
+    Ok(binary_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::{build_ios_app, decrypt_ipa, DeviceKey};
+    use cider_kernel::profile::DeviceProfile;
+
+    #[test]
+    fn unpacker_installs_bundle_and_creates_shortcut() {
+        let mut sys = CiderSystem::new(DeviceProfile::nexus7());
+        let mut launcher = Launcher::new();
+        launcher.add_android_app("Gmail", "com.google.android.gm");
+        let ipa = decrypt_ipa(
+            &build_ios_app(
+                "com.apalon.calc",
+                "Calculator Pro",
+                "calc_main",
+                true,
+            ),
+            DeviceKey::from_jailbroken_device(),
+        )
+        .unwrap();
+        let path =
+            install_ipa_with_shortcut(&mut sys, &mut launcher, &ipa).unwrap();
+        assert!(sys.kernel.vfs.exists(&path));
+        assert!(sys
+            .kernel
+            .vfs
+            .exists("/Applications/Calculator Pro.app/Info.plist"));
+        // iOS and Android shortcuts coexist on the home screen (Fig. 4a).
+        assert_eq!(launcher.shortcuts.len(), 2);
+        let s = &launcher.shortcuts[1];
+        assert_eq!(s.label, "Calculator Pro");
+        assert_eq!(s.icon, ipa.icon);
+        assert!(matches!(
+            s.target,
+            LaunchTarget::CiderPress { .. }
+        ));
+    }
+
+    #[test]
+    fn recents_hold_screenshots() {
+        let mut l = Launcher::new();
+        l.push_recent("Papers", vec![1, 2, 3]);
+        assert_eq!(l.recents.len(), 1);
+        assert_eq!(l.recents[0].1, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,24 @@
+//! The app layer of the Cider reproduction.
+//!
+//! Apps on the two ecosystems differ in *form*: Android apps are Dalvik
+//! bytecode interpreted by a VM ([`vm`]), iOS apps are native binaries.
+//! This crate provides both forms of the paper's workloads
+//! ([`workloads`]), the PassMark benchmark app in both forms
+//! ([`passmark`], Figure 6), the `.ipa`/`.apk` package formats with the
+//! App Store decryption step ([`package`], §6.1), the Launcher
+//! integration with the background unpacker ([`launcher`]), and the
+//! CiderPress proxy app ([`ciderpress`], §3).
+
+pub mod ciderpress;
+pub mod launcher;
+pub mod package;
+pub mod passmark;
+pub mod vm;
+pub mod workloads;
+
+pub use ciderpress::{AppState, CiderPress};
+pub use launcher::{install_ipa, install_ipa_with_shortcut, Launcher};
+pub use package::{build_ios_app, decrypt_ipa, Apk, DeviceKey, Ipa};
+pub use passmark::{AppForm, GlPath, Measurement, Passmark, PassmarkEnv, Test};
+pub use vm::{Insn, Vm};
+pub use workloads::Sizes;

@@ -1,0 +1,708 @@
+//! The PassMark-style CPU and memory workloads, each implemented twice:
+//! as a bytecode program for the Dalvik-stand-in VM (the Android app
+//! form) and as native code (the iOS app form).
+//!
+//! Both forms compute **identical results** from identical seeds, so the
+//! test suite cross-validates them; only their cost model differs — the
+//! interpreted form pays the VM dispatch per instruction, the native
+//! form pays bare operation latencies. That difference is the entire
+//! mechanism behind Figure 6's CPU/memory groups.
+
+use cider_kernel::kernel::Kernel;
+
+use crate::vm::{Insn, Vm, VmError};
+
+/// Native per-ALU-op cost, ns (includes amortised loop overhead).
+pub const NATIVE_ALU_NS: f64 = 2.6;
+/// Native integer-divide extra, ns.
+pub const NATIVE_DIV_EXTRA_NS: f64 = 8.0;
+/// Native float-op extra, ns.
+pub const NATIVE_FLOAT_EXTRA_NS: f64 = 1.3;
+/// Native array-access extra, ns (no bounds check).
+pub const NATIVE_ARRAY_EXTRA_NS: f64 = 0.6;
+
+/// Workload sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sizes {
+    /// Integer-test iterations.
+    pub integer_iters: u64,
+    /// Float-test iterations.
+    pub float_iters: u64,
+    /// Upper bound for the primes sieve.
+    pub primes_limit: u64,
+    /// Elements in the sort test.
+    pub sort_len: usize,
+    /// Bytes in the encryption test.
+    pub crypt_len: usize,
+    /// Elements in the compression test.
+    pub compress_len: usize,
+    /// Elements in the memory tests.
+    pub mem_len: usize,
+}
+
+impl Sizes {
+    /// The sizes the benchmark harness uses.
+    pub fn standard() -> Sizes {
+        Sizes {
+            integer_iters: 200_000,
+            float_iters: 200_000,
+            primes_limit: 20_000,
+            sort_len: 700,
+            crypt_len: 100_000,
+            compress_len: 150_000,
+            mem_len: 300_000,
+        }
+    }
+
+    /// Small sizes for unit tests.
+    pub fn quick() -> Sizes {
+        Sizes {
+            integer_iters: 500,
+            float_iters: 500,
+            primes_limit: 200,
+            sort_len: 40,
+            crypt_len: 300,
+            compress_len: 400,
+            mem_len: 1_000,
+        }
+    }
+}
+
+/// Deterministic data generator shared by both forms (an LCG).
+#[derive(Debug, Clone)]
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    /// Next raw value.
+    pub fn next_value(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+/// A tiny label-patching assembler for the VM programs.
+#[derive(Debug, Default)]
+struct Asm {
+    insns: Vec<Insn>,
+}
+
+impl Asm {
+    fn here(&self) -> u32 {
+        self.insns.len() as u32
+    }
+    fn emit(&mut self, i: Insn) -> &mut Self {
+        self.insns.push(i);
+        self
+    }
+    /// Emits a placeholder jump, returning its index for patching.
+    fn emit_patch(&mut self, i: Insn) -> usize {
+        self.insns.push(i);
+        self.insns.len() - 1
+    }
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.insns[at] {
+            Insn::Jmp(t) | Insn::Jz(_, t) | Insn::Jnz(_, t) => *t = target,
+            other => panic!("patching non-jump {other:?}"),
+        }
+    }
+    fn finish(self) -> Vec<Insn> {
+        self.insns
+    }
+}
+
+/// Accumulates native op counts and charges them in one go.
+#[derive(Debug, Default)]
+struct NativeCost {
+    alu: u64,
+    div: u64,
+    float: u64,
+    array: u64,
+}
+
+impl NativeCost {
+    fn charge(&self, k: &mut Kernel) {
+        let ns = self.alu as f64 * NATIVE_ALU_NS
+            + self.div as f64 * (NATIVE_ALU_NS + NATIVE_DIV_EXTRA_NS)
+            + self.float as f64 * (NATIVE_ALU_NS + NATIVE_FLOAT_EXTRA_NS)
+            + self.array as f64 * (NATIVE_ALU_NS + NATIVE_ARRAY_EXTRA_NS);
+        k.charge_cpu(ns as u64);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Integer maths.
+// ----------------------------------------------------------------------
+
+/// VM program for the integer test.
+pub fn integer_program(iters: u64, seed: i64) -> Vec<Insn> {
+    let mut a = Asm::default();
+    a.emit(Insn::ConstI(0, 1)) // a
+        .emit(Insn::ConstI(1, seed)) // b
+        .emit(Insn::ConstI(2, 0)) // c
+        .emit(Insn::ConstI(3, iters as i64)) // i
+        .emit(Insn::ConstI(4, 3))
+        .emit(Insn::ConstI(6, 0xFF))
+        .emit(Insn::ConstI(7, 1));
+    let top = a.here();
+    a.emit(Insn::Mul(0, 0, 4))
+        .emit(Insn::Add(0, 0, 3))
+        .emit(Insn::Shr(8, 0, 4))
+        .emit(Insn::Xor(1, 1, 8))
+        .emit(Insn::And(8, 1, 6))
+        .emit(Insn::Add(8, 8, 7))
+        .emit(Insn::Div(8, 0, 8))
+        .emit(Insn::Add(2, 2, 8))
+        .emit(Insn::Sub(3, 3, 7))
+        .emit(Insn::Jnz(3, top))
+        .emit(Insn::Add(2, 2, 1))
+        .emit(Insn::Halt(2));
+    a.finish()
+}
+
+/// Native form of the integer test; returns the same result.
+pub fn integer_native(k: &mut Kernel, iters: u64, seed: i64) -> i64 {
+    let mut a: i64 = 1;
+    let mut b: i64 = seed;
+    let mut c: i64 = 0;
+    let mut i: i64 = iters as i64;
+    let mut cost = NativeCost::default();
+    while i != 0 {
+        a = a.wrapping_mul(3).wrapping_add(i);
+        let t = ((a as u64) >> 3) as i64;
+        b ^= t;
+        let t = (b & 0xFF) + 1;
+        let t = a.wrapping_div(t);
+        c = c.wrapping_add(t);
+        i -= 1;
+        cost.alu += 8;
+        cost.div += 1;
+    }
+    cost.charge(k);
+    c.wrapping_add(b)
+}
+
+// ----------------------------------------------------------------------
+// Floating point.
+// ----------------------------------------------------------------------
+
+/// VM program for the float test (result lands in float register 1).
+pub fn float_program(iters: u64) -> Vec<Insn> {
+    let mut a = Asm::default();
+    a.emit(Insn::ConstF(0, 1.0)) // x
+        .emit(Insn::ConstF(1, 0.0)) // y
+        .emit(Insn::ConstF(2, 1.000001))
+        .emit(Insn::ConstF(3, 1.5))
+        .emit(Insn::ConstF(4, 2.0))
+        .emit(Insn::ConstI(0, iters as i64))
+        .emit(Insn::ConstI(1, 1));
+    let top = a.here();
+    a.emit(Insn::FMul(0, 0, 2))
+        .emit(Insn::FAdd(0, 0, 3))
+        .emit(Insn::FDiv(5, 0, 4))
+        .emit(Insn::FAdd(1, 1, 5))
+        .emit(Insn::Sub(0, 0, 1))
+        .emit(Insn::Jnz(0, top))
+        .emit(Insn::Halt(0));
+    a.finish()
+}
+
+/// Native form of the float test.
+pub fn float_native(k: &mut Kernel, iters: u64) -> f64 {
+    let mut x = 1.0f64;
+    let mut y = 0.0f64;
+    let mut cost = NativeCost::default();
+    for _ in 0..iters {
+        x = x * 1.000001 + 1.5;
+        y += x / 2.0;
+        cost.float += 4;
+        cost.alu += 2;
+    }
+    cost.charge(k);
+    y
+}
+
+// ----------------------------------------------------------------------
+// Find primes.
+// ----------------------------------------------------------------------
+
+/// VM program counting primes below `limit` by trial division.
+pub fn primes_program(limit: u64) -> Vec<Insn> {
+    let mut a = Asm::default();
+    // r0=n r1=limit r2=count r3=d r4=t r5=1 r6=cmp
+    a.emit(Insn::ConstI(0, 2))
+        .emit(Insn::ConstI(1, limit as i64))
+        .emit(Insn::ConstI(2, 0))
+        .emit(Insn::ConstI(5, 1));
+    let outer = a.here();
+    // if !(n < limit) -> done
+    a.emit(Insn::CmpLt(6, 0, 1));
+    let jdone = a.emit_patch(Insn::Jz(6, 0));
+    a.emit(Insn::ConstI(3, 2)); // d = 2
+    let inner = a.here();
+    // t = d*d; if t > n (i.e. n < t) -> prime
+    a.emit(Insn::Mul(4, 3, 3)).emit(Insn::CmpLt(6, 0, 4));
+    let jprime = a.emit_patch(Insn::Jnz(6, 0));
+    // if n % d == 0 -> notprime
+    a.emit(Insn::Rem(4, 0, 3));
+    let jnotprime = a.emit_patch(Insn::Jz(4, 0));
+    a.emit(Insn::Add(3, 3, 5)).emit(Insn::Jmp(inner));
+    let prime = a.here();
+    a.emit(Insn::Add(2, 2, 5));
+    let notprime = a.here();
+    a.emit(Insn::Add(0, 0, 5)).emit(Insn::Jmp(outer));
+    let done = a.here();
+    a.emit(Insn::Halt(2));
+    a.patch(jdone, done);
+    a.patch(jprime, prime);
+    a.patch(jnotprime, notprime);
+    a.finish()
+}
+
+/// Native form of the primes test.
+pub fn primes_native(k: &mut Kernel, limit: u64) -> i64 {
+    let mut count = 0i64;
+    let mut cost = NativeCost::default();
+    let mut n = 2u64;
+    while n < limit {
+        cost.alu += 2;
+        let mut d = 2u64;
+        let mut prime = true;
+        while d * d <= n {
+            cost.alu += 3;
+            cost.div += 1;
+            if n.is_multiple_of(d) {
+                prime = false;
+                break;
+            }
+            d += 1;
+        }
+        if prime {
+            count += 1;
+            cost.alu += 1;
+        }
+        n += 1;
+    }
+    cost.charge(k);
+    count
+}
+
+// ----------------------------------------------------------------------
+// Random "string" sort (insertion sort over generated keys).
+// ----------------------------------------------------------------------
+
+/// Generates the sort input both forms use.
+pub fn sort_input(len: usize, seed: u64) -> Vec<i64> {
+    let mut lcg = Lcg(seed);
+    (0..len).map(|_| (lcg.next_value() & 0xFFFF_FFFF) as i64).collect()
+}
+
+/// VM insertion sort over the pre-loaded array.
+pub fn sort_program(len: usize) -> Vec<Insn> {
+    let mut a = Asm::default();
+    // r0=n r1=i r2=j r3=key r4=t r5=1 r6=cmp r7=j+1 r8=0
+    a.emit(Insn::ConstI(0, len as i64))
+        .emit(Insn::ConstI(1, 1))
+        .emit(Insn::ConstI(5, 1))
+        .emit(Insn::ConstI(8, 0));
+    let outer = a.here();
+    a.emit(Insn::CmpLt(6, 1, 0));
+    let jdone = a.emit_patch(Insn::Jz(6, 0));
+    a.emit(Insn::ALoad(3, 1)) // key = arr[i]
+        .emit(Insn::Sub(2, 1, 5)); // j = i-1
+    let inner = a.here();
+    // if j < 0 -> insert
+    a.emit(Insn::CmpLt(6, 2, 8));
+    let jinsert1 = a.emit_patch(Insn::Jnz(6, 0));
+    a.emit(Insn::ALoad(4, 2)) // t = arr[j]
+        .emit(Insn::CmpLt(6, 3, 4)); // key < t ?
+    let jinsert2 = a.emit_patch(Insn::Jz(6, 0));
+    a.emit(Insn::Add(7, 2, 5))
+        .emit(Insn::AStore(7, 4)) // arr[j+1] = t
+        .emit(Insn::Sub(2, 2, 5)) // j -= 1
+        .emit(Insn::Jmp(inner));
+    let insert = a.here();
+    a.emit(Insn::Add(7, 2, 5))
+        .emit(Insn::AStore(7, 3)) // arr[j+1] = key
+        .emit(Insn::Add(1, 1, 5))
+        .emit(Insn::Jmp(outer));
+    let done = a.here();
+    a.emit(Insn::Halt(1));
+    a.patch(jdone, done);
+    a.patch(jinsert1, insert);
+    a.patch(jinsert2, insert);
+    a.finish()
+}
+
+/// Native form: insertion sort over real strings generated from the same
+/// keys (the substitution for PassMark's random string sort: the VM form
+/// sorts the packed keys, the native form sorts their decimal strings —
+/// identical comparison counts, identical final order).
+pub fn sort_native(k: &mut Kernel, len: usize, seed: u64) -> Vec<i64> {
+    let keys = sort_input(len, seed);
+    let mut strings: Vec<(String, i64)> = keys
+        .iter()
+        .map(|&v| (format!("{v:010}"), v))
+        .collect();
+    let mut cost = NativeCost::default();
+    for i in 1..strings.len() {
+        let key = strings[i].clone();
+        let mut j = i as i64 - 1;
+        while j >= 0 {
+            cost.array += 2;
+            // A string comparison touches ~len bytes.
+            cost.alu += 10;
+            if strings[j as usize].0 <= key.0 {
+                break;
+            }
+            strings[(j + 1) as usize] = strings[j as usize].clone();
+            j -= 1;
+        }
+        strings[(j + 1) as usize] = key;
+        cost.array += 1;
+        cost.alu += 3;
+    }
+    cost.charge(k);
+    strings.into_iter().map(|(_, v)| v).collect()
+}
+
+// ----------------------------------------------------------------------
+// Data encryption (ARX keystream XOR).
+// ----------------------------------------------------------------------
+
+/// Generates the plaintext both forms encrypt.
+pub fn crypt_input(len: usize, seed: u64) -> Vec<i64> {
+    let mut lcg = Lcg(seed ^ 0xC0FFEE);
+    (0..len).map(|_| (lcg.next_value() & 0xFF) as i64).collect()
+}
+
+/// VM program: XORs an ARX keystream over the pre-loaded array and
+/// leaves the checksum in the halt register.
+pub fn crypt_program(len: usize, key: i64) -> Vec<Insn> {
+    let mut a = Asm::default();
+    // r0=i r1=len r2=x(state) r3=mulc r4=addc r5=1 r6=ks r7=byte r8=sum
+    // r9=0xFF r10=33
+    a.emit(Insn::ConstI(0, 0))
+        .emit(Insn::ConstI(1, len as i64))
+        .emit(Insn::ConstI(2, key))
+        .emit(Insn::ConstI(3, 2862933555777941757))
+        .emit(Insn::ConstI(4, 3037000493))
+        .emit(Insn::ConstI(5, 1))
+        .emit(Insn::ConstI(8, 0))
+        .emit(Insn::ConstI(9, 0xFF))
+        .emit(Insn::ConstI(10, 33));
+    let top = a.here();
+    a.emit(Insn::CmpLt(6, 0, 1));
+    let jdone = a.emit_patch(Insn::Jz(6, 0));
+    a.emit(Insn::Mul(2, 2, 3)) // x *= mulc
+        .emit(Insn::Add(2, 2, 4)) // x += addc
+        .emit(Insn::Shr(6, 2, 10)) // ks = x >> 33
+        .emit(Insn::And(6, 6, 9)) // ks &= 0xFF
+        .emit(Insn::ALoad(7, 0)) // byte = arr[i]
+        .emit(Insn::Xor(7, 7, 6)) // byte ^= ks
+        .emit(Insn::AStore(0, 7)) // arr[i] = byte
+        .emit(Insn::Add(8, 8, 7)) // sum += byte
+        .emit(Insn::Add(0, 0, 5))
+        .emit(Insn::Jmp(top));
+    let done = a.here();
+    a.emit(Insn::Halt(8));
+    a.patch(jdone, done);
+    a.finish()
+}
+
+/// Native form of the encryption test; returns the same checksum.
+pub fn crypt_native(k: &mut Kernel, data: &mut [i64], key: i64) -> i64 {
+    let mut x = key;
+    let mut sum = 0i64;
+    let mut cost = NativeCost::default();
+    for b in data.iter_mut() {
+        x = x
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
+        let ks = ((x as u64) >> 33) as i64 & 0xFF;
+        *b ^= ks;
+        sum = sum.wrapping_add(*b);
+        cost.alu += 7;
+        cost.array += 2;
+    }
+    cost.charge(k);
+    sum
+}
+
+// ----------------------------------------------------------------------
+// Data compression (run-length token count).
+// ----------------------------------------------------------------------
+
+/// Generates runs-heavy input both forms compress.
+pub fn compress_input(len: usize, seed: u64) -> Vec<i64> {
+    let mut lcg = Lcg(seed ^ 0x5EED);
+    let mut out = Vec::with_capacity(len);
+    let mut value = 0i64;
+    let mut remaining = 0u64;
+    for _ in 0..len {
+        if remaining == 0 {
+            value = (lcg.next_value() & 0x0F) as i64;
+            remaining = 1 + (lcg.next_value() % 12);
+        }
+        out.push(value);
+        remaining -= 1;
+    }
+    out
+}
+
+/// VM program: counts RLE tokens over the pre-loaded array.
+pub fn compress_program(len: usize) -> Vec<Insn> {
+    let mut a = Asm::default();
+    // r0=i r1=len r2=prev r3=cur r4=tokens r5=1 r6=cmp
+    a.emit(Insn::ConstI(0, 0))
+        .emit(Insn::ConstI(1, len as i64))
+        .emit(Insn::ConstI(2, -1))
+        .emit(Insn::ConstI(4, 0))
+        .emit(Insn::ConstI(5, 1));
+    let top = a.here();
+    a.emit(Insn::CmpLt(6, 0, 1));
+    let jdone = a.emit_patch(Insn::Jz(6, 0));
+    a.emit(Insn::ALoad(3, 0)).emit(Insn::CmpEq(6, 3, 2));
+    let jsame = a.emit_patch(Insn::Jnz(6, 0));
+    a.emit(Insn::Add(4, 4, 5)).emit(Insn::Move(2, 3));
+    let same = a.here();
+    a.emit(Insn::Add(0, 0, 5)).emit(Insn::Jmp(top));
+    let done = a.here();
+    a.emit(Insn::Halt(4));
+    a.patch(jdone, done);
+    a.patch(jsame, same);
+    a.finish()
+}
+
+/// Native form: returns the same token count.
+pub fn compress_native(k: &mut Kernel, data: &[i64]) -> i64 {
+    let mut prev = -1i64;
+    let mut tokens = 0i64;
+    let mut cost = NativeCost::default();
+    for &v in data {
+        cost.array += 1;
+        cost.alu += 3;
+        if v != prev {
+            tokens += 1;
+            prev = v;
+            cost.alu += 2;
+        }
+    }
+    cost.charge(k);
+    tokens
+}
+
+// ----------------------------------------------------------------------
+// Memory read / write.
+// ----------------------------------------------------------------------
+
+/// VM program: writes `i*3` into every slot of a fresh array.
+pub fn mem_write_program(len: usize) -> Vec<Insn> {
+    let mut a = Asm::default();
+    // r0=i r1=len r2=3 r3=v r5=1 r6=cmp
+    a.emit(Insn::ConstI(1, len as i64))
+        .emit(Insn::Move(0, 1))
+        .emit(Insn::ArrNew(0))
+        .emit(Insn::ConstI(0, 0))
+        .emit(Insn::ConstI(2, 3))
+        .emit(Insn::ConstI(5, 1));
+    let top = a.here();
+    a.emit(Insn::CmpLt(6, 0, 1));
+    let jdone = a.emit_patch(Insn::Jz(6, 0));
+    a.emit(Insn::Mul(3, 0, 2))
+        .emit(Insn::AStore(0, 3))
+        .emit(Insn::Add(0, 0, 5))
+        .emit(Insn::Jmp(top));
+    let done = a.here();
+    a.emit(Insn::Halt(0));
+    a.patch(jdone, done);
+    a.finish()
+}
+
+/// VM program: sums the pre-loaded array.
+pub fn mem_read_program(len: usize) -> Vec<Insn> {
+    let mut a = Asm::default();
+    a.emit(Insn::ConstI(0, 0))
+        .emit(Insn::ConstI(1, len as i64))
+        .emit(Insn::ConstI(2, 0))
+        .emit(Insn::ConstI(5, 1));
+    let top = a.here();
+    a.emit(Insn::CmpLt(6, 0, 1));
+    let jdone = a.emit_patch(Insn::Jz(6, 0));
+    a.emit(Insn::ALoad(3, 0))
+        .emit(Insn::Add(2, 2, 3))
+        .emit(Insn::Add(0, 0, 5))
+        .emit(Insn::Jmp(top));
+    let done = a.here();
+    a.emit(Insn::Halt(2));
+    a.patch(jdone, done);
+    a.finish()
+}
+
+/// Native memory write; returns the buffer for the read test.
+pub fn mem_write_native(k: &mut Kernel, len: usize) -> Vec<i64> {
+    let mut out = vec![0i64; len];
+    let mut cost = NativeCost::default();
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = i as i64 * 3;
+        cost.array += 1;
+        cost.alu += 3;
+    }
+    cost.charge(k);
+    out
+}
+
+/// Native memory read; returns the same sum as the VM program.
+pub fn mem_read_native(k: &mut Kernel, data: &[i64]) -> i64 {
+    let mut sum = 0i64;
+    let mut cost = NativeCost::default();
+    for &v in data {
+        sum = sum.wrapping_add(v);
+        cost.array += 1;
+        cost.alu += 3;
+    }
+    cost.charge(k);
+    sum
+}
+
+/// Convenience: runs a VM program to completion, panicking on faults
+/// (workload programs are verified fault-free).
+///
+/// # Errors
+///
+/// Propagates interpreter faults.
+pub fn run_vm(
+    k: &mut Kernel,
+    program: &[Insn],
+    input: Option<Vec<i64>>,
+) -> Result<(i64, Vm), VmError> {
+    let mut vm = Vm::new();
+    if let Some(data) = input {
+        vm.set_array(data);
+    }
+    let r = vm.run(k, program)?;
+    Ok((r.value, vm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cider_kernel::profile::DeviceProfile;
+
+    fn kernel() -> Kernel {
+        Kernel::boot(DeviceProfile::nexus7())
+    }
+
+    const SEED: u64 = 0xDECAF;
+
+    #[test]
+    fn integer_vm_matches_native() {
+        let mut k = kernel();
+        let (vm_val, _) =
+            run_vm(&mut k, &integer_program(500, 42), None).unwrap();
+        let native_val = integer_native(&mut k, 500, 42);
+        assert_eq!(vm_val, native_val);
+    }
+
+    #[test]
+    fn float_vm_matches_native() {
+        let mut k = kernel();
+        let prog = float_program(300);
+        let mut vm = Vm::new();
+        vm.run(&mut k, &prog).unwrap();
+        let native = float_native(&mut k, 300);
+        assert!((vm.freg(1) - native).abs() < 1e-9);
+    }
+
+    #[test]
+    fn primes_vm_matches_native_and_is_correct() {
+        let mut k = kernel();
+        let (vm_count, _) =
+            run_vm(&mut k, &primes_program(100), None).unwrap();
+        assert_eq!(vm_count, 25, "25 primes below 100");
+        assert_eq!(primes_native(&mut k, 100), 25);
+    }
+
+    #[test]
+    fn sort_vm_and_native_produce_sorted_output() {
+        let mut k = kernel();
+        let input = sort_input(60, SEED);
+        let (_, vm) =
+            run_vm(&mut k, &sort_program(60), Some(input.clone())).unwrap();
+        let mut expected = input;
+        expected.sort_unstable();
+        assert_eq!(vm.array(), &expected[..]);
+        let native = sort_native(&mut k, 60, SEED);
+        assert_eq!(native, expected);
+    }
+
+    #[test]
+    fn crypt_vm_matches_native() {
+        let mut k = kernel();
+        let data = crypt_input(200, SEED);
+        let (vm_sum, vm) =
+            run_vm(&mut k, &crypt_program(200, 7), Some(data.clone()))
+                .unwrap();
+        let mut native_data = data;
+        let native_sum = crypt_native(&mut k, &mut native_data, 7);
+        assert_eq!(vm_sum, native_sum);
+        assert_eq!(vm.array(), &native_data[..]);
+    }
+
+    #[test]
+    fn crypt_roundtrips() {
+        let mut k = kernel();
+        let original = crypt_input(100, SEED);
+        let mut data = original.clone();
+        crypt_native(&mut k, &mut data, 99);
+        assert_ne!(data, original);
+        crypt_native(&mut k, &mut data, 99);
+        assert_eq!(data, original, "XOR keystream is an involution");
+    }
+
+    #[test]
+    fn compress_vm_matches_native() {
+        let mut k = kernel();
+        let data = compress_input(300, SEED);
+        let (vm_tokens, _) =
+            run_vm(&mut k, &compress_program(300), Some(data.clone()))
+                .unwrap();
+        assert_eq!(vm_tokens, compress_native(&mut k, &data));
+        assert!(vm_tokens > 10 && vm_tokens < 300);
+    }
+
+    #[test]
+    fn memory_vm_matches_native() {
+        let mut k = kernel();
+        let (_, vm) = run_vm(&mut k, &mem_write_program(100), None).unwrap();
+        let native = mem_write_native(&mut k, 100);
+        assert_eq!(vm.array(), &native[..]);
+        let (vm_sum, _) = run_vm(
+            &mut k,
+            &mem_read_program(100),
+            Some(native.clone()),
+        )
+        .unwrap();
+        assert_eq!(vm_sum, mem_read_native(&mut k, &native));
+    }
+
+    #[test]
+    fn native_is_faster_than_interpreted() {
+        // The Figure 6 mechanism: same work, the interpreted form pays
+        // dispatch per instruction.
+        let mut k = kernel();
+        let t0 = k.clock.now_ns();
+        run_vm(&mut k, &integer_program(2_000, 1), None).unwrap();
+        let vm_cost = k.clock.now_ns() - t0;
+        let t1 = k.clock.now_ns();
+        integer_native(&mut k, 2_000, 1);
+        let native_cost = k.clock.now_ns() - t1;
+        let speedup = vm_cost as f64 / native_cost as f64;
+        assert!(
+            (1.5..8.0).contains(&speedup),
+            "native speedup {speedup:.2}"
+        );
+    }
+}

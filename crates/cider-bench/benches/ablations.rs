@@ -1,0 +1,33 @@
+//! Ablation benches: the design-choice toggles from DESIGN.md.
+
+mod common;
+
+use cider_bench::ablations;
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.bench_function("shared_cache", |b| {
+        b.iter(|| black_box(ablations::shared_cache().unwrap()))
+    });
+    group.bench_function("diplomat_aggregation_8", |b| {
+        b.iter(|| black_box(ablations::diplomat_aggregation(8).unwrap()))
+    });
+    group.bench_function("diplomat_aggregation_32", |b| {
+        b.iter(|| black_box(ablations::diplomat_aggregation(32).unwrap()))
+    });
+    group.bench_function("fence_bug", |b| {
+        b.iter(|| black_box(ablations::fence_bug().unwrap()))
+    });
+    group.bench_function("ducttape_overhead", |b| {
+        b.iter(|| black_box(ablations::ducttape_overhead().unwrap()))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,27 @@
+//! Shared bench scaffolding: per-configuration beds, short measurement
+//! windows (the interesting numbers are the *virtual* ones printed by
+//! `cider-report`; these benches track the simulator's host-time cost).
+
+use std::time::Duration;
+
+use cider_bench::config::{SystemConfig, TestBed};
+use criterion::Criterion;
+
+/// Criterion tuned for a fast full-suite run.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .configure_from_args()
+}
+
+/// Boots a bed and its measured process.
+#[allow(dead_code)] // not every bench target spawns a measured process
+pub fn bed_with_proc(
+    config: SystemConfig,
+) -> (TestBed, cider_abi::ids::Pid, cider_abi::ids::Tid) {
+    let mut bed = TestBed::new(config);
+    let (pid, tid) = bed.spawn_measured().expect("bench binaries installed");
+    (bed, pid, tid)
+}

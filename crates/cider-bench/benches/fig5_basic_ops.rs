@@ -1,0 +1,36 @@
+//! Figure 5, basic-operations group (host-time of the simulated ops).
+
+mod common;
+
+use cider_bench::config::SystemConfig;
+use cider_bench::lmbench;
+use cider_kernel::profile::BasicOp;
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_basic_ops");
+    for config in SystemConfig::ALL {
+        let (bed, _, _) = common::bed_with_proc(config);
+        for op in BasicOp::ALL {
+            group.bench_function(
+                format!("{}/{}", config.label(), op.name()),
+                |b| {
+                    b.iter(|| {
+                        black_box(lmbench::basic_op_latency_ns(
+                            black_box(&bed),
+                            op,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,57 @@
+//! Figure 5, local communication and file group.
+
+mod common;
+
+use cider_bench::config::SystemConfig;
+use cider_bench::lmbench;
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_localcomm");
+    for config in SystemConfig::ALL {
+        let (mut bed, _, tid) = common::bed_with_proc(config);
+        group.bench_function(format!("{}/pipe", config.label()), |b| {
+            b.iter(|| black_box(lmbench::pipe_lat(&mut bed, tid).unwrap()))
+        });
+        group.bench_function(format!("{}/af_unix", config.label()), |b| {
+            b.iter(|| {
+                black_box(lmbench::af_unix_lat(&mut bed, tid).unwrap())
+            })
+        });
+        for n in [10usize, 100, 250] {
+            group.bench_function(
+                format!("{}/select {n}fd", config.label()),
+                |b| {
+                    b.iter(|| {
+                        black_box(
+                            lmbench::select_lat(&mut bed, tid, n).unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+        for size in [0usize, 10 * 1024] {
+            group.bench_function(
+                format!("{}/create-delete {size}b", config.label()),
+                |b| {
+                    b.iter(|| {
+                        black_box(
+                            lmbench::file_create_delete_lat(
+                                &mut bed, tid, size,
+                            )
+                            .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,75 @@
+//! Figure 5, process-creation group.
+
+mod common;
+
+use cider_bench::config::SystemConfig;
+use cider_bench::lmbench;
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_process");
+    for config in SystemConfig::ALL {
+        let (mut bed, _, tid) = common::bed_with_proc(config);
+        group.bench_function(format!("{}/fork+exit", config.label()), |b| {
+            b.iter(|| {
+                black_box(lmbench::fork_exit_lat(&mut bed, tid).unwrap())
+            })
+        });
+        if config != SystemConfig::IpadMini {
+            group.bench_function(
+                format!("{}/fork+exec(android)", config.label()),
+                |b| {
+                    b.iter(|| {
+                        black_box(
+                            lmbench::fork_exec_lat(&mut bed, tid, false)
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+            group.bench_function(
+                format!("{}/fork+sh(android)", config.label()),
+                |b| {
+                    b.iter(|| {
+                        black_box(
+                            lmbench::fork_sh_lat(&mut bed, tid, false)
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+        if config != SystemConfig::VanillaAndroid {
+            group.bench_function(
+                format!("{}/fork+exec(ios)", config.label()),
+                |b| {
+                    b.iter(|| {
+                        black_box(
+                            lmbench::fork_exec_lat(&mut bed, tid, true)
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+            group.bench_function(
+                format!("{}/fork+sh(ios)", config.label()),
+                |b| {
+                    b.iter(|| {
+                        black_box(
+                            lmbench::fork_sh_lat(&mut bed, tid, true)
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,47 @@
+//! Figure 5, syscall and signal group.
+
+mod common;
+
+use cider_bench::config::SystemConfig;
+use cider_bench::lmbench;
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_syscalls");
+    for config in SystemConfig::ALL {
+        let (mut bed, pid, tid) = common::bed_with_proc(config);
+        group.bench_function(format!("{}/null syscall", config.label()), |b| {
+            b.iter(|| black_box(lmbench::null_syscall(&mut bed, tid)))
+        });
+        group.bench_function(format!("{}/read", config.label()), |b| {
+            b.iter(|| black_box(lmbench::read_lat(&mut bed, tid).unwrap()))
+        });
+        group.bench_function(format!("{}/write", config.label()), |b| {
+            b.iter(|| black_box(lmbench::write_lat(&mut bed, tid)))
+        });
+        group.bench_function(format!("{}/open-close", config.label()), |b| {
+            b.iter(|| {
+                black_box(lmbench::open_close_lat(&mut bed, tid).unwrap())
+            })
+        });
+        group.bench_function(
+            format!("{}/signal handler", config.label()),
+            |b| {
+                b.iter(|| {
+                    black_box(
+                        lmbench::signal_handler_lat(&mut bed, pid, tid)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

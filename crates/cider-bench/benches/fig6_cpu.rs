@@ -1,0 +1,40 @@
+//! Figure 6, CPU group.
+
+mod common;
+
+use cider_apps::passmark::Test;
+use cider_apps::workloads::Sizes;
+use cider_bench::config::SystemConfig;
+use cider_bench::fig6;
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_cpu");
+    for config in SystemConfig::ALL {
+        let mut bed = cider_bench::config::TestBed::new(config);
+        let tid = fig6::prepare_passmark_thread(&mut bed);
+        for test in [Test::CpuInteger, Test::CpuFloat, Test::CpuPrimes, Test::CpuStringSort, Test::CpuEncryption, Test::CpuCompression] {
+            group.bench_function(
+                format!("{}/{}", config.label(), test.name()),
+                |b| {
+                    b.iter(|| {
+                        black_box(fig6::run_test_with(
+                            &mut bed,
+                            tid,
+                            test,
+                            Sizes::quick(),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,64 @@
+//! Prints the full evaluation: Figure 5, Figure 6, and the ablations.
+//!
+//! ```text
+//! cargo run --release -p cider-bench --bin cider-report [-- --raw]
+//! ```
+//!
+//! With `--raw`, the tables additionally list the raw virtual-time
+//! values (ns for Figure 5 latencies, ops/s for Figure 6 throughput)
+//! behind the normalized cells.
+
+use cider_bench::config::SystemConfig;
+use cider_bench::report::Table;
+
+fn print_raw(table: &Table) {
+    println!("### raw values ({})", table.unit);
+    print!("{:<28}", "test");
+    for c in SystemConfig::ALL {
+        print!("{:>18}", c.label());
+    }
+    println!();
+    for row in &table.rows {
+        print!("{:<28}", row.name);
+        for v in row.values {
+            match v {
+                Some(v) if v >= 1000.0 => print!("{v:>18.0}"),
+                Some(v) => print!("{v:>18.2}"),
+                None => print!("{:>18}", "n/a"),
+            }
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    let raw = std::env::args().any(|a| a == "--raw");
+    println!("Cider reproduction — full evaluation (virtual time)\n");
+    let fig5 = cider_bench::fig5::run();
+    println!("{fig5}");
+    if raw {
+        print_raw(&fig5);
+    }
+    let fig6 = cider_bench::fig6::run();
+    println!("{fig6}");
+    if raw {
+        print_raw(&fig6);
+    }
+    println!("## Ablations");
+    match cider_bench::ablations::run_all() {
+        Ok(ablations) => {
+            for a in ablations {
+                println!(
+                    "{:<48} baseline {:>14.1} -> variant {:>14.1} ({:.2}x) [{}]",
+                    a.name,
+                    a.baseline,
+                    a.variant,
+                    a.ratio(),
+                    a.metric
+                );
+            }
+        }
+        Err(e) => println!("ablations failed: {e}"),
+    }
+}

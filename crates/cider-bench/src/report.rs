@@ -1,0 +1,206 @@
+//! Normalized result tables in the paper's format.
+//!
+//! Figure 5 normalizes latencies to vanilla Android (lower is better);
+//! Figure 6 normalizes throughput to vanilla Android (higher is better).
+
+use std::fmt;
+
+use crate::config::SystemConfig;
+
+/// One row of a results table: raw values per configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRow {
+    /// Figure group ("syscall", "process", "cpu", ...).
+    pub group: String,
+    /// Test name.
+    pub name: String,
+    /// Raw values in [`SystemConfig::ALL`] order; `None` = the test is
+    /// not possible (or failed to complete) on that configuration.
+    pub values: [Option<f64>; 4],
+}
+
+impl TableRow {
+    /// Normalizes against the vanilla-Android column (or, when vanilla
+    /// cannot run the test, against the provided fallback baseline —
+    /// the paper normalizes fork+exec(ios) against fork+exec(android)).
+    pub fn normalized(&self, fallback_baseline: Option<f64>) -> [Option<f64>; 4] {
+        let base = self.values[0].or(fallback_baseline);
+        let mut out = [None; 4];
+        if let Some(base) = base {
+            if base > 0.0 {
+                for (i, v) in self.values.iter().enumerate() {
+                    out[i] = v.map(|v| v / base);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A full table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Unit of the raw values ("ns", "ops/s").
+    pub unit: &'static str,
+    /// Whether lower raw values are better (latency) or higher
+    /// (throughput).
+    pub lower_is_better: bool,
+    /// Rows with raw values.
+    pub rows: Vec<TableRow>,
+    /// Per-row fallback baselines (keyed by row name) for tests vanilla
+    /// cannot run.
+    pub fallbacks: Vec<(String, String)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        unit: &'static str,
+        lower_is_better: bool,
+    ) -> Table {
+        Table {
+            title: title.into(),
+            unit,
+            lower_is_better,
+            rows: Vec::new(),
+            fallbacks: Vec::new(),
+        }
+    }
+
+    /// Declares that `row` normalizes against `baseline_row`'s vanilla
+    /// value when its own vanilla cell is empty.
+    pub fn fallback(&mut self, row: &str, baseline_row: &str) {
+        self.fallbacks.push((row.to_string(), baseline_row.to_string()));
+    }
+
+    fn fallback_value(&self, row: &TableRow) -> Option<f64> {
+        let target = self
+            .fallbacks
+            .iter()
+            .find(|(r, _)| *r == row.name)
+            .map(|(_, b)| b.as_str())?;
+        self.rows
+            .iter()
+            .find(|r| r.name == target)
+            .and_then(|r| r.values[0])
+    }
+
+    /// Normalized cells for every row.
+    pub fn normalized_rows(&self) -> Vec<(String, String, [Option<f64>; 4])> {
+        self.rows
+            .iter()
+            .map(|r| {
+                (
+                    r.group.clone(),
+                    r.name.clone(),
+                    r.normalized(self.fallback_value(r)),
+                )
+            })
+            .collect()
+    }
+
+    /// Looks up a row's normalized cell for a configuration.
+    pub fn normalized_cell(
+        &self,
+        name: &str,
+        config: SystemConfig,
+    ) -> Option<f64> {
+        let idx = SystemConfig::ALL
+            .iter()
+            .position(|&c| c == config)
+            .expect("config in ALL");
+        self.rows
+            .iter()
+            .find(|r| r.name == name)
+            .and_then(|r| r.normalized(self.fallback_value(r))[idx])
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        writeln!(
+            f,
+            "(normalized to Vanilla Android; {} is better; raw unit {})",
+            if self.lower_is_better { "lower" } else { "higher" },
+            self.unit
+        )?;
+        write!(f, "{:<28}", "test")?;
+        for c in SystemConfig::ALL {
+            write!(f, "{:>18}", c.label())?;
+        }
+        writeln!(f)?;
+        let mut group = String::new();
+        for (g, name, cells) in self.normalized_rows() {
+            if g != group {
+                writeln!(f, "-- {g}")?;
+                group = g;
+            }
+            write!(f, "{name:<28}")?;
+            for cell in cells {
+                match cell {
+                    Some(v) => write!(f, "{v:>17.2}x")?,
+                    None => write!(f, "{:>18}", "n/a")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("Fig X", "ns", true);
+        t.rows.push(TableRow {
+            group: "g".into(),
+            name: "a".into(),
+            values: [Some(100.0), Some(110.0), Some(140.0), Some(130.0)],
+        });
+        t.rows.push(TableRow {
+            group: "g".into(),
+            name: "b".into(),
+            values: [None, None, Some(500.0), Some(250.0)],
+        });
+        t.fallback("b", "a");
+        t
+    }
+
+    #[test]
+    fn normalization_against_vanilla() {
+        let t = sample_table();
+        let cells = t.normalized_rows();
+        assert_eq!(cells[0].2[1], Some(1.1));
+        assert_eq!(cells[0].2[2], Some(1.4));
+        assert_eq!(
+            t.normalized_cell("a", SystemConfig::VanillaAndroid),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn fallback_normalization() {
+        let t = sample_table();
+        // Row b has no vanilla value; normalized against row a's 100.
+        assert_eq!(t.normalized_cell("b", SystemConfig::CiderIos), Some(5.0));
+        assert_eq!(
+            t.normalized_cell("b", SystemConfig::VanillaAndroid),
+            None
+        );
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let s = sample_table().to_string();
+        assert!(s.contains("Fig X"));
+        assert!(s.contains("n/a"));
+        assert!(s.contains("1.40x"));
+        assert!(s.contains("iPad mini"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Cross-persona `exec`: persona fixup when a process replaces its image
+//! with a binary of the other ecosystem.
+//!
+//! The paper's fork+exec microbenchmarks run all four combinations (§6.2)
+//! — a Linux binary exec'ing an iOS binary and vice versa. The Mach-O
+//! loader tags the thread with the foreign persona itself; the ELF path
+//! must symmetrically *drop* the foreign persona.
+
+use cider_abi::errno::Errno;
+use cider_abi::ids::Tid;
+use cider_kernel::kernel::Kernel;
+
+/// `execve` with persona fixup: runs the kernel exec, then resets the
+/// calling thread to the domestic personality if the new image is ELF.
+///
+/// # Errors
+///
+/// Whatever [`Kernel::sys_exec`] reports.
+pub fn sys_exec_fixup(
+    k: &mut Kernel,
+    tid: Tid,
+    path: &str,
+    argv: &[&str],
+) -> Result<(), Errno> {
+    k.sys_exec(tid, path, argv)?;
+    let format = k.process_of(tid)?.program.format;
+    if format == "elf" {
+        let linux = k.linux_personality();
+        let t = k.thread_mut(tid)?;
+        t.personality = linux;
+        t.ext = None;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cider_abi::persona::Persona;
+    use cider_kernel::profile::DeviceProfile;
+    use cider_loader::elf_loader::{install_android_system, ElfLoader};
+    use cider_loader::ElfBuilder;
+
+    use crate::persona::{attach_persona_ext, persona_of};
+
+    #[test]
+    fn exec_elf_from_foreign_thread_drops_persona() {
+        let mut k = Kernel::boot(DeviceProfile::nexus7());
+        install_android_system(&mut k.vfs);
+        k.register_binfmt(std::rc::Rc::new(ElfLoader::new()));
+        let (_, tid) = k.spawn_process();
+        attach_persona_ext(&mut k, tid, Persona::Foreign, 0).unwrap();
+        assert_eq!(persona_of(&k, tid).unwrap(), Persona::Foreign);
+        let bin = ElfBuilder::executable("hello").build();
+        k.vfs.write_file("/system/bin/hello", bin.to_bytes()).unwrap();
+        sys_exec_fixup(&mut k, tid, "/system/bin/hello", &[]).unwrap();
+        assert_eq!(persona_of(&k, tid).unwrap(), Persona::Domestic);
+    }
+}

@@ -1,0 +1,269 @@
+//! kqueue/kevent as a user-space library via API interposition.
+//!
+//! "the BSD kqueue and kevent notification mechanisms were easier to
+//! support in Cider as user space libraries because of the availability
+//! of existing open source user-level implementations. Because they did
+//! not need to be incorporated into the kernel, they did not need to be
+//! incorporated using duct tape, but simply via API interposition"
+//! (paper §4.2). This module is that libkqueue stand-in: the BSD API
+//! surface implemented purely over domestic kernel primitives
+//! (`select` for readiness, the virtual clock for timers).
+
+use std::collections::BTreeMap;
+
+use cider_abi::errno::Errno;
+use cider_abi::ids::{Fd, Tid};
+use cider_kernel::kernel::Kernel;
+
+/// kevent filters we support (the ones iOS frameworks actually use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvFilter {
+    /// `EVFILT_READ`: descriptor readable.
+    Read,
+    /// `EVFILT_TIMER`: periodic/one-shot timer (virtual time, ms units).
+    Timer,
+}
+
+/// kevent flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvAction {
+    /// `EV_ADD`.
+    Add,
+    /// `EV_DELETE`.
+    Delete,
+}
+
+/// A change-list entry / returned event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kevent {
+    /// Descriptor (for `Read`) or timer id (for `Timer`).
+    pub ident: u64,
+    /// Filter.
+    pub filter: EvFilter,
+    /// Opaque user data echoed back on delivery.
+    pub udata: u64,
+    /// For timers: the interval in virtual milliseconds.
+    pub timer_ms: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TimerState {
+    interval_ns: u64,
+    next_fire_ns: u64,
+    udata: u64,
+}
+
+/// One kqueue instance (what the `kqueue()` call returns a handle to).
+#[derive(Debug, Default)]
+pub struct KQueue {
+    reads: BTreeMap<u64, u64>, // fd -> udata
+    timers: BTreeMap<u64, TimerState>,
+    /// kevent() calls served (diagnostics).
+    pub polls: u64,
+}
+
+impl KQueue {
+    /// `kqueue()`.
+    pub fn new() -> KQueue {
+        KQueue::default()
+    }
+
+    /// Applies a change list (`kevent`'s input half).
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` when deleting an unregistered ident.
+    pub fn apply(
+        &mut self,
+        k: &Kernel,
+        action: EvAction,
+        change: Kevent,
+    ) -> Result<(), Errno> {
+        match (action, change.filter) {
+            (EvAction::Add, EvFilter::Read) => {
+                self.reads.insert(change.ident, change.udata);
+            }
+            (EvAction::Delete, EvFilter::Read) => {
+                self.reads
+                    .remove(&change.ident)
+                    .ok_or(Errno::ENOENT)?;
+            }
+            (EvAction::Add, EvFilter::Timer) => {
+                let interval_ns = change.timer_ms * 1_000_000;
+                self.timers.insert(
+                    change.ident,
+                    TimerState {
+                        interval_ns,
+                        next_fire_ns: k.clock.now_ns() + interval_ns,
+                        udata: change.udata,
+                    },
+                );
+            }
+            (EvAction::Delete, EvFilter::Timer) => {
+                self.timers
+                    .remove(&change.ident)
+                    .ok_or(Errno::ENOENT)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collects pending events (`kevent`'s output half), non-blocking:
+    /// readable descriptors via the domestic `select`, expired timers
+    /// via the virtual clock. Timers re-arm (periodic).
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if a registered descriptor was closed.
+    pub fn poll(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+    ) -> Result<Vec<Kevent>, Errno> {
+        self.polls += 1;
+        let mut out = Vec::new();
+        if !self.reads.is_empty() {
+            let fds: Vec<Fd> =
+                self.reads.keys().map(|&f| Fd(f as i32)).collect();
+            // The interposed implementation bottoms out in select(2).
+            let ready = k.sys_select(tid, &fds)?;
+            for fd in ready {
+                out.push(Kevent {
+                    ident: fd.as_raw() as u64,
+                    filter: EvFilter::Read,
+                    udata: self.reads[&(fd.as_raw() as u64)],
+                    timer_ms: 0,
+                });
+            }
+        }
+        let now = k.clock.now_ns();
+        for (&ident, t) in self.timers.iter_mut() {
+            if now >= t.next_fire_ns {
+                out.push(Kevent {
+                    ident,
+                    filter: EvFilter::Timer,
+                    udata: t.udata,
+                    timer_ms: t.interval_ns / 1_000_000,
+                });
+                // Re-arm from now (libkqueue semantics for late timers).
+                t.next_fire_ns = now + t.interval_ns;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Registered read descriptors.
+    pub fn read_count(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Registered timers.
+    pub fn timer_count(&self) -> usize {
+        self.timers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cider_kernel::profile::DeviceProfile;
+
+    fn setup() -> (Kernel, Tid, KQueue) {
+        let mut k = Kernel::boot(DeviceProfile::nexus7());
+        let (_, tid) = k.spawn_process();
+        (k, tid, KQueue::new())
+    }
+
+    fn read_ev(fd: Fd, udata: u64) -> Kevent {
+        Kevent {
+            ident: fd.as_raw() as u64,
+            filter: EvFilter::Read,
+            udata,
+            timer_ms: 0,
+        }
+    }
+
+    #[test]
+    fn read_filter_fires_when_pipe_has_data() {
+        let (mut k, tid, mut kq) = setup();
+        let (r, w) = k.sys_pipe(tid).unwrap();
+        kq.apply(&k, EvAction::Add, read_ev(r, 0xAB)).unwrap();
+        assert!(kq.poll(&mut k, tid).unwrap().is_empty());
+        k.sys_write(tid, w, b"x").unwrap();
+        let evs = kq.poll(&mut k, tid).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].udata, 0xAB);
+        assert_eq!(evs[0].filter, EvFilter::Read);
+        // Drain: no more events.
+        k.sys_read(tid, r, 4).unwrap();
+        assert!(kq.poll(&mut k, tid).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_unregistered_is_enoent() {
+        let (k, _, mut kq) = setup();
+        assert_eq!(
+            kq.apply(&k, EvAction::Delete, read_ev(Fd(9), 0)),
+            Err(Errno::ENOENT)
+        );
+    }
+
+    #[test]
+    fn timers_fire_on_virtual_time_and_rearm() {
+        let (mut k, tid, mut kq) = setup();
+        kq.apply(
+            &k,
+            EvAction::Add,
+            Kevent {
+                ident: 1,
+                filter: EvFilter::Timer,
+                udata: 7,
+                timer_ms: 10,
+            },
+        )
+        .unwrap();
+        assert!(kq.poll(&mut k, tid).unwrap().is_empty());
+        k.sys_nanosleep(tid, 11_000_000).unwrap();
+        let evs = kq.poll(&mut k, tid).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].udata, 7);
+        // Re-armed: quiet until the next interval elapses.
+        assert!(kq.poll(&mut k, tid).unwrap().is_empty());
+        k.sys_nanosleep(tid, 12_000_000).unwrap();
+        assert_eq!(kq.poll(&mut k, tid).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn mixed_filters_and_bookkeeping() {
+        let (mut k, tid, mut kq) = setup();
+        let (r, w) = k.sys_pipe(tid).unwrap();
+        kq.apply(&k, EvAction::Add, read_ev(r, 1)).unwrap();
+        kq.apply(
+            &k,
+            EvAction::Add,
+            Kevent {
+                ident: 5,
+                filter: EvFilter::Timer,
+                udata: 2,
+                timer_ms: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!((kq.read_count(), kq.timer_count()), (1, 1));
+        k.sys_write(tid, w, b"z").unwrap();
+        k.sys_nanosleep(tid, 2_000_000).unwrap();
+        let evs = kq.poll(&mut k, tid).unwrap();
+        assert_eq!(evs.len(), 2, "one read, one timer");
+        kq.apply(&k, EvAction::Delete, read_ev(r, 0)).unwrap();
+        assert_eq!(kq.read_count(), 0);
+    }
+
+    #[test]
+    fn closed_descriptor_surfaces_ebadf() {
+        let (mut k, tid, mut kq) = setup();
+        let (r, _w) = k.sys_pipe(tid).unwrap();
+        kq.apply(&k, EvAction::Add, read_ev(r, 0)).unwrap();
+        k.sys_close(tid, r).unwrap();
+        assert_eq!(kq.poll(&mut k, tid), Err(Errno::EBADF));
+    }
+}

@@ -1,0 +1,151 @@
+//! Runtime-callable native libraries and the domestic loader-as-foreign-
+//! library.
+//!
+//! Diplomatic functions require "the ability to load and interpret
+//! domestic binaries and libraries within a foreign app. This involves
+//! the use of a domestic loader compiled as a foreign library" (paper
+//! §4.3). [`NativeLibrary`] models a loaded library's export table —
+//! symbol names bound to callable functions — and [`LibraryHost`] is the
+//! per-system registry the embedded ELF loader resolves from.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use cider_abi::errno::Errno;
+use cider_abi::ids::Tid;
+use cider_kernel::kernel::Kernel;
+
+/// A callable export: the simulator's stand-in for a function address.
+pub type NativeFn = Rc<dyn Fn(&mut Kernel, Tid, &[i64]) -> Result<i64, Errno>>;
+
+/// A loaded native library's export table.
+#[derive(Clone)]
+pub struct NativeLibrary {
+    /// Library name (e.g. `"libGLESv2.so"`).
+    pub name: String,
+    exports: BTreeMap<String, NativeFn>,
+}
+
+impl fmt::Debug for NativeLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeLibrary")
+            .field("name", &self.name)
+            .field("exports", &self.exports.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl NativeLibrary {
+    /// An empty library.
+    pub fn new(name: impl Into<String>) -> NativeLibrary {
+        NativeLibrary {
+            name: name.into(),
+            exports: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an export.
+    pub fn export(
+        &mut self,
+        symbol: impl Into<String>,
+        f: NativeFn,
+    ) -> &mut Self {
+        self.exports.insert(symbol.into(), f);
+        self
+    }
+
+    /// `dlsym`: looks up an export.
+    pub fn dlsym(&self, symbol: &str) -> Option<NativeFn> {
+        self.exports.get(symbol).cloned()
+    }
+
+    /// All export names (what the paper's diplomat-generation script
+    /// scans).
+    pub fn export_names(&self) -> Vec<&str> {
+        self.exports.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of exports.
+    pub fn len(&self) -> usize {
+        self.exports.len()
+    }
+
+    /// Whether the library exports nothing.
+    pub fn is_empty(&self) -> bool {
+        self.exports.is_empty()
+    }
+}
+
+/// The registry of loaded domestic libraries — what the Android ELF
+/// loader (cross-compiled as an iOS library) resolves from when a
+/// diplomat first fires.
+#[derive(Debug, Default, Clone)]
+pub struct LibraryHost {
+    libs: BTreeMap<String, NativeLibrary>,
+}
+
+impl LibraryHost {
+    /// Empty host.
+    pub fn new() -> LibraryHost {
+        LibraryHost::default()
+    }
+
+    /// `dlopen`: registers (or replaces) a library.
+    pub fn register(&mut self, lib: NativeLibrary) {
+        self.libs.insert(lib.name.clone(), lib);
+    }
+
+    /// Looks up a library by name.
+    pub fn get(&self, name: &str) -> Option<&NativeLibrary> {
+        self.libs.get(name)
+    }
+
+    /// Searches every library for a symbol, returning the first match
+    /// with its library name.
+    pub fn find_symbol(&self, symbol: &str) -> Option<(&str, NativeFn)> {
+        for lib in self.libs.values() {
+            if let Some(f) = lib.dlsym(symbol) {
+                return Some((lib.name.as_str(), f));
+            }
+        }
+        None
+    }
+
+    /// Registered library names.
+    pub fn names(&self) -> Vec<&str> {
+        self.libs.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cider_kernel::profile::DeviceProfile;
+
+    #[test]
+    fn export_and_dlsym() {
+        let mut lib = NativeLibrary::new("libm.so");
+        lib.export("double_it", Rc::new(|_, _, args| Ok(args[0] * 2)));
+        let mut k = Kernel::boot(DeviceProfile::nexus7());
+        let (_, tid) = k.spawn_process();
+        let f = lib.dlsym("double_it").unwrap();
+        assert_eq!(f(&mut k, tid, &[21]).unwrap(), 42);
+        assert!(lib.dlsym("nope").is_none());
+        assert_eq!(lib.export_names(), vec!["double_it"]);
+    }
+
+    #[test]
+    fn host_finds_symbols_across_libraries() {
+        let mut host = LibraryHost::new();
+        let mut a = NativeLibrary::new("liba.so");
+        a.export("fa", Rc::new(|_, _, _| Ok(1)));
+        let mut b = NativeLibrary::new("libb.so");
+        b.export("fb", Rc::new(|_, _, _| Ok(2)));
+        host.register(a);
+        host.register(b);
+        assert_eq!(host.find_symbol("fb").unwrap().0, "libb.so");
+        assert!(host.find_symbol("fc").is_none());
+        assert_eq!(host.names(), vec!["liba.so", "libb.so"]);
+    }
+}

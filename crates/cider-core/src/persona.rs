@@ -1,0 +1,315 @@
+//! Kernel-level persona management: the thread extension carrying each
+//! thread's persona set, and the `set_persona` operation.
+//!
+//! "The Cider kernel maintains kernel ABI and TLS area pointers for every
+//! persona in which a given thread executes. A new syscall (available
+//! from all personas) named `set_persona` switches a thread's persona"
+//! (paper §4.3).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use cider_abi::errno::Errno;
+use cider_abi::ids::Tid;
+use cider_abi::persona::Persona;
+use cider_kernel::kernel::Kernel;
+use cider_kernel::process::{PersonalityId, ThreadExt};
+
+use crate::tls::{TlsArea, TlsLayout};
+
+/// Per-persona state the kernel tracks for a thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersonaState {
+    /// The kernel ABI (personality id) traps use in this persona.
+    pub personality: PersonalityId,
+    /// The TLS area user code sees in this persona.
+    pub tls: TlsArea,
+}
+
+/// The thread extension holding persona bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PersonaExt {
+    current: Persona,
+    states: BTreeMap<Persona, PersonaState>,
+    /// Persona switches performed by this thread (diplomat traffic).
+    pub switches: u64,
+}
+
+impl PersonaExt {
+    /// Creates the extension with a single persona installed.
+    pub fn new(initial: Persona, personality: PersonalityId) -> PersonaExt {
+        let mut states = BTreeMap::new();
+        states.insert(
+            initial,
+            PersonaState {
+                personality,
+                tls: TlsArea::new(TlsLayout::for_persona(initial)),
+            },
+        );
+        PersonaExt {
+            current: initial,
+            states,
+            switches: 0,
+        }
+    }
+
+    /// The thread's current persona.
+    pub fn current(&self) -> Persona {
+        self.current
+    }
+
+    /// Installs (or replaces) the state for a persona.
+    pub fn install(&mut self, p: Persona, personality: PersonalityId) {
+        self.states.insert(
+            p,
+            PersonaState {
+                personality,
+                tls: TlsArea::new(TlsLayout::for_persona(p)),
+            },
+        );
+    }
+
+    /// Whether the thread can execute in persona `p`.
+    pub fn has(&self, p: Persona) -> bool {
+        self.states.contains_key(&p)
+    }
+
+    /// State for a persona.
+    pub fn state(&self, p: Persona) -> Option<&PersonaState> {
+        self.states.get(&p)
+    }
+
+    /// Mutable state for a persona.
+    pub fn state_mut(&mut self, p: Persona) -> Option<&mut PersonaState> {
+        self.states.get_mut(&p)
+    }
+
+    /// TLS area of the current persona.
+    pub fn tls(&self) -> &TlsArea {
+        &self.states[&self.current].tls
+    }
+
+    /// Mutable TLS area of the current persona.
+    pub fn tls_mut(&mut self) -> &mut TlsArea {
+        let cur = self.current;
+        &mut self
+            .states
+            .get_mut(&cur)
+            .expect("current persona always installed")
+            .tls
+    }
+}
+
+impl ThreadExt for PersonaExt {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn clone_ext(&self) -> Box<dyn ThreadExt> {
+        Box::new(self.clone())
+    }
+}
+
+/// Reads a thread's current persona (domestic if it carries no persona
+/// extension, like a stock Android thread).
+///
+/// # Errors
+///
+/// `ESRCH` for unknown threads.
+pub fn persona_of(k: &Kernel, tid: Tid) -> Result<Persona, Errno> {
+    let t = k.thread(tid)?;
+    Ok(t.ext
+        .as_ref()
+        .and_then(|e| e.as_any().downcast_ref::<PersonaExt>())
+        .map(|p| p.current())
+        .unwrap_or(Persona::Domestic))
+}
+
+/// Borrows a thread's persona extension mutably.
+///
+/// # Errors
+///
+/// `ESRCH` for unknown threads, `EINVAL` if the thread has no persona
+/// extension.
+pub fn persona_ext_mut(
+    k: &mut Kernel,
+    tid: Tid,
+) -> Result<&mut PersonaExt, Errno> {
+    k.thread_mut(tid)?
+        .ext
+        .as_mut()
+        .and_then(|e| e.as_any_mut().downcast_mut::<PersonaExt>())
+        .ok_or(Errno::EINVAL)
+}
+
+/// Attaches a persona extension to a thread (done by the Mach-O loader
+/// for foreign threads, and lazily for domestic threads that call
+/// diplomats in the other direction).
+///
+/// # Errors
+///
+/// `ESRCH` for unknown threads.
+pub fn attach_persona_ext(
+    k: &mut Kernel,
+    tid: Tid,
+    initial: Persona,
+    personality: PersonalityId,
+) -> Result<(), Errno> {
+    let ext = PersonaExt::new(initial, personality);
+    let t = k.thread_mut(tid)?;
+    t.personality = personality;
+    t.ext = Some(Box::new(ext));
+    Ok(())
+}
+
+/// The `set_persona` syscall: switches the calling thread's kernel ABI
+/// and TLS-area pointers to the target persona's values. Returns the
+/// previous persona.
+///
+/// # Errors
+///
+/// `EINVAL` if the thread has no state installed for the target persona.
+pub fn set_persona(
+    k: &mut Kernel,
+    tid: Tid,
+    target: Persona,
+) -> Result<Persona, Errno> {
+    // set_persona is a syscall: entry/exit cost plus the switch itself
+    // (swapping the kernel-ABI pointer and the TLS base register).
+    k.charge_cpu(k.profile.syscall_entry_exit_ns);
+    k.charge_cpu(60);
+    set_persona_inner(k, tid, target)
+}
+
+/// A hypothetical optimised persona switch — the paper's other §6.3
+/// future-work item ("reducing the overhead of a diplomatic function
+/// call"): the kernel exposes the persona slot through a vDSO-style page
+/// so the switch avoids the full trap. Used by the ablation harness.
+///
+/// # Errors
+///
+/// `EINVAL` if the thread has no state installed for the target persona.
+pub fn set_persona_vdso(
+    k: &mut Kernel,
+    tid: Tid,
+    target: Persona,
+) -> Result<Persona, Errno> {
+    k.charge_cpu(85);
+    set_persona_inner(k, tid, target)
+}
+
+fn set_persona_inner(
+    k: &mut Kernel,
+    tid: Tid,
+    target: Persona,
+) -> Result<Persona, Errno> {
+    let ext = persona_ext_mut(k, tid)?;
+    let prev = ext.current();
+    if prev == target {
+        return Ok(prev);
+    }
+    let personality = ext
+        .state(target)
+        .ok_or(Errno::EINVAL)?
+        .personality;
+    ext.current = target;
+    ext.switches += 1;
+    k.thread_mut(tid)?.personality = personality;
+    Ok(prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cider_kernel::profile::DeviceProfile;
+
+    fn kernel() -> (Kernel, Tid) {
+        let mut k = Kernel::boot(DeviceProfile::nexus7());
+        let (_, tid) = k.spawn_process();
+        (k, tid)
+    }
+
+    #[test]
+    fn plain_threads_are_domestic() {
+        let (k, tid) = kernel();
+        assert_eq!(persona_of(&k, tid).unwrap(), Persona::Domestic);
+    }
+
+    #[test]
+    fn attach_and_switch() {
+        let (mut k, tid) = kernel();
+        attach_persona_ext(&mut k, tid, Persona::Foreign, 1).unwrap();
+        assert_eq!(persona_of(&k, tid).unwrap(), Persona::Foreign);
+        // No domestic state yet.
+        assert_eq!(
+            set_persona(&mut k, tid, Persona::Domestic),
+            Err(Errno::EINVAL)
+        );
+        persona_ext_mut(&mut k, tid)
+            .unwrap()
+            .install(Persona::Domestic, 0);
+        let prev = set_persona(&mut k, tid, Persona::Domestic).unwrap();
+        assert_eq!(prev, Persona::Foreign);
+        assert_eq!(persona_of(&k, tid).unwrap(), Persona::Domestic);
+        assert_eq!(k.thread(tid).unwrap().personality, 0);
+    }
+
+    #[test]
+    fn switch_to_same_persona_is_noop() {
+        let (mut k, tid) = kernel();
+        attach_persona_ext(&mut k, tid, Persona::Foreign, 1).unwrap();
+        set_persona(&mut k, tid, Persona::Foreign).unwrap();
+        assert_eq!(persona_ext_mut(&mut k, tid).unwrap().switches, 0);
+    }
+
+    #[test]
+    fn personas_inherited_on_fork() {
+        let (mut k, tid) = kernel();
+        attach_persona_ext(&mut k, tid, Persona::Foreign, 1).unwrap();
+        let (_, child_tid) = k.sys_fork(tid).unwrap();
+        assert_eq!(persona_of(&k, child_tid).unwrap(), Persona::Foreign);
+    }
+
+    #[test]
+    fn personas_inherited_on_clone() {
+        let (mut k, tid) = kernel();
+        attach_persona_ext(&mut k, tid, Persona::Foreign, 1).unwrap();
+        let t2 = k.spawn_thread(tid).unwrap();
+        assert_eq!(persona_of(&k, t2).unwrap(), Persona::Foreign);
+    }
+
+    #[test]
+    fn tls_areas_are_per_persona() {
+        let (mut k, tid) = kernel();
+        attach_persona_ext(&mut k, tid, Persona::Foreign, 1).unwrap();
+        let ext = persona_ext_mut(&mut k, tid).unwrap();
+        ext.install(Persona::Domestic, 0);
+        ext.tls_mut().set_errno_raw(35);
+        assert_eq!(ext.tls().errno_raw(), 35);
+        assert_eq!(
+            ext.state(Persona::Domestic).unwrap().tls.errno_raw(),
+            0
+        );
+        assert_ne!(
+            ext.state(Persona::Domestic).unwrap().tls.layout(),
+            ext.state(Persona::Foreign).unwrap().tls.layout()
+        );
+    }
+
+    #[test]
+    fn multiple_threads_can_hold_different_personas() {
+        // "a single app can simultaneously execute both foreign and
+        // domestic code in multiple threads" (§4.3).
+        let (mut k, tid) = kernel();
+        attach_persona_ext(&mut k, tid, Persona::Foreign, 1).unwrap();
+        persona_ext_mut(&mut k, tid)
+            .unwrap()
+            .install(Persona::Domestic, 0);
+        let t2 = k.spawn_thread(tid).unwrap();
+        set_persona(&mut k, t2, Persona::Domestic).unwrap();
+        assert_eq!(persona_of(&k, tid).unwrap(), Persona::Foreign);
+        assert_eq!(persona_of(&k, t2).unwrap(), Persona::Domestic);
+    }
+}

@@ -1,0 +1,539 @@
+//! The background user-level services iOS apps require: `launchd` (the
+//! bootstrap server), `notifyd` (asynchronous notifications), and
+//! `configd` (system configuration) — "background user-level services
+//! such as launchd, configd, and notifyd were copied from an iOS device"
+//! (paper §3). Here they are small message-driven daemons speaking real
+//! Mach IPC through the duct-taped subsystem.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use cider_abi::ids::{Pid, PortName, Tid};
+use cider_kernel::kernel::Kernel;
+use cider_xnu::ipc::{PortDescriptor, PortDisposition, UserMessage};
+use cider_xnu::kern_return::{KernResult, KernReturn};
+
+use crate::state::with_state;
+
+/// Message ids of the service protocols.
+pub mod msg_ids {
+    /// bootstrap_register: body = service name, ports\[0\] = service port.
+    pub const BOOTSTRAP_REGISTER: i32 = 400;
+    /// bootstrap_look_up: body = service name, reply expected.
+    pub const BOOTSTRAP_LOOKUP: i32 = 404;
+    /// look-up reply carrying the service port.
+    pub const BOOTSTRAP_LOOKUP_REPLY: i32 = 405;
+    /// look-up failure reply.
+    pub const BOOTSTRAP_UNKNOWN: i32 = 406;
+    /// notifyd: register interest, body = name, ports\[0\] = delivery port.
+    pub const NOTIFY_REGISTER: i32 = 500;
+    /// notifyd: post, body = name.
+    pub const NOTIFY_POST: i32 = 501;
+    /// notifyd: delivery to registered clients, body = name.
+    pub const NOTIFY_DELIVER: i32 = 502;
+    /// configd: set, body = "key=value".
+    pub const CONFIG_SET: i32 = 600;
+    /// configd: get, body = key, reply expected.
+    pub const CONFIG_GET: i32 = 601;
+    /// configd: get reply, body = value.
+    pub const CONFIG_REPLY: i32 = 602;
+    /// configd: key not found.
+    pub const CONFIG_UNKNOWN: i32 = 603;
+}
+
+/// launchd's service-name registry, living in kernel-resident Cider
+/// state so the Mach layer can reach it.
+#[derive(Debug, Default)]
+pub struct BootstrapRegistry {
+    /// launchd's IPC space.
+    pub launchd_space: Option<cider_xnu::ipc::SpaceId>,
+    names: BTreeMap<String, PortName>,
+}
+
+impl BootstrapRegistry {
+    /// Empty registry.
+    pub fn new() -> BootstrapRegistry {
+        BootstrapRegistry::default()
+    }
+
+    /// Records a service's port (a send right held in launchd's space).
+    pub fn register(&mut self, name: impl Into<String>, port: PortName) {
+        self.names.insert(name.into(), port);
+    }
+
+    /// Looks up a service's port name in launchd's space.
+    pub fn lookup(&self, name: &str) -> Option<PortName> {
+        self.names.get(name).copied()
+    }
+
+    /// Registered service names.
+    pub fn service_names(&self) -> Vec<&str> {
+        self.names.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+/// One daemon's identity.
+#[derive(Debug, Clone, Copy)]
+pub struct Daemon {
+    /// Process id.
+    pub pid: Pid,
+    /// Main thread.
+    pub tid: Tid,
+    /// Receive port (in the daemon's own space).
+    pub port: PortName,
+}
+
+/// The three service daemons plus their user-space state.
+#[derive(Debug)]
+pub struct Services {
+    /// The bootstrap server.
+    pub launchd: Daemon,
+    /// The notification server.
+    pub notifyd: Daemon,
+    /// The configuration server.
+    pub configd: Daemon,
+    /// notifyd's registrations: name → delivery ports (send rights in
+    /// notifyd's space).
+    notify_regs: BTreeMap<String, Vec<PortName>>,
+    /// configd's store.
+    config_store: BTreeMap<String, String>,
+    /// Messages processed across all daemons.
+    pub processed: u64,
+}
+
+fn spawn_daemon(k: &mut Kernel, name: &str) -> Daemon {
+    let (pid, tid) = k.spawn_process();
+    k.process_mut(pid).expect("just spawned").program.path =
+        format!("/usr/libexec/{name}");
+    let port = with_state(k, |k2, st| {
+        let p = st.port_allocate_for(k2, tid, pid).expect("fresh space");
+        let space = st.task_space(pid);
+        // Daemons serve many clients; raise the queue limit.
+        st.machipc
+            .set_qlimit(space, p, cider_xnu::ipc::port::QLIMIT_MAX)
+            .expect("receive right");
+        p
+    });
+    Daemon { pid, tid, port }
+}
+
+impl Services {
+    /// Boots the three daemons: spawns their processes, allocates their
+    /// receive ports, and registers notifyd/configd with launchd.
+    pub fn boot(k: &mut Kernel) -> Services {
+        let launchd = spawn_daemon(k, "launchd");
+        let notifyd = spawn_daemon(k, "notifyd");
+        let configd = spawn_daemon(k, "configd");
+
+        with_state(k, |_, st| {
+            let launchd_space = st.task_space(launchd.pid);
+            st.bootstrap.launchd_space = Some(launchd_space);
+            for (name, d) in [
+                ("com.apple.system.notification_center", notifyd),
+                ("com.apple.SystemConfiguration.configd", configd),
+            ] {
+                let dspace = st.task_space(d.pid);
+                let send = st
+                    .machipc
+                    .make_send(dspace, d.port)
+                    .expect("service port");
+                let in_launchd = st
+                    .machipc
+                    .copy_send_to_space(dspace, send, launchd_space)
+                    .expect("copy to launchd");
+                st.bootstrap.register(name, in_launchd);
+            }
+        });
+
+        Services {
+            launchd,
+            notifyd,
+            configd,
+            notify_regs: BTreeMap::new(),
+            config_store: BTreeMap::new(),
+            processed: 0,
+        }
+    }
+
+    /// Gives a client task a send right to launchd's bootstrap port
+    /// (every task receives one at creation on real iOS).
+    ///
+    /// # Errors
+    ///
+    /// Mach codes from the IPC subsystem.
+    pub fn bootstrap_port_for(
+        &self,
+        k: &mut Kernel,
+        pid: Pid,
+    ) -> KernResult<PortName> {
+        let launchd = self.launchd;
+        with_state(k, |_, st| {
+            let lspace = st.task_space(launchd.pid);
+            let send = st.machipc.make_send(lspace, launchd.port)?;
+            let cspace = st.task_space(pid);
+            let name =
+                st.machipc.copy_send_to_space(lspace, send, cspace)?;
+            Ok(name)
+        })
+    }
+
+    /// Runs every daemon's message loop until all queues drain; returns
+    /// the number of messages processed.
+    pub fn run_pending(&mut self, k: &mut Kernel) -> usize {
+        let mut total = 0;
+        loop {
+            let n = self.step_launchd(k)
+                + self.step_notifyd(k)
+                + self.step_configd(k);
+            if n == 0 {
+                return total;
+            }
+            total += n;
+            self.processed += n as u64;
+        }
+    }
+
+    fn step_launchd(&mut self, k: &mut Kernel) -> usize {
+        let d = self.launchd;
+        let mut n = 0;
+        loop {
+            let msg = with_state(k, |k2, st| {
+                st.msg_receive_for(k2, d.tid, d.pid, d.port)
+            });
+            let Ok(msg) = msg else { return n };
+            n += 1;
+            let name = String::from_utf8_lossy(&msg.body).to_string();
+            match msg.msg_id {
+                msg_ids::BOOTSTRAP_REGISTER => {
+                    if let Some(&port) = msg.ports.first() {
+                        with_state(k, |_, st| {
+                            st.bootstrap.register(name.clone(), port);
+                        });
+                    }
+                }
+                msg_ids::BOOTSTRAP_LOOKUP => {
+                    if !msg.reply_port.is_valid() {
+                        continue;
+                    }
+                    let found = with_state(k, |_, st| {
+                        st.bootstrap.lookup(&name)
+                    });
+                    let reply = match found {
+                        Some(service_port) => UserMessage {
+                            remote_port: msg.reply_port,
+                            remote_disposition:
+                                PortDisposition::MoveSendOnce,
+                            local_port: PortName::NULL,
+                            local_disposition:
+                                PortDisposition::MakeSendOnce,
+                            msg_id: msg_ids::BOOTSTRAP_LOOKUP_REPLY,
+                            body: Bytes::new(),
+                            ports: vec![PortDescriptor {
+                                name: service_port,
+                                disposition: PortDisposition::CopySend,
+                            }],
+                            ool: Vec::new(),
+                        },
+                        None => {
+                            let mut m = UserMessage::simple(
+                                msg.reply_port,
+                                msg_ids::BOOTSTRAP_UNKNOWN,
+                                Bytes::new(),
+                            );
+                            m.remote_disposition =
+                                PortDisposition::MoveSendOnce;
+                            m
+                        }
+                    };
+                    let _ = with_state(k, |k2, st| {
+                        st.msg_send_for(k2, d.tid, d.pid, reply)
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn step_notifyd(&mut self, k: &mut Kernel) -> usize {
+        let d = self.notifyd;
+        let mut n = 0;
+        loop {
+            let msg = with_state(k, |k2, st| {
+                st.msg_receive_for(k2, d.tid, d.pid, d.port)
+            });
+            let Ok(msg) = msg else { return n };
+            n += 1;
+            let name = String::from_utf8_lossy(&msg.body).to_string();
+            match msg.msg_id {
+                msg_ids::NOTIFY_REGISTER => {
+                    if let Some(&port) = msg.ports.first() {
+                        self.notify_regs.entry(name).or_default().push(port);
+                    }
+                }
+                msg_ids::NOTIFY_POST => {
+                    let targets = self
+                        .notify_regs
+                        .get(&name)
+                        .cloned()
+                        .unwrap_or_default();
+                    for t in targets {
+                        let deliver = UserMessage::simple(
+                            t,
+                            msg_ids::NOTIFY_DELIVER,
+                            Bytes::from(name.clone().into_bytes()),
+                        );
+                        let _ = with_state(k, |k2, st| {
+                            st.msg_send_for(k2, d.tid, d.pid, deliver)
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn step_configd(&mut self, k: &mut Kernel) -> usize {
+        let d = self.configd;
+        let mut n = 0;
+        loop {
+            let msg = with_state(k, |k2, st| {
+                st.msg_receive_for(k2, d.tid, d.pid, d.port)
+            });
+            let Ok(msg) = msg else { return n };
+            n += 1;
+            let body = String::from_utf8_lossy(&msg.body).to_string();
+            match msg.msg_id {
+                msg_ids::CONFIG_SET => {
+                    if let Some((key, value)) = body.split_once('=') {
+                        self.config_store
+                            .insert(key.to_string(), value.to_string());
+                    }
+                }
+                msg_ids::CONFIG_GET => {
+                    if !msg.reply_port.is_valid() {
+                        continue;
+                    }
+                    let reply = match self.config_store.get(&body) {
+                        Some(v) => {
+                            let mut m = UserMessage::simple(
+                                msg.reply_port,
+                                msg_ids::CONFIG_REPLY,
+                                Bytes::from(v.clone().into_bytes()),
+                            );
+                            m.remote_disposition =
+                                PortDisposition::MoveSendOnce;
+                            m
+                        }
+                        None => {
+                            let mut m = UserMessage::simple(
+                                msg.reply_port,
+                                msg_ids::CONFIG_UNKNOWN,
+                                Bytes::new(),
+                            );
+                            m.remote_disposition =
+                                PortDisposition::MoveSendOnce;
+                            m
+                        }
+                    };
+                    let _ = with_state(k, |k2, st| {
+                        st.msg_send_for(k2, d.tid, d.pid, reply)
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// configd's current value for a key (observability for tests).
+    pub fn config_value(&self, key: &str) -> Option<&str> {
+        self.config_store.get(key).map(|s| s.as_str())
+    }
+}
+
+/// Client-side helper: performs a `bootstrap_look_up` round trip and
+/// returns the service port name in the client's space.
+///
+/// # Errors
+///
+/// `KernReturn::InvalidName` when the service is unknown; Mach codes
+/// otherwise.
+pub fn bootstrap_look_up(
+    k: &mut Kernel,
+    services: &mut Services,
+    client_pid: Pid,
+    client_tid: Tid,
+    bootstrap_port: PortName,
+    name: &str,
+) -> KernResult<PortName> {
+    // Allocate a reply port and send the lookup.
+    let reply_port = with_state(k, |k2, st| {
+        st.port_allocate_for(k2, client_tid, client_pid)
+    })?;
+    let mut msg = UserMessage::simple(
+        bootstrap_port,
+        msg_ids::BOOTSTRAP_LOOKUP,
+        Bytes::from(name.as_bytes().to_vec()),
+    );
+    msg.local_port = reply_port;
+    with_state(k, |k2, st| {
+        st.msg_send_for(k2, client_tid, client_pid, msg)
+    })?;
+    services.run_pending(k);
+    let reply = with_state(k, |k2, st| {
+        st.msg_receive_for(k2, client_tid, client_pid, reply_port)
+    })?;
+    match reply.msg_id {
+        msg_ids::BOOTSTRAP_LOOKUP_REPLY => reply
+            .ports
+            .first()
+            .copied()
+            .ok_or(KernReturn::InvalidName),
+        _ => Err(KernReturn::InvalidName),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::CiderState;
+    use cider_kernel::profile::DeviceProfile;
+
+    fn setup() -> (Kernel, Services, Pid, Tid, PortName) {
+        let mut k = Kernel::boot(DeviceProfile::nexus7());
+        k.extensions.insert(CiderState::new());
+        let services = Services::boot(&mut k);
+        let (pid, tid) = k.spawn_process();
+        let bp = services.bootstrap_port_for(&mut k, pid).unwrap();
+        (k, services, pid, tid, bp)
+    }
+
+    #[test]
+    fn daemons_boot_with_registered_services() {
+        let (mut k, services, ..) = setup();
+        with_state(&mut k, |_, st| {
+            assert!(st
+                .bootstrap
+                .lookup("com.apple.system.notification_center")
+                .is_some());
+            assert!(st
+                .bootstrap
+                .lookup("com.apple.SystemConfiguration.configd")
+                .is_some());
+        });
+        assert_ne!(services.launchd.pid, services.notifyd.pid);
+    }
+
+    #[test]
+    fn bootstrap_lookup_roundtrip() {
+        let (mut k, mut services, pid, tid, bp) = setup();
+        let port = bootstrap_look_up(
+            &mut k,
+            &mut services,
+            pid,
+            tid,
+            bp,
+            "com.apple.system.notification_center",
+        )
+        .unwrap();
+        assert!(port.is_valid());
+        assert_eq!(
+            bootstrap_look_up(&mut k, &mut services, pid, tid, bp, "nope")
+                .unwrap_err(),
+            KernReturn::InvalidName
+        );
+        with_state(&mut k, |_, st| st.machipc.check_invariants());
+    }
+
+    #[test]
+    fn notify_register_and_post() {
+        let (mut k, mut services, pid, tid, bp) = setup();
+        let notify_port = bootstrap_look_up(
+            &mut k,
+            &mut services,
+            pid,
+            tid,
+            bp,
+            "com.apple.system.notification_center",
+        )
+        .unwrap();
+        // Create a delivery port and register interest.
+        let delivery = with_state(&mut k, |k2, st| {
+            st.port_allocate_for(k2, tid, pid).unwrap()
+        });
+        let mut reg = UserMessage::simple(
+            notify_port,
+            msg_ids::NOTIFY_REGISTER,
+            Bytes::from(&b"com.example.event"[..]),
+        );
+        reg.ports.push(PortDescriptor {
+            name: delivery,
+            disposition: PortDisposition::MakeSend,
+        });
+        with_state(&mut k, |k2, st| {
+            st.msg_send_for(k2, tid, pid, reg).unwrap()
+        });
+        services.run_pending(&mut k);
+
+        // Post the event.
+        let post = UserMessage::simple(
+            notify_port,
+            msg_ids::NOTIFY_POST,
+            Bytes::from(&b"com.example.event"[..]),
+        );
+        with_state(&mut k, |k2, st| {
+            st.msg_send_for(k2, tid, pid, post).unwrap()
+        });
+        services.run_pending(&mut k);
+
+        let got = with_state(&mut k, |k2, st| {
+            st.msg_receive_for(k2, tid, pid, delivery).unwrap()
+        });
+        assert_eq!(got.msg_id, msg_ids::NOTIFY_DELIVER);
+        assert_eq!(&got.body[..], b"com.example.event");
+        with_state(&mut k, |_, st| st.machipc.check_invariants());
+    }
+
+    #[test]
+    fn configd_set_and_get() {
+        let (mut k, mut services, pid, tid, bp) = setup();
+        let configd = bootstrap_look_up(
+            &mut k,
+            &mut services,
+            pid,
+            tid,
+            bp,
+            "com.apple.SystemConfiguration.configd",
+        )
+        .unwrap();
+        let set = UserMessage::simple(
+            configd,
+            msg_ids::CONFIG_SET,
+            Bytes::from(&b"locale=en_US"[..]),
+        );
+        with_state(&mut k, |k2, st| {
+            st.msg_send_for(k2, tid, pid, set).unwrap()
+        });
+        services.run_pending(&mut k);
+        assert_eq!(services.config_value("locale"), Some("en_US"));
+
+        // Query it back over IPC.
+        let reply_port = with_state(&mut k, |k2, st| {
+            st.port_allocate_for(k2, tid, pid).unwrap()
+        });
+        let mut get = UserMessage::simple(
+            configd,
+            msg_ids::CONFIG_GET,
+            Bytes::from(&b"locale"[..]),
+        );
+        get.local_port = reply_port;
+        with_state(&mut k, |k2, st| {
+            st.msg_send_for(k2, tid, pid, get).unwrap()
+        });
+        services.run_pending(&mut k);
+        let reply = with_state(&mut k, |k2, st| {
+            st.msg_receive_for(k2, tid, pid, reply_port).unwrap()
+        });
+        assert_eq!(reply.msg_id, msg_ids::CONFIG_REPLY);
+        assert_eq!(&reply.body[..], b"en_US");
+    }
+}

@@ -1,0 +1,501 @@
+//! The Cider state compiled into the domestic kernel: the duct-taped
+//! foreign subsystems plus per-task Mach bookkeeping.
+//!
+//! Stored in the kernel's typed extension slot so that trap handlers —
+//! which only receive `&mut Kernel` — can reach Mach IPC, psynch, and
+//! I/O Kit, exactly as the duct-taped subsystems are reachable from any
+//! syscall in the paper's kernel.
+
+use std::collections::BTreeMap;
+
+use cider_abi::ids::{Pid, PortName, Tid};
+use cider_ducttape::adapter::{DuctTape, DuctTapeState};
+use cider_ducttape::cxx::CxxRuntime;
+use cider_kernel::kernel::Kernel;
+use cider_xnu::iokit::IoKit;
+use cider_xnu::ipc::{
+    KernelObject, MachIpc, ReceivedMessage, SpaceId, UserMessage,
+};
+use cider_xnu::kern_return::KernResult;
+use cider_xnu::psynch::{PsynchOutcome, PsynchState};
+
+use crate::services::BootstrapRegistry;
+
+/// All Cider kernel-resident state.
+pub struct CiderState {
+    /// Duct-tape bookkeeping (zones, symbol table, translation stats).
+    pub ducttape: DuctTapeState,
+    /// The duct-taped Mach IPC subsystem.
+    pub machipc: MachIpc,
+    /// The duct-taped pthread kernel support.
+    pub psynch: PsynchState,
+    /// The duct-taped I/O Kit.
+    pub iokit: IoKit,
+    /// The C++ runtime / obj-y list.
+    pub cxx: CxxRuntime,
+    /// Per-process IPC spaces.
+    task_spaces: BTreeMap<u32, SpaceId>,
+    /// Per-process task-self port names.
+    task_self_ports: BTreeMap<u32, PortName>,
+    /// launchd's service registry.
+    pub bootstrap: BootstrapRegistry,
+}
+
+impl std::fmt::Debug for CiderState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CiderState")
+            .field("machipc", &self.machipc)
+            .field("iokit", &self.iokit)
+            .field("task_spaces", &self.task_spaces.len())
+            .finish()
+    }
+}
+
+impl CiderState {
+    /// Fresh state with unbootstrapped subsystems (bootstrap happens in
+    /// `CiderSystem::new` where a duct-tape adapter is available).
+    pub fn new() -> CiderState {
+        CiderState {
+            ducttape: DuctTapeState::new(),
+            machipc: MachIpc::new(),
+            psynch: PsynchState::new(),
+            iokit: IoKit::new(),
+            cxx: CxxRuntime::new(),
+            task_spaces: BTreeMap::new(),
+            task_self_ports: BTreeMap::new(),
+            bootstrap: BootstrapRegistry::new(),
+        }
+    }
+
+    /// The IPC space of a process, creating it on first use (Mach task
+    /// initialisation).
+    pub fn task_space(&mut self, pid: Pid) -> SpaceId {
+        if let Some(&s) = self.task_spaces.get(&pid.as_raw()) {
+            return s;
+        }
+        let s = self.machipc.create_space();
+        self.task_spaces.insert(pid.as_raw(), s);
+        s
+    }
+
+    /// Whether a process already has an IPC space.
+    pub fn has_task_space(&self, pid: Pid) -> bool {
+        self.task_spaces.contains_key(&pid.as_raw())
+    }
+
+    /// Forgets a process's space mapping (after space destruction).
+    pub fn drop_task_space(&mut self, pid: Pid) {
+        self.task_spaces.remove(&pid.as_raw());
+        self.task_self_ports.remove(&pid.as_raw());
+    }
+
+    /// The task-self port of a process, allocating it (bound to a
+    /// `Task` kernel object) on first use.
+    pub fn task_self_port(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        pid: Pid,
+    ) -> PortName {
+        if let Some(&p) = self.task_self_ports.get(&pid.as_raw()) {
+            return p;
+        }
+        let space = self.task_space(pid);
+        let CiderState {
+            ducttape,
+            machipc,
+            task_self_ports,
+            ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        let name = machipc
+            .port_allocate(&mut api, space)
+            .expect("space exists");
+        machipc
+            .set_kobject(space, name, KernelObject::Task(pid.as_raw() as u64))
+            .expect("just allocated");
+        task_self_ports.insert(pid.as_raw(), name);
+        name
+    }
+
+    // ------------------------------------------------------------------
+    // Per-task Mach IPC conveniences (handle the split borrows once).
+    // ------------------------------------------------------------------
+
+    /// `mach_port_allocate` in a process's space.
+    ///
+    /// # Errors
+    ///
+    /// Mach codes from the IPC subsystem.
+    pub fn port_allocate_for(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        pid: Pid,
+    ) -> KernResult<PortName> {
+        let space = self.task_space(pid);
+        let CiderState {
+            ducttape, machipc, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        machipc.port_allocate(&mut api, space)
+    }
+
+    /// `mach_port_deallocate` in a process's space.
+    ///
+    /// # Errors
+    ///
+    /// Mach codes from the IPC subsystem.
+    pub fn port_deallocate_for(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        pid: Pid,
+        name: PortName,
+    ) -> KernResult<()> {
+        let space = self.task_space(pid);
+        let CiderState {
+            ducttape, machipc, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        machipc.port_deallocate(&mut api, space, name)
+    }
+
+    /// `mach_msg` send half for a process.
+    ///
+    /// # Errors
+    ///
+    /// Mach codes from the IPC subsystem.
+    pub fn msg_send_for(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        pid: Pid,
+        msg: UserMessage,
+    ) -> KernResult<()> {
+        let space = self.task_space(pid);
+        let CiderState {
+            ducttape, machipc, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        machipc.msg_send(&mut api, space, msg)
+    }
+
+    /// `mach_msg` receive half for a process.
+    ///
+    /// # Errors
+    ///
+    /// Mach codes from the IPC subsystem (`RcvTimedOut` when empty).
+    pub fn msg_receive_for(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        pid: Pid,
+        name: PortName,
+    ) -> KernResult<ReceivedMessage> {
+        let space = self.task_space(pid);
+        let CiderState {
+            ducttape, machipc, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        machipc.msg_receive(&mut api, space, name)
+    }
+
+    /// `mach_port_deallocate` in an explicit space (used by daemons
+    /// operating on behalf of other tasks).
+    ///
+    /// # Errors
+    ///
+    /// Mach codes from the IPC subsystem.
+    pub fn port_deallocate_in_space(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        space: SpaceId,
+        name: PortName,
+    ) -> KernResult<()> {
+        let CiderState {
+            ducttape, machipc, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        machipc.port_deallocate(&mut api, space, name)
+    }
+
+    /// `mach_msg` send from an explicit space.
+    ///
+    /// # Errors
+    ///
+    /// Mach codes from the IPC subsystem.
+    pub fn msg_send_in_space(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        space: SpaceId,
+        msg: UserMessage,
+    ) -> KernResult<()> {
+        let CiderState {
+            ducttape, machipc, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        machipc.msg_send(&mut api, space, msg)
+    }
+
+    /// `mach_msg` receive from an explicit space.
+    ///
+    /// # Errors
+    ///
+    /// Mach codes from the IPC subsystem.
+    pub fn msg_receive_in_space(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        space: SpaceId,
+        name: PortName,
+    ) -> KernResult<ReceivedMessage> {
+        let CiderState {
+            ducttape, machipc, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        machipc.msg_receive(&mut api, space, name)
+    }
+
+    /// Destroys a process's IPC space (task teardown at exit).
+    pub fn destroy_task_space(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        pid: Pid,
+    ) {
+        if !self.has_task_space(pid) {
+            return;
+        }
+        let space = self.task_space(pid);
+        {
+            let CiderState {
+                ducttape, machipc, ..
+            } = self;
+            let mut api = DuctTape::new(k, ducttape, tid);
+            let _ = machipc.destroy_space(&mut api, space);
+        }
+        self.drop_task_space(pid);
+    }
+
+    // ------------------------------------------------------------------
+    // psynch conveniences.
+    // ------------------------------------------------------------------
+
+    /// `psynch_mutexwait`.
+    pub fn psynch_mutexwait(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        addr: u64,
+    ) -> PsynchOutcome {
+        let CiderState {
+            ducttape, psynch, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        psynch.mutexwait(&mut api, addr)
+    }
+
+    /// `psynch_mutexdrop`.
+    ///
+    /// # Errors
+    ///
+    /// Mach codes from psynch.
+    pub fn psynch_mutexdrop(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        addr: u64,
+    ) -> KernResult<()> {
+        let CiderState {
+            ducttape, psynch, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        psynch.mutexdrop(&mut api, addr)
+    }
+
+    /// `psynch_cvwait`.
+    ///
+    /// # Errors
+    ///
+    /// Mach codes from psynch.
+    pub fn psynch_cvwait(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        cv: u64,
+        mutex: u64,
+    ) -> KernResult<PsynchOutcome> {
+        let CiderState {
+            ducttape, psynch, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        psynch.cvwait(&mut api, cv, mutex)
+    }
+
+    /// `psynch_cvsignal`; returns whether a waiter was woken.
+    pub fn psynch_cvsignal(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        cv: u64,
+    ) -> bool {
+        let CiderState {
+            ducttape, psynch, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        psynch.cvsignal(&mut api, cv).is_some()
+    }
+
+    /// `psynch_cvbroad`; returns how many waiters were woken.
+    pub fn psynch_cvbroadcast(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        cv: u64,
+    ) -> usize {
+        let CiderState {
+            ducttape, psynch, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        psynch.cvbroadcast(&mut api, cv)
+    }
+
+    /// `semaphore_signal_trap` (creating the semaphore lazily).
+    ///
+    /// # Errors
+    ///
+    /// Mach codes from psynch.
+    pub fn semaphore_signal(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        addr: u64,
+    ) -> KernResult<()> {
+        let CiderState {
+            ducttape, psynch, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        if psynch.semaphore_count(addr).is_none() {
+            psynch.semaphore_create(addr, 0);
+        }
+        psynch.semaphore_signal(&mut api, addr)
+    }
+
+    /// `semaphore_wait_trap` (creating the semaphore lazily).
+    ///
+    /// # Errors
+    ///
+    /// Mach codes from psynch.
+    pub fn semaphore_wait(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        addr: u64,
+    ) -> KernResult<PsynchOutcome> {
+        let CiderState {
+            ducttape, psynch, ..
+        } = self;
+        let mut api = DuctTape::new(k, ducttape, tid);
+        if psynch.semaphore_count(addr).is_none() {
+            psynch.semaphore_create(addr, 0);
+        }
+        psynch.semaphore_wait(&mut api, addr)
+    }
+}
+
+impl Default for CiderState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs `f` with the Cider state taken out of the kernel's extension
+/// slot, so both can be borrowed mutably, and puts it back afterwards.
+///
+/// # Panics
+///
+/// Panics if the Cider extension is not installed (the kernel is not a
+/// Cider kernel).
+pub fn with_state<R>(
+    k: &mut Kernel,
+    f: impl FnOnce(&mut Kernel, &mut CiderState) -> R,
+) -> R {
+    let mut st = k
+        .extensions
+        .take::<CiderState>()
+        .expect("CiderState installed on this kernel");
+    let r = f(k, &mut st);
+    k.extensions.insert(st);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cider_kernel::profile::DeviceProfile;
+    use cider_xnu::ipc::UserMessage;
+
+    fn setup() -> (Kernel, Pid, Tid) {
+        let mut k = Kernel::boot(DeviceProfile::nexus7());
+        k.extensions.insert(CiderState::new());
+        let (pid, tid) = k.spawn_process();
+        (k, pid, tid)
+    }
+
+    #[test]
+    fn task_space_is_stable() {
+        let (mut k, pid, _) = setup();
+        let s1 = with_state(&mut k, |_, st| st.task_space(pid));
+        let s2 = with_state(&mut k, |_, st| st.task_space(pid));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn task_self_port_is_task_bound_and_cached() {
+        let (mut k, pid, tid) = setup();
+        let (p1, p2, ko) = with_state(&mut k, |k, st| {
+            let p1 = st.task_self_port(k, tid, pid);
+            let p2 = st.task_self_port(k, tid, pid);
+            let space = st.task_space(pid);
+            let ko = st.machipc.kobject_of(space, p1).unwrap();
+            (p1, p2, ko)
+        });
+        assert_eq!(p1, p2);
+        assert_eq!(ko, KernelObject::Task(pid.as_raw() as u64));
+    }
+
+    #[test]
+    fn per_task_send_receive() {
+        let (mut k, pid, tid) = setup();
+        with_state(&mut k, |k, st| {
+            let port = st.port_allocate_for(k, tid, pid).unwrap();
+            let space = st.task_space(pid);
+            let send = st.machipc.make_send(space, port).unwrap();
+            st.msg_send_for(
+                k,
+                tid,
+                pid,
+                UserMessage::simple(send, 3, &b"abc"[..]),
+            )
+            .unwrap();
+            let got = st.msg_receive_for(k, tid, pid, port).unwrap();
+            assert_eq!(got.msg_id, 3);
+            st.machipc.check_invariants();
+        });
+    }
+
+    #[test]
+    fn destroy_task_space_cleans_up() {
+        let (mut k, pid, tid) = setup();
+        with_state(&mut k, |k, st| {
+            st.port_allocate_for(k, tid, pid).unwrap();
+            assert_eq!(st.machipc.live_ports(), 1);
+            st.destroy_task_space(k, tid, pid);
+            assert_eq!(st.machipc.live_ports(), 0);
+            assert!(!st.has_task_space(pid));
+        });
+    }
+}

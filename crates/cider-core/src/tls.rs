@@ -1,0 +1,178 @@
+//! Per-persona thread-local storage areas.
+//!
+//! "The TLS area contains per-thread state such as errno and a thread's
+//! ID. ... Different personas use different TLS organizations, e.g., the
+//! errno pointer is at a different location in the iOS TLS than in the
+//! Android TLS" (paper §4.3). Diplomatic functions convert values such as
+//! errno between the two areas around every cross-persona call.
+
+use cider_abi::errno::{Errno, XnuErrno};
+use cider_abi::persona::Persona;
+
+/// Layout of a persona's TLS area — where the well-known slots live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlsLayout {
+    /// Byte offset of the errno slot.
+    pub errno_offset: usize,
+    /// Byte offset of the thread-id slot.
+    pub tid_offset: usize,
+    /// Total area size.
+    pub size: usize,
+}
+
+impl TlsLayout {
+    /// Android Bionic's layout: small area, errno early.
+    pub const ANDROID: TlsLayout = TlsLayout {
+        errno_offset: 8,
+        tid_offset: 16,
+        size: 64,
+    };
+
+    /// iOS libSystem's layout: `_pthread_self` header first, errno
+    /// later, larger area.
+    pub const IOS: TlsLayout = TlsLayout {
+        errno_offset: 72,
+        tid_offset: 24,
+        size: 256,
+    };
+
+    /// The layout a persona's libraries expect.
+    pub fn for_persona(p: Persona) -> TlsLayout {
+        match p {
+            Persona::Domestic => TlsLayout::ANDROID,
+            Persona::Foreign => TlsLayout::IOS,
+        }
+    }
+}
+
+/// One thread's TLS area for one persona.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlsArea {
+    layout: TlsLayout,
+    bytes: Vec<u8>,
+}
+
+impl TlsArea {
+    /// Allocates a zeroed area with the given layout.
+    pub fn new(layout: TlsLayout) -> TlsArea {
+        TlsArea {
+            layout,
+            bytes: vec![0; layout.size],
+        }
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> TlsLayout {
+        self.layout
+    }
+
+    fn read_i32(&self, off: usize) -> i32 {
+        i32::from_le_bytes(
+            self.bytes[off..off + 4].try_into().expect("in bounds"),
+        )
+    }
+
+    fn write_i32(&mut self, off: usize, v: i32) {
+        self.bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Raw errno value stored in the area (persona-local numbering).
+    pub fn errno_raw(&self) -> i32 {
+        self.read_i32(self.layout.errno_offset)
+    }
+
+    /// Stores a raw errno value.
+    pub fn set_errno_raw(&mut self, v: i32) {
+        self.write_i32(self.layout.errno_offset, v);
+    }
+
+    /// Thread id slot.
+    pub fn tid(&self) -> i32 {
+        self.read_i32(self.layout.tid_offset)
+    }
+
+    /// Sets the thread id slot.
+    pub fn set_tid(&mut self, tid: i32) {
+        self.write_i32(self.layout.tid_offset, tid);
+    }
+}
+
+/// Converts the errno value from a domestic TLS area into a foreign one
+/// — step 8 of the diplomat arbitration process ("any domestic TLS
+/// values, such as errno, are appropriately converted and updated in the
+/// foreign TLS area").
+pub fn convert_errno_domestic_to_foreign(
+    domestic: &TlsArea,
+    foreign: &mut TlsArea,
+) {
+    let raw = domestic.errno_raw();
+    let converted = match Errno::from_raw(raw) {
+        Some(e) => XnuErrno::from(e).as_raw(),
+        None => raw, // zero or unknown: copied through
+    };
+    foreign.set_errno_raw(converted);
+}
+
+/// The reverse conversion, for domestic code calling foreign functions.
+pub fn convert_errno_foreign_to_domestic(
+    foreign: &TlsArea,
+    domestic: &mut TlsArea,
+) {
+    let raw = foreign.errno_raw();
+    let converted = match XnuErrno::from_raw(raw) {
+        Some(e) => Errno::from(e).as_raw(),
+        None => raw,
+    };
+    domestic.set_errno_raw(converted);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_differ() {
+        assert_ne!(
+            TlsLayout::ANDROID.errno_offset,
+            TlsLayout::IOS.errno_offset
+        );
+        assert_eq!(
+            TlsLayout::for_persona(Persona::Foreign),
+            TlsLayout::IOS
+        );
+    }
+
+    #[test]
+    fn errno_slot_roundtrip() {
+        let mut a = TlsArea::new(TlsLayout::ANDROID);
+        assert_eq!(a.errno_raw(), 0);
+        a.set_errno_raw(11);
+        assert_eq!(a.errno_raw(), 11);
+        a.set_tid(42);
+        assert_eq!(a.tid(), 42);
+        // Slots do not alias.
+        assert_eq!(a.errno_raw(), 11);
+    }
+
+    #[test]
+    fn errno_conversion_renumbers() {
+        let mut dom = TlsArea::new(TlsLayout::ANDROID);
+        let mut forn = TlsArea::new(TlsLayout::IOS);
+        dom.set_errno_raw(Errno::EAGAIN.as_raw()); // 11 on Linux
+        convert_errno_domestic_to_foreign(&dom, &mut forn);
+        assert_eq!(forn.errno_raw(), 35); // EAGAIN on XNU
+
+        forn.set_errno_raw(XnuErrno::EDEADLK.as_raw()); // 11 on XNU
+        convert_errno_foreign_to_domestic(&forn, &mut dom);
+        assert_eq!(dom.errno_raw(), Errno::EDEADLK.as_raw()); // 35
+    }
+
+    #[test]
+    fn zero_errno_passes_through() {
+        let dom = TlsArea::new(TlsLayout::ANDROID);
+        let mut forn = TlsArea::new(TlsLayout::IOS);
+        forn.set_errno_raw(99);
+        convert_errno_domestic_to_foreign(&dom, &mut forn);
+        assert_eq!(forn.errno_raw(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Wire encoding of Mach messages across the user/kernel boundary.
+//!
+//! `mach_msg` takes a message *buffer*; the trap-level interface
+//! therefore serialises [`UserMessage`]s into bytes (what user space
+//! hands the kernel) and [`ReceivedMessage`]s back (what the kernel
+//! writes into the caller's buffer).
+
+use bytes::Bytes;
+use cider_abi::errno::Errno;
+use cider_abi::ids::PortName;
+use cider_xnu::ipc::{
+    PortDescriptor, PortDisposition, ReceivedMessage, UserMessage,
+};
+
+fn disp_to_u8(d: PortDisposition) -> u8 {
+    match d {
+        PortDisposition::MoveReceive => 16,
+        PortDisposition::MoveSend => 17,
+        PortDisposition::MoveSendOnce => 18,
+        PortDisposition::CopySend => 19,
+        PortDisposition::MakeSend => 20,
+        PortDisposition::MakeSendOnce => 21,
+    }
+}
+
+fn disp_from_u8(v: u8) -> Option<PortDisposition> {
+    Some(match v {
+        16 => PortDisposition::MoveReceive,
+        17 => PortDisposition::MoveSend,
+        18 => PortDisposition::MoveSendOnce,
+        19 => PortDisposition::CopySend,
+        20 => PortDisposition::MakeSend,
+        21 => PortDisposition::MakeSendOnce,
+        _ => return None,
+    })
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Errno> {
+        if self.pos + n > self.b.len() {
+            return Err(Errno::EFAULT);
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, Errno> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, Errno> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn i32(&mut self) -> Result<i32, Errno> {
+        Ok(self.u32()? as i32)
+    }
+    fn blob(&mut self) -> Result<Vec<u8>, Errno> {
+        let len = self.u32()? as usize;
+        if len > 16 * 1024 * 1024 {
+            return Err(Errno::EMSGSIZE);
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+/// Encodes a user message into its trap buffer form.
+pub fn encode_user_message(m: &UserMessage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + m.body.len());
+    out.extend_from_slice(&m.remote_port.as_raw().to_le_bytes());
+    out.push(disp_to_u8(m.remote_disposition));
+    out.extend_from_slice(&m.local_port.as_raw().to_le_bytes());
+    out.push(disp_to_u8(m.local_disposition));
+    out.extend_from_slice(&m.msg_id.to_le_bytes());
+    out.extend_from_slice(&(m.body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&m.body);
+    out.extend_from_slice(&(m.ports.len() as u32).to_le_bytes());
+    for p in &m.ports {
+        out.extend_from_slice(&p.name.as_raw().to_le_bytes());
+        out.push(disp_to_u8(p.disposition));
+    }
+    out.extend_from_slice(&(m.ool.len() as u32).to_le_bytes());
+    for o in &m.ool {
+        out.extend_from_slice(&(o.len() as u32).to_le_bytes());
+        out.extend_from_slice(o);
+    }
+    out
+}
+
+/// Decodes a trap buffer back into a user message.
+///
+/// # Errors
+///
+/// `EFAULT` on truncation, `EINVAL` on bad dispositions, `EMSGSIZE` on
+/// absurd lengths.
+pub fn decode_user_message(bytes: &[u8]) -> Result<UserMessage, Errno> {
+    let mut c = Cursor { b: bytes, pos: 0 };
+    let remote_port = PortName(c.u32()?);
+    let remote_disposition = disp_from_u8(c.u8()?).ok_or(Errno::EINVAL)?;
+    let local_port = PortName(c.u32()?);
+    let local_disposition = disp_from_u8(c.u8()?).ok_or(Errno::EINVAL)?;
+    let msg_id = c.i32()?;
+    let body = Bytes::from(c.blob()?);
+    let nports = c.u32()?;
+    if nports > 64 {
+        return Err(Errno::EMSGSIZE);
+    }
+    let mut ports = Vec::with_capacity(nports as usize);
+    for _ in 0..nports {
+        let name = PortName(c.u32()?);
+        let disposition = disp_from_u8(c.u8()?).ok_or(Errno::EINVAL)?;
+        ports.push(PortDescriptor { name, disposition });
+    }
+    let nool = c.u32()?;
+    if nool > 64 {
+        return Err(Errno::EMSGSIZE);
+    }
+    let mut ool = Vec::with_capacity(nool as usize);
+    for _ in 0..nool {
+        ool.push(Bytes::from(c.blob()?));
+    }
+    Ok(UserMessage {
+        remote_port,
+        remote_disposition,
+        local_port,
+        local_disposition,
+        msg_id,
+        body,
+        ports,
+        ool,
+    })
+}
+
+/// Encodes a received message into the caller's buffer form.
+pub fn encode_received_message(m: &ReceivedMessage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + m.body.len());
+    out.extend_from_slice(&m.msg_id.to_le_bytes());
+    out.extend_from_slice(&m.reply_port.as_raw().to_le_bytes());
+    out.extend_from_slice(&(m.body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&m.body);
+    out.extend_from_slice(&(m.ports.len() as u32).to_le_bytes());
+    for p in &m.ports {
+        out.extend_from_slice(&p.as_raw().to_le_bytes());
+    }
+    out.extend_from_slice(&(m.ool.len() as u32).to_le_bytes());
+    for o in &m.ool {
+        out.extend_from_slice(&(o.len() as u32).to_le_bytes());
+        out.extend_from_slice(o);
+    }
+    out
+}
+
+/// Decodes a received-message buffer (used by user-space stand-ins).
+///
+/// # Errors
+///
+/// `EFAULT` on truncation.
+pub fn decode_received_message(
+    bytes: &[u8],
+) -> Result<ReceivedMessage, Errno> {
+    let mut c = Cursor { b: bytes, pos: 0 };
+    let msg_id = c.i32()?;
+    let reply_port = PortName(c.u32()?);
+    let body = Bytes::from(c.blob()?);
+    let nports = c.u32()?;
+    if nports > 64 {
+        return Err(Errno::EMSGSIZE);
+    }
+    let mut ports = Vec::with_capacity(nports as usize);
+    for _ in 0..nports {
+        ports.push(PortName(c.u32()?));
+    }
+    let nool = c.u32()?;
+    if nool > 64 {
+        return Err(Errno::EMSGSIZE);
+    }
+    let mut ool = Vec::with_capacity(nool as usize);
+    for _ in 0..nool {
+        ool.push(Bytes::from(c.blob()?));
+    }
+    Ok(ReceivedMessage {
+        msg_id,
+        body,
+        reply_port,
+        ports,
+        ool,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_message_roundtrip() {
+        let mut m = UserMessage::simple(PortName(0x103), 42, &b"payload"[..]);
+        m.local_port = PortName(0x107);
+        m.ports.push(PortDescriptor {
+            name: PortName(0x10b),
+            disposition: PortDisposition::MakeSend,
+        });
+        m.ool.push(Bytes::from(vec![9u8; 300]));
+        let bytes = encode_user_message(&m);
+        assert_eq!(decode_user_message(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn received_message_roundtrip() {
+        let m = ReceivedMessage {
+            msg_id: -7,
+            body: Bytes::from(&b"resp"[..]),
+            reply_port: PortName(0x203),
+            ports: vec![PortName(0x207), PortName(0x20b)],
+            ool: vec![Bytes::from(&b"ool"[..])],
+        };
+        let bytes = encode_received_message(&m);
+        assert_eq!(decode_received_message(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn truncation_is_efault() {
+        let m = UserMessage::simple(PortName(1), 0, &b"x"[..]);
+        let bytes = encode_user_message(&m);
+        assert_eq!(
+            decode_user_message(&bytes[..bytes.len() - 1]),
+            Err(Errno::EFAULT)
+        );
+    }
+
+    #[test]
+    fn bad_disposition_is_einval() {
+        let m = UserMessage::simple(PortName(1), 0, &b""[..]);
+        let mut bytes = encode_user_message(&m);
+        bytes[4] = 99; // remote disposition byte
+        assert_eq!(decode_user_message(&bytes), Err(Errno::EINVAL));
+    }
+}

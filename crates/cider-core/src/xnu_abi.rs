@@ -1,0 +1,1000 @@
+//! The XNU kernel ABI personality: Cider's foreign syscall surface.
+//!
+//! "Cider maintains one or more syscall dispatch tables for each persona
+//! ... Cider is aware of XNU's low-level syscall interface, and
+//! translates things such as function parameters and CPU flags into the
+//! Linux calling convention, making it possible to directly invoke
+//! existing Linux syscall implementations" (paper §4.1).
+//!
+//! [`XnuPersonality`] owns two dispatch tables (Unix-class and
+//! Mach-class) plus inline handling for the machdep and diag trap paths
+//! — the four ways an iOS binary traps into XNU. Every Unix-class
+//! wrapper maps XNU argument conventions (open flags, signal numbers,
+//! `stat64` layout) onto the domestic implementations, and the exit path
+//! encodes errors in the carry flag with BSD errno numbering.
+
+use cider_abi::convention::{CpuFlags, SyscallOutcome};
+use cider_abi::errno::Errno;
+use cider_abi::ids::{Fd, Pid, PortName, Tid};
+use cider_abi::signal::{sigframe, Signal, XnuSignal};
+use cider_abi::syscall::{MachTrap, TrapClass, XnuSyscall, XnuTrap};
+use cider_abi::types::{OpenFlags, XnuStat64};
+use cider_kernel::dispatch::{
+    Personality, SyscallArgs, SyscallData, SyscallTable, TrapResult,
+    UserTrapResult,
+};
+use cider_kernel::kernel::Kernel;
+use cider_kernel::mm::{MappingKind, Prot};
+use cider_kernel::process::SigDisposition;
+use cider_xnu::kern_return::KernReturn;
+use cider_xnu::psynch::PsynchOutcome;
+
+use crate::exec::sys_exec_fixup;
+use crate::state::with_state;
+use crate::wire;
+
+/// Fixed cost of the XNU→Linux entry-path translation per trap, ns.
+const TRANSLATE_ENTRY_NS: u64 = 90;
+/// Per-argument register translation cost, ns.
+const TRANSLATE_ARG_NS: u64 = 5;
+/// Cost of one structure conversion (stat64 and friends), ns.
+const STRUCT_CONVERT_NS: u64 = 45;
+/// Extra cost of translating signal info and numbering per delivery, ns.
+const SIGNAL_TRANSLATE_NS: u64 = 250;
+
+/// XNU open(2) flag values (BSD numbering, different from Linux).
+mod xnu_oflags {
+    pub const O_WRONLY: u32 = 0x1;
+    pub const O_RDWR: u32 = 0x2;
+    pub const O_APPEND: u32 = 0x8;
+    pub const O_CREAT: u32 = 0x200;
+    pub const O_TRUNC: u32 = 0x400;
+    pub const O_EXCL: u32 = 0x800;
+}
+
+/// Translates BSD open flags to the domestic kernel's numbering.
+pub fn translate_open_flags(xnu: u32) -> OpenFlags {
+    use xnu_oflags::*;
+    let mut f = if xnu & O_RDWR != 0 {
+        OpenFlags::RDWR
+    } else if xnu & O_WRONLY != 0 {
+        OpenFlags::WRONLY
+    } else {
+        OpenFlags::RDONLY
+    };
+    if xnu & O_CREAT != 0 {
+        f = f | OpenFlags::CREAT;
+    }
+    if xnu & O_TRUNC != 0 {
+        f = f | OpenFlags::TRUNC;
+    }
+    if xnu & O_EXCL != 0 {
+        f = f | OpenFlags::EXCL;
+    }
+    if xnu & O_APPEND != 0 {
+        f = f | OpenFlags::APPEND;
+    }
+    f
+}
+
+/// Serialises an [`XnuStat64`] into the byte layout iOS binaries read.
+pub fn encode_xnu_stat64(s: &XnuStat64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&s.ino.to_le_bytes());
+    out.extend_from_slice(&s.mode.to_le_bytes());
+    out.extend_from_slice(&s.nlink.to_le_bytes());
+    out.extend_from_slice(&s.size.to_le_bytes());
+    out.extend_from_slice(&s.blocks.to_le_bytes());
+    out.extend_from_slice(&s.mtimespec.sec.to_le_bytes());
+    out.extend_from_slice(&s.mtimespec.nsec.to_le_bytes());
+    out.extend_from_slice(&s.birthtimespec.sec.to_le_bytes());
+    out.extend_from_slice(&s.birthtimespec.nsec.to_le_bytes());
+    out
+}
+
+/// The foreign-persona kernel ABI.
+#[derive(Debug)]
+pub struct XnuPersonality {
+    unix: SyscallTable,
+    mach: SyscallTable,
+}
+
+impl Default for XnuPersonality {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XnuPersonality {
+    /// Builds the personality with both dispatch tables populated.
+    pub fn new() -> XnuPersonality {
+        XnuPersonality {
+            unix: build_unix_table(),
+            mach: build_mach_table(),
+        }
+    }
+
+    /// The Unix-class dispatch table (introspection for tests).
+    pub fn unix_table(&self) -> &SyscallTable {
+        &self.unix
+    }
+
+    /// The Mach-class dispatch table.
+    pub fn mach_table(&self) -> &SyscallTable {
+        &self.mach
+    }
+}
+
+impl Personality for XnuPersonality {
+    fn name(&self) -> &'static str {
+        "xnu"
+    }
+
+    fn trap(
+        &self,
+        k: &mut Kernel,
+        tid: Tid,
+        number: i64,
+        args: &SyscallArgs,
+    ) -> UserTrapResult {
+        // Entry-path translation: registers and CPU state are remapped
+        // from the XNU convention before any handler can run.
+        k.charge_cpu(
+            TRANSLATE_ENTRY_NS
+                + TRANSLATE_ARG_NS * args.regs.len() as u64,
+        );
+        let Some(trap) = XnuTrap::decode(number) else {
+            return encode_unix_result(TrapResult::err(Errno::ENOSYS));
+        };
+        match trap.class() {
+            TrapClass::Unix => {
+                let XnuTrap::Unix(call) = trap else { unreachable!() };
+                let Some((_, handler)) = self.unix.lookup(call.number())
+                else {
+                    return encode_unix_result(TrapResult::err(
+                        Errno::ENOSYS,
+                    ));
+                };
+                encode_unix_result(handler(k, tid, args))
+            }
+            TrapClass::Mach => {
+                let XnuTrap::Mach(call) = trap else { unreachable!() };
+                // Mach traps enter the kernel like any other trap; the
+                // Unix-class wrappers charge this inside the Linux
+                // implementations they invoke.
+                k.charge_cpu(k.profile.syscall_entry_exit_ns);
+                let Some((_, handler)) = self.mach.lookup(call.number())
+                else {
+                    return mach_result(KernReturn::MigBadId, Vec::new());
+                };
+                let r = handler(k, tid, args);
+                UserTrapResult {
+                    reg: match r.outcome {
+                        Ok(v) => v,
+                        Err(_) => KernReturn::Failure.as_raw(),
+                    },
+                    flags: CpuFlags::default(),
+                    out_data: r.out_data,
+                }
+            }
+            TrapClass::MachDep => {
+                // The only machdep call iOS user space issues regularly
+                // is the TLS-pointer read/write pair; the simulator keeps
+                // TLS in the persona extension, so these are no-ops.
+                UserTrapResult {
+                    reg: 0,
+                    flags: CpuFlags::default(),
+                    out_data: Vec::new(),
+                }
+            }
+            TrapClass::Diag => UserTrapResult {
+                reg: KernReturn::InvalidArgument.as_raw(),
+                flags: CpuFlags::default(),
+                out_data: Vec::new(),
+            },
+        }
+    }
+
+    fn sigframe_bytes(&self) -> usize {
+        sigframe::XNU_FRAME_BYTES
+    }
+
+    fn signal_number(&self, sig: Signal) -> Option<i32> {
+        sig.to_xnu().map(|x| x.as_raw())
+    }
+
+    fn signal_translation_ns(&self) -> u64 {
+        SIGNAL_TRANSLATE_NS
+    }
+}
+
+fn encode_unix_result(r: TrapResult) -> UserTrapResult {
+    let (reg, flags) = SyscallOutcome::from(r.outcome).encode_xnu();
+    UserTrapResult {
+        reg,
+        flags,
+        out_data: r.out_data,
+    }
+}
+
+fn mach_result(kr: KernReturn, out_data: Vec<u8>) -> UserTrapResult {
+    UserTrapResult {
+        reg: kr.as_raw(),
+        flags: CpuFlags::default(),
+        out_data,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Unix-class wrappers.
+// ----------------------------------------------------------------------
+
+fn build_unix_table() -> SyscallTable {
+    use XnuSyscall as X;
+    let mut t = SyscallTable::new();
+
+    t.install(X::Getpid.number(), "getpid", |k, tid, _| {
+        match k.sys_getpid(tid) {
+            Ok(pid) => TrapResult::ok(pid.as_raw() as i64),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Read.number(), "read", |k, tid, args| {
+        let fd = Fd(args.regs[0] as i32);
+        let len = args.regs[2] as usize;
+        match k.sys_read(tid, fd, len) {
+            Ok(data) => TrapResult::with_data(data),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Write.number(), "write", |k, tid, args| {
+        let fd = Fd(args.regs[0] as i32);
+        let SyscallData::Bytes(data) = &args.data else {
+            return TrapResult::err(Errno::EFAULT);
+        };
+        match k.sys_write(tid, fd, data) {
+            Ok(n) => TrapResult::ok(n as i64),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Open.number(), "open", |k, tid, args| {
+        let SyscallData::Path(path) = &args.data else {
+            return TrapResult::err(Errno::EFAULT);
+        };
+        // BSD flag numbering → Linux numbering.
+        let flags = translate_open_flags(args.regs[1] as u32);
+        match k.sys_open(tid, path, flags) {
+            Ok(fd) => TrapResult::ok(fd.as_raw() as i64),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Close.number(), "close", |k, tid, args| {
+        match k.sys_close(tid, Fd(args.regs[0] as i32)) {
+            Ok(()) => TrapResult::ok(0),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Fork.number(), "fork", |k, tid, _| {
+        match k.sys_fork(tid) {
+            Ok((pid, _)) => TrapResult::ok(pid.as_raw() as i64),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Exit.number(), "exit", |k, tid, args| {
+        let code = args.regs[0] as i32;
+        let pid = match k.thread(tid) {
+            Ok(t) => t.pid,
+            Err(e) => return TrapResult::err(e),
+        };
+        // Tear down the Mach task state before the BSD exit path.
+        with_state(k, |k2, st| st.destroy_task_space(k2, tid, pid));
+        match k.sys_exit(tid, code) {
+            Ok(()) => TrapResult::ok(0),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Waitpid.number(), "waitpid", |k, tid, args| {
+        match k.sys_waitpid(tid, Pid(args.regs[0] as u32)) {
+            Ok(code) => TrapResult::ok(code as i64),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Unlink.number(), "unlink", |k, tid, args| {
+        let SyscallData::Path(path) = &args.data else {
+            return TrapResult::err(Errno::EFAULT);
+        };
+        match k.sys_unlink(tid, path) {
+            Ok(()) => TrapResult::ok(0),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Mkdir.number(), "mkdir", |k, tid, args| {
+        let SyscallData::Path(path) = &args.data else {
+            return TrapResult::err(Errno::EFAULT);
+        };
+        match k.sys_mkdir(tid, path) {
+            Ok(()) => TrapResult::ok(0),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Chdir.number(), "chdir", |k, tid, args| {
+        let SyscallData::Path(path) = &args.data else {
+            return TrapResult::err(Errno::EFAULT);
+        };
+        match k.sys_chdir(tid, path) {
+            Ok(()) => TrapResult::ok(0),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Dup.number(), "dup", |k, tid, args| {
+        match k.sys_dup(tid, Fd(args.regs[0] as i32)) {
+            Ok(fd) => TrapResult::ok(fd.as_raw() as i64),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Pipe.number(), "pipe", |k, tid, _| {
+        match k.sys_pipe(tid) {
+            Ok((r, w)) => TrapResult::ok(
+                (r.as_raw() as i64) | ((w.as_raw() as i64) << 32),
+            ),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Socketpair.number(), "socketpair", |k, tid, _| {
+        match k.sys_socketpair(tid) {
+            Ok((a, b)) => TrapResult::ok(
+                (a.as_raw() as i64) | ((b.as_raw() as i64) << 32),
+            ),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Kill.number(), "kill", |k, tid, args| {
+        let target = Pid(args.regs[0] as u32);
+        // The caller passes a *BSD* signal number.
+        let Some(xsig) = XnuSignal::from_raw(args.regs[1] as i32) else {
+            return TrapResult::err(Errno::EINVAL);
+        };
+        let Some(sig) = xsig.to_linux() else {
+            // No domestic equivalent (SIGEMT/SIGINFO): dropped.
+            return TrapResult::ok(0);
+        };
+        match k.sys_kill(tid, target, sig) {
+            Ok(()) => TrapResult::ok(0),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Sigaction.number(), "sigaction", |k, tid, args| {
+        let Some(xsig) = XnuSignal::from_raw(args.regs[0] as i32) else {
+            return TrapResult::err(Errno::EINVAL);
+        };
+        let Some(sig) = xsig.to_linux() else {
+            return TrapResult::err(Errno::EINVAL);
+        };
+        let disp = match args.regs[1] {
+            0 => SigDisposition::Default,
+            1 => SigDisposition::Ignore,
+            h => SigDisposition::Handler(h as u32),
+        };
+        match k.sys_sigaction(tid, sig, disp) {
+            Ok(()) => TrapResult::ok(0),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Select.number(), "select", |k, tid, args| {
+        let SyscallData::FdSet(fds) = &args.data else {
+            return TrapResult::err(Errno::EFAULT);
+        };
+        // BSD fd_set → Linux fd_set conversion.
+        k.charge_cpu(2 * fds.len() as u64);
+        let fds: Vec<Fd> = fds.iter().map(|&f| Fd(f)).collect();
+        match k.sys_select(tid, &fds) {
+            Ok(ready) => TrapResult::ok(ready.len() as i64),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Stat64.number(), "stat64", |k, tid, args| {
+        let SyscallData::Path(path) = &args.data else {
+            return TrapResult::err(Errno::EFAULT);
+        };
+        match k.sys_stat(tid, path) {
+            Ok(stat) => {
+                // Linux stat → XNU stat64 structure conversion.
+                k.charge_cpu(STRUCT_CONVERT_NS);
+                let xs = XnuStat64::from(stat);
+                let mut r = TrapResult::ok(0);
+                r.out_data = encode_xnu_stat64(&xs);
+                r
+            }
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::Execve.number(), "execve", |k, tid, args| {
+        let SyscallData::Exec { path, argv } = &args.data else {
+            return TrapResult::err(Errno::EFAULT);
+        };
+        let argv: Vec<&str> = argv.iter().map(|s| s.as_str()).collect();
+        match sys_exec_fixup(k, tid, path, &argv) {
+            Ok(()) => TrapResult::ok(0),
+            Err(e) => TrapResult::err(e),
+        }
+    });
+
+    t.install(X::PosixSpawn.number(), "posix_spawn", |k, tid, args| {
+        // "Cider implements the posix_spawn syscall ... by leveraging
+        // the Linux clone and exec syscall implementations" (§4.1).
+        let SyscallData::Exec { path, argv } = &args.data else {
+            return TrapResult::err(Errno::EFAULT);
+        };
+        let argv: Vec<&str> = argv.iter().map(|s| s.as_str()).collect();
+        let (child_pid, child_tid) = match k.sys_fork(tid) {
+            Ok(v) => v,
+            Err(e) => return TrapResult::err(e),
+        };
+        match sys_exec_fixup(k, child_tid, path, &argv) {
+            Ok(()) => TrapResult::ok(child_pid.as_raw() as i64),
+            Err(e) => {
+                let _ = k.sys_exit(child_tid, 127);
+                TrapResult::err(e)
+            }
+        }
+    });
+
+    t.install(
+        X::PsynchMutexwait.number(),
+        "psynch_mutexwait",
+        |k, tid, args| {
+            let addr = args.regs[0] as u64;
+            let out =
+                with_state(k, |k2, st| st.psynch_mutexwait(k2, tid, addr));
+            match out {
+                PsynchOutcome::Acquired => TrapResult::ok(0),
+                PsynchOutcome::Blocked => TrapResult::err(Errno::EAGAIN),
+            }
+        },
+    );
+
+    t.install(
+        X::PsynchMutexdrop.number(),
+        "psynch_mutexdrop",
+        |k, tid, args| {
+            let addr = args.regs[0] as u64;
+            let out =
+                with_state(k, |k2, st| st.psynch_mutexdrop(k2, tid, addr));
+            match out {
+                Ok(()) => TrapResult::ok(0),
+                Err(_) => TrapResult::err(Errno::EINVAL),
+            }
+        },
+    );
+
+    t.install(
+        X::PsynchCvwait.number(),
+        "psynch_cvwait",
+        |k, tid, args| {
+            let cv = args.regs[0] as u64;
+            let mutex = args.regs[1] as u64;
+            let out = with_state(k, |k2, st| {
+                st.psynch_cvwait(k2, tid, cv, mutex)
+            });
+            match out {
+                Ok(PsynchOutcome::Acquired) => TrapResult::ok(0),
+                Ok(PsynchOutcome::Blocked) => {
+                    TrapResult::err(Errno::EAGAIN)
+                }
+                Err(_) => TrapResult::err(Errno::EINVAL),
+            }
+        },
+    );
+
+    t.install(
+        X::PsynchCvsignal.number(),
+        "psynch_cvsignal",
+        |k, tid, args| {
+            let cv = args.regs[0] as u64;
+            let woken =
+                with_state(k, |k2, st| st.psynch_cvsignal(k2, tid, cv));
+            TrapResult::ok(woken as i64)
+        },
+    );
+
+    t.install(
+        X::PsynchCvbroad.number(),
+        "psynch_cvbroad",
+        |k, tid, args| {
+            let cv = args.regs[0] as u64;
+            let n =
+                with_state(k, |k2, st| st.psynch_cvbroadcast(k2, tid, cv));
+            TrapResult::ok(n as i64)
+        },
+    );
+
+    t
+}
+
+// ----------------------------------------------------------------------
+// Mach-class traps.
+// ----------------------------------------------------------------------
+
+fn build_mach_table() -> SyscallTable {
+    use MachTrap as M;
+    let mut t = SyscallTable::new();
+
+    t.install(M::TaskSelfTrap.number(), "task_self_trap", |k, tid, _| {
+        let pid = match k.thread(tid) {
+            Ok(t) => t.pid,
+            Err(_) => return TrapResult::ok(0),
+        };
+        let name =
+            with_state(k, |k2, st| st.task_self_port(k2, tid, pid));
+        TrapResult::ok(name.as_raw() as i64)
+    });
+
+    t.install(M::ThreadSelfTrap.number(), "thread_self_trap", |k, tid, _| {
+        let pid = match k.thread(tid) {
+            Ok(t) => t.pid,
+            Err(_) => return TrapResult::ok(0),
+        };
+        let name = with_state(k, |k2, st| {
+            let name = st
+                .port_allocate_for(k2, tid, pid)
+                .expect("space creatable");
+            let space = st.task_space(pid);
+            let _ = st.machipc.set_kobject(
+                space,
+                name,
+                cider_xnu::ipc::KernelObject::Thread(tid.as_raw() as u64),
+            );
+            name
+        });
+        TrapResult::ok(name.as_raw() as i64)
+    });
+
+    t.install(M::HostSelfTrap.number(), "host_self_trap", |k, tid, _| {
+        let pid = match k.thread(tid) {
+            Ok(t) => t.pid,
+            Err(_) => return TrapResult::ok(0),
+        };
+        let name = with_state(k, |k2, st| {
+            let name = st
+                .port_allocate_for(k2, tid, pid)
+                .expect("space creatable");
+            let space = st.task_space(pid);
+            let _ = st.machipc.set_kobject(
+                space,
+                name,
+                cider_xnu::ipc::KernelObject::Host,
+            );
+            name
+        });
+        TrapResult::ok(name.as_raw() as i64)
+    });
+
+    t.install(M::MachReplyPort.number(), "mach_reply_port", |k, tid, _| {
+        let pid = match k.thread(tid) {
+            Ok(t) => t.pid,
+            Err(_) => return TrapResult::ok(0),
+        };
+        let name = with_state(k, |k2, st| {
+            st.port_allocate_for(k2, tid, pid).expect("space creatable")
+        });
+        TrapResult::ok(name.as_raw() as i64)
+    });
+
+    t.install(
+        M::MachPortAllocate.number(),
+        "mach_port_allocate",
+        |k, tid, _| {
+            let pid = match k.thread(tid) {
+                Ok(t) => t.pid,
+                Err(_) => return TrapResult::ok(0),
+            };
+            let name =
+                with_state(k, |k2, st| st.port_allocate_for(k2, tid, pid));
+            match name {
+                Ok(n) => TrapResult::ok(n.as_raw() as i64),
+                Err(kr) => TrapResult::ok(kr.as_raw()),
+            }
+        },
+    );
+
+    t.install(
+        M::MachPortDeallocate.number(),
+        "mach_port_deallocate",
+        |k, tid, args| {
+            let pid = match k.thread(tid) {
+                Ok(t) => t.pid,
+                Err(_) => return TrapResult::ok(0),
+            };
+            let name = PortName(args.regs[0] as u32);
+            let kr = with_state(k, |k2, st| {
+                st.port_deallocate_for(k2, tid, pid, name)
+            });
+            match kr {
+                Ok(()) => TrapResult::ok(KernReturn::Success.as_raw()),
+                Err(e) => TrapResult::ok(e.as_raw()),
+            }
+        },
+    );
+
+    t.install(
+        M::MachPortInsertRight.number(),
+        "mach_port_insert_right",
+        |k, tid, args| {
+            // Simplified MAKE_SEND from a receive right.
+            let pid = match k.thread(tid) {
+                Ok(t) => t.pid,
+                Err(_) => return TrapResult::ok(0),
+            };
+            let recv = PortName(args.regs[0] as u32);
+            let kr = with_state(k, |_k2, st| {
+                let space = st.task_space(pid);
+                st.machipc.make_send(space, recv)
+            });
+            match kr {
+                Ok(n) => TrapResult::ok(n.as_raw() as i64),
+                Err(e) => TrapResult::ok(e.as_raw()),
+            }
+        },
+    );
+
+    t.install(M::MachMsgTrap.number(), "mach_msg_trap", |k, tid, args| {
+        const MACH_SEND_MSG: i64 = 1;
+        const MACH_RCV_MSG: i64 = 2;
+        let options = args.regs[0];
+        let pid = match k.thread(tid) {
+            Ok(t) => t.pid,
+            Err(_) => return TrapResult::ok(0),
+        };
+        if options & MACH_SEND_MSG != 0 {
+            let SyscallData::Bytes(buf) = &args.data else {
+                return TrapResult::ok(
+                    KernReturn::InvalidArgument.as_raw(),
+                );
+            };
+            let msg = match wire::decode_user_message(buf) {
+                Ok(m) => m,
+                Err(_) => {
+                    return TrapResult::ok(
+                        KernReturn::InvalidArgument.as_raw(),
+                    )
+                }
+            };
+            let kr =
+                with_state(k, |k2, st| st.msg_send_for(k2, tid, pid, msg));
+            if let Err(e) = kr {
+                return TrapResult::ok(e.as_raw());
+            }
+            if options & MACH_RCV_MSG == 0 {
+                return TrapResult::ok(KernReturn::Success.as_raw());
+            }
+        }
+        if options & MACH_RCV_MSG != 0 {
+            let rcv_name = PortName(args.regs[2] as u32);
+            let got = with_state(k, |k2, st| {
+                st.msg_receive_for(k2, tid, pid, rcv_name)
+            });
+            return match got {
+                Ok(m) => {
+                    let mut r =
+                        TrapResult::ok(KernReturn::Success.as_raw());
+                    r.out_data = wire::encode_received_message(&m);
+                    r
+                }
+                Err(e) => TrapResult::ok(e.as_raw()),
+            };
+        }
+        TrapResult::ok(KernReturn::Success.as_raw())
+    });
+
+    t.install(
+        M::SemaphoreSignalTrap.number(),
+        "semaphore_signal_trap",
+        |k, tid, args| {
+            let addr = args.regs[0] as u64;
+            let kr =
+                with_state(k, |k2, st| st.semaphore_signal(k2, tid, addr));
+            match kr {
+                Ok(()) => TrapResult::ok(KernReturn::Success.as_raw()),
+                Err(e) => TrapResult::ok(e.as_raw()),
+            }
+        },
+    );
+
+    t.install(
+        M::SemaphoreWaitTrap.number(),
+        "semaphore_wait_trap",
+        |k, tid, args| {
+            let addr = args.regs[0] as u64;
+            let out =
+                with_state(k, |k2, st| st.semaphore_wait(k2, tid, addr));
+            match out {
+                Ok(PsynchOutcome::Acquired) => {
+                    TrapResult::ok(KernReturn::Success.as_raw())
+                }
+                Ok(PsynchOutcome::Blocked) => {
+                    TrapResult::ok(KernReturn::RcvTimedOut.as_raw())
+                }
+                Err(e) => TrapResult::ok(e.as_raw()),
+            }
+        },
+    );
+
+    t.install(
+        M::MachVmAllocate.number(),
+        "mach_vm_allocate",
+        |k, tid, args| {
+            let size = args.regs[1] as u64;
+            let pid = match k.thread(tid) {
+                Ok(t) => t.pid,
+                Err(_) => return TrapResult::ok(0),
+            };
+            let addr = match k.process_mut(pid) {
+                Ok(p) => p.mm.map(
+                    size,
+                    Prot::RW,
+                    MappingKind::Anonymous,
+                    "mach_vm_allocate",
+                ),
+                Err(e) => return TrapResult::err(e),
+            };
+            match addr {
+                Ok(a) => TrapResult::ok(a as i64),
+                Err(_) => {
+                    TrapResult::ok(KernReturn::NoSpace.as_raw())
+                }
+            }
+        },
+    );
+
+    t.install(
+        M::MachVmDeallocate.number(),
+        "mach_vm_deallocate",
+        |k, tid, args| {
+            let addr = args.regs[1] as u64;
+            let pid = match k.thread(tid) {
+                Ok(t) => t.pid,
+                Err(_) => return TrapResult::ok(0),
+            };
+            match k.process_mut(pid) {
+                Ok(p) => match p.mm.unmap(addr) {
+                    Ok(_) => TrapResult::ok(KernReturn::Success.as_raw()),
+                    Err(_) => TrapResult::ok(
+                        KernReturn::InvalidArgument.as_raw(),
+                    ),
+                },
+                Err(e) => TrapResult::err(e),
+            }
+        },
+    );
+
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_flag_translation() {
+        use xnu_oflags::*;
+        let f = translate_open_flags(O_RDWR | O_CREAT | O_TRUNC);
+        assert!(f.contains(OpenFlags::CREAT));
+        assert!(f.contains(OpenFlags::TRUNC));
+        assert!(f.writable() && f.readable());
+        let f = translate_open_flags(0);
+        assert!(f.readable() && !f.writable());
+        let f = translate_open_flags(O_WRONLY | O_APPEND);
+        assert!(f.writable() && !f.readable());
+        assert!(f.contains(OpenFlags::APPEND));
+    }
+
+    #[test]
+    fn tables_cover_the_expected_calls() {
+        let p = XnuPersonality::new();
+        assert!(p.unix_table().lookup(XnuSyscall::Open.number()).is_some());
+        assert!(p
+            .unix_table()
+            .lookup(XnuSyscall::PosixSpawn.number())
+            .is_some());
+        assert!(p
+            .mach_table()
+            .lookup(MachTrap::MachMsgTrap.number())
+            .is_some());
+        assert!(p.unix_table().len() >= 20);
+        assert!(p.mach_table().len() >= 10);
+    }
+
+    #[test]
+    fn personality_reports_xnu_signal_shape() {
+        let p = XnuPersonality::new();
+        assert_eq!(p.sigframe_bytes(), sigframe::XNU_FRAME_BYTES);
+        // SIGUSR1 renumbers from 10 to 30.
+        assert_eq!(p.signal_number(Signal::SIGUSR1), Some(30));
+        assert!(p.signal_translation_ns() > 0);
+    }
+
+    mod trap_level {
+        use super::*;
+        use crate::persona::attach_persona_ext;
+        use crate::state::CiderState;
+        use cider_abi::persona::Persona;
+        use cider_abi::syscall::XnuTrap;
+        use cider_kernel::profile::DeviceProfile;
+        use std::rc::Rc;
+
+        fn xnu_kernel() -> (Kernel, Tid) {
+            let mut k = Kernel::boot(DeviceProfile::nexus7());
+            k.extensions.insert(CiderState::new());
+            let xnu = k.register_personality(Rc::new(XnuPersonality::new()));
+            k.enable_cider();
+            let (_, tid) = k.spawn_process();
+            attach_persona_ext(&mut k, tid, Persona::Foreign, xnu).unwrap();
+            (k, tid)
+        }
+
+        fn unix_trap(
+            k: &mut Kernel,
+            tid: Tid,
+            call: XnuSyscall,
+            args: SyscallArgs,
+        ) -> cider_kernel::dispatch::UserTrapResult {
+            k.trap(tid, XnuTrap::Unix(call).encode(), &args)
+        }
+
+        #[test]
+        fn pipe_and_dup_wrappers() {
+            let (mut k, tid) = xnu_kernel();
+            let r =
+                unix_trap(&mut k, tid, XnuSyscall::Pipe, SyscallArgs::none());
+            assert!(!r.flags.carry);
+            let read_fd = (r.reg & 0xFFFF_FFFF) as i32;
+            let write_fd = (r.reg >> 32) as i32;
+            assert_ne!(read_fd, write_fd);
+            let d = unix_trap(
+                &mut k,
+                tid,
+                XnuSyscall::Dup,
+                SyscallArgs::regs([read_fd as i64, 0, 0, 0, 0, 0, 0]),
+            );
+            assert!(!d.flags.carry);
+            assert_ne!(d.reg, read_fd as i64);
+        }
+
+        #[test]
+        fn socketpair_wrapper() {
+            let (mut k, tid) = xnu_kernel();
+            let r = unix_trap(
+                &mut k,
+                tid,
+                XnuSyscall::Socketpair,
+                SyscallArgs::none(),
+            );
+            assert!(!r.flags.carry);
+            let a = Fd((r.reg & 0xFFFF_FFFF) as i32);
+            let b = Fd((r.reg >> 32) as i32);
+            k.sys_write(tid, a, b"hi").unwrap();
+            assert_eq!(k.sys_read(tid, b, 4).unwrap(), b"hi");
+        }
+
+        #[test]
+        fn mkdir_chdir_unlink_wrappers() {
+            let (mut k, tid) = xnu_kernel();
+            let mut args = SyscallArgs::none();
+            args.data = SyscallData::Path("/tmp/xd".into());
+            assert!(
+                !unix_trap(&mut k, tid, XnuSyscall::Mkdir, args.clone())
+                    .flags
+                    .carry
+            );
+            assert!(
+                !unix_trap(&mut k, tid, XnuSyscall::Chdir, args.clone())
+                    .flags
+                    .carry
+            );
+            assert_eq!(k.sys_getcwd(tid).unwrap(), "/tmp/xd");
+            let mut missing = SyscallArgs::none();
+            missing.data = SyscallData::Path("/tmp/none".into());
+            let r = unix_trap(&mut k, tid, XnuSyscall::Unlink, missing);
+            assert!(r.flags.carry);
+            assert_eq!(r.reg, 2, "ENOENT");
+        }
+
+        #[test]
+        fn waitpid_wrapper_reports_exit_code() {
+            let (mut k, tid) = xnu_kernel();
+            let f =
+                unix_trap(&mut k, tid, XnuSyscall::Fork, SyscallArgs::none());
+            assert!(!f.flags.carry);
+            let child_pid = Pid(f.reg as u32);
+            let child_tid = k.process(child_pid).unwrap().threads[0];
+            unix_trap(
+                &mut k,
+                child_tid,
+                XnuSyscall::Exit,
+                SyscallArgs::regs([42, 0, 0, 0, 0, 0, 0]),
+            );
+            let w = unix_trap(
+                &mut k,
+                tid,
+                XnuSyscall::Waitpid,
+                SyscallArgs::regs([f.reg, 0, 0, 0, 0, 0, 0]),
+            );
+            assert!(!w.flags.carry);
+            assert_eq!(w.reg, 42);
+        }
+
+        #[test]
+        fn machdep_and_diag_classes_dispatch() {
+            let (mut k, tid) = xnu_kernel();
+            let r = k.trap(
+                tid,
+                XnuTrap::MachDep(3).encode(),
+                &SyscallArgs::none(),
+            );
+            assert_eq!(r.reg, 0, "TLS machdep is a no-op");
+            let r =
+                k.trap(tid, XnuTrap::Diag(1).encode(), &SyscallArgs::none());
+            assert_eq!(r.reg, KernReturn::InvalidArgument.as_raw());
+        }
+
+        #[test]
+        fn unknown_trap_numbers_fail_cleanly() {
+            let (mut k, tid) = xnu_kernel();
+            let r = k.trap(tid, 299, &SyscallArgs::none());
+            assert!(r.flags.carry);
+            assert_eq!(r.reg, 78, "XNU ENOSYS");
+            let r = k.trap(tid, -99, &SyscallArgs::none());
+            assert!(r.flags.carry, "undecodable trap is ENOSYS too");
+        }
+
+        #[test]
+        fn missing_payload_is_efault() {
+            let (mut k, tid) = xnu_kernel();
+            let r = unix_trap(
+                &mut k,
+                tid,
+                XnuSyscall::Write,
+                SyscallArgs::regs([1, 0, 1, 0, 0, 0, 0]),
+            );
+            assert!(r.flags.carry);
+            assert_eq!(
+                r.reg,
+                cider_abi::errno::XnuErrno::EFAULT.as_raw() as i64
+            );
+        }
+    }
+
+    #[test]
+    fn stat64_encoding_is_stable() {
+        let s = XnuStat64 {
+            ino: 7,
+            mode: 0o100644,
+            nlink: 1,
+            size: 1234,
+            blocks: 3,
+            mtimespec: cider_abi::types::TimeSpec { sec: 5, nsec: 6 },
+            birthtimespec: cider_abi::types::TimeSpec { sec: 5, nsec: 6 },
+        };
+        let bytes = encode_xnu_stat64(&s);
+        assert_eq!(bytes.len(), 8 + 4 + 4 + 8 + 8 + 32);
+        assert_eq!(u64::from_le_bytes(bytes[0..8].try_into().unwrap()), 7);
+    }
+}

@@ -1,0 +1,165 @@
+//! The native XNU kernel personality — the iPad mini configuration.
+//!
+//! The paper's fourth measurement configuration runs iOS binaries on a
+//! real iOS device. This personality models that kernel: the same trap
+//! surface as [`XnuPersonality`] but with
+//! **no translation layer** — traps land directly on native
+//! implementations, signals are delivered in XNU numbering without
+//! conversion work, and no persona machinery exists.
+
+use cider_abi::convention::CpuFlags;
+use cider_abi::errno::Errno;
+use cider_abi::ids::Tid;
+use cider_abi::signal::{sigframe, Signal};
+use cider_abi::syscall::{TrapClass, XnuTrap};
+use cider_kernel::dispatch::{
+    Personality, SyscallArgs, TrapResult, UserTrapResult,
+};
+use cider_kernel::kernel::Kernel;
+use cider_xnu::kern_return::KernReturn;
+
+use crate::xnu_abi::XnuPersonality;
+
+/// A native XNU kernel ABI (no Cider, no translation).
+#[derive(Debug, Default)]
+pub struct XnuNativePersonality {
+    inner: XnuPersonality,
+}
+
+impl XnuNativePersonality {
+    /// Builds the personality.
+    pub fn new() -> XnuNativePersonality {
+        XnuNativePersonality {
+            inner: XnuPersonality::new(),
+        }
+    }
+}
+
+impl Personality for XnuNativePersonality {
+    fn name(&self) -> &'static str {
+        "xnu-native"
+    }
+
+    fn trap(
+        &self,
+        k: &mut Kernel,
+        tid: Tid,
+        number: i64,
+        args: &SyscallArgs,
+    ) -> UserTrapResult {
+        // Native path: decode and dispatch with no translation charges.
+        let Some(trap) = XnuTrap::decode(number) else {
+            let (reg, flags) =
+                cider_abi::convention::SyscallOutcome::Err(Errno::ENOSYS)
+                    .encode_xnu();
+            return UserTrapResult {
+                reg,
+                flags,
+                out_data: Vec::new(),
+            };
+        };
+        match trap.class() {
+            TrapClass::Unix => {
+                let XnuTrap::Unix(call) = trap else { unreachable!() };
+                let r = match self.inner.unix_table().lookup(call.number())
+                {
+                    Some((_, handler)) => handler(k, tid, args),
+                    None => TrapResult::err(Errno::ENOSYS),
+                };
+                let (reg, flags) =
+                    cider_abi::convention::SyscallOutcome::from(r.outcome)
+                        .encode_xnu();
+                UserTrapResult {
+                    reg,
+                    flags,
+                    out_data: r.out_data,
+                }
+            }
+            TrapClass::Mach => {
+                let XnuTrap::Mach(call) = trap else { unreachable!() };
+                k.charge_cpu(k.profile.syscall_entry_exit_ns);
+                let r = match self.inner.mach_table().lookup(call.number())
+                {
+                    Some((_, handler)) => handler(k, tid, args),
+                    None => TrapResult::ok(KernReturn::MigBadId.as_raw()),
+                };
+                UserTrapResult {
+                    reg: match r.outcome {
+                        Ok(v) => v,
+                        Err(_) => KernReturn::Failure.as_raw(),
+                    },
+                    flags: CpuFlags::default(),
+                    out_data: r.out_data,
+                }
+            }
+            TrapClass::MachDep | TrapClass::Diag => UserTrapResult {
+                reg: 0,
+                flags: CpuFlags::default(),
+                out_data: Vec::new(),
+            },
+        }
+    }
+
+    fn sigframe_bytes(&self) -> usize {
+        sigframe::XNU_FRAME_BYTES
+    }
+
+    fn signal_number(&self, sig: Signal) -> Option<i32> {
+        // XNU generates signals in its own numbering natively — the
+        // renumbering is a table index, not translation work.
+        sig.to_xnu().map(|x| x.as_raw())
+    }
+
+    fn signal_translation_ns(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::CiderState;
+    use cider_abi::syscall::XnuSyscall;
+    use cider_kernel::profile::DeviceProfile;
+
+    #[test]
+    fn native_trap_cheaper_than_translated() {
+        let mut k_native = Kernel::boot(DeviceProfile::nexus7());
+        k_native.extensions.insert(CiderState::new());
+        let native = std::rc::Rc::new(XnuNativePersonality::new());
+        let nid = k_native.register_personality(native);
+        let (_, tid) = k_native.spawn_process();
+        k_native.thread_mut(tid).unwrap().personality = nid;
+
+        let mut k_cider = Kernel::boot(DeviceProfile::nexus7());
+        k_cider.extensions.insert(CiderState::new());
+        let xnu = std::rc::Rc::new(crate::xnu_abi::XnuPersonality::new());
+        let xid = k_cider.register_personality(xnu);
+        k_cider.enable_cider();
+        let (_, tid2) = k_cider.spawn_process();
+        k_cider.thread_mut(tid2).unwrap().personality = xid;
+
+        let nr = XnuTrap::Unix(XnuSyscall::Getpid).encode();
+        let t0 = k_native.clock.now_ns();
+        let r = k_native.trap(tid, nr, &SyscallArgs::none());
+        assert!(!r.flags.carry);
+        let native_cost = k_native.clock.now_ns() - t0;
+
+        let t0 = k_cider.clock.now_ns();
+        k_cider.trap(tid2, nr, &SyscallArgs::none());
+        let cider_cost = k_cider.clock.now_ns() - t0;
+
+        assert!(
+            cider_cost > native_cost,
+            "translated {cider_cost} native {native_cost}"
+        );
+    }
+
+    #[test]
+    fn native_signal_shape() {
+        let p = XnuNativePersonality::new();
+        assert_eq!(p.sigframe_bytes(), sigframe::XNU_FRAME_BYTES);
+        assert_eq!(p.signal_translation_ns(), 0);
+        assert_eq!(p.signal_number(Signal::SIGCHLD), Some(20));
+    }
+}

@@ -1,0 +1,40 @@
+//! Duct tape: Cider's compile-time code adaptation layer.
+//!
+//! Duct tape lets "unmodified foreign kernel source code" be compiled
+//! "directly ... into a domestic kernel" (paper §4.2) by partitioning
+//! symbols into three zones and remapping the foreign kernel's external
+//! references onto domestic primitives. This crate reproduces all three
+//! pieces:
+//!
+//! * [`zone`] — the domestic / foreign / duct-tape zones, the access
+//!   matrix, automatic conflict detection, and symbol remapping;
+//! * [`adapter`] — the adaptation layer itself: the single
+//!   implementation of `cider_xnu`'s `ForeignKernelApi`, translating
+//!   `lck_mtx_*`, `zalloc`, `thread_block`, and friends onto
+//!   `cider-kernel` primitives;
+//! * [`cxx`] — the basic C++ runtime (and `obj-y` Makefile support) that
+//!   lets I/O Kit's C++ classes be compiled into the kernel (§5.1).
+//!
+//! # Example
+//!
+//! ```
+//! use cider_ducttape::adapter::{DuctTape, DuctTapeState};
+//! use cider_kernel::{DeviceProfile, Kernel};
+//! use cider_xnu::ipc::MachIpc;
+//!
+//! let mut kernel = Kernel::boot(DeviceProfile::nexus7());
+//! let (_, tid) = kernel.spawn_process();
+//! let mut state = DuctTapeState::new();
+//! let mut ipc = MachIpc::new();
+//! // Foreign code runs against the domestic kernel through the adapter.
+//! let mut api = DuctTape::new(&mut kernel, &mut state, tid);
+//! ipc.bootstrap(&mut api);
+//! ```
+
+pub mod adapter;
+pub mod cxx;
+pub mod zone;
+
+pub use adapter::{DuctTape, DuctTapeState};
+pub use cxx::CxxRuntime;
+pub use zone::{ImportReport, SymbolTable, Zone, ZoneError};

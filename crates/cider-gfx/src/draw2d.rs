@@ -1,0 +1,323 @@
+//! CPU-bound 2D drawing primitives over gralloc buffers.
+//!
+//! The PassMark 2D tests (solid / transparent / complex vectors, image
+//! rendering, image filters) are CPU-bound drawing-library workloads
+//! (paper §6.3). These routines do the actual pixel work; the calling
+//! library layer (Android skia vs. iOS CoreGraphics stand-ins in
+//! `cider-apps`) adds its per-operation overhead.
+
+use cider_abi::errno::Errno;
+use cider_kernel::kernel::Kernel;
+
+use crate::gralloc::{BufferId, Gralloc};
+
+/// Cost per pixel touched by the CPU rasteriser, ns.
+const PIXEL_NS: f64 = 0.9;
+
+fn charge_pixels(k: &mut Kernel, n: usize) {
+    k.charge_cpu((n as f64 * PIXEL_NS) as u64);
+}
+
+/// Draws a solid line with Bresenham; returns pixels touched.
+///
+/// # Errors
+///
+/// `EBADF` for dangling buffers.
+pub fn draw_line(
+    k: &mut Kernel,
+    gralloc: &mut Gralloc,
+    buf: BufferId,
+    (x0, y0): (i32, i32),
+    (x1, y1): (i32, i32),
+    color: u32,
+) -> Result<usize, Errno> {
+    let b = gralloc.get_mut(buf)?;
+    let (w, h) = (b.width as i32, b.height as i32);
+    let (mut x, mut y) = (x0, y0);
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let mut touched = 0;
+    loop {
+        if x >= 0 && x < w && y >= 0 && y < h {
+            b.pixels[(y * w + x) as usize] = color;
+            touched += 1;
+        }
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+    charge_pixels(k, touched);
+    Ok(touched)
+}
+
+/// Fills a rectangle; returns pixels touched.
+///
+/// # Errors
+///
+/// `EBADF` for dangling buffers.
+pub fn fill_rect(
+    k: &mut Kernel,
+    gralloc: &mut Gralloc,
+    buf: BufferId,
+    (x, y): (u32, u32),
+    (w, h): (u32, u32),
+    color: u32,
+) -> Result<usize, Errno> {
+    let b = gralloc.get_mut(buf)?;
+    let bw = b.width;
+    let bh = b.height;
+    let mut touched = 0;
+    for yy in y..(y + h).min(bh) {
+        for xx in x..(x + w).min(bw) {
+            b.pixels[(yy * bw + xx) as usize] = color;
+            touched += 1;
+        }
+    }
+    charge_pixels(k, touched);
+    Ok(touched)
+}
+
+/// Alpha-blends a rectangle (transparent vectors); returns pixels.
+///
+/// # Errors
+///
+/// `EBADF` for dangling buffers.
+pub fn blend_rect(
+    k: &mut Kernel,
+    gralloc: &mut Gralloc,
+    buf: BufferId,
+    (x, y): (u32, u32),
+    (w, h): (u32, u32),
+    color: u32,
+    alpha: u8,
+) -> Result<usize, Errno> {
+    let b = gralloc.get_mut(buf)?;
+    let bw = b.width;
+    let bh = b.height;
+    let a = alpha as u32;
+    let na = 255 - a;
+    let mut touched = 0;
+    for yy in y..(y + h).min(bh) {
+        for xx in x..(x + w).min(bw) {
+            let idx = (yy * bw + xx) as usize;
+            let dst = b.pixels[idx];
+            // Blend each channel.
+            let mut out = 0u32;
+            for shift in [0, 8, 16, 24] {
+                let d = (dst >> shift) & 0xFF;
+                let s = (color >> shift) & 0xFF;
+                out |= (((s * a + d * na) / 255) & 0xFF) << shift;
+            }
+            b.pixels[idx] = out;
+            touched += 1;
+        }
+    }
+    // Blending reads and writes: roughly double the per-pixel work.
+    charge_pixels(k, touched * 2);
+    Ok(touched)
+}
+
+/// Rasterises a quadratic Bézier curve (complex vectors); returns
+/// pixels touched.
+///
+/// # Errors
+///
+/// `EBADF` for dangling buffers.
+pub fn draw_bezier(
+    k: &mut Kernel,
+    gralloc: &mut Gralloc,
+    buf: BufferId,
+    p0: (f32, f32),
+    p1: (f32, f32),
+    p2: (f32, f32),
+    color: u32,
+) -> Result<usize, Errno> {
+    let b = gralloc.get_mut(buf)?;
+    let (w, h) = (b.width as i32, b.height as i32);
+    let mut touched = 0;
+    let steps = 96;
+    for i in 0..=steps {
+        let t = i as f32 / steps as f32;
+        let mt = 1.0 - t;
+        let x = mt * mt * p0.0 + 2.0 * mt * t * p1.0 + t * t * p2.0;
+        let y = mt * mt * p0.1 + 2.0 * mt * t * p1.1 + t * t * p2.1;
+        let (xi, yi) = (x as i32, y as i32);
+        if xi >= 0 && xi < w && yi >= 0 && yi < h {
+            b.pixels[(yi * w + xi) as usize] = color;
+            touched += 1;
+        }
+    }
+    // Curve evaluation is float-heavy: charge evaluation plus pixels.
+    charge_pixels(k, touched + steps * 3);
+    Ok(touched)
+}
+
+/// Copies a source buffer into a destination at an offset (image
+/// rendering); returns pixels copied.
+///
+/// # Errors
+///
+/// `EBADF` for dangling buffers, `EINVAL` when `src == dst`.
+pub fn blit_image(
+    k: &mut Kernel,
+    gralloc: &mut Gralloc,
+    src: BufferId,
+    dst: BufferId,
+    (ox, oy): (u32, u32),
+) -> Result<usize, Errno> {
+    if src == dst {
+        return Err(Errno::EINVAL);
+    }
+    let (sw, sh, spixels) = {
+        let s = gralloc.get(src)?;
+        (s.width, s.height, s.pixels.clone())
+    };
+    let d = gralloc.get_mut(dst)?;
+    let (dw, dh) = (d.width, d.height);
+    let mut touched = 0;
+    for y in 0..sh.min(dh.saturating_sub(oy)) {
+        for x in 0..sw.min(dw.saturating_sub(ox)) {
+            d.pixels[((y + oy) * dw + (x + ox)) as usize] =
+                spixels[(y * sw + x) as usize];
+            touched += 1;
+        }
+    }
+    charge_pixels(k, touched);
+    Ok(touched)
+}
+
+/// 3×3 box blur (image filters); returns pixels written.
+///
+/// # Errors
+///
+/// `EBADF` for dangling buffers.
+pub fn box_blur(
+    k: &mut Kernel,
+    gralloc: &mut Gralloc,
+    buf: BufferId,
+) -> Result<usize, Errno> {
+    let b = gralloc.get_mut(buf)?;
+    let (w, h) = (b.width as usize, b.height as usize);
+    let src = b.pixels.clone();
+    let mut touched = 0;
+    for y in 1..h.saturating_sub(1) {
+        for x in 1..w.saturating_sub(1) {
+            let mut acc = [0u32; 4];
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    let p = src[(y + dy - 1) * w + (x + dx - 1)];
+                    for (ci, a) in acc.iter_mut().enumerate() {
+                        *a += (p >> (ci * 8)) & 0xFF;
+                    }
+                }
+            }
+            let mut out = 0u32;
+            for (ci, a) in acc.iter().enumerate() {
+                out |= ((a / 9) & 0xFF) << (ci * 8);
+            }
+            b.pixels[y * w + x] = out;
+            touched += 1;
+        }
+    }
+    // 9 taps per output pixel.
+    charge_pixels(k, touched * 9);
+    Ok(touched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gralloc::PixelFormat;
+    use cider_kernel::profile::DeviceProfile;
+
+    fn setup(w: u32, h: u32) -> (Kernel, Gralloc, BufferId) {
+        let k = Kernel::boot(DeviceProfile::nexus7());
+        let mut g = Gralloc::new();
+        let b = g.alloc(w, h, PixelFormat::Rgba8888).unwrap();
+        (k, g, b)
+    }
+
+    #[test]
+    fn line_draws_expected_pixels() {
+        let (mut k, mut g, b) = setup(16, 16);
+        let n = draw_line(&mut k, &mut g, b, (0, 0), (15, 0), 0xFF).unwrap();
+        assert_eq!(n, 16);
+        assert_eq!(g.get(b).unwrap().pixels[5], 0xFF);
+        assert_eq!(g.get(b).unwrap().pixels[16 + 5], 0);
+    }
+
+    #[test]
+    fn diagonal_line_clips() {
+        let (mut k, mut g, b) = setup(8, 8);
+        let n =
+            draw_line(&mut k, &mut g, b, (-4, -4), (4, 4), 0xAA).unwrap();
+        assert!(n >= 4, "clipped line still draws in-bounds: {n}");
+    }
+
+    #[test]
+    fn fill_and_blend() {
+        let (mut k, mut g, b) = setup(8, 8);
+        fill_rect(&mut k, &mut g, b, (0, 0), (8, 8), 0x000000FF).unwrap();
+        blend_rect(&mut k, &mut g, b, (0, 0), (8, 8), 0x0000FF00, 128)
+            .unwrap();
+        let p = g.get(b).unwrap().pixels[0];
+        let blue = p & 0xFF;
+        let green = (p >> 8) & 0xFF;
+        assert!(blue > 100 && blue < 140, "blue ~half: {blue}");
+        assert!(green > 100 && green < 140, "green ~half: {green}");
+    }
+
+    #[test]
+    fn bezier_touches_curve() {
+        let (mut k, mut g, b) = setup(64, 64);
+        let n = draw_bezier(
+            &mut k,
+            &mut g,
+            b,
+            (0.0, 0.0),
+            (32.0, 63.0),
+            (63.0, 0.0),
+            0x1,
+        )
+        .unwrap();
+        assert!(n > 20);
+        // Endpoints are on the curve.
+        assert_eq!(g.get(b).unwrap().pixels[0], 0x1);
+    }
+
+    #[test]
+    fn blit_and_blur() {
+        let (mut k, mut g, src) = setup(4, 4);
+        let dst = g.alloc(8, 8, PixelFormat::Rgba8888).unwrap();
+        fill_rect(&mut k, &mut g, src, (0, 0), (4, 4), 0xFF).unwrap();
+        let n = blit_image(&mut k, &mut g, src, dst, (2, 2)).unwrap();
+        assert_eq!(n, 16);
+        assert_eq!(g.get(dst).unwrap().pixels[2 * 8 + 2], 0xFF);
+        let blurred = box_blur(&mut k, &mut g, dst).unwrap();
+        assert_eq!(blurred, 36);
+        assert_eq!(
+            blit_image(&mut k, &mut g, dst, dst, (0, 0)),
+            Err(Errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn drawing_charges_cpu_time() {
+        let (mut k, mut g, b) = setup(128, 128);
+        let t0 = k.clock.now_ns();
+        fill_rect(&mut k, &mut g, b, (0, 0), (128, 128), 0x7).unwrap();
+        assert!(k.clock.now_ns() - t0 > 10_000);
+    }
+}

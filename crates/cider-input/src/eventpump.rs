@@ -1,0 +1,234 @@
+//! The input bridge: CiderPress → BSD socket → eventpump → Mach port.
+//!
+//! "Cider creates a new thread in each iOS app to act as a bridge
+//! between the Android input system and the Mach IPC port expecting
+//! input events. This thread, the *eventpump*, listens for events from
+//! the Android CiderPress app on a BSD socket. It then pumps those
+//! events into the iOS app via Mach IPC" (paper §5.2).
+
+use bytes::Bytes;
+use cider_abi::errno::Errno;
+use cider_abi::ids::{Fd, Pid, PortName, Tid};
+use cider_core::system::CiderSystem;
+use cider_xnu::ipc::UserMessage;
+
+use crate::events::{
+    decode, encode, encode_ios, translate, AndroidEvent, IosHidEvent,
+};
+
+/// Message id of HID events on the app's event port.
+pub const MSG_ID_HID_EVENT: i32 = 0x1D1D;
+
+/// The established bridge between one CiderPress instance and one iOS
+/// app.
+#[derive(Debug)]
+pub struct InputBridge {
+    /// CiderPress's side: its thread and socket fd.
+    pub ciderpress: (Pid, Tid, Fd),
+    /// The eventpump thread inside the iOS app and its socket fd.
+    pub pump: (Pid, Tid, Fd),
+    /// The app's event port (receive right, app space).
+    pub event_port: PortName,
+    /// The send right the eventpump uses.
+    event_port_send: PortName,
+    partial: Vec<u8>,
+    /// Events forwarded into the app so far.
+    pub events_forwarded: u64,
+}
+
+impl InputBridge {
+    /// Establishes the bridge: creates the socketpair in CiderPress,
+    /// passes one end to the app (`SCM_RIGHTS`), spawns the eventpump
+    /// thread inside the app, and allocates the app's event Mach port.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from socket or thread creation.
+    pub fn establish(
+        sys: &mut CiderSystem,
+        ciderpress: (Pid, Tid),
+        app: (Pid, Tid),
+    ) -> Result<InputBridge, Errno> {
+        let (cp_pid, cp_tid) = ciderpress;
+        let (app_pid, app_tid) = app;
+        let (cp_end, app_end_in_cp) = sys.kernel.sys_socketpair(cp_tid)?;
+        let app_end = sys.kernel.sys_pass_fd(cp_tid, app_end_in_cp, app_tid)?;
+
+        // The eventpump thread lives inside the iOS app process.
+        let pump_tid = sys.kernel.spawn_thread(app_tid)?;
+
+        // The Mach port apps monitor "for incoming low-level event
+        // notifications" (§5.2).
+        let event_port = sys
+            .mach_port_allocate(app_tid)
+            .map_err(|_| Errno::ENOMEM)?;
+        let event_port_send = sys
+            .mach_make_send(app_tid, event_port)
+            .map_err(|_| Errno::ENOMEM)?;
+        // Bursty input: raise the queue limit.
+        let _ = cider_core::state::with_state(&mut sys.kernel, |_, st| {
+            let space = st.task_space(app_pid);
+            st.machipc.set_qlimit(
+                space,
+                event_port,
+                cider_xnu::ipc::port::QLIMIT_MAX,
+            )
+        });
+
+        Ok(InputBridge {
+            ciderpress: (cp_pid, cp_tid, cp_end),
+            pump: (app_pid, pump_tid, app_end),
+            event_port,
+            event_port_send,
+            partial: Vec::new(),
+            events_forwarded: 0,
+        })
+    }
+
+    /// CiderPress side: forwards an Android input event over the socket.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors (`EPIPE` when the app died).
+    pub fn send_from_ciderpress(
+        &mut self,
+        sys: &mut CiderSystem,
+        event: &AndroidEvent,
+    ) -> Result<(), Errno> {
+        let (_, cp_tid, cp_fd) = self.ciderpress;
+        let bytes = encode(event);
+        sys.kernel.sys_write(cp_tid, cp_fd, &bytes)?;
+        Ok(())
+    }
+
+    /// Eventpump side: drains the socket, translates each event, and
+    /// pumps it into the app's Mach port. Returns events forwarded.
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` for corrupt frames; Mach send failures surface as
+    /// `ENOBUFS`.
+    pub fn pump_once(
+        &mut self,
+        sys: &mut CiderSystem,
+    ) -> Result<usize, Errno> {
+        let (_, pump_tid, sock) = self.pump;
+        match sys.kernel.sys_read(pump_tid, sock, 4096) {
+            Ok(data) => self.partial.extend_from_slice(&data),
+            Err(Errno::EAGAIN) => {}
+            Err(e) => return Err(e),
+        }
+        let mut forwarded = 0;
+        while let Some((event, consumed)) = decode(&self.partial)? {
+            self.partial.drain(..consumed);
+            let ios = translate(&event);
+            let body = encode_ios(&ios);
+            let msg = UserMessage::simple(
+                self.event_port_send,
+                MSG_ID_HID_EVENT,
+                Bytes::from(body),
+            );
+            sys.mach_msg_send(pump_tid, msg)
+                .map_err(|_| Errno::ENOBUFS)?;
+            forwarded += 1;
+        }
+        self.events_forwarded += forwarded as u64;
+        Ok(forwarded)
+    }
+
+    /// App side: receives the next HID event from the event port.
+    ///
+    /// # Errors
+    ///
+    /// `EAGAIN` when no event is queued, `EINVAL` for corrupt bodies.
+    pub fn receive_app_event(
+        &mut self,
+        sys: &mut CiderSystem,
+        app_tid: Tid,
+    ) -> Result<IosHidEvent, Errno> {
+        let msg = sys
+            .mach_msg_receive(app_tid, self.event_port)
+            .map_err(|_| Errno::EAGAIN)?;
+        if msg.msg_id != MSG_ID_HID_EVENT {
+            return Err(Errno::EINVAL);
+        }
+        crate::events::decode_ios(&msg.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{MotionAction, Pointer, TouchPhase};
+    use cider_kernel::profile::DeviceProfile;
+
+    fn setup() -> (CiderSystem, InputBridge, Tid) {
+        let mut sys = CiderSystem::new(DeviceProfile::nexus7());
+        let cp = sys.spawn_process();
+        let app = sys.spawn_process();
+        let bridge =
+            InputBridge::establish(&mut sys, (cp.0, cp.1), (app.0, app.1))
+                .unwrap();
+        (sys, bridge, app.1)
+    }
+
+    fn tap_down() -> AndroidEvent {
+        AndroidEvent::Motion {
+            action: MotionAction::Down,
+            pointers: vec![Pointer { id: 0, x: 640, y: 400 }],
+            time_ns: 1000,
+        }
+    }
+
+    #[test]
+    fn end_to_end_touch_delivery() {
+        let (mut sys, mut bridge, app_tid) = setup();
+        bridge.send_from_ciderpress(&mut sys, &tap_down()).unwrap();
+        assert_eq!(bridge.pump_once(&mut sys).unwrap(), 1);
+        let ev = bridge.receive_app_event(&mut sys, app_tid).unwrap();
+        let IosHidEvent::Touch { phase, touches, .. } = ev else {
+            panic!("expected touch");
+        };
+        assert_eq!(phase, TouchPhase::Began);
+        assert_eq!(touches[0].x, 640);
+        assert_eq!(bridge.events_forwarded, 1);
+    }
+
+    #[test]
+    fn pump_batches_multiple_events() {
+        let (mut sys, mut bridge, app_tid) = setup();
+        for i in 0..5 {
+            bridge
+                .send_from_ciderpress(
+                    &mut sys,
+                    &AndroidEvent::Motion {
+                        action: MotionAction::Move,
+                        pointers: vec![Pointer { id: 0, x: i, y: i }],
+                        time_ns: i as u64,
+                    },
+                )
+                .unwrap();
+        }
+        assert_eq!(bridge.pump_once(&mut sys).unwrap(), 5);
+        for _ in 0..5 {
+            bridge.receive_app_event(&mut sys, app_tid).unwrap();
+        }
+        assert_eq!(
+            bridge.receive_app_event(&mut sys, app_tid),
+            Err(Errno::EAGAIN)
+        );
+    }
+
+    #[test]
+    fn pump_with_no_data_is_empty() {
+        let (mut sys, mut bridge, _) = setup();
+        assert_eq!(bridge.pump_once(&mut sys).unwrap(), 0);
+    }
+
+    #[test]
+    fn eventpump_is_a_thread_in_the_app_process() {
+        let (sys, bridge, _) = setup();
+        let (app_pid, pump_tid, _) = bridge.pump;
+        assert_eq!(sys.kernel.thread(pump_tid).unwrap().pid, app_pid);
+    }
+}

@@ -1,0 +1,535 @@
+//! Input event formats on both sides of the bridge, and the translation
+//! between them.
+//!
+//! Android delivers `MotionEvent`s from the kernel input subsystem;
+//! iOS apps expect IOHID-style events on a Mach port (paper §5.2).
+//! Cider "simply reads events from the Android input system, translates
+//! them as necessary into a format understood by iOS apps".
+
+use cider_abi::errno::Errno;
+
+/// Android motion-event actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MotionAction {
+    /// First finger down.
+    Down,
+    /// Any pointer moved.
+    Move,
+    /// Last finger up.
+    Up,
+    /// An additional finger down.
+    PointerDown,
+    /// A non-last finger up.
+    PointerUp,
+}
+
+/// One touch point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pointer {
+    /// Stable pointer id.
+    pub id: u8,
+    /// X in screen pixels.
+    pub x: i32,
+    /// Y in screen pixels.
+    pub y: i32,
+}
+
+/// An event from the Android input subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AndroidEvent {
+    /// A multi-touch motion event.
+    Motion {
+        /// Action.
+        action: MotionAction,
+        /// Active pointers.
+        pointers: Vec<Pointer>,
+        /// Event time, virtual ns.
+        time_ns: u64,
+    },
+    /// An accelerometer sample (milli-g per axis).
+    Accelerometer {
+        /// X axis.
+        x: i32,
+        /// Y axis.
+        y: i32,
+        /// Z axis.
+        z: i32,
+        /// Sample time, virtual ns.
+        time_ns: u64,
+    },
+    /// A key/button event.
+    Key {
+        /// Key code.
+        code: u32,
+        /// Pressed (true) or released.
+        down: bool,
+        /// Event time, virtual ns.
+        time_ns: u64,
+    },
+}
+
+/// IOHID-style event phases iOS gesture recognisers consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TouchPhase {
+    /// Touch began.
+    Began,
+    /// Touch moved.
+    Moved,
+    /// Touch ended.
+    Ended,
+}
+
+/// An event in the format iOS apps expect on their event port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IosHidEvent {
+    /// A touch-collection event.
+    Touch {
+        /// Phase.
+        phase: TouchPhase,
+        /// Touches (pointer id, x, y).
+        touches: Vec<Pointer>,
+        /// Mach absolute time.
+        timestamp: u64,
+    },
+    /// An accelerometer sample in micro-g (iOS uses finer units).
+    Accelerometer {
+        /// X axis.
+        x: i64,
+        /// Y axis.
+        y: i64,
+        /// Z axis.
+        z: i64,
+        /// Mach absolute time.
+        timestamp: u64,
+    },
+    /// A button event.
+    Button {
+        /// HID usage code.
+        usage: u32,
+        /// Pressed?
+        down: bool,
+        /// Mach absolute time.
+        timestamp: u64,
+    },
+}
+
+/// Translates an Android event into the iOS format.
+pub fn translate(e: &AndroidEvent) -> IosHidEvent {
+    match e {
+        AndroidEvent::Motion {
+            action,
+            pointers,
+            time_ns,
+        } => {
+            let phase = match action {
+                MotionAction::Down | MotionAction::PointerDown => {
+                    TouchPhase::Began
+                }
+                MotionAction::Move => TouchPhase::Moved,
+                MotionAction::Up | MotionAction::PointerUp => {
+                    TouchPhase::Ended
+                }
+            };
+            IosHidEvent::Touch {
+                phase,
+                touches: pointers.clone(),
+                timestamp: *time_ns,
+            }
+        }
+        AndroidEvent::Accelerometer { x, y, z, time_ns } => {
+            IosHidEvent::Accelerometer {
+                x: *x as i64 * 1000,
+                y: *y as i64 * 1000,
+                z: *z as i64 * 1000,
+                timestamp: *time_ns,
+            }
+        }
+        AndroidEvent::Key {
+            code,
+            down,
+            time_ns,
+        } => IosHidEvent::Button {
+            usage: *code,
+            down: *down,
+            timestamp: *time_ns,
+        },
+    }
+}
+
+// ----------------------------------------------------------------------
+// Wire format across the CiderPress → eventpump BSD socket.
+// ----------------------------------------------------------------------
+
+/// Encodes an Android event for the bridge socket.
+pub fn encode(e: &AndroidEvent) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match e {
+        AndroidEvent::Motion {
+            action,
+            pointers,
+            time_ns,
+        } => {
+            out.push(1);
+            out.push(match action {
+                MotionAction::Down => 0,
+                MotionAction::Move => 1,
+                MotionAction::Up => 2,
+                MotionAction::PointerDown => 3,
+                MotionAction::PointerUp => 4,
+            });
+            out.extend_from_slice(&time_ns.to_le_bytes());
+            out.push(pointers.len() as u8);
+            for p in pointers {
+                out.push(p.id);
+                out.extend_from_slice(&p.x.to_le_bytes());
+                out.extend_from_slice(&p.y.to_le_bytes());
+            }
+        }
+        AndroidEvent::Accelerometer { x, y, z, time_ns } => {
+            out.push(2);
+            out.extend_from_slice(&time_ns.to_le_bytes());
+            out.extend_from_slice(&x.to_le_bytes());
+            out.extend_from_slice(&y.to_le_bytes());
+            out.extend_from_slice(&z.to_le_bytes());
+        }
+        AndroidEvent::Key {
+            code,
+            down,
+            time_ns,
+        } => {
+            out.push(3);
+            out.extend_from_slice(&time_ns.to_le_bytes());
+            out.extend_from_slice(&code.to_le_bytes());
+            out.push(u8::from(*down));
+        }
+    }
+    let mut framed = Vec::with_capacity(out.len() + 2);
+    framed.extend_from_slice(&(out.len() as u16).to_le_bytes());
+    framed.extend_from_slice(&out);
+    framed
+}
+
+/// Decodes one framed event from the socket stream; returns the event
+/// and bytes consumed, or `Ok(None)` when the buffer holds a partial
+/// frame.
+///
+/// # Errors
+///
+/// `EINVAL` for corrupt frames.
+pub fn decode(buf: &[u8]) -> Result<Option<(AndroidEvent, usize)>, Errno> {
+    if buf.len() < 2 {
+        return Ok(None);
+    }
+    let len = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+    if buf.len() < 2 + len {
+        return Ok(None);
+    }
+    let b = &buf[2..2 + len];
+    let consumed = 2 + len;
+    let ev = match b.first() {
+        Some(1) => {
+            if b.len() < 11 {
+                return Err(Errno::EINVAL);
+            }
+            let action = match b[1] {
+                0 => MotionAction::Down,
+                1 => MotionAction::Move,
+                2 => MotionAction::Up,
+                3 => MotionAction::PointerDown,
+                4 => MotionAction::PointerUp,
+                _ => return Err(Errno::EINVAL),
+            };
+            let time_ns =
+                u64::from_le_bytes(b[2..10].try_into().expect("len"));
+            let n = b[10] as usize;
+            if b.len() < 11 + n * 9 {
+                return Err(Errno::EINVAL);
+            }
+            let mut pointers = Vec::with_capacity(n);
+            for i in 0..n {
+                let off = 11 + i * 9;
+                pointers.push(Pointer {
+                    id: b[off],
+                    x: i32::from_le_bytes(
+                        b[off + 1..off + 5].try_into().expect("len"),
+                    ),
+                    y: i32::from_le_bytes(
+                        b[off + 5..off + 9].try_into().expect("len"),
+                    ),
+                });
+            }
+            AndroidEvent::Motion {
+                action,
+                pointers,
+                time_ns,
+            }
+        }
+        Some(2) => {
+            if b.len() < 21 {
+                return Err(Errno::EINVAL);
+            }
+            AndroidEvent::Accelerometer {
+                time_ns: u64::from_le_bytes(
+                    b[1..9].try_into().expect("len"),
+                ),
+                x: i32::from_le_bytes(b[9..13].try_into().expect("len")),
+                y: i32::from_le_bytes(b[13..17].try_into().expect("len")),
+                z: i32::from_le_bytes(b[17..21].try_into().expect("len")),
+            }
+        }
+        Some(3) => {
+            if b.len() < 14 {
+                return Err(Errno::EINVAL);
+            }
+            AndroidEvent::Key {
+                time_ns: u64::from_le_bytes(
+                    b[1..9].try_into().expect("len"),
+                ),
+                code: u32::from_le_bytes(b[9..13].try_into().expect("len")),
+                down: b[13] != 0,
+            }
+        }
+        _ => return Err(Errno::EINVAL),
+    };
+    Ok(Some((ev, consumed)))
+}
+
+// ----------------------------------------------------------------------
+// Wire format of translated events inside Mach messages (eventpump →
+// app event port).
+// ----------------------------------------------------------------------
+
+/// Encodes an iOS HID event into a Mach message body.
+pub fn encode_ios(e: &IosHidEvent) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match e {
+        IosHidEvent::Touch {
+            phase,
+            touches,
+            timestamp,
+        } => {
+            out.push(1);
+            out.push(match phase {
+                TouchPhase::Began => 0,
+                TouchPhase::Moved => 1,
+                TouchPhase::Ended => 2,
+            });
+            out.extend_from_slice(&timestamp.to_le_bytes());
+            out.push(touches.len() as u8);
+            for p in touches {
+                out.push(p.id);
+                out.extend_from_slice(&p.x.to_le_bytes());
+                out.extend_from_slice(&p.y.to_le_bytes());
+            }
+        }
+        IosHidEvent::Accelerometer { x, y, z, timestamp } => {
+            out.push(2);
+            out.extend_from_slice(&timestamp.to_le_bytes());
+            out.extend_from_slice(&x.to_le_bytes());
+            out.extend_from_slice(&y.to_le_bytes());
+            out.extend_from_slice(&z.to_le_bytes());
+        }
+        IosHidEvent::Button {
+            usage,
+            down,
+            timestamp,
+        } => {
+            out.push(3);
+            out.extend_from_slice(&timestamp.to_le_bytes());
+            out.extend_from_slice(&usage.to_le_bytes());
+            out.push(u8::from(*down));
+        }
+    }
+    out
+}
+
+/// Decodes an iOS HID event from a Mach message body.
+///
+/// # Errors
+///
+/// `EINVAL` for corrupt bodies.
+pub fn decode_ios(b: &[u8]) -> Result<IosHidEvent, Errno> {
+    match b.first() {
+        Some(1) => {
+            if b.len() < 11 {
+                return Err(Errno::EINVAL);
+            }
+            let phase = match b[1] {
+                0 => TouchPhase::Began,
+                1 => TouchPhase::Moved,
+                2 => TouchPhase::Ended,
+                _ => return Err(Errno::EINVAL),
+            };
+            let timestamp =
+                u64::from_le_bytes(b[2..10].try_into().expect("len"));
+            let n = b[10] as usize;
+            if b.len() < 11 + n * 9 {
+                return Err(Errno::EINVAL);
+            }
+            let mut touches = Vec::with_capacity(n);
+            for i in 0..n {
+                let off = 11 + i * 9;
+                touches.push(Pointer {
+                    id: b[off],
+                    x: i32::from_le_bytes(
+                        b[off + 1..off + 5].try_into().expect("len"),
+                    ),
+                    y: i32::from_le_bytes(
+                        b[off + 5..off + 9].try_into().expect("len"),
+                    ),
+                });
+            }
+            Ok(IosHidEvent::Touch {
+                phase,
+                touches,
+                timestamp,
+            })
+        }
+        Some(2) => {
+            if b.len() < 33 {
+                return Err(Errno::EINVAL);
+            }
+            Ok(IosHidEvent::Accelerometer {
+                timestamp: u64::from_le_bytes(
+                    b[1..9].try_into().expect("len"),
+                ),
+                x: i64::from_le_bytes(b[9..17].try_into().expect("len")),
+                y: i64::from_le_bytes(b[17..25].try_into().expect("len")),
+                z: i64::from_le_bytes(b[25..33].try_into().expect("len")),
+            })
+        }
+        Some(3) => {
+            if b.len() < 14 {
+                return Err(Errno::EINVAL);
+            }
+            Ok(IosHidEvent::Button {
+                timestamp: u64::from_le_bytes(
+                    b[1..9].try_into().expect("len"),
+                ),
+                usage: u32::from_le_bytes(b[9..13].try_into().expect("len")),
+                down: b[13] != 0,
+            })
+        }
+        _ => Err(Errno::EINVAL),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_motion() -> AndroidEvent {
+        AndroidEvent::Motion {
+            action: MotionAction::Move,
+            pointers: vec![
+                Pointer { id: 0, x: 100, y: 200 },
+                Pointer { id: 1, x: -5, y: 700 },
+            ],
+            time_ns: 123_456,
+        }
+    }
+
+    #[test]
+    fn translate_touch_phases() {
+        let ios = translate(&sample_motion());
+        let IosHidEvent::Touch {
+            phase, touches, ..
+        } = ios
+        else {
+            panic!("expected touch")
+        };
+        assert_eq!(phase, TouchPhase::Moved);
+        assert_eq!(touches.len(), 2);
+    }
+
+    #[test]
+    fn translate_accelerometer_scales_units() {
+        let a = AndroidEvent::Accelerometer {
+            x: 10,
+            y: -20,
+            z: 1000,
+            time_ns: 5,
+        };
+        let IosHidEvent::Accelerometer { x, z, .. } = translate(&a) else {
+            panic!("expected accel")
+        };
+        assert_eq!(x, 10_000);
+        assert_eq!(z, 1_000_000);
+    }
+
+    #[test]
+    fn wire_roundtrip_all_kinds() {
+        for ev in [
+            sample_motion(),
+            AndroidEvent::Accelerometer {
+                x: 1,
+                y: 2,
+                z: 3,
+                time_ns: 9,
+            },
+            AndroidEvent::Key {
+                code: 24,
+                down: true,
+                time_ns: 77,
+            },
+        ] {
+            let bytes = encode(&ev);
+            let (decoded, consumed) = decode(&bytes).unwrap().unwrap();
+            assert_eq!(decoded, ev);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more() {
+        let bytes = encode(&sample_motion());
+        assert_eq!(decode(&bytes[..1]).unwrap(), None);
+        assert_eq!(decode(&bytes[..bytes.len() - 1]).unwrap(), None);
+    }
+
+    #[test]
+    fn stream_of_frames_decodes_sequentially() {
+        let a = sample_motion();
+        let b = AndroidEvent::Key {
+            code: 1,
+            down: false,
+            time_ns: 2,
+        };
+        let mut stream = encode(&a);
+        stream.extend(encode(&b));
+        let (d1, c1) = decode(&stream).unwrap().unwrap();
+        assert_eq!(d1, a);
+        let (d2, _) = decode(&stream[c1..]).unwrap().unwrap();
+        assert_eq!(d2, b);
+    }
+
+    #[test]
+    fn corrupt_frame_rejected() {
+        let mut bytes = encode(&sample_motion());
+        bytes[2] = 99; // bogus kind
+        assert_eq!(decode(&bytes), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn ios_wire_roundtrip() {
+        let events = [
+            translate(&sample_motion()),
+            IosHidEvent::Accelerometer {
+                x: 1,
+                y: -2,
+                z: 3,
+                timestamp: 10,
+            },
+            IosHidEvent::Button {
+                usage: 7,
+                down: true,
+                timestamp: 20,
+            },
+        ];
+        for e in events {
+            let bytes = encode_ios(&e);
+            assert_eq!(decode_ios(&bytes).unwrap(), e);
+        }
+        assert_eq!(decode_ios(&[99]), Err(Errno::EINVAL));
+    }
+}

@@ -1,0 +1,279 @@
+//! Multi-touch gesture synthesis and recognition.
+//!
+//! "Panning, pinch-to-zoom, iOS on-screen keyboards and keypads, and
+//! other input gestures are also all completely supported" (paper §5.2).
+//! The synthesisers generate the Android event streams a user's fingers
+//! would; the recogniser plays the role of the iOS gesture-recogniser
+//! stack consuming translated events.
+
+use crate::events::{
+    AndroidEvent, IosHidEvent, MotionAction, Pointer, TouchPhase,
+};
+
+/// A recognised gesture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gesture {
+    /// A tap at a position.
+    Tap {
+        /// X.
+        x: i32,
+        /// Y.
+        y: i32,
+    },
+    /// A single-finger pan.
+    Pan {
+        /// Total delta X.
+        dx: i32,
+        /// Total delta Y.
+        dy: i32,
+    },
+    /// A two-finger pinch.
+    Pinch {
+        /// Final distance / initial distance.
+        scale: f32,
+    },
+}
+
+/// Synthesises a tap: down then up at the same point.
+pub fn synth_tap(x: i32, y: i32, t0: u64) -> Vec<AndroidEvent> {
+    let p = vec![Pointer { id: 0, x, y }];
+    vec![
+        AndroidEvent::Motion {
+            action: MotionAction::Down,
+            pointers: p.clone(),
+            time_ns: t0,
+        },
+        AndroidEvent::Motion {
+            action: MotionAction::Up,
+            pointers: p,
+            time_ns: t0 + 80_000_000,
+        },
+    ]
+}
+
+/// Synthesises a pan from one point to another in `steps` moves.
+pub fn synth_pan(
+    from: (i32, i32),
+    to: (i32, i32),
+    steps: u32,
+    t0: u64,
+) -> Vec<AndroidEvent> {
+    let mut events = vec![AndroidEvent::Motion {
+        action: MotionAction::Down,
+        pointers: vec![Pointer {
+            id: 0,
+            x: from.0,
+            y: from.1,
+        }],
+        time_ns: t0,
+    }];
+    for i in 1..=steps {
+        let f = i as f32 / steps as f32;
+        let x = from.0 + ((to.0 - from.0) as f32 * f) as i32;
+        let y = from.1 + ((to.1 - from.1) as f32 * f) as i32;
+        events.push(AndroidEvent::Motion {
+            action: MotionAction::Move,
+            pointers: vec![Pointer { id: 0, x, y }],
+            time_ns: t0 + i as u64 * 16_000_000,
+        });
+    }
+    events.push(AndroidEvent::Motion {
+        action: MotionAction::Up,
+        pointers: vec![Pointer {
+            id: 0,
+            x: to.0,
+            y: to.1,
+        }],
+        time_ns: t0 + (steps as u64 + 1) * 16_000_000,
+    });
+    events
+}
+
+/// Synthesises a two-finger pinch around a centre, from radius `r0` to
+/// radius `r1`.
+pub fn synth_pinch(
+    center: (i32, i32),
+    r0: i32,
+    r1: i32,
+    steps: u32,
+    t0: u64,
+) -> Vec<AndroidEvent> {
+    let fingers = |r: i32| {
+        vec![
+            Pointer {
+                id: 0,
+                x: center.0 - r,
+                y: center.1,
+            },
+            Pointer {
+                id: 1,
+                x: center.0 + r,
+                y: center.1,
+            },
+        ]
+    };
+    let mut events = vec![
+        AndroidEvent::Motion {
+            action: MotionAction::Down,
+            pointers: fingers(r0)[..1].to_vec(),
+            time_ns: t0,
+        },
+        AndroidEvent::Motion {
+            action: MotionAction::PointerDown,
+            pointers: fingers(r0),
+            time_ns: t0 + 8_000_000,
+        },
+    ];
+    for i in 1..=steps {
+        let f = i as f32 / steps as f32;
+        let r = r0 + ((r1 - r0) as f32 * f) as i32;
+        events.push(AndroidEvent::Motion {
+            action: MotionAction::Move,
+            pointers: fingers(r),
+            time_ns: t0 + (i as u64 + 1) * 16_000_000,
+        });
+    }
+    events.push(AndroidEvent::Motion {
+        action: MotionAction::Up,
+        pointers: fingers(r1),
+        time_ns: t0 + (steps as u64 + 2) * 16_000_000,
+    });
+    events
+}
+
+/// The iOS-side recogniser consuming translated HID events.
+#[derive(Debug, Default)]
+pub struct GestureRecognizer {
+    start: Vec<Pointer>,
+    last: Vec<Pointer>,
+    max_pointers: usize,
+    /// Gestures recognised so far.
+    pub recognized: Vec<Gesture>,
+}
+
+fn dist(a: &Pointer, b: &Pointer) -> f32 {
+    (((a.x - b.x).pow(2) + (a.y - b.y).pow(2)) as f32).sqrt()
+}
+
+impl GestureRecognizer {
+    /// Fresh recogniser.
+    pub fn new() -> GestureRecognizer {
+        GestureRecognizer::default()
+    }
+
+    /// Feeds one translated event; may append to `recognized`.
+    pub fn feed(&mut self, event: &IosHidEvent) {
+        let IosHidEvent::Touch { phase, touches, .. } = event else {
+            return;
+        };
+        match phase {
+            TouchPhase::Began => {
+                if self.start.is_empty() {
+                    self.start = touches.clone();
+                }
+                if touches.len() > self.start.len() {
+                    self.start = touches.clone();
+                }
+                self.max_pointers = self.max_pointers.max(touches.len());
+                self.last = touches.clone();
+            }
+            TouchPhase::Moved => {
+                self.max_pointers = self.max_pointers.max(touches.len());
+                self.last = touches.clone();
+            }
+            TouchPhase::Ended => {
+                if !touches.is_empty() {
+                    self.last = touches.clone();
+                }
+                self.finish();
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.start.is_empty() || self.last.is_empty() {
+            self.reset();
+            return;
+        }
+        if self.max_pointers >= 2 && self.start.len() >= 2 && self.last.len() >= 2
+        {
+            let d0 = dist(&self.start[0], &self.start[1]);
+            let d1 = dist(&self.last[0], &self.last[1]);
+            if d0 > 0.0 {
+                self.recognized.push(Gesture::Pinch { scale: d1 / d0 });
+                self.reset();
+                return;
+            }
+        }
+        let s = self.start[0];
+        let l = self.last[0];
+        let dx = l.x - s.x;
+        let dy = l.y - s.y;
+        if dx.abs() < 12 && dy.abs() < 12 {
+            self.recognized.push(Gesture::Tap { x: s.x, y: s.y });
+        } else {
+            self.recognized.push(Gesture::Pan { dx, dy });
+        }
+        self.reset();
+    }
+
+    fn reset(&mut self) {
+        self.start.clear();
+        self.last.clear();
+        self.max_pointers = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::translate;
+
+    fn run(events: Vec<AndroidEvent>) -> Vec<Gesture> {
+        let mut r = GestureRecognizer::new();
+        for e in &events {
+            r.feed(&translate(e));
+        }
+        r.recognized
+    }
+
+    #[test]
+    fn tap_recognised() {
+        let g = run(synth_tap(100, 200, 0));
+        assert_eq!(g, vec![Gesture::Tap { x: 100, y: 200 }]);
+    }
+
+    #[test]
+    fn pan_recognised_with_delta() {
+        let g = run(synth_pan((0, 0), (200, 100), 8, 0));
+        assert_eq!(g, vec![Gesture::Pan { dx: 200, dy: 100 }]);
+    }
+
+    #[test]
+    fn pinch_out_scales_up() {
+        let g = run(synth_pinch((400, 300), 50, 150, 6, 0));
+        let [Gesture::Pinch { scale }] = g.as_slice() else {
+            panic!("expected pinch, got {g:?}");
+        };
+        assert!((*scale - 3.0).abs() < 0.1, "scale {scale}");
+    }
+
+    #[test]
+    fn pinch_in_scales_down() {
+        let g = run(synth_pinch((400, 300), 150, 50, 6, 0));
+        let [Gesture::Pinch { scale }] = g.as_slice() else {
+            panic!("expected pinch, got {g:?}");
+        };
+        assert!(*scale < 0.5, "scale {scale}");
+    }
+
+    #[test]
+    fn sequential_gestures_recognised_independently() {
+        let mut events = synth_tap(10, 10, 0);
+        events.extend(synth_pan((0, 0), (100, 0), 4, 1_000_000_000));
+        let g = run(events);
+        assert_eq!(g.len(), 2);
+        assert!(matches!(g[0], Gesture::Tap { .. }));
+        assert!(matches!(g[1], Gesture::Pan { .. }));
+    }
+}

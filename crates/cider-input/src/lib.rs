@@ -1,0 +1,33 @@
+//! Input substrate for the Cider reproduction (paper §5.2).
+//!
+//! Implements the full event path: Android [`events`] from the input
+//! subsystem are forwarded by CiderPress over a BSD socket to the
+//! [`eventpump`] thread Cider creates inside each iOS app, which
+//! translates them to the IOHID-style format and pumps them into the
+//! app's Mach event port. [`gestures`] provides multi-touch gesture
+//! synthesis (tap, pan, pinch-to-zoom) and the iOS-side recogniser.
+//!
+//! # Example
+//!
+//! ```
+//! use cider_input::events::{translate, AndroidEvent, MotionAction,
+//!     Pointer, IosHidEvent, TouchPhase};
+//!
+//! let android = AndroidEvent::Motion {
+//!     action: MotionAction::Down,
+//!     pointers: vec![Pointer { id: 0, x: 10, y: 20 }],
+//!     time_ns: 0,
+//! };
+//! let IosHidEvent::Touch { phase, .. } = translate(&android) else {
+//!     unreachable!()
+//! };
+//! assert_eq!(phase, TouchPhase::Began);
+//! ```
+
+pub mod events;
+pub mod eventpump;
+pub mod gestures;
+
+pub use events::{translate, AndroidEvent, IosHidEvent, Pointer};
+pub use eventpump::{InputBridge, MSG_ID_HID_EVENT};
+pub use gestures::{Gesture, GestureRecognizer};

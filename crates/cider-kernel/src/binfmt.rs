@@ -1,0 +1,99 @@
+//! Binary-format loaders (`binfmt` registry).
+//!
+//! `exec` walks the registered loaders in order until one recognises the
+//! image, mirroring Linux's `binfmt` list. The base kernel ships no
+//! loaders; `cider-loader` registers the ELF loader and `cider-core`
+//! registers the Mach-O loader that tags threads with the iOS persona.
+
+use std::fmt;
+use std::rc::Rc;
+
+use cider_abi::errno::Errno;
+use cider_abi::ids::Tid;
+
+use crate::kernel::Kernel;
+
+/// An image handed to `exec`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecImage {
+    /// Path the image was resolved from.
+    pub path: String,
+    /// Raw file bytes.
+    pub bytes: Vec<u8>,
+    /// Argument vector.
+    pub argv: Vec<String>,
+}
+
+/// What a loader reports after mapping an image.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadedProgram {
+    /// Behaviour key for the kernel program registry.
+    pub entry_symbol: Option<String>,
+    /// Total bytes mapped (binary + libraries).
+    pub mapped_bytes: u64,
+    /// Number of dynamic libraries loaded.
+    pub dylib_count: u32,
+    /// Loader name ("elf", "macho").
+    pub format: &'static str,
+}
+
+/// A binary-format loader.
+pub trait BinaryLoader: fmt::Debug {
+    /// Loader name.
+    fn name(&self) -> &'static str;
+
+    /// Whether this loader recognises the image (magic check).
+    fn can_load(&self, image: &[u8]) -> bool;
+
+    /// Maps the image into the calling thread's process, performing
+    /// dynamic linking and registering user callbacks.
+    ///
+    /// # Errors
+    ///
+    /// `ENOEXEC` for malformed images; loaders may surface `ENOENT` for
+    /// missing libraries or `EACCES` for encrypted binaries.
+    fn load(
+        &self,
+        k: &mut Kernel,
+        tid: Tid,
+        image: &ExecImage,
+    ) -> Result<LoadedProgram, Errno>;
+}
+
+/// Reference-counted loader handle as stored in the kernel.
+pub type BinaryLoaderRef = Rc<dyn BinaryLoader>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct FakeLoader;
+
+    impl BinaryLoader for FakeLoader {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn can_load(&self, image: &[u8]) -> bool {
+            image.starts_with(b"FAKE")
+        }
+        fn load(
+            &self,
+            _k: &mut Kernel,
+            _tid: Tid,
+            _image: &ExecImage,
+        ) -> Result<LoadedProgram, Errno> {
+            Ok(LoadedProgram {
+                format: "fake",
+                ..LoadedProgram::default()
+            })
+        }
+    }
+
+    #[test]
+    fn magic_detection() {
+        let l = FakeLoader;
+        assert!(l.can_load(b"FAKEbinary"));
+        assert!(!l.can_load(b"\x7fELF"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Virtual time.
+//!
+//! The simulator never reads the host clock: every kernel operation
+//! *charges* virtual nanoseconds to the [`VirtualClock`], scaled by the
+//! active [`DeviceProfile`](crate::profile::DeviceProfile). Benchmarks
+//! measure elapsed virtual time, which makes every experiment exactly
+//! reproducible and lets one host machine model two different devices
+//! (the Nexus 7 and the iPad mini).
+
+use std::fmt;
+
+/// A monotonically increasing virtual clock, in nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now_ns: u64,
+    charges: u64,
+}
+
+impl VirtualClock {
+    /// A clock starting at zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Current virtual time in nanoseconds since boot.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    pub fn advance(&mut self, ns: u64) {
+        self.now_ns += ns;
+        self.charges += 1;
+    }
+
+    /// Number of individual charges, useful for asserting that a code path
+    /// actually billed the clock.
+    pub fn charge_count(&self) -> u64 {
+        self.charges
+    }
+}
+
+impl fmt::Display for VirtualClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}ns", self.now_ns)
+    }
+}
+
+/// A span of virtual time, produced by [`Stopwatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualDuration {
+    /// Elapsed virtual nanoseconds.
+    pub ns: u64,
+}
+
+impl VirtualDuration {
+    /// Zero-length duration.
+    pub const ZERO: VirtualDuration = VirtualDuration { ns: 0 };
+
+    /// Builds a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> VirtualDuration {
+        VirtualDuration { ns }
+    }
+
+    /// The duration in (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.ns as f64 / 1_000.0
+    }
+
+    /// The duration in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.ns as f64 / 1_000_000.0
+    }
+}
+
+impl fmt::Display for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.ns)
+        }
+    }
+}
+
+impl std::ops::Add for VirtualDuration {
+    type Output = VirtualDuration;
+    fn add(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration {
+            ns: self.ns + rhs.ns,
+        }
+    }
+}
+
+impl std::iter::Sum for VirtualDuration {
+    fn sum<I: Iterator<Item = VirtualDuration>>(iter: I) -> VirtualDuration {
+        iter.fold(VirtualDuration::ZERO, |a, b| a + b)
+    }
+}
+
+/// Measures elapsed virtual time between two clock observations.
+///
+/// # Example
+///
+/// ```
+/// use cider_kernel::clock::{Stopwatch, VirtualClock};
+///
+/// let mut clock = VirtualClock::new();
+/// let sw = Stopwatch::start(&clock);
+/// clock.advance(1500);
+/// assert_eq!(sw.elapsed(&clock).ns, 1500);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start_ns: u64,
+}
+
+impl Stopwatch {
+    /// Starts timing at the clock's current instant.
+    pub fn start(clock: &VirtualClock) -> Stopwatch {
+        Stopwatch {
+            start_ns: clock.now_ns(),
+        }
+    }
+
+    /// Virtual time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self, clock: &VirtualClock) -> VirtualDuration {
+        VirtualDuration {
+            ns: clock.now_ns() - self.start_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_counts_charges() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(100);
+        c.advance(50);
+        assert_eq!(c.now_ns(), 150);
+        assert_eq!(c.charge_count(), 2);
+    }
+
+    #[test]
+    fn stopwatch_measures_spans() {
+        let mut c = VirtualClock::new();
+        c.advance(10);
+        let sw = Stopwatch::start(&c);
+        c.advance(90);
+        assert_eq!(sw.elapsed(&c), VirtualDuration::from_nanos(90));
+    }
+
+    #[test]
+    fn duration_display_scales_units() {
+        assert_eq!(VirtualDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(VirtualDuration::from_nanos(1500).to_string(), "1.500us");
+        assert_eq!(
+            VirtualDuration::from_nanos(2_500_000).to_string(),
+            "2.500ms"
+        );
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: VirtualDuration = [10u64, 20, 30]
+            .iter()
+            .map(|&n| VirtualDuration::from_nanos(n))
+            .sum();
+        assert_eq!(total.ns, 60);
+    }
+}

@@ -1,0 +1,251 @@
+//! Personalities and syscall dispatch tables.
+//!
+//! "Cider maintains one or more syscall dispatch tables for each persona,
+//! and switches among them based on the persona of the calling thread and
+//! the syscall number" (paper §4.1). The base kernel owns a table of
+//! [`Personality`] objects; each thread carries a `PersonalityId`, and
+//! every trap is routed to that personality, which consults its own
+//! [`SyscallTable`]s and applies its own calling/error conventions.
+//!
+//! The vanilla kernel registers only the Linux personality (see
+//! `cider_kernel::LinuxPersonality`); the Cider layer
+//! registers an XNU personality with four trap-class tables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use cider_abi::convention::CpuFlags;
+use cider_abi::errno::Errno;
+use cider_abi::ids::Tid;
+use cider_abi::signal::{sigframe, Signal};
+
+use crate::kernel::Kernel;
+
+/// Out-of-band payload accompanying a trap's register arguments.
+///
+/// The simulator does not model raw user memory, so buffers and paths that
+/// a real kernel would `copy_from_user` travel next to the registers.
+/// Costs are still charged per byte as if copied.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum SyscallData {
+    /// No payload.
+    #[default]
+    None,
+    /// A byte buffer travelling into the kernel (write, send).
+    Bytes(Vec<u8>),
+    /// A path string.
+    Path(String),
+    /// A path plus argv (execve).
+    Exec {
+        /// Binary path.
+        path: String,
+        /// Argument vector.
+        argv: Vec<String>,
+    },
+    /// A set of descriptors (select).
+    FdSet(Vec<i32>),
+}
+
+/// A trap's full argument set: seven argument registers plus payload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyscallArgs {
+    /// Argument registers r0..r6.
+    pub regs: [i64; 7],
+    /// Out-of-band payload (stands in for user memory).
+    pub data: SyscallData,
+}
+
+impl SyscallArgs {
+    /// No arguments.
+    pub fn none() -> SyscallArgs {
+        SyscallArgs::default()
+    }
+
+    /// Only register arguments.
+    pub fn regs(regs: [i64; 7]) -> SyscallArgs {
+        SyscallArgs {
+            regs,
+            data: SyscallData::None,
+        }
+    }
+}
+
+/// Result a trap handler produces before convention encoding, plus any
+/// data travelling back to user space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrapResult {
+    /// Success value or domestic errno.
+    pub outcome: Result<i64, Errno>,
+    /// Data returned to user space (read buffers etc.).
+    pub out_data: Vec<u8>,
+}
+
+impl TrapResult {
+    /// Success with a value and no data.
+    pub fn ok(v: i64) -> TrapResult {
+        TrapResult {
+            outcome: Ok(v),
+            out_data: Vec::new(),
+        }
+    }
+
+    /// Failure.
+    pub fn err(e: Errno) -> TrapResult {
+        TrapResult {
+            outcome: Err(e),
+            out_data: Vec::new(),
+        }
+    }
+
+    /// Success carrying returned bytes; the value is the byte count.
+    pub fn with_data(data: Vec<u8>) -> TrapResult {
+        TrapResult {
+            outcome: Ok(data.len() as i64),
+            out_data: data,
+        }
+    }
+}
+
+/// A syscall handler: a plain function pointer, exactly like an entry in a
+/// kernel's `sys_call_table`.
+pub type SyscallHandler =
+    fn(&mut Kernel, Tid, &SyscallArgs) -> TrapResult;
+
+/// One dispatch table: syscall number → handler.
+#[derive(Default)]
+pub struct SyscallTable {
+    entries: BTreeMap<i32, (&'static str, SyscallHandler)>,
+}
+
+impl fmt::Debug for SyscallTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SyscallTable")
+            .field("entries", &self.entries.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl SyscallTable {
+    /// Empty table.
+    pub fn new() -> SyscallTable {
+        SyscallTable::default()
+    }
+
+    /// Installs a handler for a syscall number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number is already taken — dispatch tables are built
+    /// once at personality construction and conflicts are bugs.
+    pub fn install(
+        &mut self,
+        nr: i32,
+        name: &'static str,
+        handler: SyscallHandler,
+    ) {
+        let prev = self.entries.insert(nr, (name, handler));
+        assert!(prev.is_none(), "syscall {nr} double-registered");
+    }
+
+    /// Looks up a handler.
+    pub fn lookup(&self, nr: i32) -> Option<(&'static str, SyscallHandler)> {
+        self.entries.get(&nr).copied()
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The full result of a trap as user space sees it: result register,
+/// flags, and any out-of-band data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserTrapResult {
+    /// Result register value (convention-specific encoding).
+    pub reg: i64,
+    /// CPU flags (carry = XNU error).
+    pub flags: CpuFlags,
+    /// Returned bytes.
+    pub out_data: Vec<u8>,
+}
+
+/// A kernel ABI personality — the per-persona syscall entry/exit code.
+pub trait Personality: fmt::Debug {
+    /// Name for diagnostics ("linux", "xnu", "xnu-native").
+    fn name(&self) -> &'static str;
+
+    /// Handles one raw trap: decodes the number per this personality's
+    /// conventions, dispatches, and encodes the result.
+    fn trap(
+        &self,
+        k: &mut Kernel,
+        tid: Tid,
+        number: i64,
+        args: &SyscallArgs,
+    ) -> UserTrapResult;
+
+    /// Size of the signal frame this personality's user space expects —
+    /// drives the delivery-cost difference the paper measured.
+    fn sigframe_bytes(&self) -> usize {
+        sigframe::LINUX_FRAME_BYTES
+    }
+
+    /// Translates an internal (Linux-numbered) signal into the raw number
+    /// this personality's user space expects, or `None` to drop it.
+    fn signal_number(&self, sig: Signal) -> Option<i32> {
+        Some(sig.as_raw())
+    }
+
+    /// Extra per-signal translation cost in ns (zero for the native
+    /// personality; the XNU personality pays for renumbering plus the
+    /// larger `siginfo` conversion).
+    fn signal_translation_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// A reference-counted personality handle as stored in the kernel.
+pub type PersonalityRef = Rc<dyn Personality>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nop(_: &mut Kernel, _: Tid, _: &SyscallArgs) -> TrapResult {
+        TrapResult::ok(0)
+    }
+
+    #[test]
+    fn table_install_and_lookup() {
+        let mut t = SyscallTable::new();
+        t.install(3, "read", nop);
+        t.install(4, "write", nop);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(3).unwrap().0, "read");
+        assert!(t.lookup(99).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "double-registered")]
+    fn double_registration_panics() {
+        let mut t = SyscallTable::new();
+        t.install(3, "read", nop);
+        t.install(3, "read2", nop);
+    }
+
+    #[test]
+    fn trap_result_constructors() {
+        assert_eq!(TrapResult::ok(5).outcome, Ok(5));
+        assert_eq!(TrapResult::err(Errno::EBADF).outcome, Err(Errno::EBADF));
+        let r = TrapResult::with_data(vec![1, 2, 3]);
+        assert_eq!(r.outcome, Ok(3));
+        assert_eq!(r.out_data, vec![1, 2, 3]);
+    }
+}

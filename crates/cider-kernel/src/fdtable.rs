@@ -1,0 +1,182 @@
+//! Per-process file-descriptor tables.
+
+use std::collections::BTreeMap;
+
+use cider_abi::errno::Errno;
+use cider_abi::ids::Fd;
+
+use crate::ipcobj::{PipeEnd, SocketEnd};
+use crate::vfs::{DeviceId, Ino};
+
+/// What an open descriptor refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileObject {
+    /// A VFS regular file with a seek offset.
+    File {
+        /// Backing inode.
+        ino: Ino,
+        /// Current seek offset.
+        offset: u64,
+        /// Opened writable.
+        writable: bool,
+        /// Opened readable.
+        readable: bool,
+    },
+    /// One end of a pipe.
+    Pipe(PipeEnd),
+    /// One end of a connected UNIX-domain socket pair.
+    Socket(SocketEnd),
+    /// A character device.
+    Device(DeviceId),
+    /// The console (stdout/stderr sink).
+    Console,
+}
+
+/// A process's descriptor table.
+#[derive(Debug, Clone, Default)]
+pub struct FdTable {
+    entries: BTreeMap<i32, FileObject>,
+    next: i32,
+}
+
+impl FdTable {
+    /// An empty table.
+    pub fn new() -> FdTable {
+        FdTable {
+            entries: BTreeMap::new(),
+            next: 0,
+        }
+    }
+
+    /// A table pre-populated with stdin/stdout/stderr console entries.
+    pub fn with_stdio() -> FdTable {
+        let mut t = FdTable::new();
+        for _ in 0..3 {
+            t.insert(FileObject::Console);
+        }
+        t
+    }
+
+    /// Inserts an object at the lowest free descriptor.
+    pub fn insert(&mut self, obj: FileObject) -> Fd {
+        let mut fd = 0;
+        while self.entries.contains_key(&fd) {
+            fd += 1;
+        }
+        self.entries.insert(fd, obj);
+        self.next = self.next.max(fd + 1);
+        Fd(fd)
+    }
+
+    /// Looks up a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if the descriptor is not open.
+    pub fn get(&self, fd: Fd) -> Result<&FileObject, Errno> {
+        self.entries.get(&fd.0).ok_or(Errno::EBADF)
+    }
+
+    /// Mutable lookup.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if the descriptor is not open.
+    pub fn get_mut(&mut self, fd: Fd) -> Result<&mut FileObject, Errno> {
+        self.entries.get_mut(&fd.0).ok_or(Errno::EBADF)
+    }
+
+    /// Closes a descriptor, returning the object for teardown.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if the descriptor is not open.
+    pub fn remove(&mut self, fd: Fd) -> Result<FileObject, Errno> {
+        self.entries.remove(&fd.0).ok_or(Errno::EBADF)
+    }
+
+    /// Duplicates `old` to the lowest free descriptor (`dup`).
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if `old` is not open.
+    pub fn dup(&mut self, old: Fd) -> Result<Fd, Errno> {
+        let obj = self.get(old)?.clone();
+        Ok(self.insert(obj))
+    }
+
+    /// Duplicates `old` onto `new` (`dup2`), closing `new` first if open.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if `old` is not open or `new` is negative.
+    pub fn dup2(&mut self, old: Fd, new: Fd) -> Result<Fd, Errno> {
+        if new.0 < 0 {
+            return Err(Errno::EBADF);
+        }
+        let obj = self.get(old)?.clone();
+        self.entries.insert(new.0, obj);
+        Ok(new)
+    }
+
+    /// Number of open descriptors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no descriptors are open.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(fd, object)` pairs in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (Fd, &FileObject)> {
+        self.entries.iter().map(|(&fd, obj)| (Fd(fd), obj))
+    }
+
+    /// Clones the table for `fork`; the caller charges per-entry cost.
+    pub fn fork_clone(&self) -> (FdTable, usize) {
+        (self.clone(), self.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_uses_lowest_free() {
+        let mut t = FdTable::with_stdio();
+        let fd = t.insert(FileObject::Console);
+        assert_eq!(fd, Fd(3));
+        t.remove(Fd(1)).unwrap();
+        let fd = t.insert(FileObject::Console);
+        assert_eq!(fd, Fd(1));
+    }
+
+    #[test]
+    fn get_and_remove_errors() {
+        let mut t = FdTable::new();
+        assert_eq!(t.get(Fd(0)).unwrap_err(), Errno::EBADF);
+        assert_eq!(t.remove(Fd(5)).unwrap_err(), Errno::EBADF);
+    }
+
+    #[test]
+    fn dup_and_dup2() {
+        let mut t = FdTable::with_stdio();
+        let d = t.dup(Fd(0)).unwrap();
+        assert_eq!(d, Fd(3));
+        t.dup2(Fd(0), Fd(10)).unwrap();
+        assert!(t.get(Fd(10)).is_ok());
+        assert_eq!(t.dup2(Fd(99), Fd(1)).unwrap_err(), Errno::EBADF);
+        assert_eq!(t.dup2(Fd(0), Fd(-1)).unwrap_err(), Errno::EBADF);
+    }
+
+    #[test]
+    fn fork_clone_counts_entries() {
+        let t = FdTable::with_stdio();
+        let (clone, n) = t.fork_clone();
+        assert_eq!(n, 3);
+        assert_eq!(clone.len(), 3);
+    }
+}

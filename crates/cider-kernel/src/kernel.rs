@@ -1,0 +1,1992 @@
+//! The kernel façade: processes, traps, signals, and virtual-time
+//! accounting, tied together behind typed `sys_*` operations.
+//!
+//! Two usage levels coexist, mirroring a real system:
+//!
+//! * **trap level** — [`Kernel::trap`] takes a raw syscall number plus
+//!   register arguments and routes them through the calling thread's
+//!   [`Personality`](crate::dispatch::Personality), exactly as a binary's
+//!   `svc` instruction would. This is the path benchmarks measure.
+//! * **typed level** — the `sys_*` methods implement the operations
+//!   themselves (and charge syscall entry/exit cost); personalities'
+//!   dispatch tables bottom out here.
+//!
+//! A vanilla kernel has a single Linux personality and no persona
+//! machinery; installing any additional personality flips
+//! `cider_enabled`, which adds the per-trap persona check the paper
+//! measured at 8.5 % of a null syscall.
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use cider_abi::convention::CpuFlags;
+use cider_abi::errno::Errno;
+use cider_abi::ids::{Fd, Pid, Tid};
+use cider_abi::signal::Signal;
+use cider_abi::types::{OpenFlags, Stat};
+
+use crate::binfmt::{BinaryLoaderRef, ExecImage};
+use crate::clock::VirtualClock;
+use crate::device::DeviceRegistry;
+use crate::dispatch::{
+    PersonalityRef, SyscallArgs, SyscallTable, TrapResult, UserTrapResult,
+};
+use crate::fdtable::FileObject;
+use crate::ipcobj::IpcObjects;
+use crate::process::{
+    DeliveredSignal, PersonalityId, Process, ProcessState, SigDisposition,
+    Thread, ThreadState, UserCallback, WaitChannel,
+};
+use crate::profile::DeviceProfile;
+use crate::vfs::Vfs;
+
+/// A registered program behaviour: the "main" of a simulated binary.
+pub type ProgramBehavior = Rc<dyn Fn(&mut Kernel, Tid) -> i32>;
+
+/// Typed storage for kernel extensions — state that higher layers
+/// (Cider) compile into the kernel. Handlers `take` their state out,
+/// operate with both the state and the kernel borrowed, and `insert` it
+/// back.
+#[derive(Default)]
+pub struct Extensions {
+    map: HashMap<std::any::TypeId, Box<dyn std::any::Any>>,
+}
+
+impl std::fmt::Debug for Extensions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Extensions({} entries)", self.map.len())
+    }
+}
+
+impl Extensions {
+    /// Stores a value, replacing any previous value of the same type.
+    pub fn insert<T: 'static>(&mut self, value: T) {
+        self.map
+            .insert(std::any::TypeId::of::<T>(), Box::new(value));
+    }
+
+    /// Removes and returns the value of type `T`.
+    pub fn take<T: 'static>(&mut self) -> Option<T> {
+        self.map
+            .remove(&std::any::TypeId::of::<T>())
+            .and_then(|b| b.downcast::<T>().ok())
+            .map(|b| *b)
+    }
+
+    /// Borrows the value of type `T`.
+    pub fn get<T: 'static>(&self) -> Option<&T> {
+        self.map
+            .get(&std::any::TypeId::of::<T>())
+            .and_then(|b| b.downcast_ref::<T>())
+    }
+
+    /// Mutably borrows the value of type `T`.
+    pub fn get_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.map
+            .get_mut(&std::any::TypeId::of::<T>())
+            .and_then(|b| b.downcast_mut::<T>())
+    }
+}
+
+/// Hook invoked after every successful `fork` (Cider uses this for Mach
+/// IPC task initialisation).
+pub trait ForkHook {
+    /// Observe a completed fork.
+    fn post_fork(&self, k: &mut Kernel, parent: Pid, child: Pid);
+}
+
+/// Event counters exposed for tests and experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Traps dispatched through `Kernel::trap`.
+    pub traps: u64,
+    /// Typed syscalls executed.
+    pub syscalls: u64,
+    /// Successful forks.
+    pub forks: u64,
+    /// Successful execs.
+    pub execs: u64,
+    /// Process exits.
+    pub exits: u64,
+    /// Signals delivered to user space.
+    pub signals_delivered: u64,
+    /// atfork callbacks run.
+    pub atfork_callbacks: u64,
+    /// atexit callbacks run.
+    pub atexit_callbacks: u64,
+    /// Context switches.
+    pub context_switches: u64,
+    /// Persona checks performed on trap entry.
+    pub persona_checks: u64,
+}
+
+/// The simulated domestic kernel.
+pub struct Kernel {
+    /// Virtual clock; all costs land here.
+    pub clock: VirtualClock,
+    /// Active device cost profile.
+    pub profile: DeviceProfile,
+    /// The filesystem.
+    pub vfs: Vfs,
+    /// Pipes and socketpairs.
+    pub ipc: IpcObjects,
+    /// Device registry with `device_add` hooks.
+    pub devices: DeviceRegistry,
+    /// Event counters.
+    pub counters: KernelCounters,
+    /// Extension state compiled into the kernel by higher layers.
+    pub extensions: Extensions,
+    procs: BTreeMap<u32, Process>,
+    threads: BTreeMap<u32, Thread>,
+    next_pid: u32,
+    next_tid: u32,
+    next_wait_channel: u64,
+    personalities: Vec<PersonalityRef>,
+    binfmts: Vec<BinaryLoaderRef>,
+    fork_hooks: Vec<Rc<dyn ForkHook>>,
+    programs: HashMap<String, ProgramBehavior>,
+    current: Option<Tid>,
+    cider_enabled: bool,
+    linux_personality: PersonalityId,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("profile", &self.profile.name)
+            .field("clock", &self.clock)
+            .field("procs", &self.procs.len())
+            .field("threads", &self.threads.len())
+            .field("personalities", &self.personalities.len())
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Boots a kernel with the given device profile and a single Linux
+    /// personality. No processes exist yet; use [`Kernel::spawn_process`].
+    pub fn boot(profile: DeviceProfile) -> Kernel {
+        let mut k = Kernel {
+            clock: VirtualClock::new(),
+            profile,
+            vfs: Vfs::new(),
+            ipc: IpcObjects::new(),
+            devices: DeviceRegistry::new(),
+            counters: KernelCounters::default(),
+            extensions: Extensions::default(),
+            procs: BTreeMap::new(),
+            threads: BTreeMap::new(),
+            next_pid: 1,
+            next_tid: 1,
+            next_wait_channel: 1,
+            personalities: Vec::new(),
+            binfmts: Vec::new(),
+            fork_hooks: Vec::new(),
+            programs: HashMap::new(),
+            current: None,
+            cider_enabled: false,
+            linux_personality: 0,
+        };
+        let linux = Rc::new(LinuxPersonality::new());
+        k.linux_personality = k.register_personality(linux);
+        // Registering the first (native) personality does not make the
+        // kernel a multi-persona kernel.
+        k.cider_enabled = false;
+        k.vfs.mkdir_p("/dev").expect("fresh fs");
+        k.vfs.mkdir_p("/tmp").expect("fresh fs");
+        k
+    }
+
+    // ------------------------------------------------------------------
+    // Registration APIs used by higher layers.
+    // ------------------------------------------------------------------
+
+    /// Registers a personality and returns its id. Multi-persona
+    /// bookkeeping costs start only once [`Kernel::enable_cider`] is
+    /// called (a native XNU kernel has several trap tables but no
+    /// persona machinery).
+    pub fn register_personality(&mut self, p: PersonalityRef) -> PersonalityId {
+        self.personalities.push(p);
+        self.personalities.len() - 1
+    }
+
+    /// Turns on the per-trap persona check and per-delivery persona
+    /// lookup — the costs the paper measured at 8.5 % (null syscall) and
+    /// 3 % (signal delivery) on a Cider kernel.
+    pub fn enable_cider(&mut self) {
+        self.cider_enabled = true;
+    }
+
+    /// Turns the persona machinery back off (used when modelling a
+    /// native single-persona kernel that still registers extra
+    /// personalities for its own trap tables).
+    pub fn disable_cider(&mut self) {
+        self.cider_enabled = false;
+    }
+
+    /// The id of the built-in Linux personality.
+    pub fn linux_personality(&self) -> PersonalityId {
+        self.linux_personality
+    }
+
+    /// Whether multi-persona support (and its per-trap check) is active.
+    pub fn cider_enabled(&self) -> bool {
+        self.cider_enabled
+    }
+
+    /// Registers a binary-format loader (consulted in order).
+    pub fn register_binfmt(&mut self, l: BinaryLoaderRef) {
+        self.binfmts.push(l);
+    }
+
+    /// Registers a post-fork hook.
+    pub fn register_fork_hook(&mut self, h: Rc<dyn ForkHook>) {
+        self.fork_hooks.push(h);
+    }
+
+    /// Registers a program behaviour under a symbol name; binaries whose
+    /// loader reports that `entry_symbol` will run it.
+    pub fn register_program(
+        &mut self,
+        symbol: impl Into<String>,
+        body: ProgramBehavior,
+    ) {
+        self.programs.insert(symbol.into(), body);
+    }
+
+    // ------------------------------------------------------------------
+    // Cost charging.
+    // ------------------------------------------------------------------
+
+    /// Charges CPU-bound virtual time, scaled by the device's CPU factor.
+    pub fn charge_cpu(&mut self, ns: u64) {
+        self.clock.advance(self.profile.cpu_ns(ns));
+    }
+
+    /// Charges unscaled virtual time (already device-absolute).
+    pub fn charge_raw(&mut self, ns: u64) {
+        self.clock.advance(ns);
+    }
+
+    fn charge_copy(&mut self, bytes: usize) {
+        let ns = (bytes as f64 * self.profile.copy_byte_ns) as u64;
+        self.charge_cpu(ns);
+    }
+
+    fn charge_path(&mut self, components: usize) {
+        self.charge_cpu(self.profile.path_component_ns * components as u64);
+    }
+
+    fn enter_syscall(&mut self) {
+        self.counters.syscalls += 1;
+        self.charge_cpu(self.profile.syscall_entry_exit_ns);
+    }
+
+    // ------------------------------------------------------------------
+    // Threads and processes.
+    // ------------------------------------------------------------------
+
+    /// Creates a fresh process with one thread running the Linux
+    /// personality. Returns `(pid, tid)`.
+    pub fn spawn_process(&mut self) -> (Pid, Tid) {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let tid = Tid(self.next_tid);
+        self.next_tid += 1;
+        let mut proc = Process::new(pid, None);
+        proc.threads.push(tid);
+        self.procs.insert(pid.0, proc);
+        self.threads.insert(
+            tid.0,
+            Thread {
+                tid,
+                pid,
+                state: ThreadState::Runnable,
+                personality: self.linux_personality,
+                sigmask: 0,
+                pending: Vec::new(),
+                delivered: Vec::new(),
+                ext: None,
+            },
+        );
+        if self.current.is_none() {
+            self.current = Some(tid);
+        }
+        (pid, tid)
+    }
+
+    /// Adds a thread to an existing process (`clone`). The new thread
+    /// inherits the creating thread's personality and extension state.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if `tid` is unknown.
+    pub fn spawn_thread(&mut self, tid: Tid) -> Result<Tid, Errno> {
+        self.enter_syscall();
+        let parent = self.thread(tid)?;
+        let pid = parent.pid;
+        let new = Thread {
+            tid: Tid(self.next_tid),
+            pid,
+            state: ThreadState::Runnable,
+            personality: parent.personality,
+            sigmask: parent.sigmask,
+            pending: Vec::new(),
+            delivered: Vec::new(),
+            ext: parent.ext.as_ref().map(|e| e.clone_ext()),
+        };
+        let ntid = new.tid;
+        self.next_tid += 1;
+        self.threads.insert(ntid.0, new);
+        self.process_mut(pid)?.threads.push(ntid);
+        Ok(ntid)
+    }
+
+    /// Immutable thread lookup.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if unknown.
+    pub fn thread(&self, tid: Tid) -> Result<&Thread, Errno> {
+        self.threads.get(&tid.0).ok_or(Errno::ESRCH)
+    }
+
+    /// Mutable thread lookup.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if unknown.
+    pub fn thread_mut(&mut self, tid: Tid) -> Result<&mut Thread, Errno> {
+        self.threads.get_mut(&tid.0).ok_or(Errno::ESRCH)
+    }
+
+    /// Immutable process lookup.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if unknown.
+    pub fn process(&self, pid: Pid) -> Result<&Process, Errno> {
+        self.procs.get(&pid.0).ok_or(Errno::ESRCH)
+    }
+
+    /// Mutable process lookup.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if unknown.
+    pub fn process_mut(&mut self, pid: Pid) -> Result<&mut Process, Errno> {
+        self.procs.get_mut(&pid.0).ok_or(Errno::ESRCH)
+    }
+
+    /// The process owning a thread.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn process_of(&self, tid: Tid) -> Result<&Process, Errno> {
+        let pid = self.thread(tid)?.pid;
+        self.process(pid)
+    }
+
+    fn process_of_mut(&mut self, tid: Tid) -> Result<&mut Process, Errno> {
+        let pid = self.thread(tid)?.pid;
+        self.process_mut(pid)
+    }
+
+    /// Currently scheduled thread.
+    pub fn current(&self) -> Option<Tid> {
+        self.current
+    }
+
+    /// Switches the CPU to another thread, charging a context switch.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown or exited.
+    pub fn switch_to(&mut self, tid: Tid) -> Result<(), Errno> {
+        let t = self.thread(tid)?;
+        if t.state == ThreadState::Exited {
+            return Err(Errno::ESRCH);
+        }
+        if self.current != Some(tid) {
+            self.counters.context_switches += 1;
+            self.charge_cpu(self.profile.context_switch_ns);
+            self.current = Some(tid);
+        }
+        Ok(())
+    }
+
+    /// Allocates a fresh wait channel.
+    pub fn new_wait_channel(&mut self) -> WaitChannel {
+        let c = WaitChannel(self.next_wait_channel);
+        self.next_wait_channel += 1;
+        c
+    }
+
+    /// Parks a thread on a wait channel.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn block_thread(
+        &mut self,
+        tid: Tid,
+        chan: WaitChannel,
+    ) -> Result<(), Errno> {
+        self.thread_mut(tid)?.state = ThreadState::Blocked(chan);
+        Ok(())
+    }
+
+    /// Wakes every thread parked on a channel; returns how many.
+    pub fn wakeup(&mut self, chan: WaitChannel) -> usize {
+        let mut n = 0;
+        for t in self.threads.values_mut() {
+            if t.state == ThreadState::Blocked(chan) {
+                t.state = ThreadState::Runnable;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    // ------------------------------------------------------------------
+    // Trap entry (register-level path).
+    // ------------------------------------------------------------------
+
+    /// Dispatches a raw trap from a thread, as its `svc` instruction
+    /// would: persona check (on a Cider kernel), personality lookup, and
+    /// personality-specific decode/dispatch/encode.
+    pub fn trap(
+        &mut self,
+        tid: Tid,
+        number: i64,
+        args: &SyscallArgs,
+    ) -> UserTrapResult {
+        self.counters.traps += 1;
+        if self.cider_enabled {
+            // The paper's 8.5 % null-syscall overhead: every trap on a
+            // Cider kernel checks the calling thread's persona.
+            self.counters.persona_checks += 1;
+            self.charge_cpu(self.profile.persona_check_ns);
+        }
+        let personality = match self.thread(tid) {
+            Ok(t) => t.personality,
+            Err(e) => {
+                return UserTrapResult {
+                    reg: -(e.as_raw() as i64),
+                    flags: CpuFlags::default(),
+                    out_data: Vec::new(),
+                }
+            }
+        };
+        let p = self.personalities[personality].clone();
+        p.trap(self, tid, number, args)
+    }
+
+    /// The personality object a thread traps into.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn personality_of(&self, tid: Tid) -> Result<PersonalityRef, Errno> {
+        Ok(self.personalities[self.thread(tid)?.personality].clone())
+    }
+
+    /// Looks up a registered personality by id.
+    pub fn personality(&self, id: PersonalityId) -> PersonalityRef {
+        self.personalities[id].clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Typed syscall implementations.
+    // ------------------------------------------------------------------
+
+    /// `getpid`.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn sys_getpid(&mut self, tid: Tid) -> Result<Pid, Errno> {
+        self.enter_syscall();
+        Ok(self.thread(tid)?.pid)
+    }
+
+    /// `gettid`.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn sys_gettid(&mut self, tid: Tid) -> Result<Tid, Errno> {
+        self.enter_syscall();
+        self.thread(tid)?;
+        Ok(tid)
+    }
+
+    /// `open`.
+    ///
+    /// # Errors
+    ///
+    /// VFS resolution errors; `EEXIST` with `CREAT|EXCL`.
+    pub fn sys_open(
+        &mut self,
+        tid: Tid,
+        path: &str,
+        flags: OpenFlags,
+    ) -> Result<Fd, Errno> {
+        self.enter_syscall();
+        self.charge_cpu(self.profile.vfs_op_ns);
+        let resolved = self.vfs.resolve(path);
+        let ino = match resolved {
+            Ok(r) => {
+                self.charge_path(r.components_walked);
+                if flags.contains(OpenFlags::CREAT)
+                    && flags.contains(OpenFlags::EXCL)
+                {
+                    return Err(Errno::EEXIST);
+                }
+                if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+                    let now = self.clock.now_ns();
+                    self.vfs.set_time(now);
+                    self.vfs.truncate(r.ino, 0)?;
+                }
+                r.ino
+            }
+            Err(Errno::ENOENT) if flags.contains(OpenFlags::CREAT) => {
+                let now = self.clock.now_ns();
+                self.vfs.set_time(now);
+                self.vfs.write_file(path, Vec::new())?
+            }
+            Err(e) => return Err(e),
+        };
+        if let Some(dev) = self.vfs.device_of(ino) {
+            let proc = self.process_of_mut(tid)?;
+            return Ok(proc.fds.insert(FileObject::Device(dev)));
+        }
+        let proc = self.process_of_mut(tid)?;
+        Ok(proc.fds.insert(FileObject::File {
+            ino,
+            offset: 0,
+            writable: flags.writable(),
+            readable: flags.readable(),
+        }))
+    }
+
+    /// `close`.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for unknown descriptors.
+    pub fn sys_close(&mut self, tid: Tid, fd: Fd) -> Result<(), Errno> {
+        self.enter_syscall();
+        self.charge_cpu(self.profile.vfs_op_ns / 2);
+        let obj = self.process_of_mut(tid)?.fds.remove(fd)?;
+        match obj {
+            FileObject::Pipe(end) => self.ipc.pipe_close(end),
+            FileObject::Socket(end) => self.ipc.socket_close(end),
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// `read`. Returns the bytes read (the simulator's stand-in for the
+    /// user buffer).
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` on a non-readable descriptor; `EAGAIN` on an empty pipe or
+    /// socket whose peer is still open.
+    pub fn sys_read(
+        &mut self,
+        tid: Tid,
+        fd: Fd,
+        len: usize,
+    ) -> Result<Vec<u8>, Errno> {
+        self.enter_syscall();
+        let obj = self.process_of(tid)?.fds.get(fd)?.clone();
+        match obj {
+            FileObject::File {
+                ino,
+                offset,
+                readable,
+                ..
+            } => {
+                if !readable {
+                    return Err(Errno::EBADF);
+                }
+                let data = self.vfs.read_at(ino, offset, len)?;
+                self.charge_copy(data.len());
+                if let FileObject::File { offset, .. } =
+                    self.process_of_mut(tid)?.fds.get_mut(fd)?
+                {
+                    *offset += data.len() as u64;
+                }
+                Ok(data)
+            }
+            FileObject::Pipe(end) => {
+                if end.write_end {
+                    return Err(Errno::EBADF);
+                }
+                let mut buf = vec![0u8; len];
+                let n = self.ipc.pipe_read(end.id, &mut buf)?;
+                buf.truncate(n);
+                self.charge_copy(n);
+                Ok(buf)
+            }
+            FileObject::Socket(end) => {
+                let mut buf = vec![0u8; len];
+                let n = self.ipc.socket_recv(end.id, end.side, &mut buf)?;
+                buf.truncate(n);
+                self.charge_copy(n);
+                Ok(buf)
+            }
+            FileObject::Device(_) => {
+                // Devices deliver nothing by default; drivers that matter
+                // (input, framebuffer) are accessed via their subsystems.
+                Ok(Vec::new())
+            }
+            FileObject::Console => Err(Errno::EBADF),
+        }
+    }
+
+    /// `write`. Returns bytes written.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` on a non-writable descriptor, `EPIPE` on a broken pipe.
+    pub fn sys_write(
+        &mut self,
+        tid: Tid,
+        fd: Fd,
+        data: &[u8],
+    ) -> Result<usize, Errno> {
+        self.enter_syscall();
+        let obj = self.process_of(tid)?.fds.get(fd)?.clone();
+        match obj {
+            FileObject::File {
+                ino,
+                offset,
+                writable,
+                ..
+            } => {
+                if !writable {
+                    return Err(Errno::EBADF);
+                }
+                self.charge_copy(data.len());
+                let now = self.clock.now_ns();
+                self.vfs.set_time(now);
+                let n = self.vfs.write_at(ino, offset, data)?;
+                if let FileObject::File { offset, .. } =
+                    self.process_of_mut(tid)?.fds.get_mut(fd)?
+                {
+                    *offset += n as u64;
+                }
+                Ok(n)
+            }
+            FileObject::Pipe(end) => {
+                if !end.write_end {
+                    return Err(Errno::EBADF);
+                }
+                self.charge_copy(data.len());
+                self.ipc.pipe_write(end.id, data)
+            }
+            FileObject::Socket(end) => {
+                self.charge_copy(data.len());
+                self.ipc.socket_send(end.id, end.side, data)
+            }
+            FileObject::Console => {
+                self.charge_copy(data.len());
+                self.process_of_mut(tid)?.console.extend_from_slice(data);
+                Ok(data.len())
+            }
+            FileObject::Device(_) => Ok(data.len()),
+        }
+    }
+
+    /// Direct (uncached) storage read of `len` bytes — the PassMark
+    /// storage path. Charges flash bandwidth instead of copy cost.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Kernel::sys_read`].
+    pub fn sys_read_direct(
+        &mut self,
+        tid: Tid,
+        fd: Fd,
+        len: usize,
+    ) -> Result<Vec<u8>, Errno> {
+        let cost = self.profile.storage_cost_ns(len as u64, false);
+        self.charge_raw(cost);
+        self.sys_read(tid, fd, len)
+    }
+
+    /// Direct (uncached) storage write — the PassMark storage path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Kernel::sys_write`].
+    pub fn sys_write_direct(
+        &mut self,
+        tid: Tid,
+        fd: Fd,
+        data: &[u8],
+    ) -> Result<usize, Errno> {
+        let cost = self.profile.storage_cost_ns(data.len() as u64, true);
+        self.charge_raw(cost);
+        self.sys_write(tid, fd, data)
+    }
+
+    /// `unlink`.
+    ///
+    /// # Errors
+    ///
+    /// VFS errors (`ENOENT`, `ENOTEMPTY`).
+    pub fn sys_unlink(&mut self, tid: Tid, path: &str) -> Result<(), Errno> {
+        self.enter_syscall();
+        self.thread(tid)?;
+        self.charge_cpu(self.profile.vfs_op_ns);
+        if let Ok(r) = self.vfs.resolve(path) {
+            self.charge_path(r.components_walked);
+        }
+        self.vfs.unlink(path)
+    }
+
+    /// `mkdir`.
+    ///
+    /// # Errors
+    ///
+    /// VFS errors.
+    pub fn sys_mkdir(&mut self, tid: Tid, path: &str) -> Result<(), Errno> {
+        self.enter_syscall();
+        self.thread(tid)?;
+        self.charge_cpu(self.profile.vfs_op_ns);
+        let now = self.clock.now_ns();
+        self.vfs.set_time(now);
+        self.vfs.mkdir_p(path).map(|_| ())
+    }
+
+    /// `stat`.
+    ///
+    /// # Errors
+    ///
+    /// VFS resolution errors.
+    pub fn sys_stat(&mut self, tid: Tid, path: &str) -> Result<Stat, Errno> {
+        self.enter_syscall();
+        self.thread(tid)?;
+        let r = self.vfs.resolve(path)?;
+        self.charge_path(r.components_walked);
+        Ok(self.vfs.stat(r.ino))
+    }
+
+    /// `pipe`: returns `(read_fd, write_fd)`.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn sys_pipe(&mut self, tid: Tid) -> Result<(Fd, Fd), Errno> {
+        self.enter_syscall();
+        self.charge_cpu(self.profile.vfs_op_ns);
+        let id = self.ipc.create_pipe();
+        let proc = self.process_of_mut(tid)?;
+        let r = proc.fds.insert(FileObject::Pipe(crate::ipcobj::PipeEnd {
+            id,
+            write_end: false,
+        }));
+        let w = proc.fds.insert(FileObject::Pipe(crate::ipcobj::PipeEnd {
+            id,
+            write_end: true,
+        }));
+        Ok((r, w))
+    }
+
+    /// `socketpair(AF_UNIX)`.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn sys_socketpair(&mut self, tid: Tid) -> Result<(Fd, Fd), Errno> {
+        self.enter_syscall();
+        self.charge_cpu(self.profile.vfs_op_ns);
+        let id = self.ipc.create_socketpair();
+        let proc = self.process_of_mut(tid)?;
+        let a = proc.fds.insert(FileObject::Socket(
+            crate::ipcobj::SocketEnd { id, side: 0 },
+        ));
+        let b = proc.fds.insert(FileObject::Socket(
+            crate::ipcobj::SocketEnd { id, side: 1 },
+        ));
+        Ok((a, b))
+    }
+
+    /// `dup`.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF`.
+    pub fn sys_dup(&mut self, tid: Tid, fd: Fd) -> Result<Fd, Errno> {
+        self.enter_syscall();
+        self.process_of_mut(tid)?.fds.dup(fd)
+    }
+
+    /// Passes an open descriptor to another process (the `SCM_RIGHTS`
+    /// mechanism, used by CiderPress to hand the eventpump its bridge
+    /// socket). The descriptor *moves*: it is closed in the sender and
+    /// reopened in the receiver (descriptor objects are not refcounted
+    /// across processes in the simulator). Returns the descriptor's
+    /// number in the receiving process.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if `fd` is not open in the sender, `ESRCH` for unknown
+    /// threads.
+    pub fn sys_pass_fd(
+        &mut self,
+        from: Tid,
+        fd: Fd,
+        to: Tid,
+    ) -> Result<Fd, Errno> {
+        self.enter_syscall();
+        self.thread(to)?;
+        let obj = self.process_of_mut(from)?.fds.remove(fd)?;
+        Ok(self.process_of_mut(to)?.fds.insert(obj))
+    }
+
+    /// `select` over read descriptors: returns those currently readable.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for unknown fds; `EINVAL` when this kernel's select
+    /// implementation cannot handle the descriptor count (the XNU
+    /// pathology at 250 fds).
+    pub fn sys_select(
+        &mut self,
+        tid: Tid,
+        read_fds: &[Fd],
+    ) -> Result<Vec<Fd>, Errno> {
+        self.enter_syscall();
+        let Some(cost) = self.profile.select_cost_ns(read_fds.len()) else {
+            // The implementation "simply failed to complete" (§6.2).
+            self.charge_cpu(self.profile.select_per_fd_ns * 1000);
+            return Err(Errno::EINVAL);
+        };
+        self.charge_raw(cost);
+        let proc = self.process_of(tid)?;
+        let mut ready = Vec::new();
+        for &fd in read_fds {
+            let obj = proc.fds.get(fd)?;
+            let readable = match obj {
+                FileObject::Pipe(end) => {
+                    !end.write_end && self.ipc.pipe_readable(end.id) > 0
+                }
+                FileObject::Socket(end) => {
+                    self.ipc.socket_readable(end.id, end.side) > 0
+                }
+                FileObject::File { .. } => true,
+                FileObject::Device(_) => false,
+                FileObject::Console => false,
+            };
+            if readable {
+                ready.push(fd);
+            }
+        }
+        Ok(ready)
+    }
+
+    /// `chdir`.
+    ///
+    /// # Errors
+    ///
+    /// VFS resolution errors; `ENOTDIR` if the target is not a directory.
+    pub fn sys_chdir(&mut self, tid: Tid, path: &str) -> Result<(), Errno> {
+        self.enter_syscall();
+        let r = self.vfs.resolve(path)?;
+        self.charge_path(r.components_walked);
+        if self.vfs.stat(r.ino).file_type
+            != cider_abi::types::FileType::Directory
+        {
+            return Err(Errno::ENOTDIR);
+        }
+        self.process_of_mut(tid)?.cwd = path.to_string();
+        Ok(())
+    }
+
+    /// `getcwd`.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn sys_getcwd(&mut self, tid: Tid) -> Result<String, Errno> {
+        self.enter_syscall();
+        Ok(self.process_of(tid)?.cwd.clone())
+    }
+
+    /// `nanosleep` — advances virtual time.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn sys_nanosleep(&mut self, tid: Tid, ns: u64) -> Result<(), Errno> {
+        self.enter_syscall();
+        self.thread(tid)?;
+        self.charge_raw(ns);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // fork / exec / exit / wait.
+    // ------------------------------------------------------------------
+
+    /// `fork`: duplicates the calling thread's process. Runs atfork
+    /// callbacks, duplicates every page-table entry and descriptor, and
+    /// fires post-fork hooks. Returns the child pid (and its main tid).
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn sys_fork(&mut self, tid: Tid) -> Result<(Pid, Tid), Errno> {
+        self.enter_syscall();
+        let parent_pid = self.thread(tid)?.pid;
+        self.charge_cpu(self.profile.fork_base_ns);
+
+        // User space: atfork prepare handlers run in the parent first.
+        let prepare = self.process(parent_pid)?.callbacks.atfork_prepare.len();
+        self.run_user_callbacks(prepare, true);
+
+        // Kernel: duplicate the address space, visiting every PTE.
+        let (mm, ptes) = self.process(parent_pid)?.mm.fork_duplicate();
+        self.charge_cpu(self.profile.pte_copy_ns * ptes);
+
+        // Kernel: clone the descriptor table.
+        let (fds, fd_count) = self.process(parent_pid)?.fds.fork_clone();
+        self.charge_cpu(self.profile.fd_clone_ns * fd_count as u64);
+
+        let child_pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let child_tid = Tid(self.next_tid);
+        self.next_tid += 1;
+
+        let parent = self.process(parent_pid)?;
+        let mut child = Process::new(child_pid, Some(parent_pid));
+        child.mm = mm;
+        child.fds = fds;
+        child.cwd = parent.cwd.clone();
+        child.callbacks = parent.callbacks.clone();
+        child.program = parent.program.clone();
+        child.sig_handlers = parent.sig_handlers.clone();
+        child.threads.push(child_tid);
+
+        let child_thread = self.thread(tid)?.fork_clone(child_tid, child_pid);
+        self.procs.insert(child_pid.0, child);
+        self.threads.insert(child_tid.0, child_thread);
+        self.process_mut(parent_pid)?.children.push(child_pid);
+
+        // User space: parent + child atfork handlers run after the fork.
+        let parent_cbs = self.process(parent_pid)?.callbacks.atfork_parent.len();
+        let child_cbs = self.process(child_pid)?.callbacks.atfork_child.len();
+        self.run_user_callbacks(parent_cbs + child_cbs, true);
+
+        for hook in self.fork_hooks.clone() {
+            hook.post_fork(self, parent_pid, child_pid);
+        }
+
+        self.counters.forks += 1;
+        Ok((child_pid, child_tid))
+    }
+
+    fn run_user_callbacks(&mut self, count: usize, atfork: bool) {
+        for _ in 0..count {
+            self.charge_cpu(self.profile.user_callback_ns);
+            if atfork {
+                self.counters.atfork_callbacks += 1;
+            } else {
+                self.counters.atexit_callbacks += 1;
+            }
+        }
+    }
+
+    /// `execve`: replaces the calling process's image. The old address
+    /// space and all registered user callbacks are discarded *without*
+    /// running them (the mechanism behind fork+exec(android) being
+    /// cheaper than fork+exit for an iOS parent, §6.2).
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if the path is missing, `ENOEXEC` if no loader claims the
+    /// image, plus loader-specific errors.
+    pub fn sys_exec(
+        &mut self,
+        tid: Tid,
+        path: &str,
+        argv: &[&str],
+    ) -> Result<(), Errno> {
+        self.enter_syscall();
+        self.charge_cpu(self.profile.exec_base_ns);
+        let r = self.vfs.resolve(path)?;
+        self.charge_path(r.components_walked);
+        let bytes = self.vfs.read_file(path)?;
+        self.charge_copy(bytes.len().min(4096)); // header inspection
+
+        let loader = self
+            .binfmts
+            .iter()
+            .find(|l| l.can_load(&bytes))
+            .cloned()
+            .ok_or(Errno::ENOEXEC)?;
+
+        // Tear down the old image: mappings and user callbacks vanish.
+        {
+            let proc = self.process_of_mut(tid)?;
+            proc.mm.clear();
+            proc.callbacks = Default::default();
+        }
+
+        let image = ExecImage {
+            path: path.to_string(),
+            bytes,
+            argv: argv.iter().map(|s| s.to_string()).collect(),
+        };
+        let loaded = loader.load(self, tid, &image)?;
+
+        let proc = self.process_of_mut(tid)?;
+        proc.program.path = path.to_string();
+        proc.program.argv = image.argv.clone();
+        proc.program.entry_symbol = loaded.entry_symbol;
+        proc.program.format = loaded.format;
+        proc.program.dylib_count = loaded.dylib_count;
+        self.counters.execs += 1;
+        Ok(())
+    }
+
+    /// Runs the program behaviour of the calling thread's process (its
+    /// "main"), then exits with the returned code. Returns the exit code.
+    ///
+    /// # Errors
+    ///
+    /// `ENOEXEC` if the process has no registered behaviour.
+    pub fn run_entry(&mut self, tid: Tid) -> Result<i32, Errno> {
+        let symbol = self
+            .process_of(tid)?
+            .program
+            .entry_symbol
+            .clone()
+            .ok_or(Errno::ENOEXEC)?;
+        let body = self.programs.get(&symbol).cloned().ok_or(Errno::ENOEXEC)?;
+        let code = body(self, tid);
+        // The program may have exec'd away or already exited.
+        if let Ok(p) = self.process_of(tid) {
+            if p.state == ProcessState::Running {
+                self.sys_exit(tid, code)?;
+            }
+        }
+        Ok(code)
+    }
+
+    /// `exit`: runs atexit handlers, closes descriptors, tears down the
+    /// address space, and turns the process into a zombie.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn sys_exit(&mut self, tid: Tid, code: i32) -> Result<(), Errno> {
+        self.enter_syscall();
+        self.charge_cpu(self.profile.exit_base_ns);
+        let pid = self.thread(tid)?.pid;
+
+        // User space: atexit handlers (one per dyld image on iOS).
+        let atexit = self.process(pid)?.callbacks.atexit.len();
+        self.run_user_callbacks(atexit, false);
+
+        // Close descriptors.
+        let fds: Vec<Fd> = self.process(pid)?.fds.iter().map(|(fd, _)| fd).collect();
+        for fd in fds {
+            if let Ok(obj) = self.process_mut(pid)?.fds.remove(fd) {
+                match obj {
+                    FileObject::Pipe(end) => self.ipc.pipe_close(end),
+                    FileObject::Socket(end) => self.ipc.socket_close(end),
+                    _ => {}
+                }
+            }
+        }
+
+        let threads = self.process(pid)?.threads.clone();
+        for t in threads {
+            self.thread_mut(t)?.state = ThreadState::Exited;
+        }
+        let proc = self.process_mut(pid)?;
+        proc.mm.clear();
+        proc.state = ProcessState::Zombie(code);
+        let parent = proc.parent;
+        self.counters.exits += 1;
+
+        if let Some(parent) = parent {
+            let _ = self.post_signal_process(parent, Signal::SIGCHLD);
+        }
+        if self.current == Some(tid) {
+            self.current = None;
+        }
+        Ok(())
+    }
+
+    /// `waitpid`: reaps a zombie child and returns its exit code.
+    ///
+    /// # Errors
+    ///
+    /// `ECHILD` if `child` is not a child of the caller; `EAGAIN` if the
+    /// child has not exited yet (the scripted simulator never blocks).
+    pub fn sys_waitpid(&mut self, tid: Tid, child: Pid) -> Result<i32, Errno> {
+        self.enter_syscall();
+        let pid = self.thread(tid)?.pid;
+        if !self.process(pid)?.children.contains(&child) {
+            return Err(Errno::ECHILD);
+        }
+        let code = match self.process(child)?.state {
+            ProcessState::Zombie(code) => code,
+            ProcessState::Running => return Err(Errno::EAGAIN),
+        };
+        // Reap: remove the zombie and its threads.
+        let threads = self.process(child)?.threads.clone();
+        for t in threads {
+            self.threads.remove(&t.0);
+        }
+        self.procs.remove(&child.0);
+        self.process_mut(pid)?.children.retain(|&c| c != child);
+        Ok(code)
+    }
+
+    // ------------------------------------------------------------------
+    // Signals.
+    // ------------------------------------------------------------------
+
+    /// `sigaction`: installs a disposition for a signal (internal Linux
+    /// numbering).
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` for SIGKILL/SIGSTOP.
+    pub fn sys_sigaction(
+        &mut self,
+        tid: Tid,
+        sig: Signal,
+        disp: SigDisposition,
+    ) -> Result<(), Errno> {
+        self.enter_syscall();
+        if sig.is_uncatchable() && disp != SigDisposition::Default {
+            return Err(Errno::EINVAL);
+        }
+        self.process_of_mut(tid)?
+            .sig_handlers
+            .insert(sig.as_raw(), disp);
+        Ok(())
+    }
+
+    /// `kill`: posts a signal (internal numbering) to a process. If the
+    /// target is the calling thread's own process, pending signals are
+    /// delivered synchronously before return, as on syscall exit.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` for unknown targets.
+    pub fn sys_kill(
+        &mut self,
+        tid: Tid,
+        target: Pid,
+        sig: Signal,
+    ) -> Result<(), Errno> {
+        self.enter_syscall();
+        self.post_signal_process(target, sig)?;
+        if self.thread(tid)?.pid == target {
+            self.deliver_pending(tid)?;
+        }
+        Ok(())
+    }
+
+    /// Queues a signal on a process's first live thread.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` for unknown targets.
+    pub fn post_signal_process(
+        &mut self,
+        target: Pid,
+        sig: Signal,
+    ) -> Result<(), Errno> {
+        let tids = self.process(target)?.threads.clone();
+        for t in tids {
+            if self.thread(t)?.state != ThreadState::Exited {
+                return self.post_signal_thread(t, sig);
+            }
+        }
+        Err(Errno::ESRCH)
+    }
+
+    /// Queues a signal on a specific thread.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` for unknown threads.
+    pub fn post_signal_thread(
+        &mut self,
+        tid: Tid,
+        sig: Signal,
+    ) -> Result<(), Errno> {
+        self.thread_mut(tid)?.pending.push(sig);
+        Ok(())
+    }
+
+    /// Delivers all unmasked pending signals on a thread, performing the
+    /// persona lookup, number translation, and frame construction that
+    /// the paper's signal-handler microbenchmark measures. Returns how
+    /// many signals reached user space.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` for unknown threads.
+    pub fn deliver_pending(&mut self, tid: Tid) -> Result<usize, Errno> {
+        let pending = {
+            let t = self.thread_mut(tid)?;
+            let taken: Vec<Signal> = t
+                .pending
+                .iter()
+                .copied()
+                .filter(|s| t.sigmask & (1 << s.as_raw()) == 0)
+                .collect();
+            t.pending.retain(|s| t.sigmask & (1 << s.as_raw()) != 0);
+            taken
+        };
+        if pending.is_empty() {
+            return Ok(0);
+        }
+        let personality = self.personality_of(tid)?;
+        let pid = self.thread(tid)?.pid;
+        let mut delivered = 0;
+        for sig in pending {
+            if self.cider_enabled {
+                // "the added cost of determining the persona of the
+                // target thread" (§6.2).
+                self.charge_cpu(self.profile.persona_signal_check_ns);
+            }
+            let disp = self
+                .process(pid)?
+                .sig_handlers
+                .get(&sig.as_raw())
+                .copied()
+                .unwrap_or_default();
+            match disp {
+                SigDisposition::Ignore => continue,
+                SigDisposition::Default => {
+                    if sig == Signal::SIGCHLD || sig == Signal::SIGCONT {
+                        continue; // default-ignored
+                    }
+                    // Default action: terminate the process.
+                    self.sys_exit(tid, 128 + sig.as_raw())?;
+                    return Ok(delivered);
+                }
+                SigDisposition::Handler(_) => {
+                    let Some(user_number) = personality.signal_number(sig)
+                    else {
+                        continue; // no foreign equivalent: dropped
+                    };
+                    self.charge_cpu(self.profile.signal_base_ns);
+                    self.charge_cpu(personality.signal_translation_ns());
+                    let frame = personality.sigframe_bytes();
+                    let frame_ns = (frame as f64
+                        * self.profile.signal_frame_byte_ns)
+                        as u64;
+                    self.charge_cpu(frame_ns);
+                    // Handler returns through sigreturn — one more trap.
+                    self.charge_cpu(self.profile.syscall_entry_exit_ns);
+                    self.thread_mut(tid)?.delivered.push(DeliveredSignal {
+                        internal: sig,
+                        user_number,
+                        frame_bytes: frame,
+                    });
+                    self.counters.signals_delivered += 1;
+                    delivered += 1;
+                }
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Console output captured for a process (its stdout).
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` for unknown processes.
+    pub fn console_of(&self, pid: Pid) -> Result<&[u8], Errno> {
+        Ok(&self.process(pid)?.console)
+    }
+
+    /// Registers user callbacks on a process, as dyld/libSystem do when
+    /// loading images. `images` entries each register one atfork triple
+    /// and one atexit handler.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` for unknown processes.
+    pub fn register_image_callbacks(
+        &mut self,
+        pid: Pid,
+        images: &[String],
+    ) -> Result<(), Errno> {
+        let proc = self.process_mut(pid)?;
+        for img in images {
+            let cb = UserCallback { name: img.clone() };
+            proc.callbacks.atfork_prepare.push(cb.clone());
+            proc.callbacks.atfork_parent.push(cb.clone());
+            proc.callbacks.atfork_child.push(cb.clone());
+            proc.callbacks.atexit.push(cb);
+        }
+        Ok(())
+    }
+
+    /// Number of live (non-zombie) processes.
+    pub fn live_processes(&self) -> usize {
+        self.procs
+            .values()
+            .filter(|p| p.state == ProcessState::Running)
+            .count()
+    }
+}
+
+// ----------------------------------------------------------------------
+// The vanilla Linux personality.
+// ----------------------------------------------------------------------
+
+/// The domestic kernel ABI: Linux syscall numbers, negative-errno error
+/// convention, Linux signal numbers and frame.
+#[derive(Debug)]
+pub struct LinuxPersonality {
+    table: SyscallTable,
+}
+
+impl Default for LinuxPersonality {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinuxPersonality {
+    /// Builds the personality with its dispatch table.
+    pub fn new() -> LinuxPersonality {
+        use cider_abi::syscall::LinuxSyscall as L;
+        let mut t = SyscallTable::new();
+        t.install(L::Getpid.number(), "getpid", |k, tid, _| {
+            match k.sys_getpid(tid) {
+                Ok(pid) => TrapResult::ok(pid.as_raw() as i64),
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        t.install(L::Gettid.number(), "gettid", |k, tid, _| {
+            match k.sys_gettid(tid) {
+                Ok(t) => TrapResult::ok(t.as_raw() as i64),
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        t.install(L::Read.number(), "read", |k, tid, args| {
+            let fd = Fd(args.regs[0] as i32);
+            let len = args.regs[2] as usize;
+            match k.sys_read(tid, fd, len) {
+                Ok(data) => TrapResult::with_data(data),
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        t.install(L::Write.number(), "write", |k, tid, args| {
+            let fd = Fd(args.regs[0] as i32);
+            let crate::dispatch::SyscallData::Bytes(data) = &args.data
+            else {
+                return TrapResult::err(Errno::EFAULT);
+            };
+            match k.sys_write(tid, fd, data) {
+                Ok(n) => TrapResult::ok(n as i64),
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        t.install(L::Open.number(), "open", |k, tid, args| {
+            let crate::dispatch::SyscallData::Path(path) = &args.data else {
+                return TrapResult::err(Errno::EFAULT);
+            };
+            let flags = OpenFlags(args.regs[1] as u32);
+            match k.sys_open(tid, path, flags) {
+                Ok(fd) => TrapResult::ok(fd.as_raw() as i64),
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        t.install(L::Close.number(), "close", |k, tid, args| {
+            match k.sys_close(tid, Fd(args.regs[0] as i32)) {
+                Ok(()) => TrapResult::ok(0),
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        t.install(L::Fork.number(), "fork", |k, tid, _| {
+            match k.sys_fork(tid) {
+                Ok((pid, _)) => TrapResult::ok(pid.as_raw() as i64),
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        t.install(L::Exit.number(), "exit", |k, tid, args| {
+            match k.sys_exit(tid, args.regs[0] as i32) {
+                Ok(()) => TrapResult::ok(0),
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        t.install(L::Execve.number(), "execve", |k, tid, args| {
+            let crate::dispatch::SyscallData::Exec { path, argv } =
+                &args.data
+            else {
+                return TrapResult::err(Errno::EFAULT);
+            };
+            let argv: Vec<&str> = argv.iter().map(|s| s.as_str()).collect();
+            match k.sys_exec(tid, path, &argv) {
+                Ok(()) => TrapResult::ok(0),
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        t.install(L::Sigaction.number(), "sigaction", |k, tid, args| {
+            let Some(sig) = Signal::from_raw(args.regs[0] as i32) else {
+                return TrapResult::err(Errno::EINVAL);
+            };
+            let disp = match args.regs[1] {
+                0 => crate::process::SigDisposition::Default,
+                1 => crate::process::SigDisposition::Ignore,
+                h => crate::process::SigDisposition::Handler(h as u32),
+            };
+            match k.sys_sigaction(tid, sig, disp) {
+                Ok(()) => TrapResult::ok(0),
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        t.install(L::Kill.number(), "kill", |k, tid, args| {
+            let pid = Pid(args.regs[0] as u32);
+            let Some(sig) = Signal::from_raw(args.regs[1] as i32) else {
+                return TrapResult::err(Errno::EINVAL);
+            };
+            match k.sys_kill(tid, pid, sig) {
+                Ok(()) => TrapResult::ok(0),
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        t.install(L::Pipe.number(), "pipe", |k, tid, _| {
+            match k.sys_pipe(tid) {
+                Ok((r, w)) => {
+                    TrapResult::ok((r.as_raw() as i64) | ((w.as_raw() as i64) << 32))
+                }
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        t.install(L::Select.number(), "select", |k, tid, args| {
+            let crate::dispatch::SyscallData::FdSet(fds) = &args.data else {
+                return TrapResult::err(Errno::EFAULT);
+            };
+            let fds: Vec<Fd> = fds.iter().map(|&f| Fd(f)).collect();
+            match k.sys_select(tid, &fds) {
+                Ok(ready) => TrapResult::ok(ready.len() as i64),
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        t.install(L::Unlink.number(), "unlink", |k, tid, args| {
+            let crate::dispatch::SyscallData::Path(path) = &args.data else {
+                return TrapResult::err(Errno::EFAULT);
+            };
+            match k.sys_unlink(tid, path) {
+                Ok(()) => TrapResult::ok(0),
+                Err(e) => TrapResult::err(e),
+            }
+        });
+        LinuxPersonality { table: t }
+    }
+
+    /// The dispatch table (exposed for introspection in tests).
+    pub fn table(&self) -> &SyscallTable {
+        &self.table
+    }
+}
+
+impl crate::dispatch::Personality for LinuxPersonality {
+    fn name(&self) -> &'static str {
+        "linux"
+    }
+
+    fn trap(
+        &self,
+        k: &mut Kernel,
+        tid: Tid,
+        number: i64,
+        args: &SyscallArgs,
+    ) -> UserTrapResult {
+        let Some((_, handler)) = self.table.lookup(number as i32) else {
+            return UserTrapResult {
+                reg: -(Errno::ENOSYS.as_raw() as i64),
+                flags: CpuFlags::default(),
+                out_data: Vec::new(),
+            };
+        };
+        let result = handler(k, tid, args);
+        let (reg, flags) = cider_abi::convention::SyscallOutcome::from(
+            result.outcome,
+        )
+        .encode_linux();
+        UserTrapResult {
+            reg,
+            flags,
+            out_data: result.out_data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cider_abi::syscall::LinuxSyscall as L;
+
+    fn kernel() -> Kernel {
+        Kernel::boot(DeviceProfile::nexus7())
+    }
+
+    #[test]
+    fn boot_and_spawn() {
+        let mut k = kernel();
+        let (pid, tid) = k.spawn_process();
+        assert_eq!(k.sys_getpid(tid).unwrap(), pid);
+        assert_eq!(k.current(), Some(tid));
+        assert!(!k.cider_enabled());
+    }
+
+    #[test]
+    fn null_syscall_charges_entry_cost() {
+        let mut k = kernel();
+        let (_, tid) = k.spawn_process();
+        let before = k.clock.now_ns();
+        k.sys_getpid(tid).unwrap();
+        let cost = k.clock.now_ns() - before;
+        assert_eq!(cost, 400);
+    }
+
+    #[test]
+    fn trap_path_linux_getpid() {
+        let mut k = kernel();
+        let (pid, tid) = k.spawn_process();
+        let r = k.trap(tid, L::Getpid.number() as i64, &SyscallArgs::none());
+        assert_eq!(r.reg, pid.as_raw() as i64);
+        assert!(!r.flags.carry);
+        assert_eq!(k.counters.traps, 1);
+        // Vanilla kernel: no persona checks.
+        assert_eq!(k.counters.persona_checks, 0);
+    }
+
+    #[test]
+    fn trap_unknown_syscall_is_enosys() {
+        let mut k = kernel();
+        let (_, tid) = k.spawn_process();
+        let r = k.trap(tid, 9876, &SyscallArgs::none());
+        assert_eq!(r.reg, -(Errno::ENOSYS.as_raw() as i64));
+    }
+
+    #[test]
+    fn file_io_through_syscalls() {
+        let mut k = kernel();
+        let (_, tid) = k.spawn_process();
+        k.sys_mkdir(tid, "/data").unwrap();
+        let fd = k
+            .sys_open(tid, "/data/f", OpenFlags::RDWR | OpenFlags::CREAT)
+            .unwrap();
+        assert_eq!(k.sys_write(tid, fd, b"hello").unwrap(), 5);
+        k.sys_close(tid, fd).unwrap();
+        let fd = k.sys_open(tid, "/data/f", OpenFlags::RDONLY).unwrap();
+        assert_eq!(k.sys_read(tid, fd, 16).unwrap(), b"hello");
+        // Reading past EOF yields empty.
+        assert!(k.sys_read(tid, fd, 16).unwrap().is_empty());
+        k.sys_close(tid, fd).unwrap();
+        assert_eq!(k.sys_stat(tid, "/data/f").unwrap().size, 5);
+    }
+
+    #[test]
+    fn write_to_readonly_fd_fails() {
+        let mut k = kernel();
+        let (_, tid) = k.spawn_process();
+        k.vfs.write_file("/tmp/f", vec![1]).unwrap();
+        let fd = k.sys_open(tid, "/tmp/f", OpenFlags::RDONLY).unwrap();
+        assert_eq!(k.sys_write(tid, fd, b"x"), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn console_capture() {
+        let mut k = kernel();
+        let (pid, tid) = k.spawn_process();
+        k.sys_write(tid, Fd::STDOUT, b"hello, world\n").unwrap();
+        assert_eq!(k.console_of(pid).unwrap(), b"hello, world\n");
+    }
+
+    #[test]
+    fn pipe_between_processes() {
+        let mut k = kernel();
+        let (_, tid) = k.spawn_process();
+        let (r, w) = k.sys_pipe(tid).unwrap();
+        assert_eq!(k.sys_write(tid, w, b"ping").unwrap(), 4);
+        assert_eq!(k.sys_read(tid, r, 16).unwrap(), b"ping");
+        assert_eq!(k.sys_read(tid, r, 16), Err(Errno::EAGAIN));
+    }
+
+    #[test]
+    fn select_reports_readable() {
+        let mut k = kernel();
+        let (_, tid) = k.spawn_process();
+        let (r, w) = k.sys_pipe(tid).unwrap();
+        assert!(k.sys_select(tid, &[r]).unwrap().is_empty());
+        k.sys_write(tid, w, b"x").unwrap();
+        assert_eq!(k.sys_select(tid, &[r]).unwrap(), vec![r]);
+    }
+
+    #[test]
+    fn select_fails_on_xnu_at_250() {
+        let mut k = Kernel::boot(DeviceProfile::ipad_mini());
+        let (_, tid) = k.spawn_process();
+        let fds: Vec<Fd> = (0..250)
+            .map(|_| k.sys_pipe(tid).unwrap().0)
+            .collect();
+        assert_eq!(k.sys_select(tid, &fds), Err(Errno::EINVAL));
+        assert!(k.sys_select(tid, &fds[..100]).is_ok());
+    }
+
+    #[test]
+    fn fork_duplicates_process_state() {
+        let mut k = kernel();
+        let (pid, tid) = k.spawn_process();
+        k.sys_mkdir(tid, "/w").unwrap();
+        k.sys_chdir(tid, "/w").unwrap();
+        let (child_pid, child_tid) = k.sys_fork(tid).unwrap();
+        assert_ne!(child_pid, pid);
+        assert_eq!(k.sys_getcwd(child_tid).unwrap(), "/w");
+        assert_eq!(k.process(child_pid).unwrap().parent, Some(pid));
+        assert_eq!(k.counters.forks, 1);
+    }
+
+    #[test]
+    fn fork_cost_scales_with_address_space() {
+        let mut k = kernel();
+        let (small_pid, small_tid) = k.spawn_process();
+        let (_big_pid, big_tid) = k.spawn_process();
+        // Give the big process 90 MB of mappings, like an iOS binary.
+        {
+            let p = k.process_mut(k.thread(big_tid).unwrap().pid).unwrap();
+            p.mm.map(
+                90 * 1024 * 1024,
+                crate::mm::Prot::RX,
+                crate::mm::MappingKind::Dylib,
+                "frameworks",
+            )
+            .unwrap();
+        }
+        let _ = small_pid;
+        let t0 = k.clock.now_ns();
+        k.sys_fork(small_tid).unwrap();
+        let small_cost = k.clock.now_ns() - t0;
+        let t1 = k.clock.now_ns();
+        k.sys_fork(big_tid).unwrap();
+        let big_cost = k.clock.now_ns() - t1;
+        // ~23 000 extra PTEs at 43 ns ≈ 1 ms extra (§6.2).
+        let extra = big_cost - small_cost;
+        assert!(
+            (900_000..1_100_000).contains(&extra),
+            "extra fork cost {extra} ns"
+        );
+    }
+
+    #[test]
+    fn atfork_and_atexit_callbacks_charged() {
+        let mut k = kernel();
+        let (pid, tid) = k.spawn_process();
+        let images: Vec<String> =
+            (0..115).map(|i| format!("lib{i}.dylib")).collect();
+        k.register_image_callbacks(pid, &images).unwrap();
+        let t0 = k.clock.now_ns();
+        let (child_pid, child_tid) = k.sys_fork(tid).unwrap();
+        let fork_cost = k.clock.now_ns() - t0;
+        assert_eq!(k.counters.atfork_callbacks, 345);
+        // 345 × 5.4 µs ≈ 1.86 ms of user callback work.
+        assert!(fork_cost > 1_800_000, "fork cost {fork_cost}");
+        let t1 = k.clock.now_ns();
+        k.sys_exit(child_tid, 0).unwrap();
+        let exit_cost = k.clock.now_ns() - t1;
+        assert_eq!(k.counters.atexit_callbacks, 115);
+        assert!(exit_cost > 600_000, "exit cost {exit_cost}");
+        assert_eq!(k.sys_waitpid(tid, child_pid).unwrap(), 0);
+    }
+
+    #[test]
+    fn exec_discards_callbacks_without_running_them() {
+        let mut k = kernel();
+        let (pid, tid) = k.spawn_process();
+        k.register_image_callbacks(pid, &["a".into(), "b".into()])
+            .unwrap();
+
+        #[derive(Debug)]
+        struct RawLoader;
+        impl crate::binfmt::BinaryLoader for RawLoader {
+            fn name(&self) -> &'static str {
+                "raw"
+            }
+            fn can_load(&self, image: &[u8]) -> bool {
+                image.starts_with(b"RAW")
+            }
+            fn load(
+                &self,
+                _k: &mut Kernel,
+                _tid: Tid,
+                _image: &ExecImage,
+            ) -> Result<crate::binfmt::LoadedProgram, Errno> {
+                Ok(crate::binfmt::LoadedProgram {
+                    format: "raw",
+                    ..Default::default()
+                })
+            }
+        }
+        k.register_binfmt(Rc::new(RawLoader));
+        k.vfs.write_file("/tmp/prog", b"RAWdata".to_vec()).unwrap();
+        k.sys_exec(tid, "/tmp/prog", &[]).unwrap();
+        assert_eq!(k.counters.atexit_callbacks, 0);
+        assert_eq!(k.process(pid).unwrap().callbacks.atexit.len(), 0);
+        assert_eq!(k.process(pid).unwrap().program.format, "raw");
+    }
+
+    #[test]
+    fn exec_unknown_format_is_enoexec() {
+        let mut k = kernel();
+        let (_, tid) = k.spawn_process();
+        k.vfs.write_file("/tmp/junk", b"????".to_vec()).unwrap();
+        assert_eq!(k.sys_exec(tid, "/tmp/junk", &[]), Err(Errno::ENOEXEC));
+    }
+
+    #[test]
+    fn signal_handler_delivery_and_cost() {
+        let mut k = kernel();
+        let (pid, tid) = k.spawn_process();
+        k.sys_sigaction(tid, Signal::SIGUSR1, SigDisposition::Handler(1))
+            .unwrap();
+        let t0 = k.clock.now_ns();
+        k.sys_kill(tid, pid, Signal::SIGUSR1).unwrap();
+        let cost = k.clock.now_ns() - t0;
+        let t = k.thread(tid).unwrap();
+        assert_eq!(t.delivered.len(), 1);
+        assert_eq!(t.delivered[0].user_number, Signal::SIGUSR1.as_raw());
+        assert_eq!(
+            t.delivered[0].frame_bytes,
+            cider_abi::signal::sigframe::LINUX_FRAME_BYTES
+        );
+        // kill + delivery + frame + sigreturn ≈ 5 µs on the Nexus 7.
+        assert!((4_000..8_000).contains(&cost), "signal cost {cost}");
+    }
+
+    #[test]
+    fn default_sigterm_kills_process() {
+        let mut k = kernel();
+        let (pid, tid) = k.spawn_process();
+        k.sys_kill(tid, pid, Signal::SIGTERM).unwrap();
+        assert_eq!(
+            k.process(pid).unwrap().state,
+            ProcessState::Zombie(128 + 15)
+        );
+    }
+
+    #[test]
+    fn masked_signals_stay_pending() {
+        let mut k = kernel();
+        let (pid, tid) = k.spawn_process();
+        k.sys_sigaction(tid, Signal::SIGUSR1, SigDisposition::Handler(1))
+            .unwrap();
+        k.thread_mut(tid).unwrap().sigmask =
+            1 << Signal::SIGUSR1.as_raw();
+        k.sys_kill(tid, pid, Signal::SIGUSR1).unwrap();
+        assert_eq!(k.thread(tid).unwrap().delivered.len(), 0);
+        assert_eq!(k.thread(tid).unwrap().pending.len(), 1);
+        k.thread_mut(tid).unwrap().sigmask = 0;
+        k.deliver_pending(tid).unwrap();
+        assert_eq!(k.thread(tid).unwrap().delivered.len(), 1);
+    }
+
+    #[test]
+    fn sigchld_ignored_by_default() {
+        let mut k = kernel();
+        let (_pid, tid) = k.spawn_process();
+        let (child_pid, child_tid) = k.sys_fork(tid).unwrap();
+        k.sys_exit(child_tid, 3).unwrap();
+        // Parent got SIGCHLD queued; delivering it is a no-op.
+        k.deliver_pending(tid).unwrap();
+        assert_eq!(k.sys_waitpid(tid, child_pid).unwrap(), 3);
+    }
+
+    #[test]
+    fn waitpid_errors() {
+        let mut k = kernel();
+        let (_, tid) = k.spawn_process();
+        assert_eq!(k.sys_waitpid(tid, Pid(99)), Err(Errno::ECHILD));
+        let (child_pid, _) = k.sys_fork(tid).unwrap();
+        assert_eq!(k.sys_waitpid(tid, child_pid), Err(Errno::EAGAIN));
+    }
+
+    #[test]
+    fn program_registry_runs_entry() {
+        let mut k = kernel();
+        let (pid, tid) = k.spawn_process();
+        k.register_program("hello", Rc::new(|k: &mut Kernel, tid| {
+            let _ = k.sys_write(tid, Fd::STDOUT, b"hello, world\n");
+            0
+        }));
+        k.process_mut(pid).unwrap().program.entry_symbol =
+            Some("hello".into());
+        assert_eq!(k.run_entry(tid).unwrap(), 0);
+        assert_eq!(k.console_of(pid).unwrap(), b"hello, world\n");
+        assert_eq!(
+            k.process(pid).unwrap().state,
+            ProcessState::Zombie(0)
+        );
+    }
+
+    #[test]
+    fn context_switch_charges_once_per_switch() {
+        let mut k = kernel();
+        let (_, t1) = k.spawn_process();
+        let (_, t2) = k.spawn_process();
+        k.switch_to(t1).unwrap();
+        let before = k.counters.context_switches;
+        k.switch_to(t1).unwrap(); // no-op
+        k.switch_to(t2).unwrap();
+        assert_eq!(k.counters.context_switches, before + 1);
+    }
+
+    #[test]
+    fn wait_channels_block_and_wake() {
+        let mut k = kernel();
+        let (_, t1) = k.spawn_process();
+        let (_, t2) = k.spawn_process();
+        let c = k.new_wait_channel();
+        k.block_thread(t1, c).unwrap();
+        k.block_thread(t2, c).unwrap();
+        assert_eq!(
+            k.thread(t1).unwrap().state,
+            ThreadState::Blocked(c)
+        );
+        assert_eq!(k.wakeup(c), 2);
+        assert_eq!(k.thread(t1).unwrap().state, ThreadState::Runnable);
+    }
+
+    #[test]
+    fn spawn_thread_inherits_personality() {
+        let mut k = kernel();
+        let (pid, tid) = k.spawn_process();
+        let t2 = k.spawn_thread(tid).unwrap();
+        assert_eq!(k.thread(t2).unwrap().pid, pid);
+        assert_eq!(
+            k.thread(t2).unwrap().personality,
+            k.thread(tid).unwrap().personality
+        );
+        assert_eq!(k.process(pid).unwrap().threads.len(), 2);
+    }
+
+    #[test]
+    fn extensions_store_typed_state() {
+        #[derive(Debug, PartialEq)]
+        struct Marker(u32);
+        let mut k = kernel();
+        assert!(k.extensions.get::<Marker>().is_none());
+        k.extensions.insert(Marker(7));
+        assert_eq!(k.extensions.get::<Marker>(), Some(&Marker(7)));
+        k.extensions.get_mut::<Marker>().unwrap().0 = 9;
+        let taken = k.extensions.take::<Marker>().unwrap();
+        assert_eq!(taken, Marker(9));
+        assert!(k.extensions.get::<Marker>().is_none());
+        // Re-insert replaces cleanly.
+        k.extensions.insert(Marker(1));
+        k.extensions.insert(Marker(2));
+        assert_eq!(k.extensions.get::<Marker>(), Some(&Marker(2)));
+    }
+
+    #[test]
+    fn pass_fd_moves_between_processes() {
+        let mut k = kernel();
+        let (_, t1) = k.spawn_process();
+        let (p2, t2) = k.spawn_process();
+        let (r, w) = k.sys_pipe(t1).unwrap();
+        let moved = k.sys_pass_fd(t1, r, t2).unwrap();
+        // Gone from the sender, live in the receiver.
+        assert_eq!(k.sys_read(t1, r, 1), Err(Errno::EBADF));
+        k.sys_write(t1, w, b"q").unwrap();
+        assert_eq!(k.sys_read(t2, moved, 4).unwrap(), b"q");
+        let _ = p2;
+        // Errors: bad fd, bad target thread.
+        assert_eq!(k.sys_pass_fd(t1, Fd(99), t2), Err(Errno::EBADF));
+        assert_eq!(
+            k.sys_pass_fd(t1, w, Tid(4242)),
+            Err(Errno::ESRCH)
+        );
+        // Failed pass must not have consumed the descriptor.
+        assert!(k.sys_write(t1, w, b"still open").is_ok());
+    }
+
+    #[test]
+    fn chdir_rejects_files_and_missing_paths() {
+        let mut k = kernel();
+        let (_, tid) = k.spawn_process();
+        k.vfs.write_file("/tmp/f", vec![1]).unwrap();
+        assert_eq!(k.sys_chdir(tid, "/tmp/f"), Err(Errno::ENOTDIR));
+        assert_eq!(k.sys_chdir(tid, "/nope"), Err(Errno::ENOENT));
+        assert_eq!(k.sys_getcwd(tid).unwrap(), "/");
+    }
+
+    #[test]
+    fn nanosleep_advances_virtual_time_exactly() {
+        let mut k = kernel();
+        let (_, tid) = k.spawn_process();
+        let t0 = k.clock.now_ns();
+        k.sys_nanosleep(tid, 5_000_000).unwrap();
+        let elapsed = k.clock.now_ns() - t0;
+        // Sleep plus the syscall entry/exit.
+        assert_eq!(elapsed, 5_000_000 + 400);
+    }
+
+    #[test]
+    fn open_excl_and_trunc_semantics() {
+        let mut k = kernel();
+        let (_, tid) = k.spawn_process();
+        let fd = k
+            .sys_open(
+                tid,
+                "/tmp/x",
+                OpenFlags::RDWR | OpenFlags::CREAT | OpenFlags::EXCL,
+            )
+            .unwrap();
+        k.sys_write(tid, fd, b"12345").unwrap();
+        k.sys_close(tid, fd).unwrap();
+        // EXCL on an existing file fails.
+        assert_eq!(
+            k.sys_open(
+                tid,
+                "/tmp/x",
+                OpenFlags::RDWR | OpenFlags::CREAT | OpenFlags::EXCL
+            ),
+            Err(Errno::EEXIST)
+        );
+        // TRUNC empties it.
+        let fd = k
+            .sys_open(tid, "/tmp/x", OpenFlags::RDWR | OpenFlags::TRUNC)
+            .unwrap();
+        k.sys_close(tid, fd).unwrap();
+        assert_eq!(k.sys_stat(tid, "/tmp/x").unwrap().size, 0);
+    }
+
+    #[test]
+    fn direct_storage_io_charges_bandwidth() {
+        let mut k = kernel();
+        let (_, tid) = k.spawn_process();
+        let fd = k
+            .sys_open(tid, "/tmp/big", OpenFlags::RDWR | OpenFlags::CREAT)
+            .unwrap();
+        let data = vec![0u8; 1024 * 1024];
+        let t0 = k.clock.now_ns();
+        k.sys_write_direct(tid, fd, &data).unwrap();
+        let direct_cost = k.clock.now_ns() - t0;
+        let t1 = k.clock.now_ns();
+        k.sys_write(tid, fd, &data).unwrap();
+        let cached_cost = k.clock.now_ns() - t1;
+        assert!(direct_cost > cached_cost * 10);
+    }
+}

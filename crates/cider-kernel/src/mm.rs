@@ -1,0 +1,350 @@
+//! Address spaces and page tables.
+//!
+//! Every process owns an [`AddressSpace`]: an ordered set of
+//! [`Mapping`]s. `fork` duplicates the page-table entries of every mapping
+//! one by one — the mechanism behind the paper's observation that an iOS
+//! process (90 MB of dyld-mapped libraries) pays "almost 1 ms of extra
+//! overhead" per fork compared to a Linux process.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cider_abi::errno::Errno;
+
+/// Page size used throughout the simulator (4 KiB, as on both devices).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Memory protection bits of a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prot {
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+    /// Executable.
+    pub exec: bool,
+}
+
+impl Prot {
+    /// `r-x` — text segments.
+    pub const RX: Prot = Prot {
+        read: true,
+        write: false,
+        exec: true,
+    };
+    /// `rw-` — data segments, heaps, stacks.
+    pub const RW: Prot = Prot {
+        read: true,
+        write: true,
+        exec: false,
+    };
+    /// `r--` — read-only data.
+    pub const R: Prot = Prot {
+        read: true,
+        write: false,
+        exec: false,
+    };
+}
+
+impl fmt::Display for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' },
+            if self.exec { 'x' } else { '-' }
+        )
+    }
+}
+
+/// What backs a mapping; used by diagnostics and by the dyld accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MappingKind {
+    /// Main binary text/data.
+    Binary,
+    /// A dynamically loaded library.
+    Dylib,
+    /// The dyld shared cache (one giant prelinked mapping).
+    SharedCache,
+    /// Anonymous memory (heap, stack).
+    Anonymous,
+    /// Graphics / IOSurface memory shared with the GPU.
+    Graphics,
+}
+
+/// One contiguous virtual-memory mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// Start address (page-aligned).
+    pub start: u64,
+    /// Length in bytes (page-aligned).
+    pub len: u64,
+    /// Protection.
+    pub prot: Prot,
+    /// Backing kind.
+    pub kind: MappingKind,
+    /// Diagnostic name (library path, `[heap]`, ...).
+    pub name: String,
+}
+
+impl Mapping {
+    /// Number of page-table entries this mapping occupies.
+    pub fn pte_count(&self) -> u64 {
+        self.len.div_ceil(PAGE_SIZE)
+    }
+
+    /// End address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+}
+
+/// A process's virtual address space.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    maps: BTreeMap<u64, Mapping>,
+    next_free: u64,
+}
+
+/// Base of the mmap allocation area.
+const MMAP_BASE: u64 = 0x4000_0000;
+
+impl AddressSpace {
+    /// An empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace {
+            maps: BTreeMap::new(),
+            next_free: MMAP_BASE,
+        }
+    }
+
+    /// Maps `len` bytes at a kernel-chosen address.
+    ///
+    /// # Errors
+    ///
+    /// Returns `ENOMEM` if `len` is zero (nothing to map).
+    pub fn map(
+        &mut self,
+        len: u64,
+        prot: Prot,
+        kind: MappingKind,
+        name: impl Into<String>,
+    ) -> Result<u64, Errno> {
+        if len == 0 {
+            return Err(Errno::ENOMEM);
+        }
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let start = self.next_free;
+        self.next_free += len + PAGE_SIZE; // guard page
+        self.maps.insert(
+            start,
+            Mapping {
+                start,
+                len,
+                prot,
+                kind,
+                name: name.into(),
+            },
+        );
+        Ok(start)
+    }
+
+    /// Maps at a caller-fixed address (used by binary loaders).
+    ///
+    /// # Errors
+    ///
+    /// Returns `EINVAL` on overlap with an existing mapping or an
+    /// unaligned address.
+    pub fn map_fixed(
+        &mut self,
+        start: u64,
+        len: u64,
+        prot: Prot,
+        kind: MappingKind,
+        name: impl Into<String>,
+    ) -> Result<(), Errno> {
+        if !start.is_multiple_of(PAGE_SIZE) || len == 0 {
+            return Err(Errno::EINVAL);
+        }
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let end = start + len;
+        let overlaps = self
+            .maps
+            .range(..end)
+            .next_back()
+            .map(|(_, m)| m.end() > start)
+            .unwrap_or(false);
+        if overlaps {
+            return Err(Errno::EINVAL);
+        }
+        self.maps.insert(
+            start,
+            Mapping {
+                start,
+                len,
+                prot,
+                kind,
+                name: name.into(),
+            },
+        );
+        self.next_free = self.next_free.max(end + PAGE_SIZE);
+        Ok(())
+    }
+
+    /// Unmaps the mapping starting exactly at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `EINVAL` if no mapping starts there.
+    pub fn unmap(&mut self, start: u64) -> Result<Mapping, Errno> {
+        self.maps.remove(&start).ok_or(Errno::EINVAL)
+    }
+
+    /// Iterates over all mappings in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &Mapping> {
+        self.maps.values()
+    }
+
+    /// Looks up the mapping containing `addr`.
+    pub fn find(&self, addr: u64) -> Option<&Mapping> {
+        self.maps
+            .range(..=addr)
+            .next_back()
+            .map(|(_, m)| m)
+            .filter(|m| addr < m.end())
+    }
+
+    /// Number of mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Total page-table entries across all mappings — the unit `fork`
+    /// duplication cost scales with.
+    ///
+    /// Shared-cache mappings are excluded: XNU "treats the shared cache
+    /// in a special way" (paper §6.2) — the shared region lives outside
+    /// the per-process page tables, so `fork` on a real iOS device does
+    /// not duplicate its entries. The Cider prototype has no shared
+    /// cache, so its iOS processes pay for every dylib page.
+    pub fn total_ptes(&self) -> u64 {
+        self.maps
+            .values()
+            .filter(|m| m.kind != MappingKind::SharedCache)
+            .map(Mapping::pte_count)
+            .sum()
+    }
+
+    /// Total mapped bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.maps.values().map(|m| m.len).sum()
+    }
+
+    /// Duplicates the address space for `fork`, visiting every PTE.
+    /// Returns the new space and the number of PTEs copied (the caller
+    /// charges `pte_copy_ns` per entry).
+    pub fn fork_duplicate(&self) -> (AddressSpace, u64) {
+        let ptes = self.total_ptes();
+        (self.clone(), ptes)
+    }
+
+    /// Drops everything, as `exec` does before loading the new image.
+    pub fn clear(&mut self) {
+        self.maps.clear();
+        self.next_free = MMAP_BASE;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_rounds_to_pages_and_counts_ptes() {
+        let mut a = AddressSpace::new();
+        let start = a.map(5000, Prot::RW, MappingKind::Anonymous, "[heap]")
+            .unwrap();
+        let m = a.find(start).unwrap();
+        assert_eq!(m.len, 2 * PAGE_SIZE);
+        assert_eq!(m.pte_count(), 2);
+        assert_eq!(a.total_ptes(), 2);
+    }
+
+    #[test]
+    fn map_zero_fails() {
+        let mut a = AddressSpace::new();
+        assert_eq!(
+            a.map(0, Prot::RW, MappingKind::Anonymous, "x"),
+            Err(Errno::ENOMEM)
+        );
+    }
+
+    #[test]
+    fn fixed_mapping_rejects_overlap() {
+        let mut a = AddressSpace::new();
+        a.map_fixed(0x1000, 0x2000, Prot::RX, MappingKind::Binary, "bin")
+            .unwrap();
+        assert_eq!(
+            a.map_fixed(0x2000, 0x1000, Prot::RW, MappingKind::Binary, "d"),
+            Err(Errno::EINVAL)
+        );
+        // Adjacent is fine.
+        a.map_fixed(0x3000, 0x1000, Prot::RW, MappingKind::Binary, "d")
+            .unwrap();
+    }
+
+    #[test]
+    fn fixed_mapping_rejects_unaligned() {
+        let mut a = AddressSpace::new();
+        assert_eq!(
+            a.map_fixed(0x1001, 0x1000, Prot::RW, MappingKind::Binary, "b"),
+            Err(Errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn find_resolves_addresses() {
+        let mut a = AddressSpace::new();
+        let s = a.map(PAGE_SIZE, Prot::R, MappingKind::Dylib, "libfoo")
+            .unwrap();
+        assert!(a.find(s).is_some());
+        assert!(a.find(s + PAGE_SIZE - 1).is_some());
+        assert!(a.find(s + PAGE_SIZE).is_none());
+    }
+
+    #[test]
+    fn fork_duplicate_reports_pte_work() {
+        let mut a = AddressSpace::new();
+        // 90 MB of dylibs, as dyld maps for an iOS process.
+        a.map(
+            90 * 1024 * 1024,
+            Prot::RX,
+            MappingKind::Dylib,
+            "frameworks",
+        )
+        .unwrap();
+        let (b, ptes) = a.fork_duplicate();
+        assert_eq!(ptes, 90 * 1024 * 1024 / PAGE_SIZE);
+        assert_eq!(b.total_ptes(), a.total_ptes());
+    }
+
+    #[test]
+    fn unmap_and_clear() {
+        let mut a = AddressSpace::new();
+        let s = a.map(PAGE_SIZE, Prot::RW, MappingKind::Anonymous, "x")
+            .unwrap();
+        assert!(a.unmap(s).is_ok());
+        assert_eq!(a.unmap(s), Err(Errno::EINVAL));
+        a.map(PAGE_SIZE, Prot::RW, MappingKind::Anonymous, "y")
+            .unwrap();
+        a.clear();
+        assert_eq!(a.mapping_count(), 0);
+    }
+
+    #[test]
+    fn prot_display() {
+        assert_eq!(Prot::RX.to_string(), "r-x");
+        assert_eq!(Prot::RW.to_string(), "rw-");
+    }
+}

@@ -1,0 +1,11 @@
+//! Apple's I/O Kit driver framework (the XNU `iokit` source directory),
+//! duct-taped into the domestic kernel via the C++ runtime Cider adds.
+
+pub mod osobject;
+pub mod registry;
+
+pub use osobject::{OsArena, OsId, OsValue};
+pub use registry::{
+    EntryId, IoDriver, IoKit, MatchRule, OsMetaClass, RegistryEntry,
+    UserClientId,
+};

@@ -1,0 +1,173 @@
+//! Mach messages: headers, port-right descriptors, and out-of-line data.
+
+use bytes::Bytes;
+use cider_abi::ids::PortName;
+
+use crate::ipc::port::PortId;
+
+/// How a port right named in a message is to be transferred
+/// (`mach_msg_type_name_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDisposition {
+    /// Move the receive right to the receiver.
+    MoveReceive,
+    /// Move one of the sender's send references.
+    MoveSend,
+    /// Copy the sender's send right (new system-wide reference).
+    CopySend,
+    /// Make a new send right from the sender's receive right.
+    MakeSend,
+    /// Make a new send-once right from the sender's receive right.
+    MakeSendOnce,
+    /// Move the sender's send-once right.
+    MoveSendOnce,
+}
+
+/// A port descriptor as user space writes it: a name in the sender's
+/// space plus a disposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortDescriptor {
+    /// Name in the sender's space.
+    pub name: PortName,
+    /// Transfer disposition.
+    pub disposition: PortDisposition,
+}
+
+/// A right in transit inside a queued message (already validated and
+/// counted against the port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitRight {
+    /// The port whose right travels.
+    pub port: PortId,
+    /// What the receiver will get.
+    pub kind: TransitKind,
+}
+
+/// What kind of right is carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransitKind {
+    /// A send right.
+    Send,
+    /// A send-once right.
+    SendOnce,
+    /// The receive right itself.
+    Receive,
+}
+
+/// A message as user space composes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserMessage {
+    /// Destination name (must denote a send or send-once right).
+    pub remote_port: PortName,
+    /// Disposition applied to the destination right.
+    pub remote_disposition: PortDisposition,
+    /// Reply port name (`MACH_PORT_NULL` for none); transferred with
+    /// [`UserMessage::local_disposition`].
+    pub local_port: PortName,
+    /// Disposition for the reply port (typically `MakeSendOnce`).
+    pub local_disposition: PortDisposition,
+    /// Message id (MIG routine number, notification id, ...).
+    pub msg_id: i32,
+    /// Inline body.
+    pub body: Bytes,
+    /// Port-right descriptors in the body.
+    pub ports: Vec<PortDescriptor>,
+    /// Out-of-line memory regions.
+    pub ool: Vec<Bytes>,
+}
+
+impl UserMessage {
+    /// A simple message with inline data only.
+    pub fn simple(
+        remote_port: PortName,
+        msg_id: i32,
+        body: impl Into<Bytes>,
+    ) -> UserMessage {
+        UserMessage {
+            remote_port,
+            remote_disposition: PortDisposition::CopySend,
+            local_port: PortName::NULL,
+            local_disposition: PortDisposition::MakeSendOnce,
+            msg_id,
+            body: body.into(),
+            ports: Vec::new(),
+            ool: Vec::new(),
+        }
+    }
+
+    /// Total inline + out-of-line payload size.
+    pub fn size(&self) -> usize {
+        self.body.len() + self.ool.iter().map(|b| b.len()).sum::<usize>()
+    }
+}
+
+/// A message queued in the kernel: rights already in transit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Message id.
+    pub msg_id: i32,
+    /// Inline body.
+    pub body: Bytes,
+    /// Reply right in transit, if any.
+    pub reply: Option<TransitRight>,
+    /// Descriptor rights in transit.
+    pub ports: Vec<TransitRight>,
+    /// Out-of-line regions.
+    pub ool: Vec<Bytes>,
+    /// Space id of the sender (diagnostics).
+    pub sender: u64,
+}
+
+impl Message {
+    /// Total payload size.
+    pub fn size(&self) -> usize {
+        self.body.len() + self.ool.iter().map(|b| b.len()).sum::<usize>()
+    }
+}
+
+/// A message as delivered to the receiver: rights turned into names in
+/// the receiving space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceivedMessage {
+    /// Message id.
+    pub msg_id: i32,
+    /// Inline body.
+    pub body: Bytes,
+    /// Reply port name in the receiver's space (NULL if none).
+    pub reply_port: PortName,
+    /// Descriptor port names in the receiver's space.
+    pub ports: Vec<PortName>,
+    /// Out-of-line regions.
+    pub ool: Vec<Bytes>,
+}
+
+/// Well-known notification message ids.
+pub mod notify_ids {
+    /// `MACH_NOTIFY_PORT_DELETED`.
+    pub const PORT_DELETED: i32 = 65;
+    /// `MACH_NOTIFY_NO_SENDERS`.
+    pub const NO_SENDERS: i32 = 70;
+    /// `MACH_NOTIFY_DEAD_NAME`.
+    pub const DEAD_NAME: i32 = 72;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_message_defaults() {
+        let m = UserMessage::simple(PortName(5), 100, &b"hi"[..]);
+        assert_eq!(m.remote_port, PortName(5));
+        assert_eq!(m.local_port, PortName::NULL);
+        assert_eq!(m.size(), 2);
+        assert!(m.ports.is_empty());
+    }
+
+    #[test]
+    fn size_includes_ool() {
+        let mut m = UserMessage::simple(PortName(1), 0, &b"abc"[..]);
+        m.ool.push(Bytes::from(vec![0u8; 100]));
+        assert_eq!(m.size(), 103);
+    }
+}

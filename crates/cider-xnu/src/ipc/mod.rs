@@ -1,0 +1,17 @@
+//! Mach IPC — the XNU subsystem Cider duct-tapes into the Linux kernel.
+//!
+//! The module layout mirrors `osfmk/ipc`: [`port`] holds ports and
+//! rights, [`space`] the per-task name tables, [`message`] the message
+//! and descriptor formats, and [`subsystem`] the transfer engine.
+
+pub mod message;
+pub mod port;
+pub mod space;
+pub mod subsystem;
+
+pub use message::{
+    Message, PortDescriptor, PortDisposition, ReceivedMessage, UserMessage,
+};
+pub use port::{KernelObject, Port, PortId, RightType, SpaceId};
+pub use space::IpcSpace;
+pub use subsystem::{IpcStats, MachIpc};

@@ -1,0 +1,95 @@
+//! `kern_return_t` codes as XNU user and kernel space use them.
+
+use std::fmt;
+
+/// Mach kernel return codes (genuine XNU values for the subset we use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum KernReturn {
+    /// Success.
+    Success,
+    /// Address/argument invalid (`KERN_INVALID_ARGUMENT` = 4).
+    InvalidArgument,
+    /// No space in the target (`KERN_NO_SPACE` = 3).
+    NoSpace,
+    /// Resource shortage (`KERN_RESOURCE_SHORTAGE` = 6).
+    ResourceShortage,
+    /// Named right does not exist (`KERN_INVALID_NAME` = 15).
+    InvalidName,
+    /// The named right is of the wrong kind (`KERN_INVALID_RIGHT` = 17).
+    InvalidRight,
+    /// Operation on a dead port (`KERN_INVALID_CAPABILITY` = 20).
+    InvalidCapability,
+    /// `MACH_SEND_INVALID_DEST` (0x10000003).
+    SendInvalidDest,
+    /// `MACH_SEND_TOO_LARGE` (0x10000004): queue full.
+    SendTooLarge,
+    /// `MACH_RCV_TIMED_OUT` (0x10004003): nothing queued.
+    RcvTimedOut,
+    /// `MACH_RCV_TOO_LARGE` (0x10004004): caller's buffer too small.
+    RcvTooLarge,
+    /// `MACH_RCV_INVALID_NAME` (0x10004002).
+    RcvInvalidName,
+    /// MIG bad id (`MIG_BAD_ID` = -303).
+    MigBadId,
+    /// Generic failure (`KERN_FAILURE` = 5).
+    Failure,
+}
+
+impl KernReturn {
+    /// The raw `kern_return_t` value.
+    pub fn as_raw(self) -> i64 {
+        match self {
+            KernReturn::Success => 0,
+            KernReturn::NoSpace => 3,
+            KernReturn::InvalidArgument => 4,
+            KernReturn::Failure => 5,
+            KernReturn::ResourceShortage => 6,
+            KernReturn::InvalidName => 15,
+            KernReturn::InvalidRight => 17,
+            KernReturn::InvalidCapability => 20,
+            KernReturn::SendInvalidDest => 0x1000_0003,
+            KernReturn::SendTooLarge => 0x1000_0004,
+            KernReturn::RcvInvalidName => 0x1000_4002,
+            KernReturn::RcvTimedOut => 0x1000_4003,
+            KernReturn::RcvTooLarge => 0x1000_4004,
+            KernReturn::MigBadId => -303,
+        }
+    }
+
+    /// Whether the code is `KERN_SUCCESS`.
+    pub fn is_success(self) -> bool {
+        self == KernReturn::Success
+    }
+}
+
+impl fmt::Display for KernReturn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?} ({:#x})", self.as_raw())
+    }
+}
+
+impl std::error::Error for KernReturn {}
+
+/// Shorthand result type for Mach operations.
+pub type KernResult<T> = Result<T, KernReturn>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_values_match_xnu() {
+        assert_eq!(KernReturn::Success.as_raw(), 0);
+        assert_eq!(KernReturn::InvalidArgument.as_raw(), 4);
+        assert_eq!(KernReturn::SendInvalidDest.as_raw(), 0x10000003);
+        assert_eq!(KernReturn::RcvTimedOut.as_raw(), 0x10004003);
+        assert_eq!(KernReturn::MigBadId.as_raw(), -303);
+    }
+
+    #[test]
+    fn success_predicate() {
+        assert!(KernReturn::Success.is_success());
+        assert!(!KernReturn::Failure.is_success());
+    }
+}

@@ -1,0 +1,46 @@
+//! The foreign (XNU-flavoured) kernel source corpus for the Cider
+//! reproduction.
+//!
+//! Cider's *duct tape* mechanism compiles unmodified foreign kernel code
+//! into the domestic kernel (paper §4.2). This crate plays the role of
+//! that foreign source tree: the three subsystems the paper imports —
+//! kernel-side pthread support ([`psynch`]), Mach IPC ([`ipc`]), and
+//! Apple's I/O Kit driver framework ([`iokit`]) — plus the `queue.h`
+//! structures ([`queue`]) and `kern_return_t` codes ([`kern_return`])
+//! they rely on.
+//!
+//! **Zone discipline.** Nothing here references the domestic kernel.
+//! Every kernel service (locking, zone allocation, thread block/wakeup,
+//! time) is reached through the [`api::ForeignKernelApi`] trait — the set
+//! of "external symbols" that the duct-tape layer (`cider-ducttape`)
+//! remaps onto domestic primitives. Unit tests exercise the subsystems
+//! against [`api::MockForeignKernel`], proving the code is genuinely
+//! host-independent.
+//!
+//! # Example
+//!
+//! ```
+//! use cider_xnu::api::MockForeignKernel;
+//! use cider_xnu::ipc::{MachIpc, UserMessage};
+//!
+//! let mut api = MockForeignKernel::new();
+//! let mut ipc = MachIpc::new();
+//! ipc.bootstrap(&mut api);
+//! let task = ipc.create_space();
+//! let port = ipc.port_allocate(&mut api, task)?;
+//! let send = ipc.make_send(task, port)?;
+//! ipc.msg_send(&mut api, task, UserMessage::simple(send, 1, &b"hi"[..]))?;
+//! let msg = ipc.msg_receive(&mut api, task, port)?;
+//! assert_eq!(&msg.body[..], b"hi");
+//! # Ok::<(), cider_xnu::kern_return::KernReturn>(())
+//! ```
+
+pub mod api;
+pub mod iokit;
+pub mod ipc;
+pub mod kern_return;
+pub mod psynch;
+pub mod queue;
+
+pub use api::{ForeignKernelApi, ForeignThread};
+pub use kern_return::{KernResult, KernReturn};

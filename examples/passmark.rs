@@ -1,0 +1,22 @@
+//! Reproduces Figure 6: the PassMark app on all four configurations.
+//!
+//! ```text
+//! cargo run --release --example passmark
+//! ```
+
+fn main() {
+    println!("Running the PassMark suite on all four configurations...\n");
+    let table = cider_bench::fig6::run();
+    println!("{table}");
+    println!(
+        "Headline shapes (paper §6.3):\n\
+         * CPU & memory: the native iOS binary beats the interpreted\n\
+           Android app on the same device, and Cider beats the iPad\n\
+           (faster CPU).\n\
+         * Storage: the iPad's flash writes much faster.\n\
+         * 2D: Android's drawing libraries win, except complex vectors;\n\
+           image rendering on Cider additionally pays the fence bug.\n\
+         * 3D: Cider iOS lands 20-37% below the Android app (diplomat\n\
+           mediation per GL call); the iPad's faster GPU wins outright."
+    );
+}

@@ -1,0 +1,70 @@
+//! Determinism: the virtual-clock simulator's core promise (DESIGN.md
+//! §7) — identical configurations produce bit-identical measurements,
+//! which is what makes the reproduced figures exactly re-runnable.
+
+use cider_apps::passmark::Test;
+use cider_bench::config::{SystemConfig, TestBed};
+use cider_bench::{fig6, lmbench};
+
+fn micro_fingerprint(config: SystemConfig) -> Vec<u64> {
+    let mut bed = TestBed::new(config);
+    let (pid, tid) = bed.spawn_measured().expect("bench binaries");
+    let mut out = vec![
+        lmbench::null_syscall(&mut bed, tid).ns,
+        lmbench::signal_handler_lat(&mut bed, pid, tid).unwrap().ns,
+        lmbench::fork_exit_lat(&mut bed, tid).unwrap().ns,
+        lmbench::pipe_lat(&mut bed, tid).unwrap().ns,
+        lmbench::file_create_delete_lat(&mut bed, tid, 10 * 1024)
+            .unwrap()
+            .ns,
+    ];
+    out.push(bed.sys.kernel.clock.now_ns());
+    out
+}
+
+#[test]
+fn microbenchmarks_are_bit_identical_across_runs() {
+    for config in SystemConfig::ALL {
+        let a = micro_fingerprint(config);
+        let b = micro_fingerprint(config);
+        assert_eq!(a, b, "{config:?} must be deterministic");
+    }
+}
+
+#[test]
+fn passmark_is_bit_identical_across_runs() {
+    let run = || {
+        let mut bed = TestBed::new(SystemConfig::CiderIos);
+        let tid = fig6::prepare_passmark_thread(&mut bed);
+        let mut values = Vec::new();
+        for test in [
+            Test::CpuInteger,
+            Test::CpuStringSort,
+            Test::Gfx2dImageRendering,
+            Test::Gfx3dSimple,
+        ] {
+            values.push(
+                fig6::run_test_with(
+                    &mut bed,
+                    tid,
+                    test,
+                    cider_apps::workloads::Sizes::quick(),
+                )
+                .unwrap()
+                .to_bits(),
+            );
+        }
+        values.push(bed.sys.kernel.clock.now_ns() as u64);
+        values
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn workload_results_are_seed_deterministic() {
+    let a = cider_apps::workloads::sort_input(128, 42);
+    let b = cider_apps::workloads::sort_input(128, 42);
+    assert_eq!(a, b);
+    let c = cider_apps::workloads::sort_input(128, 43);
+    assert_ne!(a, c, "different seeds diverge");
+}

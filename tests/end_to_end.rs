@@ -1,0 +1,254 @@
+//! End-to-end integration: the full §3 user experience, spanning every
+//! crate — package decryption, installation, CiderPress launch, input,
+//! diplomatic rendering, lifecycle, and teardown.
+
+use cider_apps::ciderpress::{AppState, CiderPress};
+use cider_apps::launcher::{install_ipa_with_shortcut, Launcher};
+use cider_apps::package::{build_ios_app, decrypt_ipa, DeviceKey, Ipa};
+use cider_core::persona::persona_of;
+use cider_core::system::CiderSystem;
+use cider_gfx::stack::{install_gfx, GfxConfig, SharedGfx};
+use cider_input::gestures::{synth_pinch, synth_tap};
+use cider_kernel::profile::DeviceProfile;
+
+fn booted() -> (CiderSystem, SharedGfx) {
+    let mut sys = CiderSystem::new(DeviceProfile::nexus7());
+    let (gfx, _) = install_gfx(&mut sys, GfxConfig::default());
+    sys.kernel
+        .register_program("app_main", std::rc::Rc::new(|_, _| 0));
+    (sys, gfx)
+}
+
+fn installed_app(sys: &mut CiderSystem) -> (Launcher, String, Ipa) {
+    let ipa = decrypt_ipa(
+        &build_ios_app("com.example.e2e", "E2E", "app_main", true),
+        DeviceKey::from_jailbroken_device(),
+    )
+    .expect("decrypt");
+    let mut launcher = Launcher::new();
+    let path = install_ipa_with_shortcut(sys, &mut launcher, &ipa)
+        .expect("install");
+    (launcher, path, ipa)
+}
+
+#[test]
+fn full_app_lifecycle() {
+    let (mut sys, gfx) = booted();
+    let (launcher, path, ipa) = installed_app(&mut sys);
+    assert_eq!(launcher.shortcuts[0].icon, ipa.icon);
+
+    let mut cp = CiderPress::launch(&mut sys, &gfx, &path).expect("launch");
+    assert_eq!(
+        persona_of(&sys.kernel, cp.app.1).unwrap(),
+        cider_abi::Persona::Foreign
+    );
+
+    // Touch input end to end, including multi-touch.
+    for ev in synth_tap(100, 100, 0) {
+        cp.deliver_input(&mut sys, &ev).unwrap();
+    }
+    for ev in synth_pinch((640, 400), 100, 200, 5, 1_000_000) {
+        cp.deliver_input(&mut sys, &ev).unwrap();
+    }
+    assert!(cp.bridge.events_forwarded >= 9);
+
+    // Render a frame through the diplomatic stack.
+    let lib = "OpenGLES.framework/OpenGLES";
+    let tid = cp.app.1;
+    let ctx = sys
+        .diplomat_call(tid, lib, "EAGLContext_initWithAPI", &[])
+        .unwrap();
+    sys.diplomat_call(tid, lib, "EAGLContext_setCurrentContext", &[ctx])
+        .unwrap();
+    sys.diplomat_call(
+        tid,
+        lib,
+        "EAGLContext_renderbufferStorage",
+        &[ctx, 1280, 800],
+    )
+    .unwrap();
+    sys.diplomat_call(tid, lib, "glClear", &[0x4000]).unwrap();
+    sys.diplomat_call(tid, lib, "glDrawArrays", &[4, 0, 300])
+        .unwrap();
+    sys.diplomat_call(tid, lib, "EAGLContext_presentRenderbuffer", &[])
+        .unwrap();
+    assert_eq!(gfx.borrow().flinger.frames_presented, 1);
+
+    // Lifecycle: pause, resume, stop.
+    cp.pause(&mut sys, &gfx).unwrap();
+    assert_eq!(cp.state, AppState::Paused);
+    cp.resume(&mut sys, &gfx).unwrap();
+    cp.stop(&mut sys, &gfx).unwrap();
+    assert_eq!(cp.state, AppState::Stopped);
+
+    // Mach IPC books balance after the whole story.
+    cider_core::with_state(&mut sys.kernel, |_, st| {
+        st.machipc.check_invariants()
+    });
+}
+
+#[test]
+fn android_and_ios_apps_coexist() {
+    let (mut sys, gfx) = booted();
+    let (_, path, _) = installed_app(&mut sys);
+
+    // An Android app (interpreted workload) runs alongside the iOS app.
+    let (android_pid, android_tid) = sys.spawn_process();
+    let cp = CiderPress::launch(&mut sys, &gfx, &path).expect("launch");
+
+    let prog = cider_apps::workloads::integer_program(200, 5);
+    let mut vm = cider_apps::vm::Vm::new();
+    let vm_result = vm.run(&mut sys.kernel, &prog).unwrap();
+    let native = cider_apps::workloads::integer_native(
+        &mut sys.kernel,
+        200,
+        5,
+    );
+    assert_eq!(vm_result.value, native);
+
+    assert_eq!(
+        persona_of(&sys.kernel, android_tid).unwrap(),
+        cider_abi::Persona::Domestic
+    );
+    assert_eq!(
+        persona_of(&sys.kernel, cp.app.1).unwrap(),
+        cider_abi::Persona::Foreign
+    );
+    assert_ne!(android_pid, cp.app.0);
+}
+
+#[test]
+fn yelp_style_fallback_when_device_missing() {
+    // §6.4: the Yelp app runs even though GPS is unsupported — it asks,
+    // gets "no such device", and continues on its fallback path.
+    let (mut sys, gfx) = booted();
+    let (_, path, _) = installed_app(&mut sys);
+    let cp = CiderPress::launch(&mut sys, &gfx, &path).expect("launch");
+
+    // The app queries I/O Kit for a GPS service; none is registered.
+    let found = cider_core::with_state(&mut sys.kernel, |_, st| {
+        st.iokit.find_service("IOGPSNub")
+    });
+    assert!(found.is_none(), "no GPS on the Nexus 7 bridge");
+
+    // The app continues: it can still render and take input.
+    let tid = cp.app.1;
+    let lib = "IOSurface.framework/IOSurface";
+    let buf = sys
+        .diplomat_call(tid, lib, "IOSurfaceCreate", &[64, 64])
+        .unwrap();
+    assert!(buf > 0);
+
+    // Plug in a GPS-class device later and the bridge publishes it.
+    sys.add_device("gps", "gps", "/dev/gps0").unwrap();
+    let found = cider_core::with_state(&mut sys.kernel, |_, st| {
+        st.iokit.find_service("IOGpsNub")
+    });
+    assert!(found.is_some(), "hotplugged device reaches I/O Kit");
+}
+
+#[test]
+fn eventpump_can_wait_with_kqueue() {
+    // §4.2: kqueue/kevent are supported "as user space libraries ...
+    // simply via API interposition" — here the eventpump's run loop
+    // watches its bridge socket through the interposed kqueue.
+    use cider_core::kqueue::{EvAction, EvFilter, KQueue, Kevent};
+    let (mut sys, gfx) = booted();
+    let (_, path, _) = installed_app(&mut sys);
+    let mut cp = CiderPress::launch(&mut sys, &gfx, &path).expect("launch");
+    let (_, pump_tid, sock) = cp.bridge.pump;
+
+    let mut kq = KQueue::new();
+    kq.apply(
+        &sys.kernel,
+        EvAction::Add,
+        Kevent {
+            ident: sock.as_raw() as u64,
+            filter: EvFilter::Read,
+            udata: 0xE7,
+            timer_ms: 0,
+        },
+    )
+    .unwrap();
+
+    // Quiet socket: no events.
+    assert!(kq.poll(&mut sys.kernel, pump_tid).unwrap().is_empty());
+
+    // CiderPress forwards a tap; the kqueue wakes the pump.
+    cp.bridge
+        .send_from_ciderpress(&mut sys, &synth_tap(5, 5, 0)[0])
+        .unwrap();
+    let evs = kq.poll(&mut sys.kernel, pump_tid).unwrap();
+    assert_eq!(evs.len(), 1);
+    assert_eq!(evs[0].udata, 0xE7);
+
+    // The pump drains and forwards; the kqueue goes quiet again.
+    assert_eq!(cp.bridge.pump_once(&mut sys).unwrap(), 1);
+    assert!(kq.poll(&mut sys.kernel, pump_tid).unwrap().is_empty());
+}
+
+#[test]
+fn accelerometer_samples_reach_the_app() {
+    // §5.2: "The events sent to this port include mouse, button,
+    // accelerometer, proximity and touch screen events."
+    let (mut sys, gfx) = booted();
+    let (_, path, _) = installed_app(&mut sys);
+    let mut cp = CiderPress::launch(&mut sys, &gfx, &path).expect("launch");
+    let tid = cp.app.1;
+    for i in 0..10i32 {
+        cp.deliver_input(
+            &mut sys,
+            &cider_input::events::AndroidEvent::Accelerometer {
+                x: i * 10,
+                y: -i * 10,
+                z: 1000,
+                time_ns: i as u64 * 10_000_000,
+            },
+        )
+        .unwrap();
+    }
+    let mut samples = 0;
+    while let Ok(ev) = cp.bridge.receive_app_event(&mut sys, tid) {
+        let cider_input::events::IosHidEvent::Accelerometer {
+            z, ..
+        } = ev
+        else {
+            panic!("expected accelerometer, got {ev:?}");
+        };
+        // Android milli-g scaled to iOS micro-g.
+        assert_eq!(z, 1_000_000);
+        samples += 1;
+    }
+    assert_eq!(samples, 10);
+}
+
+#[test]
+fn screenshot_flows_into_recents() {
+    let (mut sys, gfx) = booted();
+    let (mut launcher, path, _) = installed_app(&mut sys);
+    let cp = CiderPress::launch(&mut sys, &gfx, &path).expect("launch");
+
+    // Draw into the proxied surface and composite.
+    {
+        let mut g = gfx.borrow_mut();
+        let buf = g.flinger.dequeue_buffer(cp.surface).unwrap();
+        g.gralloc.get_mut(buf).unwrap().pixels[0] = 0xC1DE;
+        g.flinger.queue_buffer(cp.surface).unwrap();
+        let cider_gfx::stack::GfxStack {
+            gpu,
+            flinger,
+            gralloc,
+            ..
+        } = &mut *g;
+        flinger.composite(&mut sys.kernel, gpu, gralloc);
+    }
+    let shot = gfx
+        .borrow()
+        .flinger
+        .last_screenshot
+        .clone()
+        .expect("screenshot captured");
+    assert_eq!(shot.1[0], 0xC1DE);
+    launcher.push_recent("E2E", shot.1);
+    assert_eq!(launcher.recents.len(), 1);
+}

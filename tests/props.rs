@@ -1,0 +1,427 @@
+//! Property-based tests over the core invariants: Mach port-right
+//! conservation under arbitrary operation sequences, VFS consistency,
+//! serialisation round trips, and parser robustness on arbitrary bytes.
+
+use bytes::Bytes;
+use cider_abi::ids::PortName;
+use cider_apps::vm::{assemble, disassemble, Insn};
+use cider_core::wire;
+use cider_ducttape::adapter::{DuctTape, DuctTapeState};
+use cider_kernel::kernel::Kernel;
+use cider_kernel::profile::DeviceProfile;
+use cider_kernel::vfs::Vfs;
+use cider_loader::{Elf, MachO};
+use cider_xnu::ipc::{
+    MachIpc, PortDescriptor, PortDisposition, SpaceId, UserMessage,
+};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// Mach IPC: port-right conservation.
+// ----------------------------------------------------------------------
+
+/// Abstract IPC operations; indices are taken modulo the live sets so
+/// every generated sequence is executable.
+#[derive(Debug, Clone)]
+enum IpcOp {
+    AllocatePort { space: u8 },
+    MakeSend { space: u8, pick: u8 },
+    CopySend { from: u8, pick: u8, to: u8 },
+    Deallocate { space: u8, pick: u8 },
+    DestroyReceive { space: u8, pick: u8 },
+    Send { space: u8, pick: u8, with_reply: bool, carry_right: bool },
+    Receive { space: u8, pick: u8 },
+}
+
+fn ipc_op_strategy() -> impl Strategy<Value = IpcOp> {
+    prop_oneof![
+        (any::<u8>()).prop_map(|space| IpcOp::AllocatePort { space }),
+        (any::<u8>(), any::<u8>())
+            .prop_map(|(space, pick)| IpcOp::MakeSend { space, pick }),
+        (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(from, pick, to)| IpcOp::CopySend { from, pick, to }),
+        (any::<u8>(), any::<u8>())
+            .prop_map(|(space, pick)| IpcOp::Deallocate { space, pick }),
+        (any::<u8>(), any::<u8>())
+            .prop_map(|(space, pick)| IpcOp::DestroyReceive { space, pick }),
+        (any::<u8>(), any::<u8>(), any::<bool>(), any::<bool>()).prop_map(
+            |(space, pick, with_reply, carry_right)| IpcOp::Send {
+                space,
+                pick,
+                with_reply,
+                carry_right,
+            }
+        ),
+        (any::<u8>(), any::<u8>())
+            .prop_map(|(space, pick)| IpcOp::Receive { space, pick }),
+    ]
+}
+
+fn pick_name(
+    ipc: &MachIpc,
+    space: SpaceId,
+    pick: u8,
+    want_recv: bool,
+) -> Option<PortName> {
+    // Enumerate names via the space's public iterator.
+    let names: Vec<PortName> = ipc
+        .space_names(space)
+        .into_iter()
+        .filter(|(_, right)| {
+            if want_recv {
+                *right == cider_xnu::ipc::RightType::Receive
+            } else {
+                matches!(
+                    right,
+                    cider_xnu::ipc::RightType::Send
+                        | cider_xnu::ipc::RightType::SendOnce
+                )
+            }
+        })
+        .map(|(n, _)| n)
+        .collect();
+    if names.is_empty() {
+        return None;
+    }
+    Some(names[pick as usize % names.len()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mach_port_rights_are_conserved(ops in prop::collection::vec(ipc_op_strategy(), 1..60)) {
+        let mut k = Kernel::boot(DeviceProfile::nexus7());
+        let (_, tid) = k.spawn_process();
+        let mut st = DuctTapeState::new();
+        let mut ipc = MachIpc::new();
+        {
+            let mut api = DuctTape::new(&mut k, &mut st, tid);
+            ipc.bootstrap(&mut api);
+        }
+        let spaces: Vec<SpaceId> = (0..3).map(|_| ipc.create_space()).collect();
+        let sp = |i: u8| spaces[i as usize % spaces.len()];
+
+        for op in ops {
+            let mut api = DuctTape::new(&mut k, &mut st, tid);
+            match op {
+                IpcOp::AllocatePort { space } => {
+                    let _ = ipc.port_allocate(&mut api, sp(space));
+                }
+                IpcOp::MakeSend { space, pick } => {
+                    if let Some(n) = pick_name(&ipc, sp(space), pick, true) {
+                        let _ = ipc.make_send(sp(space), n);
+                    }
+                }
+                IpcOp::CopySend { from, pick, to } => {
+                    if let Some(n) = pick_name(&ipc, sp(from), pick, false) {
+                        let _ = ipc.copy_send_to_space(sp(from), n, sp(to));
+                    }
+                }
+                IpcOp::Deallocate { space, pick } => {
+                    if let Some(n) = pick_name(&ipc, sp(space), pick, false) {
+                        let _ = ipc.port_deallocate(&mut api, sp(space), n);
+                    }
+                }
+                IpcOp::DestroyReceive { space, pick } => {
+                    if let Some(n) = pick_name(&ipc, sp(space), pick, true) {
+                        let _ = ipc.port_destroy(&mut api, sp(space), n);
+                    }
+                }
+                IpcOp::Send { space, pick, with_reply, carry_right } => {
+                    if let Some(dest) = pick_name(&ipc, sp(space), pick, false) {
+                        let mut msg = UserMessage::simple(
+                            dest,
+                            1,
+                            Bytes::from(&b"p"[..]),
+                        );
+                        if with_reply {
+                            if let Some(r) =
+                                pick_name(&ipc, sp(space), pick, true)
+                            {
+                                msg.local_port = r;
+                            }
+                        }
+                        if carry_right {
+                            if let Some(r) =
+                                pick_name(&ipc, sp(space), pick.wrapping_add(1), true)
+                            {
+                                msg.ports.push(PortDescriptor {
+                                    name: r,
+                                    disposition: PortDisposition::MakeSend,
+                                });
+                            }
+                        }
+                        let _ = ipc.msg_send(&mut api, sp(space), msg);
+                    }
+                }
+                IpcOp::Receive { space, pick } => {
+                    if let Some(n) = pick_name(&ipc, sp(space), pick, true) {
+                        let _ = ipc.msg_receive(&mut api, sp(space), n);
+                    }
+                }
+            }
+            // The invariant holds after *every* operation.
+            ipc.check_invariants();
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// VFS consistency.
+// ----------------------------------------------------------------------
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-c]{1,3}", 1..4)
+        .prop_map(|comps| format!("/{}", comps.join("/")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn vfs_write_then_read_is_identity(
+        path in path_strategy(),
+        data in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut fs = Vfs::new();
+        let parent: Vec<&str> =
+            path.trim_start_matches('/').split('/').collect();
+        if parent.len() > 1 {
+            fs.mkdir_p(&format!("/{}", parent[..parent.len() - 1].join("/")))
+                .unwrap();
+        }
+        fs.write_file(&path, data.clone()).unwrap();
+        prop_assert_eq!(fs.read_file(&path).unwrap(), data);
+        prop_assert!(fs.exists(&path));
+        fs.unlink(&path).unwrap();
+        prop_assert!(!fs.exists(&path));
+    }
+
+    #[test]
+    fn vfs_overlay_always_shadows(
+        path in path_strategy(),
+        lower in prop::collection::vec(any::<u8>(), 1..32),
+        upper in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let mut fs = Vfs::new();
+        let parent: Vec<&str> =
+            path.trim_start_matches('/').split('/').collect();
+        if parent.len() > 1 {
+            fs.mkdir_p(&format!("/{}", parent[..parent.len() - 1].join("/")))
+                .unwrap();
+        }
+        fs.write_file(&path, lower.clone()).unwrap();
+        fs.write_file_overlay(&path, upper.clone()).unwrap();
+        let r = fs.resolve(&path).unwrap();
+        prop_assert!(r.in_overlay);
+        prop_assert_eq!(fs.read_file(&path).unwrap(), upper);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Serialisation round trips and parser robustness.
+// ----------------------------------------------------------------------
+
+fn insn_strategy() -> impl Strategy<Value = Insn> {
+    let r = any::<u8>().prop_map(|v| v % 32);
+    let f = any::<u8>().prop_map(|v| v % 16);
+    prop_oneof![
+        (r.clone(), any::<i64>()).prop_map(|(d, v)| Insn::ConstI(d, v)),
+        (f.clone(), any::<i64>())
+            .prop_map(|(d, v)| Insn::ConstF(d, v as f64 / 7.0)),
+        (r.clone(), r.clone()).prop_map(|(d, s)| Insn::Move(d, s)),
+        (r.clone(), r.clone(), r.clone())
+            .prop_map(|(d, a, b)| Insn::Add(d, a, b)),
+        (r.clone(), r.clone(), r.clone())
+            .prop_map(|(d, a, b)| Insn::Div(d, a, b)),
+        (f.clone(), f.clone(), f.clone())
+            .prop_map(|(d, a, b)| Insn::FMul(d, a, b)),
+        (r.clone(), r.clone(), r.clone())
+            .prop_map(|(d, a, b)| Insn::CmpLt(d, a, b)),
+        any::<u32>().prop_map(Insn::Jmp),
+        (r.clone(), any::<u32>()).prop_map(|(a, t)| Insn::Jz(a, t)),
+        r.clone().prop_map(Insn::ArrNew),
+        (r.clone(), r.clone()).prop_map(|(d, i)| Insn::ALoad(d, i)),
+        r.clone().prop_map(Insn::Halt),
+    ]
+}
+
+fn user_message_strategy() -> impl Strategy<Value = UserMessage> {
+    (
+        1u32..1000,
+        any::<i32>(),
+        prop::collection::vec(any::<u8>(), 0..128),
+        prop::collection::vec((1u32..1000, 0u8..6), 0..4),
+        prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 0..64),
+            0..3,
+        ),
+    )
+        .prop_map(|(dest, msg_id, body, ports, ool)| {
+            let disp = |d: u8| match d {
+                0 => PortDisposition::MoveReceive,
+                1 => PortDisposition::MoveSend,
+                2 => PortDisposition::CopySend,
+                3 => PortDisposition::MakeSend,
+                4 => PortDisposition::MakeSendOnce,
+                _ => PortDisposition::MoveSendOnce,
+            };
+            UserMessage {
+                remote_port: PortName(dest),
+                remote_disposition: PortDisposition::CopySend,
+                local_port: PortName::NULL,
+                local_disposition: PortDisposition::MakeSendOnce,
+                msg_id,
+                body: Bytes::from(body),
+                ports: ports
+                    .into_iter()
+                    .map(|(n, d)| PortDescriptor {
+                        name: PortName(n),
+                        disposition: disp(d),
+                    })
+                    .collect(),
+                ool: ool.into_iter().map(Bytes::from).collect(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dex_roundtrip(prog in prop::collection::vec(insn_strategy(), 0..64)) {
+        let blob = assemble(&prog);
+        prop_assert_eq!(disassemble(&blob).unwrap(), prog);
+    }
+
+    #[test]
+    fn mach_message_wire_roundtrip(msg in user_message_strategy()) {
+        let bytes = wire::encode_user_message(&msg);
+        prop_assert_eq!(wire::decode_user_message(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = MachO::parse(&bytes);
+        let _ = Elf::parse(&bytes);
+        let _ = disassemble(&bytes);
+        let _ = wire::decode_user_message(&bytes);
+        let _ = wire::decode_received_message(&bytes);
+        let _ = cider_apps::package::Ipa::parse(&bytes);
+        let _ = cider_input::events::decode(&bytes);
+        let _ = cider_input::events::decode_ios(&bytes);
+    }
+
+    #[test]
+    fn psynch_mutex_handoff_is_fifo_and_exclusive(
+        threads in prop::collection::vec(1u64..6, 2..12)
+    ) {
+        use cider_xnu::api::{ForeignThread, MockForeignKernel};
+        use cider_xnu::psynch::{PsynchOutcome, PsynchState};
+        let mut api = MockForeignKernel::new();
+        let mut ps = PsynchState::new();
+        const M: u64 = 0x9000;
+
+        // Distinct threads contend in order; duplicates skipped.
+        let mut waiters: Vec<u64> = Vec::new();
+        let mut owner: Option<u64> = None;
+        for &t in &threads {
+            if owner == Some(t) || waiters.contains(&t) {
+                continue;
+            }
+            api.thread = ForeignThread(t);
+            match ps.mutexwait(&mut api, M) {
+                PsynchOutcome::Acquired => {
+                    prop_assert!(owner.is_none() || owner == Some(t));
+                    owner = Some(t);
+                }
+                PsynchOutcome::Blocked => {
+                    prop_assert!(owner.is_some());
+                    waiters.push(t);
+                }
+            }
+        }
+        // Drain: ownership hands off strictly in FIFO order.
+        while let Some(cur) = owner {
+            api.thread = ForeignThread(cur);
+            ps.mutexdrop(&mut api, M).unwrap();
+            owner = ps.mutex_owner(M).map(|t| t.0);
+            if let Some(next) = owner {
+                prop_assert_eq!(next, waiters.remove(0));
+            } else {
+                prop_assert!(waiters.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn gralloc_refcounts_never_leak(
+        ops in prop::collection::vec((0u8..3, any::<u8>()), 1..40)
+    ) {
+        use cider_gfx::gralloc::{BufferId, Gralloc, PixelFormat};
+        let mut g = Gralloc::new();
+        let mut live: Vec<(BufferId, u32)> = Vec::new(); // (id, refs)
+        for (op, pick) in ops {
+            match op {
+                0 => {
+                    let id =
+                        g.alloc(4, 4, PixelFormat::Rgba8888).unwrap();
+                    live.push((id, 1));
+                }
+                1 if !live.is_empty() => {
+                    let i = pick as usize % live.len();
+                    g.retain(live[i].0).unwrap();
+                    live[i].1 += 1;
+                }
+                2 if !live.is_empty() => {
+                    let i = pick as usize % live.len();
+                    g.release(live[i].0).unwrap();
+                    live[i].1 -= 1;
+                    if live[i].1 == 0 {
+                        let (id, _) = live.remove(i);
+                        prop_assert!(g.get(id).is_err(), "freed");
+                    }
+                }
+                _ => {}
+            }
+            prop_assert_eq!(g.live(), live.len());
+        }
+        let expected_bytes: u64 = live.len() as u64 * 4 * 4 * 4;
+        prop_assert_eq!(g.allocated_bytes, expected_bytes);
+    }
+
+    #[test]
+    fn vm_programs_never_panic(prog in prop::collection::vec(insn_strategy(), 1..48)) {
+        // Arbitrary (even malformed) programs must fault cleanly, never
+        // panic or run away.
+        let mut k = Kernel::boot(DeviceProfile::nexus7());
+        let mut vm = cider_apps::vm::Vm::new();
+        let _ = vm.run(&mut k, &prog);
+    }
+
+    #[test]
+    fn errno_translation_roundtrips(raw in 1i32..150) {
+        use cider_abi::errno::{Errno, XnuErrno};
+        if let Some(e) = Errno::from_raw(raw) {
+            prop_assert_eq!(Errno::from(XnuErrno::from(e)), e);
+        }
+        if let Some(x) = XnuErrno::from_raw(raw) {
+            prop_assert_eq!(XnuErrno::from(Errno::from(x)), x);
+        }
+    }
+
+    #[test]
+    fn signal_translation_roundtrips(raw in 1i32..32) {
+        use cider_abi::signal::{Signal, XnuSignal};
+        if let Some(s) = Signal::from_raw(raw) {
+            let x = s.to_xnu().unwrap();
+            prop_assert_eq!(x.to_linux(), Some(s));
+        }
+        if let Some(x) = XnuSignal::from_raw(raw) {
+            if let Some(l) = x.to_linux() {
+                prop_assert_eq!(l.to_xnu(), Some(x));
+            }
+        }
+    }
+}
