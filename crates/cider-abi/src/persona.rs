@@ -24,7 +24,9 @@ use std::fmt;
 /// assert_eq!(p, Persona::Domestic);
 /// assert_eq!(p.other(), Persona::Foreign);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+)]
 pub enum Persona {
     /// The device's own ABI (Android / Linux in the prototype).
     #[default]

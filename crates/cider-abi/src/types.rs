@@ -168,7 +168,9 @@ impl From<Stat> for XnuStat64 {
 }
 
 /// A `timespec` (seconds + nanoseconds), shared layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+)]
 pub struct TimeSpec {
     /// Whole seconds.
     pub sec: i64,
@@ -197,7 +199,9 @@ impl TimeSpec {
 }
 
 /// A `timeval` (seconds + microseconds) used by `select`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+)]
 pub struct TimeVal {
     /// Whole seconds.
     pub sec: i64,

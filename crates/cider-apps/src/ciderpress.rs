@@ -8,8 +8,8 @@ use cider_abi::ids::{Pid, Tid};
 use cider_core::system::CiderSystem;
 use cider_gfx::stack::SharedGfx;
 use cider_gfx::surfaceflinger::SurfaceId;
-use cider_input::events::AndroidEvent;
 use cider_input::eventpump::InputBridge;
+use cider_input::events::AndroidEvent;
 
 /// The proxied app lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

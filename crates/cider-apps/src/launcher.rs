@@ -84,9 +84,10 @@ pub fn install_ipa(sys: &mut CiderSystem, ipa: &Ipa) -> Result<String, Errno> {
         .vfs
         .write_file_overlay(&binary_path, ipa.binary.clone())?;
     for (path, data) in &ipa.data_files {
-        sys.kernel
-            .vfs
-            .write_file_overlay(&format!("{bundle_dir}/{path}"), data.clone())?;
+        sys.kernel.vfs.write_file_overlay(
+            &format!("{bundle_dir}/{path}"),
+            data.clone(),
+        )?;
     }
     Ok(binary_path)
 }
@@ -146,10 +147,7 @@ mod tests {
         let s = &launcher.shortcuts[1];
         assert_eq!(s.label, "Calculator Pro");
         assert_eq!(s.icon, ipa.icon);
-        assert!(matches!(
-            s.target,
-            LaunchTarget::CiderPress { .. }
-        ));
+        assert!(matches!(s.target, LaunchTarget::CiderPress { .. }));
     }
 
     #[test]

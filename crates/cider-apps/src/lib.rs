@@ -19,6 +19,8 @@ pub mod workloads;
 pub use ciderpress::{AppState, CiderPress};
 pub use launcher::{install_ipa, install_ipa_with_shortcut, Launcher};
 pub use package::{build_ios_app, decrypt_ipa, Apk, DeviceKey, Ipa};
-pub use passmark::{AppForm, GlPath, Measurement, Passmark, PassmarkEnv, Test};
+pub use passmark::{
+    AppForm, GlPath, Measurement, Passmark, PassmarkEnv, Test,
+};
 pub use vm::{Insn, Vm};
 pub use workloads::Sizes;

@@ -84,8 +84,8 @@ impl Ipa {
             *pos += len;
             Ok(b)
         };
-        let bundle_id = String::from_utf8(blob(&mut pos)?)
-            .map_err(|_| Errno::EINVAL)?;
+        let bundle_id =
+            String::from_utf8(blob(&mut pos)?).map_err(|_| Errno::EINVAL)?;
         let name =
             String::from_utf8(blob(&mut pos)?).map_err(|_| Errno::EINVAL)?;
         let binary = blob(&mut pos)?;
@@ -93,9 +93,9 @@ impl Ipa {
         if pos + 4 > bytes.len() {
             return Err(Errno::EINVAL);
         }
-        let nfiles = u32::from_le_bytes(
-            bytes[pos..pos + 4].try_into().expect("len"),
-        ) as usize;
+        let nfiles =
+            u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len"))
+                as usize;
         pos += 4;
         if nfiles > 4096 {
             return Err(Errno::EINVAL);
@@ -232,10 +232,7 @@ mod tests {
         let bytes = ipa.to_bytes();
         assert_eq!(Ipa::parse(&bytes).unwrap(), ipa);
         assert_eq!(Ipa::parse(b"ZIP0"), Err(Errno::EINVAL));
-        assert_eq!(
-            Ipa::parse(&bytes[..bytes.len() - 2]),
-            Err(Errno::EINVAL)
-        );
+        assert_eq!(Ipa::parse(&bytes[..bytes.len() - 2]), Err(Errno::EINVAL));
     }
 
     #[test]
@@ -268,10 +265,8 @@ mod tests {
 
     #[test]
     fn apk_roundtrips_program() {
-        let prog = vec![
-            crate::vm::Insn::ConstI(0, 3),
-            crate::vm::Insn::Halt(0),
-        ];
+        let prog =
+            vec![crate::vm::Insn::ConstI(0, 3), crate::vm::Insn::Halt(0)];
         let apk = Apk::new("com.passmark.pt_mobile", "PassMark", &prog);
         assert_eq!(apk.program().unwrap(), prog);
     }

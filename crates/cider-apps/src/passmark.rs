@@ -256,9 +256,7 @@ impl Passmark {
             | Test::Gfx2dComplexVectors
             | Test::Gfx2dImageRendering
             | Test::Gfx2dImageFilters => self.gfx2d(env, test)?,
-            Test::Gfx3dSimple | Test::Gfx3dComplex => {
-                self.gfx3d(env, test)?
-            }
+            Test::Gfx3dSimple | Test::Gfx3dComplex => self.gfx3d(env, test)?,
         };
         Ok(Measurement {
             test,
@@ -412,10 +410,15 @@ impl Passmark {
     ) -> Result<u64, Errno> {
         let len = self.sizes.mem_len;
         if write {
-            self.run_form(env, workloads::mem_write_program(len), None, |k| {
-                workloads::mem_write_native(k, len);
-                0
-            })?;
+            self.run_form(
+                env,
+                workloads::mem_write_program(len),
+                None,
+                |k| {
+                    workloads::mem_write_native(k, len);
+                    0
+                },
+            )?;
         } else {
             let data: Vec<i64> = (0..len as i64).collect();
             self.run_form(
@@ -501,11 +504,8 @@ impl Passmark {
             Test::Gfx2dComplexVectors => {
                 for _ in 0..150u64 {
                     let mut p = |m: u64| (lcg.next_value() % m) as f32;
-                    let (p0, p1, p2) = (
-                        (p(640), p(480)),
-                        (p(640), p(480)),
-                        (p(640), p(480)),
-                    );
+                    let (p0, p1, p2) =
+                        ((p(640), p(480)), (p(640), p(480)), (p(640), p(480)));
                     let mut g = env.gfx.borrow_mut();
                     env.sys.kernel.charge_cpu(overhead);
                     draw2d::draw_bezier(
@@ -577,12 +577,8 @@ impl Passmark {
     ) -> Result<i64, Errno> {
         match env.gl_path {
             GlPath::DirectHost => {
-                let f = env
-                    .sys
-                    .host
-                    .find_symbol(symbol)
-                    .ok_or(Errno::ENOSYS)?
-                    .1;
+                let f =
+                    env.sys.host.find_symbol(symbol).ok_or(Errno::ENOSYS)?.1;
                 f(&mut env.sys.kernel, env.tid, args)
             }
             GlPath::Diplomatic => env.sys.diplomat_call(
@@ -649,12 +645,7 @@ impl Passmark {
         symbol: &str,
         args: &[i64],
     ) -> Result<i64, Errno> {
-        let f = env
-            .sys
-            .host
-            .find_symbol(symbol)
-            .ok_or(Errno::ENOSYS)?
-            .1;
+        let f = env.sys.host.find_symbol(symbol).ok_or(Errno::ENOSYS)?.1;
         f(&mut env.sys.kernel, env.tid, args)
     }
 
@@ -698,11 +689,7 @@ impl Passmark {
                     };
                     self.gl_call(env, sym, &[0, 0, 0])?;
                 }
-                self.gl_call(
-                    env,
-                    "glDrawArrays",
-                    &[4, 0, verts as i64],
-                )?;
+                self.gl_call(env, "glDrawArrays", &[4, 0, verts as i64])?;
             }
             self.present(env)?;
         }
@@ -808,11 +795,8 @@ mod tests {
         let i_solid =
             run(&mut sys, AppForm::IosNative, Test::Gfx2dSolidVectors);
         assert!(a_solid > i_solid, "android wins solid vectors");
-        let a_cplx = run(
-            &mut sys,
-            AppForm::AndroidDalvik,
-            Test::Gfx2dComplexVectors,
-        );
+        let a_cplx =
+            run(&mut sys, AppForm::AndroidDalvik, Test::Gfx2dComplexVectors);
         let i_cplx =
             run(&mut sys, AppForm::IosNative, Test::Gfx2dComplexVectors);
         assert!(i_cplx > a_cplx, "ios wins complex vectors");

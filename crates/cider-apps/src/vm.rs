@@ -246,8 +246,7 @@ impl Vm {
                         .wrapping_shl(self.iregs[b as usize] as u32 & 63)
                 }
                 Insn::Shr(d, a, b) => {
-                    self.iregs[d as usize] = ((self.iregs[a as usize]
-                        as u64)
+                    self.iregs[d as usize] = ((self.iregs[a as usize] as u64)
                         >> (self.iregs[b as usize] as u32 & 63))
                         as i64
                 }
@@ -317,10 +316,8 @@ impl Vm {
                     ns += ARRAY_EXTRA_NS;
                     let idx = self.iregs[i as usize] as usize;
                     let v = self.iregs[s as usize];
-                    let slot = self
-                        .array
-                        .get_mut(idx)
-                        .ok_or(VmError::OutOfBounds)?;
+                    let slot =
+                        self.array.get_mut(idx).ok_or(VmError::OutOfBounds)?;
                     *slot = v;
                 }
                 Insn::Halt(r) => {
@@ -470,8 +467,7 @@ pub fn disassemble(bytes: &[u8]) -> Result<Vec<Insn>, Errno> {
             19 | 20 => {
                 let b = take(&mut pos, 5)?;
                 let r = b[0];
-                let t =
-                    u32::from_le_bytes(b[1..5].try_into().expect("len"));
+                let t = u32::from_le_bytes(b[1..5].try_into().expect("len"));
                 if op == 19 {
                     Insn::Jz(r, t)
                 } else {
@@ -530,9 +526,9 @@ mod tests {
             Insn::ConstI(1, 100), // i
             Insn::ConstI(2, 1),
             // loop:
-            Insn::Add(0, 0, 1),  // 3
-            Insn::Sub(1, 1, 2),  // 4
-            Insn::Jnz(1, 3),     // 5
+            Insn::Add(0, 0, 1), // 3
+            Insn::Sub(1, 1, 2), // 4
+            Insn::Jnz(1, 3),    // 5
             Insn::Halt(0),
         ];
         let mut vm = Vm::new();
@@ -644,9 +640,6 @@ mod tests {
         let blob = assemble(&prog);
         assert_eq!(disassemble(&blob).unwrap(), prog);
         assert_eq!(disassemble(b"nope"), Err(Errno::ENOEXEC));
-        assert_eq!(
-            disassemble(&blob[..blob.len() - 1]),
-            Err(Errno::ENOEXEC)
-        );
+        assert_eq!(disassemble(&blob[..blob.len() - 1]), Err(Errno::ENOEXEC));
     }
 }

@@ -296,7 +296,9 @@ pub fn primes_native(k: &mut Kernel, limit: u64) -> i64 {
 /// Generates the sort input both forms use.
 pub fn sort_input(len: usize, seed: u64) -> Vec<i64> {
     let mut lcg = Lcg(seed);
-    (0..len).map(|_| (lcg.next_value() & 0xFFFF_FFFF) as i64).collect()
+    (0..len)
+        .map(|_| (lcg.next_value() & 0xFFFF_FFFF) as i64)
+        .collect()
 }
 
 /// VM insertion sort over the pre-loaded array.
@@ -342,10 +344,8 @@ pub fn sort_program(len: usize) -> Vec<Insn> {
 /// identical comparison counts, identical final order).
 pub fn sort_native(k: &mut Kernel, len: usize, seed: u64) -> Vec<i64> {
     let keys = sort_input(len, seed);
-    let mut strings: Vec<(String, i64)> = keys
-        .iter()
-        .map(|&v| (format!("{v:010}"), v))
-        .collect();
+    let mut strings: Vec<(String, i64)> =
+        keys.iter().map(|&v| (format!("{v:010}"), v)).collect();
     let mut cost = NativeCost::default();
     for i in 1..strings.len() {
         let key = strings[i].clone();
@@ -418,9 +418,7 @@ pub fn crypt_native(k: &mut Kernel, data: &mut [i64], key: i64) -> i64 {
     let mut sum = 0i64;
     let mut cost = NativeCost::default();
     for b in data.iter_mut() {
-        x = x
-            .wrapping_mul(2862933555777941757)
-            .wrapping_add(3037000493);
+        x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
         let ks = ((x as u64) >> 33) as i64 & 0xFF;
         *b ^= ks;
         sum = sum.wrapping_add(*b);
@@ -679,12 +677,9 @@ mod tests {
         let (_, vm) = run_vm(&mut k, &mem_write_program(100), None).unwrap();
         let native = mem_write_native(&mut k, 100);
         assert_eq!(vm.array(), &native[..]);
-        let (vm_sum, _) = run_vm(
-            &mut k,
-            &mem_read_program(100),
-            Some(native.clone()),
-        )
-        .unwrap();
+        let (vm_sum, _) =
+            run_vm(&mut k, &mem_read_program(100), Some(native.clone()))
+                .unwrap();
         assert_eq!(vm_sum, mem_read_native(&mut k, &native));
     }
 
@@ -700,9 +695,6 @@ mod tests {
         integer_native(&mut k, 2_000, 1);
         let native_cost = k.clock.now_ns() - t1;
         let speedup = vm_cost as f64 / native_cost as f64;
-        assert!(
-            (1.5..8.0).contains(&speedup),
-            "native speedup {speedup:.2}"
-        );
+        assert!((1.5..8.0).contains(&speedup), "native speedup {speedup:.2}");
     }
 }

@@ -15,9 +15,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(lmbench::pipe_lat(&mut bed, tid).unwrap()))
         });
         group.bench_function(format!("{}/af_unix", config.label()), |b| {
-            b.iter(|| {
-                black_box(lmbench::af_unix_lat(&mut bed, tid).unwrap())
-            })
+            b.iter(|| black_box(lmbench::af_unix_lat(&mut bed, tid).unwrap()))
         });
         for n in [10usize, 100, 250] {
             group.bench_function(

@@ -57,8 +57,7 @@ fn bench(c: &mut Criterion) {
                 |b| {
                     b.iter(|| {
                         black_box(
-                            lmbench::fork_sh_lat(&mut bed, tid, true)
-                                .unwrap(),
+                            lmbench::fork_sh_lat(&mut bed, tid, true).unwrap(),
                         )
                     })
                 },

@@ -11,9 +11,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_syscalls");
     for config in SystemConfig::ALL {
         let (mut bed, pid, tid) = common::bed_with_proc(config);
-        group.bench_function(format!("{}/null syscall", config.label()), |b| {
-            b.iter(|| black_box(lmbench::null_syscall(&mut bed, tid)))
-        });
+        group
+            .bench_function(format!("{}/null syscall", config.label()), |b| {
+                b.iter(|| black_box(lmbench::null_syscall(&mut bed, tid)))
+            });
         group.bench_function(format!("{}/read", config.label()), |b| {
             b.iter(|| black_box(lmbench::read_lat(&mut bed, tid).unwrap()))
         });

@@ -14,7 +14,13 @@ fn bench(c: &mut Criterion) {
     for config in SystemConfig::ALL {
         let mut bed = cider_bench::config::TestBed::new(config);
         let tid = fig6::prepare_passmark_thread(&mut bed);
-        for test in [Test::Gfx2dSolidVectors, Test::Gfx2dTransparentVectors, Test::Gfx2dComplexVectors, Test::Gfx2dImageRendering, Test::Gfx2dImageFilters] {
+        for test in [
+            Test::Gfx2dSolidVectors,
+            Test::Gfx2dTransparentVectors,
+            Test::Gfx2dComplexVectors,
+            Test::Gfx2dImageRendering,
+            Test::Gfx2dImageFilters,
+        ] {
             group.bench_function(
                 format!("{}/{}", config.label(), test.name()),
                 |b| {

@@ -14,7 +14,14 @@ fn bench(c: &mut Criterion) {
     for config in SystemConfig::ALL {
         let mut bed = cider_bench::config::TestBed::new(config);
         let tid = fig6::prepare_passmark_thread(&mut bed);
-        for test in [Test::CpuInteger, Test::CpuFloat, Test::CpuPrimes, Test::CpuStringSort, Test::CpuEncryption, Test::CpuCompression] {
+        for test in [
+            Test::CpuInteger,
+            Test::CpuFloat,
+            Test::CpuPrimes,
+            Test::CpuStringSort,
+            Test::CpuEncryption,
+            Test::CpuCompression,
+        ] {
             group.bench_function(
                 format!("{}/{}", config.label(), test.name()),
                 |b| {

@@ -108,16 +108,16 @@ pub fn diplomat_aggregation(batch: usize) -> Result<Ablation, Errno> {
     })
 }
 
-fn setup_eagl(
-    bed: &mut TestBed,
-    tid: Tid,
-    lib: &str,
-) -> Result<(), Errno> {
-    let ctx = bed
-        .sys
-        .diplomat_call(tid, lib, "EAGLContext_initWithAPI", &[])?;
-    bed.sys
-        .diplomat_call(tid, lib, "EAGLContext_setCurrentContext", &[ctx])?;
+fn setup_eagl(bed: &mut TestBed, tid: Tid, lib: &str) -> Result<(), Errno> {
+    let ctx =
+        bed.sys
+            .diplomat_call(tid, lib, "EAGLContext_initWithAPI", &[])?;
+    bed.sys.diplomat_call(
+        tid,
+        lib,
+        "EAGLContext_setCurrentContext",
+        &[ctx],
+    )?;
     bed.sys.diplomat_call(
         tid,
         lib,
@@ -150,12 +150,11 @@ pub fn fast_persona_switch() -> Result<Ablation, Errno> {
     // Flip the library's diplomats to the vDSO switch.
     {
         let l = bed.sys.diplomatic.get_mut(lib).expect("installed");
-        let mut fast =
-            cider_core::diplomat::Diplomat::new(
-                "glUniform4f",
-                "libGLESv2.so",
-                "glUniform4f",
-            );
+        let mut fast = cider_core::diplomat::Diplomat::new(
+            "glUniform4f",
+            "libGLESv2.so",
+            "glUniform4f",
+        );
         fast.fast_switch = true;
         l.install(fast);
     }
@@ -265,9 +264,9 @@ pub fn ducttape_overhead() -> Result<Ablation, Errno> {
         }
     }
     let total = (bed.sys.kernel.clock.now_ns() - t0) as f64;
-    let crossings = with_state(&mut bed.sys.kernel, |_, st| {
-        st.ducttape.calls_translated
-    }) - crossings_before;
+    let crossings =
+        with_state(&mut bed.sys.kernel, |_, st| st.ducttape.calls_translated)
+            - crossings_before;
     // Each crossing charges the 12 ns inline-shim cost (see
     // cider-ducttape); the variant models a hand-ported subsystem with
     // no adaptation layer.

@@ -1,15 +1,27 @@
 //! Prints the full evaluation: Figure 5, Figure 6, and the ablations.
 //!
 //! ```text
-//! cargo run --release -p cider-bench --bin cider-report [-- --raw]
+//! cargo run --release -p cider-bench --bin cider-report [-- --raw] [-- --trace]
 //! ```
 //!
 //! With `--raw`, the tables additionally list the raw virtual-time
 //! values (ns for Figure 5 latencies, ops/s for Figure 6 throughput)
 //! behind the normalized cells.
+//!
+//! With `--trace`, Figure 5 runs with the cider-trace subsystem enabled
+//! (bit-identical virtual-time results — tracing never charges the
+//! clock). Per configuration the report prints the syscall latency
+//! histograms and mechanism counters, and writes a Chrome
+//! `trace_event` JSON file plus flamegraph folded stacks under
+//! `target/trace/`. Load the `.trace.json` in `chrome://tracing` or
+//! Perfetto; feed the `.folded` file to `flamegraph.pl`.
+
+use std::fs;
+use std::path::Path;
 
 use cider_bench::config::SystemConfig;
 use cider_bench::report::Table;
+use cider_trace::{chrome, flame, TraceSnapshot};
 
 fn print_raw(table: &Table) {
     println!("### raw values ({})", table.unit);
@@ -32,11 +44,62 @@ fn print_raw(table: &Table) {
     println!();
 }
 
+fn dump_trace(config: SystemConfig, snap: &TraceSnapshot, dir: &Path) {
+    println!("### trace: {}", config.label());
+    println!(
+        "{} events retained, {} dropped",
+        snap.events.len(),
+        snap.dropped
+    );
+    let syscalls = snap.metrics.histograms.iter().filter(|(name, _)| {
+        name.starts_with("syscall/") || name.starts_with("diplomat/")
+    });
+    for (name, h) in syscalls {
+        println!("  {name:<40} {h}");
+    }
+    for prefix in ["kernel/", "signal/", "mach/", "dyld/", "persona/", "gpu/"]
+    {
+        for (name, v) in &snap.metrics.counters {
+            if name.starts_with(prefix) {
+                println!("  {name:<40} {v}");
+            }
+        }
+    }
+
+    let base = dir.join(format!("fig5_{}", config.slug()));
+    let json = base.with_extension("trace.json");
+    let folded = base.with_extension("folded");
+    match fs::write(&json, chrome::export(snap)) {
+        Ok(()) => println!("  wrote {}", json.display()),
+        Err(e) => println!("  write {} failed: {e}", json.display()),
+    }
+    match fs::write(&folded, flame::export(snap)) {
+        Ok(()) => println!("  wrote {}", folded.display()),
+        Err(e) => println!("  write {} failed: {e}", folded.display()),
+    }
+    println!();
+}
+
 fn main() {
     let raw = std::env::args().any(|a| a == "--raw");
+    let trace = std::env::args().any(|a| a == "--trace");
     println!("Cider reproduction — full evaluation (virtual time)\n");
-    let fig5 = cider_bench::fig5::run();
-    println!("{fig5}");
+    let fig5 = if trace {
+        let (fig5, snapshots) = cider_bench::fig5::run_traced();
+        println!("{fig5}");
+        let dir = Path::new("target").join("trace");
+        if let Err(e) = fs::create_dir_all(&dir) {
+            println!("cannot create {}: {e}", dir.display());
+        }
+        for (config, snap) in &snapshots {
+            dump_trace(*config, snap, &dir);
+        }
+        fig5
+    } else {
+        let fig5 = cider_bench::fig5::run();
+        println!("{fig5}");
+        fig5
+    };
     if raw {
         print_raw(&fig5);
     }

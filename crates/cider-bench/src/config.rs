@@ -45,6 +45,16 @@ impl SystemConfig {
         }
     }
 
+    /// Short filesystem-safe slug for per-configuration dump files.
+    pub fn slug(self) -> &'static str {
+        match self {
+            SystemConfig::VanillaAndroid => "vanilla_android",
+            SystemConfig::CiderAndroid => "cider_android",
+            SystemConfig::CiderIos => "cider_ios",
+            SystemConfig::IpadMini => "ipad_mini",
+        }
+    }
+
     /// Whether the measured binary is an iOS (Mach-O) binary.
     pub fn runs_ios_binary(self) -> bool {
         matches!(self, SystemConfig::CiderIos | SystemConfig::IpadMini)
@@ -113,6 +123,26 @@ fn macho_with_frameworks(entry: &str) -> Vec<u8> {
 }
 
 impl TestBed {
+    /// Boots a bed with the trace subsystem enabled (event ring plus
+    /// metrics registry). Tracing reads the virtual clock but never
+    /// charges it, so every measurement is identical to an untraced bed.
+    pub fn new_traced(config: SystemConfig) -> TestBed {
+        let mut bed = TestBed::new(config);
+        bed.enable_tracing();
+        bed
+    }
+
+    /// Enables tracing on this bed (default ring capacity).
+    pub fn enable_tracing(&mut self) {
+        self.sys.kernel.trace = cider_trace::TraceSink::enabled_default();
+    }
+
+    /// Snapshot of collected events and metrics; `None` when tracing
+    /// is disabled.
+    pub fn trace_snapshot(&self) -> Option<cider_trace::TraceSnapshot> {
+        self.sys.kernel.trace.snapshot()
+    }
+
     /// Boots a test bed for a configuration: the right kernel flavour,
     /// the graphics stack (with the fence bug only on Cider), the
     /// benchmark binaries, and the registered program behaviours.
@@ -140,8 +170,7 @@ impl TestBed {
                 // Shell start-up: environment setup, rc parsing, PATH
                 // walking — the bulk of a real `sh -c` invocation.
                 k.charge_cpu(1_200_000);
-                let argv =
-                    k.process_of(tid).map(|p| p.program.argv.clone());
+                let argv = k.process_of(tid).map(|p| p.program.argv.clone());
                 let Ok(argv) = argv else { return 127 };
                 let Some(target) = argv.get(1).cloned() else {
                     return 0;
@@ -204,10 +233,9 @@ impl TestBed {
         if config.kind() == SystemKind::NativeIos {
             // The iPad's own shell for the fork+sh tests.
             let mut b = MachOBuilder::executable("sh");
-            for dep in [
-                "/usr/lib/libSystem.B.dylib",
-                "/usr/lib/libobjc.A.dylib",
-            ] {
+            for dep in
+                ["/usr/lib/libSystem.B.dylib", "/usr/lib/libobjc.A.dylib"]
+            {
                 b = b.depends_on(dep);
             }
             sys.kernel
@@ -283,11 +311,7 @@ mod tests {
                 config,
                 SystemConfig::CiderAndroid | SystemConfig::CiderIos
             );
-            assert_eq!(
-                bed.sys.kernel.cider_enabled(),
-                expected,
-                "{config:?}"
-            );
+            assert_eq!(bed.sys.kernel.cider_enabled(), expected, "{config:?}");
         }
     }
 

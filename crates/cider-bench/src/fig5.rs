@@ -154,12 +154,8 @@ pub fn run_micro(
         Micro::ForkExecAndroid => {
             lmbench::fork_exec_lat(bed, tid, false).ok()?.ns
         }
-        Micro::ForkExecIos => {
-            lmbench::fork_exec_lat(bed, tid, true).ok()?.ns
-        }
-        Micro::ForkShAndroid => {
-            lmbench::fork_sh_lat(bed, tid, false).ok()?.ns
-        }
+        Micro::ForkExecIos => lmbench::fork_exec_lat(bed, tid, true).ok()?.ns,
+        Micro::ForkShAndroid => lmbench::fork_sh_lat(bed, tid, false).ok()?.ns,
         Micro::ForkShIos => lmbench::fork_sh_lat(bed, tid, true).ok()?.ns,
         Micro::Pipe => lmbench::pipe_lat(bed, tid).ok()?.ns,
         Micro::AfUnix => lmbench::af_unix_lat(bed, tid).ok()?.ns,
@@ -173,6 +169,21 @@ pub fn run_micro(
 
 /// Runs the full Figure 5 table.
 pub fn run() -> Table {
+    run_inner(false).0
+}
+
+/// Runs Figure 5 with tracing enabled on every bed, returning the table
+/// (identical to [`run`]: tracing never charges the virtual clock) plus
+/// one trace snapshot per configuration.
+pub fn run_traced() -> (Table, Vec<(SystemConfig, cider_trace::TraceSnapshot)>)
+{
+    let (table, snaps) = run_inner(true);
+    (table, snaps.expect("tracing was enabled"))
+}
+
+type Snapshots = Vec<(SystemConfig, cider_trace::TraceSnapshot)>;
+
+fn run_inner(traced: bool) -> (Table, Option<Snapshots>) {
     let mut table = Table::new(
         "Figure 5: microbenchmark latency (lmbench 3.0)",
         "ns",
@@ -180,14 +191,22 @@ pub fn run() -> Table {
     );
     let micros = Micro::all();
     let mut columns: Vec<Vec<Option<f64>>> = Vec::new();
+    let mut snapshots: Snapshots = Vec::new();
     for config in SystemConfig::ALL {
-        let mut bed = TestBed::new(config);
+        let mut bed = if traced {
+            TestBed::new_traced(config)
+        } else {
+            TestBed::new(config)
+        };
         let (pid, tid) = bed.spawn_measured().expect("bench binary installed");
         let col: Vec<Option<f64>> = micros
             .iter()
             .map(|&m| run_micro(&mut bed, pid, tid, m))
             .collect();
         columns.push(col);
+        if let Some(snap) = bed.trace_snapshot() {
+            snapshots.push((config, snap));
+        }
     }
     for (i, micro) in micros.iter().enumerate() {
         let mut values = [None; 4];
@@ -206,7 +225,7 @@ pub fn run() -> Table {
     // The iPad's android-binary rows don't exist; its iOS rows normalise
     // against the same fallbacks.
     table.fallback("fork+exec(android)", "fork+exec(android)");
-    table
+    (table, traced.then_some(snapshots))
 }
 
 #[cfg(test)]

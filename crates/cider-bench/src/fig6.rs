@@ -46,8 +46,13 @@ pub fn prepare_passmark_thread(bed: &mut TestBed) -> Tid {
         // without a persona extension (it is the device's own library).
         let xnu = bed.sys.xnu_personality;
         if persona_of(&bed.sys.kernel, tid).unwrap() != Persona::Foreign {
-            attach_persona_ext(&mut bed.sys.kernel, tid, Persona::Foreign, xnu)
-                .expect("thread exists");
+            attach_persona_ext(
+                &mut bed.sys.kernel,
+                tid,
+                Persona::Foreign,
+                xnu,
+            )
+            .expect("thread exists");
         }
     }
     tid
@@ -81,11 +86,8 @@ pub fn run_test_with(
 
 /// Runs the full Figure 6 table.
 pub fn run() -> Table {
-    let mut table = Table::new(
-        "Figure 6: app throughput (PassMark)",
-        "ops/s",
-        false,
-    );
+    let mut table =
+        Table::new("Figure 6: app throughput (PassMark)", "ops/s", false);
     let mut columns: Vec<Vec<Option<f64>>> = Vec::new();
     for config in SystemConfig::ALL {
         let mut bed = TestBed::new(config);
@@ -128,9 +130,13 @@ mod tests {
 
         // CPU group: the native iOS app is significantly faster than the
         // interpreted Android app, and Cider beats the iPad (faster CPU).
-        for name in ["integer", "floating point", "find primes",
-                     "data encryption", "data compression"]
-        {
+        for name in [
+            "integer",
+            "floating point",
+            "find primes",
+            "data encryption",
+            "data compression",
+        ] {
             let ci = cell(name, CiderIos).unwrap();
             let ip = cell(name, IpadMini).unwrap();
             assert!(ci > 1.4, "{name} cider ios {ci}");
@@ -152,9 +158,11 @@ mod tests {
         assert!((0.6..1.5).contains(&r_ip), "ipad read {r_ip}");
 
         // 2D: Android wins except complex vectors.
-        for name in ["2D solid vectors", "2D transparent vectors",
-                     "2D image filters"]
-        {
+        for name in [
+            "2D solid vectors",
+            "2D transparent vectors",
+            "2D image filters",
+        ] {
             let ci = cell(name, CiderIos).unwrap();
             assert!(ci < 1.0, "{name} cider ios {ci}");
         }
@@ -170,10 +178,7 @@ mod tests {
         // wins outright.
         for name in ["3D simple", "3D complex"] {
             let ci = cell(name, CiderIos).unwrap();
-            assert!(
-                (0.55..0.85).contains(&ci),
-                "{name} cider ios {ci}"
-            );
+            assert!((0.55..0.85).contains(&ci), "{name} cider ios {ci}");
             let ip = cell(name, IpadMini).unwrap();
             assert!(ip > 1.0, "{name} ipad {ip}");
         }

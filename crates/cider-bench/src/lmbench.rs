@@ -86,9 +86,7 @@ fn measure<F: FnMut(&mut TestBed)>(
     for _ in 0..iters {
         f(bed);
     }
-    VirtualDuration::from_nanos(
-        (bed.sys.kernel.clock.now_ns() - t0) / iters,
-    )
+    VirtualDuration::from_nanos((bed.sys.kernel.clock.now_ns() - t0) / iters)
 }
 
 // ----------------------------------------------------------------------
@@ -137,13 +135,23 @@ pub fn null_syscall(bed: &mut TestBed, tid: Tid) -> VirtualDuration {
 /// # Errors
 ///
 /// Setup errors from the kernel.
-pub fn read_lat(bed: &mut TestBed, tid: Tid) -> Result<VirtualDuration, Errno> {
+pub fn read_lat(
+    bed: &mut TestBed,
+    tid: Tid,
+) -> Result<VirtualDuration, Errno> {
     let ios = bed.config.runs_ios_binary();
-    bed.sys.kernel.vfs.write_file("/tmp/zero", vec![0u8; 4096])?;
-    let fd = bed.sys.kernel.sys_open(tid, "/tmp/zero", OpenFlags::RDONLY)?;
+    bed.sys
+        .kernel
+        .vfs
+        .write_file("/tmp/zero", vec![0u8; 4096])?;
+    let fd = bed
+        .sys
+        .kernel
+        .sys_open(tid, "/tmp/zero", OpenFlags::RDONLY)?;
     let nr = trap_number(ios, Call::Read);
     let d = measure(bed, 64, |bed| {
-        let mut args = SyscallArgs::regs([fd.as_raw() as i64, 0, 1, 0, 0, 0, 0]);
+        let mut args =
+            SyscallArgs::regs([fd.as_raw() as i64, 0, 1, 0, 0, 0, 0]);
         args.data = SyscallData::None;
         bed.sys.trap(tid, nr, &args);
         // Rewind by reopening offset via typed API is unnecessary: reads
@@ -160,7 +168,8 @@ pub fn write_lat(bed: &mut TestBed, tid: Tid) -> VirtualDuration {
     let ios = bed.config.runs_ios_binary();
     let nr = trap_number(ios, Call::Write);
     measure(bed, 64, |bed| {
-        let mut args = SyscallArgs::regs([Fd::STDOUT.as_raw() as i64, 0, 1, 0, 0, 0, 0]);
+        let mut args =
+            SyscallArgs::regs([Fd::STDOUT.as_raw() as i64, 0, 1, 0, 0, 0, 0]);
         args.data = SyscallData::Bytes(vec![0u8]);
         bed.sys.trap(tid, nr, &args);
     })
@@ -257,9 +266,7 @@ pub fn fork_exit_lat(
         k.sys_exit(child_tid, 0)?;
         k.sys_waitpid(tid, child_pid)?;
     }
-    Ok(VirtualDuration::from_nanos(
-        (k.clock.now_ns() - t0) / iters,
-    ))
+    Ok(VirtualDuration::from_nanos((k.clock.now_ns() - t0) / iters))
 }
 
 /// lmbench `fork+exec`: the child execs a hello-world binary of the
@@ -283,9 +290,7 @@ pub fn fork_exec_lat(
         k.run_entry(child_tid)?;
         k.sys_waitpid(tid, child_pid)?;
     }
-    Ok(VirtualDuration::from_nanos(
-        (k.clock.now_ns() - t0) / iters,
-    ))
+    Ok(VirtualDuration::from_nanos((k.clock.now_ns() - t0) / iters))
 }
 
 /// lmbench `fork+sh`: the child execs the shell, which launches the
@@ -310,9 +315,7 @@ pub fn fork_sh_lat(
         k.run_entry(child_tid)?;
         k.sys_waitpid(tid, child_pid)?;
     }
-    Ok(VirtualDuration::from_nanos(
-        (k.clock.now_ns() - t0) / iters,
-    ))
+    Ok(VirtualDuration::from_nanos((k.clock.now_ns() - t0) / iters))
 }
 
 // ----------------------------------------------------------------------
@@ -325,7 +328,10 @@ pub fn fork_sh_lat(
 /// # Errors
 ///
 /// Kernel errors.
-pub fn pipe_lat(bed: &mut TestBed, tid: Tid) -> Result<VirtualDuration, Errno> {
+pub fn pipe_lat(
+    bed: &mut TestBed,
+    tid: Tid,
+) -> Result<VirtualDuration, Errno> {
     let k = &mut bed.sys.kernel;
     let (r1, w1) = k.sys_pipe(tid)?;
     let (r2, w2) = k.sys_pipe(tid)?;
@@ -340,8 +346,7 @@ pub fn pipe_lat(bed: &mut TestBed, tid: Tid) -> Result<VirtualDuration, Errno> {
         k.switch_to(tid)?;
         k.sys_read(tid, r2, 1)?;
     }
-    let per_oneway =
-        (k.clock.now_ns() - t0) / (rounds * 2);
+    let per_oneway = (k.clock.now_ns() - t0) / (rounds * 2);
     k.sys_exit(child_tid, 0)?;
     k.sys_waitpid(tid, child_pid)?;
     for fd in [r1, w1, r2, w2] {
@@ -444,9 +449,7 @@ pub fn file_create_delete_lat(
         k.sys_close(tid, fd)?;
         k.sys_unlink(tid, "/tmp/lmfile")?;
     }
-    Ok(VirtualDuration::from_nanos(
-        (k.clock.now_ns() - t0) / iters,
-    ))
+    Ok(VirtualDuration::from_nanos((k.clock.now_ns() - t0) / iters))
 }
 
 #[cfg(test)]

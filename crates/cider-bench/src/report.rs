@@ -23,7 +23,10 @@ impl TableRow {
     /// Normalizes against the vanilla-Android column (or, when vanilla
     /// cannot run the test, against the provided fallback baseline —
     /// the paper normalizes fork+exec(ios) against fork+exec(android)).
-    pub fn normalized(&self, fallback_baseline: Option<f64>) -> [Option<f64>; 4] {
+    pub fn normalized(
+        &self,
+        fallback_baseline: Option<f64>,
+    ) -> [Option<f64>; 4] {
         let base = self.values[0].or(fallback_baseline);
         let mut out = [None; 4];
         if let Some(base) = base {
@@ -73,7 +76,8 @@ impl Table {
     /// Declares that `row` normalizes against `baseline_row`'s vanilla
     /// value when its own vanilla cell is empty.
     pub fn fallback(&mut self, row: &str, baseline_row: &str) {
-        self.fallbacks.push((row.to_string(), baseline_row.to_string()));
+        self.fallbacks
+            .push((row.to_string(), baseline_row.to_string()));
     }
 
     fn fallback_value(&self, row: &TableRow) -> Option<f64> {
@@ -125,7 +129,11 @@ impl fmt::Display for Table {
         writeln!(
             f,
             "(normalized to Vanilla Android; {} is better; raw unit {})",
-            if self.lower_is_better { "lower" } else { "higher" },
+            if self.lower_is_better {
+                "lower"
+            } else {
+                "higher"
+            },
             self.unit
         )?;
         write!(f, "{:<28}", "test")?;
@@ -189,10 +197,7 @@ mod tests {
         let t = sample_table();
         // Row b has no vanilla value; normalized against row a's 100.
         assert_eq!(t.normalized_cell("b", SystemConfig::CiderIos), Some(5.0));
-        assert_eq!(
-            t.normalized_cell("b", SystemConfig::VanillaAndroid),
-            None
-        );
+        assert_eq!(t.normalized_cell("b", SystemConfig::VanillaAndroid), None);
     }
 
     #[test]

@@ -107,7 +107,47 @@ impl Diplomat {
         args: &[i64],
     ) -> Result<i64, Errno> {
         self.calls += 1;
+        let enter_ctx = if k.trace.is_enabled() {
+            let ctx = k.trace_ctx(tid);
+            k.trace.record(
+                ctx,
+                cider_trace::EventKind::DiplomatEnter {
+                    symbol: self.foreign_symbol.clone().into(),
+                },
+            );
+            Some(ctx)
+        } else {
+            None
+        };
+        let result = self.call_inner(k, host, tid, args);
+        if let Some(ctx) = enter_ctx {
+            let end_ns = k.clock.now_ns();
+            k.trace.record(
+                cider_trace::TraceContext {
+                    ts_ns: end_ns,
+                    ..ctx
+                },
+                cider_trace::EventKind::DiplomatExit {
+                    symbol: self.foreign_symbol.clone().into(),
+                    ok: result.is_ok(),
+                },
+            );
+            k.trace.observe(
+                &format!("diplomat/{}", self.foreign_symbol),
+                end_ns - ctx.ts_ns,
+            );
+            k.trace.incr("diplomat/calls");
+        }
+        result
+    }
 
+    fn call_inner(
+        &mut self,
+        k: &mut Kernel,
+        host: &LibraryHost,
+        tid: Tid,
+        args: &[i64],
+    ) -> Result<i64, Errno> {
         // (1) First invocation: load the library, locate the entry
         // point, cache the pointer. Loading a domestic library into a
         // foreign app also installs the thread's domestic persona state
@@ -162,11 +202,8 @@ impl Diplomat {
             if let Some(dom) = ext.state_mut(Persona::Domestic) {
                 dom.tls.set_errno_raw(e.as_raw());
             }
-            let dom_tls = ext
-                .state(Persona::Domestic)
-                .expect("just set")
-                .tls
-                .clone();
+            let dom_tls =
+                ext.state(Persona::Domestic).expect("just set").tls.clone();
             if let Some(forn) = ext.state_mut(Persona::Foreign) {
                 convert_errno_domestic_to_foreign(&dom_tls, &mut forn.tls);
             }
@@ -323,16 +360,10 @@ mod tests {
     fn errno_converted_into_foreign_tls() {
         let (mut k, tid, host) = setup();
         let mut d = Diplomat::new("glFail", "libGLESv2.so", "glFail");
-        assert_eq!(
-            d.call(&mut k, &host, tid, &[]),
-            Err(Errno::EINVAL)
-        );
+        assert_eq!(d.call(&mut k, &host, tid, &[]), Err(Errno::EINVAL));
         let ext = persona_ext_mut(&mut k, tid).unwrap();
         // EINVAL is 22 in both numberings; check a divergent one too.
-        assert_eq!(
-            ext.state(Persona::Foreign).unwrap().tls.errno_raw(),
-            22
-        );
+        assert_eq!(ext.state(Persona::Foreign).unwrap().tls.errno_raw(), 22);
     }
 
     #[test]

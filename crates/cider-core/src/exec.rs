@@ -52,7 +52,9 @@ mod tests {
         attach_persona_ext(&mut k, tid, Persona::Foreign, 0).unwrap();
         assert_eq!(persona_of(&k, tid).unwrap(), Persona::Foreign);
         let bin = ElfBuilder::executable("hello").build();
-        k.vfs.write_file("/system/bin/hello", bin.to_bytes()).unwrap();
+        k.vfs
+            .write_file("/system/bin/hello", bin.to_bytes())
+            .unwrap();
         sys_exec_fixup(&mut k, tid, "/system/bin/hello", &[]).unwrap();
         assert_eq!(persona_of(&k, tid).unwrap(), Persona::Domestic);
     }

@@ -84,9 +84,7 @@ impl KQueue {
                 self.reads.insert(change.ident, change.udata);
             }
             (EvAction::Delete, EvFilter::Read) => {
-                self.reads
-                    .remove(&change.ident)
-                    .ok_or(Errno::ENOENT)?;
+                self.reads.remove(&change.ident).ok_or(Errno::ENOENT)?;
             }
             (EvAction::Add, EvFilter::Timer) => {
                 let interval_ns = change.timer_ms * 1_000_000;
@@ -100,9 +98,7 @@ impl KQueue {
                 );
             }
             (EvAction::Delete, EvFilter::Timer) => {
-                self.timers
-                    .remove(&change.ident)
-                    .ok_or(Errno::ENOENT)?;
+                self.timers.remove(&change.ident).ok_or(Errno::ENOENT)?;
             }
         }
         Ok(())

@@ -97,12 +97,29 @@ impl BinaryLoader for MachOLoader {
         });
 
         // dyld: map the dependency closure and register image callbacks.
-        let deps: Vec<String> = macho
-            .dylib_deps()
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let deps: Vec<String> =
+            macho.dylib_deps().iter().map(|s| s.to_string()).collect();
         let stats = run_dyld(k, tid, &deps)?;
+
+        if k.trace.is_enabled() {
+            let ctx = k.trace_ctx(tid);
+            k.trace.record(
+                ctx,
+                cider_trace::EventKind::DyldMap {
+                    libraries: stats.images as u64,
+                },
+            );
+            let cb = &k.process(pid)?.callbacks;
+            let handlers = (cb.atfork_total() + cb.atexit.len()) as u64;
+            k.trace.record(
+                ctx,
+                cider_trace::EventKind::DyldHandlers { handlers },
+            );
+            k.trace.add("dyld/images", stats.images as u64);
+            k.trace.add("dyld/mapped_bytes", stats.mapped_bytes);
+            k.trace.add("dyld/fs_opens", stats.fs_opens as u64);
+            k.trace.add("dyld/handlers", handlers);
+        }
 
         Ok(LoadedProgram {
             entry_symbol: macho.entry_symbol().map(|s| s.to_string()),
@@ -167,7 +184,8 @@ mod tests {
         k.vfs
             .write_file_overlay("/Applications/app.app/app", ios_app_bytes())
             .unwrap();
-        k.sys_exec(tid, "/Applications/app.app/app", &["app"]).unwrap();
+        k.sys_exec(tid, "/Applications/app.app/app", &["app"])
+            .unwrap();
         assert_eq!(persona_of(&k, tid).unwrap(), Persona::Foreign);
         assert_eq!(k.thread(tid).unwrap().personality, xnu);
         let p = k.process(pid).unwrap();

@@ -210,13 +210,19 @@ fn set_persona_inner(
     if prev == target {
         return Ok(prev);
     }
-    let personality = ext
-        .state(target)
-        .ok_or(Errno::EINVAL)?
-        .personality;
+    let personality = ext.state(target).ok_or(Errno::EINVAL)?.personality;
     ext.current = target;
     ext.switches += 1;
     k.thread_mut(tid)?.personality = personality;
+    if k.trace.is_enabled() {
+        k.trace.record(
+            k.trace_ctx(tid),
+            cider_trace::EventKind::PersonaSwitch {
+                to_foreign: target == Persona::Foreign,
+            },
+        );
+        k.trace.incr("persona/switches");
+    }
     Ok(prev)
 }
 
@@ -288,10 +294,7 @@ mod tests {
         ext.install(Persona::Domestic, 0);
         ext.tls_mut().set_errno_raw(35);
         assert_eq!(ext.tls().errno_raw(), 35);
-        assert_eq!(
-            ext.state(Persona::Domestic).unwrap().tls.errno_raw(),
-            0
-        );
+        assert_eq!(ext.state(Persona::Domestic).unwrap().tls.errno_raw(), 0);
         assert_ne!(
             ext.state(Persona::Domestic).unwrap().tls.layout(),
             ext.state(Persona::Foreign).unwrap().tls.layout()

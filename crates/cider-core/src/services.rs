@@ -171,8 +171,7 @@ impl Services {
             let lspace = st.task_space(launchd.pid);
             let send = st.machipc.make_send(lspace, launchd.port)?;
             let cspace = st.task_space(pid);
-            let name =
-                st.machipc.copy_send_to_space(lspace, send, cspace)?;
+            let name = st.machipc.copy_send_to_space(lspace, send, cspace)?;
             Ok(name)
         })
     }
@@ -215,17 +214,14 @@ impl Services {
                     if !msg.reply_port.is_valid() {
                         continue;
                     }
-                    let found = with_state(k, |_, st| {
-                        st.bootstrap.lookup(&name)
-                    });
+                    let found =
+                        with_state(k, |_, st| st.bootstrap.lookup(&name));
                     let reply = match found {
                         Some(service_port) => UserMessage {
                             remote_port: msg.reply_port,
-                            remote_disposition:
-                                PortDisposition::MoveSendOnce,
+                            remote_disposition: PortDisposition::MoveSendOnce,
                             local_port: PortName::NULL,
-                            local_disposition:
-                                PortDisposition::MakeSendOnce,
+                            local_disposition: PortDisposition::MakeSendOnce,
                             msg_id: msg_ids::BOOTSTRAP_LOOKUP_REPLY,
                             body: Bytes::new(),
                             ports: vec![PortDescriptor {
@@ -375,19 +371,15 @@ pub fn bootstrap_look_up(
         Bytes::from(name.as_bytes().to_vec()),
     );
     msg.local_port = reply_port;
-    with_state(k, |k2, st| {
-        st.msg_send_for(k2, client_tid, client_pid, msg)
-    })?;
+    with_state(k, |k2, st| st.msg_send_for(k2, client_tid, client_pid, msg))?;
     services.run_pending(k);
     let reply = with_state(k, |k2, st| {
         st.msg_receive_for(k2, client_tid, client_pid, reply_port)
     })?;
     match reply.msg_id {
-        msg_ids::BOOTSTRAP_LOOKUP_REPLY => reply
-            .ports
-            .first()
-            .copied()
-            .ok_or(KernReturn::InvalidName),
+        msg_ids::BOOTSTRAP_LOOKUP_REPLY => {
+            reply.ports.first().copied().ok_or(KernReturn::InvalidName)
+        }
         _ => Err(KernReturn::InvalidName),
     }
 }

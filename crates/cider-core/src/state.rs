@@ -174,11 +174,7 @@ impl CiderState {
         msg: UserMessage,
     ) -> KernResult<()> {
         let space = self.task_space(pid);
-        let CiderState {
-            ducttape, machipc, ..
-        } = self;
-        let mut api = DuctTape::new(k, ducttape, tid);
-        machipc.msg_send(&mut api, space, msg)
+        self.msg_send_in_space(k, tid, space, msg)
     }
 
     /// `mach_msg` receive half for a process.
@@ -194,11 +190,7 @@ impl CiderState {
         name: PortName,
     ) -> KernResult<ReceivedMessage> {
         let space = self.task_space(pid);
-        let CiderState {
-            ducttape, machipc, ..
-        } = self;
-        let mut api = DuctTape::new(k, ducttape, tid);
-        machipc.msg_receive(&mut api, space, name)
+        self.msg_receive_in_space(k, tid, space, name)
     }
 
     /// `mach_port_deallocate` in an explicit space (used by daemons
@@ -233,11 +225,23 @@ impl CiderState {
         space: SpaceId,
         msg: UserMessage,
     ) -> KernResult<()> {
-        let CiderState {
-            ducttape, machipc, ..
-        } = self;
-        let mut api = DuctTape::new(k, ducttape, tid);
-        machipc.msg_send(&mut api, space, msg)
+        let (msg_id, bytes) = (msg.msg_id, msg.size() as u64);
+        let result = {
+            let CiderState {
+                ducttape, machipc, ..
+            } = self;
+            let mut api = DuctTape::new(k, ducttape, tid);
+            machipc.msg_send(&mut api, space, msg)
+        };
+        if result.is_ok() && k.trace.is_enabled() {
+            k.trace.record(
+                k.trace_ctx(tid),
+                cider_trace::EventKind::MachMsgSend { msg_id, bytes },
+            );
+            k.trace.incr("mach/msgs_sent");
+            k.trace.add("mach/bytes_sent", bytes);
+        }
+        result
     }
 
     /// `mach_msg` receive from an explicit space.
@@ -252,20 +256,30 @@ impl CiderState {
         space: SpaceId,
         name: PortName,
     ) -> KernResult<ReceivedMessage> {
-        let CiderState {
-            ducttape, machipc, ..
-        } = self;
-        let mut api = DuctTape::new(k, ducttape, tid);
-        machipc.msg_receive(&mut api, space, name)
+        let result = {
+            let CiderState {
+                ducttape, machipc, ..
+            } = self;
+            let mut api = DuctTape::new(k, ducttape, tid);
+            machipc.msg_receive(&mut api, space, name)
+        };
+        if let Ok(msg) = &result {
+            if k.trace.is_enabled() {
+                k.trace.record(
+                    k.trace_ctx(tid),
+                    cider_trace::EventKind::MachMsgReceive {
+                        msg_id: msg.msg_id,
+                        bytes: msg.size() as u64,
+                    },
+                );
+                k.trace.incr("mach/msgs_received");
+            }
+        }
+        result
     }
 
     /// Destroys a process's IPC space (task teardown at exit).
-    pub fn destroy_task_space(
-        &mut self,
-        k: &mut Kernel,
-        tid: Tid,
-        pid: Pid,
-    ) {
+    pub fn destroy_task_space(&mut self, k: &mut Kernel, tid: Tid, pid: Pid) {
         if !self.has_task_space(pid) {
             return;
         }

@@ -116,8 +116,7 @@ impl CiderSystem {
                 let CiderState {
                     ducttape, machipc, ..
                 } = st;
-                let mut api =
-                    cider_ducttape::DuctTape::new(k, ducttape, ktid);
+                let mut api = cider_ducttape::DuctTape::new(k, ducttape, ktid);
                 machipc.bootstrap(&mut api);
             }
             let symbols = &mut st.ducttape.symbols;
@@ -130,34 +129,62 @@ impl CiderSystem {
                     "psynch_cvsignal",
                     "psynch_cvbroad",
                 ],
-                &["lck_mtx_lock", "lck_mtx_unlock", "zalloc", "zfree",
-                  "thread_block", "thread_wakeup", "current_thread"],
+                &[
+                    "lck_mtx_lock",
+                    "lck_mtx_unlock",
+                    "zalloc",
+                    "zfree",
+                    "thread_block",
+                    "thread_wakeup",
+                    "current_thread",
+                ],
             );
-            for obj in ["ipc_port", "ipc_space", "ipc_mqueue", "ipc_right",
-                        "mach_msg", "ipc_notify"]
-            {
+            for obj in [
+                "ipc_port",
+                "ipc_space",
+                "ipc_mqueue",
+                "ipc_right",
+                "mach_msg",
+                "ipc_notify",
+            ] {
                 symbols.import_foreign_object(
                     obj,
                     &[],
-                    &["lck_mtx_lock", "lck_mtx_unlock", "zinit", "zalloc",
-                      "zfree", "assert_wait", "thread_block",
-                      "thread_wakeup", "current_thread", "kprintf"],
+                    &[
+                        "lck_mtx_lock",
+                        "lck_mtx_unlock",
+                        "zinit",
+                        "zalloc",
+                        "zfree",
+                        "assert_wait",
+                        "thread_block",
+                        "thread_wakeup",
+                        "current_thread",
+                        "kprintf",
+                    ],
                 );
             }
             // The C++ I/O Kit objects, minus the excluded hardware ones.
-            let CiderState {
-                ducttape, cxx, ..
-            } = st;
-            for obj in ["OSObject.cpp", "OSDictionary.cpp",
-                        "IORegistryEntry.cpp", "IOService.cpp",
-                        "IOUserClient.cpp", "IOCatalogue.cpp"]
-            {
+            let CiderState { ducttape, cxx, .. } = st;
+            for obj in [
+                "OSObject.cpp",
+                "OSDictionary.cpp",
+                "IORegistryEntry.cpp",
+                "IOService.cpp",
+                "IOUserClient.cpp",
+                "IOCatalogue.cpp",
+            ] {
                 cxx.compile_object(
                     &mut ducttape.symbols,
                     obj,
                     &[],
-                    &["zalloc", "zfree", "lck_mtx_lock", "lck_mtx_unlock",
-                      "kprintf"],
+                    &[
+                        "zalloc",
+                        "zfree",
+                        "lck_mtx_lock",
+                        "lck_mtx_unlock",
+                        "kprintf",
+                    ],
                 );
             }
         });
@@ -178,9 +205,7 @@ impl CiderSystem {
             )),
         };
         if kind != SystemKind::VanillaAndroid {
-            kernel.register_binfmt(Rc::new(MachOLoader::new(
-                xnu_personality,
-            )));
+            kernel.register_binfmt(Rc::new(MachOLoader::new(xnu_personality)));
             kernel.register_fork_hook(Rc::new(MachTaskForkHook));
 
             // The overlaid iOS filesystem hierarchy (§3) — on a real iOS
@@ -380,9 +405,7 @@ impl CiderSystem {
             .thread(tid)
             .map_err(|_| cider_xnu::KernReturn::InvalidArgument)?
             .pid;
-        with_state(&mut self.kernel, |k, st| {
-            st.port_allocate_for(k, tid, pid)
-        })
+        with_state(&mut self.kernel, |k, st| st.port_allocate_for(k, tid, pid))
     }
 
     /// Sends a message from the calling thread's task.
@@ -400,9 +423,7 @@ impl CiderSystem {
             .thread(tid)
             .map_err(|_| cider_xnu::KernReturn::InvalidArgument)?
             .pid;
-        with_state(&mut self.kernel, |k, st| {
-            st.msg_send_for(k, tid, pid, msg)
-        })
+        with_state(&mut self.kernel, |k, st| st.msg_send_for(k, tid, pid, msg))
     }
 
     /// Receives from a port in the calling thread's task.
@@ -506,14 +527,18 @@ mod tests {
         // Overlay paths exist alongside Android paths.
         assert!(sys.kernel.vfs.exists("/Documents"));
         assert!(sys.kernel.vfs.exists("/system/lib/libc.so"));
-        assert!(sys.kernel.vfs.exists(
-            "/System/Library/Frameworks/UIKit.framework/UIKit"
-        ));
+        assert!(sys
+            .kernel
+            .vfs
+            .exists("/System/Library/Frameworks/UIKit.framework/UIKit"));
         // Devices bridged into I/O Kit.
         with_state(&mut sys.kernel, |_, st| {
             assert!(st.iokit.find_service("IODisplayNub").is_some());
             assert!(st.iokit.find_service("IOHIDNub").is_some());
-            assert!(st.iokit.find_service("IOGraphicsAcceleratorNub").is_some());
+            assert!(st
+                .iokit
+                .find_service("IOGraphicsAcceleratorNub")
+                .is_some());
         });
         // Duct-tape symbol table populated.
         with_state(&mut sys.kernel, |_, st| {
@@ -553,9 +578,8 @@ mod tests {
                 ios_app_bytes("a_main"),
             )
             .unwrap();
-        let (_, tid) = sys
-            .launch_ios_app("/Applications/A.app/A", &[])
-            .unwrap();
+        let (_, tid) =
+            sys.launch_ios_app("/Applications/A.app/A", &[]).unwrap();
         let port = sys
             .bootstrap_look_up(tid, "com.apple.system.notification_center")
             .unwrap();

@@ -136,10 +136,7 @@ mod tests {
             TlsLayout::ANDROID.errno_offset,
             TlsLayout::IOS.errno_offset
         );
-        assert_eq!(
-            TlsLayout::for_persona(Persona::Foreign),
-            TlsLayout::IOS
-        );
+        assert_eq!(TlsLayout::for_persona(Persona::Foreign), TlsLayout::IOS);
     }
 
     #[test]

@@ -17,7 +17,9 @@ use cider_abi::convention::{CpuFlags, SyscallOutcome};
 use cider_abi::errno::Errno;
 use cider_abi::ids::{Fd, Pid, PortName, Tid};
 use cider_abi::signal::{sigframe, Signal, XnuSignal};
-use cider_abi::syscall::{MachTrap, TrapClass, XnuSyscall, XnuTrap};
+use cider_abi::syscall::{
+    LinuxSyscall, MachTrap, TrapClass, XnuSyscall, XnuTrap,
+};
 use cider_abi::types::{OpenFlags, XnuStat64};
 use cider_kernel::dispatch::{
     Personality, SyscallArgs, SyscallData, SyscallTable, TrapResult,
@@ -140,25 +142,26 @@ impl Personality for XnuPersonality {
         // Entry-path translation: registers and CPU state are remapped
         // from the XNU convention before any handler can run.
         k.charge_cpu(
-            TRANSLATE_ENTRY_NS
-                + TRANSLATE_ARG_NS * args.regs.len() as u64,
+            TRANSLATE_ENTRY_NS + TRANSLATE_ARG_NS * args.regs.len() as u64,
         );
         let Some(trap) = XnuTrap::decode(number) else {
             return encode_unix_result(TrapResult::err(Errno::ENOSYS));
         };
         match trap.class() {
             TrapClass::Unix => {
-                let XnuTrap::Unix(call) = trap else { unreachable!() };
+                let XnuTrap::Unix(call) = trap else {
+                    unreachable!()
+                };
                 let Some((_, handler)) = self.unix.lookup(call.number())
                 else {
-                    return encode_unix_result(TrapResult::err(
-                        Errno::ENOSYS,
-                    ));
+                    return encode_unix_result(TrapResult::err(Errno::ENOSYS));
                 };
                 encode_unix_result(handler(k, tid, args))
             }
             TrapClass::Mach => {
-                let XnuTrap::Mach(call) = trap else { unreachable!() };
+                let XnuTrap::Mach(call) = trap else {
+                    unreachable!()
+                };
                 // Mach traps enter the kernel like any other trap; the
                 // Unix-class wrappers charge this inside the Linux
                 // implementations they invoke.
@@ -206,6 +209,72 @@ impl Personality for XnuPersonality {
     fn signal_translation_ns(&self) -> u64 {
         SIGNAL_TRANSLATE_NS
     }
+
+    fn syscall_name(&self, number: i64) -> Option<&'static str> {
+        match XnuTrap::decode(number)? {
+            XnuTrap::Unix(call) => {
+                self.unix.lookup(call.number()).map(|(name, _)| name)
+            }
+            XnuTrap::Mach(call) => {
+                self.mach.lookup(call.number()).map(|(name, _)| name)
+            }
+            XnuTrap::MachDep(_) => Some("machdep"),
+            XnuTrap::Diag(_) => Some("diag"),
+        }
+    }
+
+    fn translate_syscall(&self, number: i64) -> Option<i64> {
+        match XnuTrap::decode(number)? {
+            XnuTrap::Unix(call) => {
+                xnu_to_linux_syscall(call).map(|l| l.number() as i64)
+            }
+            // Mach/machdep/diag traps have no domestic counterpart; they
+            // are implemented by the Cider layer itself.
+            _ => None,
+        }
+    }
+}
+
+/// The domestic (Linux) syscall a foreign Unix-class number renumbers
+/// to, for the calls whose implementation really is the Linux one.
+/// `None` for XNU-only calls (psynch, bsdthread, posix_spawn).
+pub fn xnu_to_linux_syscall(x: XnuSyscall) -> Option<LinuxSyscall> {
+    use LinuxSyscall as L;
+    use XnuSyscall as X;
+    Some(match x {
+        X::Exit => L::Exit,
+        X::Fork => L::Fork,
+        X::Read => L::Read,
+        X::Write => L::Write,
+        X::Open => L::Open,
+        X::Close => L::Close,
+        X::Waitpid => L::Waitpid,
+        X::Unlink => L::Unlink,
+        X::Chdir => L::Chdir,
+        X::Getpid => L::Getpid,
+        X::Kill => L::Kill,
+        X::Sigaction => L::Sigaction,
+        X::Sigprocmask => L::Sigprocmask,
+        X::Ioctl => L::Ioctl,
+        X::Execve => L::Execve,
+        X::Dup => L::Dup,
+        X::Pipe => L::Pipe,
+        X::Dup2 => L::Dup2,
+        X::Select => L::Select,
+        X::Socketpair => L::Socketpair,
+        X::Mkdir => L::Mkdir,
+        X::Sigreturn => L::Sigreturn,
+        X::Stat64 => L::Stat64,
+        X::Fstat64 => L::Fstat64,
+        X::Getcwd => L::Getcwd,
+        X::BsdthreadCreate
+        | X::PsynchMutexwait
+        | X::PsynchMutexdrop
+        | X::PsynchCvbroad
+        | X::PsynchCvsignal
+        | X::PsynchCvwait
+        | X::PosixSpawn => return None,
+    })
 }
 
 fn encode_unix_result(r: TrapResult) -> UserTrapResult {
@@ -485,24 +554,16 @@ fn build_unix_table() -> SyscallTable {
         },
     );
 
-    t.install(
-        X::PsynchCvwait.number(),
-        "psynch_cvwait",
-        |k, tid, args| {
-            let cv = args.regs[0] as u64;
-            let mutex = args.regs[1] as u64;
-            let out = with_state(k, |k2, st| {
-                st.psynch_cvwait(k2, tid, cv, mutex)
-            });
-            match out {
-                Ok(PsynchOutcome::Acquired) => TrapResult::ok(0),
-                Ok(PsynchOutcome::Blocked) => {
-                    TrapResult::err(Errno::EAGAIN)
-                }
-                Err(_) => TrapResult::err(Errno::EINVAL),
-            }
-        },
-    );
+    t.install(X::PsynchCvwait.number(), "psynch_cvwait", |k, tid, args| {
+        let cv = args.regs[0] as u64;
+        let mutex = args.regs[1] as u64;
+        let out = with_state(k, |k2, st| st.psynch_cvwait(k2, tid, cv, mutex));
+        match out {
+            Ok(PsynchOutcome::Acquired) => TrapResult::ok(0),
+            Ok(PsynchOutcome::Blocked) => TrapResult::err(Errno::EAGAIN),
+            Err(_) => TrapResult::err(Errno::EINVAL),
+        }
+    });
 
     t.install(
         X::PsynchCvsignal.number(),
@@ -520,8 +581,7 @@ fn build_unix_table() -> SyscallTable {
         "psynch_cvbroad",
         |k, tid, args| {
             let cv = args.regs[0] as u64;
-            let n =
-                with_state(k, |k2, st| st.psynch_cvbroadcast(k2, tid, cv));
+            let n = with_state(k, |k2, st| st.psynch_cvbroadcast(k2, tid, cv));
             TrapResult::ok(n as i64)
         },
     );
@@ -542,30 +602,33 @@ fn build_mach_table() -> SyscallTable {
             Ok(t) => t.pid,
             Err(_) => return TrapResult::ok(0),
         };
-        let name =
-            with_state(k, |k2, st| st.task_self_port(k2, tid, pid));
+        let name = with_state(k, |k2, st| st.task_self_port(k2, tid, pid));
         TrapResult::ok(name.as_raw() as i64)
     });
 
-    t.install(M::ThreadSelfTrap.number(), "thread_self_trap", |k, tid, _| {
-        let pid = match k.thread(tid) {
-            Ok(t) => t.pid,
-            Err(_) => return TrapResult::ok(0),
-        };
-        let name = with_state(k, |k2, st| {
-            let name = st
-                .port_allocate_for(k2, tid, pid)
-                .expect("space creatable");
-            let space = st.task_space(pid);
-            let _ = st.machipc.set_kobject(
-                space,
-                name,
-                cider_xnu::ipc::KernelObject::Thread(tid.as_raw() as u64),
-            );
-            name
-        });
-        TrapResult::ok(name.as_raw() as i64)
-    });
+    t.install(
+        M::ThreadSelfTrap.number(),
+        "thread_self_trap",
+        |k, tid, _| {
+            let pid = match k.thread(tid) {
+                Ok(t) => t.pid,
+                Err(_) => return TrapResult::ok(0),
+            };
+            let name = with_state(k, |k2, st| {
+                let name = st
+                    .port_allocate_for(k2, tid, pid)
+                    .expect("space creatable");
+                let space = st.task_space(pid);
+                let _ = st.machipc.set_kobject(
+                    space,
+                    name,
+                    cider_xnu::ipc::KernelObject::Thread(tid.as_raw() as u64),
+                );
+                name
+            });
+            TrapResult::ok(name.as_raw() as i64)
+        },
+    );
 
     t.install(M::HostSelfTrap.number(), "host_self_trap", |k, tid, _| {
         let pid = match k.thread(tid) {
@@ -573,9 +636,8 @@ fn build_mach_table() -> SyscallTable {
             Err(_) => return TrapResult::ok(0),
         };
         let name = with_state(k, |k2, st| {
-            let name = st
-                .port_allocate_for(k2, tid, pid)
-                .expect("space creatable");
+            let name =
+                st.port_allocate_for(k2, tid, pid).expect("space creatable");
             let space = st.task_space(pid);
             let _ = st.machipc.set_kobject(
                 space,
@@ -665,9 +727,7 @@ fn build_mach_table() -> SyscallTable {
         };
         if options & MACH_SEND_MSG != 0 {
             let SyscallData::Bytes(buf) = &args.data else {
-                return TrapResult::ok(
-                    KernReturn::InvalidArgument.as_raw(),
-                );
+                return TrapResult::ok(KernReturn::InvalidArgument.as_raw());
             };
             let msg = match wire::decode_user_message(buf) {
                 Ok(m) => m,
@@ -693,8 +753,7 @@ fn build_mach_table() -> SyscallTable {
             });
             return match got {
                 Ok(m) => {
-                    let mut r =
-                        TrapResult::ok(KernReturn::Success.as_raw());
+                    let mut r = TrapResult::ok(KernReturn::Success.as_raw());
                     r.out_data = wire::encode_received_message(&m);
                     r
                 }
@@ -723,8 +782,7 @@ fn build_mach_table() -> SyscallTable {
         "semaphore_wait_trap",
         |k, tid, args| {
             let addr = args.regs[0] as u64;
-            let out =
-                with_state(k, |k2, st| st.semaphore_wait(k2, tid, addr));
+            let out = with_state(k, |k2, st| st.semaphore_wait(k2, tid, addr));
             match out {
                 Ok(PsynchOutcome::Acquired) => {
                     TrapResult::ok(KernReturn::Success.as_raw())
@@ -757,9 +815,7 @@ fn build_mach_table() -> SyscallTable {
             };
             match addr {
                 Ok(a) => TrapResult::ok(a as i64),
-                Err(_) => {
-                    TrapResult::ok(KernReturn::NoSpace.as_raw())
-                }
+                Err(_) => TrapResult::ok(KernReturn::NoSpace.as_raw()),
             }
         },
     );
@@ -776,9 +832,9 @@ fn build_mach_table() -> SyscallTable {
             match k.process_mut(pid) {
                 Ok(p) => match p.mm.unmap(addr) {
                     Ok(_) => TrapResult::ok(KernReturn::Success.as_raw()),
-                    Err(_) => TrapResult::ok(
-                        KernReturn::InvalidArgument.as_raw(),
-                    ),
+                    Err(_) => {
+                        TrapResult::ok(KernReturn::InvalidArgument.as_raw())
+                    }
                 },
                 Err(e) => TrapResult::err(e),
             }

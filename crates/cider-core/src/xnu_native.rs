@@ -60,9 +60,10 @@ impl Personality for XnuNativePersonality {
         };
         match trap.class() {
             TrapClass::Unix => {
-                let XnuTrap::Unix(call) = trap else { unreachable!() };
-                let r = match self.inner.unix_table().lookup(call.number())
-                {
+                let XnuTrap::Unix(call) = trap else {
+                    unreachable!()
+                };
+                let r = match self.inner.unix_table().lookup(call.number()) {
                     Some((_, handler)) => handler(k, tid, args),
                     None => TrapResult::err(Errno::ENOSYS),
                 };
@@ -76,10 +77,11 @@ impl Personality for XnuNativePersonality {
                 }
             }
             TrapClass::Mach => {
-                let XnuTrap::Mach(call) = trap else { unreachable!() };
+                let XnuTrap::Mach(call) = trap else {
+                    unreachable!()
+                };
                 k.charge_cpu(k.profile.syscall_entry_exit_ns);
-                let r = match self.inner.mach_table().lookup(call.number())
-                {
+                let r = match self.inner.mach_table().lookup(call.number()) {
                     Some((_, handler)) => handler(k, tid, args),
                     None => TrapResult::ok(KernReturn::MigBadId.as_raw()),
                 };

@@ -20,9 +20,9 @@
 
 use std::collections::BTreeMap;
 
+use cider_abi::ids::Tid;
 use cider_kernel::kernel::Kernel;
 use cider_kernel::process::WaitChannel;
-use cider_abi::ids::Tid;
 use cider_xnu::api::{
     Event, ForeignKernelApi, ForeignThread, LckMtx, WaitResult, ZoneHandle,
 };

@@ -136,11 +136,8 @@ impl SymbolTable {
     ///
     /// [`ZoneError::Undefined`] or [`ZoneError::AccessDenied`].
     pub fn resolve(&self, from: Zone, name: &str) -> Result<Zone, ZoneError> {
-        let effective = self
-            .remaps
-            .get(name)
-            .map(|s| s.as_str())
-            .unwrap_or(name);
+        let effective =
+            self.remaps.get(name).map(|s| s.as_str()).unwrap_or(name);
         let &zone = self
             .symbols
             .get(effective)
@@ -239,11 +236,8 @@ impl SymbolTable {
 
     /// Zone of a symbol, if defined.
     pub fn zone_of(&self, name: &str) -> Option<Zone> {
-        let effective = self
-            .remaps
-            .get(name)
-            .map(|s| s.as_str())
-            .unwrap_or(name);
+        let effective =
+            self.remaps.get(name).map(|s| s.as_str()).unwrap_or(name);
         self.symbols.get(effective).copied()
     }
 }

@@ -261,8 +261,7 @@ mod tests {
     #[test]
     fn diagonal_line_clips() {
         let (mut k, mut g, b) = setup(8, 8);
-        let n =
-            draw_line(&mut k, &mut g, b, (-4, -4), (4, 4), 0xAA).unwrap();
+        let n = draw_line(&mut k, &mut g, b, (-4, -4), (4, 4), 0xAA).unwrap();
         assert!(n >= 4, "clipped line still draws in-bounds: {n}");
     }
 

@@ -107,8 +107,7 @@ pub fn register_display_driver(sys: &mut CiderSystem) -> Rc<Cell<u64>> {
             &mut ducttape.symbols,
             "AppleM2CLCD",
             Zone::Domestic,
-            Box::new(move |
-            | {
+            Box::new(move || {
                 Box::new(AppleM2Clcd::new(frames_for_factory.clone()))
             }),
         );

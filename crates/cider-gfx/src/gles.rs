@@ -454,7 +454,8 @@ mod tests {
     fn fence_roundtrip_through_gl() {
         let (mut k, mut egl, mut gpu, mut sf, mut g) = setup();
         let ctx = egl.create_context();
-        egl.create_window_surface(&mut sf, &mut g, ctx, 8, 8).unwrap();
+        egl.create_window_surface(&mut sf, &mut g, ctx, 8, 8)
+            .unwrap();
         egl.make_current(ctx).unwrap();
         api::gl_draw_arrays(&mut k, &mut egl, &mut gpu, 3).unwrap();
         let f = api::gl_fence_sync(&mut k, &mut egl, &mut gpu).unwrap();

@@ -104,7 +104,9 @@ impl SimGpu {
                 texture_binds,
             } => 2_500 + *vertices as u64 * 9 + *texture_binds as u64 * 800,
             GpuCommand::Blit { bytes } => 4_000 + bytes / 4,
-            GpuCommand::Compose { layers } => 180_000 + *layers as u64 * 90_000,
+            GpuCommand::Compose { layers } => {
+                180_000 + *layers as u64 * 90_000
+            }
             GpuCommand::Fence(_) => 200,
         }
     }
@@ -139,6 +141,7 @@ impl SimGpu {
     ///
     /// Returns the CPU nanoseconds charged for the wait.
     pub fn wait_fence(&mut self, k: &mut Kernel, id: FenceId) -> u64 {
+        let enter_ns = k.clock.now_ns();
         let mut cpu_ns = 350; // ioctl round trip
         if !self.fence_signaled(id) {
             self.retire_all(k);
@@ -151,6 +154,22 @@ impl SimGpu {
         }
         debug_assert!(self.fence_signaled(id), "fence lost");
         k.charge_cpu(cpu_ns);
+        if k.trace.is_enabled() {
+            let ctx = cider_trace::TraceContext::kernel(k.clock.now_ns());
+            k.trace.record(
+                ctx,
+                cider_trace::EventKind::GpuFenceWait {
+                    fence: id.0,
+                    buggy: self.fence_bug,
+                },
+            );
+            k.trace.incr("gpu/fence_waits");
+            if self.fence_bug {
+                k.trace.incr("gpu/fence_bug_stalls");
+            }
+            k.trace
+                .observe("gpu/fence_wait", k.clock.now_ns() - enter_ns);
+        }
         cpu_ns
     }
 

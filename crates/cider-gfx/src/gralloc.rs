@@ -173,10 +173,7 @@ mod tests {
     #[test]
     fn zero_dimensions_rejected() {
         let mut g = Gralloc::new();
-        assert_eq!(
-            g.alloc(0, 100, PixelFormat::Rgb565),
-            Err(Errno::EINVAL)
-        );
+        assert_eq!(g.alloc(0, 100, PixelFormat::Rgb565), Err(Errno::EINVAL));
     }
 
     #[test]

@@ -601,8 +601,7 @@ pub fn install_gfx(
             "EAGLContext_presentRenderbuffer" => "EAGLBridge_present",
             _ => continue,
         };
-        gles_diplomatic
-            .install(Diplomat::new(sym, "libEGLbridge.so", target));
+        gles_diplomatic.install(Diplomat::new(sym, "libEGLbridge.so", target));
         bridged += 1;
     }
 
@@ -620,7 +619,8 @@ pub fn install_gfx(
 
     // Diplomatic IOSurface: interposed entry points calling libgralloc
     // (paper §5.3).
-    let mut iosurface = DiplomaticLibrary::new("IOSurface.framework/IOSurface");
+    let mut iosurface =
+        DiplomaticLibrary::new("IOSurface.framework/IOSurface");
     for (foreign, domestic) in [
         ("IOSurfaceCreate", "gralloc_alloc"),
         ("IOSurfaceLock", "gralloc_lock"),
@@ -685,13 +685,8 @@ mod tests {
         let ctx = sys
             .diplomat_call(tid, lib, "EAGLContext_initWithAPI", &[])
             .unwrap();
-        sys.diplomat_call(
-            tid,
-            lib,
-            "EAGLContext_setCurrentContext",
-            &[ctx],
-        )
-        .unwrap();
+        sys.diplomat_call(tid, lib, "EAGLContext_setCurrentContext", &[ctx])
+            .unwrap();
         sys.diplomat_call(
             tid,
             lib,
@@ -728,9 +723,7 @@ mod tests {
             &[ctx, 64, 64],
         )
         .unwrap();
-        let fence = sys
-            .diplomat_call(tid, lib, "glFenceSync", &[])
-            .unwrap();
+        let fence = sys.diplomat_call(tid, lib, "glFenceSync", &[]).unwrap();
         sys.diplomat_call(tid, lib, "glClientWaitSync", &[fence])
             .unwrap();
         assert_eq!(gfx.borrow().gpu.bug_stalls, 1);
@@ -748,12 +741,14 @@ mod tests {
             .diplomat_call(tid, lib, "IOSurfaceCreate", &[256, 256])
             .unwrap();
         assert_eq!(gfx.borrow().gralloc.live(), 1);
-        sys.diplomat_call(tid, lib, "IOSurfaceLock", &[buf]).unwrap();
+        sys.diplomat_call(tid, lib, "IOSurfaceLock", &[buf])
+            .unwrap();
         assert_eq!(
             sys.diplomat_call(tid, lib, "IOSurfaceLock", &[buf]),
             Err(Errno::EBUSY)
         );
-        sys.diplomat_call(tid, lib, "IOSurfaceUnlock", &[buf]).unwrap();
+        sys.diplomat_call(tid, lib, "IOSurfaceUnlock", &[buf])
+            .unwrap();
         sys.diplomat_call(tid, lib, "IOSurfaceDecrementUseCount", &[buf])
             .unwrap();
         assert_eq!(gfx.borrow().gralloc.live(), 0);

@@ -113,7 +113,10 @@ impl SurfaceFlinger {
     /// # Errors
     ///
     /// `EBADF` for unknown surfaces.
-    pub fn dequeue_buffer(&mut self, id: SurfaceId) -> Result<BufferId, Errno> {
+    pub fn dequeue_buffer(
+        &mut self,
+        id: SurfaceId,
+    ) -> Result<BufferId, Errno> {
         let s = self.surfaces.get_mut(&id.0).ok_or(Errno::EBADF)?;
         Ok(s.buffers[s.front])
     }
@@ -191,8 +194,7 @@ impl SurfaceFlinger {
         id: SurfaceId,
         visible: bool,
     ) -> Result<(), Errno> {
-        self.surfaces.get_mut(&id.0).ok_or(Errno::EBADF)?.visible =
-            visible;
+        self.surfaces.get_mut(&id.0).ok_or(Errno::EBADF)?.visible = visible;
         Ok(())
     }
 }

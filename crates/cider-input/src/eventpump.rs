@@ -52,16 +52,16 @@ impl InputBridge {
         let (cp_pid, cp_tid) = ciderpress;
         let (app_pid, app_tid) = app;
         let (cp_end, app_end_in_cp) = sys.kernel.sys_socketpair(cp_tid)?;
-        let app_end = sys.kernel.sys_pass_fd(cp_tid, app_end_in_cp, app_tid)?;
+        let app_end =
+            sys.kernel.sys_pass_fd(cp_tid, app_end_in_cp, app_tid)?;
 
         // The eventpump thread lives inside the iOS app process.
         let pump_tid = sys.kernel.spawn_thread(app_tid)?;
 
         // The Mach port apps monitor "for incoming low-level event
         // notifications" (§5.2).
-        let event_port = sys
-            .mach_port_allocate(app_tid)
-            .map_err(|_| Errno::ENOMEM)?;
+        let event_port =
+            sys.mach_port_allocate(app_tid).map_err(|_| Errno::ENOMEM)?;
         let event_port_send = sys
             .mach_make_send(app_tid, event_port)
             .map_err(|_| Errno::ENOMEM)?;
@@ -175,7 +175,11 @@ mod tests {
     fn tap_down() -> AndroidEvent {
         AndroidEvent::Motion {
             action: MotionAction::Down,
-            pointers: vec![Pointer { id: 0, x: 640, y: 400 }],
+            pointers: vec![Pointer {
+                id: 0,
+                x: 640,
+                y: 400,
+            }],
             time_ns: 1000,
         }
     }

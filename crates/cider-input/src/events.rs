@@ -269,9 +269,7 @@ pub fn decode(buf: &[u8]) -> Result<Option<(AndroidEvent, usize)>, Errno> {
                 return Err(Errno::EINVAL);
             }
             AndroidEvent::Accelerometer {
-                time_ns: u64::from_le_bytes(
-                    b[1..9].try_into().expect("len"),
-                ),
+                time_ns: u64::from_le_bytes(b[1..9].try_into().expect("len")),
                 x: i32::from_le_bytes(b[9..13].try_into().expect("len")),
                 y: i32::from_le_bytes(b[13..17].try_into().expect("len")),
                 z: i32::from_le_bytes(b[17..21].try_into().expect("len")),
@@ -282,9 +280,7 @@ pub fn decode(buf: &[u8]) -> Result<Option<(AndroidEvent, usize)>, Errno> {
                 return Err(Errno::EINVAL);
             }
             AndroidEvent::Key {
-                time_ns: u64::from_le_bytes(
-                    b[1..9].try_into().expect("len"),
-                ),
+                time_ns: u64::from_le_bytes(b[1..9].try_into().expect("len")),
                 code: u32::from_le_bytes(b[9..13].try_into().expect("len")),
                 down: b[13] != 0,
             }
@@ -422,8 +418,16 @@ mod tests {
         AndroidEvent::Motion {
             action: MotionAction::Move,
             pointers: vec![
-                Pointer { id: 0, x: 100, y: 200 },
-                Pointer { id: 1, x: -5, y: 700 },
+                Pointer {
+                    id: 0,
+                    x: 100,
+                    y: 200,
+                },
+                Pointer {
+                    id: 1,
+                    x: -5,
+                    y: 700,
+                },
             ],
             time_ns: 123_456,
         }
@@ -432,10 +436,7 @@ mod tests {
     #[test]
     fn translate_touch_phases() {
         let ios = translate(&sample_motion());
-        let IosHidEvent::Touch {
-            phase, touches, ..
-        } = ios
-        else {
+        let IosHidEvent::Touch { phase, touches, .. } = ios else {
             panic!("expected touch")
         };
         assert_eq!(phase, TouchPhase::Moved);

@@ -195,7 +195,9 @@ impl GestureRecognizer {
             self.reset();
             return;
         }
-        if self.max_pointers >= 2 && self.start.len() >= 2 && self.last.len() >= 2
+        if self.max_pointers >= 2
+            && self.start.len() >= 2
+            && self.last.len() >= 2
         {
             let d0 = dist(&self.start[0], &self.start[1]);
             let d1 = dist(&self.last[0], &self.last[1]);

@@ -24,10 +24,10 @@
 //! assert_eq!(phase, TouchPhase::Began);
 //! ```
 
-pub mod events;
 pub mod eventpump;
+pub mod events;
 pub mod gestures;
 
-pub use events::{translate, AndroidEvent, IosHidEvent, Pointer};
 pub use eventpump::{InputBridge, MSG_ID_HID_EVENT};
+pub use events::{translate, AndroidEvent, IosHidEvent, Pointer};
 pub use gestures::{Gesture, GestureRecognizer};

@@ -9,11 +9,22 @@
 
 use std::fmt;
 
+use cider_trace::Metrics;
+
+/// Name of the counter tracking individual clock charges.
+pub const CHARGES_COUNTER: &str = "clock/charges";
+/// Name of the counter accumulating total charged nanoseconds.
+pub const ADVANCED_NS_COUNTER: &str = "clock/advanced_ns";
+
 /// A monotonically increasing virtual clock, in nanoseconds.
+///
+/// The clock keeps its own [`Metrics`] registry so tests and reports can
+/// ask *how* time accrued (`clock/charges`, `clock/advanced_ns`) by
+/// name, the same way every other subsystem's counters are read.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VirtualClock {
     now_ns: u64,
-    charges: u64,
+    metrics: Metrics,
 }
 
 impl VirtualClock {
@@ -30,13 +41,21 @@ impl VirtualClock {
     /// Advances the clock by `ns` nanoseconds.
     pub fn advance(&mut self, ns: u64) {
         self.now_ns += ns;
-        self.charges += 1;
+        self.metrics.incr(CHARGES_COUNTER);
+        self.metrics.add(ADVANCED_NS_COUNTER, ns);
     }
 
-    /// Number of individual charges, useful for asserting that a code path
-    /// actually billed the clock.
+    /// The clock's own metric counters ([`CHARGES_COUNTER`],
+    /// [`ADVANCED_NS_COUNTER`]).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of individual charges.
+    #[deprecated(note = "read the named counter instead: \
+                `clock.metrics().counter(clock::CHARGES_COUNTER)`")]
     pub fn charge_count(&self) -> u64 {
-        self.charges
+        self.metrics.counter(CHARGES_COUNTER)
     }
 }
 
@@ -47,7 +66,9 @@ impl fmt::Display for VirtualClock {
 }
 
 /// A span of virtual time, produced by [`Stopwatch`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+)]
 pub struct VirtualDuration {
     /// Elapsed virtual nanoseconds.
     pub ns: u64,
@@ -144,7 +165,17 @@ mod tests {
         c.advance(100);
         c.advance(50);
         assert_eq!(c.now_ns(), 150);
-        assert_eq!(c.charge_count(), 2);
+        assert_eq!(c.metrics().counter(CHARGES_COUNTER), 2);
+        assert_eq!(c.metrics().counter(ADVANCED_NS_COUNTER), 150);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn charge_count_alias_matches_named_counter() {
+        let mut c = VirtualClock::new();
+        c.advance(10);
+        c.advance(20);
+        assert_eq!(c.charge_count(), c.metrics().counter(CHARGES_COUNTER));
     }
 
     #[test]

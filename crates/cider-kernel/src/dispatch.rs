@@ -109,8 +109,7 @@ impl TrapResult {
 
 /// A syscall handler: a plain function pointer, exactly like an entry in a
 /// kernel's `sys_call_table`.
-pub type SyscallHandler =
-    fn(&mut Kernel, Tid, &SyscallArgs) -> TrapResult;
+pub type SyscallHandler = fn(&mut Kernel, Tid, &SyscallArgs) -> TrapResult;
 
 /// One dispatch table: syscall number → handler.
 #[derive(Default)]
@@ -208,6 +207,22 @@ pub trait Personality: fmt::Debug {
     /// larger `siginfo` conversion).
     fn signal_translation_ns(&self) -> u64 {
         0
+    }
+
+    /// Human-readable name of a syscall number under this personality's
+    /// numbering, for trace labels. `None` for unknown numbers.
+    fn syscall_name(&self, number: i64) -> Option<&'static str> {
+        let _ = number;
+        None
+    }
+
+    /// The domestic syscall number a foreign number maps to, when this
+    /// personality translates rather than implements (`None` for native
+    /// personalities and untranslated numbers). Trace-only metadata;
+    /// dispatch itself happens inside [`Personality::trap`].
+    fn translate_syscall(&self, number: i64) -> Option<i64> {
+        let _ = number;
+        None
     }
 }
 

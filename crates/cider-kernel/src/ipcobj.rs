@@ -100,7 +100,11 @@ impl IpcObjects {
     ///
     /// `EPIPE` if the read end is closed, `EAGAIN` when the buffer is
     /// full (the simulator never blocks the host).
-    pub fn pipe_write(&mut self, id: PipeId, data: &[u8]) -> Result<usize, Errno> {
+    pub fn pipe_write(
+        &mut self,
+        id: PipeId,
+        data: &[u8],
+    ) -> Result<usize, Errno> {
         let p = self.pipes.get_mut(&id.0).ok_or(Errno::EBADF)?;
         if !p.read_open {
             return Err(Errno::EPIPE);
@@ -127,7 +131,11 @@ impl IpcObjects {
     ) -> Result<usize, Errno> {
         let p = self.pipes.get_mut(&id.0).ok_or(Errno::EBADF)?;
         if p.buf.is_empty() {
-            return if p.write_open { Err(Errno::EAGAIN) } else { Ok(0) };
+            return if p.write_open {
+                Err(Errno::EAGAIN)
+            } else {
+                Ok(0)
+            };
         }
         let n = buf.len().min(p.buf.len());
         for b in buf.iter_mut().take(n) {
@@ -248,7 +256,10 @@ mod tests {
         let id = t.create_pipe();
         let mut buf = [0u8; 4];
         assert_eq!(t.pipe_read(id, &mut buf), Err(Errno::EAGAIN));
-        t.pipe_close(PipeEnd { id, write_end: true });
+        t.pipe_close(PipeEnd {
+            id,
+            write_end: true,
+        });
         assert_eq!(t.pipe_read(id, &mut buf), Ok(0));
     }
 
@@ -256,7 +267,10 @@ mod tests {
     fn pipe_write_after_reader_close_is_epipe() {
         let mut t = IpcObjects::new();
         let id = t.create_pipe();
-        t.pipe_close(PipeEnd { id, write_end: false });
+        t.pipe_close(PipeEnd {
+            id,
+            write_end: false,
+        });
         assert_eq!(t.pipe_write(id, b"x"), Err(Errno::EPIPE));
     }
 
@@ -274,9 +288,15 @@ mod tests {
         let mut t = IpcObjects::new();
         let id = t.create_pipe();
         assert_eq!(t.live_objects(), 1);
-        t.pipe_close(PipeEnd { id, write_end: true });
+        t.pipe_close(PipeEnd {
+            id,
+            write_end: true,
+        });
         assert_eq!(t.live_objects(), 1);
-        t.pipe_close(PipeEnd { id, write_end: false });
+        t.pipe_close(PipeEnd {
+            id,
+            write_end: false,
+        });
         assert_eq!(t.live_objects(), 0);
     }
 

@@ -16,6 +16,7 @@
 //! `cider_enabled`, which adds the per-trap persona check the paper
 //! measured at 8.5 % of a null syscall.
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
@@ -24,6 +25,7 @@ use cider_abi::errno::Errno;
 use cider_abi::ids::{Fd, Pid, Tid};
 use cider_abi::signal::Signal;
 use cider_abi::types::{OpenFlags, Stat};
+use cider_trace::{EventKind, TraceContext, TraceSink};
 
 use crate::binfmt::{BinaryLoaderRef, ExecImage};
 use crate::clock::VirtualClock;
@@ -136,6 +138,10 @@ pub struct Kernel {
     pub counters: KernelCounters,
     /// Extension state compiled into the kernel by higher layers.
     pub extensions: Extensions,
+    /// Observability sink. Disabled (a no-op) by default; tracing reads
+    /// the virtual clock but never charges it, so enabling it cannot
+    /// perturb any measurement.
+    pub trace: TraceSink,
     procs: BTreeMap<u32, Process>,
     threads: BTreeMap<u32, Thread>,
     next_pid: u32,
@@ -174,6 +180,7 @@ impl Kernel {
             devices: DeviceRegistry::new(),
             counters: KernelCounters::default(),
             extensions: Extensions::default(),
+            trace: TraceSink::disabled(),
             procs: BTreeMap::new(),
             threads: BTreeMap::new(),
             next_pid: 1,
@@ -205,7 +212,10 @@ impl Kernel {
     /// bookkeeping costs start only once [`Kernel::enable_cider`] is
     /// called (a native XNU kernel has several trap tables but no
     /// persona machinery).
-    pub fn register_personality(&mut self, p: PersonalityRef) -> PersonalityId {
+    pub fn register_personality(
+        &mut self,
+        p: PersonalityRef,
+    ) -> PersonalityId {
         self.personalities.push(p);
         self.personalities.len() - 1
     }
@@ -280,6 +290,34 @@ impl Kernel {
     fn enter_syscall(&mut self) {
         self.counters.syscalls += 1;
         self.charge_cpu(self.profile.syscall_entry_exit_ns);
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing.
+    // ------------------------------------------------------------------
+
+    /// A trace context for a thread at the current virtual instant.
+    /// Foreign means the thread's personality is not the built-in Linux
+    /// one. Cheap, but only call under `trace.is_enabled()`.
+    pub fn trace_ctx(&self, tid: Tid) -> TraceContext {
+        match self.thread(tid) {
+            Ok(t) => TraceContext::thread(
+                self.clock.now_ns(),
+                t.pid,
+                tid,
+                t.personality != self.linux_personality,
+            ),
+            Err(_) => TraceContext::kernel(self.clock.now_ns()),
+        }
+    }
+
+    fn trace_vfs(&self, tid: Tid, op: &'static str, bytes: u64) {
+        if self.trace.is_enabled() {
+            self.trace
+                .record(self.trace_ctx(tid), EventKind::VfsOp { op, bytes });
+            self.trace.add(&format!("vfs/{op}/bytes"), bytes);
+            self.trace.incr(&format!("vfs/{op}/ops"));
+        }
     }
 
     // ------------------------------------------------------------------
@@ -463,6 +501,11 @@ impl Kernel {
         args: &SyscallArgs,
     ) -> UserTrapResult {
         self.counters.traps += 1;
+        let enter_ctx = if self.trace.is_enabled() {
+            Some(self.trace_ctx(tid))
+        } else {
+            None
+        };
         if self.cider_enabled {
             // The paper's 8.5 % null-syscall overhead: every trap on a
             // Cider kernel checks the calling thread's persona.
@@ -480,7 +523,44 @@ impl Kernel {
             }
         };
         let p = self.personalities[personality].clone();
-        p.trap(self, tid, number, args)
+        if let Some(ctx) = enter_ctx {
+            self.trace.record(
+                ctx,
+                EventKind::SyscallEnter {
+                    nr: number,
+                    translated: p.translate_syscall(number),
+                },
+            );
+        }
+        let result = p.trap(self, tid, number, args);
+        if let Some(ctx) = enter_ctx {
+            let exit_ctx = TraceContext {
+                ts_ns: self.clock.now_ns(),
+                ..ctx
+            };
+            self.trace.record(
+                exit_ctx,
+                EventKind::SyscallExit {
+                    nr: number,
+                    ret: result.reg,
+                },
+            );
+            // Per-persona, per-syscall virtual latency of the whole trap
+            // (persona check included — that's what user space sees).
+            let name = p
+                .syscall_name(number)
+                .map(Cow::Borrowed)
+                .unwrap_or_else(|| Cow::Owned(format!("nr{number}")));
+            self.trace.observe(
+                &format!("syscall/{}/{name}", ctx.persona_label()),
+                exit_ctx.ts_ns - ctx.ts_ns,
+            );
+            self.trace.incr("kernel/traps");
+            if self.cider_enabled {
+                self.trace.incr("kernel/persona_checks");
+            }
+        }
+        result
     }
 
     /// The personality object a thread traps into.
@@ -535,6 +615,7 @@ impl Kernel {
     ) -> Result<Fd, Errno> {
         self.enter_syscall();
         self.charge_cpu(self.profile.vfs_op_ns);
+        self.trace_vfs(tid, "open", 0);
         let resolved = self.vfs.resolve(path);
         let ino = match resolved {
             Ok(r) => {
@@ -579,6 +660,7 @@ impl Kernel {
     pub fn sys_close(&mut self, tid: Tid, fd: Fd) -> Result<(), Errno> {
         self.enter_syscall();
         self.charge_cpu(self.profile.vfs_op_ns / 2);
+        self.trace_vfs(tid, "close", 0);
         let obj = self.process_of_mut(tid)?.fds.remove(fd)?;
         match obj {
             FileObject::Pipe(end) => self.ipc.pipe_close(end),
@@ -602,6 +684,7 @@ impl Kernel {
         len: usize,
     ) -> Result<Vec<u8>, Errno> {
         self.enter_syscall();
+        self.trace_vfs(tid, "read", len as u64);
         let obj = self.process_of(tid)?.fds.get(fd)?.clone();
         match obj {
             FileObject::File {
@@ -660,6 +743,7 @@ impl Kernel {
         data: &[u8],
     ) -> Result<usize, Errno> {
         self.enter_syscall();
+        self.trace_vfs(tid, "write", data.len() as u64);
         let obj = self.process_of(tid)?.fds.get(fd)?.clone();
         match obj {
             FileObject::File {
@@ -744,6 +828,7 @@ impl Kernel {
         self.enter_syscall();
         self.thread(tid)?;
         self.charge_cpu(self.profile.vfs_op_ns);
+        self.trace_vfs(tid, "unlink", 0);
         if let Ok(r) = self.vfs.resolve(path) {
             self.charge_path(r.components_walked);
         }
@@ -759,6 +844,7 @@ impl Kernel {
         self.enter_syscall();
         self.thread(tid)?;
         self.charge_cpu(self.profile.vfs_op_ns);
+        self.trace_vfs(tid, "mkdir", 0);
         let now = self.clock.now_ns();
         self.vfs.set_time(now);
         self.vfs.mkdir_p(path).map(|_| ())
@@ -772,6 +858,7 @@ impl Kernel {
     pub fn sys_stat(&mut self, tid: Tid, path: &str) -> Result<Stat, Errno> {
         self.enter_syscall();
         self.thread(tid)?;
+        self.trace_vfs(tid, "stat", 0);
         let r = self.vfs.resolve(path)?;
         self.charge_path(r.components_walked);
         Ok(self.vfs.stat(r.ino))
@@ -808,12 +895,18 @@ impl Kernel {
         self.charge_cpu(self.profile.vfs_op_ns);
         let id = self.ipc.create_socketpair();
         let proc = self.process_of_mut(tid)?;
-        let a = proc.fds.insert(FileObject::Socket(
-            crate::ipcobj::SocketEnd { id, side: 0 },
-        ));
-        let b = proc.fds.insert(FileObject::Socket(
-            crate::ipcobj::SocketEnd { id, side: 1 },
-        ));
+        let a =
+            proc.fds
+                .insert(FileObject::Socket(crate::ipcobj::SocketEnd {
+                    id,
+                    side: 0,
+                }));
+        let b =
+            proc.fds
+                .insert(FileObject::Socket(crate::ipcobj::SocketEnd {
+                    id,
+                    side: 1,
+                }));
         Ok((a, b))
     }
 
@@ -954,6 +1047,14 @@ impl Kernel {
         // Kernel: duplicate the address space, visiting every PTE.
         let (mm, ptes) = self.process(parent_pid)?.mm.fork_duplicate();
         self.charge_cpu(self.profile.pte_copy_ns * ptes);
+        if self.trace.is_enabled() {
+            self.trace.record(
+                self.trace_ctx(tid),
+                EventKind::PageTableCopy { ptes },
+            );
+            self.trace.add("mm/forked_ptes", ptes);
+            self.trace.incr("kernel/forks");
+        }
 
         // Kernel: clone the descriptor table.
         let (fds, fd_count) = self.process(parent_pid)?.fds.fork_clone();
@@ -980,7 +1081,8 @@ impl Kernel {
         self.process_mut(parent_pid)?.children.push(child_pid);
 
         // User space: parent + child atfork handlers run after the fork.
-        let parent_cbs = self.process(parent_pid)?.callbacks.atfork_parent.len();
+        let parent_cbs =
+            self.process(parent_pid)?.callbacks.atfork_parent.len();
         let child_cbs = self.process(child_pid)?.callbacks.atfork_child.len();
         self.run_user_callbacks(parent_cbs + child_cbs, true);
 
@@ -1069,7 +1171,8 @@ impl Kernel {
             .entry_symbol
             .clone()
             .ok_or(Errno::ENOEXEC)?;
-        let body = self.programs.get(&symbol).cloned().ok_or(Errno::ENOEXEC)?;
+        let body =
+            self.programs.get(&symbol).cloned().ok_or(Errno::ENOEXEC)?;
         let code = body(self, tid);
         // The program may have exec'd away or already exited.
         if let Ok(p) = self.process_of(tid) {
@@ -1096,7 +1199,8 @@ impl Kernel {
         self.run_user_callbacks(atexit, false);
 
         // Close descriptors.
-        let fds: Vec<Fd> = self.process(pid)?.fds.iter().map(|(fd, _)| fd).collect();
+        let fds: Vec<Fd> =
+            self.process(pid)?.fds.iter().map(|(fd, _)| fd).collect();
         for fd in fds {
             if let Ok(obj) = self.process_mut(pid)?.fds.remove(fd) {
                 match obj {
@@ -1294,6 +1398,37 @@ impl Kernel {
                     self.charge_cpu(frame_ns);
                     // Handler returns through sigreturn — one more trap.
                     self.charge_cpu(self.profile.syscall_entry_exit_ns);
+                    if self.trace.is_enabled() {
+                        let ctx = self.trace_ctx(tid);
+                        if user_number != sig.as_raw() {
+                            self.trace.record(
+                                ctx,
+                                EventKind::SignalTranslate {
+                                    from: sig.as_raw(),
+                                    to: user_number,
+                                },
+                            );
+                            self.trace.incr("signal/translations");
+                        }
+                        self.trace.record(
+                            ctx,
+                            EventKind::SignalDeliver {
+                                signal: user_number,
+                                frame_bytes: frame as u64,
+                            },
+                        );
+                        self.trace.incr(&format!(
+                            "signal/{}/delivered",
+                            ctx.persona_label()
+                        ));
+                        self.trace.observe(
+                            &format!(
+                                "signal/{}/frame_bytes",
+                                ctx.persona_label()
+                            ),
+                            frame as u64,
+                        );
+                    }
                     self.thread_mut(tid)?.delivered.push(DeliveredSignal {
                         internal: sig,
                         user_number,
@@ -1392,8 +1527,7 @@ impl LinuxPersonality {
         });
         t.install(L::Write.number(), "write", |k, tid, args| {
             let fd = Fd(args.regs[0] as i32);
-            let crate::dispatch::SyscallData::Bytes(data) = &args.data
-            else {
+            let crate::dispatch::SyscallData::Bytes(data) = &args.data else {
                 return TrapResult::err(Errno::EFAULT);
             };
             match k.sys_write(tid, fd, data) {
@@ -1430,8 +1564,7 @@ impl LinuxPersonality {
             }
         });
         t.install(L::Execve.number(), "execve", |k, tid, args| {
-            let crate::dispatch::SyscallData::Exec { path, argv } =
-                &args.data
+            let crate::dispatch::SyscallData::Exec { path, argv } = &args.data
             else {
                 return TrapResult::err(Errno::EFAULT);
             };
@@ -1467,9 +1600,9 @@ impl LinuxPersonality {
         });
         t.install(L::Pipe.number(), "pipe", |k, tid, _| {
             match k.sys_pipe(tid) {
-                Ok((r, w)) => {
-                    TrapResult::ok((r.as_raw() as i64) | ((w.as_raw() as i64) << 32))
-                }
+                Ok((r, w)) => TrapResult::ok(
+                    (r.as_raw() as i64) | ((w.as_raw() as i64) << 32),
+                ),
                 Err(e) => TrapResult::err(e),
             }
         });
@@ -1506,6 +1639,10 @@ impl crate::dispatch::Personality for LinuxPersonality {
         "linux"
     }
 
+    fn syscall_name(&self, number: i64) -> Option<&'static str> {
+        self.table.lookup(number as i32).map(|(name, _)| name)
+    }
+
     fn trap(
         &self,
         k: &mut Kernel,
@@ -1521,10 +1658,9 @@ impl crate::dispatch::Personality for LinuxPersonality {
             };
         };
         let result = handler(k, tid, args);
-        let (reg, flags) = cider_abi::convention::SyscallOutcome::from(
-            result.outcome,
-        )
-        .encode_linux();
+        let (reg, flags) =
+            cider_abi::convention::SyscallOutcome::from(result.outcome)
+                .encode_linux();
         UserTrapResult {
             reg,
             flags,
@@ -1640,9 +1776,8 @@ mod tests {
     fn select_fails_on_xnu_at_250() {
         let mut k = Kernel::boot(DeviceProfile::ipad_mini());
         let (_, tid) = k.spawn_process();
-        let fds: Vec<Fd> = (0..250)
-            .map(|_| k.sys_pipe(tid).unwrap().0)
-            .collect();
+        let fds: Vec<Fd> =
+            (0..250).map(|_| k.sys_pipe(tid).unwrap().0).collect();
         assert_eq!(k.sys_select(tid, &fds), Err(Errno::EINVAL));
         assert!(k.sys_select(tid, &fds[..100]).is_ok());
     }
@@ -1793,8 +1928,7 @@ mod tests {
         let (pid, tid) = k.spawn_process();
         k.sys_sigaction(tid, Signal::SIGUSR1, SigDisposition::Handler(1))
             .unwrap();
-        k.thread_mut(tid).unwrap().sigmask =
-            1 << Signal::SIGUSR1.as_raw();
+        k.thread_mut(tid).unwrap().sigmask = 1 << Signal::SIGUSR1.as_raw();
         k.sys_kill(tid, pid, Signal::SIGUSR1).unwrap();
         assert_eq!(k.thread(tid).unwrap().delivered.len(), 0);
         assert_eq!(k.thread(tid).unwrap().pending.len(), 1);
@@ -1827,18 +1961,18 @@ mod tests {
     fn program_registry_runs_entry() {
         let mut k = kernel();
         let (pid, tid) = k.spawn_process();
-        k.register_program("hello", Rc::new(|k: &mut Kernel, tid| {
-            let _ = k.sys_write(tid, Fd::STDOUT, b"hello, world\n");
-            0
-        }));
+        k.register_program(
+            "hello",
+            Rc::new(|k: &mut Kernel, tid| {
+                let _ = k.sys_write(tid, Fd::STDOUT, b"hello, world\n");
+                0
+            }),
+        );
         k.process_mut(pid).unwrap().program.entry_symbol =
             Some("hello".into());
         assert_eq!(k.run_entry(tid).unwrap(), 0);
         assert_eq!(k.console_of(pid).unwrap(), b"hello, world\n");
-        assert_eq!(
-            k.process(pid).unwrap().state,
-            ProcessState::Zombie(0)
-        );
+        assert_eq!(k.process(pid).unwrap().state, ProcessState::Zombie(0));
     }
 
     #[test]
@@ -1861,10 +1995,7 @@ mod tests {
         let c = k.new_wait_channel();
         k.block_thread(t1, c).unwrap();
         k.block_thread(t2, c).unwrap();
-        assert_eq!(
-            k.thread(t1).unwrap().state,
-            ThreadState::Blocked(c)
-        );
+        assert_eq!(k.thread(t1).unwrap().state, ThreadState::Blocked(c));
         assert_eq!(k.wakeup(c), 2);
         assert_eq!(k.thread(t1).unwrap().state, ThreadState::Runnable);
     }
@@ -1914,10 +2045,7 @@ mod tests {
         let _ = p2;
         // Errors: bad fd, bad target thread.
         assert_eq!(k.sys_pass_fd(t1, Fd(99), t2), Err(Errno::EBADF));
-        assert_eq!(
-            k.sys_pass_fd(t1, w, Tid(4242)),
-            Err(Errno::ESRCH)
-        );
+        assert_eq!(k.sys_pass_fd(t1, w, Tid(4242)), Err(Errno::ESRCH));
         // Failed pass must not have consumed the descriptor.
         assert!(k.sys_write(t1, w, b"still open").is_ok());
     }

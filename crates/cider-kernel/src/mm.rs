@@ -263,7 +263,8 @@ mod tests {
     #[test]
     fn map_rounds_to_pages_and_counts_ptes() {
         let mut a = AddressSpace::new();
-        let start = a.map(5000, Prot::RW, MappingKind::Anonymous, "[heap]")
+        let start = a
+            .map(5000, Prot::RW, MappingKind::Anonymous, "[heap]")
             .unwrap();
         let m = a.find(start).unwrap();
         assert_eq!(m.len, 2 * PAGE_SIZE);
@@ -306,7 +307,8 @@ mod tests {
     #[test]
     fn find_resolves_addresses() {
         let mut a = AddressSpace::new();
-        let s = a.map(PAGE_SIZE, Prot::R, MappingKind::Dylib, "libfoo")
+        let s = a
+            .map(PAGE_SIZE, Prot::R, MappingKind::Dylib, "libfoo")
             .unwrap();
         assert!(a.find(s).is_some());
         assert!(a.find(s + PAGE_SIZE - 1).is_some());
@@ -317,13 +319,8 @@ mod tests {
     fn fork_duplicate_reports_pte_work() {
         let mut a = AddressSpace::new();
         // 90 MB of dylibs, as dyld maps for an iOS process.
-        a.map(
-            90 * 1024 * 1024,
-            Prot::RX,
-            MappingKind::Dylib,
-            "frameworks",
-        )
-        .unwrap();
+        a.map(90 * 1024 * 1024, Prot::RX, MappingKind::Dylib, "frameworks")
+            .unwrap();
         let (b, ptes) = a.fork_duplicate();
         assert_eq!(ptes, 90 * 1024 * 1024 / PAGE_SIZE);
         assert_eq!(b.total_ptes(), a.total_ptes());
@@ -332,7 +329,8 @@ mod tests {
     #[test]
     fn unmap_and_clear() {
         let mut a = AddressSpace::new();
-        let s = a.map(PAGE_SIZE, Prot::RW, MappingKind::Anonymous, "x")
+        let s = a
+            .map(PAGE_SIZE, Prot::RW, MappingKind::Anonymous, "x")
             .unwrap();
         assert!(a.unmap(s).is_ok());
         assert_eq!(a.unmap(s), Err(Errno::EINVAL));

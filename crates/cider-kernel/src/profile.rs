@@ -325,9 +325,7 @@ mod tests {
         let n = DeviceProfile::nexus7();
         let i = DeviceProfile::ipad_mini();
         assert!(i.gpu_scale < n.gpu_scale);
-        assert!(
-            i.storage.write_bytes_per_sec > n.storage.write_bytes_per_sec
-        );
+        assert!(i.storage.write_bytes_per_sec > n.storage.write_bytes_per_sec);
     }
 
     #[test]

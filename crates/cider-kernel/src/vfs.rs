@@ -235,13 +235,11 @@ impl Vfs {
     fn tree_for_create(&self, comps: &[&str]) -> Result<(Ino, Tree), Errno> {
         let mut walked = 0;
         if let Some(upper) = self.root_upper {
-            if let Ok(parent) = self.walk_tree(upper, comps, &mut walked, 0)
-            {
+            if let Ok(parent) = self.walk_tree(upper, comps, &mut walked, 0) {
                 return Ok((parent, Tree::Upper));
             }
         }
-        let parent =
-            self.walk_tree(self.root_lower, comps, &mut walked, 0)?;
+        let parent = self.walk_tree(self.root_lower, comps, &mut walked, 0)?;
         Ok((parent, Tree::Lower))
     }
 
@@ -317,9 +315,7 @@ impl Vfs {
         Ok(())
     }
 
-    fn parent_and_name(
-        path: &str,
-    ) -> Result<(Vec<&str>, &str), Errno> {
+    fn parent_and_name(path: &str) -> Result<(Vec<&str>, &str), Errno> {
         let comps = Self::split(path)?;
         let (name, parent) = comps.split_last().ok_or(Errno::EINVAL)?;
         Ok((parent.to_vec(), name))
@@ -587,11 +583,7 @@ impl Vfs {
         let mut names = BTreeMap::new();
         let mut found = false;
         let mut not_dir = false;
-        for root in self
-            .root_upper
-            .into_iter()
-            .chain(Some(self.root_lower))
-        {
+        for root in self.root_upper.into_iter().chain(Some(self.root_lower)) {
             let mut walked = 0;
             if let Ok(ino) = self.walk_tree(root, &comps, &mut walked, 0) {
                 match &self.node(ino).kind {
@@ -659,10 +651,7 @@ mod tests {
     #[test]
     fn write_file_requires_parent() {
         let mut fs = Vfs::new();
-        assert_eq!(
-            fs.write_file("/nope/f", vec![]),
-            Err(Errno::ENOENT)
-        );
+        assert_eq!(fs.write_file("/nope/f", vec![]), Err(Errno::ENOENT));
     }
 
     #[test]
@@ -681,7 +670,8 @@ mod tests {
         let mut fs = Vfs::new();
         fs.mkdir_p("/etc").unwrap();
         fs.write_file("/etc/version", b"android".to_vec()).unwrap();
-        fs.write_file_overlay("/etc/version", b"ios".to_vec()).unwrap();
+        fs.write_file_overlay("/etc/version", b"ios".to_vec())
+            .unwrap();
         let r = fs.resolve("/etc/version").unwrap();
         assert!(r.in_overlay);
         assert_eq!(fs.read_file("/etc/version").unwrap(), b"ios");

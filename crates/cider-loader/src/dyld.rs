@@ -110,8 +110,7 @@ pub fn run_dyld(
             stats.fs_opens += 1;
             let bytes = k.vfs.read_file(&path)?;
             k.charge_cpu(
-                (bytes.len().min(4096) as f64 * k.profile.copy_byte_ns)
-                    as u64,
+                (bytes.len().min(4096) as f64 * k.profile.copy_byte_ns) as u64,
             );
             let m = MachO::parse(&bytes)?;
             if m.filetype != FileType::Dylib {
@@ -156,8 +155,7 @@ mod tests {
     fn loads_all_115_images_walking_the_fs() {
         let (mut k, tid) = kernel_with_frameworks(DeviceProfile::nexus7());
         let stats =
-            run_dyld(&mut k, tid, &FrameworkSet::app_default_deps())
-                .unwrap();
+            run_dyld(&mut k, tid, &FrameworkSet::app_default_deps()).unwrap();
         assert_eq!(stats.images, FRAMEWORK_COUNT as u32);
         assert_eq!(stats.fs_opens, FRAMEWORK_COUNT as u32);
         assert!(!stats.used_shared_cache);
@@ -182,12 +180,9 @@ mod tests {
         let (mut k_fast, tid_fast) =
             kernel_with_frameworks(DeviceProfile::ipad_mini());
         let t0 = k_fast.clock.now_ns();
-        let stats = run_dyld(
-            &mut k_fast,
-            tid_fast,
-            &FrameworkSet::app_default_deps(),
-        )
-        .unwrap();
+        let stats =
+            run_dyld(&mut k_fast, tid_fast, &FrameworkSet::app_default_deps())
+                .unwrap();
         let cache_cost = k_fast.clock.now_ns() - t0;
 
         assert!(stats.used_shared_cache);

@@ -219,10 +219,7 @@ mod tests {
         let (mut k, tid) = setup();
         let bin = ElfBuilder::executable("x").needs("libnope.so").build();
         k.vfs.write_file("/system/bin/x", bin.to_bytes()).unwrap();
-        assert_eq!(
-            k.sys_exec(tid, "/system/bin/x", &[]),
-            Err(Errno::ENOENT)
-        );
+        assert_eq!(k.sys_exec(tid, "/system/bin/x", &[]), Err(Errno::ENOENT));
     }
 
     #[test]
@@ -231,10 +228,7 @@ mod tests {
         let mut bin = ElfBuilder::executable("x").build();
         bin.machine = 62; // x86-64
         k.vfs.write_file("/system/bin/x", bin.to_bytes()).unwrap();
-        assert_eq!(
-            k.sys_exec(tid, "/system/bin/x", &[]),
-            Err(Errno::ENOEXEC)
-        );
+        assert_eq!(k.sys_exec(tid, "/system/bin/x", &[]), Err(Errno::ENOEXEC));
     }
 
     #[test]

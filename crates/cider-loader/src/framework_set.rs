@@ -141,11 +141,9 @@ impl FrameworkSet {
         // Private frameworks fill the rest of the 115, distributed as
         // dependencies of the big public frameworks (UIKit really does
         // pull in dozens of private frameworks).
-        let named_total: u64 =
-            libs.iter().map(|l| l.vmsize).sum::<u64>();
+        let named_total: u64 = libs.iter().map(|l| l.vmsize).sum::<u64>();
         let fillers = FRAMEWORK_COUNT - libs.len();
-        let filler_size =
-            (TOTAL_MAPPED_BYTES - named_total) / fillers as u64;
+        let filler_size = (TOTAL_MAPPED_BYTES - named_total) / fillers as u64;
         let hosts = [fw("UIKit"), fw("Foundation"), fw("QuartzCore")];
         let mut filler_paths = Vec::new();
         for i in 0..fillers {

@@ -190,8 +190,7 @@ impl MachO {
             return Err(Errno::ENOEXEC);
         }
         let cpu_type = r.u32()?;
-        let filetype =
-            FileType::from_raw(r.u32()?).ok_or(Errno::ENOEXEC)?;
+        let filetype = FileType::from_raw(r.u32()?).ok_or(Errno::ENOEXEC)?;
         let ncmds = r.u32()?;
         if ncmds > 10_000 {
             return Err(Errno::ENOEXEC);
@@ -210,9 +209,7 @@ impl MachO {
                     entry_symbol: r.string()?,
                 },
                 0x21 => LoadCommand::EncryptionInfo { cryptid: r.u32()? },
-                0x1b => LoadCommand::Uuid {
-                    uuid: r.bytes16()?,
-                },
+                0x1b => LoadCommand::Uuid { uuid: r.bytes16()? },
                 _ => return Err(Errno::ENOEXEC),
             };
             commands.push(cmd);
@@ -382,10 +379,7 @@ mod tests {
         let parsed = MachO::parse(&bytes).unwrap();
         assert_eq!(parsed, m);
         assert_eq!(parsed.entry_symbol(), Some("main"));
-        assert_eq!(
-            parsed.dylib_deps(),
-            vec!["/usr/lib/libSystem.B.dylib"]
-        );
+        assert_eq!(parsed.dylib_deps(), vec!["/usr/lib/libSystem.B.dylib"]);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Fixed-capacity ring buffer of trace events.
+
+use crate::event::TraceEvent;
+
+/// A bounded event trace. When full, the oldest events are overwritten
+/// (like `ktrace`/`ftrace` ring buffers), and the drop count records how
+/// much history was lost.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    slots: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the next slot to write (wraps).
+    head: usize,
+    /// Events recorded over the buffer's lifetime.
+    total: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity — a zero-sized trace is a disabled sink,
+    /// not an empty buffer.
+    pub fn new(capacity: usize) -> TraceBuffer {
+        assert!(capacity > 0, "trace buffer needs capacity");
+        TraceBuffer {
+            slots: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Events recorded over the buffer's lifetime (including dropped).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.slots.len() as u64
+    }
+
+    /// Appends an event, overwriting the oldest when full.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.total += 1;
+        if self.slots.len() < self.capacity {
+            self.slots.push(event);
+        } else {
+            self.slots[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Iterates retained events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (wrapped, linear) = self.slots.split_at(self.head);
+        linear.iter().chain(wrapped.iter())
+    }
+
+    /// Copies the retained events oldest-first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.iter().cloned().collect()
+    }
+
+    /// Clears all retained events and counters.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.head = 0;
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TraceContext};
+
+    fn mark(ts: u64) -> TraceEvent {
+        TraceEvent {
+            ctx: TraceContext::kernel(ts),
+            kind: EventKind::Mark {
+                label: format!("m{ts}").into(),
+            },
+        }
+    }
+
+    fn timestamps(b: &TraceBuffer) -> Vec<u64> {
+        b.iter().map(|e| e.ctx.ts_ns).collect()
+    }
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut b = TraceBuffer::new(4);
+        for ts in 0..4 {
+            b.push(mark(ts));
+        }
+        assert_eq!(timestamps(&b), vec![0, 1, 2, 3]);
+        assert_eq!(b.dropped(), 0);
+
+        // Two more: 0 and 1 fall off.
+        b.push(mark(4));
+        b.push(mark(5));
+        assert_eq!(timestamps(&b), vec![2, 3, 4, 5]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.total_recorded(), 6);
+        assert_eq!(b.dropped(), 2);
+    }
+
+    #[test]
+    fn wraps_many_times() {
+        let mut b = TraceBuffer::new(3);
+        for ts in 0..100 {
+            b.push(mark(ts));
+        }
+        assert_eq!(timestamps(&b), vec![97, 98, 99]);
+        assert_eq!(b.dropped(), 97);
+    }
+
+    #[test]
+    fn exact_capacity_boundary() {
+        let mut b = TraceBuffer::new(2);
+        b.push(mark(10));
+        assert_eq!(timestamps(&b), vec![10]);
+        b.push(mark(11));
+        assert_eq!(timestamps(&b), vec![10, 11]);
+        b.push(mark(12));
+        assert_eq!(timestamps(&b), vec![11, 12]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut b = TraceBuffer::new(2);
+        b.push(mark(1));
+        b.push(mark(2));
+        b.push(mark(3));
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.dropped(), 0);
+        b.push(mark(9));
+        assert_eq!(timestamps(&b), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = TraceBuffer::new(0);
+    }
+}

@@ -26,7 +26,9 @@ pub struct ZoneHandle(pub u32);
 
 /// The foreign kernel's notion of a thread (`thread_t`). The duct-tape
 /// adapter maps these to domestic `Tid`s.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+)]
 pub struct ForeignThread(pub u64);
 
 /// An XNU wait event (`event_t`) — an opaque address threads sleep on.

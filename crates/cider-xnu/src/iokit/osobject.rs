@@ -122,7 +122,12 @@ impl OsArena {
     /// # Panics
     ///
     /// Panics if `dict` is not a dictionary.
-    pub fn dict_set(&mut self, dict: OsId, key: impl Into<String>, value: OsId) {
+    pub fn dict_set(
+        &mut self,
+        dict: OsId,
+        key: impl Into<String>,
+        value: OsId,
+    ) {
         self.retain(value);
         let old = {
             let (v, _) = self

@@ -161,7 +161,8 @@ impl IoKit {
     pub fn new() -> IoKit {
         let mut k = IoKit::default();
         let props = k.arena.dictionary();
-        let root = k.insert_entry("IOPlatformExpertDevice", "J33", props, None);
+        let root =
+            k.insert_entry("IOPlatformExpertDevice", "J33", props, None);
         k.root = Some(root);
         k
     }
@@ -453,10 +454,7 @@ mod tests {
         // The driver entry is a child of the nub.
         let e = k.entry(nub).unwrap();
         assert_eq!(e.children.len(), 1);
-        assert_eq!(
-            k.entry(e.children[0]).unwrap().class_name,
-            "TestDriver"
-        );
+        assert_eq!(k.entry(e.children[0]).unwrap().class_name, "TestDriver");
         assert_eq!(k.property_string(nub, "IOLinuxDevice"), Some("/dev/fb0"));
     }
 
@@ -502,7 +500,8 @@ mod tests {
         let mut k = iokit_with_driver();
         let nub = k.publish_nub("IODisplayNub", "fb0", &[]);
         let conn = k.service_open(nub).unwrap();
-        let (out, _) = k.connect_call_method(conn, 0, &[2, 3, 4], &[]).unwrap();
+        let (out, _) =
+            k.connect_call_method(conn, 0, &[2, 3, 4], &[]).unwrap();
         assert_eq!(out, vec![9]);
         assert_eq!(
             k.connect_call_method(conn, 99, &[], &[]).unwrap_err(),

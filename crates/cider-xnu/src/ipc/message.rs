@@ -141,6 +141,13 @@ pub struct ReceivedMessage {
     pub ool: Vec<Bytes>,
 }
 
+impl ReceivedMessage {
+    /// Total inline + out-of-line payload size.
+    pub fn size(&self) -> usize {
+        self.body.len() + self.ool.iter().map(|b| b.len()).sum::<usize>()
+    }
+}
+
 /// Well-known notification message ids.
 pub mod notify_ids {
     /// `MACH_NOTIFY_PORT_DELETED`.

@@ -102,10 +102,8 @@ impl IpcSpace {
         if e.right == RightType::Receive {
             return Err(KernReturn::InvalidRight);
         }
-        let entry = self
-            .names
-            .get_mut(&name.as_raw())
-            .expect("looked up above");
+        let entry =
+            self.names.get_mut(&name.as_raw()).expect("looked up above");
         entry.urefs -= 1;
         if entry.urefs == 0 {
             self.names.remove(&name.as_raw());

@@ -116,10 +116,8 @@ impl MachIpc {
         api: &mut dyn ForeignKernelApi,
         space: SpaceId,
     ) -> KernResult<()> {
-        let entries: Vec<(PortName, crate::ipc::space::NameEntry)> = self
-            .space(space)?
-            .iter()
-            .collect();
+        let entries: Vec<(PortName, crate::ipc::space::NameEntry)> =
+            self.space(space)?.iter().collect();
         for (name, entry) in entries {
             match entry.right {
                 RightType::Receive => {
@@ -726,9 +724,7 @@ impl MachIpc {
                 .insert_new(r.port, RightType::DeadName));
         }
         Ok(match r.kind {
-            TransitKind::Send => {
-                self.space_mut(space)?.add_send_right(r.port)
-            }
+            TransitKind::Send => self.space_mut(space)?.add_send_right(r.port),
             TransitKind::SendOnce => {
                 self.space_mut(space)?.add_send_once_right(r.port)
             }
@@ -791,11 +787,7 @@ impl MachIpc {
             }
             for p in self.ports.values() {
                 for m in p.msgs.iter() {
-                    for r in m
-                        .ports
-                        .iter()
-                        .chain(m.reply.as_ref())
-                    {
+                    for r in m.ports.iter().chain(m.reply.as_ref()) {
                         if r.port == port.id {
                             match r.kind {
                                 TransitKind::Send => send += 1,
@@ -904,8 +896,7 @@ mod tests {
         let chan = ipc.port_allocate(&mut api, a).unwrap();
         let b_recv = ipc.port_allocate(&mut api, b).unwrap();
         let b_send_in_b = ipc.make_send(b, b_recv).unwrap();
-        let b_send_in_a =
-            ipc.copy_send_to_space(b, b_send_in_b, a).unwrap();
+        let b_send_in_a = ipc.copy_send_to_space(b, b_send_in_b, a).unwrap();
 
         let mut msg = UserMessage::simple(b_send_in_a, 1, &b""[..]);
         msg.ports.push(PortDescriptor {
@@ -973,7 +964,8 @@ mod tests {
                 .unwrap_err(),
             KernReturn::SendTooLarge
         );
-        ipc.set_qlimit(s, recv, crate::ipc::port::QLIMIT_MAX).unwrap();
+        ipc.set_qlimit(s, recv, crate::ipc::port::QLIMIT_MAX)
+            .unwrap();
         ipc.msg_send(&mut api, s, UserMessage::simple(send, 99, &b""[..]))
             .unwrap();
         ipc.check_invariants();
@@ -1005,10 +997,8 @@ mod tests {
         // Arm: make a send-once right targeting the notify port.
         let entry = ipc.space(srv).unwrap().lookup(notify).unwrap();
         ipc.port_mut(entry.port).unwrap().sorights += 1;
-        let sonce = ipc
-            .space_mut(srv)
-            .unwrap()
-            .add_send_once_right(entry.port);
+        let sonce =
+            ipc.space_mut(srv).unwrap().add_send_once_right(entry.port);
         ipc.arm_no_senders(srv, service, sonce).unwrap();
 
         // One send right exists, then is dropped.
@@ -1042,12 +1032,8 @@ mod tests {
         let s = ipc.create_space();
         let recv = ipc.port_allocate(&mut api, s).unwrap();
         let send = ipc.make_send(s, recv).unwrap();
-        ipc.msg_send(
-            &mut api,
-            s,
-            UserMessage::simple(send, 1, &b""[..]),
-        )
-        .unwrap();
+        ipc.msg_send(&mut api, s, UserMessage::simple(send, 1, &b""[..]))
+            .unwrap();
         // CopySend: the sender still holds its right.
         assert!(ipc.space(s).unwrap().lookup(send).is_ok());
         ipc.check_invariants();
@@ -1059,12 +1045,8 @@ mod tests {
         let s = ipc.create_space();
         let recv = ipc.port_allocate(&mut api, s).unwrap();
         let send = ipc.make_send(s, recv).unwrap();
-        ipc.msg_send(
-            &mut api,
-            s,
-            UserMessage::simple(send, 1, &b"xyz"[..]),
-        )
-        .unwrap();
+        ipc.msg_send(&mut api, s, UserMessage::simple(send, 1, &b"xyz"[..]))
+            .unwrap();
         ipc.msg_receive(&mut api, s, recv).unwrap();
         assert_eq!(ipc.stats.msgs_sent, 1);
         assert_eq!(ipc.stats.msgs_received, 1);

@@ -136,7 +136,10 @@ impl PsynchState {
 
     /// Waiters parked on the mutex at `addr`.
     pub fn mutex_waiters(&self, addr: u64) -> usize {
-        self.mutexes.get(&addr).map(|m| m.waiters.len()).unwrap_or(0)
+        self.mutexes
+            .get(&addr)
+            .map(|m| m.waiters.len())
+            .unwrap_or(0)
     }
 
     // ------------------------------------------------------------------
@@ -201,7 +204,10 @@ impl PsynchState {
 
     /// Waiters parked on the condvar at `addr`.
     pub fn cv_waiters(&self, addr: u64) -> usize {
-        self.condvars.get(&addr).map(|c| c.waiters.len()).unwrap_or(0)
+        self.condvars
+            .get(&addr)
+            .map(|c| c.waiters.len())
+            .unwrap_or(0)
     }
 
     // ------------------------------------------------------------------

@@ -85,7 +85,8 @@ fn main() {
             }
         }
         // Each keypress redraws the display through the GPU.
-        sys.diplomat_call(tid, lib, "glClear", &[0x4000]).expect("gl");
+        sys.diplomat_call(tid, lib, "glClear", &[0x4000])
+            .expect("gl");
         sys.diplomat_call(tid, lib, "glDrawArrays", &[4, 0, 240])
             .expect("gl");
         sys.diplomat_call(tid, lib, "EAGLContext_presentRenderbuffer", &[])

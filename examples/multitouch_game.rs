@@ -84,8 +84,7 @@ fn main() {
             cp.deliver_input(&mut sys, event).expect("input");
             // The app drains its Mach event port and feeds the
             // recognisers, then the render thread draws a frame.
-            while let Ok(ev) =
-                cp.bridge.receive_app_event(&mut sys, input_tid)
+            while let Ok(ev) = cp.bridge.receive_app_event(&mut sys, input_tid)
             {
                 recognizer.feed(&ev);
             }

@@ -58,8 +58,7 @@ fn main() {
             0
         }),
     );
-    let mut cp =
-        CiderPress::launch(&mut sys, &gfx, &binary).expect("launch");
+    let mut cp = CiderPress::launch(&mut sys, &gfx, &binary).expect("launch");
     println!(
         "launched: app pid {} runs the {} persona",
         cp.app.0,

@@ -1,0 +1,79 @@
+//! Trace viewer: run a traced Figure-5 workload and inspect the result.
+//!
+//! ```text
+//! cargo run --example trace_viewer
+//! ```
+//!
+//! Boots two beds — vanilla Android and Cider running an iOS binary —
+//! with the cider-trace subsystem enabled, drives the syscall/signal
+//! and process microbenchmarks on each, then:
+//!
+//! * prints the tail of the typed event stream (virtual-clock stamped);
+//! * prints the per-persona syscall latency histograms side by side,
+//!   making the paper's persona-check overhead directly visible;
+//! * writes a Chrome `trace_event` JSON file (load in `chrome://tracing`
+//!   or Perfetto) and flamegraph folded stacks under `target/trace/`.
+//!
+//! Tracing never charges the virtual clock, so every number here is
+//! identical to an untraced run.
+
+use std::fs;
+use std::path::Path;
+
+use cider_bench::config::{SystemConfig, TestBed};
+use cider_bench::fig5::{run_micro, Micro};
+use cider_trace::{chrome, flame, TraceSnapshot};
+
+fn drive(config: SystemConfig) -> TraceSnapshot {
+    let mut bed = TestBed::new_traced(config);
+    let (pid, tid) = bed.spawn_measured().expect("bench binary installed");
+    for micro in [
+        Micro::NullSyscall,
+        Micro::Read,
+        Micro::Write,
+        Micro::OpenClose,
+        Micro::SignalHandler,
+        Micro::ForkExit,
+    ] {
+        let _ = run_micro(&mut bed, pid, tid, micro);
+    }
+    bed.trace_snapshot().expect("tracing enabled")
+}
+
+fn main() {
+    let vanilla = drive(SystemConfig::VanillaAndroid);
+    let cider_ios = drive(SystemConfig::CiderIos);
+
+    println!("== event stream (Cider iOS, last 12 of {}) ==", {
+        cider_ios.events.len()
+    });
+    for e in cider_ios.events.iter().rev().take(12).rev() {
+        println!("{e}");
+    }
+
+    println!("\n== per-persona syscall latency (log2 histograms) ==");
+    println!("vanilla Android (domestic persona):");
+    for (name, h) in vanilla.metrics.histograms_with_prefix("syscall/") {
+        println!("  {name:<36} {h}");
+    }
+    println!("Cider running the iOS binary (foreign persona):");
+    for (name, h) in cider_ios.metrics.histograms_with_prefix("syscall/") {
+        println!("  {name:<36} {h}");
+    }
+
+    println!("\n== mechanism counters (Cider iOS) ==");
+    for prefix in ["kernel/", "signal/", "dyld/", "mach/", "persona/"] {
+        for (name, v) in cider_ios.metrics.counters_with_prefix(prefix) {
+            println!("  {name:<36} {v}");
+        }
+    }
+
+    let dir = Path::new("target").join("trace");
+    fs::create_dir_all(&dir).expect("create target/trace");
+    let json = dir.join("trace_viewer.trace.json");
+    let folded = dir.join("trace_viewer.folded");
+    fs::write(&json, chrome::export(&cider_ios)).expect("write json");
+    fs::write(&folded, flame::export(&cider_ios)).expect("write folded");
+    println!("\nwrote {}", json.display());
+    println!("wrote {}  (pipe into flamegraph.pl)", folded.display());
+}

@@ -54,7 +54,7 @@ fn passmark_is_bit_identical_across_runs() {
                 .to_bits(),
             );
         }
-        values.push(bed.sys.kernel.clock.now_ns() as u64);
+        values.push(bed.sys.kernel.clock.now_ns());
         values
     };
     assert_eq!(run(), run());

@@ -26,8 +26,8 @@ fn installed_app(sys: &mut CiderSystem) -> (Launcher, String, Ipa) {
     )
     .expect("decrypt");
     let mut launcher = Launcher::new();
-    let path = install_ipa_with_shortcut(sys, &mut launcher, &ipa)
-        .expect("install");
+    let path =
+        install_ipa_with_shortcut(sys, &mut launcher, &ipa).expect("install");
     (launcher, path, ipa)
 }
 
@@ -99,11 +99,8 @@ fn android_and_ios_apps_coexist() {
     let prog = cider_apps::workloads::integer_program(200, 5);
     let mut vm = cider_apps::vm::Vm::new();
     let vm_result = vm.run(&mut sys.kernel, &prog).unwrap();
-    let native = cider_apps::workloads::integer_native(
-        &mut sys.kernel,
-        200,
-        5,
-    );
+    let native =
+        cider_apps::workloads::integer_native(&mut sys.kernel, 200, 5);
     assert_eq!(vm_result.value, native);
 
     assert_eq!(
@@ -209,9 +206,7 @@ fn accelerometer_samples_reach_the_app() {
     }
     let mut samples = 0;
     while let Ok(ev) = cp.bridge.receive_app_event(&mut sys, tid) {
-        let cider_input::events::IosHidEvent::Accelerometer {
-            z, ..
-        } = ev
+        let cider_input::events::IosHidEvent::Accelerometer { z, .. } = ev
         else {
             panic!("expected accelerometer, got {ev:?}");
         };

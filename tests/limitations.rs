@@ -105,7 +105,8 @@ fn webkit_multithreaded_gl_is_hazardous() {
     sys.diplomat_call(t2, lib, "EAGLContext_setCurrentContext", &[ctx2])
         .unwrap();
     // ...so thread 1's draw lands in thread 2's context.
-    sys.diplomat_call(t1, lib, "glDrawArrays", &[4, 0, 30]).unwrap();
+    sys.diplomat_call(t1, lib, "glDrawArrays", &[4, 0, 30])
+        .unwrap();
     {
         let g = gfx.borrow();
         let c1 = g
@@ -151,10 +152,7 @@ fn ios_security_model_is_not_mapped() {
             cider_abi::types::OpenFlags::RDONLY,
         )
         .expect("no runtime entitlement check exists");
-    assert_eq!(
-        sys.kernel.sys_read(other_tid, fd, 16).unwrap(),
-        b"secret"
-    );
+    assert_eq!(sys.kernel.sys_read(other_tid, fd, 16).unwrap(), b"secret");
 }
 
 #[test]

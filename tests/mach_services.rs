@@ -30,8 +30,9 @@ fn booted_with_app() -> (CiderSystem, cider_abi::ids::Pid, cider_abi::ids::Tid)
         .vfs
         .write_file_overlay("/Applications/ms.app/ms", b.build().to_bytes())
         .unwrap();
-    let (pid, tid) =
-        sys.launch_ios_app("/Applications/ms.app/ms", &["ms"]).unwrap();
+    let (pid, tid) = sys
+        .launch_ios_app("/Applications/ms.app/ms", &["ms"])
+        .unwrap();
     (sys, pid, tid)
 }
 
@@ -47,15 +48,13 @@ fn mach_trap(
 #[test]
 fn task_self_and_reply_port_traps() {
     let (mut sys, _, tid) = booted_with_app();
-    let r1 = mach_trap(&mut sys, tid, MachTrap::TaskSelfTrap, SyscallArgs::none());
-    let r2 = mach_trap(&mut sys, tid, MachTrap::TaskSelfTrap, SyscallArgs::none());
+    let r1 =
+        mach_trap(&mut sys, tid, MachTrap::TaskSelfTrap, SyscallArgs::none());
+    let r2 =
+        mach_trap(&mut sys, tid, MachTrap::TaskSelfTrap, SyscallArgs::none());
     assert_eq!(r1.reg, r2.reg, "task self port is stable");
-    let reply = mach_trap(
-        &mut sys,
-        tid,
-        MachTrap::MachReplyPort,
-        SyscallArgs::none(),
-    );
+    let reply =
+        mach_trap(&mut sys, tid, MachTrap::MachReplyPort, SyscallArgs::none());
     assert_ne!(reply.reg, r1.reg);
     assert!(reply.reg > 0);
 }

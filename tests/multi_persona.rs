@@ -24,7 +24,9 @@ fn booted() -> CiderSystem {
     sys
 }
 
-fn launch_ios(sys: &mut CiderSystem) -> (cider_abi::ids::Pid, cider_abi::ids::Tid) {
+fn launch_ios(
+    sys: &mut CiderSystem,
+) -> (cider_abi::ids::Pid, cider_abi::ids::Tid) {
     let mut b = MachOBuilder::executable("app_main");
     for dep in FrameworkSet::app_default_deps() {
         b = b.depends_on(&dep);
@@ -33,7 +35,8 @@ fn launch_ios(sys: &mut CiderSystem) -> (cider_abi::ids::Pid, cider_abi::ids::Ti
         .vfs
         .write_file_overlay("/Applications/mp.app/mp", b.build().to_bytes())
         .unwrap();
-    sys.launch_ios_app("/Applications/mp.app/mp", &["mp"]).unwrap()
+    sys.launch_ios_app("/Applications/mp.app/mp", &["mp"])
+        .unwrap()
 }
 
 #[test]
@@ -54,7 +57,10 @@ fn one_process_two_simultaneous_personas() {
     let rf = sys.trap(t_foreign, xnu_getpid, &SyscallArgs::none());
     let rd = sys.trap(t_domestic, linux_getpid, &SyscallArgs::none());
     assert_eq!(rf.reg, rd.reg, "same process, same pid");
-    assert_eq!(persona_of(&sys.kernel, t_foreign).unwrap(), Persona::Foreign);
+    assert_eq!(
+        persona_of(&sys.kernel, t_foreign).unwrap(),
+        Persona::Foreign
+    );
     assert_eq!(
         persona_of(&sys.kernel, t_domestic).unwrap(),
         Persona::Domestic
@@ -131,8 +137,7 @@ fn xnu_error_convention_on_the_wire() {
     // EAGAIN-class errors renumber: read from an empty pipe.
     let (rfd, _w) = sys.kernel.sys_pipe(tid).unwrap();
     let read_nr = XnuTrap::Unix(XnuSyscall::Read).encode();
-    let args =
-        SyscallArgs::regs([rfd.as_raw() as i64, 0, 1, 0, 0, 0, 0]);
+    let args = SyscallArgs::regs([rfd.as_raw() as i64, 0, 1, 0, 0, 0, 0]);
     let r = sys.trap(tid, read_nr, &args);
     assert!(r.flags.carry);
     assert_eq!(r.reg, 35, "EAGAIN is 35 on XNU, not Linux's 11");
@@ -164,11 +169,7 @@ fn posix_spawn_via_clone_and_exec() {
     sys.kernel.register_program(
         "hello_world",
         std::rc::Rc::new(|k, tid| {
-            let _ = k.sys_write(
-                tid,
-                cider_abi::ids::Fd::STDOUT,
-                b"spawned\n",
-            );
+            let _ = k.sys_write(tid, cider_abi::ids::Fd::STDOUT, b"spawned\n");
             0
         }),
     );

@@ -24,13 +24,36 @@ use proptest::prelude::*;
 /// every generated sequence is executable.
 #[derive(Debug, Clone)]
 enum IpcOp {
-    AllocatePort { space: u8 },
-    MakeSend { space: u8, pick: u8 },
-    CopySend { from: u8, pick: u8, to: u8 },
-    Deallocate { space: u8, pick: u8 },
-    DestroyReceive { space: u8, pick: u8 },
-    Send { space: u8, pick: u8, with_reply: bool, carry_right: bool },
-    Receive { space: u8, pick: u8 },
+    AllocatePort {
+        space: u8,
+    },
+    MakeSend {
+        space: u8,
+        pick: u8,
+    },
+    CopySend {
+        from: u8,
+        pick: u8,
+        to: u8,
+    },
+    Deallocate {
+        space: u8,
+        pick: u8,
+    },
+    DestroyReceive {
+        space: u8,
+        pick: u8,
+    },
+    Send {
+        space: u8,
+        pick: u8,
+        with_reply: bool,
+        carry_right: bool,
+    },
+    Receive {
+        space: u8,
+        pick: u8,
+    },
 }
 
 fn ipc_op_strategy() -> impl Strategy<Value = IpcOp> {
@@ -253,10 +276,7 @@ fn user_message_strategy() -> impl Strategy<Value = UserMessage> {
         any::<i32>(),
         prop::collection::vec(any::<u8>(), 0..128),
         prop::collection::vec((1u32..1000, 0u8..6), 0..4),
-        prop::collection::vec(
-            prop::collection::vec(any::<u8>(), 0..64),
-            0..3,
-        ),
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..3),
     )
         .prop_map(|(dest, msg_id, body, ports, ool)| {
             let disp = |d: u8| match d {
@@ -423,5 +443,59 @@ proptest! {
                 prop_assert_eq!(l.to_xnu(), Some(x));
             }
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Tracing is virtually free: enabling the trace subsystem must not
+// change a single virtual-time measurement or syscall result.
+// ----------------------------------------------------------------------
+
+use cider_bench::config::{SystemConfig, TestBed};
+use cider_bench::fig5::{self, Micro};
+
+fn traced_micro_strategy() -> impl Strategy<Value = Micro> {
+    prop_oneof![
+        Just(Micro::NullSyscall),
+        Just(Micro::Read),
+        Just(Micro::Write),
+        Just(Micro::OpenClose),
+        Just(Micro::SignalHandler),
+        Just(Micro::ForkExit),
+        Just(Micro::Pipe),
+        (1usize..64).prop_map(Micro::Select),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn tracing_never_perturbs_virtual_time(
+        ops in prop::collection::vec(traced_micro_strategy(), 1..10),
+        ios in any::<bool>(),
+    ) {
+        let config = if ios {
+            SystemConfig::CiderIos
+        } else {
+            SystemConfig::CiderAndroid
+        };
+        let mut plain = TestBed::new(config);
+        let mut traced = TestBed::new_traced(config);
+        let (plain_pid, plain_tid) = plain.spawn_measured().unwrap();
+        let (traced_pid, traced_tid) = traced.spawn_measured().unwrap();
+        // Always end on a null syscall so the traced bed is guaranteed
+        // to have crossed the instrumented trap path at least once.
+        for &op in ops.iter().chain([Micro::NullSyscall].iter()) {
+            let a = fig5::run_micro(&mut plain, plain_pid, plain_tid, op);
+            let b = fig5::run_micro(&mut traced, traced_pid, traced_tid, op);
+            prop_assert_eq!(a, b, "{:?} diverged under tracing", op);
+        }
+        prop_assert_eq!(
+            plain.sys.kernel.clock.now_ns(),
+            traced.sys.kernel.clock.now_ns()
+        );
+        // The traced bed really was recording all along.
+        let snap = traced.trace_snapshot().unwrap();
+        prop_assert!(snap.metrics.counter("kernel/traps") > 0);
+        prop_assert!(!snap.events.is_empty());
     }
 }

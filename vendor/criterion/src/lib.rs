@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal walltime benchmark harness with the API subset the
+//! Cider benches use: [`Criterion`], `benchmark_group`, `bench_function`,
+//! `Bencher::iter`, and `final_summary`. Results print as
+//! `group/name  median  (min .. max)` per-iteration times. There is no
+//! statistical analysis, plotting, or baseline comparison.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line settings (only a name substring filter is
+    /// supported: any bare trailing argument).
+    pub fn configure_from_args(mut self) -> Criterion {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--bench" | "--test" => {}
+                s if s.starts_with("--") => {
+                    // Unknown criterion flag: skip it and its value when
+                    // one follows in `--flag value` form.
+                    if !s.contains('=') {
+                        let _ = it.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        self.run_one(&name, f);
+        self
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&mut self) {
+        println!("(vendored criterion: walltime medians, no analysis)");
+    }
+
+    fn run_one<F>(&self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        let mut ns: Vec<f64> = b.samples;
+        if ns.is_empty() {
+            println!("{name:<60} (no samples)");
+            return;
+        }
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let median = ns[ns.len() / 2];
+        println!(
+            "{name:<60} {:>12} ({} .. {})",
+            format_ns(median),
+            format_ns(ns[0]),
+            format_ns(ns[ns.len() - 1]),
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.1}ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; collects timing samples.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, auto-scaling iterations per sample so each sample is
+    /// long enough to measure.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warm-up: run until the warm-up budget elapses, and estimate
+        // the per-iteration cost while doing so.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter_ns = (warm_start.elapsed().as_nanos() as f64
+            / warm_iters.max(1) as f64)
+            .max(1.0);
+
+        // Pick iterations per sample so the whole measurement roughly
+        // fits the measurement budget.
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let iters = ((budget_ns / self.sample_size as f64) / per_iter_ns)
+            .clamp(1.0, 1e7) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3))
+    }
+
+    #[test]
+    fn bench_runs_and_collects_samples() {
+        let mut c = fast();
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = fast();
+        c.filter = Some("nomatch".into());
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert_eq!(format_ns(12.0), "12.0ns");
+        assert_eq!(format_ns(1500.0), "1.500us");
+        assert_eq!(format_ns(2.5e6), "2.500ms");
+        assert_eq!(format_ns(3.0e9), "3.000s");
+    }
+}

@@ -1,0 +1,140 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII with a sprinkling of wider code points, always
+        // valid chars.
+        match rng.below(10) {
+            0 => char::from_u32(0x80 + rng.next_u32() % 0x700)
+                .unwrap_or('\u{fffd}'),
+            _ => (0x20 + rng.below(0x5f) as u8) as char,
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mantissa = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let exp = rng.range_inclusive(0, 40) as i32 - 20;
+        let sign = if rng.bool() { 1.0 } else { -1.0 };
+        sign * mantissa * 2f64.powi(exp)
+    }
+}
+
+macro_rules! tuple_arbitrary {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_arbitrary!(A);
+tuple_arbitrary!(A, B);
+tuple_arbitrary!(A, B, C);
+tuple_arbitrary!(A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut rng = TestRng::new(11);
+        let s = any::<u8>();
+        let vals: Vec<u8> = (0..64).map(|_| s.generate(&mut rng)).collect();
+        let distinct: std::collections::BTreeSet<_> = vals.iter().collect();
+        assert!(distinct.len() > 16, "{distinct:?}");
+    }
+
+    #[test]
+    fn floats_are_finite() {
+        let mut rng = TestRng::new(12);
+        for _ in 0..100 {
+            assert!(f64::arbitrary(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn chars_are_valid() {
+        let mut rng = TestRng::new(13);
+        for _ in 0..100 {
+            let c = char::arbitrary(&mut rng);
+            let mut buf = [0u8; 4];
+            c.encode_utf8(&mut buf);
+        }
+    }
+}

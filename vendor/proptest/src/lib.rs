@@ -1,0 +1,139 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small, fully deterministic property-testing harness with the
+//! same surface the repository's property tests use: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map`, `any::<T>()`, integer-range and
+//! tuple strategies, `prop::collection::vec`, simple regex string
+//! strategies (character classes with `{m,n}` repetition), `prop_oneof!`,
+//! and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - Generation is seeded from the test name, so every run of every test
+//!   sees the same case sequence (the repository's determinism invariant
+//!   extends to its test suite).
+//! - There is no shrinking; a failing case prints its inputs verbatim.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod rng;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Defines property tests.
+///
+/// Supported grammar (the subset of real proptest used here):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..10, v in prop::collection::vec(any::<u8>(), 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::Config::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    config,
+                    stringify!($name),
+                );
+                // Build each strategy once; generate per case.
+                $(let $arg = &($strat);)+
+                for case in 0..runner.cases() {
+                    let mut rng = runner.rng_for_case(case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            $arg, &mut rng,
+                        );
+                    )+
+                    let repr = || {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(&format!(
+                                "  {} = {:?}\n", stringify!($arg), $arg,
+                            ));
+                        )+
+                        s
+                    };
+                    let repr = repr();
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body }),
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest {}: case {}/{} failed with inputs:\n{}",
+                            stringify!($name),
+                            case + 1,
+                            runner.cases(),
+                            repr,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same value
+/// type. Weighted arms (`weight => strategy`) are accepted and the weights
+/// honoured.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,14 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::Config as ProptestConfig;
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+};
+
+/// The `prop::` module path used by `prop::collection::vec` etc.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}

@@ -1,0 +1,301 @@
+//! The [`Strategy`] trait and combinators.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::rng::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values, retrying until the predicate holds (up
+    /// to a bounded number of attempts).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+/// Allows `&S` wherever a strategy is expected.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 candidates", self.whence);
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+/// Uniform (or weighted) choice among strategies of one value type.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: Debug> Union<T> {
+    /// Uniform choice.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// Weighted choice.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weight arithmetic covers the full range")
+    }
+}
+
+// ----------------------------------------------------------------------
+// Integer / primitive range strategies.
+// ----------------------------------------------------------------------
+
+macro_rules! unsigned_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.range_inclusive(
+                    self.start as u64,
+                    (self.end - 1) as u64,
+                ) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_inclusive(
+                    *self.start() as u64,
+                    *self.end() as u64,
+                ) as $t
+            }
+        }
+    )*};
+}
+
+unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Bias into unsigned space to span negative ranges.
+                const BIAS: u64 = 1 << (<$t>::BITS - 1);
+                let lo = (self.start as i64 as u64).wrapping_add(BIAS);
+                let hi = ((self.end - 1) as i64 as u64).wrapping_add(BIAS);
+                (rng.range_inclusive(lo, hi).wrapping_sub(BIAS)) as i64 as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                const BIAS: u64 = 1 << (<$t>::BITS - 1);
+                let lo = (*self.start() as i64 as u64).wrapping_add(BIAS);
+                let hi = (*self.end() as i64 as u64).wrapping_add(BIAS);
+                (rng.range_inclusive(lo, hi).wrapping_sub(BIAS)) as i64 as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+// ----------------------------------------------------------------------
+// Tuple strategies.
+// ----------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let s = (-5i32..6).generate(&mut rng);
+            assert!((-5..6).contains(&s));
+            let i = (1u64..=3).generate(&mut rng);
+            assert!((1..=3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn map_and_union() {
+        let mut rng = TestRng::new(2);
+        let s = Union::new(vec![
+            (0u8..1).prop_map(|_| "lo").boxed(),
+            (0u8..1).prop_map(|_| "hi").boxed(),
+        ]);
+        let mut saw = (false, false);
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                "lo" => saw.0 = true,
+                _ => saw.1 = true,
+            }
+        }
+        assert_eq!(saw, (true, true));
+    }
+
+    #[test]
+    fn just_clones() {
+        let mut rng = TestRng::new(3);
+        assert_eq!(Just(41).generate(&mut rng), 41);
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut rng = TestRng::new(4);
+        for _ in 0..100 {
+            let v = (0u8..10)
+                .prop_filter("even", |v| v % 2 == 0)
+                .generate(&mut rng);
+            assert_eq!(v % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! String strategies from a small regex subset.
+//!
+//! A `&str` used as a strategy is interpreted as a pattern made of
+//! literal characters and character classes (`[a-c0-9_]`), each followed
+//! by an optional `{n}` or `{m,n}` repetition. This covers the patterns
+//! the repository's property tests use (e.g. `"[a-c]{1,3}"`); anything
+//! fancier panics with a clear message rather than silently generating
+//! the wrong language.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled string pattern.
+#[derive(Debug, Clone)]
+pub struct StringPattern {
+    pieces: Vec<Piece>,
+}
+
+fn parse(pattern: &str) -> StringPattern {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom =
+            match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = chars.next().unwrap_or_else(|| {
+                            panic!("unterminated class in {pattern:?}")
+                        });
+                        if lo == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars.next().unwrap_or_else(|| {
+                                panic!("unterminated range in {pattern:?}")
+                            });
+                            assert!(
+                                lo <= hi,
+                                "inverted range {lo}-{hi} in {pattern:?}"
+                            );
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                    Atom::Class(ranges)
+                }
+                '\\' => Atom::Literal(chars.next().unwrap_or_else(|| {
+                    panic!("dangling escape in {pattern:?}")
+                })),
+                '(' | ')' | '|' | '*' | '+' | '?' | '.' => panic!(
+                    "unsupported regex construct {c:?} in {pattern:?} \
+                 (the vendored proptest supports classes and literals \
+                 with {{m,n}} repetition only)"
+                ),
+                c => Atom::Literal(c),
+            };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for r in chars.by_ref() {
+                if r == '}' {
+                    break;
+                }
+                spec.push(r);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repeat min"),
+                    n.trim().parse().expect("repeat max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    StringPattern { pieces }
+}
+
+impl StringPattern {
+    fn generate_into(&self, rng: &mut TestRng, out: &mut String) {
+        for piece in &self.pieces {
+            let n = rng.range_inclusive(piece.min as u64, piece.max as u64);
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let span = (*hi as u64) - (*lo as u64) + 1;
+                            if pick < span {
+                                let c =
+                                    char::from_u32(*lo as u32 + pick as u32)
+                                        .expect(
+                                            "class range yields valid chars",
+                                        );
+                                out.push(c);
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Strategy for StringPattern {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        self.generate_into(rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Compiling per call keeps the API identical to real proptest
+        // (where `&str` itself is a strategy); patterns here are tiny.
+        parse(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::new(31);
+        for _ in 0..200 {
+            let s = "[a-c]{1,3}".generate(&mut rng);
+            assert!((1..=3).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_multi_range_classes() {
+        let mut rng = TestRng::new(32);
+        let s = "x[0-9a-f]{2}y".generate(&mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+        assert!(s[1..3]
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_uppercase()));
+    }
+
+    #[test]
+    fn exact_count() {
+        let mut rng = TestRng::new(33);
+        assert_eq!("[ab]{4}".generate(&mut rng).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn alternation_rejected() {
+        let mut rng = TestRng::new(34);
+        let _ = "a|b".generate(&mut rng);
+    }
+}
