@@ -57,12 +57,36 @@ fn dump_trace(config: SystemConfig, snap: &TraceSnapshot, dir: &Path) {
     for (name, h) in syscalls {
         println!("  {name:<40} {h}");
     }
-    for prefix in ["kernel/", "signal/", "mach/", "dyld/", "persona/", "gpu/"]
-    {
+    for prefix in [
+        "kernel/",
+        "signal/",
+        "mach/",
+        "dyld/",
+        "persona/",
+        "gpu/",
+        "fault/",
+        "recovery/",
+    ] {
         for (name, v) in &snap.metrics.counters {
             if name.starts_with(prefix) {
                 println!("  {name:<40} {v}");
             }
+        }
+    }
+    let ledger: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind.category(), "fault" | "recovery"))
+        .collect();
+    if !ledger.is_empty() {
+        println!("  fault/recovery ledger:");
+        for e in &ledger {
+            println!(
+                "    {:>14} ns  {:<9} {}",
+                e.ctx.ts_ns,
+                e.kind.category(),
+                e.kind.name()
+            );
         }
     }
 

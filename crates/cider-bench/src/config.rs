@@ -137,6 +137,24 @@ impl TestBed {
         self.sys.kernel.trace = cider_trace::TraceSink::enabled_default();
     }
 
+    /// Arms a fault plan on this bed. Installed after boot, so the bed
+    /// itself always comes up clean; only workload activity sees
+    /// injected faults.
+    pub fn enable_faults(&mut self, plan: cider_fault::FaultPlan) {
+        self.sys.kernel.faults = cider_fault::FaultLayer::with_plan(plan);
+    }
+
+    /// Boots a traced bed with a fault plan armed — the configuration
+    /// the fault-matrix CI job runs.
+    pub fn new_faulted(
+        config: SystemConfig,
+        plan: cider_fault::FaultPlan,
+    ) -> TestBed {
+        let mut bed = TestBed::new_traced(config);
+        bed.enable_faults(plan);
+        bed
+    }
+
     /// Snapshot of collected events and metrics; `None` when tracing
     /// is disabled.
     pub fn trace_snapshot(&self) -> Option<cider_trace::TraceSnapshot> {

@@ -90,11 +90,13 @@ impl BinaryLoader for MachOLoader {
         // foreign user-space code.
         attach_persona_ext(k, tid, Persona::Foreign, self.xnu_personality)?;
 
-        // Mach task initialisation.
+        // Mach task initialisation. Port exhaustion at exec time means
+        // the task cannot be built.
         with_state(k, |k2, st| {
             st.task_space(pid);
-            st.task_self_port(k2, tid, pid);
-        });
+            st.task_self_port(k2, tid, pid)
+        })
+        .map_err(|_| Errno::ENOMEM)?;
 
         // dyld: map the dependency closure and register image callbacks.
         let deps: Vec<String> =

@@ -6,14 +6,61 @@
 //! Mach IPC through the duct-taped subsystem.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use bytes::Bytes;
+use cider_abi::errno::Errno;
 use cider_abi::ids::{Pid, PortName, Tid};
 use cider_kernel::kernel::Kernel;
+use cider_kernel::process::ProcessState;
 use cider_xnu::ipc::{PortDescriptor, PortDisposition, UserMessage};
 use cider_xnu::kern_return::{KernResult, KernReturn};
 
 use crate::state::with_state;
+
+/// Typed failures of the service layer — what used to be `.expect()`
+/// panics during bootstrap. The supervisor turns most of these into
+/// respawn attempts instead of aborting the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A daemon process could not be spawned or configured.
+    Spawn(Errno),
+    /// A Mach IPC operation failed while wiring a daemon's ports.
+    Mach(KernReturn),
+    /// A daemon kept dying past the supervisor's restart budget.
+    RestartLimit {
+        /// Which daemon exhausted its budget.
+        daemon: &'static str,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Spawn(e) => write!(f, "daemon spawn: {e:?}"),
+            ServiceError::Mach(kr) => {
+                write!(f, "daemon bootstrap IPC: {kr:?}")
+            }
+            ServiceError::RestartLimit { daemon } => {
+                write!(f, "{daemon} exceeded its restart budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<Errno> for ServiceError {
+    fn from(e: Errno) -> ServiceError {
+        ServiceError::Spawn(e)
+    }
+}
+
+impl From<KernReturn> for ServiceError {
+    fn from(kr: KernReturn) -> ServiceError {
+        ServiceError::Mach(kr)
+    }
+}
 
 /// Message ids of the service protocols.
 pub mod msg_ids {
@@ -56,6 +103,13 @@ impl BootstrapRegistry {
         BootstrapRegistry::default()
     }
 
+    /// Forgets every registration (launchd died; its space — and every
+    /// send right the registry held — died with it).
+    pub fn clear(&mut self) {
+        self.names.clear();
+        self.launchd_space = None;
+    }
+
     /// Records a service's port (a send right held in launchd's space).
     pub fn register(&mut self, name: impl Into<String>, port: PortName) {
         self.names.insert(name.into(), port);
@@ -83,6 +137,87 @@ pub struct Daemon {
     pub port: PortName,
 }
 
+/// notifyd's bootstrap name.
+pub const NOTIFY_SERVICE: &str = "com.apple.system.notification_center";
+/// configd's bootstrap name.
+pub const CONFIG_SERVICE: &str = "com.apple.SystemConfiguration.configd";
+
+/// Restart bookkeeping for one supervised daemon.
+#[derive(Debug, Clone, Copy)]
+struct RestartState {
+    restarts: u32,
+    backoff_ns: u64,
+}
+
+/// launchd-style supervision policy: respawn dead daemons with capped
+/// exponential backoff charged against *virtual* time, giving up after
+/// a fixed restart budget.
+#[derive(Debug)]
+pub struct Supervisor {
+    /// The first respawn waits this long (virtual ns).
+    pub backoff_base_ns: u64,
+    /// The backoff doubles per death, saturating here.
+    pub backoff_cap_ns: u64,
+    /// Respawns allowed per daemon before giving up.
+    pub max_restarts: u32,
+    state: BTreeMap<&'static str, RestartState>,
+}
+
+impl Default for Supervisor {
+    fn default() -> Supervisor {
+        Supervisor::new()
+    }
+}
+
+impl Supervisor {
+    /// Default policy: 10 ms base, 320 ms cap, 8 restarts per daemon.
+    pub fn new() -> Supervisor {
+        Supervisor {
+            backoff_base_ns: 10_000_000,
+            backoff_cap_ns: 320_000_000,
+            max_restarts: 8,
+            state: BTreeMap::new(),
+        }
+    }
+
+    /// Respawns performed so far for a daemon.
+    pub fn restarts_of(&self, daemon: &str) -> u32 {
+        self.state.get(daemon).map_or(0, |s| s.restarts)
+    }
+
+    /// Charges the next backoff for `daemon` against virtual time,
+    /// doubling it for the following death, or fails once the restart
+    /// budget is exhausted.
+    fn charge_backoff(
+        &mut self,
+        k: &mut Kernel,
+        daemon: &'static str,
+    ) -> Result<(), ServiceError> {
+        let base = self.backoff_base_ns;
+        let cap = self.backoff_cap_ns;
+        let st = self.state.entry(daemon).or_insert(RestartState {
+            restarts: 0,
+            backoff_ns: base,
+        });
+        if st.restarts >= self.max_restarts {
+            return Err(ServiceError::RestartLimit { daemon });
+        }
+        st.restarts += 1;
+        let wait = st.backoff_ns;
+        st.backoff_ns = (st.backoff_ns * 2).min(cap);
+        k.charge_raw(wait);
+        Ok(())
+    }
+}
+
+/// Whether a daemon is gone: its process was reaped or is a zombie.
+fn daemon_dead(k: &Kernel, d: Daemon) -> bool {
+    match k.process(d.pid) {
+        Err(_) => true,
+        Ok(p) => matches!(p.state, ProcessState::Zombie(_)),
+    }
+}
+
 /// The three service daemons plus their user-space state.
 #[derive(Debug)]
 pub struct Services {
@@ -99,60 +234,190 @@ pub struct Services {
     config_store: BTreeMap<String, String>,
     /// Messages processed across all daemons.
     pub processed: u64,
+    /// Restart policy and bookkeeping.
+    pub supervisor: Supervisor,
+    /// External processes watched for death (label, pid). Reported by
+    /// [`Services::supervise`], never respawned.
+    watched: Vec<(String, Pid)>,
 }
 
-fn spawn_daemon(k: &mut Kernel, name: &str) -> Daemon {
+fn spawn_daemon(k: &mut Kernel, name: &str) -> Result<Daemon, ServiceError> {
     let (pid, tid) = k.spawn_process();
-    k.process_mut(pid).expect("just spawned").program.path =
-        format!("/usr/libexec/{name}");
-    let port = with_state(k, |k2, st| {
-        let p = st.port_allocate_for(k2, tid, pid).expect("fresh space");
+    k.process_mut(pid)?.program.path = format!("/usr/libexec/{name}");
+    let port = match with_state(k, |k2, st| {
+        let p = st.port_allocate_for(k2, tid, pid)?;
         let space = st.task_space(pid);
         // Daemons serve many clients; raise the queue limit.
         st.machipc
-            .set_qlimit(space, p, cider_xnu::ipc::port::QLIMIT_MAX)
-            .expect("receive right");
-        p
-    });
-    Daemon { pid, tid, port }
+            .set_qlimit(space, p, cider_xnu::ipc::port::QLIMIT_MAX)?;
+        Ok::<_, KernReturn>(p)
+    }) {
+        Ok(p) => p,
+        Err(kr) => {
+            // Don't leak the half-built process.
+            let _ = k.sys_exit(tid, 1);
+            return Err(ServiceError::Mach(kr));
+        }
+    };
+    Ok(Daemon { pid, tid, port })
+}
+
+/// Publishes a daemon's service port in launchd's bootstrap registry:
+/// a send right is minted in the daemon's space and copied into
+/// launchd's.
+fn register_with_launchd(
+    k: &mut Kernel,
+    launchd: Daemon,
+    name: &str,
+    d: Daemon,
+) -> Result<(), ServiceError> {
+    with_state(k, |_, st| {
+        let lspace = st.task_space(launchd.pid);
+        st.bootstrap.launchd_space = Some(lspace);
+        let dspace = st.task_space(d.pid);
+        let send = st.machipc.make_send(dspace, d.port)?;
+        let in_launchd =
+            st.machipc.copy_send_to_space(dspace, send, lspace)?;
+        st.bootstrap.register(name.to_string(), in_launchd);
+        Ok::<_, KernReturn>(())
+    })
+    .map_err(ServiceError::Mach)
 }
 
 impl Services {
     /// Boots the three daemons: spawns their processes, allocates their
     /// receive ports, and registers notifyd/configd with launchd.
-    pub fn boot(k: &mut Kernel) -> Services {
-        let launchd = spawn_daemon(k, "launchd");
-        let notifyd = spawn_daemon(k, "notifyd");
-        let configd = spawn_daemon(k, "configd");
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] when a daemon cannot be spawned or its ports
+    /// cannot be wired (e.g. under injected zalloc exhaustion).
+    pub fn boot(k: &mut Kernel) -> Result<Services, ServiceError> {
+        let launchd = spawn_daemon(k, "launchd")?;
+        let notifyd = spawn_daemon(k, "notifyd")?;
+        let configd = spawn_daemon(k, "configd")?;
+        register_with_launchd(k, launchd, NOTIFY_SERVICE, notifyd)?;
+        register_with_launchd(k, launchd, CONFIG_SERVICE, configd)?;
 
-        with_state(k, |_, st| {
-            let launchd_space = st.task_space(launchd.pid);
-            st.bootstrap.launchd_space = Some(launchd_space);
-            for (name, d) in [
-                ("com.apple.system.notification_center", notifyd),
-                ("com.apple.SystemConfiguration.configd", configd),
-            ] {
-                let dspace = st.task_space(d.pid);
-                let send = st
-                    .machipc
-                    .make_send(dspace, d.port)
-                    .expect("service port");
-                let in_launchd = st
-                    .machipc
-                    .copy_send_to_space(dspace, send, launchd_space)
-                    .expect("copy to launchd");
-                st.bootstrap.register(name, in_launchd);
-            }
-        });
-
-        Services {
+        Ok(Services {
             launchd,
             notifyd,
             configd,
             notify_regs: BTreeMap::new(),
             config_store: BTreeMap::new(),
             processed: 0,
+            supervisor: Supervisor::new(),
+            watched: Vec::new(),
+        })
+    }
+
+    /// Registers an external process (e.g. CiderPress) for death
+    /// detection. Watched processes are reported by
+    /// [`Services::supervise`], not respawned.
+    pub fn watch(&mut self, label: impl Into<String>, pid: Pid) {
+        self.watched.push((label.into(), pid));
+    }
+
+    /// One supervision pass: detects dead daemons, respawns each with
+    /// capped exponential backoff (charged against virtual time),
+    /// rebuilds its bootstrap registration, and reports watched
+    /// external processes that died. Returns the ledger of actions
+    /// taken, empty when everything is healthy.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::RestartLimit`] when a daemon has died more
+    /// often than the restart budget allows.
+    pub fn supervise(
+        &mut self,
+        k: &mut Kernel,
+    ) -> Result<Vec<String>, ServiceError> {
+        let mut actions = Vec::new();
+        for which in ["launchd", "notifyd", "configd"] {
+            let old = match which {
+                "launchd" => self.launchd,
+                "notifyd" => self.notifyd,
+                _ => self.configd,
+            };
+            if !daemon_dead(k, old) {
+                continue;
+            }
+            self.supervisor.charge_backoff(k, which)?;
+            let fresh = match spawn_daemon(k, which) {
+                Ok(d) => d,
+                Err(_) => {
+                    // Faults can hit the respawn itself; the backoff
+                    // was charged, so the next pass retries (slower).
+                    k.trace_recovery(format!(
+                        "launchd/respawn_failed({which})"
+                    ));
+                    actions.push(format!("respawn_failed({which})"));
+                    continue;
+                }
+            };
+            // Tear down the dead daemon's IPC space; rights other
+            // tasks held on it become dead names, as on task death.
+            with_state(k, |k2, st| {
+                st.destroy_task_space(k2, fresh.tid, old.pid);
+            });
+            match which {
+                "launchd" => {
+                    self.launchd = fresh;
+                    // Every send right the registry held lived in the
+                    // old launchd space: rebuild from scratch.
+                    with_state(k, |_, st| st.bootstrap.clear());
+                    register_with_launchd(
+                        k,
+                        fresh,
+                        NOTIFY_SERVICE,
+                        self.notifyd,
+                    )?;
+                    register_with_launchd(
+                        k,
+                        fresh,
+                        CONFIG_SERVICE,
+                        self.configd,
+                    )?;
+                }
+                "notifyd" => {
+                    self.notifyd = fresh;
+                    // Client delivery rights died with the old space.
+                    self.notify_regs.clear();
+                    register_with_launchd(
+                        k,
+                        self.launchd,
+                        NOTIFY_SERVICE,
+                        fresh,
+                    )?;
+                }
+                _ => {
+                    self.configd = fresh;
+                    self.config_store.clear();
+                    register_with_launchd(
+                        k,
+                        self.launchd,
+                        CONFIG_SERVICE,
+                        fresh,
+                    )?;
+                }
+            }
+            k.trace_recovery(format!("launchd/respawn({which})"));
+            actions.push(format!("respawn({which})"));
         }
+        let watched = std::mem::take(&mut self.watched);
+        for (label, pid) in watched {
+            let dead = match k.process(pid) {
+                Err(_) => true,
+                Ok(p) => matches!(p.state, ProcessState::Zombie(_)),
+            };
+            if dead {
+                k.trace_recovery(format!("supervisor/dead({label})"));
+                actions.push(format!("dead({label})"));
+            } else {
+                self.watched.push((label, pid));
+            }
+        }
+        Ok(actions)
     }
 
     /// Gives a client task a send right to launchd's bootstrap port
@@ -393,7 +658,7 @@ mod tests {
     fn setup() -> (Kernel, Services, Pid, Tid, PortName) {
         let mut k = Kernel::boot(DeviceProfile::nexus7());
         k.extensions.insert(CiderState::new());
-        let services = Services::boot(&mut k);
+        let services = Services::boot(&mut k).unwrap();
         let (pid, tid) = k.spawn_process();
         let bp = services.bootstrap_port_for(&mut k, pid).unwrap();
         (k, services, pid, tid, bp)
@@ -527,5 +792,104 @@ mod tests {
         });
         assert_eq!(reply.msg_id, msg_ids::CONFIG_REPLY);
         assert_eq!(&reply.body[..], b"en_US");
+    }
+
+    #[test]
+    fn healthy_daemons_need_no_supervision() {
+        let (mut k, mut services, ..) = setup();
+        let t0 = k.clock.now_ns();
+        assert!(services.supervise(&mut k).unwrap().is_empty());
+        // No deaths → no backoff charged.
+        assert_eq!(k.clock.now_ns(), t0);
+        assert_eq!(services.supervisor.restarts_of("notifyd"), 0);
+    }
+
+    #[test]
+    fn dead_notifyd_is_respawned_with_backoff() {
+        let (mut k, mut services, pid, tid, bp) = setup();
+        let old = services.notifyd;
+        k.sys_exit(old.tid, 1).unwrap();
+        let t0 = k.clock.now_ns();
+        let actions = services.supervise(&mut k).unwrap();
+        assert_eq!(actions, vec!["respawn(notifyd)".to_string()]);
+        assert_ne!(services.notifyd.pid, old.pid);
+        assert!(k.clock.now_ns() - t0 >= services.supervisor.backoff_base_ns);
+        assert_eq!(services.supervisor.restarts_of("notifyd"), 1);
+        // The respawned daemon serves lookups again.
+        let port = bootstrap_look_up(
+            &mut k,
+            &mut services,
+            pid,
+            tid,
+            bp,
+            NOTIFY_SERVICE,
+        )
+        .unwrap();
+        assert!(port.is_valid());
+        with_state(&mut k, |_, st| st.machipc.check_invariants());
+    }
+
+    #[test]
+    fn dead_launchd_rebuilds_the_registry() {
+        let (mut k, mut services, pid, tid, ..) = setup();
+        let old = services.launchd;
+        k.sys_exit(old.tid, 1).unwrap();
+        let actions = services.supervise(&mut k).unwrap();
+        assert_eq!(actions, vec!["respawn(launchd)".to_string()]);
+        // Both services must be reachable through the new launchd.
+        let bp = services.bootstrap_port_for(&mut k, pid).unwrap();
+        for name in [NOTIFY_SERVICE, CONFIG_SERVICE] {
+            bootstrap_look_up(&mut k, &mut services, pid, tid, bp, name)
+                .unwrap();
+        }
+        with_state(&mut k, |_, st| st.machipc.check_invariants());
+    }
+
+    #[test]
+    fn restart_budget_is_enforced() {
+        let (mut k, mut services, ..) = setup();
+        services.supervisor.max_restarts = 2;
+        for _ in 0..2 {
+            k.sys_exit(services.configd.tid, 9).unwrap();
+            services.supervise(&mut k).unwrap();
+        }
+        k.sys_exit(services.configd.tid, 9).unwrap();
+        assert_eq!(
+            services.supervise(&mut k).unwrap_err(),
+            ServiceError::RestartLimit { daemon: "configd" }
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let (mut k, mut services, ..) = setup();
+        let base = services.supervisor.backoff_base_ns;
+        let mut last = 0;
+        for round in 0..3 {
+            k.sys_exit(services.notifyd.tid, 9).unwrap();
+            let t0 = k.clock.now_ns();
+            services.supervise(&mut k).unwrap();
+            let waited_at_least = base << round;
+            let waited = k.clock.now_ns() - t0;
+            assert!(
+                waited >= waited_at_least,
+                "round {round}: waited {waited} < {waited_at_least}"
+            );
+            assert!(waited > last || round == 0);
+            last = waited;
+        }
+    }
+
+    #[test]
+    fn watched_externals_are_reported_not_respawned() {
+        let (mut k, mut services, ..) = setup();
+        let (cp_pid, cp_tid) = k.spawn_process();
+        services.watch("CiderPress", cp_pid);
+        assert!(services.supervise(&mut k).unwrap().is_empty());
+        k.sys_exit(cp_tid, 0).unwrap();
+        let actions = services.supervise(&mut k).unwrap();
+        assert_eq!(actions, vec!["dead(CiderPress)".to_string()]);
+        // Reported once, then forgotten.
+        assert!(services.supervise(&mut k).unwrap().is_empty());
     }
 }

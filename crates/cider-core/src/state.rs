@@ -11,12 +11,13 @@ use std::collections::BTreeMap;
 use cider_abi::ids::{Pid, PortName, Tid};
 use cider_ducttape::adapter::{DuctTape, DuctTapeState};
 use cider_ducttape::cxx::CxxRuntime;
+use cider_fault::FaultSite;
 use cider_kernel::kernel::Kernel;
 use cider_xnu::iokit::IoKit;
 use cider_xnu::ipc::{
     KernelObject, MachIpc, ReceivedMessage, SpaceId, UserMessage,
 };
-use cider_xnu::kern_return::KernResult;
+use cider_xnu::kern_return::{KernResult, KernReturn};
 use cider_xnu::psynch::{PsynchOutcome, PsynchState};
 
 use crate::services::BootstrapRegistry;
@@ -91,14 +92,19 @@ impl CiderState {
 
     /// The task-self port of a process, allocating it (bound to a
     /// `Task` kernel object) on first use.
+    ///
+    /// # Errors
+    ///
+    /// Mach codes when the port cannot be allocated (space or zone
+    /// exhaustion).
     pub fn task_self_port(
         &mut self,
         k: &mut Kernel,
         tid: Tid,
         pid: Pid,
-    ) -> PortName {
+    ) -> KernResult<PortName> {
         if let Some(&p) = self.task_self_ports.get(&pid.as_raw()) {
-            return p;
+            return Ok(p);
         }
         let space = self.task_space(pid);
         let CiderState {
@@ -108,14 +114,14 @@ impl CiderState {
             ..
         } = self;
         let mut api = DuctTape::new(k, ducttape, tid);
-        let name = machipc
-            .port_allocate(&mut api, space)
-            .expect("space exists");
-        machipc
-            .set_kobject(space, name, KernelObject::Task(pid.as_raw() as u64))
-            .expect("just allocated");
+        let name = machipc.port_allocate(&mut api, space)?;
+        machipc.set_kobject(
+            space,
+            name,
+            KernelObject::Task(pid.as_raw() as u64),
+        )?;
         task_self_ports.insert(pid.as_raw(), name);
-        name
+        Ok(name)
     }
 
     // ------------------------------------------------------------------
@@ -133,6 +139,10 @@ impl CiderState {
         tid: Tid,
         pid: Pid,
     ) -> KernResult<PortName> {
+        if k.fault_at(FaultSite::MachPortAllocate) {
+            // Port name space exhaustion.
+            return Err(KernReturn::NoSpace);
+        }
         let space = self.task_space(pid);
         let CiderState {
             ducttape, machipc, ..
@@ -226,6 +236,10 @@ impl CiderState {
         msg: UserMessage,
     ) -> KernResult<()> {
         let (msg_id, bytes) = (msg.msg_id, msg.size() as u64);
+        if k.fault_at(FaultSite::MachMsgSend) {
+            // Queue overflow on the destination port.
+            return Err(KernReturn::SendTooLarge);
+        }
         let result = {
             let CiderState {
                 ducttape, machipc, ..
@@ -471,8 +485,8 @@ mod tests {
     fn task_self_port_is_task_bound_and_cached() {
         let (mut k, pid, tid) = setup();
         let (p1, p2, ko) = with_state(&mut k, |k, st| {
-            let p1 = st.task_self_port(k, tid, pid);
-            let p2 = st.task_self_port(k, tid, pid);
+            let p1 = st.task_self_port(k, tid, pid).unwrap();
+            let p2 = st.task_self_port(k, tid, pid).unwrap();
             let space = st.task_space(pid);
             let ko = st.machipc.kobject_of(space, p1).unwrap();
             (p1, p2, ko)

@@ -225,8 +225,10 @@ impl CiderSystem {
             FrameworkSet::standard().install(&mut kernel.vfs);
         }
 
-        // Background services.
-        let services = Services::boot(&mut kernel);
+        // Background services. Fault plans are installed after
+        // construction, so boot cannot see injected failures here.
+        let services =
+            Services::boot(&mut kernel).expect("fault-free service boot");
 
         // Device bridge: every Linux device also becomes an I/O Kit
         // registry entry (§5.1).

@@ -603,7 +603,11 @@ fn build_mach_table() -> SyscallTable {
             Err(_) => return TrapResult::ok(0),
         };
         let name = with_state(k, |k2, st| st.task_self_port(k2, tid, pid));
-        TrapResult::ok(name.as_raw() as i64)
+        match name {
+            Ok(n) => TrapResult::ok(n.as_raw() as i64),
+            // MACH_PORT_NULL: port-returning traps have no error band.
+            Err(_) => TrapResult::ok(0),
+        }
     });
 
     t.install(
@@ -615,18 +619,19 @@ fn build_mach_table() -> SyscallTable {
                 Err(_) => return TrapResult::ok(0),
             };
             let name = with_state(k, |k2, st| {
-                let name = st
-                    .port_allocate_for(k2, tid, pid)
-                    .expect("space creatable");
+                let name = st.port_allocate_for(k2, tid, pid)?;
                 let space = st.task_space(pid);
                 let _ = st.machipc.set_kobject(
                     space,
                     name,
                     cider_xnu::ipc::KernelObject::Thread(tid.as_raw() as u64),
                 );
-                name
+                Ok::<_, KernReturn>(name)
             });
-            TrapResult::ok(name.as_raw() as i64)
+            match name {
+                Ok(n) => TrapResult::ok(n.as_raw() as i64),
+                Err(_) => TrapResult::ok(0),
+            }
         },
     );
 
@@ -636,17 +641,19 @@ fn build_mach_table() -> SyscallTable {
             Err(_) => return TrapResult::ok(0),
         };
         let name = with_state(k, |k2, st| {
-            let name =
-                st.port_allocate_for(k2, tid, pid).expect("space creatable");
+            let name = st.port_allocate_for(k2, tid, pid)?;
             let space = st.task_space(pid);
             let _ = st.machipc.set_kobject(
                 space,
                 name,
                 cider_xnu::ipc::KernelObject::Host,
             );
-            name
+            Ok::<_, KernReturn>(name)
         });
-        TrapResult::ok(name.as_raw() as i64)
+        match name {
+            Ok(n) => TrapResult::ok(n.as_raw() as i64),
+            Err(_) => TrapResult::ok(0),
+        }
     });
 
     t.install(M::MachReplyPort.number(), "mach_reply_port", |k, tid, _| {
@@ -654,10 +661,11 @@ fn build_mach_table() -> SyscallTable {
             Ok(t) => t.pid,
             Err(_) => return TrapResult::ok(0),
         };
-        let name = with_state(k, |k2, st| {
-            st.port_allocate_for(k2, tid, pid).expect("space creatable")
-        });
-        TrapResult::ok(name.as_raw() as i64)
+        let name = with_state(k, |k2, st| st.port_allocate_for(k2, tid, pid));
+        match name {
+            Ok(n) => TrapResult::ok(n.as_raw() as i64),
+            Err(_) => TrapResult::ok(0),
+        }
     });
 
     t.install(
@@ -1035,6 +1043,150 @@ mod tests {
                 r.reg,
                 cider_abi::errno::XnuErrno::EFAULT.as_raw() as i64
             );
+        }
+
+        /// Every injected fault class must surface through the XNU
+        /// error conventions: Unix-class faults as positive errnos
+        /// with the carry flag set, Mach-class faults as kern_return
+        /// codes (or `MACH_PORT_NULL` for port-returning traps, which
+        /// have no error band).
+        #[test]
+        fn injected_fault_classes_follow_the_xnu_convention() {
+            use super::super::xnu_oflags::{O_CREAT, O_RDWR};
+            use cider_abi::errno::XnuErrno;
+            use cider_abi::syscall::MachTrap;
+            use cider_fault::{FaultLayer, FaultPlan, FaultSite};
+            use cider_kernel::dispatch::SyscallData;
+
+            let (mut k, tid) = xnu_kernel();
+            k.vfs.mkdir_p("/tmp").unwrap();
+            // Bootstrap the IPC subsystem so the ports zone exists —
+            // without it zalloc is never consulted for ports.
+            with_state(&mut k, |k2, st| {
+                let CiderState {
+                    ducttape, machipc, ..
+                } = st;
+                let mut api = cider_ducttape::DuctTape::new(k2, ducttape, tid);
+                machipc.bootstrap(&mut api);
+            });
+            fn arm(k: &mut Kernel, site: FaultSite) {
+                k.faults =
+                    FaultLayer::with_plan(FaultPlan::new(7).with(site, 1000));
+            }
+            fn mach_trap(
+                k: &mut Kernel,
+                tid: Tid,
+                trap: MachTrap,
+                args: SyscallArgs,
+            ) -> cider_kernel::dispatch::UserTrapResult {
+                k.trap(tid, XnuTrap::Mach(trap).encode(), &args)
+            }
+
+            // A clean file so read/write reach the injection sites.
+            let mut open = SyscallArgs::regs([
+                0,
+                (O_CREAT | O_RDWR) as i64,
+                0o644,
+                0,
+                0,
+                0,
+                0,
+            ]);
+            open.data = SyscallData::Path("/tmp/faulty".into());
+            let r = unix_trap(&mut k, tid, XnuSyscall::Open, open);
+            assert!(!r.flags.carry);
+            let fd = r.reg;
+            let mut w = SyscallArgs::regs([fd, 0, 1, 0, 0, 0, 0]);
+            w.data = SyscallData::Bytes(vec![b'a']);
+            let ok = unix_trap(&mut k, tid, XnuSyscall::Write, w.clone());
+            assert!(!ok.flags.carry);
+
+            for (site, errno, doit) in [
+                (FaultSite::VfsRead, XnuErrno::EIO, XnuSyscall::Read),
+                (FaultSite::VfsWrite, XnuErrno::EIO, XnuSyscall::Write),
+            ] {
+                arm(&mut k, site);
+                let args = if doit == XnuSyscall::Write {
+                    w.clone()
+                } else {
+                    SyscallArgs::regs([fd, 0, 1, 0, 0, 0, 0])
+                };
+                let r = unix_trap(&mut k, tid, doit, args);
+                assert!(r.flags.carry, "{site:?} must set carry");
+                assert_eq!(r.reg, errno.as_raw() as i64, "{site:?}");
+            }
+
+            // vfs_create → ENOSPC.
+            arm(&mut k, FaultSite::VfsCreate);
+            let mut c = SyscallArgs::regs([
+                0,
+                (O_CREAT | O_RDWR) as i64,
+                0o644,
+                0,
+                0,
+                0,
+                0,
+            ]);
+            c.data = SyscallData::Path("/tmp/full".into());
+            let r = unix_trap(&mut k, tid, XnuSyscall::Open, c);
+            assert!(r.flags.carry);
+            assert_eq!(r.reg, XnuErrno::ENOSPC.as_raw() as i64);
+
+            // fork_pte_copy → ENOMEM.
+            arm(&mut k, FaultSite::ForkPteCopy);
+            let r =
+                unix_trap(&mut k, tid, XnuSyscall::Fork, SyscallArgs::none());
+            assert!(r.flags.carry);
+            assert_eq!(r.reg, XnuErrno::ENOMEM.as_raw() as i64);
+
+            // zalloc exhaustion: a port-returning trap answers
+            // MACH_PORT_NULL, never a panic and never an errno.
+            arm(&mut k, FaultSite::Zalloc);
+            let r = mach_trap(
+                &mut k,
+                tid,
+                MachTrap::MachReplyPort,
+                SyscallArgs::none(),
+            );
+            assert!(!r.flags.carry);
+            assert_eq!(r.reg, 0, "MACH_PORT_NULL");
+
+            // mach_port_allocate has an error band: KERN_NO_SPACE.
+            arm(&mut k, FaultSite::MachPortAllocate);
+            let r = mach_trap(
+                &mut k,
+                tid,
+                MachTrap::MachPortAllocate,
+                SyscallArgs::none(),
+            );
+            assert_eq!(r.reg, KernReturn::NoSpace.as_raw());
+
+            // mach_msg send → MACH_SEND_TOO_LARGE as a kern_return.
+            k.faults = FaultLayer::inactive();
+            let port = mach_trap(
+                &mut k,
+                tid,
+                MachTrap::MachPortAllocate,
+                SyscallArgs::none(),
+            )
+            .reg;
+            let send = mach_trap(
+                &mut k,
+                tid,
+                MachTrap::MachPortInsertRight,
+                SyscallArgs::regs([port, 0, 0, 0, 0, 0, 0]),
+            )
+            .reg;
+            arm(&mut k, FaultSite::MachMsgSend);
+            let msg = cider_xnu::ipc::UserMessage::simple(
+                PortName(send as u32),
+                5,
+                bytes::Bytes::from(&b"x"[..]),
+            );
+            let mut args = SyscallArgs::regs([1, 0, 0, 0, 0, 0, 0]);
+            args.data = SyscallData::Bytes(wire::encode_user_message(&msg));
+            let r = mach_trap(&mut k, tid, MachTrap::MachMsgTrap, args);
+            assert_eq!(r.reg, KernReturn::SendTooLarge.as_raw());
         }
     }
 

@@ -190,6 +190,11 @@ impl ForeignKernelApi for DuctTape<'_> {
         self.cross();
         // kmalloc on the Linux side.
         self.kernel.charge_cpu(90);
+        if self.kernel.fault_at(cider_fault::FaultSite::Zalloc) {
+            // Zone exhaustion: XNU's zalloc returns NULL and the
+            // foreign subsystem maps it to KERN_RESOURCE_SHORTAGE.
+            return 0;
+        }
         let z = &mut self.state.zones[zone.0 as usize];
         z.live += 1;
         self.state.next_alloc += z.elem_size as u64;

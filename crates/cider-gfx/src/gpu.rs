@@ -45,6 +45,10 @@ pub enum GpuCommand {
 /// Missed-wakeup stall charged per buggy fence wait, ns (CPU time).
 pub const FENCE_BUG_STALL_NS: u64 = 120_000;
 
+/// Driver timeout burned when an injected fault swallows the fence
+/// interrupt entirely (4 ms, a typical KGSL fence timeout tick).
+pub const FENCE_TIMEOUT_NS: u64 = 4_000_000;
+
 /// The simulated GPU.
 #[derive(Debug)]
 pub struct SimGpu {
@@ -59,6 +63,8 @@ pub struct SimGpu {
     pub fence_bug: bool,
     /// Buggy stalls taken (observability).
     pub bug_stalls: u64,
+    /// Injected fence timeouts recovered by force-retirement.
+    pub fence_timeouts: u64,
 }
 
 impl Default for SimGpu {
@@ -78,6 +84,7 @@ impl SimGpu {
             retired: 0,
             fence_bug: false,
             bug_stalls: 0,
+            fence_timeouts: 0,
         }
     }
 
@@ -151,6 +158,21 @@ impl SimGpu {
             // before noticing the fence already signalled.
             cpu_ns += FENCE_BUG_STALL_NS;
             self.bug_stalls += 1;
+        }
+        if k.fault_at(cider_fault::FaultSite::GpuFenceTimeout) {
+            // The signal is lost in hardware; the waiter burns the
+            // full driver timeout, then falls back to force-retiring
+            // the queue and signalling the fence by hand.
+            cpu_ns += FENCE_TIMEOUT_NS;
+            self.fence_timeouts += 1;
+            self.retire_all(k);
+            if !self.fence_signaled(id) {
+                self.signaled.push(id);
+            }
+            k.trace_recovery(format!(
+                "gpu/fence_timeout_fallback(fence={})",
+                id.0
+            ));
         }
         debug_assert!(self.fence_signaled(id), "fence lost");
         k.charge_cpu(cpu_ns);
@@ -243,6 +265,24 @@ mod tests {
         assert!(gpu.fence_signaled(f));
         assert!(cost < 1000, "correct fences are cheap: {cost}");
         assert_eq!(gpu.bug_stalls, 0);
+    }
+
+    #[test]
+    fn injected_fence_timeout_recovers_by_force_retire() {
+        use cider_fault::{FaultLayer, FaultPlan, FaultSite};
+        let mut k = kernel();
+        k.faults = FaultLayer::with_plan(
+            FaultPlan::new(1).with(FaultSite::GpuFenceTimeout, 1000),
+        );
+        let mut gpu = SimGpu::new();
+        gpu.submit(&mut k, GpuCommand::Clear);
+        let f = gpu.submit_fence(&mut k);
+        let t0 = k.clock.now_ns();
+        gpu.wait_fence(&mut k, f);
+        assert!(gpu.fence_signaled(f), "fallback must signal");
+        assert_eq!(gpu.fence_timeouts, 1);
+        assert!(k.clock.now_ns() - t0 >= FENCE_TIMEOUT_NS);
+        assert_eq!(k.faults.recoveries().len(), 1);
     }
 
     #[test]

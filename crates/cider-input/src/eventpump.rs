@@ -10,6 +10,7 @@ use bytes::Bytes;
 use cider_abi::errno::Errno;
 use cider_abi::ids::{Fd, Pid, PortName, Tid};
 use cider_core::system::CiderSystem;
+use cider_fault::FaultSite;
 use cider_xnu::ipc::UserMessage;
 
 use crate::events::{
@@ -34,6 +35,10 @@ pub struct InputBridge {
     partial: Vec<u8>,
     /// Events forwarded into the app so far.
     pub events_forwarded: u64,
+    /// Events lost to injected drops or unrecoverable send failures.
+    pub events_dropped: u64,
+    /// Mach sends that failed at least once (before any retry).
+    pub send_failures: u64,
 }
 
 impl InputBridge {
@@ -82,6 +87,8 @@ impl InputBridge {
             event_port_send,
             partial: Vec::new(),
             events_forwarded: 0,
+            events_dropped: 0,
+            send_failures: 0,
         })
     }
 
@@ -104,10 +111,14 @@ impl InputBridge {
     /// Eventpump side: drains the socket, translates each event, and
     /// pumps it into the app's Mach port. Returns events forwarded.
     ///
+    /// A failed Mach send (queue overflow) triggers the watchdog path:
+    /// one stale event is drained from the port and the send is retried
+    /// once; if that also fails the event is dropped and counted, never
+    /// escalated — losing an input event must not kill the pump.
+    ///
     /// # Errors
     ///
-    /// `EINVAL` for corrupt frames; Mach send failures surface as
-    /// `ENOBUFS`.
+    /// `EINVAL` for corrupt frames.
     pub fn pump_once(
         &mut self,
         sys: &mut CiderSystem,
@@ -121,22 +132,47 @@ impl InputBridge {
         let mut forwarded = 0;
         while let Some((event, consumed)) = decode(&self.partial)? {
             self.partial.drain(..consumed);
+            if sys.kernel.fault_at(FaultSite::InputEventDrop) {
+                self.events_dropped += 1;
+                continue;
+            }
             let ios = translate(&event);
-            let body = encode_ios(&ios);
+            let body = Bytes::from(encode_ios(&ios));
             let msg = UserMessage::simple(
                 self.event_port_send,
                 MSG_ID_HID_EVENT,
-                Bytes::from(body),
+                body.clone(),
             );
-            sys.mach_msg_send(pump_tid, msg)
-                .map_err(|_| Errno::ENOBUFS)?;
-            forwarded += 1;
+            if sys.mach_msg_send(pump_tid, msg).is_ok() {
+                forwarded += 1;
+                continue;
+            }
+            // Queue overflow: drain one stale event, retry once.
+            self.send_failures += 1;
+            let _ = sys.mach_msg_receive(pump_tid, self.event_port);
+            sys.kernel.trace_recovery("eventpump/overflow_drain");
+            let retry = UserMessage::simple(
+                self.event_port_send,
+                MSG_ID_HID_EVENT,
+                body,
+            );
+            if sys.mach_msg_send(pump_tid, retry).is_ok() {
+                forwarded += 1;
+            } else {
+                self.events_dropped += 1;
+            }
         }
         self.events_forwarded += forwarded as u64;
         Ok(forwarded)
     }
 
     /// App side: receives the next HID event from the event port.
+    ///
+    /// When the pump has already seen trouble (drops or send failures),
+    /// an empty port triggers the watchdog: the pump is kicked once to
+    /// re-drain the socket before the wait is reported as timed out. A
+    /// fault-free bridge never takes that path, so the recovery logic
+    /// cannot perturb clean runs.
     ///
     /// # Errors
     ///
@@ -146,9 +182,16 @@ impl InputBridge {
         sys: &mut CiderSystem,
         app_tid: Tid,
     ) -> Result<IosHidEvent, Errno> {
-        let msg = sys
-            .mach_msg_receive(app_tid, self.event_port)
-            .map_err(|_| Errno::EAGAIN)?;
+        let msg = match sys.mach_msg_receive(app_tid, self.event_port) {
+            Ok(m) => m,
+            Err(_) if self.send_failures > 0 || self.events_dropped > 0 => {
+                sys.kernel.trace_recovery("eventpump/watchdog_kick");
+                let _ = self.pump_once(sys);
+                sys.mach_msg_receive(app_tid, self.event_port)
+                    .map_err(|_| Errno::EAGAIN)?
+            }
+            Err(_) => return Err(Errno::EAGAIN),
+        };
         if msg.msg_id != MSG_ID_HID_EVENT {
             return Err(Errno::EINVAL);
         }
@@ -227,6 +270,23 @@ mod tests {
     fn pump_with_no_data_is_empty() {
         let (mut sys, mut bridge, _) = setup();
         assert_eq!(bridge.pump_once(&mut sys).unwrap(), 0);
+    }
+
+    #[test]
+    fn injected_drops_are_counted_not_fatal() {
+        use cider_fault::{FaultLayer, FaultPlan};
+        let (mut sys, mut bridge, app_tid) = setup();
+        sys.kernel.faults = FaultLayer::with_plan(
+            FaultPlan::new(9).with(FaultSite::InputEventDrop, 1000),
+        );
+        bridge.send_from_ciderpress(&mut sys, &tap_down()).unwrap();
+        assert_eq!(bridge.pump_once(&mut sys).unwrap(), 0);
+        assert_eq!(bridge.events_dropped, 1);
+        // The app sees an empty port, not a dead pump.
+        assert_eq!(
+            bridge.receive_app_event(&mut sys, app_tid),
+            Err(Errno::EAGAIN)
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ use cider_abi::errno::Errno;
 use cider_abi::ids::{Fd, Pid, Tid};
 use cider_abi::signal::Signal;
 use cider_abi::types::{OpenFlags, Stat};
+use cider_fault::{FaultLayer, FaultSite};
 use cider_trace::{EventKind, TraceContext, TraceSink};
 
 use crate::binfmt::{BinaryLoaderRef, ExecImage};
@@ -142,6 +143,11 @@ pub struct Kernel {
     /// the virtual clock but never charges it, so enabling it cannot
     /// perturb any measurement.
     pub trace: TraceSink,
+    /// Deterministic fault-injection layer. Inactive (empty plan) by
+    /// default; an inactive layer takes an early-out with zero side
+    /// effects, so fault-free runs are bit-identical to a kernel
+    /// without the layer.
+    pub faults: FaultLayer,
     procs: BTreeMap<u32, Process>,
     threads: BTreeMap<u32, Thread>,
     next_pid: u32,
@@ -181,6 +187,7 @@ impl Kernel {
             counters: KernelCounters::default(),
             extensions: Extensions::default(),
             trace: TraceSink::disabled(),
+            faults: FaultLayer::inactive(),
             procs: BTreeMap::new(),
             threads: BTreeMap::new(),
             next_pid: 1,
@@ -318,6 +325,55 @@ impl Kernel {
             self.trace.add(&format!("vfs/{op}/bytes"), bytes);
             self.trace.incr(&format!("vfs/{op}/ops"));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection.
+    // ------------------------------------------------------------------
+
+    /// Consults the fault layer at a named site. Returns `true` when
+    /// the scheduled fault should fire, recording it in the ledger and
+    /// the trace. With an inactive layer this is a branch on an empty
+    /// map and nothing else — no clock, no counters, no RNG.
+    pub fn fault_at(&mut self, site: FaultSite) -> bool {
+        if !self.faults.is_active() {
+            return false;
+        }
+        let now = self.clock.now_ns();
+        match self.faults.try_inject(site, now) {
+            Some(seq) => {
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        TraceContext::kernel(now),
+                        EventKind::FaultInjected {
+                            site: site.name(),
+                            seq,
+                        },
+                    );
+                    self.trace.incr("fault/injected");
+                    self.trace.incr(&format!("fault/{}", site.name()));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records a recovery action (supervisor respawn, watchdog kick,
+    /// fence fallback) in the fault ledger and the trace.
+    pub fn trace_recovery(&mut self, action: impl Into<String>) {
+        let action = action.into();
+        let now = self.clock.now_ns();
+        if self.trace.is_enabled() {
+            self.trace.record(
+                TraceContext::kernel(now),
+                EventKind::Recovery {
+                    action: action.clone().into(),
+                },
+            );
+            self.trace.incr("recovery/actions");
+        }
+        self.faults.record_recovery(action, now);
     }
 
     // ------------------------------------------------------------------
@@ -633,6 +689,9 @@ impl Kernel {
                 r.ino
             }
             Err(Errno::ENOENT) if flags.contains(OpenFlags::CREAT) => {
+                if self.fault_at(FaultSite::VfsCreate) {
+                    return Err(Errno::ENOSPC);
+                }
                 let now = self.clock.now_ns();
                 self.vfs.set_time(now);
                 self.vfs.write_file(path, Vec::new())?
@@ -696,6 +755,9 @@ impl Kernel {
                 if !readable {
                     return Err(Errno::EBADF);
                 }
+                if self.fault_at(FaultSite::VfsRead) {
+                    return Err(Errno::EIO);
+                }
                 let data = self.vfs.read_at(ino, offset, len)?;
                 self.charge_copy(data.len());
                 if let FileObject::File { offset, .. } =
@@ -754,6 +816,9 @@ impl Kernel {
             } => {
                 if !writable {
                     return Err(Errno::EBADF);
+                }
+                if self.fault_at(FaultSite::VfsWrite) {
+                    return Err(Errno::EIO);
                 }
                 self.charge_copy(data.len());
                 let now = self.clock.now_ns();
@@ -1045,6 +1110,9 @@ impl Kernel {
         self.run_user_callbacks(prepare, true);
 
         // Kernel: duplicate the address space, visiting every PTE.
+        if self.fault_at(FaultSite::ForkPteCopy) {
+            return Err(Errno::ENOMEM);
+        }
         let (mm, ptes) = self.process(parent_pid)?.mm.fork_duplicate();
         self.charge_cpu(self.profile.pte_copy_ns * ptes);
         if self.trace.is_enabled() {

@@ -140,12 +140,25 @@ impl Vfs {
         ino
     }
 
+    /// Infallible lookup for inodes that were just produced by a tree
+    /// walk (they cannot dangle while the walk's borrow is fresh).
     fn node(&self, ino: Ino) -> &Node {
         self.nodes.get(&ino.0).expect("dangling inode")
     }
 
     fn node_mut(&mut self, ino: Ino) -> &mut Node {
         self.nodes.get_mut(&ino.0).expect("dangling inode")
+    }
+
+    /// Fallible lookup for inodes held across calls (descriptor
+    /// tables): the file may have been unlinked since, which surfaces
+    /// as `EIO` instead of a panic — stale-handle semantics.
+    fn try_node(&self, ino: Ino) -> Result<&Node, Errno> {
+        self.nodes.get(&ino.0).ok_or(Errno::EIO)
+    }
+
+    fn try_node_mut(&mut self, ino: Ino) -> Result<&mut Node, Errno> {
+        self.nodes.get_mut(&ino.0).ok_or(Errno::EIO)
     }
 
     fn split(path: &str) -> Result<Vec<&str>, Errno> {
@@ -414,21 +427,30 @@ impl Vfs {
     }
 
     /// File size without copying the contents.
+    ///
+    /// # Errors
+    ///
+    /// `EIO` if the inode was unlinked since it was resolved.
     pub fn file_len(&self, ino: Ino) -> Result<u64, Errno> {
-        match &self.node(ino).kind {
+        match &self.try_node(ino)?.kind {
             NodeKind::File(data) => Ok(data.len() as u64),
             _ => Err(Errno::EINVAL),
         }
     }
 
     /// Reads up to `len` bytes at `offset` from an already-resolved file.
+    ///
+    /// # Errors
+    ///
+    /// `EIO` if the inode dangles (unlinked while a descriptor was
+    /// still open), `EISDIR`/`EINVAL` for wrong node kinds.
     pub fn read_at(
         &self,
         ino: Ino,
         offset: u64,
         len: usize,
     ) -> Result<Vec<u8>, Errno> {
-        match &self.node(ino).kind {
+        match &self.try_node(ino)?.kind {
             NodeKind::File(data) => {
                 let start = (offset as usize).min(data.len());
                 let end = (start + len).min(data.len());
@@ -448,7 +470,7 @@ impl Vfs {
         buf: &[u8],
     ) -> Result<usize, Errno> {
         let now = self.now_ns;
-        let node = self.node_mut(ino);
+        let node = self.try_node_mut(ino)?;
         match &mut node.kind {
             NodeKind::File(data) => {
                 let off = offset as usize;
@@ -471,7 +493,7 @@ impl Vfs {
     /// `EISDIR` for directories, `EINVAL` for other node kinds.
     pub fn truncate(&mut self, ino: Ino, len: u64) -> Result<(), Errno> {
         let now = self.now_ns;
-        let node = self.node_mut(ino);
+        let node = self.try_node_mut(ino)?;
         match &mut node.kind {
             NodeKind::File(data) => {
                 data.resize(len as usize, 0);
@@ -751,6 +773,19 @@ mod tests {
         let r = fs.resolve("/dev/fb0").unwrap();
         assert_eq!(fs.device_of(r.ino), Some(DeviceId(3)));
         assert_eq!(fs.stat(r.ino).file_type, FileType::CharDevice);
+    }
+
+    #[test]
+    fn dangling_inode_is_eio_not_panic() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/d").unwrap();
+        let ino = fs.write_file("/d/f", vec![1, 2, 3]).unwrap();
+        fs.unlink("/d/f").unwrap();
+        // A descriptor opened before the unlink now holds a stale ino.
+        assert_eq!(fs.read_at(ino, 0, 3), Err(Errno::EIO));
+        assert_eq!(fs.write_at(ino, 0, &[9]), Err(Errno::EIO));
+        assert_eq!(fs.truncate(ino, 0), Err(Errno::EIO));
+        assert_eq!(fs.file_len(ino), Err(Errno::EIO));
     }
 
     #[test]

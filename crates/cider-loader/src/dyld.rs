@@ -17,6 +17,7 @@ use std::collections::VecDeque;
 
 use cider_abi::errno::Errno;
 use cider_abi::ids::Tid;
+use cider_fault::FaultSite;
 use cider_kernel::kernel::Kernel;
 use cider_kernel::mm::{MappingKind, Prot};
 
@@ -99,6 +100,10 @@ pub fn run_dyld(
         while let Some(path) = work.pop_front() {
             if !seen.insert(path.clone()) {
                 continue;
+            }
+            if k.fault_at(FaultSite::DyldResolve) {
+                // A dylib of the closure is missing from the overlay.
+                return Err(Errno::ENOENT);
             }
             let resolved = k.vfs.resolve(&path)?;
             k.charge_cpu(

@@ -104,10 +104,14 @@ fn args_json(kind: &EventKind) -> String {
             field(&mut out, "fence", fence.to_string());
             field(&mut out, "buggy", buggy.to_string());
         }
+        EventKind::FaultInjected { seq, .. } => {
+            field(&mut out, "seq", seq.to_string());
+        }
         EventKind::DiplomatEnter { .. }
         | EventKind::SpanBegin { .. }
         | EventKind::SpanEnd { .. }
-        | EventKind::Mark { .. } => {}
+        | EventKind::Mark { .. }
+        | EventKind::Recovery { .. } => {}
     }
     out.push('}');
     out

@@ -165,6 +165,18 @@ pub enum EventKind {
         /// Marker label.
         label: Cow<'static, str>,
     },
+    /// The fault layer injected a failure at a named site.
+    FaultInjected {
+        /// Site name (stable snake_case, e.g. `"vfs_read"`).
+        site: &'static str,
+        /// Global 1-based injection sequence number.
+        seq: u64,
+    },
+    /// A supervisor/watchdog/fallback recovered from injected faults.
+    Recovery {
+        /// Action label, e.g. `"launchd/respawn(notifyd)"`.
+        action: Cow<'static, str>,
+    },
 }
 
 impl EventKind {
@@ -189,6 +201,8 @@ impl EventKind {
             EventKind::GpuFenceWait { .. } => "gpu",
             EventKind::SpanBegin { .. } | EventKind::SpanEnd { .. } => "span",
             EventKind::Mark { .. } => "mark",
+            EventKind::FaultInjected { .. } => "fault",
+            EventKind::Recovery { .. } => "recovery",
         }
     }
 
@@ -232,6 +246,10 @@ impl EventKind {
             EventKind::SpanBegin { label }
             | EventKind::SpanEnd { label }
             | EventKind::Mark { label } => label.clone(),
+            EventKind::FaultInjected { site, .. } => {
+                Cow::Owned(format!("fault({site})"))
+            }
+            EventKind::Recovery { action } => action.clone(),
         }
     }
 }
@@ -309,6 +327,19 @@ mod tests {
                     buggy: true,
                 },
                 "gpu",
+            ),
+            (
+                EventKind::FaultInjected {
+                    site: "vfs_read",
+                    seq: 1,
+                },
+                "fault",
+            ),
+            (
+                EventKind::Recovery {
+                    action: "launchd/respawn(notifyd)".into(),
+                },
+                "recovery",
             ),
         ];
         for (kind, cat) in cases {

@@ -169,7 +169,11 @@ impl MachIpc {
         self.with_lock(api, |ipc, api| {
             ipc.space(space)?;
             if let Some(z) = ipc.ports_zone {
-                api.zalloc(z);
+                // NULL from zalloc is zone exhaustion: no port element
+                // can be built, the classic XNU resource failure.
+                if api.zalloc(z) == 0 {
+                    return Err(KernReturn::ResourceShortage);
+                }
             }
             let id = PortId(ipc.next_port);
             ipc.next_port += 1;

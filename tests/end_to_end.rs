@@ -247,3 +247,142 @@ fn screenshot_flows_into_recents() {
     launcher.push_recent("E2E", shot.1);
     assert_eq!(launcher.recents.len(), 1);
 }
+
+// ----------------------------------------------------------------------
+// Deterministic fault injection: every injected fault class either
+// surfaces as a correctly translated error or triggers a traced
+// recovery — the stack never panics under the fault matrix.
+// ----------------------------------------------------------------------
+
+use cider_abi::errno::Errno;
+use cider_abi::syscall::LinuxSyscall;
+use cider_core::state::with_state;
+use cider_fault::{FaultLayer, FaultPlan, FaultSite};
+use cider_kernel::dispatch::{SyscallArgs, SyscallData};
+use cider_kernel::kernel::Kernel;
+
+#[test]
+fn linux_convention_translates_every_injected_fault_class() {
+    use cider_abi::types::OpenFlags;
+    let mut k = Kernel::boot(DeviceProfile::nexus7());
+    let (_pid, tid) = k.spawn_process();
+    k.vfs.mkdir_p("/tmp").unwrap();
+    fn arm(k: &mut Kernel, site: FaultSite) {
+        k.faults = FaultLayer::with_plan(FaultPlan::new(3).with(site, 1000));
+    }
+
+    // A clean file so read and write reach their injection sites.
+    let creat = (OpenFlags::CREAT | OpenFlags::RDWR).0 as i64;
+    let mut open = SyscallArgs::regs([0, creat, 0o644, 0, 0, 0, 0]);
+    open.data = SyscallData::Path("/tmp/faulty".into());
+    let fd = k.trap(tid, LinuxSyscall::Open.number() as i64, &open).reg;
+    assert!(fd >= 0);
+    let mut w = SyscallArgs::regs([fd, 0, 1, 0, 0, 0, 0]);
+    w.data = SyscallData::Bytes(vec![b'a']);
+    assert!(k.trap(tid, LinuxSyscall::Write.number() as i64, &w).reg > 0);
+
+    // Linux persona: faults come back as negative errnos, and the CPU
+    // flags stay untouched (no carry bit in this convention).
+    arm(&mut k, FaultSite::VfsRead);
+    let args = SyscallArgs::regs([fd, 0, 1, 0, 0, 0, 0]);
+    let r = k.trap(tid, LinuxSyscall::Read.number() as i64, &args);
+    assert_eq!(r.reg, -(Errno::EIO.as_raw() as i64));
+    assert!(!r.flags.carry);
+
+    arm(&mut k, FaultSite::VfsWrite);
+    let r = k.trap(tid, LinuxSyscall::Write.number() as i64, &w);
+    assert_eq!(r.reg, -(Errno::EIO.as_raw() as i64));
+
+    arm(&mut k, FaultSite::VfsCreate);
+    let mut c = SyscallArgs::regs([0, creat, 0o644, 0, 0, 0, 0]);
+    c.data = SyscallData::Path("/tmp/full".into());
+    let r = k.trap(tid, LinuxSyscall::Open.number() as i64, &c);
+    assert_eq!(r.reg, -(Errno::ENOSPC.as_raw() as i64));
+
+    arm(&mut k, FaultSite::ForkPteCopy);
+    let r = k.trap(
+        tid,
+        LinuxSyscall::Fork.number() as i64,
+        &SyscallArgs::none(),
+    );
+    assert_eq!(r.reg, -(Errno::ENOMEM.as_raw() as i64));
+}
+
+#[test]
+fn fault_matrix_never_panics_and_recovers() {
+    for seed in [11u64, 23, 47] {
+        let (mut sys, _gfx) = booted();
+        let (_launcher, path, _ipa) = installed_app(&mut sys);
+        sys.kernel.trace = cider_trace::TraceSink::enabled_default();
+        sys.kernel.faults = FaultLayer::with_plan(FaultPlan::matrix(seed));
+
+        // App launch under faults: dyld resolution, Mach allocation,
+        // and zone exhaustion may all fire. Failure must be a clean
+        // error, success a working app.
+        let launched = CiderPress::launch(&mut sys, &_gfx, &path);
+        if let Ok(mut cp) = launched {
+            for ev in synth_tap(64, 64, 0) {
+                // Drops are absorbed by the pump, never escalated.
+                cp.deliver_input(&mut sys, &ev).unwrap();
+            }
+        }
+
+        // VFS and process churn: only the injected errnos may appear.
+        let (_p, tid) = sys.spawn_process();
+        sys.kernel.vfs.mkdir_p("/tmp").unwrap();
+        use cider_abi::types::OpenFlags;
+        for i in 0..40 {
+            let flags = OpenFlags::CREAT | OpenFlags::RDWR;
+            match sys.kernel.sys_open(tid, &format!("/tmp/f{i}"), flags) {
+                Ok(fd) => {
+                    for r in [
+                        sys.kernel.sys_write(tid, fd, b"x").map(|_| ()),
+                        sys.kernel.sys_read(tid, fd, 1).map(|_| ()),
+                        sys.kernel.sys_close(tid, fd),
+                    ] {
+                        if let Err(e) = r {
+                            assert_eq!(e, Errno::EIO, "seed {seed}");
+                        }
+                    }
+                }
+                Err(e) => assert_eq!(e, Errno::ENOSPC, "seed {seed}"),
+            }
+            match sys.kernel.sys_fork(tid) {
+                Ok((child_pid, child_tid)) => {
+                    sys.kernel.sys_exit(child_tid, 0).unwrap();
+                    sys.kernel.sys_waitpid(tid, child_pid).unwrap();
+                }
+                Err(e) => assert_eq!(e, Errno::ENOMEM, "seed {seed}"),
+            }
+        }
+
+        // Daemon death: the supervisor must bring notifyd back even
+        // when the respawn path itself is being fault-injected.
+        let victim = sys.services.notifyd;
+        sys.kernel.sys_exit(victim.tid, 9).unwrap();
+        let mut respawned = false;
+        for _ in 0..8 {
+            let actions = sys.services.supervise(&mut sys.kernel).unwrap();
+            if actions.iter().any(|a| a == "respawn(notifyd)") {
+                respawned = true;
+                break;
+            }
+        }
+        assert!(respawned, "seed {seed}: notifyd never came back");
+        assert_ne!(sys.services.notifyd.pid, victim.pid);
+
+        // The ledger saw injections, the trace saw the recoveries, and
+        // the IPC subsystem is still internally consistent.
+        assert!(
+            sys.kernel.faults.injected_total() > 0,
+            "seed {seed}: matrix never fired"
+        );
+        assert!(!sys.kernel.faults.recoveries().is_empty());
+        let snap = sys.kernel.trace.snapshot().unwrap();
+        assert!(snap.metrics.counter("fault/injected") > 0);
+        assert!(snap.metrics.counter("recovery/actions") > 0);
+        with_state(&mut sys.kernel, |_, st| {
+            st.machipc.check_invariants();
+        });
+    }
+}

@@ -499,3 +499,78 @@ proptest! {
         prop_assert!(!snap.events.is_empty());
     }
 }
+
+// ----------------------------------------------------------------------
+// Fault injection: an empty plan is bit-identical to the fault layer
+// being absent, and the fault schedule is a pure function of the seed.
+// ----------------------------------------------------------------------
+
+use cider_fault::FaultPlan;
+
+proptest! {
+    #[test]
+    fn empty_fault_plan_is_bit_identical(
+        ops in prop::collection::vec(traced_micro_strategy(), 1..10),
+        seed in any::<u64>(),
+        ios in any::<bool>(),
+    ) {
+        let config = if ios {
+            SystemConfig::CiderIos
+        } else {
+            SystemConfig::CiderAndroid
+        };
+        let mut plain = TestBed::new(config);
+        let mut armed = TestBed::new(config);
+        // A seeded plan with no sites armed: the layer is installed
+        // but must be indistinguishable from its absence.
+        armed.enable_faults(FaultPlan::new(seed));
+        let (plain_pid, plain_tid) = plain.spawn_measured().unwrap();
+        let (armed_pid, armed_tid) = armed.spawn_measured().unwrap();
+        for &op in &ops {
+            let a = fig5::run_micro(&mut plain, plain_pid, plain_tid, op);
+            let b = fig5::run_micro(&mut armed, armed_pid, armed_tid, op);
+            prop_assert_eq!(a, b, "{:?} diverged under empty plan", op);
+        }
+        prop_assert_eq!(
+            plain.sys.kernel.clock.now_ns(),
+            armed.sys.kernel.clock.now_ns()
+        );
+        prop_assert_eq!(armed.sys.kernel.faults.injected_total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_trace(
+        ops in prop::collection::vec(traced_micro_strategy(), 1..10),
+        seed in any::<u64>(),
+        ios in any::<bool>(),
+    ) {
+        let config = if ios {
+            SystemConfig::CiderIos
+        } else {
+            SystemConfig::CiderAndroid
+        };
+        let plan = FaultPlan::matrix(seed);
+        let mut a = TestBed::new(config);
+        let mut b = TestBed::new(config);
+        // Spawn fault-free (the matrix can fail exec), then arm.
+        let (a_pid, a_tid) = a.spawn_measured().unwrap();
+        let (b_pid, b_tid) = b.spawn_measured().unwrap();
+        a.enable_faults(plan.clone());
+        b.enable_faults(plan);
+        for &op in &ops {
+            let ra = fig5::run_micro(&mut a, a_pid, a_tid, op);
+            let rb = fig5::run_micro(&mut b, b_pid, b_tid, op);
+            prop_assert_eq!(ra, rb, "{:?} diverged across replays", op);
+        }
+        prop_assert_eq!(
+            a.sys.kernel.clock.now_ns(),
+            b.sys.kernel.clock.now_ns()
+        );
+        // The fault ledgers — site, sequence number, and virtual
+        // timestamp of every injection — must replay exactly.
+        prop_assert_eq!(
+            a.sys.kernel.faults.ledger(),
+            b.sys.kernel.faults.ledger()
+        );
+    }
+}
