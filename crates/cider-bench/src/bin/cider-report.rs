@@ -15,6 +15,11 @@
 //! `trace_event` JSON file plus flamegraph folded stacks under
 //! `target/trace/`. Load the `.trace.json` in `chrome://tracing` or
 //! Perfetto; feed the `.folded` file to `flamegraph.pl`.
+//!
+//! With `--conform`, the report ends with the differential ABI
+//! conformance matrix from `cider-conform` (default seed and program
+//! count): per-personality agreement across outcome, VFS state,
+//! fd-table shape, cwd, and Mach port topology.
 
 use std::fs;
 use std::path::Path;
@@ -107,6 +112,7 @@ fn dump_trace(config: SystemConfig, snap: &TraceSnapshot, dir: &Path) {
 fn main() {
     let raw = std::env::args().any(|a| a == "--raw");
     let trace = std::env::args().any(|a| a == "--trace");
+    let conform = std::env::args().any(|a| a == "--conform");
     println!("Cider reproduction — full evaluation (virtual time)\n");
     let fig5 = if trace {
         let (fig5, snapshots) = cider_bench::fig5::run_traced();
@@ -147,5 +153,11 @@ fn main() {
             }
         }
         Err(e) => println!("ablations failed: {e}"),
+    }
+    if conform {
+        use cider_conform::engine::{run_engine, EngineConfig};
+        let cfg = EngineConfig::default();
+        println!("\n## Conformance (cider-conform)");
+        print!("{}", run_engine(&cfg).render(cfg.seed));
     }
 }

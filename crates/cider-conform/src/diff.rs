@@ -1,0 +1,227 @@
+//! Diffs normalized observations across configuration pairs.
+//!
+//! The engine compares two pairs: translated-vs-native (does the Cider
+//! persona behave like real XNU trap tables?) and translated-vs-Linux
+//! (does a foreign op with a domestic equivalent observe the same
+//! kernel?). Native-vs-Linux adds no information the two together
+//! don't already imply, so it is not compared.
+
+use std::fmt;
+
+use crate::exec::{ConfigId, ExecOutcome, OpObs};
+
+/// One comparison dimension of the conformance matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dimension {
+    /// Per-op normalized return value / errno / kern_return.
+    Outcome,
+    /// End-state VFS fingerprint.
+    Vfs,
+    /// End-state descriptor-table shape.
+    FdTable,
+    /// End-state working directory.
+    Cwd,
+    /// End-state live Mach port count (XNU pair only).
+    MachPorts,
+}
+
+impl Dimension {
+    /// All dimensions in matrix order.
+    pub const ALL: [Dimension; 5] = [
+        Dimension::Outcome,
+        Dimension::Vfs,
+        Dimension::FdTable,
+        Dimension::Cwd,
+        Dimension::MachPorts,
+    ];
+
+    /// Stable label used in reports and corpus notes.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dimension::Outcome => "outcome",
+            Dimension::Vfs => "vfs-state",
+            Dimension::FdTable => "fd-table",
+            Dimension::Cwd => "cwd",
+            Dimension::MachPorts => "mach-ports",
+        }
+    }
+}
+
+impl fmt::Display for Dimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The configuration pairs the engine diffs.
+pub const PAIRS: [(ConfigId, ConfigId); 2] = [
+    (ConfigId::XnuTranslated, ConfigId::XnuNative),
+    (ConfigId::XnuTranslated, ConfigId::Linux),
+];
+
+/// One observed disagreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// What disagreed.
+    pub dimension: Dimension,
+    /// Op index for [`Dimension::Outcome`]; `None` for final-state
+    /// dimensions.
+    pub op_index: Option<usize>,
+    /// Left configuration and its observed value.
+    pub left: ConfigId,
+    /// Left value, in token form.
+    pub lvalue: String,
+    /// Right configuration.
+    pub right: ConfigId,
+    /// Right value, in token form.
+    pub rvalue: String,
+}
+
+impl Divergence {
+    /// A stable identity for dedup and shrink preservation: the shrunk
+    /// program must reproduce exactly this disagreement (same
+    /// dimension, same pair, same values — op position is allowed to
+    /// move as ops are removed).
+    pub fn signature(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.dimension.label(),
+            self.left.label(),
+            self.right.label(),
+            self.lvalue,
+            self.rvalue
+        )
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op_index {
+            Some(i) => write!(
+                f,
+                "{} op#{i}: {}={} vs {}={}",
+                self.dimension,
+                self.left,
+                self.lvalue,
+                self.right,
+                self.rvalue
+            ),
+            None => write!(
+                f,
+                "{}: {}={} vs {}={}",
+                self.dimension,
+                self.left,
+                self.lvalue,
+                self.right,
+                self.rvalue
+            ),
+        }
+    }
+}
+
+/// The full diff of one execution: how many comparisons each
+/// `(pair, dimension)` cell performed, and every disagreement.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// `((left, right), dimension, comparisons)` counts.
+    pub comparisons: Vec<((ConfigId, ConfigId), Dimension, u64)>,
+    /// All disagreements found.
+    pub divergences: Vec<Divergence>,
+}
+
+/// Compares the per-pair observations of one execution.
+pub fn compare(out: &ExecOutcome) -> DiffReport {
+    let mut report = DiffReport::default();
+    for (left, right) in PAIRS {
+        let a = out.observation(left);
+        let b = out.observation(right);
+        // Per-op outcomes: an op skipped on either side is outside
+        // that pair's shared vocabulary and is not a comparison.
+        let mut compared = 0u64;
+        for (i, (x, y)) in a.ops.iter().zip(&b.ops).enumerate() {
+            if matches!(x, OpObs::Skip) || matches!(y, OpObs::Skip) {
+                continue;
+            }
+            compared += 1;
+            if x != y {
+                report.divergences.push(Divergence {
+                    dimension: Dimension::Outcome,
+                    op_index: Some(i),
+                    left,
+                    lvalue: x.to_token(),
+                    right,
+                    rvalue: y.to_token(),
+                });
+            }
+        }
+        report
+            .comparisons
+            .push(((left, right), Dimension::Outcome, compared));
+
+        let fin_a = &a.final_state;
+        let fin_b = &b.final_state;
+        let mut fin = |dim: Dimension, lv: String, rv: String| {
+            report.comparisons.push(((left, right), dim, 1));
+            if lv != rv {
+                report.divergences.push(Divergence {
+                    dimension: dim,
+                    op_index: None,
+                    left,
+                    lvalue: lv,
+                    right,
+                    rvalue: rv,
+                });
+            }
+        };
+        fin(
+            Dimension::Vfs,
+            format!("{:016x}", fin_a.vfs),
+            format!("{:016x}", fin_b.vfs),
+        );
+        fin(Dimension::FdTable, fin_a.fds.clone(), fin_b.fds.clone());
+        fin(Dimension::Cwd, fin_a.cwd.clone(), fin_b.cwd.clone());
+        if let (Some(pa), Some(pb)) = (fin_a.ports, fin_b.ports) {
+            fin(Dimension::MachPorts, pa.to_string(), pb.to_string());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::grammar::Program;
+
+    #[test]
+    fn clean_vfs_program_produces_no_divergence() {
+        let p = Program::parse(
+            "open path=0 flags=3\nwrite fd=3 len=9\nclose fd=3\nmkdir path=3\n",
+        )
+        .unwrap();
+        let report = compare(&execute(&p, None));
+        assert!(
+            report.divergences.is_empty(),
+            "unexpected: {:?}",
+            report.divergences
+        );
+        // 4 ops × 2 pairs, plus 3 final dims × 2 pairs + mach-ports × 1.
+        let total: u64 = report.comparisons.iter().map(|(_, _, n)| n).sum();
+        assert_eq!(total, 8 + 7);
+    }
+
+    #[test]
+    fn diag_divergence_is_reported_with_stable_signature() {
+        let p = Program::parse("diag n=0\n").unwrap();
+        let report = compare(&execute(&p, None));
+        let d: Vec<_> = report
+            .divergences
+            .iter()
+            .filter(|d| d.dimension == Dimension::Outcome)
+            .collect();
+        assert_eq!(d.len(), 1, "only the XNU pair compares diag");
+        assert_eq!(d[0].right, ConfigId::XnuNative);
+        let again = compare(&execute(&p, None));
+        assert_eq!(d[0].signature(), again.divergences[0].signature());
+    }
+}

@@ -1,0 +1,686 @@
+//! The workload grammar: a small, closed vocabulary of kernel
+//! operations, a seeded generator with coverage steering, and a stable
+//! one-op-per-line text form used by the regression corpus.
+//!
+//! Operands are tiny indices (`u8`) into fixed pools — paths, fd slots,
+//! signal numbers — rather than raw kernel values. That keeps programs
+//! meaningful across all three execution configurations (the same
+//! index resolves through the same pool everywhere) and makes shrinking
+//! and serialization trivial.
+
+use cider_fault::SplitMix64;
+
+/// Paths every program draws from. `/conform` exists at setup;
+/// `/conform/sub` only exists once a program mkdirs it, so resolution
+/// failures are part of the grammar. `/missing/nope` can never resolve.
+pub const PATH_POOL: [&str; 8] = [
+    "/conform/a",
+    "/conform/b",
+    "/conform/c",
+    "/conform/sub",
+    "/conform/sub/d",
+    "/conform/seed",
+    "/tmp/conform-scratch",
+    "/missing/nope",
+];
+
+/// Open-flag combinations, expressed ABI-independently as (BSD, Linux)
+/// raw pairs that name the same semantic flags. Index `flags % len`.
+/// BSD numbering is XNU's (`O_CREAT` = 0x200 …); Linux numbering is the
+/// kernel's native `OpenFlags` encoding.
+pub const FLAG_COMBOS: [(u32, u32); 6] = [
+    // O_RDONLY
+    (0x0, 0o0),
+    // O_WRONLY
+    (0x1, 0o1),
+    // O_RDWR
+    (0x2, 0o2),
+    // O_WRONLY | O_CREAT
+    (0x1 | 0x200, 0o1 | 0o100),
+    // O_WRONLY | O_CREAT | O_EXCL
+    (0x1 | 0x200 | 0x800, 0o1 | 0o100 | 0o200),
+    // O_RDWR | O_CREAT | O_TRUNC
+    (0x2 | 0x200 | 0x400, 0o2 | 0o100 | 0o1000),
+];
+
+/// Signals used by `kill`/`sigaction` ops; every entry has both a Linux
+/// and an XNU number so the op stays expressible under every persona.
+/// Raw values are Linux numbering (the engine renumbers per ABI).
+pub const SIGNAL_POOL: [i32; 6] = [1, 2, 10, 12, 15, 17];
+
+/// One workload operation. Fields are pool indices, not kernel values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    // --- Unix class (both ABIs) ---
+    Getpid,
+    Open { path: u8, flags: u8 },
+    Close { fd: u8 },
+    Read { fd: u8, len: u8 },
+    Write { fd: u8, len: u8 },
+    Dup { fd: u8 },
+    Pipe,
+    Socketpair,
+    Mkdir { path: u8 },
+    Unlink { path: u8 },
+    Stat { path: u8 },
+    Chdir { path: u8 },
+    Select { n: u8 },
+    Fork,
+    ExitChild { code: u8 },
+    Waitpid,
+    Kill { sig: u8 },
+    Sigaction { sig: u8, disp: u8 },
+    Nanosleep { ms: u8 },
+    Execve { path: u8 },
+    Spawn { path: u8 },
+    // --- psynch (XNU-only Unix-class traps) ---
+    MutexWait { m: u8 },
+    MutexDrop { m: u8 },
+    CvWait { cv: u8, m: u8 },
+    CvSignal { cv: u8 },
+    CvBroad { cv: u8 },
+    // --- Mach class (XNU-only) ---
+    TaskSelf,
+    ThreadSelf,
+    HostSelf,
+    ReplyPort,
+    PortAllocate,
+    PortDeallocate { slot: u8 },
+    InsertRight { slot: u8 },
+    MsgSend { slot: u8, len: u8 },
+    MsgRecv { slot: u8 },
+    SemSignal { sem: u8 },
+    SemWait { sem: u8 },
+    VmAllocate { pages: u8 },
+    VmDeallocate,
+    // --- MachDep / Diag entry paths (XNU-only) ---
+    MachDep { n: u8 },
+    Diag { n: u8 },
+    // --- kqueue (library level, runs under every configuration) ---
+    KqAddRead { fd: u8 },
+    KqDelRead { fd: u8 },
+    KqAddTimer { t: u8, ms: u8 },
+    KqDelTimer { t: u8 },
+    KqPoll,
+}
+
+/// Number of op kinds in the grammar.
+pub const KIND_COUNT: usize = 46;
+
+impl Op {
+    /// The dispatch-table entry this op exercises on the translated XNU
+    /// configuration, as `"<class>/<handler name>"`, or `None` when the
+    /// op never reaches a dispatch table (kqueue library calls) or has
+    /// no named handler (machdep/diag entry paths, direct sleeps).
+    pub fn dispatch_site(self) -> Option<&'static str> {
+        Some(match self {
+            Op::Getpid => "unix/getpid",
+            Op::Open { .. } => "unix/open",
+            Op::Close { .. } => "unix/close",
+            Op::Read { .. } => "unix/read",
+            Op::Write { .. } => "unix/write",
+            Op::Dup { .. } => "unix/dup",
+            Op::Pipe => "unix/pipe",
+            Op::Socketpair => "unix/socketpair",
+            Op::Mkdir { .. } => "unix/mkdir",
+            Op::Unlink { .. } => "unix/unlink",
+            Op::Stat { .. } => "unix/stat64",
+            Op::Chdir { .. } => "unix/chdir",
+            Op::Select { .. } => "unix/select",
+            Op::Fork => "unix/fork",
+            Op::ExitChild { .. } => "unix/exit",
+            Op::Waitpid => "unix/waitpid",
+            Op::Kill { .. } => "unix/kill",
+            Op::Sigaction { .. } => "unix/sigaction",
+            Op::Execve { .. } => "unix/execve",
+            Op::Spawn { .. } => "unix/posix_spawn",
+            Op::MutexWait { .. } => "unix/psynch_mutexwait",
+            Op::MutexDrop { .. } => "unix/psynch_mutexdrop",
+            Op::CvWait { .. } => "unix/psynch_cvwait",
+            Op::CvSignal { .. } => "unix/psynch_cvsignal",
+            Op::CvBroad { .. } => "unix/psynch_cvbroad",
+            Op::TaskSelf => "mach/task_self_trap",
+            Op::ThreadSelf => "mach/thread_self_trap",
+            Op::HostSelf => "mach/host_self_trap",
+            Op::ReplyPort => "mach/mach_reply_port",
+            Op::PortAllocate => "mach/mach_port_allocate",
+            Op::PortDeallocate { .. } => "mach/mach_port_deallocate",
+            Op::InsertRight { .. } => "mach/mach_port_insert_right",
+            Op::MsgSend { .. } => "mach/mach_msg_trap",
+            Op::MsgRecv { .. } => "mach/mach_msg_trap",
+            Op::SemSignal { .. } => "mach/semaphore_signal_trap",
+            Op::SemWait { .. } => "mach/semaphore_wait_trap",
+            Op::VmAllocate { .. } => "mach/mach_vm_allocate",
+            Op::VmDeallocate => "mach/mach_vm_deallocate",
+            Op::Nanosleep { .. }
+            | Op::MachDep { .. }
+            | Op::Diag { .. }
+            | Op::KqAddRead { .. }
+            | Op::KqDelRead { .. }
+            | Op::KqAddTimer { .. }
+            | Op::KqDelTimer { .. }
+            | Op::KqPoll => return None,
+        })
+    }
+
+    /// Serializes to the corpus line form: `name [k=v ...]`, fields in
+    /// declaration order. The inverse of [`Op::parse`].
+    pub fn to_line(self) -> String {
+        match self {
+            Op::Getpid => "getpid".into(),
+            Op::Open { path, flags } => {
+                format!("open path={path} flags={flags}")
+            }
+            Op::Close { fd } => format!("close fd={fd}"),
+            Op::Read { fd, len } => format!("read fd={fd} len={len}"),
+            Op::Write { fd, len } => format!("write fd={fd} len={len}"),
+            Op::Dup { fd } => format!("dup fd={fd}"),
+            Op::Pipe => "pipe".into(),
+            Op::Socketpair => "socketpair".into(),
+            Op::Mkdir { path } => format!("mkdir path={path}"),
+            Op::Unlink { path } => format!("unlink path={path}"),
+            Op::Stat { path } => format!("stat path={path}"),
+            Op::Chdir { path } => format!("chdir path={path}"),
+            Op::Select { n } => format!("select n={n}"),
+            Op::Fork => "fork".into(),
+            Op::ExitChild { code } => format!("exit_child code={code}"),
+            Op::Waitpid => "waitpid".into(),
+            Op::Kill { sig } => format!("kill sig={sig}"),
+            Op::Sigaction { sig, disp } => {
+                format!("sigaction sig={sig} disp={disp}")
+            }
+            Op::Nanosleep { ms } => format!("nanosleep ms={ms}"),
+            Op::Execve { path } => format!("execve path={path}"),
+            Op::Spawn { path } => format!("posix_spawn path={path}"),
+            Op::MutexWait { m } => format!("mutex_wait m={m}"),
+            Op::MutexDrop { m } => format!("mutex_drop m={m}"),
+            Op::CvWait { cv, m } => format!("cv_wait cv={cv} m={m}"),
+            Op::CvSignal { cv } => format!("cv_signal cv={cv}"),
+            Op::CvBroad { cv } => format!("cv_broad cv={cv}"),
+            Op::TaskSelf => "task_self".into(),
+            Op::ThreadSelf => "thread_self".into(),
+            Op::HostSelf => "host_self".into(),
+            Op::ReplyPort => "reply_port".into(),
+            Op::PortAllocate => "port_allocate".into(),
+            Op::PortDeallocate { slot } => {
+                format!("port_deallocate slot={slot}")
+            }
+            Op::InsertRight { slot } => format!("insert_right slot={slot}"),
+            Op::MsgSend { slot, len } => {
+                format!("msg_send slot={slot} len={len}")
+            }
+            Op::MsgRecv { slot } => format!("msg_recv slot={slot}"),
+            Op::SemSignal { sem } => format!("sem_signal sem={sem}"),
+            Op::SemWait { sem } => format!("sem_wait sem={sem}"),
+            Op::VmAllocate { pages } => format!("vm_allocate pages={pages}"),
+            Op::VmDeallocate => "vm_deallocate".into(),
+            Op::MachDep { n } => format!("machdep n={n}"),
+            Op::Diag { n } => format!("diag n={n}"),
+            Op::KqAddRead { fd } => format!("kq_add_read fd={fd}"),
+            Op::KqDelRead { fd } => format!("kq_del_read fd={fd}"),
+            Op::KqAddTimer { t, ms } => format!("kq_add_timer t={t} ms={ms}"),
+            Op::KqDelTimer { t } => format!("kq_del_timer t={t}"),
+            Op::KqPoll => "kq_poll".into(),
+        }
+    }
+
+    /// Parses one corpus line back into an op. Returns `None` on any
+    /// malformed input (unknown name, missing/extra/misnamed field).
+    pub fn parse(line: &str) -> Option<Op> {
+        let mut parts = line.split_whitespace();
+        let name = parts.next()?;
+        let mut fields = Vec::new();
+        for p in parts {
+            let (k, v) = p.split_once('=')?;
+            fields.push((k, v.parse::<u8>().ok()?));
+        }
+        let f = |want: &[&str]| -> Option<Vec<u8>> {
+            if fields.len() != want.len() {
+                return None;
+            }
+            want.iter()
+                .zip(&fields)
+                .map(|(w, (k, v))| if w == k { Some(*v) } else { None })
+                .collect()
+        };
+        let op = match name {
+            "getpid" => Op::Getpid,
+            "open" => {
+                let v = f(&["path", "flags"])?;
+                Op::Open {
+                    path: v[0],
+                    flags: v[1],
+                }
+            }
+            "close" => Op::Close { fd: f(&["fd"])?[0] },
+            "read" => {
+                let v = f(&["fd", "len"])?;
+                Op::Read {
+                    fd: v[0],
+                    len: v[1],
+                }
+            }
+            "write" => {
+                let v = f(&["fd", "len"])?;
+                Op::Write {
+                    fd: v[0],
+                    len: v[1],
+                }
+            }
+            "dup" => Op::Dup { fd: f(&["fd"])?[0] },
+            "pipe" => Op::Pipe,
+            "socketpair" => Op::Socketpair,
+            "mkdir" => Op::Mkdir {
+                path: f(&["path"])?[0],
+            },
+            "unlink" => Op::Unlink {
+                path: f(&["path"])?[0],
+            },
+            "stat" => Op::Stat {
+                path: f(&["path"])?[0],
+            },
+            "chdir" => Op::Chdir {
+                path: f(&["path"])?[0],
+            },
+            "select" => Op::Select { n: f(&["n"])?[0] },
+            "fork" => Op::Fork,
+            "exit_child" => Op::ExitChild {
+                code: f(&["code"])?[0],
+            },
+            "waitpid" => Op::Waitpid,
+            "kill" => Op::Kill {
+                sig: f(&["sig"])?[0],
+            },
+            "sigaction" => {
+                let v = f(&["sig", "disp"])?;
+                Op::Sigaction {
+                    sig: v[0],
+                    disp: v[1],
+                }
+            }
+            "nanosleep" => Op::Nanosleep { ms: f(&["ms"])?[0] },
+            "execve" => Op::Execve {
+                path: f(&["path"])?[0],
+            },
+            "posix_spawn" => Op::Spawn {
+                path: f(&["path"])?[0],
+            },
+            "mutex_wait" => Op::MutexWait { m: f(&["m"])?[0] },
+            "mutex_drop" => Op::MutexDrop { m: f(&["m"])?[0] },
+            "cv_wait" => {
+                let v = f(&["cv", "m"])?;
+                Op::CvWait { cv: v[0], m: v[1] }
+            }
+            "cv_signal" => Op::CvSignal { cv: f(&["cv"])?[0] },
+            "cv_broad" => Op::CvBroad { cv: f(&["cv"])?[0] },
+            "task_self" => Op::TaskSelf,
+            "thread_self" => Op::ThreadSelf,
+            "host_self" => Op::HostSelf,
+            "reply_port" => Op::ReplyPort,
+            "port_allocate" => Op::PortAllocate,
+            "port_deallocate" => Op::PortDeallocate {
+                slot: f(&["slot"])?[0],
+            },
+            "insert_right" => Op::InsertRight {
+                slot: f(&["slot"])?[0],
+            },
+            "msg_send" => {
+                let v = f(&["slot", "len"])?;
+                Op::MsgSend {
+                    slot: v[0],
+                    len: v[1],
+                }
+            }
+            "msg_recv" => Op::MsgRecv {
+                slot: f(&["slot"])?[0],
+            },
+            "sem_signal" => Op::SemSignal {
+                sem: f(&["sem"])?[0],
+            },
+            "sem_wait" => Op::SemWait {
+                sem: f(&["sem"])?[0],
+            },
+            "vm_allocate" => Op::VmAllocate {
+                pages: f(&["pages"])?[0],
+            },
+            "vm_deallocate" => Op::VmDeallocate,
+            "machdep" => Op::MachDep { n: f(&["n"])?[0] },
+            "diag" => Op::Diag { n: f(&["n"])?[0] },
+            "kq_add_read" => Op::KqAddRead { fd: f(&["fd"])?[0] },
+            "kq_del_read" => Op::KqDelRead { fd: f(&["fd"])?[0] },
+            "kq_add_timer" => {
+                let v = f(&["t", "ms"])?;
+                Op::KqAddTimer { t: v[0], ms: v[1] }
+            }
+            "kq_del_timer" => Op::KqDelTimer { t: f(&["t"])?[0] },
+            "kq_poll" => Op::KqPoll,
+            _ => return None,
+        };
+        // Round-trip check doubles as arity validation: stray fields on
+        // niladic ops and misordered fields both fail here.
+        if op.to_line() != normalize(line) {
+            return None;
+        }
+        Some(op)
+    }
+}
+
+fn normalize(line: &str) -> String {
+    line.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Materializes op kind `k` (0..[`KIND_COUNT`]) with operands drawn
+/// from `rng`. The draw count per kind is fixed, so generation is a
+/// pure function of the seed stream.
+fn make_op(k: usize, rng: &mut SplitMix64) -> Op {
+    match k {
+        0 => Op::Getpid,
+        1 => Op::Open {
+            path: rng.below(PATH_POOL.len() as u64) as u8,
+            flags: rng.below(FLAG_COMBOS.len() as u64) as u8,
+        },
+        2 => Op::Close {
+            fd: rng.below(10) as u8,
+        },
+        3 => Op::Read {
+            fd: rng.below(10) as u8,
+            len: rng.below(64) as u8,
+        },
+        4 => Op::Write {
+            fd: rng.below(10) as u8,
+            len: rng.below(48) as u8,
+        },
+        5 => Op::Dup {
+            fd: rng.below(10) as u8,
+        },
+        6 => Op::Pipe,
+        7 => Op::Socketpair,
+        8 => Op::Mkdir {
+            path: rng.below(PATH_POOL.len() as u64) as u8,
+        },
+        9 => Op::Unlink {
+            path: rng.below(PATH_POOL.len() as u64) as u8,
+        },
+        10 => Op::Stat {
+            path: rng.below(PATH_POOL.len() as u64) as u8,
+        },
+        11 => Op::Chdir {
+            path: rng.below(PATH_POOL.len() as u64) as u8,
+        },
+        12 => Op::Select {
+            n: rng.below(5) as u8,
+        },
+        13 => Op::Fork,
+        14 => Op::ExitChild {
+            code: rng.below(4) as u8,
+        },
+        15 => Op::Waitpid,
+        16 => Op::Kill {
+            sig: rng.below(SIGNAL_POOL.len() as u64) as u8,
+        },
+        17 => Op::Sigaction {
+            sig: rng.below(SIGNAL_POOL.len() as u64) as u8,
+            disp: rng.below(3) as u8,
+        },
+        18 => Op::Nanosleep {
+            ms: rng.below(20) as u8,
+        },
+        19 => Op::MutexWait {
+            m: rng.below(2) as u8,
+        },
+        20 => Op::MutexDrop {
+            m: rng.below(2) as u8,
+        },
+        21 => Op::CvWait {
+            cv: rng.below(2) as u8,
+            m: rng.below(2) as u8,
+        },
+        22 => Op::CvSignal {
+            cv: rng.below(2) as u8,
+        },
+        23 => Op::CvBroad {
+            cv: rng.below(2) as u8,
+        },
+        24 => Op::TaskSelf,
+        25 => Op::ThreadSelf,
+        26 => Op::HostSelf,
+        27 => Op::ReplyPort,
+        28 => Op::PortAllocate,
+        29 => Op::PortDeallocate {
+            slot: rng.below(4) as u8,
+        },
+        30 => Op::InsertRight {
+            slot: rng.below(4) as u8,
+        },
+        31 => Op::MsgSend {
+            slot: rng.below(4) as u8,
+            len: rng.below(32) as u8,
+        },
+        32 => Op::MsgRecv {
+            slot: rng.below(4) as u8,
+        },
+        33 => Op::SemSignal {
+            sem: rng.below(3) as u8,
+        },
+        34 => Op::SemWait {
+            sem: rng.below(3) as u8,
+        },
+        35 => Op::VmAllocate {
+            pages: rng.below(8) as u8,
+        },
+        36 => Op::VmDeallocate,
+        37 => Op::MachDep {
+            n: rng.below(4) as u8,
+        },
+        38 => Op::Diag {
+            n: rng.below(2) as u8,
+        },
+        39 => Op::KqAddRead {
+            fd: rng.below(10) as u8,
+        },
+        40 => Op::KqDelRead {
+            fd: rng.below(10) as u8,
+        },
+        41 => Op::KqAddTimer {
+            t: rng.below(3) as u8,
+            ms: rng.below(30) as u8,
+        },
+        42 => Op::KqDelTimer {
+            t: rng.below(3) as u8,
+        },
+        43 => Op::KqPoll,
+        44 => Op::Execve {
+            path: rng.below(PATH_POOL.len() as u64) as u8,
+        },
+        _ => Op::Spawn {
+            path: rng.below(PATH_POOL.len() as u64) as u8,
+        },
+    }
+}
+
+/// A workload program: a flat op list, replayed in order by the
+/// executor under each configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Operations in execution order.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// Serializes to the corpus text block (one op per line).
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for op in &self.ops {
+            s.push_str(&op.to_line());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses a corpus text block. Blank lines and `#` comments are
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending line on parse failure.
+    pub fn parse(text: &str) -> Result<Program, String> {
+        let mut ops = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            ops.push(
+                Op::parse(line)
+                    .ok_or_else(|| format!("bad op line: {line}"))?,
+            );
+        }
+        Ok(Program { ops })
+    }
+}
+
+/// Dispatch-entry coverage accumulated across a generation run. The
+/// universe is every installed entry of the translated persona's Unix
+/// and Mach tables; covered entries are read back from cider-trace
+/// per-syscall metrics after each translated execution.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    universe: std::collections::BTreeSet<String>,
+    covered: std::collections::BTreeSet<String>,
+}
+
+impl Coverage {
+    /// A coverage tracker over the given universe of
+    /// `"<class>/<name>"` dispatch sites.
+    pub fn new(universe: impl IntoIterator<Item = String>) -> Coverage {
+        Coverage {
+            universe: universe.into_iter().collect(),
+            covered: Default::default(),
+        }
+    }
+
+    /// Marks a site covered; returns `true` when the site is in the
+    /// universe and was not covered before (a coverage event).
+    pub fn cover(&mut self, site: &str) -> bool {
+        if self.universe.contains(site) {
+            self.covered.insert(site.to_string())
+        } else {
+            false
+        }
+    }
+
+    /// Whether a site has been exercised.
+    pub fn is_covered(&self, site: &str) -> bool {
+        self.covered.contains(site)
+    }
+
+    /// Covered / universe counts.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.covered.len(), self.universe.len())
+    }
+
+    /// Universe sites not yet exercised, in stable order.
+    pub fn uncovered(&self) -> Vec<&str> {
+        self.universe
+            .iter()
+            .filter(|s| !self.covered.contains(*s))
+            .map(|s| s.as_str())
+            .collect()
+    }
+}
+
+/// Generates program number `index` of a run seeded with `seed`.
+///
+/// Coverage steering: op kinds whose dispatch site is still uncovered
+/// are preferred with probability one half per slot; the other half
+/// draws uniformly so already-covered behavior keeps getting
+/// recombined. With coverage complete the generator degenerates to the
+/// uniform draw. Program length is 2..=24 ops.
+pub fn generate(seed: u64, index: u64, coverage: &Coverage) -> Program {
+    let mut rng = SplitMix64::new(
+        seed ^ (index.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1),
+    );
+    let len = 2 + rng.below(23) as usize;
+    let uncovered_kinds: Vec<usize> = (0..KIND_COUNT)
+        .filter(|&k| {
+            // Probe the kind's site with a throwaway rng so the real
+            // stream is not perturbed by the probe's operand draws.
+            let mut probe = SplitMix64::new(0);
+            make_op(k, &mut probe)
+                .dispatch_site()
+                .is_some_and(|s| !coverage.is_covered(s))
+        })
+        .collect();
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let kind = if !uncovered_kinds.is_empty() && rng.below(2) == 0 {
+            uncovered_kinds[rng.below(uncovered_kinds.len() as u64) as usize]
+        } else {
+            rng.below(KIND_COUNT as u64) as usize
+        };
+        ops.push(make_op(kind, &mut rng));
+    }
+    Program { ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_round_trips_through_text() {
+        let mut rng = SplitMix64::new(42);
+        for k in 0..KIND_COUNT {
+            let op = make_op(k, &mut rng);
+            let line = op.to_line();
+            assert_eq!(Op::parse(&line), Some(op), "kind {k}: {line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert_eq!(Op::parse("frobnicate"), None);
+        assert_eq!(Op::parse("open path=1"), None);
+        assert_eq!(Op::parse("open path=1 flags=2 extra=3"), None);
+        assert_eq!(Op::parse("close fd=notanumber"), None);
+        assert_eq!(Op::parse("getpid fd=1"), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_length_bounded() {
+        let cov = Coverage::default();
+        for i in 0..50 {
+            let a = generate(7, i, &cov);
+            let b = generate(7, i, &cov);
+            assert_eq!(a, b);
+            assert!((2..=24).contains(&a.ops.len()));
+        }
+        assert_ne!(generate(7, 0, &cov), generate(7, 1, &cov));
+        assert_ne!(generate(7, 0, &cov), generate(8, 0, &cov));
+    }
+
+    #[test]
+    fn coverage_steering_prefers_uncovered_sites() {
+        // With everything uncovered, steered programs hit dispatch
+        // sites; with everything covered, generation still succeeds.
+        let mut cov = Coverage::new((0..KIND_COUNT).filter_map(|k| {
+            let mut probe = SplitMix64::new(0);
+            make_op(k, &mut probe).dispatch_site().map(String::from)
+        }));
+        let p = generate(3, 0, &cov);
+        assert!(p.ops.iter().any(|o| o.dispatch_site().is_some()));
+        for s in p.ops.iter().filter_map(|o| o.dispatch_site()) {
+            cov.cover(s);
+        }
+        let (covered, total) = cov.counts();
+        assert!(covered >= 1 && covered <= total);
+    }
+
+    #[test]
+    fn program_text_round_trips() {
+        let cov = Coverage::default();
+        let p = generate(19, 4, &cov);
+        let text = p.to_text();
+        assert_eq!(Program::parse(&text).unwrap(), p);
+    }
+}

@@ -1,0 +1,102 @@
+//! Greedy program shrinking: repeatedly drop single ops while a
+//! caller-supplied predicate keeps holding on the re-executed program.
+//!
+//! The engine shrinks with two predicates: "this divergence signature
+//! is still produced" (regression corpus) and "this dispatch site is
+//! still covered" (coverage witnesses). Shrinking is deterministic —
+//! a fixed right-to-left sweep repeated to fixpoint — so the same
+//! divergence always shrinks to the same minimal program.
+
+use cider_fault::FaultPlan;
+
+use crate::exec::{execute, ExecOutcome};
+use crate::grammar::Program;
+
+/// Shrinks `program` to a locally minimal form that still satisfies
+/// `keep`. The input program is assumed to satisfy `keep` already; the
+/// result always does.
+pub fn shrink(
+    program: &Program,
+    plan: Option<&FaultPlan>,
+    keep: impl Fn(&ExecOutcome) -> bool,
+) -> Program {
+    let mut cur = program.clone();
+    loop {
+        let mut improved = false;
+        // Right-to-left so indices stay valid across removals and
+        // later ops (usually the interesting ones) are tried last.
+        let mut i = cur.ops.len();
+        while i > 0 {
+            i -= 1;
+            if cur.ops.len() <= 1 {
+                break;
+            }
+            let mut cand = cur.clone();
+            cand.ops.remove(i);
+            if keep(&execute(&cand, plan)) {
+                cur = cand;
+                improved = true;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::compare;
+    use crate::grammar::{generate, Coverage, Op};
+
+    #[test]
+    fn shrink_reduces_diag_noise_to_one_op() {
+        // A noisy program whose only divergence is the diag trap
+        // shrinks to just that op.
+        let p = Program::parse(
+            "getpid\nopen path=5 flags=0\ndiag n=1\npipe\nstat path=5\n",
+        )
+        .unwrap();
+        let sig = compare(&execute(&p, None))
+            .divergences
+            .first()
+            .expect("diag diverges")
+            .signature();
+        let small = shrink(&p, None, |out| {
+            compare(out)
+                .divergences
+                .iter()
+                .any(|d| d.signature() == sig)
+        });
+        assert_eq!(small.ops, vec![Op::Diag { n: 1 }]);
+    }
+
+    #[test]
+    fn shrink_preserves_coverage_witness() {
+        let p = generate(5, 2, &Coverage::default());
+        let out = execute(&p, None);
+        if let Some(site) = out.covered_sites.first().cloned() {
+            let small = shrink(&p, None, |o| o.covered_sites.contains(&site));
+            assert!(!small.ops.is_empty());
+            assert!(small.ops.len() <= p.ops.len());
+            let again = execute(&small, None);
+            assert!(again.covered_sites.contains(&site));
+        }
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let p =
+            Program::parse("task_self\ndiag n=0\nwrite fd=1 len=3\nkq_poll\n")
+                .unwrap();
+        let sig = compare(&execute(&p, None)).divergences[0].signature();
+        let keep = |out: &ExecOutcome| {
+            compare(out)
+                .divergences
+                .iter()
+                .any(|d| d.signature() == sig)
+        };
+        assert_eq!(shrink(&p, None, keep), shrink(&p, None, keep));
+    }
+}

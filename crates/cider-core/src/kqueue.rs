@@ -255,6 +255,104 @@ mod tests {
     }
 
     #[test]
+    fn poll_orders_reads_before_timers_and_by_ident() {
+        let (mut k, tid, mut kq) = setup();
+        let (r1, w1) = k.sys_pipe(tid).unwrap();
+        let (r2, w2) = k.sys_pipe(tid).unwrap();
+        // Register in reverse order; delivery is ident-ordered anyway.
+        kq.apply(&k, EvAction::Add, read_ev(r2, 22)).unwrap();
+        kq.apply(&k, EvAction::Add, read_ev(r1, 11)).unwrap();
+        for (ident, udata) in [(9, 91), (4, 41)] {
+            kq.apply(
+                &k,
+                EvAction::Add,
+                Kevent {
+                    ident,
+                    filter: EvFilter::Timer,
+                    udata,
+                    timer_ms: 1,
+                },
+            )
+            .unwrap();
+        }
+        k.sys_write(tid, w1, b"a").unwrap();
+        k.sys_write(tid, w2, b"b").unwrap();
+        k.sys_nanosleep(tid, 2_000_000).unwrap();
+        let evs = kq.poll(&mut k, tid).unwrap();
+        let order: Vec<(EvFilter, u64)> =
+            evs.iter().map(|e| (e.filter, e.udata)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (EvFilter::Read, 11),
+                (EvFilter::Read, 22),
+                (EvFilter::Timer, 41),
+                (EvFilter::Timer, 91),
+            ],
+            "reads first (fd order), then timers (ident order)"
+        );
+    }
+
+    #[test]
+    fn add_then_delete_same_ident_suppresses_delivery() {
+        let (mut k, tid, mut kq) = setup();
+        let (r, w) = k.sys_pipe(tid).unwrap();
+        kq.apply(&k, EvAction::Add, read_ev(r, 5)).unwrap();
+        k.sys_write(tid, w, b"x").unwrap();
+        // Delete before the poll: the pending readiness must not leak.
+        kq.apply(&k, EvAction::Delete, read_ev(r, 5)).unwrap();
+        assert!(kq.poll(&mut k, tid).unwrap().is_empty());
+        // Re-add: the event is observable again.
+        kq.apply(&k, EvAction::Add, read_ev(r, 6)).unwrap();
+        let evs = kq.poll(&mut k, tid).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].udata, 6, "udata reflects the latest add");
+    }
+
+    #[test]
+    fn readd_overwrites_udata_without_duplicating() {
+        let (mut k, tid, mut kq) = setup();
+        let (r, w) = k.sys_pipe(tid).unwrap();
+        kq.apply(&k, EvAction::Add, read_ev(r, 1)).unwrap();
+        kq.apply(&k, EvAction::Add, read_ev(r, 2)).unwrap();
+        assert_eq!(kq.read_count(), 1, "EV_ADD on a live ident updates");
+        k.sys_write(tid, w, b"y").unwrap();
+        let evs = kq.poll(&mut k, tid).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].udata, 2);
+    }
+
+    #[test]
+    fn deleted_timer_never_fires() {
+        let (mut k, tid, mut kq) = setup();
+        kq.apply(
+            &k,
+            EvAction::Add,
+            Kevent {
+                ident: 3,
+                filter: EvFilter::Timer,
+                udata: 0,
+                timer_ms: 1,
+            },
+        )
+        .unwrap();
+        k.sys_nanosleep(tid, 5_000_000).unwrap();
+        kq.apply(
+            &k,
+            EvAction::Delete,
+            Kevent {
+                ident: 3,
+                filter: EvFilter::Timer,
+                udata: 0,
+                timer_ms: 0,
+            },
+        )
+        .unwrap();
+        assert!(kq.poll(&mut k, tid).unwrap().is_empty());
+        assert_eq!(kq.timer_count(), 0);
+    }
+
+    #[test]
     fn closed_descriptor_surfaces_ebadf() {
         let (mut k, tid, mut kq) = setup();
         let (r, _w) = k.sys_pipe(tid).unwrap();

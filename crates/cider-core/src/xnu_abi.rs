@@ -22,8 +22,8 @@ use cider_abi::syscall::{
 };
 use cider_abi::types::{OpenFlags, XnuStat64};
 use cider_kernel::dispatch::{
-    Personality, SyscallArgs, SyscallData, SyscallTable, TrapResult,
-    UserTrapResult,
+    DispatchError, Personality, SyscallArgs, SyscallData, SyscallTable,
+    TrapResult, UserTrapResult,
 };
 use cider_kernel::kernel::Kernel;
 use cider_kernel::mm::{MappingKind, Prot};
@@ -109,11 +109,27 @@ impl Default for XnuPersonality {
 
 impl XnuPersonality {
     /// Builds the personality with both dispatch tables populated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a static table has a collision (a bug by construction);
+    /// fallible callers use [`XnuPersonality::try_new`].
     pub fn new() -> XnuPersonality {
-        XnuPersonality {
-            unix: build_unix_table(),
-            mach: build_mach_table(),
-        }
+        XnuPersonality::try_new()
+            .expect("static XNU dispatch tables are collision-free")
+    }
+
+    /// Builds the personality, surfacing table collisions as
+    /// [`DispatchError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`DispatchError::Collision`] if two handlers claim one number.
+    pub fn try_new() -> Result<XnuPersonality, DispatchError> {
+        Ok(XnuPersonality {
+            unix: build_unix_table()?,
+            mach: build_mach_table()?,
+        })
     }
 
     /// The Unix-class dispatch table (introspection for tests).
@@ -226,6 +242,10 @@ impl Personality for XnuPersonality {
     fn translate_syscall(&self, number: i64) -> Option<i64> {
         match XnuTrap::decode(number)? {
             XnuTrap::Unix(call) => {
+                // Only calls this personality actually dispatches count
+                // as translated: a renumbering with no installed handler
+                // never reaches the domestic implementation.
+                self.unix.lookup(call.number())?;
                 xnu_to_linux_syscall(call).map(|l| l.number() as i64)
             }
             // Mach/machdep/diag traps have no domestic counterpart; they
@@ -298,7 +318,7 @@ fn mach_result(kr: KernReturn, out_data: Vec<u8>) -> UserTrapResult {
 // Unix-class wrappers.
 // ----------------------------------------------------------------------
 
-fn build_unix_table() -> SyscallTable {
+fn build_unix_table() -> Result<SyscallTable, DispatchError> {
     use XnuSyscall as X;
     let mut t = SyscallTable::new();
 
@@ -307,7 +327,7 @@ fn build_unix_table() -> SyscallTable {
             Ok(pid) => TrapResult::ok(pid.as_raw() as i64),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Read.number(), "read", |k, tid, args| {
         let fd = Fd(args.regs[0] as i32);
@@ -316,7 +336,7 @@ fn build_unix_table() -> SyscallTable {
             Ok(data) => TrapResult::with_data(data),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Write.number(), "write", |k, tid, args| {
         let fd = Fd(args.regs[0] as i32);
@@ -327,7 +347,7 @@ fn build_unix_table() -> SyscallTable {
             Ok(n) => TrapResult::ok(n as i64),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Open.number(), "open", |k, tid, args| {
         let SyscallData::Path(path) = &args.data else {
@@ -339,21 +359,21 @@ fn build_unix_table() -> SyscallTable {
             Ok(fd) => TrapResult::ok(fd.as_raw() as i64),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Close.number(), "close", |k, tid, args| {
         match k.sys_close(tid, Fd(args.regs[0] as i32)) {
             Ok(()) => TrapResult::ok(0),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Fork.number(), "fork", |k, tid, _| {
         match k.sys_fork(tid) {
             Ok((pid, _)) => TrapResult::ok(pid.as_raw() as i64),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Exit.number(), "exit", |k, tid, args| {
         let code = args.regs[0] as i32;
@@ -367,14 +387,14 @@ fn build_unix_table() -> SyscallTable {
             Ok(()) => TrapResult::ok(0),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Waitpid.number(), "waitpid", |k, tid, args| {
         match k.sys_waitpid(tid, Pid(args.regs[0] as u32)) {
             Ok(code) => TrapResult::ok(code as i64),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Unlink.number(), "unlink", |k, tid, args| {
         let SyscallData::Path(path) = &args.data else {
@@ -384,7 +404,7 @@ fn build_unix_table() -> SyscallTable {
             Ok(()) => TrapResult::ok(0),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Mkdir.number(), "mkdir", |k, tid, args| {
         let SyscallData::Path(path) = &args.data else {
@@ -394,7 +414,7 @@ fn build_unix_table() -> SyscallTable {
             Ok(()) => TrapResult::ok(0),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Chdir.number(), "chdir", |k, tid, args| {
         let SyscallData::Path(path) = &args.data else {
@@ -404,14 +424,14 @@ fn build_unix_table() -> SyscallTable {
             Ok(()) => TrapResult::ok(0),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Dup.number(), "dup", |k, tid, args| {
         match k.sys_dup(tid, Fd(args.regs[0] as i32)) {
             Ok(fd) => TrapResult::ok(fd.as_raw() as i64),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Pipe.number(), "pipe", |k, tid, _| {
         match k.sys_pipe(tid) {
@@ -420,7 +440,7 @@ fn build_unix_table() -> SyscallTable {
             ),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Socketpair.number(), "socketpair", |k, tid, _| {
         match k.sys_socketpair(tid) {
@@ -429,7 +449,7 @@ fn build_unix_table() -> SyscallTable {
             ),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Kill.number(), "kill", |k, tid, args| {
         let target = Pid(args.regs[0] as u32);
@@ -445,7 +465,7 @@ fn build_unix_table() -> SyscallTable {
             Ok(()) => TrapResult::ok(0),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Sigaction.number(), "sigaction", |k, tid, args| {
         let Some(xsig) = XnuSignal::from_raw(args.regs[0] as i32) else {
@@ -463,7 +483,7 @@ fn build_unix_table() -> SyscallTable {
             Ok(()) => TrapResult::ok(0),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Select.number(), "select", |k, tid, args| {
         let SyscallData::FdSet(fds) = &args.data else {
@@ -476,7 +496,7 @@ fn build_unix_table() -> SyscallTable {
             Ok(ready) => TrapResult::ok(ready.len() as i64),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Stat64.number(), "stat64", |k, tid, args| {
         let SyscallData::Path(path) = &args.data else {
@@ -493,7 +513,7 @@ fn build_unix_table() -> SyscallTable {
             }
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::Execve.number(), "execve", |k, tid, args| {
         let SyscallData::Exec { path, argv } = &args.data else {
@@ -504,7 +524,7 @@ fn build_unix_table() -> SyscallTable {
             Ok(()) => TrapResult::ok(0),
             Err(e) => TrapResult::err(e),
         }
-    });
+    })?;
 
     t.install(X::PosixSpawn.number(), "posix_spawn", |k, tid, args| {
         // "Cider implements the posix_spawn syscall ... by leveraging
@@ -524,7 +544,7 @@ fn build_unix_table() -> SyscallTable {
                 TrapResult::err(e)
             }
         }
-    });
+    })?;
 
     t.install(
         X::PsynchMutexwait.number(),
@@ -538,7 +558,7 @@ fn build_unix_table() -> SyscallTable {
                 PsynchOutcome::Blocked => TrapResult::err(Errno::EAGAIN),
             }
         },
-    );
+    )?;
 
     t.install(
         X::PsynchMutexdrop.number(),
@@ -552,7 +572,7 @@ fn build_unix_table() -> SyscallTable {
                 Err(_) => TrapResult::err(Errno::EINVAL),
             }
         },
-    );
+    )?;
 
     t.install(X::PsynchCvwait.number(), "psynch_cvwait", |k, tid, args| {
         let cv = args.regs[0] as u64;
@@ -563,7 +583,7 @@ fn build_unix_table() -> SyscallTable {
             Ok(PsynchOutcome::Blocked) => TrapResult::err(Errno::EAGAIN),
             Err(_) => TrapResult::err(Errno::EINVAL),
         }
-    });
+    })?;
 
     t.install(
         X::PsynchCvsignal.number(),
@@ -574,7 +594,7 @@ fn build_unix_table() -> SyscallTable {
                 with_state(k, |k2, st| st.psynch_cvsignal(k2, tid, cv));
             TrapResult::ok(woken as i64)
         },
-    );
+    )?;
 
     t.install(
         X::PsynchCvbroad.number(),
@@ -584,16 +604,16 @@ fn build_unix_table() -> SyscallTable {
             let n = with_state(k, |k2, st| st.psynch_cvbroadcast(k2, tid, cv));
             TrapResult::ok(n as i64)
         },
-    );
+    )?;
 
-    t
+    Ok(t)
 }
 
 // ----------------------------------------------------------------------
 // Mach-class traps.
 // ----------------------------------------------------------------------
 
-fn build_mach_table() -> SyscallTable {
+fn build_mach_table() -> Result<SyscallTable, DispatchError> {
     use MachTrap as M;
     let mut t = SyscallTable::new();
 
@@ -608,7 +628,7 @@ fn build_mach_table() -> SyscallTable {
             // MACH_PORT_NULL: port-returning traps have no error band.
             Err(_) => TrapResult::ok(0),
         }
-    });
+    })?;
 
     t.install(
         M::ThreadSelfTrap.number(),
@@ -633,7 +653,7 @@ fn build_mach_table() -> SyscallTable {
                 Err(_) => TrapResult::ok(0),
             }
         },
-    );
+    )?;
 
     t.install(M::HostSelfTrap.number(), "host_self_trap", |k, tid, _| {
         let pid = match k.thread(tid) {
@@ -654,7 +674,7 @@ fn build_mach_table() -> SyscallTable {
             Ok(n) => TrapResult::ok(n.as_raw() as i64),
             Err(_) => TrapResult::ok(0),
         }
-    });
+    })?;
 
     t.install(M::MachReplyPort.number(), "mach_reply_port", |k, tid, _| {
         let pid = match k.thread(tid) {
@@ -666,7 +686,7 @@ fn build_mach_table() -> SyscallTable {
             Ok(n) => TrapResult::ok(n.as_raw() as i64),
             Err(_) => TrapResult::ok(0),
         }
-    });
+    })?;
 
     t.install(
         M::MachPortAllocate.number(),
@@ -683,7 +703,7 @@ fn build_mach_table() -> SyscallTable {
                 Err(kr) => TrapResult::ok(kr.as_raw()),
             }
         },
-    );
+    )?;
 
     t.install(
         M::MachPortDeallocate.number(),
@@ -702,7 +722,7 @@ fn build_mach_table() -> SyscallTable {
                 Err(e) => TrapResult::ok(e.as_raw()),
             }
         },
-    );
+    )?;
 
     t.install(
         M::MachPortInsertRight.number(),
@@ -723,7 +743,7 @@ fn build_mach_table() -> SyscallTable {
                 Err(e) => TrapResult::ok(e.as_raw()),
             }
         },
-    );
+    )?;
 
     t.install(M::MachMsgTrap.number(), "mach_msg_trap", |k, tid, args| {
         const MACH_SEND_MSG: i64 = 1;
@@ -769,7 +789,7 @@ fn build_mach_table() -> SyscallTable {
             };
         }
         TrapResult::ok(KernReturn::Success.as_raw())
-    });
+    })?;
 
     t.install(
         M::SemaphoreSignalTrap.number(),
@@ -783,7 +803,7 @@ fn build_mach_table() -> SyscallTable {
                 Err(e) => TrapResult::ok(e.as_raw()),
             }
         },
-    );
+    )?;
 
     t.install(
         M::SemaphoreWaitTrap.number(),
@@ -801,7 +821,7 @@ fn build_mach_table() -> SyscallTable {
                 Err(e) => TrapResult::ok(e.as_raw()),
             }
         },
-    );
+    )?;
 
     t.install(
         M::MachVmAllocate.number(),
@@ -826,7 +846,7 @@ fn build_mach_table() -> SyscallTable {
                 Err(_) => TrapResult::ok(KernReturn::NoSpace.as_raw()),
             }
         },
-    );
+    )?;
 
     t.install(
         M::MachVmDeallocate.number(),
@@ -847,9 +867,9 @@ fn build_mach_table() -> SyscallTable {
                 Err(e) => TrapResult::err(e),
             }
         },
-    );
+    )?;
 
-    t
+    Ok(t)
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use cider_abi::ids::Tid;
 use cider_abi::signal::{sigframe, Signal};
 use cider_abi::syscall::{TrapClass, XnuTrap};
 use cider_kernel::dispatch::{
-    Personality, SyscallArgs, TrapResult, UserTrapResult,
+    DispatchError, Personality, SyscallArgs, TrapResult, UserTrapResult,
 };
 use cider_kernel::kernel::Kernel;
 use cider_xnu::kern_return::KernReturn;
@@ -28,10 +28,33 @@ pub struct XnuNativePersonality {
 
 impl XnuNativePersonality {
     /// Builds the personality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying XNU dispatch tables collide (a bug by
+    /// construction); fallible callers use
+    /// [`XnuNativePersonality::try_new`].
     pub fn new() -> XnuNativePersonality {
-        XnuNativePersonality {
-            inner: XnuPersonality::new(),
-        }
+        XnuNativePersonality::try_new()
+            .expect("static XNU dispatch tables are collision-free")
+    }
+
+    /// Builds the personality, surfacing table collisions as
+    /// [`DispatchError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`DispatchError::Collision`] if two handlers claim one number.
+    pub fn try_new() -> Result<XnuNativePersonality, DispatchError> {
+        Ok(XnuNativePersonality {
+            inner: XnuPersonality::try_new()?,
+        })
+    }
+
+    /// The underlying XNU dispatch surface (introspection for the
+    /// conformance engine and tests).
+    pub fn inner(&self) -> &XnuPersonality {
+        &self.inner
     }
 }
 

@@ -111,6 +111,42 @@ impl TrapResult {
 /// kernel's `sys_call_table`.
 pub type SyscallHandler = fn(&mut Kernel, Tid, &SyscallArgs) -> TrapResult;
 
+/// Errors building a dispatch table.
+///
+/// Dispatch tables are built once at personality construction; a
+/// collision means two handlers claim the same number, which the
+/// builder surfaces as data instead of tearing the process down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchError {
+    /// Two handlers were installed under the same syscall number.
+    Collision {
+        /// The contested syscall number.
+        nr: i32,
+        /// Name of the handler already installed.
+        existing: &'static str,
+        /// Name of the handler that lost the race.
+        rejected: &'static str,
+    },
+}
+
+impl fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchError::Collision {
+                nr,
+                existing,
+                rejected,
+            } => write!(
+                f,
+                "syscall {nr} double-registered: {existing} already \
+                 installed, rejected {rejected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
 /// One dispatch table: syscall number → handler.
 #[derive(Default)]
 pub struct SyscallTable {
@@ -133,23 +169,38 @@ impl SyscallTable {
 
     /// Installs a handler for a syscall number.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the number is already taken — dispatch tables are built
-    /// once at personality construction and conflicts are bugs.
+    /// [`DispatchError::Collision`] if the number is already taken; the
+    /// existing entry is left untouched.
     pub fn install(
         &mut self,
         nr: i32,
         name: &'static str,
         handler: SyscallHandler,
-    ) {
-        let prev = self.entries.insert(nr, (name, handler));
-        assert!(prev.is_none(), "syscall {nr} double-registered");
+    ) -> Result<(), DispatchError> {
+        if let Some(&(existing, _)) = self.entries.get(&nr) {
+            return Err(DispatchError::Collision {
+                nr,
+                existing,
+                rejected: name,
+            });
+        }
+        self.entries.insert(nr, (name, handler));
+        Ok(())
     }
 
     /// Looks up a handler.
     pub fn lookup(&self, nr: i32) -> Option<(&'static str, SyscallHandler)> {
         self.entries.get(&nr).copied()
+    }
+
+    /// Iterates `(number, name)` pairs in ascending numeric order.
+    ///
+    /// The conformance engine uses this as its coverage universe: every
+    /// entry is a dispatch target a workload could exercise.
+    pub fn entries(&self) -> impl Iterator<Item = (i32, &'static str)> + '_ {
+        self.entries.iter().map(|(&nr, &(name, _))| (nr, name))
     }
 
     /// Number of installed entries.
@@ -240,19 +291,36 @@ mod tests {
     #[test]
     fn table_install_and_lookup() {
         let mut t = SyscallTable::new();
-        t.install(3, "read", nop);
-        t.install(4, "write", nop);
+        t.install(3, "read", nop).unwrap();
+        t.install(4, "write", nop).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.lookup(3).unwrap().0, "read");
         assert!(t.lookup(99).is_none());
+        assert_eq!(
+            t.entries().collect::<Vec<_>>(),
+            vec![(3, "read"), (4, "write")]
+        );
     }
 
     #[test]
-    #[should_panic(expected = "double-registered")]
-    fn double_registration_panics() {
+    fn double_registration_is_typed_error() {
         let mut t = SyscallTable::new();
-        t.install(3, "read", nop);
-        t.install(3, "read2", nop);
+        t.install(3, "read", nop).unwrap();
+        let err = t.install(3, "read2", nop).unwrap_err();
+        assert_eq!(
+            err,
+            DispatchError::Collision {
+                nr: 3,
+                existing: "read",
+                rejected: "read2",
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("double-registered"), "{msg}");
+        assert!(msg.contains("read2"), "{msg}");
+        // The original entry survives the collision.
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(3).unwrap().0, "read");
     }
 
     #[test]

@@ -32,7 +32,8 @@ use crate::binfmt::{BinaryLoaderRef, ExecImage};
 use crate::clock::VirtualClock;
 use crate::device::DeviceRegistry;
 use crate::dispatch::{
-    PersonalityRef, SyscallArgs, SyscallTable, TrapResult, UserTrapResult,
+    DispatchError, PersonalityRef, SyscallArgs, SyscallTable, TrapResult,
+    UserTrapResult,
 };
 use crate::fdtable::FileObject;
 use crate::ipcobj::IpcObjects;
@@ -1202,11 +1203,20 @@ impl Kernel {
             .cloned()
             .ok_or(Errno::ENOEXEC)?;
 
-        // Tear down the old image: mappings and user callbacks vanish.
-        {
+        // Tear down the old image: mappings, user callbacks, and any
+        // descriptor marked close-on-exec vanish.
+        let closed = {
             let proc = self.process_of_mut(tid)?;
             proc.mm.clear();
             proc.callbacks = Default::default();
+            proc.fds.close_on_exec()
+        };
+        for (_, obj) in closed {
+            match obj {
+                FileObject::Pipe(end) => self.ipc.pipe_close(end),
+                FileObject::Socket(end) => self.ipc.socket_close(end),
+                _ => {}
+            }
         }
 
         let image = ExecImage {
@@ -1568,9 +1578,53 @@ impl Default for LinuxPersonality {
     }
 }
 
+/// Encodes a domestic [`Stat`] into the byte layout Linux user space
+/// reads back from `stat64`: ino (8), mode (4), nlink (4), size (8),
+/// blocks (8), mtime sec (8), mtime nsec (8) — 48 bytes. The 24-byte
+/// identity prefix (ino/mode/nlink/size) matches the XNU `stat64`
+/// layout so conformance diffs can compare the two shapes directly.
+pub fn encode_linux_stat64(s: &Stat) -> Vec<u8> {
+    use cider_abi::types::{bsd_mode, FileType};
+    // Linux's S_IFMT values are numerically identical to BSD's, so the
+    // shared constants serve both encodings.
+    let type_bits = match s.file_type {
+        FileType::Regular => bsd_mode::S_IFREG,
+        FileType::Directory => bsd_mode::S_IFDIR,
+        FileType::Symlink => bsd_mode::S_IFLNK,
+        FileType::CharDevice => bsd_mode::S_IFCHR,
+        FileType::Fifo => bsd_mode::S_IFIFO,
+        FileType::Socket => bsd_mode::S_IFSOCK,
+    };
+    let mut out = Vec::with_capacity(48);
+    out.extend_from_slice(&s.ino.to_le_bytes());
+    out.extend_from_slice(&(type_bits | (s.mode & 0o7777)).to_le_bytes());
+    out.extend_from_slice(&s.nlink.to_le_bytes());
+    out.extend_from_slice(&s.size.to_le_bytes());
+    out.extend_from_slice(&s.blocks.to_le_bytes());
+    out.extend_from_slice(&s.mtime_sec.to_le_bytes());
+    out.extend_from_slice(&(s.mtime_nsec as u64).to_le_bytes());
+    out
+}
+
 impl LinuxPersonality {
     /// Builds the personality with its dispatch table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the static table has a collision (a bug by
+    /// construction); fallible callers use [`LinuxPersonality::try_new`].
     pub fn new() -> LinuxPersonality {
+        LinuxPersonality::try_new()
+            .expect("static Linux dispatch table is collision-free")
+    }
+
+    /// Builds the personality, surfacing table collisions as
+    /// [`DispatchError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`DispatchError::Collision`] if two handlers claim one number.
+    pub fn try_new() -> Result<LinuxPersonality, DispatchError> {
         use cider_abi::syscall::LinuxSyscall as L;
         let mut t = SyscallTable::new();
         t.install(L::Getpid.number(), "getpid", |k, tid, _| {
@@ -1578,13 +1632,13 @@ impl LinuxPersonality {
                 Ok(pid) => TrapResult::ok(pid.as_raw() as i64),
                 Err(e) => TrapResult::err(e),
             }
-        });
+        })?;
         t.install(L::Gettid.number(), "gettid", |k, tid, _| {
             match k.sys_gettid(tid) {
                 Ok(t) => TrapResult::ok(t.as_raw() as i64),
                 Err(e) => TrapResult::err(e),
             }
-        });
+        })?;
         t.install(L::Read.number(), "read", |k, tid, args| {
             let fd = Fd(args.regs[0] as i32);
             let len = args.regs[2] as usize;
@@ -1592,7 +1646,7 @@ impl LinuxPersonality {
                 Ok(data) => TrapResult::with_data(data),
                 Err(e) => TrapResult::err(e),
             }
-        });
+        })?;
         t.install(L::Write.number(), "write", |k, tid, args| {
             let fd = Fd(args.regs[0] as i32);
             let crate::dispatch::SyscallData::Bytes(data) = &args.data else {
@@ -1602,7 +1656,7 @@ impl LinuxPersonality {
                 Ok(n) => TrapResult::ok(n as i64),
                 Err(e) => TrapResult::err(e),
             }
-        });
+        })?;
         t.install(L::Open.number(), "open", |k, tid, args| {
             let crate::dispatch::SyscallData::Path(path) = &args.data else {
                 return TrapResult::err(Errno::EFAULT);
@@ -1612,25 +1666,31 @@ impl LinuxPersonality {
                 Ok(fd) => TrapResult::ok(fd.as_raw() as i64),
                 Err(e) => TrapResult::err(e),
             }
-        });
+        })?;
         t.install(L::Close.number(), "close", |k, tid, args| {
             match k.sys_close(tid, Fd(args.regs[0] as i32)) {
                 Ok(()) => TrapResult::ok(0),
                 Err(e) => TrapResult::err(e),
             }
-        });
+        })?;
         t.install(L::Fork.number(), "fork", |k, tid, _| {
             match k.sys_fork(tid) {
                 Ok((pid, _)) => TrapResult::ok(pid.as_raw() as i64),
                 Err(e) => TrapResult::err(e),
             }
-        });
+        })?;
         t.install(L::Exit.number(), "exit", |k, tid, args| {
             match k.sys_exit(tid, args.regs[0] as i32) {
                 Ok(()) => TrapResult::ok(0),
                 Err(e) => TrapResult::err(e),
             }
-        });
+        })?;
+        t.install(L::Waitpid.number(), "waitpid", |k, tid, args| {
+            match k.sys_waitpid(tid, Pid(args.regs[0] as u32)) {
+                Ok(code) => TrapResult::ok(code as i64),
+                Err(e) => TrapResult::err(e),
+            }
+        })?;
         t.install(L::Execve.number(), "execve", |k, tid, args| {
             let crate::dispatch::SyscallData::Exec { path, argv } = &args.data
             else {
@@ -1641,7 +1701,7 @@ impl LinuxPersonality {
                 Ok(()) => TrapResult::ok(0),
                 Err(e) => TrapResult::err(e),
             }
-        });
+        })?;
         t.install(L::Sigaction.number(), "sigaction", |k, tid, args| {
             let Some(sig) = Signal::from_raw(args.regs[0] as i32) else {
                 return TrapResult::err(Errno::EINVAL);
@@ -1655,7 +1715,7 @@ impl LinuxPersonality {
                 Ok(()) => TrapResult::ok(0),
                 Err(e) => TrapResult::err(e),
             }
-        });
+        })?;
         t.install(L::Kill.number(), "kill", |k, tid, args| {
             let pid = Pid(args.regs[0] as u32);
             let Some(sig) = Signal::from_raw(args.regs[1] as i32) else {
@@ -1665,7 +1725,7 @@ impl LinuxPersonality {
                 Ok(()) => TrapResult::ok(0),
                 Err(e) => TrapResult::err(e),
             }
-        });
+        })?;
         t.install(L::Pipe.number(), "pipe", |k, tid, _| {
             match k.sys_pipe(tid) {
                 Ok((r, w)) => TrapResult::ok(
@@ -1673,7 +1733,21 @@ impl LinuxPersonality {
                 ),
                 Err(e) => TrapResult::err(e),
             }
-        });
+        })?;
+        t.install(L::Socketpair.number(), "socketpair", |k, tid, _| match k
+            .sys_socketpair(tid)
+        {
+            Ok((a, b)) => TrapResult::ok(
+                (a.as_raw() as i64) | ((b.as_raw() as i64) << 32),
+            ),
+            Err(e) => TrapResult::err(e),
+        })?;
+        t.install(L::Dup.number(), "dup", |k, tid, args| {
+            match k.sys_dup(tid, Fd(args.regs[0] as i32)) {
+                Ok(fd) => TrapResult::ok(fd.as_raw() as i64),
+                Err(e) => TrapResult::err(e),
+            }
+        })?;
         t.install(L::Select.number(), "select", |k, tid, args| {
             let crate::dispatch::SyscallData::FdSet(fds) = &args.data else {
                 return TrapResult::err(Errno::EFAULT);
@@ -1683,7 +1757,7 @@ impl LinuxPersonality {
                 Ok(ready) => TrapResult::ok(ready.len() as i64),
                 Err(e) => TrapResult::err(e),
             }
-        });
+        })?;
         t.install(L::Unlink.number(), "unlink", |k, tid, args| {
             let crate::dispatch::SyscallData::Path(path) = &args.data else {
                 return TrapResult::err(Errno::EFAULT);
@@ -1692,8 +1766,39 @@ impl LinuxPersonality {
                 Ok(()) => TrapResult::ok(0),
                 Err(e) => TrapResult::err(e),
             }
-        });
-        LinuxPersonality { table: t }
+        })?;
+        t.install(L::Mkdir.number(), "mkdir", |k, tid, args| {
+            let crate::dispatch::SyscallData::Path(path) = &args.data else {
+                return TrapResult::err(Errno::EFAULT);
+            };
+            match k.sys_mkdir(tid, path) {
+                Ok(()) => TrapResult::ok(0),
+                Err(e) => TrapResult::err(e),
+            }
+        })?;
+        t.install(L::Chdir.number(), "chdir", |k, tid, args| {
+            let crate::dispatch::SyscallData::Path(path) = &args.data else {
+                return TrapResult::err(Errno::EFAULT);
+            };
+            match k.sys_chdir(tid, path) {
+                Ok(()) => TrapResult::ok(0),
+                Err(e) => TrapResult::err(e),
+            }
+        })?;
+        t.install(L::Stat64.number(), "stat64", |k, tid, args| {
+            let crate::dispatch::SyscallData::Path(path) = &args.data else {
+                return TrapResult::err(Errno::EFAULT);
+            };
+            match k.sys_stat(tid, path) {
+                Ok(stat) => {
+                    let mut r = TrapResult::ok(0);
+                    r.out_data = encode_linux_stat64(&stat);
+                    r
+                }
+                Err(e) => TrapResult::err(e),
+            }
+        })?;
+        Ok(LinuxPersonality { table: t })
     }
 
     /// The dispatch table (exposed for introspection in tests).

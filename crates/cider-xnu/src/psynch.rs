@@ -358,6 +358,65 @@ mod tests {
     }
 
     #[test]
+    fn mutex_handoff_is_fair_fifo_across_three_waiters() {
+        let mut api = MockForeignKernel::new();
+        let mut ps = PsynchState::new();
+        api.thread = ForeignThread(1);
+        assert_eq!(ps.mutexwait(&mut api, M), PsynchOutcome::Acquired);
+        // Three contenders park in arrival order.
+        for t in 2..=4 {
+            api.thread = ForeignThread(t);
+            assert_eq!(ps.mutexwait(&mut api, M), PsynchOutcome::Blocked);
+        }
+        assert_eq!(ps.mutex_waiters(M), 3);
+        // Each drop hands the lock to the oldest waiter, never to a
+        // later arrival (no barging).
+        for t in 1..=3 {
+            api.thread = ForeignThread(t);
+            ps.mutexdrop(&mut api, M).unwrap();
+            assert_eq!(
+                ps.mutex_owner(M),
+                Some(ForeignThread(t + 1)),
+                "drop by {t} must hand off to {}",
+                t + 1
+            );
+            assert_eq!(ps.mutex_waiters(M), (3 - t) as usize);
+        }
+        api.thread = ForeignThread(4);
+        ps.mutexdrop(&mut api, M).unwrap();
+        assert_eq!(ps.mutex_owner(M), None);
+    }
+
+    #[test]
+    fn cond_wake_counts_are_exact_under_virtual_clock() {
+        let mut api = MockForeignKernel::new();
+        let mut ps = PsynchState::new();
+        // Waiters arrive at distinct virtual times; the wake counts and
+        // order must depend only on arrival order, not on the clock.
+        for t in 1..=4 {
+            api.thread = ForeignThread(t);
+            api.now += 1_000 * t;
+            ps.mutexwait(&mut api, M);
+            assert_eq!(
+                ps.cvwait(&mut api, CV, M).unwrap(),
+                PsynchOutcome::Blocked
+            );
+        }
+        assert_eq!(ps.cv_waiters(CV), 4);
+        // Signals wake exactly one each, oldest first.
+        api.now += 5_000;
+        assert_eq!(ps.cvsignal(&mut api, CV), Some(ForeignThread(1)));
+        assert_eq!(ps.cvsignal(&mut api, CV), Some(ForeignThread(2)));
+        assert_eq!(ps.cv_waiters(CV), 2);
+        // Broadcast wakes exactly the remaining two, no more.
+        assert_eq!(ps.cvbroadcast(&mut api, CV), 2);
+        assert_eq!(ps.cv_waiters(CV), 0);
+        // Wakes on an empty condvar observe nothing.
+        assert_eq!(ps.cvsignal(&mut api, CV), None);
+        assert_eq!(ps.cvbroadcast(&mut api, CV), 0);
+    }
+
+    #[test]
     fn semaphore_counts_and_blocks() {
         let mut api = MockForeignKernel::new();
         let mut ps = PsynchState::new();

@@ -501,6 +501,115 @@ proptest! {
 }
 
 // ----------------------------------------------------------------------
+// Personality metadata agrees with actual trap dispatch: whenever
+// `translate_syscall` claims a foreign number renumbers to a domestic
+// one, both dispatch tables must really hold the handlers and must
+// name the same call; whenever it declines, the trap either has no
+// installed foreign handler or is implemented by the Cider layer
+// itself (psynch, bsdthread, posix_spawn, all Mach-class traps).
+// ----------------------------------------------------------------------
+
+use cider_abi::syscall::{MachTrap, XnuSyscall, XnuTrap};
+use cider_core::xnu_abi::xnu_to_linux_syscall;
+use cider_core::XnuPersonality;
+use cider_kernel::dispatch::Personality as _;
+use cider_kernel::LinuxPersonality;
+
+fn trap_number_strategy() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        // The dense region where real Unix-class numbers live.
+        0i64..600,
+        // Mach-trap encodings (negative numbers).
+        (1i64..600).prop_map(|n| -n),
+        // Machdep and diag windows.
+        (0i64..64).prop_map(|n| 0x8000_0000 + n),
+        (0i64..64).prop_map(|n| 0x4000_0000 + n),
+        // Anything at all: metadata must never disagree, even on junk.
+        any::<i64>(),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn translate_syscall_agrees_with_dispatch(raw in trap_number_strategy()) {
+        let xnu = XnuPersonality::new();
+        let linux = LinuxPersonality::new();
+        match xnu.translate_syscall(raw) {
+            Some(domestic) => {
+                // Claimed translated: the foreign side must dispatch it...
+                prop_assert!(
+                    matches!(XnuTrap::decode(raw), Some(XnuTrap::Unix(_))),
+                    "translate_syscall({raw}) = Some but not a Unix trap"
+                );
+                let Some(XnuTrap::Unix(call)) = XnuTrap::decode(raw) else {
+                    unreachable!()
+                };
+                let (foreign_name, _) = xnu
+                    .unix_table()
+                    .lookup(call.number())
+                    .expect("translated call has no foreign handler");
+                // ...the domestic side must dispatch the target number...
+                let (domestic_name, _) = linux
+                    .table()
+                    .lookup(domestic as i32)
+                    .expect("translated call has no domestic handler");
+                // ...and both entries must be the same call.
+                prop_assert_eq!(foreign_name, domestic_name);
+                prop_assert_eq!(
+                    xnu_to_linux_syscall(call).map(|l| l.number() as i64),
+                    Some(domestic)
+                );
+            }
+            None => {
+                // Declined: any installed Unix-class handler must be an
+                // XNU-only call with no domestic renumbering.
+                if let Some(XnuTrap::Unix(call)) = XnuTrap::decode(raw) {
+                    if xnu.unix_table().lookup(call.number()).is_some() {
+                        prop_assert!(
+                            xnu_to_linux_syscall(call).is_none(),
+                            "{raw} dispatches and renumbers yet untranslated"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_known_trap_translation_is_consistent() {
+    let xnu = XnuPersonality::new();
+    let linux = LinuxPersonality::new();
+    // Exhaustive over the foreign Unix-class ABI: every translation
+    // target dispatches, and every refusal has a structural reason.
+    for &call in XnuSyscall::ALL {
+        let raw = XnuTrap::Unix(call).encode();
+        match xnu.translate_syscall(raw) {
+            Some(domestic) => {
+                assert!(
+                    linux.table().lookup(domestic as i32).is_some(),
+                    "{call:?} translates to undispatched {domestic}"
+                );
+            }
+            // Declining is only legitimate when the personality does
+            // not dispatch the call (e.g. Sigprocmask renumbers but has
+            // no installed handler) or no domestic renumbering exists.
+            None => assert!(
+                xnu.unix_table().lookup(call.number()).is_none()
+                    || xnu_to_linux_syscall(call).is_none(),
+                "{call:?} dispatches and renumbers yet declined"
+            ),
+        }
+    }
+    // Mach-class traps are implemented by the Cider layer; none may
+    // claim a domestic counterpart.
+    for &trap in MachTrap::ALL {
+        let raw = XnuTrap::Mach(trap).encode();
+        assert_eq!(xnu.translate_syscall(raw), None, "{trap:?}");
+    }
+}
+
+// ----------------------------------------------------------------------
 // Fault injection: an empty plan is bit-identical to the fault layer
 // being absent, and the fault schedule is a pure function of the seed.
 // ----------------------------------------------------------------------
