@@ -39,4 +39,4 @@ pub use errno::{Errno, XnuErrno};
 pub use ids::{Fd, Gid, Pid, PortName, Tid, Uid};
 pub use persona::Persona;
 pub use signal::{Signal, XnuSignal};
-pub use syscall::{LinuxSyscall, TrapClass, XnuTrap};
+pub use syscall::{LinuxSyscall, SyscallName, TrapClass, XnuTrap};

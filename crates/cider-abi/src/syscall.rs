@@ -45,6 +45,58 @@ impl fmt::Display for TrapClass {
     }
 }
 
+/// A syscall name as installed in a dispatch table.
+///
+/// Dispatch tables, trace labels and report output all carry syscall
+/// names; wrapping the `&'static str` keeps table-backed names from
+/// silently mixing with arbitrary formatted strings. The wrapped
+/// string is always a static table entry, never computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SyscallName(pub &'static str);
+
+impl SyscallName {
+    /// The raw name, e.g. `"open"`.
+    pub const fn as_str(self) -> &'static str {
+        self.0
+    }
+}
+
+impl fmt::Display for SyscallName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl From<&'static str> for SyscallName {
+    fn from(s: &'static str) -> SyscallName {
+        SyscallName(s)
+    }
+}
+
+impl AsRef<str> for SyscallName {
+    fn as_ref(&self) -> &str {
+        self.0
+    }
+}
+
+impl PartialEq<str> for SyscallName {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for SyscallName {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<SyscallName> for &str {
+    fn eq(&self, other: &SyscallName) -> bool {
+        *self == other.0
+    }
+}
+
 macro_rules! syscall_enum {
     ($(#[$meta:meta])* $name:ident { $($variant:ident = $val:expr,)+ }) => {
         $(#[$meta])*
@@ -290,6 +342,17 @@ mod tests {
         assert_eq!(XnuTrap::decode(0), None);
         assert_eq!(XnuTrap::decode(9999), None);
         assert_eq!(XnuTrap::decode(-9999), None);
+    }
+
+    #[test]
+    fn syscall_name_compares_with_raw_strings() {
+        let n = SyscallName("open");
+        assert_eq!(n.as_str(), "open");
+        assert_eq!(n.to_string(), "open");
+        assert_eq!(n, "open");
+        assert_eq!("open", n);
+        assert_ne!(n, "close");
+        assert_eq!(SyscallName::from("open"), n);
     }
 
     #[test]

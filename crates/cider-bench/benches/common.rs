@@ -21,7 +21,7 @@ pub fn criterion() -> Criterion {
 pub fn bed_with_proc(
     config: SystemConfig,
 ) -> (TestBed, cider_abi::ids::Pid, cider_abi::ids::Tid) {
-    let mut bed = TestBed::new(config);
+    let mut bed = TestBed::builder(config).build();
     let (pid, tid) = bed.spawn_measured().expect("bench binaries installed");
     (bed, pid, tid)
 }

@@ -1,0 +1,348 @@
+//! Trap hot-path microbenches (host time) and the committed
+//! `BENCH_dispatch.json` evidence file.
+//!
+//! The dispatch redesign replaced the `BTreeMap` syscall tables with
+//! dense flat arrays indexed by syscall number. This bench measures the
+//! resolver both ways — the dense [`SyscallTable`] against a faithful
+//! `BTreeMap` mirror of the same entries — and drives full trap round
+//! trips (null syscall, open+close, mach_msg) under all three personas.
+//! Host-time medians go to stdout via criterion; the lookup comparison
+//! and the deterministic virtual-time costs are written to
+//! `BENCH_dispatch.json` at the repository root.
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use cider_abi::syscall::{MachTrap, SyscallName, XnuTrap};
+use cider_bench::config::{SystemConfig, TestBed};
+use cider_bench::lmbench::{trap_number, Call};
+use cider_core::wire;
+use cider_core::xnu_abi::XnuPersonality;
+use cider_kernel::dispatch::{
+    SyscallArgs, SyscallData, SyscallHandler, SyscallTable,
+};
+use cider_xnu::ipc::UserMessage;
+use criterion::Criterion;
+
+/// The personas of the dispatch comparison: domestic Linux, translated
+/// XNU on Cider, and native XNU.
+const PERSONAS: [SystemConfig; 3] = [
+    SystemConfig::VanillaAndroid,
+    SystemConfig::CiderIos,
+    SystemConfig::IpadMini,
+];
+
+/// A faithful mirror of the *old* table representation: an ordered map
+/// from syscall number to `(name, handler)`.
+fn btreemap_mirror(
+    table: &SyscallTable,
+) -> BTreeMap<i32, (SyscallName, SyscallHandler)> {
+    let mut map = BTreeMap::new();
+    for (nr, name) in table.entries() {
+        let handler = table.handler(nr).expect("entry has a handler");
+        map.insert(nr, (name, handler));
+    }
+    map
+}
+
+/// Median host nanoseconds of `f` across `samples` runs.
+fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        f();
+        out.push(t.elapsed().as_nanos() as f64);
+    }
+    out.sort_by(f64::total_cmp);
+    out[out.len() / 2]
+}
+
+/// Per-lookup cost of resolving the null syscall (getpid) and of a walk
+/// over every installed number, dense vs `BTreeMap`.
+struct LookupNumbers {
+    null_dense_ns: f64,
+    null_btreemap_ns: f64,
+    walk_dense_ns: f64,
+    walk_btreemap_ns: f64,
+}
+
+fn measure_lookups() -> LookupNumbers {
+    const ROUNDS: usize = 64 * 1024;
+    const SAMPLES: usize = 21;
+    let xnu = XnuPersonality::new();
+    let table = xnu.unix_table();
+    let mirror = btreemap_mirror(table);
+    let numbers: Vec<i32> = table.entries().map(|(nr, _)| nr).collect();
+    let null_nr = cider_abi::syscall::XnuSyscall::Getpid.number();
+
+    let null_dense_ns = median_ns(SAMPLES, || {
+        for _ in 0..ROUNDS {
+            black_box(table.lookup(black_box(null_nr)));
+        }
+    }) / ROUNDS as f64;
+    let null_btreemap_ns = median_ns(SAMPLES, || {
+        for _ in 0..ROUNDS {
+            black_box(mirror.get(&black_box(null_nr)));
+        }
+    }) / ROUNDS as f64;
+
+    let per_walk = numbers.len() as f64;
+    let walk_dense_ns = median_ns(SAMPLES, || {
+        for _ in 0..ROUNDS / 64 {
+            for &nr in &numbers {
+                black_box(table.lookup(black_box(nr)));
+            }
+        }
+    }) / (ROUNDS / 64) as f64
+        / per_walk;
+    let walk_btreemap_ns = median_ns(SAMPLES, || {
+        for _ in 0..ROUNDS / 64 {
+            for &nr in &numbers {
+                black_box(mirror.get(&black_box(nr)));
+            }
+        }
+    }) / (ROUNDS / 64) as f64
+        / per_walk;
+
+    LookupNumbers {
+        null_dense_ns,
+        null_btreemap_ns,
+        walk_dense_ns,
+        walk_btreemap_ns,
+    }
+}
+
+/// Virtual nanoseconds per call of a trap loop — deterministic, so the
+/// committed JSON is stable across runs and machines.
+fn virtual_ns_per_call<F: FnMut(&mut TestBed)>(
+    bed: &mut TestBed,
+    iters: u64,
+    mut f: F,
+) -> u64 {
+    let t0 = bed.sys.kernel.clock.now_ns();
+    for _ in 0..iters {
+        f(bed);
+    }
+    (bed.sys.kernel.clock.now_ns() - t0) / iters
+}
+
+struct PersonaCosts {
+    config: SystemConfig,
+    null_syscall_ns: u64,
+    open_close_ns: u64,
+    mach_msg_ns: Option<u64>,
+}
+
+fn measure_persona(config: SystemConfig) -> PersonaCosts {
+    let ios = config.runs_ios_binary();
+    let mut bed = TestBed::builder(config).build();
+    let (_, tid) = bed.spawn_measured().expect("bench binaries installed");
+    bed.sys
+        .kernel
+        .vfs
+        .write_file("/tmp/openme", vec![1])
+        .expect("fresh fs");
+
+    let nr_null = trap_number(ios, Call::Getpid);
+    let null_syscall_ns = virtual_ns_per_call(&mut bed, 64, |bed| {
+        bed.sys.trap(tid, nr_null, &SyscallArgs::none());
+    });
+
+    let nr_open = trap_number(ios, Call::Open);
+    let nr_close = trap_number(ios, Call::Close);
+    let open_close_ns = virtual_ns_per_call(&mut bed, 64, |bed| {
+        let mut args = SyscallArgs::none();
+        args.data = SyscallData::Path("/tmp/openme".into());
+        let r = bed.sys.trap(tid, nr_open, &args);
+        bed.sys.trap(
+            tid,
+            nr_close,
+            &SyscallArgs::regs([r.reg, 0, 0, 0, 0, 0, 0]),
+        );
+    });
+
+    let mach_msg_ns = ios.then(|| {
+        let port = bed.sys.mach_port_allocate(tid).expect("ports zone");
+        let send = bed.sys.mach_make_send(tid, port).expect("send right");
+        let nr = XnuTrap::Mach(MachTrap::MachMsgTrap).encode();
+        virtual_ns_per_call(&mut bed, 64, |bed| {
+            let msg = UserMessage::simple(send, 7, &b"ping"[..]);
+            let mut args = SyscallArgs::regs([1, 0, 0, 0, 0, 0, 0]);
+            args.data =
+                SyscallData::Bytes(wire::encode_user_message(&msg).into());
+            let r = bed.sys.trap(tid, nr, &args);
+            assert_eq!(r.reg, 0, "mach_msg send");
+            let rcv =
+                SyscallArgs::regs([2, 0, port.as_raw() as i64, 0, 0, 0, 0]);
+            let r = bed.sys.trap(tid, nr, &rcv);
+            assert_eq!(r.reg, 0, "mach_msg receive");
+        })
+    });
+
+    PersonaCosts {
+        config,
+        null_syscall_ns,
+        open_close_ns,
+        mach_msg_ns,
+    }
+}
+
+fn write_json(lookups: &LookupNumbers, personas: &[PersonaCosts]) {
+    let mut s = String::from("{\n");
+    s.push_str("  \"null_syscall_dispatch\": {\n");
+    s.push_str(&format!(
+        "    \"dense_ns_per_lookup\": {:.3},\n",
+        lookups.null_dense_ns
+    ));
+    s.push_str(&format!(
+        "    \"btreemap_ns_per_lookup\": {:.3},\n",
+        lookups.null_btreemap_ns
+    ));
+    s.push_str(&format!(
+        "    \"speedup\": {:.2}\n",
+        lookups.null_btreemap_ns / lookups.null_dense_ns
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"full_table_walk\": {\n");
+    s.push_str(&format!(
+        "    \"dense_ns_per_lookup\": {:.3},\n",
+        lookups.walk_dense_ns
+    ));
+    s.push_str(&format!(
+        "    \"btreemap_ns_per_lookup\": {:.3},\n",
+        lookups.walk_btreemap_ns
+    ));
+    s.push_str(&format!(
+        "    \"speedup\": {:.2}\n",
+        lookups.walk_btreemap_ns / lookups.walk_dense_ns
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"trap_round_trip_virtual_ns\": {\n");
+    for (i, p) in personas.iter().enumerate() {
+        s.push_str(&format!("    \"{}\": {{\n", p.config.slug()));
+        s.push_str(&format!(
+            "      \"null_syscall\": {},\n",
+            p.null_syscall_ns
+        ));
+        match p.mach_msg_ns {
+            Some(m) => {
+                s.push_str(&format!(
+                    "      \"open_close\": {},\n",
+                    p.open_close_ns
+                ));
+                s.push_str(&format!("      \"mach_msg\": {}\n", m));
+            }
+            None => s.push_str(&format!(
+                "      \"open_close\": {}\n",
+                p.open_close_ns
+            )),
+        }
+        let sep = if i + 1 == personas.len() { "" } else { "," };
+        s.push_str(&format!("    }}{sep}\n"));
+    }
+    s.push_str("  }\n}\n");
+    let path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
+    std::fs::write(path, s).expect("write BENCH_dispatch.json");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+
+    let xnu = XnuPersonality::new();
+    let table = xnu.unix_table();
+    let mirror = btreemap_mirror(table);
+    let numbers: Vec<i32> = table.entries().map(|(nr, _)| nr).collect();
+    group.bench_function("lookup/dense", |b| {
+        b.iter(|| {
+            for &nr in &numbers {
+                black_box(table.lookup(black_box(nr)));
+            }
+        })
+    });
+    group.bench_function("lookup/btreemap", |b| {
+        b.iter(|| {
+            for &nr in &numbers {
+                black_box(mirror.get(&black_box(nr)));
+            }
+        })
+    });
+
+    for config in PERSONAS {
+        let ios = config.runs_ios_binary();
+        let mut bed = TestBed::builder(config).build();
+        let (_, tid) = bed.spawn_measured().expect("bench binaries installed");
+        bed.sys
+            .kernel
+            .vfs
+            .write_file("/tmp/openme", vec![1])
+            .expect("fresh fs");
+
+        let nr_null = trap_number(ios, Call::Getpid);
+        group.bench_function(format!("null_syscall/{}", config.slug()), |b| {
+            b.iter(|| bed.sys.trap(tid, nr_null, &SyscallArgs::none()))
+        });
+
+        let nr_open = trap_number(ios, Call::Open);
+        let nr_close = trap_number(ios, Call::Close);
+        group.bench_function(format!("open_close/{}", config.slug()), |b| {
+            b.iter(|| {
+                let mut args = SyscallArgs::none();
+                args.data = SyscallData::Path("/tmp/openme".into());
+                let r = bed.sys.trap(tid, nr_open, &args);
+                bed.sys.trap(
+                    tid,
+                    nr_close,
+                    &SyscallArgs::regs([r.reg, 0, 0, 0, 0, 0, 0]),
+                )
+            })
+        });
+
+        if ios {
+            let port = bed.sys.mach_port_allocate(tid).expect("ports zone");
+            let send = bed.sys.mach_make_send(tid, port).expect("send right");
+            let nr = XnuTrap::Mach(MachTrap::MachMsgTrap).encode();
+            group.bench_function(format!("mach_msg/{}", config.slug()), |b| {
+                b.iter(|| {
+                    let msg = UserMessage::simple(send, 7, &b"ping"[..]);
+                    let mut args = SyscallArgs::regs([1, 0, 0, 0, 0, 0, 0]);
+                    args.data = SyscallData::Bytes(
+                        wire::encode_user_message(&msg).into(),
+                    );
+                    bed.sys.trap(tid, nr, &args);
+                    let rcv = SyscallArgs::regs([
+                        2,
+                        0,
+                        port.as_raw() as i64,
+                        0,
+                        0,
+                        0,
+                        0,
+                    ]);
+                    bed.sys.trap(tid, nr, &rcv)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let lookups = measure_lookups();
+    let personas: Vec<PersonaCosts> =
+        PERSONAS.into_iter().map(measure_persona).collect();
+    write_json(&lookups, &personas);
+    println!(
+        "dispatch lookup: dense {:.2}ns vs btreemap {:.2}ns ({:.1}x)",
+        lookups.null_dense_ns,
+        lookups.null_btreemap_ns,
+        lookups.null_btreemap_ns / lookups.null_dense_ns,
+    );
+
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -12,7 +12,7 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_storage");
     for config in SystemConfig::ALL {
-        let mut bed = cider_bench::config::TestBed::new(config);
+        let mut bed = cider_bench::config::TestBed::builder(config).build();
         let tid = fig6::prepare_passmark_thread(&mut bed);
         for test in [Test::StorageWrite, Test::StorageRead] {
             group.bench_function(

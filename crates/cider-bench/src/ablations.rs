@@ -42,7 +42,7 @@ impl Ablation {
 ///
 /// Kernel errors.
 pub fn shared_cache() -> Result<Ablation, Errno> {
-    let mut bed = TestBed::new(SystemConfig::CiderIos);
+    let mut bed = TestBed::builder(SystemConfig::CiderIos).build();
     let (_, tid) = bed.spawn_measured()?;
     let without = lmbench::fork_exec_lat(&mut bed, tid, true)?.ns as f64;
     // Teach the Cider prototype the shared-cache optimisation.
@@ -64,7 +64,7 @@ pub fn shared_cache() -> Result<Ablation, Errno> {
 ///
 /// Kernel/graphics errors.
 pub fn diplomat_aggregation(batch: usize) -> Result<Ablation, Errno> {
-    let mut bed = TestBed::new(SystemConfig::CiderIos);
+    let mut bed = TestBed::builder(SystemConfig::CiderIos).build();
     let tid = crate::fig6::prepare_passmark_thread(&mut bed);
     let lib = "OpenGLES.framework/OpenGLES";
     setup_eagl(&mut bed, tid, lib)?;
@@ -135,7 +135,7 @@ fn setup_eagl(bed: &mut TestBed, tid: Tid, lib: &str) -> Result<(), Errno> {
 ///
 /// Kernel/graphics errors.
 pub fn fast_persona_switch() -> Result<Ablation, Errno> {
-    let mut bed = TestBed::new(SystemConfig::CiderIos);
+    let mut bed = TestBed::builder(SystemConfig::CiderIos).build();
     let tid = crate::fig6::prepare_passmark_thread(&mut bed);
     let lib = "OpenGLES.framework/OpenGLES";
     setup_eagl(&mut bed, tid, lib)?;
@@ -181,7 +181,7 @@ pub fn fast_persona_switch() -> Result<Ablation, Errno> {
 pub fn fence_bug() -> Result<Ablation, Errno> {
     use cider_apps::passmark::Test;
     let run = |fence_bug: bool| -> Result<f64, Errno> {
-        let mut bed = TestBed::new(SystemConfig::CiderIos);
+        let mut bed = TestBed::builder(SystemConfig::CiderIos).build();
         if !fence_bug {
             // Repair the diplomat: point glClientWaitSync back at the
             // correct domestic wait.
@@ -216,7 +216,7 @@ pub fn fence_bug() -> Result<Ablation, Errno> {
 ///
 /// Kernel errors.
 pub fn ducttape_overhead() -> Result<Ablation, Errno> {
-    let mut bed = TestBed::new(SystemConfig::CiderIos);
+    let mut bed = TestBed::builder(SystemConfig::CiderIos).build();
     let (pid, tid) = bed.spawn_measured()?;
     let port = bed.sys.mach_port_allocate(tid).map_err(|_| Errno::ENOMEM)?;
     let send = bed
@@ -243,7 +243,7 @@ pub fn ducttape_overhead() -> Result<Ablation, Errno> {
             1, 0, 0, 0, 0, 0, 0, // MACH_SEND_MSG
         ]);
         args.data = cider_kernel::dispatch::SyscallData::Bytes(
-            cider_core::wire::encode_user_message(&msg),
+            cider_core::wire::encode_user_message(&msg).into(),
         );
         let r = bed.sys.trap(tid, trap_nr, &args);
         if r.reg != 0 {

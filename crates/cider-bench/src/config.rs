@@ -122,14 +122,89 @@ fn macho_with_frameworks(entry: &str) -> Vec<u8> {
     b.build().to_bytes()
 }
 
-impl TestBed {
-    /// Boots a bed with the trace subsystem enabled (event ring plus
-    /// metrics registry). Tracing reads the virtual clock but never
-    /// charges it, so every measurement is identical to an untraced bed.
-    pub fn new_traced(config: SystemConfig) -> TestBed {
-        let mut bed = TestBed::new(config);
-        bed.enable_tracing();
+/// Step-wise construction of a [`TestBed`].
+///
+/// One entry point replaces the old `new` / `new_traced` /
+/// `new_faulted` constructor family: start from
+/// [`TestBed::builder`], toggle the optional subsystems, and
+/// [`TestBedBuilder::build`]:
+///
+/// ```
+/// use cider_bench::config::{SystemConfig, TestBed};
+///
+/// let bed = TestBed::builder(SystemConfig::CiderIos).traced().build();
+/// assert!(bed.trace_snapshot().is_some());
+/// ```
+#[derive(Debug)]
+pub struct TestBedBuilder {
+    config: SystemConfig,
+    traced: bool,
+    fault_plan: Option<cider_fault::FaultPlan>,
+}
+
+impl TestBedBuilder {
+    /// Starts a builder for one measurement configuration.
+    pub fn new(config: SystemConfig) -> TestBedBuilder {
+        TestBedBuilder {
+            config,
+            traced: false,
+            fault_plan: None,
+        }
+    }
+
+    /// Switches the bed to a different configuration.
+    #[must_use]
+    pub fn config(mut self, config: SystemConfig) -> TestBedBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Boots with the trace subsystem enabled (event ring plus metrics
+    /// registry). Tracing reads the virtual clock but never charges it,
+    /// so every measurement is identical to an untraced bed.
+    #[must_use]
+    pub fn traced(mut self) -> TestBedBuilder {
+        self.traced = true;
+        self
+    }
+
+    /// Arms a fault plan. Faults are installed after boot, so the bed
+    /// itself always comes up clean; only workload activity sees
+    /// injected faults.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: cider_fault::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Boots the bed: the right kernel flavour, the graphics stack
+    /// (with the fence bug only on Cider), the benchmark binaries, the
+    /// registered program behaviours, and whatever optional subsystems
+    /// this builder enabled.
+    pub fn build(self) -> TestBed {
+        let mut bed = boot_bed(self.config);
+        if self.traced {
+            bed.enable_tracing();
+        }
+        if let Some(plan) = self.fault_plan {
+            bed.enable_faults(plan);
+        }
         bed
+    }
+}
+
+impl TestBed {
+    /// Starts a [`TestBedBuilder`] for one configuration.
+    pub fn builder(config: SystemConfig) -> TestBedBuilder {
+        TestBedBuilder::new(config)
+    }
+
+    /// Boots a bed with the trace subsystem enabled.
+    #[deprecated(
+        note = "use TestBed::builder(config).traced().build() instead"
+    )]
+    pub fn new_traced(config: SystemConfig) -> TestBed {
+        TestBed::builder(config).traced().build()
     }
 
     /// Enables tracing on this bed (default ring capacity).
@@ -146,13 +221,15 @@ impl TestBed {
 
     /// Boots a traced bed with a fault plan armed — the configuration
     /// the fault-matrix CI job runs.
+    #[deprecated(
+        note = "use TestBed::builder(config).traced().fault_plan(plan)\
+                .build() instead"
+    )]
     pub fn new_faulted(
         config: SystemConfig,
         plan: cider_fault::FaultPlan,
     ) -> TestBed {
-        let mut bed = TestBed::new_traced(config);
-        bed.enable_faults(plan);
-        bed
+        TestBed::builder(config).traced().fault_plan(plan).build()
     }
 
     /// Snapshot of collected events and metrics; `None` when tracing
@@ -164,107 +241,114 @@ impl TestBed {
     /// Boots a test bed for a configuration: the right kernel flavour,
     /// the graphics stack (with the fence bug only on Cider), the
     /// benchmark binaries, and the registered program behaviours.
+    #[deprecated(note = "use TestBed::builder(config).build() instead")]
     pub fn new(config: SystemConfig) -> TestBed {
-        let mut sys = CiderSystem::new_kind(config.profile(), config.kind());
-        let fence_bug = config.kind() == SystemKind::Cider;
-        let (gfx, _) = install_gfx(&mut sys, GfxConfig { fence_bug });
+        TestBed::builder(config).build()
+    }
+}
 
-        // Program behaviours shared by every bed.
-        sys.kernel.register_program(
-            "hello_world",
-            Rc::new(|k, tid| {
-                let _ = k.sys_write(
-                    tid,
-                    cider_abi::ids::Fd::STDOUT,
-                    b"hello, world\n",
-                );
-                0
-            }),
-        );
-        sys.kernel.register_program("lmbench", Rc::new(|_, _| 0));
-        sys.kernel.register_program(
-            "sh",
-            Rc::new(|k, tid| {
-                // Shell start-up: environment setup, rc parsing, PATH
-                // walking — the bulk of a real `sh -c` invocation.
-                k.charge_cpu(1_200_000);
-                let argv = k.process_of(tid).map(|p| p.program.argv.clone());
-                let Ok(argv) = argv else { return 127 };
-                let Some(target) = argv.get(1).cloned() else {
-                    return 0;
-                };
-                let Ok((child_pid, child_tid)) = k.sys_fork(tid) else {
-                    return 126;
-                };
-                if cider_core::exec::sys_exec_fixup(
-                    k,
-                    child_tid,
-                    &target,
-                    &[&target],
-                )
-                .is_err()
-                {
-                    let _ = k.sys_exit(child_tid, 127);
-                    let _ = k.sys_waitpid(tid, child_pid);
-                    return 127;
-                }
-                let _ = k.run_entry(child_tid);
-                let _ = k.sys_waitpid(tid, child_pid);
-                0
-            }),
-        );
+/// The shared boot path behind [`TestBedBuilder::build`].
+#[allow(clippy::too_many_lines)]
+fn boot_bed(config: SystemConfig) -> TestBed {
+    let mut sys = CiderSystem::new_kind(config.profile(), config.kind());
+    let fence_bug = config.kind() == SystemKind::Cider;
+    let (gfx, _) = install_gfx(&mut sys, GfxConfig { fence_bug });
 
-        // The benchmark binaries.
-        if config.kind() != SystemKind::NativeIos {
-            let lm = ElfBuilder::executable("lmbench")
-                .needs("libc.so")
-                .needs("libm.so")
-                .build();
-            sys.kernel
-                .vfs
-                .write_file(paths::LMBENCH_ELF, lm.to_bytes())
-                .expect("fresh fs");
-            let hello = ElfBuilder::executable("hello_world")
-                .needs("libc.so")
-                .build();
-            sys.kernel
-                .vfs
-                .write_file(paths::HELLO_ELF, hello.to_bytes())
-                .expect("fresh fs");
-        }
-        if config.kind() != SystemKind::VanillaAndroid {
-            sys.kernel
-                .vfs
-                .write_file_overlay(
-                    paths::LMBENCH_MACHO,
-                    macho_with_frameworks("lmbench"),
-                )
-                .expect("fresh fs");
-            sys.kernel
-                .vfs
-                .write_file_overlay(
-                    paths::HELLO_MACHO,
-                    macho_with_frameworks("hello_world"),
-                )
-                .expect("fresh fs");
-        }
-        if config.kind() == SystemKind::NativeIos {
-            // The iPad's own shell for the fork+sh tests.
-            let mut b = MachOBuilder::executable("sh");
-            for dep in
-                ["/usr/lib/libSystem.B.dylib", "/usr/lib/libobjc.A.dylib"]
+    // Program behaviours shared by every bed.
+    sys.kernel.register_program(
+        "hello_world",
+        Rc::new(|k, tid| {
+            let _ = k.sys_write(
+                tid,
+                cider_abi::ids::Fd::STDOUT,
+                b"hello, world\n",
+            );
+            0
+        }),
+    );
+    sys.kernel.register_program("lmbench", Rc::new(|_, _| 0));
+    sys.kernel.register_program(
+        "sh",
+        Rc::new(|k, tid| {
+            // Shell start-up: environment setup, rc parsing, PATH
+            // walking — the bulk of a real `sh -c` invocation.
+            k.charge_cpu(1_200_000);
+            let argv = k.process_of(tid).map(|p| p.program.argv.clone());
+            let Ok(argv) = argv else { return 127 };
+            let Some(target) = argv.get(1).cloned() else {
+                return 0;
+            };
+            let Ok((child_pid, child_tid)) = k.sys_fork(tid) else {
+                return 126;
+            };
+            if cider_core::exec::sys_exec_fixup(
+                k,
+                child_tid,
+                &target,
+                &[&target],
+            )
+            .is_err()
             {
-                b = b.depends_on(dep);
+                let _ = k.sys_exit(child_tid, 127);
+                let _ = k.sys_waitpid(tid, child_pid);
+                return 127;
             }
-            sys.kernel
-                .vfs
-                .write_file_overlay(paths::SH_MACHO, b.build().to_bytes())
-                .expect("fresh fs");
-        }
+            let _ = k.run_entry(child_tid);
+            let _ = k.sys_waitpid(tid, child_pid);
+            0
+        }),
+    );
 
-        TestBed { sys, gfx, config }
+    // The benchmark binaries.
+    if config.kind() != SystemKind::NativeIos {
+        let lm = ElfBuilder::executable("lmbench")
+            .needs("libc.so")
+            .needs("libm.so")
+            .build();
+        sys.kernel
+            .vfs
+            .write_file(paths::LMBENCH_ELF, lm.to_bytes())
+            .expect("fresh fs");
+        let hello = ElfBuilder::executable("hello_world")
+            .needs("libc.so")
+            .build();
+        sys.kernel
+            .vfs
+            .write_file(paths::HELLO_ELF, hello.to_bytes())
+            .expect("fresh fs");
+    }
+    if config.kind() != SystemKind::VanillaAndroid {
+        sys.kernel
+            .vfs
+            .write_file_overlay(
+                paths::LMBENCH_MACHO,
+                macho_with_frameworks("lmbench"),
+            )
+            .expect("fresh fs");
+        sys.kernel
+            .vfs
+            .write_file_overlay(
+                paths::HELLO_MACHO,
+                macho_with_frameworks("hello_world"),
+            )
+            .expect("fresh fs");
+    }
+    if config.kind() == SystemKind::NativeIos {
+        // The iPad's own shell for the fork+sh tests.
+        let mut b = MachOBuilder::executable("sh");
+        for dep in ["/usr/lib/libSystem.B.dylib", "/usr/lib/libobjc.A.dylib"] {
+            b = b.depends_on(dep);
+        }
+        sys.kernel
+            .vfs
+            .write_file_overlay(paths::SH_MACHO, b.build().to_bytes())
+            .expect("fresh fs");
     }
 
+    TestBed { sys, gfx, config }
+}
+
+impl TestBed {
     /// Spawns the measured benchmark process: the lmbench binary of the
     /// configuration's ecosystem, exec'd for real (so an iOS process
     /// carries its 115 dylibs and handlers into every fork).
@@ -310,7 +394,7 @@ mod tests {
     #[test]
     fn all_four_beds_boot() {
         for config in SystemConfig::ALL {
-            let mut bed = TestBed::new(config);
+            let mut bed = TestBed::builder(config).build();
             let (_, tid) = bed.spawn_measured().unwrap();
             let persona = persona_of(&bed.sys.kernel, tid).unwrap();
             assert_eq!(
@@ -324,7 +408,7 @@ mod tests {
     #[test]
     fn persona_checks_only_on_cider() {
         for config in SystemConfig::ALL {
-            let bed = TestBed::new(config);
+            let bed = TestBed::builder(config).build();
             let expected = matches!(
                 config,
                 SystemConfig::CiderAndroid | SystemConfig::CiderIos
@@ -335,7 +419,7 @@ mod tests {
 
     #[test]
     fn ios_measured_process_carries_frameworks() {
-        let mut bed = TestBed::new(SystemConfig::CiderIos);
+        let mut bed = TestBed::builder(SystemConfig::CiderIos).build();
         let (pid, _) = bed.spawn_measured().unwrap();
         let p = bed.sys.kernel.process(pid).unwrap();
         assert_eq!(p.program.dylib_count, 115);
@@ -344,7 +428,7 @@ mod tests {
 
     #[test]
     fn ipad_uses_shared_cache() {
-        let mut bed = TestBed::new(SystemConfig::IpadMini);
+        let mut bed = TestBed::builder(SystemConfig::IpadMini).build();
         let (pid, _) = bed.spawn_measured().unwrap();
         let p = bed.sys.kernel.process(pid).unwrap();
         // The shared-cache mapping keeps per-process PTEs small.

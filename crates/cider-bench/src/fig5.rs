@@ -194,9 +194,9 @@ fn run_inner(traced: bool) -> (Table, Option<Snapshots>) {
     let mut snapshots: Snapshots = Vec::new();
     for config in SystemConfig::ALL {
         let mut bed = if traced {
-            TestBed::new_traced(config)
+            TestBed::builder(config).traced().build()
         } else {
-            TestBed::new(config)
+            TestBed::builder(config).build()
         };
         let (pid, tid) = bed.spawn_measured().expect("bench binary installed");
         let col: Vec<Option<f64>> = micros

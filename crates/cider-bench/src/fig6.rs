@@ -90,7 +90,7 @@ pub fn run() -> Table {
         Table::new("Figure 6: app throughput (PassMark)", "ops/s", false);
     let mut columns: Vec<Vec<Option<f64>>> = Vec::new();
     for config in SystemConfig::ALL {
-        let mut bed = TestBed::new(config);
+        let mut bed = TestBed::builder(config).build();
         let tid = prepare_passmark_thread(&mut bed);
         let col: Vec<Option<f64>> = Test::ALL
             .iter()

@@ -170,7 +170,7 @@ pub fn write_lat(bed: &mut TestBed, tid: Tid) -> VirtualDuration {
     measure(bed, 64, |bed| {
         let mut args =
             SyscallArgs::regs([Fd::STDOUT.as_raw() as i64, 0, 1, 0, 0, 0, 0]);
-        args.data = SyscallData::Bytes(vec![0u8]);
+        args.data = SyscallData::Bytes(vec![0u8].into());
         bed.sys.trap(tid, nr, &args);
     })
 }
@@ -190,7 +190,7 @@ pub fn open_close_lat(
     let nr_close = trap_number(ios, Call::Close);
     Ok(measure(bed, 32, |bed| {
         let mut args = SyscallArgs::none();
-        args.data = SyscallData::Path("/tmp/openme".to_string());
+        args.data = SyscallData::Path("/tmp/openme".into());
         let r = bed.sys.trap(tid, nr_open, &args);
         let fd = r.reg;
         debug_assert!(fd >= 0, "open failed");
@@ -408,7 +408,7 @@ pub fn select_lat(
     let mut failed = false;
     let d = measure(bed, 16, |bed| {
         let mut args = SyscallArgs::none();
-        args.data = SyscallData::FdSet(fds.clone());
+        args.data = SyscallData::FdSet(fds.clone().into());
         let r = bed.sys.trap(tid, nr, &args);
         let err = if bed.config.runs_ios_binary() {
             r.flags.carry
@@ -458,7 +458,7 @@ mod tests {
     use crate::config::SystemConfig;
 
     fn bed_and_proc(config: SystemConfig) -> (TestBed, Pid, Tid) {
-        let mut bed = TestBed::new(config);
+        let mut bed = TestBed::builder(config).build();
         let (pid, tid) = bed.spawn_measured().unwrap();
         (bed, pid, tid)
     }
@@ -628,9 +628,9 @@ mod tests {
 
     #[test]
     fn basic_ops_reflect_compiler_and_device() {
-        let vanilla = TestBed::new(SystemConfig::VanillaAndroid);
-        let cider_ios = TestBed::new(SystemConfig::CiderIos);
-        let ipad = TestBed::new(SystemConfig::IpadMini);
+        let vanilla = TestBed::builder(SystemConfig::VanillaAndroid).build();
+        let cider_ios = TestBed::builder(SystemConfig::CiderIos).build();
+        let ipad = TestBed::builder(SystemConfig::IpadMini).build();
         // Int divide: the iOS compiler generates worse code (§6.2).
         let v = basic_op_latency_ns(&vanilla, BasicOp::IntDiv);
         let ci = basic_op_latency_ns(&cider_ios, BasicOp::IntDiv);

@@ -417,7 +417,7 @@ impl Driver {
                 let raw = if self.is_xnu() { bsd } else { linux };
                 let mut args =
                     SyscallArgs::regs([0, raw as i64, 0, 0, 0, 0, 0]);
-                args.data = SyscallData::Path(pool_path(path).to_string());
+                args.data = SyscallData::Path(pool_path(path).into());
                 self.unix(X::Open, Some(L::Open), args, DataMode::Ignore)
             }
             Op::Close { fd } => self.unix(
@@ -438,7 +438,7 @@ impl Driver {
                     (0..n).map(|i| (0x20 + ((i * 7) % 64)) as u8).collect();
                 let mut args =
                     SyscallArgs::regs([fd_arg(fd), 0, 0, 0, 0, 0, 0]);
-                args.data = SyscallData::Bytes(payload);
+                args.data = SyscallData::Bytes(payload.into());
                 self.unix(X::Write, Some(L::Write), args, DataMode::Ignore)
             }
             Op::Dup { fd } => self.unix(
@@ -461,17 +461,17 @@ impl Driver {
             ),
             Op::Mkdir { path } => {
                 let mut args = SyscallArgs::none();
-                args.data = SyscallData::Path(pool_path(path).to_string());
+                args.data = SyscallData::Path(pool_path(path).into());
                 self.unix(X::Mkdir, Some(L::Mkdir), args, DataMode::Ignore)
             }
             Op::Unlink { path } => {
                 let mut args = SyscallArgs::none();
-                args.data = SyscallData::Path(pool_path(path).to_string());
+                args.data = SyscallData::Path(pool_path(path).into());
                 self.unix(X::Unlink, Some(L::Unlink), args, DataMode::Ignore)
             }
             Op::Stat { path } => {
                 let mut args = SyscallArgs::none();
-                args.data = SyscallData::Path(pool_path(path).to_string());
+                args.data = SyscallData::Path(pool_path(path).into());
                 // XNU returns `struct stat64`, Linux `struct stat64`
                 // (Linux layout); only the leading 24 bytes — ino,
                 // mode, nlink, size — are layout-identical ABI surface.
@@ -484,13 +484,13 @@ impl Driver {
             }
             Op::Chdir { path } => {
                 let mut args = SyscallArgs::none();
-                args.data = SyscallData::Path(pool_path(path).to_string());
+                args.data = SyscallData::Path(pool_path(path).into());
                 self.unix(X::Chdir, Some(L::Chdir), args, DataMode::Ignore)
             }
             Op::Select { n } => {
                 let fds: Vec<i32> = (0..=(n as i32 % 5)).collect();
                 let mut args = SyscallArgs::none();
-                args.data = SyscallData::FdSet(fds);
+                args.data = SyscallData::FdSet(fds.into());
                 self.unix(X::Select, Some(L::Select), args, DataMode::Ignore)
             }
             Op::Fork => {
@@ -584,7 +584,7 @@ impl Driver {
                 // identically under every configuration.
                 let mut args = SyscallArgs::none();
                 args.data = SyscallData::Exec {
-                    path: pool_path(path).to_string(),
+                    path: pool_path(path).into(),
                     argv: vec!["conform".to_string()],
                 };
                 self.unix(X::Execve, Some(L::Execve), args, DataMode::Ignore)
@@ -592,7 +592,7 @@ impl Driver {
             Op::Spawn { path } => {
                 let mut args = SyscallArgs::none();
                 args.data = SyscallData::Exec {
-                    path: pool_path(path).to_string(),
+                    path: pool_path(path).into(),
                     argv: vec!["conform".to_string()],
                 };
                 let obs =
@@ -668,7 +668,7 @@ impl Driver {
                 let msg = UserMessage::simple(dest, 0x100 + len as i32, body);
                 let mut args = SyscallArgs::regs([1, 0, 0, 0, 0, 0, 0]);
                 args.data =
-                    SyscallData::Bytes(wire::encode_user_message(&msg));
+                    SyscallData::Bytes(wire::encode_user_message(&msg).into());
                 self.mach(M::MachMsgTrap, args, DataMode::Ignore)
             }
             Op::MsgRecv { slot } => {

@@ -18,12 +18,12 @@ use cider_abi::errno::Errno;
 use cider_abi::ids::{Fd, Pid, PortName, Tid};
 use cider_abi::signal::{sigframe, Signal, XnuSignal};
 use cider_abi::syscall::{
-    LinuxSyscall, MachTrap, TrapClass, XnuSyscall, XnuTrap,
+    LinuxSyscall, MachTrap, SyscallName, TrapClass, XnuSyscall, XnuTrap,
 };
 use cider_abi::types::{OpenFlags, XnuStat64};
 use cider_kernel::dispatch::{
     DispatchError, Personality, SyscallArgs, SyscallData, SyscallTable,
-    TrapResult, UserTrapResult,
+    SyscallTableBuilder, TrapResult, UserTrapResult,
 };
 use cider_kernel::kernel::Kernel;
 use cider_kernel::mm::{MappingKind, Prot};
@@ -99,6 +99,12 @@ pub fn encode_xnu_stat64(s: &XnuStat64) -> Vec<u8> {
 pub struct XnuPersonality {
     unix: SyscallTable,
     mach: SyscallTable,
+    /// Dense renumbering cache, indexed by Unix-class syscall number:
+    /// `Some(linux_nr)` only for installed calls whose implementation
+    /// really is the domestic one. Built once in
+    /// [`XnuPersonality::try_new`] so [`Personality::translate_syscall`]
+    /// never walks the dispatch table on the hot path.
+    xlate: Vec<Option<i64>>,
 }
 
 impl Default for XnuPersonality {
@@ -126,10 +132,10 @@ impl XnuPersonality {
     ///
     /// [`DispatchError::Collision`] if two handlers claim one number.
     pub fn try_new() -> Result<XnuPersonality, DispatchError> {
-        Ok(XnuPersonality {
-            unix: build_unix_table()?,
-            mach: build_mach_table()?,
-        })
+        let unix = build_unix_table()?;
+        let mach = build_mach_table()?;
+        let xlate = build_translation_cache(&unix);
+        Ok(XnuPersonality { unix, mach, xlate })
     }
 
     /// The Unix-class dispatch table (introspection for tests).
@@ -168,8 +174,7 @@ impl Personality for XnuPersonality {
                 let XnuTrap::Unix(call) = trap else {
                     unreachable!()
                 };
-                let Some((_, handler)) = self.unix.lookup(call.number())
-                else {
+                let Some(handler) = self.unix.handler(call.number()) else {
                     return encode_unix_result(TrapResult::err(Errno::ENOSYS));
                 };
                 encode_unix_result(handler(k, tid, args))
@@ -182,8 +187,7 @@ impl Personality for XnuPersonality {
                 // Unix-class wrappers charge this inside the Linux
                 // implementations they invoke.
                 k.charge_cpu(k.profile.syscall_entry_exit_ns);
-                let Some((_, handler)) = self.mach.lookup(call.number())
-                else {
+                let Some(handler) = self.mach.handler(call.number()) else {
                     return mach_result(KernReturn::MigBadId, Vec::new());
                 };
                 let r = handler(k, tid, args);
@@ -226,33 +230,49 @@ impl Personality for XnuPersonality {
         SIGNAL_TRANSLATE_NS
     }
 
-    fn syscall_name(&self, number: i64) -> Option<&'static str> {
+    fn syscall_name(&self, number: i64) -> Option<SyscallName> {
         match XnuTrap::decode(number)? {
-            XnuTrap::Unix(call) => {
-                self.unix.lookup(call.number()).map(|(name, _)| name)
-            }
-            XnuTrap::Mach(call) => {
-                self.mach.lookup(call.number()).map(|(name, _)| name)
-            }
-            XnuTrap::MachDep(_) => Some("machdep"),
-            XnuTrap::Diag(_) => Some("diag"),
+            XnuTrap::Unix(call) => self.unix.name(call.number()),
+            XnuTrap::Mach(call) => self.mach.name(call.number()),
+            XnuTrap::MachDep(_) => Some(SyscallName("machdep")),
+            XnuTrap::Diag(_) => Some(SyscallName("diag")),
         }
     }
 
     fn translate_syscall(&self, number: i64) -> Option<i64> {
         match XnuTrap::decode(number)? {
-            XnuTrap::Unix(call) => {
-                // Only calls this personality actually dispatches count
-                // as translated: a renumbering with no installed handler
-                // never reaches the domestic implementation.
-                self.unix.lookup(call.number())?;
-                xnu_to_linux_syscall(call).map(|l| l.number() as i64)
-            }
+            // Only calls this personality actually dispatches count as
+            // translated: the cache holds `Some` exclusively for
+            // installed handlers with a domestic renumbering.
+            XnuTrap::Unix(call) => self
+                .xlate
+                .get(usize::try_from(call.number()).ok()?)
+                .copied()
+                .flatten(),
             // Mach/machdep/diag traps have no domestic counterpart; they
             // are implemented by the Cider layer itself.
             _ => None,
         }
     }
+}
+
+/// Builds the dense Unix-class → Linux renumbering cache from the
+/// installed dispatch entries.
+fn build_translation_cache(unix: &SyscallTable) -> Vec<Option<i64>> {
+    let cap = unix
+        .entries()
+        .map(|(nr, _)| nr as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut cache = vec![None; cap];
+    for (nr, _) in unix.entries() {
+        let Some(call) = XnuSyscall::from_number(nr) else {
+            continue;
+        };
+        cache[nr as usize] =
+            xnu_to_linux_syscall(call).map(|l| l.number() as i64);
+    }
+    cache
 }
 
 /// The domestic (Linux) syscall a foreign Unix-class number renumbers
@@ -320,7 +340,7 @@ fn mach_result(kr: KernReturn, out_data: Vec<u8>) -> UserTrapResult {
 
 fn build_unix_table() -> Result<SyscallTable, DispatchError> {
     use XnuSyscall as X;
-    let mut t = SyscallTable::new();
+    let mut t = SyscallTableBuilder::new();
 
     t.install(X::Getpid.number(), "getpid", |k, tid, _| {
         match k.sys_getpid(tid) {
@@ -606,7 +626,7 @@ fn build_unix_table() -> Result<SyscallTable, DispatchError> {
         },
     )?;
 
-    Ok(t)
+    Ok(t.build())
 }
 
 // ----------------------------------------------------------------------
@@ -615,7 +635,7 @@ fn build_unix_table() -> Result<SyscallTable, DispatchError> {
 
 fn build_mach_table() -> Result<SyscallTable, DispatchError> {
     use MachTrap as M;
-    let mut t = SyscallTable::new();
+    let mut t = SyscallTableBuilder::new();
 
     t.install(M::TaskSelfTrap.number(), "task_self_trap", |k, tid, _| {
         let pid = match k.thread(tid) {
@@ -869,7 +889,7 @@ fn build_mach_table() -> Result<SyscallTable, DispatchError> {
         },
     )?;
 
-    Ok(t)
+    Ok(t.build())
 }
 
 #[cfg(test)]
@@ -1117,7 +1137,7 @@ mod tests {
             assert!(!r.flags.carry);
             let fd = r.reg;
             let mut w = SyscallArgs::regs([fd, 0, 1, 0, 0, 0, 0]);
-            w.data = SyscallData::Bytes(vec![b'a']);
+            w.data = SyscallData::Bytes(vec![b'a'].into());
             let ok = unix_trap(&mut k, tid, XnuSyscall::Write, w.clone());
             assert!(!ok.flags.carry);
 
@@ -1204,7 +1224,8 @@ mod tests {
                 bytes::Bytes::from(&b"x"[..]),
             );
             let mut args = SyscallArgs::regs([1, 0, 0, 0, 0, 0, 0]);
-            args.data = SyscallData::Bytes(wire::encode_user_message(&msg));
+            args.data =
+                SyscallData::Bytes(wire::encode_user_message(&msg).into());
             let r = mach_trap(&mut k, tid, MachTrap::MachMsgTrap, args);
             assert_eq!(r.reg, KernReturn::SendTooLarge.as_raw());
         }

@@ -86,8 +86,8 @@ impl Personality for XnuNativePersonality {
                 let XnuTrap::Unix(call) = trap else {
                     unreachable!()
                 };
-                let r = match self.inner.unix_table().lookup(call.number()) {
-                    Some((_, handler)) => handler(k, tid, args),
+                let r = match self.inner.unix_table().handler(call.number()) {
+                    Some(handler) => handler(k, tid, args),
                     None => TrapResult::err(Errno::ENOSYS),
                 };
                 let (reg, flags) =
@@ -104,8 +104,8 @@ impl Personality for XnuNativePersonality {
                     unreachable!()
                 };
                 k.charge_cpu(k.profile.syscall_entry_exit_ns);
-                let r = match self.inner.mach_table().lookup(call.number()) {
-                    Some((_, handler)) => handler(k, tid, args),
+                let r = match self.inner.mach_table().handler(call.number()) {
+                    Some(handler) => handler(k, tid, args),
                     None => TrapResult::ok(KernReturn::MigBadId.as_raw()),
                 };
                 UserTrapResult {

@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use cider_trace::Metrics;
+use cider_trace::{CounterId, Metrics};
 
 /// Name of the counter tracking individual clock charges.
 pub const CHARGES_COUNTER: &str = "clock/charges";
@@ -20,17 +20,37 @@ pub const ADVANCED_NS_COUNTER: &str = "clock/advanced_ns";
 ///
 /// The clock keeps its own [`Metrics`] registry so tests and reports can
 /// ask *how* time accrued (`clock/charges`, `clock/advanced_ns`) by
-/// name, the same way every other subsystem's counters are read.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// name, the same way every other subsystem's counters are read. The
+/// two counters are registered once at construction; every
+/// [`VirtualClock::advance`] — the single hottest operation in the
+/// simulator — updates them through [`CounterId`]s, with no by-name
+/// map walk on the charge path.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VirtualClock {
     now_ns: u64,
     metrics: Metrics,
+    charges: CounterId,
+    advanced_ns: CounterId,
+}
+
+impl Default for VirtualClock {
+    fn default() -> VirtualClock {
+        VirtualClock::new()
+    }
 }
 
 impl VirtualClock {
     /// A clock starting at zero.
     pub fn new() -> VirtualClock {
-        VirtualClock::default()
+        let mut metrics = Metrics::new();
+        let charges = metrics.register_counter(CHARGES_COUNTER);
+        let advanced_ns = metrics.register_counter(ADVANCED_NS_COUNTER);
+        VirtualClock {
+            now_ns: 0,
+            metrics,
+            charges,
+            advanced_ns,
+        }
     }
 
     /// Current virtual time in nanoseconds since boot.
@@ -39,23 +59,17 @@ impl VirtualClock {
     }
 
     /// Advances the clock by `ns` nanoseconds.
+    #[inline]
     pub fn advance(&mut self, ns: u64) {
         self.now_ns += ns;
-        self.metrics.incr(CHARGES_COUNTER);
-        self.metrics.add(ADVANCED_NS_COUNTER, ns);
+        self.metrics.incr_fast(self.charges);
+        self.metrics.add_fast(self.advanced_ns, ns);
     }
 
     /// The clock's own metric counters ([`CHARGES_COUNTER`],
     /// [`ADVANCED_NS_COUNTER`]).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
-    }
-
-    /// Number of individual charges.
-    #[deprecated(note = "read the named counter instead: \
-                `clock.metrics().counter(clock::CHARGES_COUNTER)`")]
-    pub fn charge_count(&self) -> u64 {
-        self.metrics.counter(CHARGES_COUNTER)
     }
 }
 
@@ -167,15 +181,6 @@ mod tests {
         assert_eq!(c.now_ns(), 150);
         assert_eq!(c.metrics().counter(CHARGES_COUNTER), 2);
         assert_eq!(c.metrics().counter(ADVANCED_NS_COUNTER), 150);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn charge_count_alias_matches_named_counter() {
-        let mut c = VirtualClock::new();
-        c.advance(10);
-        c.advance(20);
-        assert_eq!(c.charge_count(), c.metrics().counter(CHARGES_COUNTER));
     }
 
     #[test]

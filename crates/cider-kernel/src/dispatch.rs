@@ -10,8 +10,18 @@
 //! The vanilla kernel registers only the Linux personality (see
 //! `cider_kernel::LinuxPersonality`); the Cider layer
 //! registers an XNU personality with four trap-class tables.
+//!
+//! # Hot-path layout
+//!
+//! A real kernel's `sys_call_table` is a flat array indexed by syscall
+//! number, and so is [`SyscallTable`]: a dense `Vec<Option<SyscallHandler>>`
+//! with a parallel name array, so [`SyscallTable::lookup`] is one bounds
+//! check and one indexed load. Tables are built exactly once, at
+//! personality construction, through [`SyscallTableBuilder`], which
+//! surfaces collisions and out-of-range numbers as [`DispatchError`]
+//! values instead of tearing the process down.
 
-use std::collections::BTreeMap;
+use std::borrow::Cow;
 use std::fmt;
 use std::rc::Rc;
 
@@ -19,6 +29,7 @@ use cider_abi::convention::CpuFlags;
 use cider_abi::errno::Errno;
 use cider_abi::ids::Tid;
 use cider_abi::signal::{sigframe, Signal};
+use cider_abi::SyscallName;
 
 use crate::kernel::Kernel;
 
@@ -26,44 +37,47 @@ use crate::kernel::Kernel;
 ///
 /// The simulator does not model raw user memory, so buffers and paths that
 /// a real kernel would `copy_from_user` travel next to the registers.
-/// Costs are still charged per byte as if copied.
+/// Costs are still charged per byte as if copied. Payloads are
+/// [`Cow`]s: callers that already hold the bytes (benchmarks, the
+/// conformance driver, static path pools) lend them to the kernel
+/// without an allocation, and owned payloads still work unchanged.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub enum SyscallData {
+pub enum SyscallData<'a> {
     /// No payload.
     #[default]
     None,
     /// A byte buffer travelling into the kernel (write, send).
-    Bytes(Vec<u8>),
+    Bytes(Cow<'a, [u8]>),
     /// A path string.
-    Path(String),
+    Path(Cow<'a, str>),
     /// A path plus argv (execve).
     Exec {
         /// Binary path.
-        path: String,
+        path: Cow<'a, str>,
         /// Argument vector.
         argv: Vec<String>,
     },
     /// A set of descriptors (select).
-    FdSet(Vec<i32>),
+    FdSet(Cow<'a, [i32]>),
 }
 
 /// A trap's full argument set: seven argument registers plus payload.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct SyscallArgs {
+pub struct SyscallArgs<'a> {
     /// Argument registers r0..r6.
     pub regs: [i64; 7],
     /// Out-of-band payload (stands in for user memory).
-    pub data: SyscallData,
+    pub data: SyscallData<'a>,
 }
 
-impl SyscallArgs {
+impl SyscallArgs<'_> {
     /// No arguments.
-    pub fn none() -> SyscallArgs {
+    pub fn none() -> SyscallArgs<'static> {
         SyscallArgs::default()
     }
 
     /// Only register arguments.
-    pub fn regs(regs: [i64; 7]) -> SyscallArgs {
+    pub fn regs(regs: [i64; 7]) -> SyscallArgs<'static> {
         SyscallArgs {
             regs,
             data: SyscallData::None,
@@ -73,6 +87,13 @@ impl SyscallArgs {
 
 /// Result a trap handler produces before convention encoding, plus any
 /// data travelling back to user space.
+///
+/// `out_data` is an ordinary `Vec<u8>`; the zero-alloc discipline is
+/// that handlers fill it from the kernel's scratch pool
+/// ([`Kernel::take_scratch`]) and trap callers hand finished buffers
+/// back with [`Kernel::recycle_scratch`], so steady-state traps reuse
+/// one buffer instead of allocating per call. The common case — no
+/// out-of-band data — is `Vec::new()`, which never allocates.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrapResult {
     /// Success value or domestic errno.
@@ -109,7 +130,13 @@ impl TrapResult {
 
 /// A syscall handler: a plain function pointer, exactly like an entry in a
 /// kernel's `sys_call_table`.
-pub type SyscallHandler = fn(&mut Kernel, Tid, &SyscallArgs) -> TrapResult;
+pub type SyscallHandler =
+    for<'a> fn(&mut Kernel, Tid, &SyscallArgs<'a>) -> TrapResult;
+
+/// Capacity a [`SyscallTableBuilder`] reserves by default — comfortably
+/// above the largest syscall number either persona installs (XNU
+/// `stat64` at 338) while keeping the dense arrays a few KiB.
+pub const DEFAULT_TABLE_CAPACITY: usize = 512;
 
 /// Errors building a dispatch table.
 ///
@@ -123,9 +150,18 @@ pub enum DispatchError {
         /// The contested syscall number.
         nr: i32,
         /// Name of the handler already installed.
-        existing: &'static str,
+        existing: SyscallName,
         /// Name of the handler that lost the race.
-        rejected: &'static str,
+        rejected: SyscallName,
+    },
+    /// The syscall number falls outside the table's dense range.
+    OutOfRange {
+        /// The offending syscall number.
+        nr: i32,
+        /// The table's capacity; valid numbers are `0..capacity`.
+        capacity: usize,
+        /// Name of the handler that could not be installed.
+        rejected: SyscallName,
     },
 }
 
@@ -141,22 +177,108 @@ impl fmt::Display for DispatchError {
                 "syscall {nr} double-registered: {existing} already \
                  installed, rejected {rejected}"
             ),
+            DispatchError::OutOfRange {
+                nr,
+                capacity,
+                rejected,
+            } => write!(
+                f,
+                "syscall {nr} out of range for dense table of capacity \
+                 {capacity}, rejected {rejected}"
+            ),
         }
     }
 }
 
 impl std::error::Error for DispatchError {}
 
-/// One dispatch table: syscall number → handler.
+/// Builds a [`SyscallTable`] entry by entry, surfacing collisions and
+/// out-of-range numbers as [`DispatchError`]s.
+#[derive(Debug, Default)]
+pub struct SyscallTableBuilder {
+    handlers: Vec<Option<SyscallHandler>>,
+    names: Vec<Option<SyscallName>>,
+    len: usize,
+}
+
+impl SyscallTableBuilder {
+    /// A builder with the [`DEFAULT_TABLE_CAPACITY`] dense range.
+    pub fn new() -> SyscallTableBuilder {
+        SyscallTableBuilder::with_capacity(DEFAULT_TABLE_CAPACITY)
+    }
+
+    /// A builder accepting syscall numbers in `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> SyscallTableBuilder {
+        SyscallTableBuilder {
+            handlers: vec![None; capacity],
+            names: vec![None; capacity],
+            len: 0,
+        }
+    }
+
+    /// Installs a handler for a syscall number.
+    ///
+    /// # Errors
+    ///
+    /// [`DispatchError::Collision`] if the number is already taken (the
+    /// existing entry is left untouched), [`DispatchError::OutOfRange`]
+    /// if the number falls outside the dense range.
+    pub fn install(
+        &mut self,
+        nr: i32,
+        name: impl Into<SyscallName>,
+        handler: SyscallHandler,
+    ) -> Result<(), DispatchError> {
+        let name = name.into();
+        let idx = usize::try_from(nr)
+            .ok()
+            .filter(|&i| i < self.handlers.len())
+            .ok_or(DispatchError::OutOfRange {
+                nr,
+                capacity: self.handlers.len(),
+                rejected: name,
+            })?;
+        if let Some(existing) = self.names[idx] {
+            return Err(DispatchError::Collision {
+                nr,
+                existing,
+                rejected: name,
+            });
+        }
+        self.handlers[idx] = Some(handler);
+        self.names[idx] = Some(name);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Finishes the table.
+    pub fn build(self) -> SyscallTable {
+        SyscallTable {
+            handlers: self.handlers,
+            names: self.names,
+            len: self.len,
+        }
+    }
+}
+
+/// One dispatch table: syscall number → handler, as dense flat arrays
+/// indexed by syscall number (the shape of a real `sys_call_table`).
+///
+/// Built once via [`SyscallTableBuilder`]; lookup is O(1).
 #[derive(Default)]
 pub struct SyscallTable {
-    entries: BTreeMap<i32, (&'static str, SyscallHandler)>,
+    handlers: Vec<Option<SyscallHandler>>,
+    names: Vec<Option<SyscallName>>,
+    len: usize,
 }
 
 impl fmt::Debug for SyscallTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SyscallTable")
-            .field("entries", &self.entries.keys().collect::<Vec<_>>())
+            .field(
+                "entries",
+                &self.entries().map(|(nr, _)| nr).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -167,50 +289,52 @@ impl SyscallTable {
         SyscallTable::default()
     }
 
-    /// Installs a handler for a syscall number.
-    ///
-    /// # Errors
-    ///
-    /// [`DispatchError::Collision`] if the number is already taken; the
-    /// existing entry is left untouched.
-    pub fn install(
-        &mut self,
-        nr: i32,
-        name: &'static str,
-        handler: SyscallHandler,
-    ) -> Result<(), DispatchError> {
-        if let Some(&(existing, _)) = self.entries.get(&nr) {
-            return Err(DispatchError::Collision {
-                nr,
-                existing,
-                rejected: name,
-            });
+    /// Looks up a handler with its name.
+    #[inline]
+    pub fn lookup(&self, nr: i32) -> Option<(SyscallName, SyscallHandler)> {
+        let idx = usize::try_from(nr).ok()?;
+        match self.handlers.get(idx) {
+            Some(&Some(handler)) => {
+                Some((self.names[idx].expect("parallel arrays"), handler))
+            }
+            _ => None,
         }
-        self.entries.insert(nr, (name, handler));
-        Ok(())
     }
 
-    /// Looks up a handler.
-    pub fn lookup(&self, nr: i32) -> Option<(&'static str, SyscallHandler)> {
-        self.entries.get(&nr).copied()
+    /// Looks up just the handler — the trap hot path, which does not
+    /// need the name.
+    #[inline]
+    pub fn handler(&self, nr: i32) -> Option<SyscallHandler> {
+        let idx = usize::try_from(nr).ok()?;
+        self.handlers.get(idx).copied().flatten()
+    }
+
+    /// Looks up just the name.
+    #[inline]
+    pub fn name(&self, nr: i32) -> Option<SyscallName> {
+        let idx = usize::try_from(nr).ok()?;
+        self.names.get(idx).copied().flatten()
     }
 
     /// Iterates `(number, name)` pairs in ascending numeric order.
     ///
     /// The conformance engine uses this as its coverage universe: every
     /// entry is a dispatch target a workload could exercise.
-    pub fn entries(&self) -> impl Iterator<Item = (i32, &'static str)> + '_ {
-        self.entries.iter().map(|(&nr, &(name, _))| (nr, name))
+    pub fn entries(&self) -> impl Iterator<Item = (i32, SyscallName)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .filter_map(|(nr, name)| name.map(|n| (nr as i32, n)))
     }
 
     /// Number of installed entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 }
 
@@ -238,7 +362,7 @@ pub trait Personality: fmt::Debug {
         k: &mut Kernel,
         tid: Tid,
         number: i64,
-        args: &SyscallArgs,
+        args: &SyscallArgs<'_>,
     ) -> UserTrapResult;
 
     /// Size of the signal frame this personality's user space expects —
@@ -260,9 +384,9 @@ pub trait Personality: fmt::Debug {
         0
     }
 
-    /// Human-readable name of a syscall number under this personality's
+    /// Typed name of a syscall number under this personality's
     /// numbering, for trace labels. `None` for unknown numbers.
-    fn syscall_name(&self, number: i64) -> Option<&'static str> {
+    fn syscall_name(&self, number: i64) -> Option<SyscallName> {
         let _ = number;
         None
     }
@@ -283,44 +407,95 @@ pub type PersonalityRef = Rc<dyn Personality>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
-    fn nop(_: &mut Kernel, _: Tid, _: &SyscallArgs) -> TrapResult {
+    fn nop(_: &mut Kernel, _: Tid, _: &SyscallArgs<'_>) -> TrapResult {
         TrapResult::ok(0)
     }
 
     #[test]
     fn table_install_and_lookup() {
-        let mut t = SyscallTable::new();
-        t.install(3, "read", nop).unwrap();
-        t.install(4, "write", nop).unwrap();
+        let mut b = SyscallTableBuilder::new();
+        b.install(3, "read", nop).unwrap();
+        b.install(4, "write", nop).unwrap();
+        let t = b.build();
         assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
         assert_eq!(t.lookup(3).unwrap().0, "read");
         assert!(t.lookup(99).is_none());
+        assert!(t.lookup(-3).is_none());
+        assert!(t.handler(4).is_some());
+        assert_eq!(t.name(4).unwrap(), "write");
         assert_eq!(
             t.entries().collect::<Vec<_>>(),
-            vec![(3, "read"), (4, "write")]
+            vec![(3, SyscallName("read")), (4, SyscallName("write"))]
         );
     }
 
     #[test]
     fn double_registration_is_typed_error() {
-        let mut t = SyscallTable::new();
-        t.install(3, "read", nop).unwrap();
-        let err = t.install(3, "read2", nop).unwrap_err();
+        let mut b = SyscallTableBuilder::new();
+        b.install(3, "read", nop).unwrap();
+        let err = b.install(3, "read2", nop).unwrap_err();
         assert_eq!(
             err,
             DispatchError::Collision {
                 nr: 3,
-                existing: "read",
-                rejected: "read2",
+                existing: SyscallName("read"),
+                rejected: SyscallName("read2"),
             }
         );
         let msg = err.to_string();
         assert!(msg.contains("double-registered"), "{msg}");
         assert!(msg.contains("read2"), "{msg}");
         // The original entry survives the collision.
+        let t = b.build();
         assert_eq!(t.len(), 1);
         assert_eq!(t.lookup(3).unwrap().0, "read");
+    }
+
+    #[test]
+    fn out_of_range_numbers_are_typed_errors() {
+        let mut b = SyscallTableBuilder::with_capacity(8);
+        b.install(7, "edge", nop).unwrap();
+        let err = b.install(8, "past_end", nop).unwrap_err();
+        assert_eq!(
+            err,
+            DispatchError::OutOfRange {
+                nr: 8,
+                capacity: 8,
+                rejected: SyscallName("past_end"),
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
+        let err = b.install(-1, "negative", nop).unwrap_err();
+        assert!(matches!(err, DispatchError::OutOfRange { nr: -1, .. }));
+        let t = b.build();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn dense_lookup_agrees_with_reference_btreemap() {
+        let mut b = SyscallTableBuilder::with_capacity(64);
+        let mut reference = BTreeMap::new();
+        for (nr, name) in
+            [(1i32, "exit"), (3, "read"), (4, "write"), (63, "dup2")]
+        {
+            b.install(nr, name, nop).unwrap();
+            reference.insert(nr, SyscallName(name));
+        }
+        let t = b.build();
+        for nr in -4..70 {
+            assert_eq!(
+                t.lookup(nr).map(|(n, _)| n),
+                reference.get(&nr).copied(),
+                "nr {nr}"
+            );
+        }
+        assert_eq!(
+            t.entries().collect::<Vec<_>>(),
+            reference.into_iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -32,8 +32,8 @@ use crate::binfmt::{BinaryLoaderRef, ExecImage};
 use crate::clock::VirtualClock;
 use crate::device::DeviceRegistry;
 use crate::dispatch::{
-    DispatchError, PersonalityRef, SyscallArgs, SyscallTable, TrapResult,
-    UserTrapResult,
+    DispatchError, PersonalityRef, SyscallArgs, SyscallTable,
+    SyscallTableBuilder, TrapResult, UserTrapResult,
 };
 use crate::fdtable::FileObject;
 use crate::ipcobj::IpcObjects;
@@ -161,6 +161,12 @@ pub struct Kernel {
     current: Option<Tid>,
     cider_enabled: bool,
     linux_personality: PersonalityId,
+    /// Recycled out-of-band buffers. The simulator runs one trap at a
+    /// time, so this kernel-level pool is the "per-thread" scratch
+    /// space of a real kernel: handlers draw from it instead of
+    /// allocating, and trap callers hand finished `out_data` buffers
+    /// back with [`Kernel::recycle_scratch`].
+    scratch: Vec<Vec<u8>>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -201,6 +207,7 @@ impl Kernel {
             current: None,
             cider_enabled: false,
             linux_personality: 0,
+            scratch: Vec::new(),
         };
         let linux = Rc::new(LinuxPersonality::new());
         k.linux_personality = k.register_personality(linux);
@@ -298,6 +305,27 @@ impl Kernel {
     fn enter_syscall(&mut self) {
         self.counters.syscalls += 1;
         self.charge_cpu(self.profile.syscall_entry_exit_ns);
+    }
+
+    // ------------------------------------------------------------------
+    // Scratch buffers (zero-alloc out-of-band data).
+    // ------------------------------------------------------------------
+
+    /// Takes an empty buffer from the scratch pool, or a fresh one if
+    /// the pool is dry. Handlers use this for `out_data` they build
+    /// (pipe/socket reads, stat encodings, received Mach messages).
+    pub fn take_scratch(&mut self) -> Vec<u8> {
+        self.scratch.pop().unwrap_or_default()
+    }
+
+    /// Returns a finished buffer to the scratch pool. Trap callers that
+    /// are done with `out_data` hand it back here so the next trap
+    /// reuses the allocation instead of making a new one.
+    pub fn recycle_scratch(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() > 0 && self.scratch.len() < 8 {
+            buf.clear();
+            self.scratch.push(buf);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -606,7 +634,7 @@ impl Kernel {
             // (persona check included — that's what user space sees).
             let name = p
                 .syscall_name(number)
-                .map(Cow::Borrowed)
+                .map(|n| Cow::Borrowed(n.as_str()))
                 .unwrap_or_else(|| Cow::Owned(format!("nr{number}")));
             self.trace.observe(
                 &format!("syscall/{}/{name}", ctx.persona_label()),
@@ -772,15 +800,30 @@ impl Kernel {
                 if end.write_end {
                     return Err(Errno::EBADF);
                 }
-                let mut buf = vec![0u8; len];
-                let n = self.ipc.pipe_read(end.id, &mut buf)?;
+                let mut buf = self.take_scratch();
+                buf.resize(len, 0);
+                let n = match self.ipc.pipe_read(end.id, &mut buf) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        self.recycle_scratch(buf);
+                        return Err(e);
+                    }
+                };
                 buf.truncate(n);
                 self.charge_copy(n);
                 Ok(buf)
             }
             FileObject::Socket(end) => {
-                let mut buf = vec![0u8; len];
-                let n = self.ipc.socket_recv(end.id, end.side, &mut buf)?;
+                let mut buf = self.take_scratch();
+                buf.resize(len, 0);
+                let n = match self.ipc.socket_recv(end.id, end.side, &mut buf)
+                {
+                    Ok(n) => n,
+                    Err(e) => {
+                        self.recycle_scratch(buf);
+                        return Err(e);
+                    }
+                };
                 buf.truncate(n);
                 self.charge_copy(n);
                 Ok(buf)
@@ -1626,7 +1669,7 @@ impl LinuxPersonality {
     /// [`DispatchError::Collision`] if two handlers claim one number.
     pub fn try_new() -> Result<LinuxPersonality, DispatchError> {
         use cider_abi::syscall::LinuxSyscall as L;
-        let mut t = SyscallTable::new();
+        let mut t = SyscallTableBuilder::new();
         t.install(L::Getpid.number(), "getpid", |k, tid, _| {
             match k.sys_getpid(tid) {
                 Ok(pid) => TrapResult::ok(pid.as_raw() as i64),
@@ -1798,7 +1841,7 @@ impl LinuxPersonality {
                 Err(e) => TrapResult::err(e),
             }
         })?;
-        Ok(LinuxPersonality { table: t })
+        Ok(LinuxPersonality { table: t.build() })
     }
 
     /// The dispatch table (exposed for introspection in tests).
@@ -1812,8 +1855,8 @@ impl crate::dispatch::Personality for LinuxPersonality {
         "linux"
     }
 
-    fn syscall_name(&self, number: i64) -> Option<&'static str> {
-        self.table.lookup(number as i32).map(|(name, _)| name)
+    fn syscall_name(&self, number: i64) -> Option<cider_abi::SyscallName> {
+        self.table.name(number as i32)
     }
 
     fn trap(
@@ -1821,9 +1864,9 @@ impl crate::dispatch::Personality for LinuxPersonality {
         k: &mut Kernel,
         tid: Tid,
         number: i64,
-        args: &SyscallArgs,
+        args: &SyscallArgs<'_>,
     ) -> UserTrapResult {
-        let Some((_, handler)) = self.table.lookup(number as i32) else {
+        let Some(handler) = self.table.handler(number as i32) else {
             return UserTrapResult {
                 reg: -(Errno::ENOSYS.as_raw() as i64),
                 flags: CpuFlags::default(),

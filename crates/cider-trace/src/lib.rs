@@ -40,7 +40,7 @@ pub mod sink;
 pub mod span;
 
 pub use event::{EventKind, TraceContext, TraceEvent};
-pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use metrics::{CounterId, Histogram, Metrics, MetricsSnapshot};
 pub use ring::TraceBuffer;
 pub use sink::{TraceSink, TraceSnapshot};
 pub use span::Span;

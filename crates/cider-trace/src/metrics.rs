@@ -157,12 +157,41 @@ impl fmt::Display for Histogram {
     }
 }
 
+/// Handle to a pre-registered counter slot.
+///
+/// Hot paths that charge the same counters millions of times (the
+/// virtual clock) register them once with
+/// [`Metrics::register_counter`] and then update through the id —
+/// a direct indexed store, no by-name map walk per update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CounterId(usize);
+
 /// The registry: counters and histograms by name.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Counter values live in a dense slot vector; the by-name map holds
+/// only `name → slot`, so by-name reads behave exactly as before while
+/// [`CounterId`]-based updates skip the map entirely.
+#[derive(Debug, Clone, Default)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
+    slots: Vec<u64>,
+    index: BTreeMap<String, usize>,
     histograms: BTreeMap<String, Histogram>,
 }
+
+impl PartialEq for Metrics {
+    fn eq(&self, other: &Metrics) -> bool {
+        // Slot numbering is an artifact of registration order; equality
+        // is by (name, value), like the old by-name registry.
+        self.histograms == other.histograms
+            && self.index.len() == other.index.len()
+            && self.index.iter().all(|(name, &slot)| {
+                other.index.get(name).map(|&s| other.slots[s])
+                    == Some(self.slots[slot])
+            })
+    }
+}
+
+impl Eq for Metrics {}
 
 impl Metrics {
     /// An empty registry.
@@ -170,13 +199,45 @@ impl Metrics {
         Metrics::default()
     }
 
+    fn slot_for(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.slots.len();
+        self.slots.push(0);
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    /// Registers a counter (creating it at zero) and returns a handle
+    /// for map-free updates. Registering the same name twice returns
+    /// the same id. Ids are invalidated by [`Metrics::clear`].
+    pub fn register_counter(&mut self, name: &str) -> CounterId {
+        CounterId(self.slot_for(name))
+    }
+
+    /// Adds to a pre-registered counter — one indexed store.
+    #[inline]
+    pub fn add_fast(&mut self, id: CounterId, delta: u64) {
+        self.slots[id.0] += delta;
+    }
+
+    /// Increments a pre-registered counter by one.
+    #[inline]
+    pub fn incr_fast(&mut self, id: CounterId) {
+        self.slots[id.0] += 1;
+    }
+
+    /// Reads a pre-registered counter.
+    #[inline]
+    pub fn counter_fast(&self, id: CounterId) -> u64 {
+        self.slots[id.0]
+    }
+
     /// Adds to a named monotonic counter, creating it at zero.
     pub fn add(&mut self, name: &str, delta: u64) {
-        if let Some(c) = self.counters.get_mut(name) {
-            *c += delta;
-        } else {
-            self.counters.insert(name.to_string(), delta);
-        }
+        let i = self.slot_for(name);
+        self.slots[i] += delta;
     }
 
     /// Increments a named counter by one.
@@ -186,7 +247,7 @@ impl Metrics {
 
     /// Reads a counter; missing counters read zero.
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.index.get(name).map(|&i| self.slots[i]).unwrap_or(0)
     }
 
     /// Records an observation in a named histogram, creating it empty.
@@ -207,10 +268,10 @@ impl Metrics {
 
     /// All counters whose name starts with `prefix`, in name order.
     pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
-        self.counters
+        self.index
             .iter()
             .filter(|(k, _)| k.starts_with(prefix))
-            .map(|(k, v)| (k.as_str(), *v))
+            .map(|(k, &i)| (k.as_str(), self.slots[i]))
             .collect()
     }
 
@@ -229,14 +290,20 @@ impl Metrics {
     /// Immutable snapshot for reporting.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            counters: self.counters.clone(),
+            counters: self
+                .index
+                .iter()
+                .map(|(k, &i)| (k.clone(), self.slots[i]))
+                .collect(),
             histograms: self.histograms.clone(),
         }
     }
 
-    /// Resets every counter and histogram.
+    /// Drops every counter and histogram. Invalidates any
+    /// [`CounterId`]s handed out before the clear.
     pub fn clear(&mut self) {
-        self.counters.clear();
+        self.slots.clear();
+        self.index.clear();
         self.histograms.clear();
     }
 }
@@ -374,6 +441,32 @@ mod tests {
         assert_eq!(m.counter("missing"), 0);
         let clock = m.counters_with_prefix("clock/");
         assert_eq!(clock, vec![("clock/charges", 3)]);
+    }
+
+    #[test]
+    fn registered_counters_share_the_named_slot() {
+        let mut m = Metrics::new();
+        let id = m.register_counter("clock/charges");
+        assert_eq!(m.register_counter("clock/charges"), id);
+        m.incr_fast(id);
+        m.add_fast(id, 4);
+        m.incr("clock/charges");
+        assert_eq!(m.counter_fast(id), 6);
+        assert_eq!(m.counter("clock/charges"), 6);
+        assert_eq!(m.snapshot().counter("clock/charges"), 6);
+    }
+
+    #[test]
+    fn equality_ignores_registration_order() {
+        let mut a = Metrics::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = Metrics::new();
+        b.add("y", 2);
+        b.add("x", 1);
+        assert_eq!(a, b);
+        b.incr("x");
+        assert_ne!(a, b);
     }
 
     #[test]

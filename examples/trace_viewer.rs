@@ -25,7 +25,7 @@ use cider_bench::fig5::{run_micro, Micro};
 use cider_trace::{chrome, flame, TraceSnapshot};
 
 fn drive(config: SystemConfig) -> TraceSnapshot {
-    let mut bed = TestBed::new_traced(config);
+    let mut bed = TestBed::builder(config).traced().build();
     let (pid, tid) = bed.spawn_measured().expect("bench binary installed");
     for micro in [
         Micro::NullSyscall,

@@ -7,7 +7,7 @@ use cider_bench::config::{SystemConfig, TestBed};
 use cider_bench::{fig6, lmbench};
 
 fn micro_fingerprint(config: SystemConfig) -> Vec<u64> {
-    let mut bed = TestBed::new(config);
+    let mut bed = TestBed::builder(config).build();
     let (pid, tid) = bed.spawn_measured().expect("bench binaries");
     let mut out = vec![
         lmbench::null_syscall(&mut bed, tid).ns,
@@ -34,7 +34,7 @@ fn microbenchmarks_are_bit_identical_across_runs() {
 #[test]
 fn passmark_is_bit_identical_across_runs() {
     let run = || {
-        let mut bed = TestBed::new(SystemConfig::CiderIos);
+        let mut bed = TestBed::builder(SystemConfig::CiderIos).build();
         let tid = fig6::prepare_passmark_thread(&mut bed);
         let mut values = Vec::new();
         for test in [

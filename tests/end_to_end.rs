@@ -278,7 +278,7 @@ fn linux_convention_translates_every_injected_fault_class() {
     let fd = k.trap(tid, LinuxSyscall::Open.number() as i64, &open).reg;
     assert!(fd >= 0);
     let mut w = SyscallArgs::regs([fd, 0, 1, 0, 0, 0, 0]);
-    w.data = SyscallData::Bytes(vec![b'a']);
+    w.data = SyscallData::Bytes(vec![b'a'].into());
     assert!(k.trap(tid, LinuxSyscall::Write.number() as i64, &w).reg > 0);
 
     // Linux persona: faults come back as negative errnos, and the CPU

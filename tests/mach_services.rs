@@ -85,7 +85,7 @@ fn wire_level_mach_msg_roundtrip() {
         Bytes::from(&b"wire payload"[..]),
     );
     let mut args = SyscallArgs::regs([1, 0, 0, 0, 0, 0, 0]);
-    args.data = SyscallData::Bytes(wire::encode_user_message(&msg));
+    args.data = SyscallData::Bytes(wire::encode_user_message(&msg).into());
     let r = mach_trap(&mut sys, tid, MachTrap::MachMsgTrap, args);
     assert_eq!(r.reg, 0, "KERN_SUCCESS");
 

@@ -478,8 +478,8 @@ proptest! {
         } else {
             SystemConfig::CiderAndroid
         };
-        let mut plain = TestBed::new(config);
-        let mut traced = TestBed::new_traced(config);
+        let mut plain = TestBed::builder(config).build();
+        let mut traced = TestBed::builder(config).traced().build();
         let (plain_pid, plain_tid) = plain.spawn_measured().unwrap();
         let (traced_pid, traced_tid) = traced.spawn_measured().unwrap();
         // Always end on a null syscall so the traced bed is guaranteed
@@ -609,6 +609,52 @@ fn every_known_trap_translation_is_consistent() {
     }
 }
 
+fn probe_number_strategy() -> impl Strategy<Value = i32> {
+    prop_oneof![
+        // The dense regions the tables actually populate.
+        -8i32..600,
+        // Arbitrary numbers: the flat arrays must agree with the
+        // reference map on junk, negatives, and out-of-range probes.
+        any::<i32>(),
+    ]
+}
+
+proptest! {
+    /// The dense flat-array tables answer every probe exactly like a
+    /// reference `BTreeMap` built from the same `entries()` — names,
+    /// handler presence, and the installed-number census all agree.
+    #[test]
+    fn dense_lookup_agrees_with_reference_btreemap(
+        probe in probe_number_strategy()
+    ) {
+        let xnu = XnuPersonality::new();
+        let linux = LinuxPersonality::new();
+        for table in [xnu.unix_table(), xnu.mach_table(), linux.table()] {
+            let reference: std::collections::BTreeMap<_, _> =
+                table.entries().collect();
+            prop_assert_eq!(
+                table.lookup(probe).map(|(name, _)| name),
+                reference.get(&probe).copied()
+            );
+            prop_assert_eq!(
+                table.name(probe),
+                reference.get(&probe).copied()
+            );
+            prop_assert_eq!(
+                table.handler(probe).is_some(),
+                reference.contains_key(&probe)
+            );
+            // Every registered number resolves, with the right name.
+            for (&nr, &name) in &reference {
+                let (got, _) =
+                    table.lookup(nr).expect("registered number resolves");
+                prop_assert_eq!(got, name);
+            }
+            prop_assert_eq!(table.len(), reference.len());
+        }
+    }
+}
+
 // ----------------------------------------------------------------------
 // Fault injection: an empty plan is bit-identical to the fault layer
 // being absent, and the fault schedule is a pure function of the seed.
@@ -628,8 +674,8 @@ proptest! {
         } else {
             SystemConfig::CiderAndroid
         };
-        let mut plain = TestBed::new(config);
-        let mut armed = TestBed::new(config);
+        let mut plain = TestBed::builder(config).build();
+        let mut armed = TestBed::builder(config).build();
         // A seeded plan with no sites armed: the layer is installed
         // but must be indistinguishable from its absence.
         armed.enable_faults(FaultPlan::new(seed));
@@ -659,8 +705,8 @@ proptest! {
             SystemConfig::CiderAndroid
         };
         let plan = FaultPlan::matrix(seed);
-        let mut a = TestBed::new(config);
-        let mut b = TestBed::new(config);
+        let mut a = TestBed::builder(config).build();
+        let mut b = TestBed::builder(config).build();
         // Spawn fault-free (the matrix can fail exec), then arm.
         let (a_pid, a_tid) = a.spawn_measured().unwrap();
         let (b_pid, b_tid) = b.spawn_measured().unwrap();
