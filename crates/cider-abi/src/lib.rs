@@ -30,6 +30,7 @@ pub mod convention;
 pub mod errno;
 pub mod ids;
 pub mod persona;
+pub mod sched;
 pub mod signal;
 pub mod syscall;
 pub mod types;

@@ -1,0 +1,160 @@
+//! Scheduling vocabulary shared by both personas.
+//!
+//! XNU exposes a 0–127 priority space to user threads (of which only the
+//! 0–63 band is reachable without special entitlements) plus a handful of
+//! voluntary-switch traps (`thread_switch`, `swtch`, `swtch_pri`) and the
+//! `thread_policy_set` control surface. Linux's user-facing knob in the
+//! same space is `sched_yield` plus nice levels. Cider maps both onto one
+//! set of run queues, so this module defines the shared constants and the
+//! raw encodings each side uses.
+
+/// Number of priority bands in the scheduler (XNU's 0..=127 space).
+pub const PRIORITY_LEVELS: usize = 128;
+
+/// Lowest user priority (also XNU's `DEPRESSPRI`).
+pub const MINPRI_USER: u8 = 0;
+
+/// Default timeshare priority for a fresh user thread (XNU
+/// `BASEPRI_DEFAULT`).
+pub const BASEPRI_DEFAULT: u8 = 31;
+
+/// Foreground-band base priority (XNU `BASEPRI_FOREGROUND`).
+pub const BASEPRI_FOREGROUND: u8 = 47;
+
+/// Highest priority an unentitled user thread can reach (XNU
+/// `MAXPRI_USER`).
+pub const MAXPRI_USER: u8 = 63;
+
+/// Priority a thread is depressed to by `swtch_pri` / the
+/// `SWITCH_OPTION_DEPRESS` flavour of `thread_switch`.
+pub const DEPRESSPRI: u8 = MINPRI_USER;
+
+/// `thread_switch` option words (osfmk `mach/thread_switch.h`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchOption {
+    /// `SWITCH_OPTION_NONE`: plain directed or undirected yield.
+    None,
+    /// `SWITCH_OPTION_DEPRESS`: depress the caller's priority to
+    /// [`DEPRESSPRI`] until it next runs (or the depression is aborted).
+    Depress,
+    /// `SWITCH_OPTION_WAIT`: yield and wait; we model it as a depressed
+    /// yield (the simulator has no timed wait at this layer).
+    Wait,
+}
+
+impl SwitchOption {
+    /// Decodes the raw option word; unknown values behave like `NONE`,
+    /// matching XNU's permissive treatment.
+    pub fn from_raw(raw: u64) -> SwitchOption {
+        match raw {
+            1 => SwitchOption::Depress,
+            2 => SwitchOption::Wait,
+            _ => SwitchOption::None,
+        }
+    }
+
+    /// The raw option word.
+    pub fn as_raw(self) -> u64 {
+        match self {
+            SwitchOption::None => 0,
+            SwitchOption::Depress => 1,
+            SwitchOption::Wait => 2,
+        }
+    }
+}
+
+/// `thread_policy_set` flavours (osfmk `mach/thread_policy.h`). Only the
+/// flavours the paper's workloads exercise are modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadPolicyFlavor {
+    /// `THREAD_STANDARD_POLICY`: plain timeshare.
+    Standard,
+    /// `THREAD_TIME_CONSTRAINT_POLICY`: real-time-ish band; we model it
+    /// as a fixed boost to the foreground band.
+    TimeConstraint,
+    /// `THREAD_PRECEDENCE_POLICY`: an importance offset applied to the
+    /// thread's base priority.
+    Precedence,
+}
+
+impl ThreadPolicyFlavor {
+    /// Decodes a raw flavour number, if known.
+    pub fn from_raw(raw: u64) -> Option<ThreadPolicyFlavor> {
+        match raw {
+            1 => Some(ThreadPolicyFlavor::Standard),
+            2 => Some(ThreadPolicyFlavor::TimeConstraint),
+            3 => Some(ThreadPolicyFlavor::Precedence),
+            _ => None,
+        }
+    }
+
+    /// The raw flavour number.
+    pub fn as_raw(self) -> u64 {
+        match self {
+            ThreadPolicyFlavor::Standard => 1,
+            ThreadPolicyFlavor::TimeConstraint => 2,
+            ThreadPolicyFlavor::Precedence => 3,
+        }
+    }
+}
+
+/// Scheduling policy of one thread, after any `thread_policy_set`
+/// translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedPolicy {
+    /// Ordinary timeshare thread, subject to MLFQ demotion and boost.
+    #[default]
+    Timeshare,
+    /// Fixed-priority thread: never demoted on quantum expiry.
+    Fixed,
+}
+
+/// Clamps a signed priority into the unentitled user band.
+pub fn clamp_user_priority(pri: i64) -> u8 {
+    pri.clamp(MINPRI_USER as i64, MAXPRI_USER as i64) as u8
+}
+
+// The band ordering the scheduler depends on, pinned at compile time.
+const _: () = assert!(MINPRI_USER < BASEPRI_DEFAULT);
+const _: () = assert!(BASEPRI_DEFAULT < BASEPRI_FOREGROUND);
+const _: () = assert!(BASEPRI_FOREGROUND < MAXPRI_USER);
+const _: () = assert!((MAXPRI_USER as usize) < PRIORITY_LEVELS);
+const _: () = assert!(DEPRESSPRI == MINPRI_USER);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_option_roundtrip() {
+        for opt in [
+            SwitchOption::None,
+            SwitchOption::Depress,
+            SwitchOption::Wait,
+        ] {
+            assert_eq!(SwitchOption::from_raw(opt.as_raw()), opt);
+        }
+        // Unknown option words degrade to NONE, as on XNU.
+        assert_eq!(SwitchOption::from_raw(77), SwitchOption::None);
+    }
+
+    #[test]
+    fn policy_flavor_roundtrip() {
+        for f in [
+            ThreadPolicyFlavor::Standard,
+            ThreadPolicyFlavor::TimeConstraint,
+            ThreadPolicyFlavor::Precedence,
+        ] {
+            assert_eq!(ThreadPolicyFlavor::from_raw(f.as_raw()), Some(f));
+        }
+        assert_eq!(ThreadPolicyFlavor::from_raw(0), None);
+        assert_eq!(ThreadPolicyFlavor::from_raw(9), None);
+    }
+
+    #[test]
+    fn clamp_user_priority_bounds() {
+        assert_eq!(clamp_user_priority(-5), MINPRI_USER);
+        assert_eq!(clamp_user_priority(31), 31);
+        assert_eq!(clamp_user_priority(1000), MAXPRI_USER);
+    }
+}

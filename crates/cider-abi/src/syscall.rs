@@ -168,6 +168,7 @@ syscall_enum! {
         Select = 142,
         Readdir = 141,
         Writev = 146,
+        SchedYield = 158,
         Nanosleep = 162,
         Poll = 168,
         Sigprocmask = 175,
@@ -240,6 +241,13 @@ syscall_enum! {
         MachPortInsertRight = 20,
         MachVmAllocate = 10,
         MachVmDeallocate = 12,
+        // Real XNU reaches thread_policy_set through MIG; the simulator
+        // surfaces it as a trap on an unused number so both personas'
+        // scheduling controls go through one dispatch path.
+        ThreadPolicySet = 57,
+        SwtchPri = 59,
+        Swtch = 60,
+        ThreadSwitch = 61,
     }
 }
 

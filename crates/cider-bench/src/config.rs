@@ -122,10 +122,7 @@ fn macho_with_frameworks(entry: &str) -> Vec<u8> {
     b.build().to_bytes()
 }
 
-/// Step-wise construction of a [`TestBed`].
-///
-/// One entry point replaces the old `new` / `new_traced` /
-/// `new_faulted` constructor family: start from
+/// Step-wise construction of a [`TestBed`]: start from
 /// [`TestBed::builder`], toggle the optional subsystems, and
 /// [`TestBedBuilder::build`]:
 ///
@@ -199,14 +196,6 @@ impl TestBed {
         TestBedBuilder::new(config)
     }
 
-    /// Boots a bed with the trace subsystem enabled.
-    #[deprecated(
-        note = "use TestBed::builder(config).traced().build() instead"
-    )]
-    pub fn new_traced(config: SystemConfig) -> TestBed {
-        TestBed::builder(config).traced().build()
-    }
-
     /// Enables tracing on this bed (default ring capacity).
     pub fn enable_tracing(&mut self) {
         self.sys.kernel.trace = cider_trace::TraceSink::enabled_default();
@@ -219,31 +208,10 @@ impl TestBed {
         self.sys.kernel.faults = cider_fault::FaultLayer::with_plan(plan);
     }
 
-    /// Boots a traced bed with a fault plan armed — the configuration
-    /// the fault-matrix CI job runs.
-    #[deprecated(
-        note = "use TestBed::builder(config).traced().fault_plan(plan)\
-                .build() instead"
-    )]
-    pub fn new_faulted(
-        config: SystemConfig,
-        plan: cider_fault::FaultPlan,
-    ) -> TestBed {
-        TestBed::builder(config).traced().fault_plan(plan).build()
-    }
-
     /// Snapshot of collected events and metrics; `None` when tracing
     /// is disabled.
     pub fn trace_snapshot(&self) -> Option<cider_trace::TraceSnapshot> {
         self.sys.kernel.trace.snapshot()
-    }
-
-    /// Boots a test bed for a configuration: the right kernel flavour,
-    /// the graphics stack (with the fence bug only on Cider), the
-    /// benchmark binaries, and the registered program behaviours.
-    #[deprecated(note = "use TestBed::builder(config).build() instead")]
-    pub fn new(config: SystemConfig) -> TestBed {
-        TestBed::builder(config).build()
     }
 }
 

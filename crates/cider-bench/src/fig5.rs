@@ -36,6 +36,8 @@ pub enum Micro {
     Pipe,
     /// AF_UNIX latency.
     AfUnix,
+    /// Context switching: N processes passing a token through pipes.
+    LatCtx(usize),
     /// select over N descriptors.
     Select(usize),
     /// File create + delete with N bytes.
@@ -60,6 +62,10 @@ impl Micro {
             Micro::ForkShIos,
             Micro::Pipe,
             Micro::AfUnix,
+            Micro::LatCtx(2),
+            Micro::LatCtx(4),
+            Micro::LatCtx(8),
+            Micro::LatCtx(16),
             Micro::Select(10),
             Micro::Select(100),
             Micro::Select(250),
@@ -85,6 +91,7 @@ impl Micro {
             Micro::ForkShIos => "fork+sh(ios)".into(),
             Micro::Pipe => "pipe".into(),
             Micro::AfUnix => "af_unix".into(),
+            Micro::LatCtx(n) => format!("lat_ctx {n}p"),
             Micro::Select(n) => format!("select {n}fd"),
             Micro::FileCreateDelete(0) => "file create/delete 0k".into(),
             Micro::FileCreateDelete(_) => "file create/delete 10k".into(),
@@ -105,6 +112,7 @@ impl Micro {
             | Micro::ForkExecIos
             | Micro::ForkShAndroid
             | Micro::ForkShIos => "process",
+            Micro::LatCtx(_) => "context switch",
             _ => "local comm & file",
         }
     }
@@ -159,6 +167,7 @@ pub fn run_micro(
         Micro::ForkShIos => lmbench::fork_sh_lat(bed, tid, true).ok()?.ns,
         Micro::Pipe => lmbench::pipe_lat(bed, tid).ok()?.ns,
         Micro::AfUnix => lmbench::af_unix_lat(bed, tid).ok()?.ns,
+        Micro::LatCtx(n) => lmbench::lat_ctx(bed, tid, n).ok()?.ns,
         Micro::Select(n) => lmbench::select_lat(bed, tid, n).ok()??.ns,
         Micro::FileCreateDelete(size) => {
             lmbench::file_create_delete_lat(bed, tid, size).ok()?.ns
@@ -281,6 +290,16 @@ mod tests {
         for name in ["pipe", "af_unix", "file create/delete 0k"] {
             let v = cell(name, CiderIos).unwrap();
             assert!((0.8..1.4).contains(&v), "{name} {v}");
+        }
+
+        // lat_ctx: context switching multiplexed personas stays within
+        // the paper's "quite similar" band for both Cider configs.
+        for n in [2, 4, 8, 16] {
+            let name = format!("lat_ctx {n}p");
+            let a = cell(&name, CiderAndroid).unwrap();
+            let i = cell(&name, CiderIos).unwrap();
+            assert!((0.9..=1.3).contains(&a), "{name} cider android {a}");
+            assert!((0.9..=1.3).contains(&i), "{name} cider ios {i}");
         }
 
         // Basic ops: iOS divide worse (compiler), iPad worse still

@@ -10,7 +10,7 @@
 use cider_abi::errno::Errno;
 use cider_abi::ids::{Fd, Pid, Tid};
 use cider_abi::signal::{Signal, XnuSignal};
-use cider_abi::syscall::{LinuxSyscall, XnuSyscall, XnuTrap};
+use cider_abi::syscall::{LinuxSyscall, MachTrap, XnuSyscall, XnuTrap};
 use cider_abi::types::OpenFlags;
 use cider_kernel::clock::VirtualDuration;
 use cider_kernel::dispatch::{SyscallArgs, SyscallData};
@@ -355,6 +355,73 @@ pub fn pipe_lat(
     Ok(VirtualDuration::from_nanos(per_oneway))
 }
 
+/// The raw yield trap a binary of the given ecosystem issues: POSIX
+/// `sched_yield` for Linux binaries, the `thread_switch` Mach trap for
+/// iOS binaries. Both land on the same kernel run queues.
+pub fn yield_trap_number(ios: bool) -> i64 {
+    if ios {
+        XnuTrap::Mach(MachTrap::ThreadSwitch).encode()
+    } else {
+        LinuxSyscall::SchedYield.number() as i64
+    }
+}
+
+/// lmbench `lat_ctx`: `n` processes pass a token around a ring of
+/// pipes. Every hop writes the token into the next slot's pipe and
+/// relinquishes the CPU through the measured binary's own yield trap,
+/// so the scheduler — not the harness — arbitrates each dispatch and
+/// every hop carries a real context-switch charge.
+///
+/// # Errors
+///
+/// Kernel errors.
+pub fn lat_ctx(
+    bed: &mut TestBed,
+    tid: Tid,
+    n: usize,
+) -> Result<VirtualDuration, Errno> {
+    debug_assert!(n >= 2, "a ring needs at least two processes");
+    let ios = bed.config.runs_ios_binary();
+    let yield_nr = yield_trap_number(ios);
+    // pipes[i] carries the token *into* ring slot i.
+    let mut pipes = Vec::with_capacity(n);
+    let mut tids = vec![tid];
+    let mut children = Vec::new();
+    {
+        let k = &mut bed.sys.kernel;
+        for _ in 0..n {
+            pipes.push(k.sys_pipe(tid)?);
+        }
+        for _ in 1..n {
+            let (child_pid, child_tid) = k.sys_fork(tid)?;
+            children.push((child_pid, child_tid));
+            tids.push(child_tid);
+        }
+    }
+    let hops = 4 * n;
+    let t0 = bed.sys.kernel.clock.now_ns();
+    for h in 0..hops {
+        let holder = tids[h % n];
+        let next = (h + 1) % n;
+        bed.sys.kernel.sys_write(holder, pipes[next].1, b"t")?;
+        bed.sys.trap(holder, yield_nr, &SyscallArgs::none());
+        bed.sys.kernel.sys_read(tids[next], pipes[next].0, 1)?;
+    }
+    let per_hop = (bed.sys.kernel.clock.now_ns() - t0) / hops as u64;
+    let k = &mut bed.sys.kernel;
+    for (child_pid, child_tid) in children {
+        k.sys_exit(child_tid, 0)?;
+        k.sys_waitpid(tid, child_pid)?;
+    }
+    // Leave the bed running the measured process again.
+    k.switch_to(tid)?;
+    for (r, w) in pipes {
+        let _ = k.sys_close(tid, r);
+        let _ = k.sys_close(tid, w);
+    }
+    Ok(VirtualDuration::from_nanos(per_hop))
+}
+
 /// lmbench `AF_UNIX` latency.
 ///
 /// # Errors
@@ -613,6 +680,36 @@ mod tests {
         assert!((0.9..1.3).contains(&ratio), "pipe ratio {ratio:.2}");
         let af = af_unix_lat(&mut cider_i, t2).unwrap();
         assert!(af.ns > 0);
+    }
+
+    #[test]
+    fn lat_ctx_stays_within_the_paper_band() {
+        let (mut vanilla, _, t0) = bed_and_proc(SystemConfig::VanillaAndroid);
+        let (mut cider_a, _, t1) = bed_and_proc(SystemConfig::CiderAndroid);
+        let (mut cider_i, _, t2) = bed_and_proc(SystemConfig::CiderIos);
+        for n in [2, 4, 8, 16] {
+            let base = lat_ctx(&mut vanilla, t0, n).unwrap().ns as f64;
+            let ca = lat_ctx(&mut cider_a, t1, n).unwrap().ns as f64;
+            let ci = lat_ctx(&mut cider_i, t2, n).unwrap().ns as f64;
+            let ra = ca / base;
+            let ri = ci / base;
+            // §6.2's local-communication story extends to context
+            // switching: the persona-multiplexed trap path adds per-hop
+            // translation but never a second switch.
+            assert!((0.95..=1.3).contains(&ra), "lat_ctx {n}p android {ra}");
+            assert!((0.95..=1.3).contains(&ri), "lat_ctx {n}p ios {ri}");
+        }
+    }
+
+    #[test]
+    fn lat_ctx_context_switches_scale_with_hops() {
+        let (mut bed, _, tid) = bed_and_proc(SystemConfig::CiderIos);
+        let before = bed.sys.kernel.counters.context_switches;
+        lat_ctx(&mut bed, tid, 4).unwrap();
+        let switches = bed.sys.kernel.counters.context_switches - before;
+        // 16 hops, each arbitrated by the scheduler, plus ring set-up
+        // and tear-down switching.
+        assert!(switches >= 16, "only {switches} context switches");
     }
 
     #[test]

@@ -599,6 +599,28 @@ impl Driver {
                     self.unix(X::PosixSpawn, None, args, DataMode::Ignore);
                 self.track_child(obs)
             }
+            Op::SchedYield => {
+                // POSIX-only door into the shared run queues; the XNU
+                // personas reach the same queues via thread_switch.
+                if self.is_xnu() {
+                    OpObs::Skip
+                } else {
+                    let r = self.raw_trap(
+                        self.tid,
+                        L::SchedYield.number() as i64,
+                        &SyscallArgs::none(),
+                    );
+                    match SyscallOutcome::decode_linux(r.reg).into_result() {
+                        Ok(v) => OpObs::Ok { v, data: None },
+                        Err(e) => OpObs::Err(e.name()),
+                    }
+                }
+            }
+            Op::ThreadSwitch { opt } => self.mach(
+                M::ThreadSwitch,
+                SyscallArgs::regs([0, i64::from(opt % 3), 0, 0, 0, 0, 0]),
+                DataMode::Ignore,
+            ),
             Op::MutexWait { m } => self.unix(
                 X::PsynchMutexwait,
                 None,

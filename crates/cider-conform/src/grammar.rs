@@ -73,6 +73,9 @@ pub enum Op {
     Nanosleep { ms: u8 },
     Execve { path: u8 },
     Spawn { path: u8 },
+    // --- scheduler doors (POSIX yield / Mach thread_switch) ---
+    SchedYield,
+    ThreadSwitch { opt: u8 },
     // --- psynch (XNU-only Unix-class traps) ---
     MutexWait { m: u8 },
     MutexDrop { m: u8 },
@@ -105,7 +108,7 @@ pub enum Op {
 }
 
 /// Number of op kinds in the grammar.
-pub const KIND_COUNT: usize = 46;
+pub const KIND_COUNT: usize = 48;
 
 impl Op {
     /// The dispatch-table entry this op exercises on the translated XNU
@@ -134,6 +137,7 @@ impl Op {
             Op::Sigaction { .. } => "unix/sigaction",
             Op::Execve { .. } => "unix/execve",
             Op::Spawn { .. } => "unix/posix_spawn",
+            Op::ThreadSwitch { .. } => "mach/thread_switch",
             Op::MutexWait { .. } => "unix/psynch_mutexwait",
             Op::MutexDrop { .. } => "unix/psynch_mutexdrop",
             Op::CvWait { .. } => "unix/psynch_cvwait",
@@ -153,6 +157,7 @@ impl Op {
             Op::VmAllocate { .. } => "mach/mach_vm_allocate",
             Op::VmDeallocate => "mach/mach_vm_deallocate",
             Op::Nanosleep { .. }
+            | Op::SchedYield
             | Op::MachDep { .. }
             | Op::Diag { .. }
             | Op::KqAddRead { .. }
@@ -192,6 +197,8 @@ impl Op {
             Op::Nanosleep { ms } => format!("nanosleep ms={ms}"),
             Op::Execve { path } => format!("execve path={path}"),
             Op::Spawn { path } => format!("posix_spawn path={path}"),
+            Op::SchedYield => "sched_yield".into(),
+            Op::ThreadSwitch { opt } => format!("thread_switch opt={opt}"),
             Op::MutexWait { m } => format!("mutex_wait m={m}"),
             Op::MutexDrop { m } => format!("mutex_drop m={m}"),
             Op::CvWait { cv, m } => format!("cv_wait cv={cv} m={m}"),
@@ -304,6 +311,10 @@ impl Op {
             },
             "posix_spawn" => Op::Spawn {
                 path: f(&["path"])?[0],
+            },
+            "sched_yield" => Op::SchedYield,
+            "thread_switch" => Op::ThreadSwitch {
+                opt: f(&["opt"])?[0],
             },
             "mutex_wait" => Op::MutexWait { m: f(&["m"])?[0] },
             "mutex_drop" => Op::MutexDrop { m: f(&["m"])?[0] },
@@ -492,8 +503,12 @@ fn make_op(k: usize, rng: &mut SplitMix64) -> Op {
         44 => Op::Execve {
             path: rng.below(PATH_POOL.len() as u64) as u8,
         },
-        _ => Op::Spawn {
+        45 => Op::Spawn {
             path: rng.below(PATH_POOL.len() as u64) as u8,
+        },
+        46 => Op::SchedYield,
+        _ => Op::ThreadSwitch {
+            opt: rng.below(3) as u8,
         },
     }
 }

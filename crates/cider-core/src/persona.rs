@@ -161,6 +161,11 @@ pub fn attach_persona_ext(
     let t = k.thread_mut(tid)?;
     t.personality = personality;
     t.ext = Some(Box::new(ext));
+    // The *scheduling* identity is tagged exactly once, here: later
+    // diplomatic `set_persona` calls flip the kernel ABI but must not
+    // change which persona's workload the scheduler accounts the
+    // thread to.
+    k.sched.set_identity(tid, initial);
     Ok(())
 }
 

@@ -16,6 +16,10 @@
 use cider_abi::convention::{CpuFlags, SyscallOutcome};
 use cider_abi::errno::Errno;
 use cider_abi::ids::{Fd, Pid, PortName, Tid};
+use cider_abi::sched::{
+    clamp_user_priority, SchedPolicy, SwitchOption, ThreadPolicyFlavor,
+    BASEPRI_DEFAULT,
+};
 use cider_abi::signal::{sigframe, Signal, XnuSignal};
 use cider_abi::syscall::{
     LinuxSyscall, MachTrap, SyscallName, TrapClass, XnuSyscall, XnuTrap,
@@ -868,6 +872,72 @@ fn build_mach_table() -> Result<SyscallTable, DispatchError> {
         },
     )?;
 
+    t.install(M::ThreadSwitch.number(), "thread_switch", |k, tid, args| {
+        // thread_switch(thread_name, option, option_time): the
+        // simulator has one virtual CPU, so a directed handoff and
+        // a plain yield both arbitrate through the same run queues
+        // that serve the domestic `sched_yield`.
+        let r = match SwitchOption::from_raw(args.regs[1] as u64) {
+            SwitchOption::Depress => k.sys_sched_depress(tid).map(|_| ()),
+            SwitchOption::None | SwitchOption::Wait => k.sys_sched_yield(tid),
+        };
+        match r {
+            Ok(()) => TrapResult::ok(KernReturn::Success.as_raw()),
+            Err(e) => TrapResult::err(e),
+        }
+    })?;
+
+    t.install(M::Swtch.number(), "swtch", |k, tid, _| {
+        // Returns the boolean_t "did some other thread run".
+        match k.sys_swtch(tid) {
+            Ok(switched) => TrapResult::ok(switched as i64),
+            Err(e) => TrapResult::err(e),
+        }
+    })?;
+
+    t.install(M::SwtchPri.number(), "swtch_pri", |k, tid, _| {
+        match k.sys_sched_depress(tid) {
+            Ok(switched) => TrapResult::ok(switched as i64),
+            Err(e) => TrapResult::err(e),
+        }
+    })?;
+
+    t.install(
+        M::ThreadPolicySet.number(),
+        "thread_policy_set",
+        |k, tid, args| {
+            let Some(flavor) =
+                ThreadPolicyFlavor::from_raw(args.regs[1] as u64)
+            else {
+                return TrapResult::ok(KernReturn::InvalidArgument.as_raw());
+            };
+            match flavor {
+                ThreadPolicyFlavor::Standard => {
+                    k.sched.set_policy(tid, SchedPolicy::Timeshare);
+                    k.sched.set_priority(tid, BASEPRI_DEFAULT);
+                }
+                ThreadPolicyFlavor::TimeConstraint => {
+                    // Real-time threads keep their band on quantum
+                    // expiry instead of gaining a dedicated band — the
+                    // simulator has no deadline clock.
+                    k.sched.set_policy(tid, SchedPolicy::Fixed);
+                }
+                ThreadPolicyFlavor::Precedence => {
+                    let importance = args.regs[2];
+                    let base = k
+                        .sched
+                        .priority(tid)
+                        .map_or(BASEPRI_DEFAULT, |(b, _)| b);
+                    k.sched.set_priority(
+                        tid,
+                        clamp_user_priority(base as i64 + importance),
+                    );
+                }
+            }
+            TrapResult::ok(KernReturn::Success.as_raw())
+        },
+    )?;
+
     t.install(
         M::MachVmDeallocate.number(),
         "mach_vm_deallocate",
@@ -1056,6 +1126,121 @@ mod tests {
             assert_eq!(r.reg, 0, "TLS machdep is a no-op");
             let r =
                 k.trap(tid, XnuTrap::Diag(1).encode(), &SyscallArgs::none());
+            assert_eq!(r.reg, KernReturn::InvalidArgument.as_raw());
+        }
+
+        #[test]
+        fn thread_switch_trap_hands_off_to_a_peer_thread() {
+            use cider_abi::syscall::MachTrap;
+            let (mut k, tid) = xnu_kernel();
+            let peer = k.spawn_thread(tid).unwrap();
+            assert_eq!(k.current(), Some(tid));
+            let r = k.trap(
+                tid,
+                XnuTrap::Mach(MachTrap::ThreadSwitch).encode(),
+                &SyscallArgs::regs([0, 0, 0, 0, 0, 0, 0]),
+            );
+            assert_eq!(r.reg, KernReturn::Success.as_raw());
+            assert_eq!(k.current(), Some(peer), "yield must hand off");
+        }
+
+        #[test]
+        fn swtch_trap_reports_whether_anyone_else_ran() {
+            use cider_abi::syscall::MachTrap;
+            let (mut k, tid) = xnu_kernel();
+            let r = k.trap(
+                tid,
+                XnuTrap::Mach(MachTrap::Swtch).encode(),
+                &SyscallArgs::none(),
+            );
+            assert_eq!(r.reg, 0, "no peer: swtch returns FALSE");
+            let peer = k.spawn_thread(tid).unwrap();
+            let r = k.trap(
+                tid,
+                XnuTrap::Mach(MachTrap::Swtch).encode(),
+                &SyscallArgs::none(),
+            );
+            assert_eq!(r.reg, 1, "peer ran: swtch returns TRUE");
+            assert_eq!(k.current(), Some(peer));
+        }
+
+        #[test]
+        fn swtch_pri_trap_depresses_and_hands_off() {
+            use cider_abi::syscall::MachTrap;
+            let (mut k, tid) = xnu_kernel();
+            let peer = k.spawn_thread(tid).unwrap();
+            let r = k.trap(
+                tid,
+                XnuTrap::Mach(MachTrap::SwtchPri).encode(),
+                &SyscallArgs::regs([0, 0, 0, 0, 0, 0, 0]),
+            );
+            assert_eq!(r.reg, 1);
+            assert_eq!(k.current(), Some(peer));
+            let (_, eff) = k.sched.priority(tid).unwrap();
+            assert_eq!(
+                eff,
+                cider_abi::sched::DEPRESSPRI,
+                "caller runs depressed until undepressed"
+            );
+        }
+
+        #[test]
+        fn thread_policy_set_trap_adjusts_the_run_queues() {
+            use cider_abi::syscall::MachTrap;
+            let (mut k, tid) = xnu_kernel();
+            // PRECEDENCE raises the base priority by `importance`.
+            let r = k.trap(
+                tid,
+                XnuTrap::Mach(MachTrap::ThreadPolicySet).encode(),
+                &SyscallArgs::regs([
+                    0,
+                    ThreadPolicyFlavor::Precedence.as_raw() as i64,
+                    16,
+                    0,
+                    0,
+                    0,
+                    0,
+                ]),
+            );
+            assert_eq!(r.reg, KernReturn::Success.as_raw());
+            assert_eq!(k.sched.priority(tid).unwrap().0, BASEPRI_DEFAULT + 16);
+            // TIME_CONSTRAINT pins the band (fixed policy).
+            let r = k.trap(
+                tid,
+                XnuTrap::Mach(MachTrap::ThreadPolicySet).encode(),
+                &SyscallArgs::regs([
+                    0,
+                    ThreadPolicyFlavor::TimeConstraint.as_raw() as i64,
+                    0,
+                    0,
+                    0,
+                    0,
+                    0,
+                ]),
+            );
+            assert_eq!(r.reg, KernReturn::Success.as_raw());
+            // STANDARD restores the timeshare default.
+            let r = k.trap(
+                tid,
+                XnuTrap::Mach(MachTrap::ThreadPolicySet).encode(),
+                &SyscallArgs::regs([
+                    0,
+                    ThreadPolicyFlavor::Standard.as_raw() as i64,
+                    0,
+                    0,
+                    0,
+                    0,
+                    0,
+                ]),
+            );
+            assert_eq!(r.reg, KernReturn::Success.as_raw());
+            assert_eq!(k.sched.priority(tid).unwrap().0, BASEPRI_DEFAULT);
+            // An unknown flavor is rejected without touching state.
+            let r = k.trap(
+                tid,
+                XnuTrap::Mach(MachTrap::ThreadPolicySet).encode(),
+                &SyscallArgs::regs([0, 99, 0, 0, 0, 0, 0]),
+            );
             assert_eq!(r.reg, KernReturn::InvalidArgument.as_raw());
         }
 

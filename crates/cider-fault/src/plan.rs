@@ -37,11 +37,15 @@ pub enum FaultSite {
     /// The input eventpump drops a decoded event before forwarding it
     /// over the Mach port.
     InputEventDrop,
+    /// `wakeup` on a wait channel is lost: the sleepers stay blocked
+    /// until the next scheduling point flushes the deferred channel
+    /// (models the lost/spurious-wakeup races of §5.3's psynch layer).
+    SchedWakeup,
 }
 
 impl FaultSite {
     /// Every site, in a stable order (used by reports and tests).
-    pub const ALL: [FaultSite; 10] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::VfsRead,
         FaultSite::VfsWrite,
         FaultSite::VfsCreate,
@@ -52,6 +56,7 @@ impl FaultSite {
         FaultSite::ForkPteCopy,
         FaultSite::GpuFenceTimeout,
         FaultSite::InputEventDrop,
+        FaultSite::SchedWakeup,
     ];
 
     /// Stable snake_case name, used for trace counters and seeding.
@@ -67,6 +72,7 @@ impl FaultSite {
             FaultSite::ForkPteCopy => "fork_pte_copy",
             FaultSite::GpuFenceTimeout => "gpu_fence_timeout",
             FaultSite::InputEventDrop => "input_event_drop",
+            FaultSite::SchedWakeup => "sched_wakeup",
         }
     }
 }

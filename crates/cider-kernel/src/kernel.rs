@@ -23,9 +23,11 @@ use std::rc::Rc;
 use cider_abi::convention::CpuFlags;
 use cider_abi::errno::Errno;
 use cider_abi::ids::{Fd, Pid, Tid};
+use cider_abi::persona::Persona;
 use cider_abi::signal::Signal;
 use cider_abi::types::{OpenFlags, Stat};
 use cider_fault::{FaultLayer, FaultSite};
+use cider_sched::Scheduler;
 use cider_trace::{EventKind, TraceContext, TraceSink};
 
 use crate::binfmt::{BinaryLoaderRef, ExecImage};
@@ -149,6 +151,16 @@ pub struct Kernel {
     /// effects, so fault-free runs are bit-identical to a kernel
     /// without the layer.
     pub faults: FaultLayer,
+    /// Virtual-time preemptive scheduler: per-priority run queues,
+    /// quantum accounting, and the seeded tie-breaker. The kernel
+    /// charges trap time against it and asks for preemption decisions;
+    /// the scheduler itself never touches the clock.
+    pub sched: Scheduler,
+    /// Wait channels whose `wakeup` was swallowed by the
+    /// [`FaultSite::SchedWakeup`] injection; flushed (threads finally
+    /// woken) at the next scheduling point so virtual time cannot
+    /// deadlock.
+    deferred_wakeups: Vec<WaitChannel>,
     procs: BTreeMap<u32, Process>,
     threads: BTreeMap<u32, Thread>,
     next_pid: u32,
@@ -182,6 +194,12 @@ impl std::fmt::Debug for Kernel {
 }
 
 impl Kernel {
+    /// Default scheduler tie-breaker seed. Every boot uses the same
+    /// fixed seed so two identical workloads produce byte-identical
+    /// context-switch sequences; experiments vary it via
+    /// [`Scheduler::reseed`].
+    pub const DEFAULT_SCHED_SEED: u64 = 0xC1DE_5EED;
+
     /// Boots a kernel with the given device profile and a single Linux
     /// personality. No processes exist yet; use [`Kernel::spawn_process`].
     pub fn boot(profile: DeviceProfile) -> Kernel {
@@ -195,6 +213,8 @@ impl Kernel {
             extensions: Extensions::default(),
             trace: TraceSink::disabled(),
             faults: FaultLayer::inactive(),
+            sched: Scheduler::new(Kernel::DEFAULT_SCHED_SEED),
+            deferred_wakeups: Vec::new(),
             procs: BTreeMap::new(),
             threads: BTreeMap::new(),
             next_pid: 1,
@@ -432,8 +452,10 @@ impl Kernel {
                 ext: None,
             },
         );
+        self.sched.register(tid, Persona::Domestic);
         if self.current.is_none() {
             self.current = Some(tid);
+            self.sched.on_dispatch(tid);
         }
         (pid, tid)
     }
@@ -462,6 +484,8 @@ impl Kernel {
         self.next_tid += 1;
         self.threads.insert(ntid.0, new);
         self.process_mut(pid)?.threads.push(ntid);
+        let persona = self.sched.identity(tid).unwrap_or(Persona::Domestic);
+        self.sched.register(ntid, persona);
         Ok(ntid)
     }
 
@@ -531,12 +555,59 @@ impl Kernel {
         if t.state == ThreadState::Exited {
             return Err(Errno::ESRCH);
         }
-        if self.current != Some(tid) {
-            self.counters.context_switches += 1;
-            self.charge_cpu(self.profile.context_switch_ns);
-            self.current = Some(tid);
-        }
+        self.dispatch_switch(tid);
         Ok(())
+    }
+
+    /// The single place "current thread" changes: requeues the outgoing
+    /// thread (if still runnable), charges exactly one context switch
+    /// when the thread actually changes, and records the switch in the
+    /// trace.
+    fn dispatch_switch(&mut self, tid: Tid) {
+        if self.current == Some(tid) {
+            self.sched.on_dispatch(tid);
+            return;
+        }
+        let prev = self.current;
+        if let Some(p) = prev {
+            if self
+                .threads
+                .get(&p.0)
+                .is_some_and(|t| t.state == ThreadState::Runnable)
+            {
+                self.sched.requeue(p);
+            }
+        }
+        self.counters.context_switches += 1;
+        self.charge_cpu(self.profile.context_switch_ns);
+        self.current = Some(tid);
+        self.sched.on_dispatch(tid);
+        if self.trace.is_enabled() {
+            let ctx = self.trace_ctx(tid);
+            self.trace.record(
+                ctx,
+                EventKind::ContextSwitch {
+                    from: prev.map_or(0, |t| t.0),
+                    to: tid.0,
+                },
+            );
+            self.trace.incr("sched/ctx_switch");
+            self.trace
+                .observe("sched/runq_depth", self.sched.queued_depth() as u64);
+        }
+    }
+
+    /// One scheduler step: flushes any fault-deferred wakeups, asks the
+    /// run queues for the next thread, and switches to it. With nothing
+    /// queued the current thread keeps the CPU. Returns the thread now
+    /// running.
+    pub fn schedule(&mut self) -> Option<Tid> {
+        self.flush_deferred_wakeups();
+        let now = self.clock.now_ns();
+        if let Some(d) = self.sched.pick_next(now) {
+            self.dispatch_switch(d.tid);
+        }
+        self.current
     }
 
     /// Allocates a fresh wait channel.
@@ -557,19 +628,52 @@ impl Kernel {
         chan: WaitChannel,
     ) -> Result<(), Errno> {
         self.thread_mut(tid)?.state = ThreadState::Blocked(chan);
+        self.sched.on_block(tid);
         Ok(())
     }
 
     /// Wakes every thread parked on a channel; returns how many.
+    ///
+    /// Under an armed [`FaultSite::SchedWakeup`] the wakeup is *lost*:
+    /// sleepers stay parked and the channel is remembered, to be
+    /// flushed at the next scheduling point (or the next wakeup call) —
+    /// the supervised recovery that keeps virtual time from
+    /// deadlocking.
     pub fn wakeup(&mut self, chan: WaitChannel) -> usize {
-        let mut n = 0;
+        self.flush_deferred_wakeups();
+        if self.fault_at(FaultSite::SchedWakeup) {
+            self.deferred_wakeups.push(chan);
+            return 0;
+        }
+        self.wake_all(chan)
+    }
+
+    fn wake_all(&mut self, chan: WaitChannel) -> usize {
+        let mut woken = Vec::new();
         for t in self.threads.values_mut() {
             if t.state == ThreadState::Blocked(chan) {
                 t.state = ThreadState::Runnable;
-                n += 1;
+                woken.push(t.tid);
             }
         }
-        n
+        for &t in &woken {
+            self.sched.on_wake(t, self.current);
+        }
+        woken.len()
+    }
+
+    fn flush_deferred_wakeups(&mut self) {
+        if self.deferred_wakeups.is_empty() {
+            return;
+        }
+        let chans = std::mem::take(&mut self.deferred_wakeups);
+        let mut n = 0;
+        for chan in chans {
+            n += self.wake_all(chan);
+        }
+        if n > 0 {
+            self.trace_recovery(format!("sched/deferred_wakeup_flush({n})"));
+        }
     }
 
     // ------------------------------------------------------------------
@@ -586,6 +690,7 @@ impl Kernel {
         args: &SyscallArgs,
     ) -> UserTrapResult {
         self.counters.traps += 1;
+        let trap_start_ns = self.clock.now_ns();
         let enter_ctx = if self.trace.is_enabled() {
             Some(self.trace_ctx(tid))
         } else {
@@ -644,6 +749,15 @@ impl Kernel {
             if self.cider_enabled {
                 self.trace.incr("kernel/persona_checks");
             }
+        }
+        // Trap-return boundary: charge the trap's elapsed virtual time
+        // against the thread's quantum and preempt if the slice expired
+        // or a strictly-higher-priority thread woke up during the trap.
+        let now = self.clock.now_ns();
+        self.sched
+            .charge(tid, now.saturating_sub(trap_start_ns), now);
+        if self.sched.take_resched() {
+            self.schedule();
         }
         result
     }
@@ -1130,7 +1244,60 @@ impl Kernel {
         self.enter_syscall();
         self.thread(tid)?;
         self.charge_raw(ns);
+        // The sleeper gives up the CPU at expiry: requeue it at the
+        // tail of its band so the scheduler arbitrates at the next
+        // scheduling point (trap return, or an explicit `schedule`).
+        self.sched.yield_now(tid);
         Ok(())
+    }
+
+    /// `sched_yield` / `thread_switch(SWITCH_OPTION_NONE)`: requeue the
+    /// caller at the tail of its priority band and run the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn sys_sched_yield(&mut self, tid: Tid) -> Result<(), Errno> {
+        self.enter_syscall();
+        self.thread(tid)?;
+        self.sched.yield_now(tid);
+        self.sched.take_resched();
+        self.schedule();
+        Ok(())
+    }
+
+    /// `swtch_pri` / `thread_switch(SWITCH_OPTION_DEPRESS)`: depress the
+    /// caller to the lowest user band until its next dispatch, yield,
+    /// and reschedule. Returns whether another thread got the CPU.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn sys_sched_depress(&mut self, tid: Tid) -> Result<bool, Errno> {
+        self.enter_syscall();
+        self.thread(tid)?;
+        self.sched.depress(tid);
+        self.sched.take_resched();
+        self.schedule();
+        Ok(self.current != Some(tid))
+    }
+
+    /// `swtch`: give up the CPU only if some other thread is runnable.
+    /// Returns whether another thread got the CPU.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown.
+    pub fn sys_swtch(&mut self, tid: Tid) -> Result<bool, Errno> {
+        self.enter_syscall();
+        self.thread(tid)?;
+        if !self.sched.other_runnable(tid) {
+            return Ok(false);
+        }
+        self.sched.yield_now(tid);
+        self.sched.take_resched();
+        self.schedule();
+        Ok(self.current != Some(tid))
     }
 
     // ------------------------------------------------------------------
@@ -1191,6 +1358,8 @@ impl Kernel {
         self.procs.insert(child_pid.0, child);
         self.threads.insert(child_tid.0, child_thread);
         self.process_mut(parent_pid)?.children.push(child_pid);
+        let persona = self.sched.identity(tid).unwrap_or(Persona::Domestic);
+        self.sched.register(child_tid, persona);
 
         // User space: parent + child atfork handlers run after the fork.
         let parent_cbs =
@@ -1335,6 +1504,7 @@ impl Kernel {
         let threads = self.process(pid)?.threads.clone();
         for t in threads {
             self.thread_mut(t)?.state = ThreadState::Exited;
+            self.sched.remove(t);
         }
         let proc = self.process_mut(pid)?;
         proc.mm.clear();
@@ -1371,6 +1541,7 @@ impl Kernel {
         let threads = self.process(child)?.threads.clone();
         for t in threads {
             self.threads.remove(&t.0);
+            self.sched.remove(t);
         }
         self.procs.remove(&child.0);
         self.process_mut(pid)?.children.retain(|&c| c != child);
@@ -1827,6 +1998,18 @@ impl LinuxPersonality {
                 Ok(()) => TrapResult::ok(0),
                 Err(e) => TrapResult::err(e),
             }
+        })?;
+        t.install(L::SchedYield.number(), "sched_yield", |k, tid, _| match k
+            .sys_sched_yield(tid)
+        {
+            Ok(()) => TrapResult::ok(0),
+            Err(e) => TrapResult::err(e),
+        })?;
+        t.install(L::Nanosleep.number(), "nanosleep", |k, tid, args| match k
+            .sys_nanosleep(tid, args.regs[0] as u64)
+        {
+            Ok(()) => TrapResult::ok(0),
+            Err(e) => TrapResult::err(e),
         })?;
         t.install(L::Stat64.number(), "stat64", |k, tid, args| {
             let crate::dispatch::SyscallData::Path(path) = &args.data else {

@@ -104,6 +104,10 @@ fn args_json(kind: &EventKind) -> String {
             field(&mut out, "fence", fence.to_string());
             field(&mut out, "buggy", buggy.to_string());
         }
+        EventKind::ContextSwitch { from, to } => {
+            field(&mut out, "from", from.to_string());
+            field(&mut out, "to", to.to_string());
+        }
         EventKind::FaultInjected { seq, .. } => {
             field(&mut out, "seq", seq.to_string());
         }

@@ -143,6 +143,13 @@ pub enum EventKind {
         /// Handlers invoked.
         handlers: u64,
     },
+    /// The scheduler switched the CPU to another thread.
+    ContextSwitch {
+        /// Outgoing thread id (0 when no thread was running).
+        from: u32,
+        /// Incoming thread id.
+        to: u32,
+    },
     /// A thread waited on a GPU fence.
     GpuFenceWait {
         /// Fence id.
@@ -198,6 +205,7 @@ impl EventKind {
             EventKind::DyldMap { .. } | EventKind::DyldHandlers { .. } => {
                 "dyld"
             }
+            EventKind::ContextSwitch { .. } => "sched",
             EventKind::GpuFenceWait { .. } => "gpu",
             EventKind::SpanBegin { .. } | EventKind::SpanEnd { .. } => "span",
             EventKind::Mark { .. } => "mark",
@@ -242,6 +250,9 @@ impl EventKind {
             EventKind::PageTableCopy { .. } => Cow::Borrowed("pt_copy"),
             EventKind::DyldMap { .. } => Cow::Borrowed("dyld_map"),
             EventKind::DyldHandlers { .. } => Cow::Borrowed("dyld_handlers"),
+            EventKind::ContextSwitch { from, to } => {
+                Cow::Owned(format!("ctx_switch({from}->{to})"))
+            }
             EventKind::GpuFenceWait { .. } => Cow::Borrowed("fence_wait"),
             EventKind::SpanBegin { label }
             | EventKind::SpanEnd { label }
@@ -320,6 +331,7 @@ mod tests {
                 "vfs",
             ),
             (EventKind::PageTableCopy { ptes: 9 }, "mm"),
+            (EventKind::ContextSwitch { from: 100, to: 101 }, "sched"),
             (EventKind::DyldMap { libraries: 115 }, "dyld"),
             (
                 EventKind::GpuFenceWait {

@@ -34,6 +34,7 @@ fn drive(config: SystemConfig) -> TraceSnapshot {
         Micro::OpenClose,
         Micro::SignalHandler,
         Micro::ForkExit,
+        Micro::LatCtx(4),
     ] {
         let _ = run_micro(&mut bed, pid, tid, micro);
     }
@@ -62,11 +63,24 @@ fn main() {
     }
 
     println!("\n== mechanism counters (Cider iOS) ==");
-    for prefix in ["kernel/", "signal/", "dyld/", "mach/", "persona/"] {
+    for prefix in
+        ["kernel/", "signal/", "dyld/", "mach/", "persona/", "sched/"]
+    {
         for (name, v) in cider_ios.metrics.counters_with_prefix(prefix) {
             println!("  {name:<36} {v}");
         }
     }
+
+    println!("\n== scheduler (Cider iOS, lat_ctx 4p) ==");
+    for (name, h) in cider_ios.metrics.histograms_with_prefix("sched/") {
+        println!("  {name:<36} {h}");
+    }
+    let switches = cider_ios
+        .events
+        .iter()
+        .filter(|e| e.kind.category() == "sched")
+        .count();
+    println!("  context-switch events in stream      {switches}");
 
     let dir = Path::new("target").join("trace");
     fs::create_dir_all(&dir).expect("create target/trace");

@@ -309,6 +309,65 @@ fn linux_convention_translates_every_injected_fault_class() {
 }
 
 #[test]
+fn lost_wakeups_are_flushed_without_deadlocking_virtual_time() {
+    use cider_kernel::process::ThreadState;
+    use cider_xnu::psynch::PsynchOutcome;
+
+    let (mut sys, _gfx) = booted();
+    sys.kernel.trace = cider_trace::TraceSink::enabled_default();
+    let (_pid, t1) = sys.kernel.spawn_process();
+    let t2 = sys.kernel.spawn_thread(t1).unwrap();
+    const MUTEX: u64 = 0x7000_0000;
+
+    // t1 owns the mutex; t2 contends and parks on its wait channel.
+    let k = &mut sys.kernel;
+    assert_eq!(
+        with_state(k, |k2, st| st.psynch_mutexwait(k2, t1, MUTEX)),
+        PsynchOutcome::Acquired
+    );
+    assert_eq!(
+        with_state(k, |k2, st| st.psynch_mutexwait(k2, t2, MUTEX)),
+        PsynchOutcome::Blocked
+    );
+    assert!(matches!(
+        k.thread(t2).unwrap().state,
+        ThreadState::Blocked(_)
+    ));
+
+    // Arm the lost-wakeup site and drop the mutex: ownership transfers
+    // to t2, but the wakeup that should unpark it vanishes.
+    k.faults = FaultLayer::with_plan(
+        FaultPlan::new(5).with(FaultSite::SchedWakeup, 1000),
+    );
+    with_state(k, |k2, st| st.psynch_mutexdrop(k2, t1, MUTEX)).unwrap();
+    assert!(
+        matches!(k.thread(t2).unwrap().state, ThreadState::Blocked(_)),
+        "the armed site must actually lose the wakeup"
+    );
+
+    // The site stays armed: survival must not depend on the fault
+    // clearing. The next scheduling point flushes the deferred channel,
+    // t2 runs, and virtual time advances finitely instead of hanging.
+    let before = k.clock.now_ns();
+    k.schedule();
+    assert_eq!(k.thread(t2).unwrap().state, ThreadState::Runnable);
+    assert!(k.clock.now_ns() > before, "time moved past the recovery");
+
+    // And t2 is not merely runnable: within a bounded number of
+    // scheduler steps it actually gets the CPU back from the daemons.
+    let ran = (0..64).any(|_| k.schedule() == Some(t2));
+    assert!(ran, "flushed waiter never got the CPU");
+    assert!(k
+        .faults
+        .recoveries()
+        .iter()
+        .any(|r| r.action.starts_with("sched/deferred_wakeup_flush")));
+    let snap = k.trace.snapshot().unwrap();
+    assert!(snap.metrics.counter("recovery/actions") > 0);
+    assert!(snap.metrics.counter("fault/sched_wakeup") > 0);
+}
+
+#[test]
 fn fault_matrix_never_panics_and_recovers() {
     for seed in [11u64, 23, 47] {
         let (mut sys, _gfx) = booted();

@@ -729,3 +729,63 @@ proptest! {
         );
     }
 }
+
+// ----------------------------------------------------------------------
+// Scheduling is deterministic: the context-switch trace — timestamp,
+// outgoing thread, incoming thread, in order — is a pure function of
+// the scheduler seed and the workload.
+// ----------------------------------------------------------------------
+
+use cider_trace::EventKind;
+
+fn ctx_switch_trace(seed: u64, n: usize, ios: bool) -> Vec<(u64, u32, u32)> {
+    let config = if ios {
+        SystemConfig::CiderIos
+    } else {
+        SystemConfig::CiderAndroid
+    };
+    let mut bed = TestBed::builder(config).traced().build();
+    bed.sys.kernel.sched.reseed(seed);
+    let (pid, tid) = bed.spawn_measured().unwrap();
+    fig5::run_micro(&mut bed, pid, tid, Micro::LatCtx(n))
+        .expect("lat_ctx runs");
+    bed.trace_snapshot()
+        .unwrap()
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::ContextSwitch { from, to } => {
+                Some((e.ctx.ts_ns, from, to))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn same_seed_same_context_switch_trace(
+        seed in any::<u64>(),
+        n in 2usize..8,
+        ios in any::<bool>(),
+    ) {
+        let a = ctx_switch_trace(seed, n, ios);
+        let b = ctx_switch_trace(seed, n, ios);
+        prop_assert!(!a.is_empty(), "lat_ctx must context-switch");
+        prop_assert_eq!(a, b, "seed {} n {} ios {}", seed, n, ios);
+    }
+}
+
+/// The CI determinism seeds, pinned so a scheduler change that breaks
+/// replay fails loudly on exactly the seeds the workflow runs.
+#[test]
+fn context_switch_trace_replays_on_ci_seeds() {
+    for seed in [11u64, 23, 47] {
+        for ios in [false, true] {
+            let a = ctx_switch_trace(seed, 4, ios);
+            let b = ctx_switch_trace(seed, 4, ios);
+            assert!(!a.is_empty(), "seed {seed}: no context switches");
+            assert_eq!(a, b, "seed {seed} ios {ios}: trace diverged");
+        }
+    }
+}
