@@ -64,7 +64,7 @@ impl CiderPress {
         let bridge = InputBridge::establish(sys, own, app)?;
 
         let surface = {
-            let mut g = gfx.borrow_mut();
+            let mut g = gfx.lock().unwrap();
             let cider_gfx::stack::GfxStack {
                 flinger, gralloc, ..
             } = &mut *g;
@@ -111,7 +111,10 @@ impl CiderPress {
         gfx: &SharedGfx,
     ) -> Result<(), Errno> {
         let _ = sys;
-        gfx.borrow_mut().flinger.set_visible(self.surface, false)?;
+        gfx.lock()
+            .unwrap()
+            .flinger
+            .set_visible(self.surface, false)?;
         self.state = AppState::Paused;
         self.lifecycle_log.push(AppState::Paused);
         Ok(())
@@ -128,7 +131,10 @@ impl CiderPress {
         gfx: &SharedGfx,
     ) -> Result<(), Errno> {
         let _ = sys;
-        gfx.borrow_mut().flinger.set_visible(self.surface, true)?;
+        gfx.lock()
+            .unwrap()
+            .flinger
+            .set_visible(self.surface, true)?;
         self.state = AppState::Foreground;
         self.lifecycle_log.push(AppState::Foreground);
         Ok(())
@@ -151,7 +157,7 @@ impl CiderPress {
         // init would reap it. What matters is the zombie state.
         let _ = code;
         {
-            let mut g = gfx.borrow_mut();
+            let mut g = gfx.lock().unwrap();
             let cider_gfx::stack::GfxStack {
                 flinger, gralloc, ..
             } = &mut *g;
@@ -193,7 +199,7 @@ mod tests {
             cider_core::persona::persona_of(&sys.kernel, cp.own.1).unwrap(),
             cider_abi::Persona::Domestic
         );
-        assert_eq!(gfx.borrow().flinger.surface_count(), 1);
+        assert_eq!(gfx.lock().unwrap().flinger.surface_count(), 1);
     }
 
     #[test]
@@ -236,6 +242,6 @@ mod tests {
             cp.lifecycle_log,
             vec![AppState::Foreground, AppState::Stopped]
         );
-        assert_eq!(gfx.borrow().flinger.surface_count(), 0);
+        assert_eq!(gfx.lock().unwrap().flinger.surface_count(), 0);
     }
 }

@@ -443,7 +443,7 @@ impl Passmark {
         let overhead = lib2d_overhead_ns(self.form, test);
         let mut lcg = Lcg(SEED);
         let (buf, aux) = {
-            let mut g = env.gfx.borrow_mut();
+            let mut g = env.gfx.lock().unwrap();
             let buf = g.gralloc.alloc(640, 480, PixelFormat::Rgba8888)?;
             let aux = g.gralloc.alloc(96, 96, PixelFormat::Rgba8888)?;
             (buf, aux)
@@ -457,7 +457,7 @@ impl Passmark {
                         (lcg.next_value() % 640) as i32,
                         (lcg.next_value() % 480) as i32,
                     );
-                    let mut g = env.gfx.borrow_mut();
+                    let mut g = env.gfx.lock().unwrap();
                     env.sys.kernel.charge_cpu(overhead);
                     if i % 4 == 0 {
                         draw2d::fill_rect(
@@ -487,7 +487,7 @@ impl Passmark {
                         (lcg.next_value() % 600) as u32,
                         (lcg.next_value() % 440) as u32,
                     );
-                    let mut g = env.gfx.borrow_mut();
+                    let mut g = env.gfx.lock().unwrap();
                     env.sys.kernel.charge_cpu(overhead);
                     draw2d::blend_rect(
                         &mut env.sys.kernel,
@@ -506,7 +506,7 @@ impl Passmark {
                     let mut p = |m: u64| (lcg.next_value() % m) as f32;
                     let (p0, p1, p2) =
                         ((p(640), p(480)), (p(640), p(480)), (p(640), p(480)));
-                    let mut g = env.gfx.borrow_mut();
+                    let mut g = env.gfx.lock().unwrap();
                     env.sys.kernel.charge_cpu(overhead);
                     draw2d::draw_bezier(
                         &mut env.sys.kernel,
@@ -526,7 +526,7 @@ impl Passmark {
                 self.setup_gl_context(env)?;
                 for _ in 0..60u64 {
                     {
-                        let mut g = env.gfx.borrow_mut();
+                        let mut g = env.gfx.lock().unwrap();
                         env.sys.kernel.charge_cpu(overhead);
                         draw2d::blit_image(
                             &mut env.sys.kernel,
@@ -547,7 +547,7 @@ impl Passmark {
             }
             Test::Gfx2dImageFilters => {
                 for _ in 0..25u64 {
-                    let mut g = env.gfx.borrow_mut();
+                    let mut g = env.gfx.lock().unwrap();
                     env.sys.kernel.charge_cpu(overhead);
                     draw2d::box_blur(
                         &mut env.sys.kernel,
@@ -559,7 +559,7 @@ impl Passmark {
             }
             _ => unreachable!("not a 2D test"),
         };
-        let mut g = env.gfx.borrow_mut();
+        let mut g = env.gfx.lock().unwrap();
         g.gralloc.release(buf)?;
         g.gralloc.release(aux)?;
         Ok(ops)
@@ -597,7 +597,7 @@ impl Passmark {
         // The app sets its GL context up once; repeated test runs reuse
         // it (and its window surface).
         {
-            let g = env.gfx.borrow();
+            let g = env.gfx.lock().unwrap();
             if let Some(ctx) = g.egl.current() {
                 if g.egl.context(ctx)?.surface.is_some() {
                     return Ok(());
@@ -815,7 +815,7 @@ mod tests {
             };
             pm.run(&mut env, Test::Gfx2dImageRendering).unwrap()
         };
-        assert!(gfx.borrow().gpu.bug_stalls >= 60);
+        assert!(gfx.lock().unwrap().gpu.bug_stalls >= 60);
         let direct = {
             let mut env = PassmarkEnv {
                 sys: &mut sys,

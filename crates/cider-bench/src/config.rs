@@ -8,7 +8,7 @@ use cider_gfx::stack::{install_gfx, GfxConfig, SharedGfx};
 use cider_kernel::profile::{DeviceProfile, Toolchain};
 use cider_loader::framework_set::FrameworkSet;
 use cider_loader::{ElfBuilder, MachOBuilder};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The paper's system configurations (§6): "(1) Linux binaries and
 /// Android apps running on unmodified (vanilla) Android, (2) Linux
@@ -225,7 +225,7 @@ fn boot_bed(config: SystemConfig) -> TestBed {
     // Program behaviours shared by every bed.
     sys.kernel.register_program(
         "hello_world",
-        Rc::new(|k, tid| {
+        Arc::new(|k, tid| {
             let _ = k.sys_write(
                 tid,
                 cider_abi::ids::Fd::STDOUT,
@@ -234,10 +234,10 @@ fn boot_bed(config: SystemConfig) -> TestBed {
             0
         }),
     );
-    sys.kernel.register_program("lmbench", Rc::new(|_, _| 0));
+    sys.kernel.register_program("lmbench", Arc::new(|_, _| 0));
     sys.kernel.register_program(
         "sh",
-        Rc::new(|k, tid| {
+        Arc::new(|k, tid| {
             // Shell start-up: environment setup, rc parsing, PATH
             // walking — the bulk of a real `sh -c` invocation.
             k.charge_cpu(1_200_000);

@@ -30,7 +30,7 @@ use cider_kernel::Kernel;
 use cider_trace::TraceSink;
 use cider_xnu::ipc::UserMessage;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::fnv1a;
 use crate::grammar::{Op, Program, FLAG_COMBOS, PATH_POOL, SIGNAL_POOL};
@@ -240,7 +240,7 @@ impl Driver {
             ConfigId::XnuTranslated => {
                 k.extensions.insert(CiderState::new());
                 let xnu =
-                    k.register_personality(Rc::new(XnuPersonality::new()));
+                    k.register_personality(Arc::new(XnuPersonality::new()));
                 k.enable_cider();
                 // Coverage feedback comes from the translated run only.
                 k.trace = TraceSink::enabled_default();
@@ -251,7 +251,7 @@ impl Driver {
             }
             ConfigId::XnuNative => {
                 k.extensions.insert(CiderState::new());
-                let nid = k.register_personality(Rc::new(
+                let nid = k.register_personality(Arc::new(
                     XnuNativePersonality::new(),
                 ));
                 let (pid, tid) = k.spawn_process();

@@ -309,7 +309,7 @@ mod tests {
     use crate::library::NativeLibrary;
     use crate::persona::{attach_persona_ext, persona_ext_mut, persona_of};
     use cider_kernel::profile::DeviceProfile;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn setup() -> (Kernel, Tid, LibraryHost) {
         let mut k = Kernel::boot(DeviceProfile::nexus7());
@@ -321,9 +321,9 @@ mod tests {
             .install(Persona::Domestic, 0);
         let mut host = LibraryHost::new();
         let mut gles = NativeLibrary::new("libGLESv2.so");
-        gles.export("glClear", Rc::new(|_, _, _| Ok(0)));
-        gles.export("glDrawArrays", Rc::new(|_, _, args| Ok(args[2])));
-        gles.export("glFail", Rc::new(|_, _, _| Err(Errno::EINVAL)));
+        gles.export("glClear", Arc::new(|_, _, _| Ok(0)));
+        gles.export("glDrawArrays", Arc::new(|_, _, args| Ok(args[2])));
+        gles.export("glFail", Arc::new(|_, _, _| Err(Errno::EINVAL)));
         host.register(gles);
         (k, tid, host)
     }

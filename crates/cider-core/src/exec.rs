@@ -47,7 +47,7 @@ mod tests {
     fn exec_elf_from_foreign_thread_drops_persona() {
         let mut k = Kernel::boot(DeviceProfile::nexus7());
         install_android_system(&mut k.vfs);
-        k.register_binfmt(std::rc::Rc::new(ElfLoader::new()));
+        k.register_binfmt(std::sync::Arc::new(ElfLoader::new()));
         let (_, tid) = k.spawn_process();
         attach_persona_ext(&mut k, tid, Persona::Foreign, 0).unwrap();
         assert_eq!(persona_of(&k, tid).unwrap(), Persona::Foreign);

@@ -10,14 +10,15 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cider_abi::errno::Errno;
 use cider_abi::ids::Tid;
 use cider_kernel::kernel::Kernel;
 
 /// A callable export: the simulator's stand-in for a function address.
-pub type NativeFn = Rc<dyn Fn(&mut Kernel, Tid, &[i64]) -> Result<i64, Errno>>;
+pub type NativeFn =
+    Arc<dyn Fn(&mut Kernel, Tid, &[i64]) -> Result<i64, Errno> + Send + Sync>;
 
 /// A loaded native library's export table.
 #[derive(Clone)]
@@ -126,7 +127,7 @@ mod tests {
     #[test]
     fn export_and_dlsym() {
         let mut lib = NativeLibrary::new("libm.so");
-        lib.export("double_it", Rc::new(|_, _, args| Ok(args[0] * 2)));
+        lib.export("double_it", Arc::new(|_, _, args| Ok(args[0] * 2)));
         let mut k = Kernel::boot(DeviceProfile::nexus7());
         let (_, tid) = k.spawn_process();
         let f = lib.dlsym("double_it").unwrap();
@@ -139,9 +140,9 @@ mod tests {
     fn host_finds_symbols_across_libraries() {
         let mut host = LibraryHost::new();
         let mut a = NativeLibrary::new("liba.so");
-        a.export("fa", Rc::new(|_, _, _| Ok(1)));
+        a.export("fa", Arc::new(|_, _, _| Ok(1)));
         let mut b = NativeLibrary::new("libb.so");
-        b.export("fb", Rc::new(|_, _, _| Ok(2)));
+        b.export("fb", Arc::new(|_, _, _| Ok(2)));
         host.register(a);
         host.register(b);
         assert_eq!(host.find_symbol("fb").unwrap().0, "libb.so");

@@ -158,15 +158,15 @@ mod tests {
     use cider_kernel::profile::DeviceProfile;
     use cider_loader::framework_set::{FrameworkSet, FRAMEWORK_COUNT};
     use cider_loader::MachOBuilder;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn cider_kernel() -> (Kernel, PersonalityId) {
         let mut k = Kernel::boot(DeviceProfile::nexus7());
         k.extensions.insert(CiderState::new());
-        let xnu = k.register_personality(Rc::new(XnuPersonality::new()));
+        let xnu = k.register_personality(Arc::new(XnuPersonality::new()));
         k.enable_cider();
-        k.register_binfmt(Rc::new(MachOLoader::new(xnu)));
-        k.register_fork_hook(Rc::new(MachTaskForkHook));
+        k.register_binfmt(Arc::new(MachOLoader::new(xnu)));
+        k.register_fork_hook(Arc::new(MachTaskForkHook));
         FrameworkSet::standard().install(&mut k.vfs);
         (k, xnu)
     }

@@ -6,9 +6,8 @@
 //! background services, and bridges kernel devices into the I/O Kit
 //! registry — the full §3 "system integration" picture.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use cider_abi::errno::Errno;
 use cider_abi::ids::{Pid, PortName, Tid};
@@ -37,14 +36,18 @@ use crate::xnu_abi::XnuPersonality;
 pub const EXCLUDED_IOKIT_OBJECTS: [&str; 2] =
     ["IODMAController.cpp", "IOInterruptController.cpp"];
 
+/// Pending-device queue shared between the kernel's `device_add` hook
+/// and [`CiderSystem::sync_iokit`]. Genuinely aliased (the registry and
+/// the system both hold it), so a `Mutex` — not a `RefCell`, which
+/// would make `CiderSystem` `!Send` and panic under reentrant borrows.
 #[derive(Debug, Default)]
 struct NubRecorder {
-    pending: RefCell<Vec<KernelDevice>>,
+    pending: Mutex<Vec<KernelDevice>>,
 }
 
 impl DeviceAddHook for NubRecorder {
     fn device_added(&self, dev: &KernelDevice) {
-        self.pending.borrow_mut().push(dev.clone());
+        self.pending.lock().unwrap().push(dev.clone());
     }
 }
 
@@ -74,7 +77,7 @@ pub struct CiderSystem {
     pub diplomatic: BTreeMap<String, DiplomaticLibrary>,
     /// The kernel task driving boot-time subsystem work.
     pub kernel_task: (Pid, Tid),
-    nub_recorder: Rc<NubRecorder>,
+    nub_recorder: Arc<NubRecorder>,
 }
 
 impl std::fmt::Debug for CiderSystem {
@@ -100,7 +103,7 @@ impl CiderSystem {
         // Stock Android user space (absent on a real iOS device).
         if kind != SystemKind::NativeIos {
             install_android_system(&mut kernel.vfs);
-            kernel.register_binfmt(Rc::new(ElfLoader::new()));
+            kernel.register_binfmt(Arc::new(ElfLoader::new()));
         }
 
         // Cider state compiled into the kernel.
@@ -196,17 +199,18 @@ impl CiderSystem {
             SystemKind::VanillaAndroid => kernel.linux_personality(),
             SystemKind::Cider => {
                 let id = kernel
-                    .register_personality(Rc::new(XnuPersonality::new()));
+                    .register_personality(Arc::new(XnuPersonality::new()));
                 kernel.enable_cider();
                 id
             }
-            SystemKind::NativeIos => kernel.register_personality(Rc::new(
+            SystemKind::NativeIos => kernel.register_personality(Arc::new(
                 crate::xnu_native::XnuNativePersonality::new(),
             )),
         };
         if kind != SystemKind::VanillaAndroid {
-            kernel.register_binfmt(Rc::new(MachOLoader::new(xnu_personality)));
-            kernel.register_fork_hook(Rc::new(MachTaskForkHook));
+            kernel
+                .register_binfmt(Arc::new(MachOLoader::new(xnu_personality)));
+            kernel.register_fork_hook(Arc::new(MachTaskForkHook));
 
             // The overlaid iOS filesystem hierarchy (§3) — on a real iOS
             // device these are simply the native paths.
@@ -232,7 +236,7 @@ impl CiderSystem {
 
         // Device bridge: every Linux device also becomes an I/O Kit
         // registry entry (§5.1).
-        let nub_recorder = Rc::new(NubRecorder::default());
+        let nub_recorder = Arc::new(NubRecorder::default());
         kernel.devices.add_hook(nub_recorder.clone());
 
         let mut sys = CiderSystem {
@@ -281,8 +285,13 @@ impl CiderSystem {
     /// Drains devices observed by the `device_add` hook into I/O Kit
     /// device-class registry entries.
     pub fn sync_iokit(&mut self) {
-        let pending: Vec<KernelDevice> =
-            self.nub_recorder.pending.borrow_mut().drain(..).collect();
+        let pending: Vec<KernelDevice> = self
+            .nub_recorder
+            .pending
+            .lock()
+            .unwrap()
+            .drain(..)
+            .collect();
         if pending.is_empty() {
             return;
         }

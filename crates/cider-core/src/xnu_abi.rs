@@ -1012,12 +1012,12 @@ mod tests {
         use cider_abi::persona::Persona;
         use cider_abi::syscall::XnuTrap;
         use cider_kernel::profile::DeviceProfile;
-        use std::rc::Rc;
+        use std::sync::Arc;
 
         fn xnu_kernel() -> (Kernel, Tid) {
             let mut k = Kernel::boot(DeviceProfile::nexus7());
             k.extensions.insert(CiderState::new());
-            let xnu = k.register_personality(Rc::new(XnuPersonality::new()));
+            let xnu = k.register_personality(Arc::new(XnuPersonality::new()));
             k.enable_cider();
             let (_, tid) = k.spawn_process();
             attach_persona_ext(&mut k, tid, Persona::Foreign, xnu).unwrap();

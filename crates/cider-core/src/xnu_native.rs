@@ -151,14 +151,14 @@ mod tests {
     fn native_trap_cheaper_than_translated() {
         let mut k_native = Kernel::boot(DeviceProfile::nexus7());
         k_native.extensions.insert(CiderState::new());
-        let native = std::rc::Rc::new(XnuNativePersonality::new());
+        let native = std::sync::Arc::new(XnuNativePersonality::new());
         let nid = k_native.register_personality(native);
         let (_, tid) = k_native.spawn_process();
         k_native.thread_mut(tid).unwrap().personality = nid;
 
         let mut k_cider = Kernel::boot(DeviceProfile::nexus7());
         k_cider.extensions.insert(CiderState::new());
-        let xnu = std::rc::Rc::new(crate::xnu_abi::XnuPersonality::new());
+        let xnu = std::sync::Arc::new(crate::xnu_abi::XnuPersonality::new());
         let xid = k_cider.register_personality(xnu);
         k_cider.enable_cider();
         let (_, tid2) = k_cider.spawn_process();

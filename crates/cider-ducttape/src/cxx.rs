@@ -69,7 +69,7 @@ impl CxxRuntime {
         symbols: &mut SymbolTable,
         class_name: &str,
         zone: Zone,
-        factory: Box<dyn Fn() -> Box<dyn IoDriver>>,
+        factory: Box<dyn Fn() -> Box<dyn IoDriver> + Send + Sync>,
     ) {
         // A driver class name may legitimately already exist if the
         // object defining it was compiled first.

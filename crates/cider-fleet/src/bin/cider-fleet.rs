@@ -1,0 +1,194 @@
+//! Fleet simulation driver.
+//!
+//! ```text
+//! cargo run --release -p cider-fleet --bin cider-fleet -- \
+//!     [--devices N] [--seed S] [--threads T] \
+//!     [--workload lmbench|launch_storm|conform] [--units N] \
+//!     [--mix even|ios|android] [--fault-seed S] \
+//!     [--json PATH] [--bench [PATH]]
+//! ```
+//!
+//! Without `--bench`, runs one fleet and prints (or writes, with
+//! `--json`) its percentile report. With `--bench`, runs the canonical
+//! benchmark matrix — lmbench mix and launch storm, each across the
+//! three persona mixes — and writes the combined `BENCH_fleet.json`.
+//!
+//! The report JSON never contains host wall-clock or thread counts:
+//! two runs of the same spec are byte-identical whatever `--threads`
+//! says, which is exactly what the CI fleet-smoke job diffs.
+
+use std::fs;
+use std::process::ExitCode;
+
+use cider_fault::FaultPlan;
+use cider_fleet::{run_fleet, FleetReport, FleetSpec, PersonaMix, Workload};
+
+struct Options {
+    devices: u32,
+    seed: u64,
+    threads: usize,
+    workload: String,
+    units: u32,
+    mix: PersonaMix,
+    fault_seed: Option<u64>,
+    json: Option<String>,
+    bench: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        devices: 64,
+        seed: 42,
+        threads: 1,
+        workload: "lmbench".to_string(),
+        units: 16,
+        mix: PersonaMix::EVEN,
+        fault_seed: None,
+        json: None,
+        bench: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--devices" => {
+                opts.devices = value("--devices")?
+                    .parse()
+                    .map_err(|e| format!("--devices: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--workload" => opts.workload = value("--workload")?,
+            "--units" => {
+                opts.units = value("--units")?
+                    .parse()
+                    .map_err(|e| format!("--units: {e}"))?;
+            }
+            "--mix" => {
+                opts.mix = match value("--mix")?.as_str() {
+                    "even" => PersonaMix::EVEN,
+                    "ios" => PersonaMix::ALL_IOS,
+                    "android" => PersonaMix::ALL_ANDROID,
+                    other => return Err(format!("unknown mix {other:?}")),
+                };
+            }
+            "--fault-seed" => {
+                opts.fault_seed = Some(
+                    value("--fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("--fault-seed: {e}"))?,
+                );
+            }
+            "--json" => opts.json = Some(value("--json")?),
+            "--bench" => {
+                opts.bench = Some(
+                    args.next().unwrap_or_else(|| "BENCH_fleet.json".into()),
+                );
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn workload_for(name: &str, units: u32) -> Result<Workload, String> {
+    match name {
+        "lmbench" => Ok(Workload::LmbenchMix { ops: units }),
+        "launch_storm" => Ok(Workload::LaunchStorm { launches: units }),
+        "conform" => Ok(Workload::ConformOps { programs: units }),
+        other => Err(format!("unknown workload {other:?}")),
+    }
+}
+
+fn run_one(opts: &Options) -> Result<String, String> {
+    let workload = workload_for(&opts.workload, opts.units)?;
+    let mut spec = FleetSpec::new(opts.devices, opts.seed, workload)
+        .mix(opts.mix)
+        .host_threads(opts.threads);
+    if let Some(seed) = opts.fault_seed {
+        spec = spec.fault_plan(FaultPlan::matrix(seed));
+    }
+    let run = run_fleet(&spec);
+    Ok(FleetReport::from_run(&run).to_json())
+}
+
+/// The canonical checked-in matrix: both headline workloads across
+/// the three persona mixes, 64 devices per cell, faults off so the
+/// latency numbers are the clean baseline.
+fn bench_matrix(threads: usize) -> String {
+    let mixes = [
+        PersonaMix::ALL_IOS,
+        PersonaMix::ALL_ANDROID,
+        PersonaMix::EVEN,
+    ];
+    let workloads = [
+        Workload::LmbenchMix { ops: 16 },
+        Workload::LaunchStorm { launches: 8 },
+    ];
+    let mut cells = Vec::new();
+    for workload in workloads {
+        for mix in mixes {
+            let spec = FleetSpec::new(64, 42, workload)
+                .mix(mix)
+                .host_threads(threads);
+            let run = run_fleet(&spec);
+            let json = FleetReport::from_run(&run).to_json();
+            // Indent each cell two levels to nest under the array.
+            let indented: String = json
+                .trim_end()
+                .lines()
+                .map(|l| format!("    {l}\n"))
+                .collect();
+            cells.push(indented.trim_end().to_string());
+        }
+    }
+    format!("{{\n  \"fleet_bench\": [\n{}\n  ]\n}}\n", cells.join(",\n"))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("cider-fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (json, dest) = if let Some(path) = &opts.bench {
+        (bench_matrix(opts.threads), Some(path.clone()))
+    } else {
+        match run_one(&opts) {
+            Ok(json) => (json, opts.json.clone()),
+            Err(e) => {
+                eprintln!("cider-fleet: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    match dest {
+        Some(path) => match fs::write(&path, &json) {
+            Ok(()) => {
+                println!("wrote {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cider-fleet: write {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{json}");
+            ExitCode::SUCCESS
+        }
+    }
+}

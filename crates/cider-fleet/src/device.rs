@@ -1,0 +1,271 @@
+//! One device: boot, workload, trace fingerprint.
+//!
+//! [`run_device`] is the unit the driver farms out. It boots a traced
+//! [`TestBed`] for the device's configuration, arms its re-seeded
+//! fault plan, drives the workload entirely in virtual time, and
+//! reduces everything observable — the virtual clock, every counter,
+//! every histogram, every retained trace event, and the fault/recovery
+//! ledger — to a 64-bit FNV-1a fingerprint. The fingerprint is the
+//! determinism oracle: two runs of the same [`DeviceSpec`] must agree
+//! on it bit for bit, whichever host thread ran them.
+
+use cider_bench::config::TestBed;
+use cider_bench::fig5::{run_micro, Micro};
+use cider_bench::lmbench;
+use cider_bench::SystemConfig;
+use cider_conform::{execute, generate, Coverage};
+use cider_fault::{FaultLayer, SplitMix64};
+use cider_trace::{Metrics, MetricsSnapshot};
+
+use crate::spec::{DeviceSpec, Workload};
+
+/// The operations the lmbench-mix workload draws from: the cheap,
+/// always-possible Figure 5 rows. Process-heavy rows (fork+exec,
+/// fork+sh) belong to the launch-storm workload instead.
+pub const LMBENCH_MENU: [Micro; 8] = [
+    Micro::NullSyscall,
+    Micro::Read,
+    Micro::Write,
+    Micro::OpenClose,
+    Micro::SignalHandler,
+    Micro::Pipe,
+    Micro::AfUnix,
+    Micro::ForkExit,
+];
+
+/// Everything a device run produced, detached from the bed.
+#[derive(Debug, Clone)]
+pub struct DeviceResult {
+    /// Fleet position.
+    pub device_id: u32,
+    /// The seed the device ran under.
+    pub seed: u64,
+    /// The configuration it booted.
+    pub config: SystemConfig,
+    /// Final virtual-clock reading, ns since boot.
+    pub virtual_ns: u64,
+    /// Workload units completed (ops, launches, or programs).
+    pub units_completed: u64,
+    /// Launch-storm throughput, launches per virtual second
+    /// (`None` for other workloads).
+    pub launches_per_vsec: Option<f64>,
+    /// The device kernel's own trace metrics (syscall histograms,
+    /// mechanism counters).
+    pub kernel_metrics: MetricsSnapshot,
+    /// Fleet-side workload metrics: per-operation virtual latency
+    /// histograms under `op/` and `launch/`.
+    pub workload_metrics: MetricsSnapshot,
+    /// Faults the device's plan actually injected.
+    pub faults_injected: u64,
+    /// Recovery actions its supervisors took.
+    pub recoveries: u64,
+    /// Trace events retained in the device's ring.
+    pub events_retained: u64,
+    /// FNV-1a digest of the full observable trace.
+    pub trace_fingerprint: u64,
+}
+
+/// FNV-1a, 64-bit: stable across platforms and rust versions, unlike
+/// `DefaultHasher`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv1a(pub u64);
+
+impl Fnv1a {
+    pub(crate) fn new() -> Fnv1a {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    pub(crate) fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+fn fingerprint_metrics(h: &mut Fnv1a, snap: &MetricsSnapshot) {
+    for (name, v) in &snap.counters {
+        h.write_str(name);
+        h.write_u64(*v);
+    }
+    for (name, hist) in &snap.histograms {
+        h.write_str(name);
+        h.write_u64(hist.count());
+        h.write_u64(hist.sum());
+        h.write_u64(hist.min().unwrap_or(0));
+        h.write_u64(hist.max().unwrap_or(0));
+        for &b in hist.buckets() {
+            h.write_u64(b);
+        }
+    }
+}
+
+/// Runs one device to completion. Pure function of the spec: no host
+/// state, no wall clock, no shared mutability.
+pub fn run_device(spec: &DeviceSpec) -> DeviceResult {
+    let mut bed = TestBed::builder(spec.config).traced().build();
+    let (pid, tid) = bed.spawn_measured().expect("bench binary installed");
+    // Faults arm after the measured process boots: they target the
+    // device's workload, not the harness, so every device produces a
+    // ledger instead of dying in setup.
+    if let Some(plan) = &spec.fault_plan {
+        bed.sys.kernel.faults = FaultLayer::with_plan(plan.clone());
+    }
+
+    let mut workload = Metrics::new();
+    let mut units = 0u64;
+    let mut launches_per_vsec = None;
+    let mut extra = Fnv1a::new();
+
+    match spec.workload {
+        Workload::LmbenchMix { ops } => {
+            let mut rng = SplitMix64::new(spec.seed);
+            for _ in 0..ops {
+                let micro = LMBENCH_MENU
+                    [rng.below(LMBENCH_MENU.len() as u64) as usize];
+                if let Some(ns) = run_micro(&mut bed, pid, tid, micro) {
+                    let name = format!("op/{}", micro.name());
+                    workload.observe(&name, ns as u64);
+                    workload.observe("op/all", ns as u64);
+                    units += 1;
+                }
+            }
+        }
+        Workload::LaunchStorm { launches } => {
+            let ios = spec.config.runs_ios_binary();
+            let start = bed.sys.kernel.clock.now_ns();
+            for _ in 0..launches {
+                if let Ok(d) = lmbench::fork_exec_lat(&mut bed, tid, ios) {
+                    workload.observe("launch/latency", d.ns);
+                    units += 1;
+                }
+            }
+            let span = bed.sys.kernel.clock.now_ns() - start;
+            workload.add("launch/completed", units);
+            workload.observe("launch/storm_span", span);
+            if span > 0 {
+                launches_per_vsec = Some(units as f64 * 1e9 / span as f64);
+            }
+        }
+        Workload::ConformOps { programs } => {
+            // The conform engine boots its own differential beds; the
+            // observations fold into the fingerprint so divergence
+            // regressions show up as fleet-level determinism breaks.
+            let coverage = Coverage::new(Vec::<String>::new());
+            for i in 0..u64::from(programs) {
+                let program = generate(spec.seed, i, &coverage);
+                let outcome = execute(&program, spec.fault_plan.as_ref());
+                for config in cider_conform::ConfigId::ALL {
+                    extra.write_str(&outcome.observation(config).to_line());
+                }
+                units += 1;
+            }
+            workload.add("conform/programs", units);
+        }
+    }
+
+    let snap = bed.trace_snapshot().expect("bed was built traced");
+    let faults = &bed.sys.kernel.faults;
+
+    let mut h = Fnv1a::new();
+    h.write_u64(u64::from(spec.device_id));
+    h.write_u64(spec.seed);
+    h.write_str(spec.config.slug());
+    h.write_u64(bed.sys.kernel.clock.now_ns());
+    fingerprint_metrics(&mut h, &snap.metrics);
+    fingerprint_metrics(&mut h, &workload.snapshot());
+    h.write_u64(snap.dropped);
+    for ev in &snap.events {
+        h.write_str(&format!("{ev:?}"));
+    }
+    for rec in faults.ledger() {
+        h.write_str(&format!("{rec:?}"));
+    }
+    for rec in faults.recoveries() {
+        h.write_str(&format!("{rec:?}"));
+    }
+    h.write_u64(extra.0);
+
+    DeviceResult {
+        device_id: spec.device_id,
+        seed: spec.seed,
+        config: spec.config,
+        virtual_ns: bed.sys.kernel.clock.now_ns(),
+        units_completed: units,
+        launches_per_vsec,
+        kernel_metrics: snap.metrics,
+        workload_metrics: workload.snapshot(),
+        faults_injected: faults.injected_total(),
+        recoveries: faults.recoveries().len() as u64,
+        events_retained: snap.events.len() as u64,
+        trace_fingerprint: h.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cider_fault::FaultPlan;
+
+    fn spec(seed: u64) -> DeviceSpec {
+        DeviceSpec {
+            device_id: 0,
+            seed,
+            config: SystemConfig::CiderIos,
+            workload: Workload::LmbenchMix { ops: 12 },
+            fault_plan: None,
+        }
+    }
+
+    #[test]
+    fn same_spec_same_fingerprint() {
+        let a = run_device(&spec(5));
+        let b = run_device(&spec(5));
+        assert_eq!(a.trace_fingerprint, b.trace_fingerprint);
+        assert_eq!(a.virtual_ns, b.virtual_ns);
+        assert_eq!(a.units_completed, b.units_completed);
+    }
+
+    #[test]
+    fn different_seed_different_fingerprint() {
+        let a = run_device(&spec(5));
+        let b = run_device(&spec(6));
+        assert_ne!(a.trace_fingerprint, b.trace_fingerprint);
+    }
+
+    #[test]
+    fn launch_storm_reports_throughput() {
+        let r = run_device(&DeviceSpec {
+            device_id: 1,
+            seed: 9,
+            config: SystemConfig::CiderAndroid,
+            workload: Workload::LaunchStorm { launches: 4 },
+            fault_plan: None,
+        });
+        assert_eq!(r.units_completed, 4);
+        let per_sec = r.launches_per_vsec.unwrap();
+        assert!(per_sec > 0.0, "{per_sec}");
+        assert_eq!(r.workload_metrics.counter("launch/completed"), 4);
+    }
+
+    #[test]
+    fn faulted_device_still_completes_and_counts_injections() {
+        let r = run_device(&DeviceSpec {
+            device_id: 2,
+            seed: 11,
+            config: SystemConfig::CiderIos,
+            workload: Workload::LmbenchMix { ops: 30 },
+            fault_plan: Some(FaultPlan::matrix(11)),
+        });
+        assert!(r.faults_injected > 0);
+        assert!(r.units_completed > 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Fleet and per-device specifications.
+//!
+//! A [`FleetSpec`] describes a whole experiment as one value: how many
+//! devices, the master seed, the workload every device runs, the
+//! iOS/Android persona mix, and an optional fault plan. From it,
+//! [`FleetSpec::device_specs`] derives one fully self-contained
+//! [`DeviceSpec`] per device — seed, persona, workload, and a
+//! per-device re-seeded fault plan — so a device can be simulated on
+//! any host thread with no shared state at all.
+
+use cider_bench::config::SystemConfig;
+use cider_fault::{splitmix64, FaultPlan};
+
+/// iOS/Android population ratio of a fleet, in thousandths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersonaMix {
+    /// Devices (per 1000) running the iOS (Mach-O) binary ecosystem;
+    /// the rest run the Android (ELF) ecosystem.
+    pub ios_per_mille: u16,
+}
+
+impl PersonaMix {
+    /// Every device runs Android binaries.
+    pub const ALL_ANDROID: PersonaMix = PersonaMix { ios_per_mille: 0 };
+    /// Every device runs iOS binaries.
+    pub const ALL_IOS: PersonaMix = PersonaMix {
+        ios_per_mille: 1000,
+    };
+    /// Half the fleet runs each ecosystem.
+    pub const EVEN: PersonaMix = PersonaMix { ios_per_mille: 500 };
+
+    /// Filesystem-safe label for reports.
+    pub fn slug(self) -> String {
+        match self.ios_per_mille {
+            0 => "all_android".to_string(),
+            1000 => "all_ios".to_string(),
+            500 => "even".to_string(),
+            n => format!("ios{n}"),
+        }
+    }
+
+    /// The configuration device `device_id` of `devices` runs.
+    ///
+    /// Assignment is proportional and positional — the first
+    /// `ios_per_mille`/1000 of the id range is iOS — so the persona of
+    /// a given device id is a pure function of the spec, independent of
+    /// host threading.
+    pub fn config_for(self, device_id: u32, devices: u32) -> SystemConfig {
+        let devices = u64::from(devices.max(1));
+        let slot = u64::from(device_id) * 1000 / devices;
+        if slot < u64::from(self.ios_per_mille) {
+            SystemConfig::CiderIos
+        } else {
+            SystemConfig::CiderAndroid
+        }
+    }
+}
+
+/// What every device in the fleet runs, in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// A seeded mix of the Figure 5 lmbench microbenchmarks: each
+    /// device draws `ops` operations from the micro menu with its own
+    /// splitmix64 stream.
+    LmbenchMix {
+        /// Operations per device.
+        ops: u32,
+    },
+    /// A launch storm: `launches` cold app launches (fork + exec of
+    /// the device's hello binary) back to back, reported as per-device
+    /// launches per virtual second.
+    LaunchStorm {
+        /// App launches per device.
+        launches: u32,
+    },
+    /// Differential ABI conformance operations: each device generates
+    /// and executes `programs` seeded syscall programs through the
+    /// cider-conform engine and folds the observations into its trace
+    /// fingerprint.
+    ConformOps {
+        /// Generated programs per device.
+        programs: u32,
+    },
+}
+
+impl Workload {
+    /// Filesystem-safe name for reports.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Workload::LmbenchMix { .. } => "lmbench_mix",
+            Workload::LaunchStorm { .. } => "launch_storm",
+            Workload::ConformOps { .. } => "conform_ops",
+        }
+    }
+
+    /// Workload units a device performs (draws, launches, programs).
+    pub fn units(self) -> u32 {
+        match self {
+            Workload::LmbenchMix { ops } => ops,
+            Workload::LaunchStorm { launches } => launches,
+            Workload::ConformOps { programs } => programs,
+        }
+    }
+}
+
+/// One whole fleet experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Number of simulated devices.
+    pub devices: u32,
+    /// Master seed; every per-device stream derives from it.
+    pub seed: u64,
+    /// The workload every device runs.
+    pub workload: Workload,
+    /// iOS/Android population ratio.
+    pub mix: PersonaMix,
+    /// Optional fault plan; re-seeded per device so fault schedules
+    /// are independent across the fleet.
+    pub fault_plan: Option<FaultPlan>,
+    /// Host worker threads the driver uses (not part of any device's
+    /// identity: results must be byte-identical for any value ≥ 1).
+    pub host_threads: usize,
+}
+
+impl FleetSpec {
+    /// A fleet with an even persona mix, no faults, one host thread.
+    pub fn new(devices: u32, seed: u64, workload: Workload) -> FleetSpec {
+        FleetSpec {
+            devices,
+            seed,
+            workload,
+            mix: PersonaMix::EVEN,
+            fault_plan: None,
+            host_threads: 1,
+        }
+    }
+
+    /// Sets the persona mix. Builder-style.
+    #[must_use]
+    pub fn mix(mut self, mix: PersonaMix) -> FleetSpec {
+        self.mix = mix;
+        self
+    }
+
+    /// Arms a fault plan on every device (re-seeded per device).
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> FleetSpec {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the host worker-thread count.
+    #[must_use]
+    pub fn host_threads(mut self, threads: usize) -> FleetSpec {
+        self.host_threads = threads.max(1);
+        self
+    }
+
+    /// The derived per-device seed: a splitmix64 hash of the master
+    /// seed and the device id, so neighbouring devices get decorrelated
+    /// streams.
+    pub fn device_seed(&self, device_id: u32) -> u64 {
+        let mut state = self.seed
+            ^ (u64::from(device_id) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        splitmix64(&mut state)
+    }
+
+    /// Derives the fully self-contained per-device specifications, in
+    /// device-id order.
+    pub fn device_specs(&self) -> Vec<DeviceSpec> {
+        (0..self.devices)
+            .map(|id| {
+                let seed = self.device_seed(id);
+                let fault_plan = self.fault_plan.as_ref().map(|plan| {
+                    let mut state = seed ^ plan.seed;
+                    let mut p = FaultPlan::new(splitmix64(&mut state));
+                    for (site, cfg) in plan.sites() {
+                        p = p.site(site, *cfg);
+                    }
+                    p
+                });
+                DeviceSpec {
+                    device_id: id,
+                    seed,
+                    config: self.mix.config_for(id, self.devices),
+                    workload: self.workload,
+                    fault_plan,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Everything one device needs — nothing shared with its neighbours.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Position in the fleet (also the aggregation order).
+    pub device_id: u32,
+    /// This device's derived seed.
+    pub seed: u64,
+    /// The measurement configuration the device boots.
+    pub config: SystemConfig,
+    /// The workload it runs.
+    pub workload: Workload,
+    /// Its re-seeded fault plan, if the fleet armed one.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_assignment_is_proportional_and_positional() {
+        let mix = PersonaMix::EVEN;
+        let ios = (0..64)
+            .filter(|&id| mix.config_for(id, 64) == SystemConfig::CiderIos)
+            .count();
+        assert_eq!(ios, 32);
+        // iOS devices come first, so the split is a prefix.
+        assert_eq!(mix.config_for(0, 64), SystemConfig::CiderIos);
+        assert_eq!(mix.config_for(63, 64), SystemConfig::CiderAndroid);
+        assert_eq!(
+            PersonaMix::ALL_ANDROID.config_for(0, 64),
+            SystemConfig::CiderAndroid
+        );
+        assert_eq!(
+            PersonaMix::ALL_IOS.config_for(63, 64),
+            SystemConfig::CiderIos
+        );
+    }
+
+    #[test]
+    fn device_seeds_are_decorrelated_and_stable() {
+        let spec = FleetSpec::new(8, 42, Workload::LmbenchMix { ops: 10 });
+        let seeds: Vec<u64> = (0..8).map(|id| spec.device_seed(id)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 8);
+        // Stable across calls.
+        assert_eq!(spec.device_seed(3), seeds[3]);
+    }
+
+    #[test]
+    fn fault_plans_reseed_per_device_but_keep_sites() {
+        let plan = FaultPlan::matrix(7);
+        let spec = FleetSpec::new(4, 1, Workload::LmbenchMix { ops: 1 })
+            .fault_plan(plan.clone());
+        let specs = spec.device_specs();
+        let a = specs[0].fault_plan.as_ref().unwrap();
+        let b = specs[1].fault_plan.as_ref().unwrap();
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a.sites().count(), plan.sites().count());
+    }
+
+    #[test]
+    fn specs_are_deterministic() {
+        let spec =
+            FleetSpec::new(16, 99, Workload::LaunchStorm { launches: 5 });
+        assert_eq!(spec.device_specs(), spec.device_specs());
+    }
+}

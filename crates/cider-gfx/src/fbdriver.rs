@@ -8,8 +8,8 @@
 //! (paper §5.1). iOS user space then queries the framebuffer "as a
 //! standard iOS device" through the I/O Kit registry and a user client.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use cider_core::state::with_state;
 use cider_core::system::CiderSystem;
@@ -34,13 +34,13 @@ pub mod selectors {
 pub struct AppleM2Clcd {
     width: u64,
     height: u64,
-    frames: Rc<Cell<u64>>,
+    frames: Arc<AtomicU64>,
     started: bool,
 }
 
 impl AppleM2Clcd {
     /// Creates the wrapper for the Nexus 7 panel.
-    pub fn new(frames: Rc<Cell<u64>>) -> AppleM2Clcd {
+    pub fn new(frames: Arc<AtomicU64>) -> AppleM2Clcd {
         AppleM2Clcd {
             width: 1280,
             height: 800,
@@ -71,8 +71,8 @@ impl IoDriver for AppleM2Clcd {
                 Ok((vec![self.width, self.height], Vec::new()))
             }
             selectors::SWAP_SUBMIT => {
-                self.frames.set(self.frames.get() + 1);
-                Ok((vec![self.frames.get()], Vec::new()))
+                let n = self.frames.fetch_add(1, Ordering::Relaxed) + 1;
+                Ok((vec![n], Vec::new()))
             }
             selectors::GET_VENDOR => {
                 Ok((Vec::new(), b"tegra-dc (AppleM2CLCD wrapper)".to_vec()))
@@ -85,8 +85,8 @@ impl IoDriver for AppleM2Clcd {
 /// Registers the driver class with the in-kernel C++ runtime and I/O
 /// Kit matching — the "small interface function called on Linux kernel
 /// boot". Returns the shared frame counter.
-pub fn register_display_driver(sys: &mut CiderSystem) -> Rc<Cell<u64>> {
-    let frames = Rc::new(Cell::new(0));
+pub fn register_display_driver(sys: &mut CiderSystem) -> Arc<AtomicU64> {
+    let frames = Arc::new(AtomicU64::new(0));
     let frames_for_factory = frames.clone();
     with_state(&mut sys.kernel, |_, st| {
         let cider_core::state::CiderState {
@@ -154,7 +154,7 @@ mod tests {
                 KernReturn::MigBadId
             );
         });
-        assert_eq!(frames.get(), 1);
+        assert_eq!(frames.load(Ordering::Relaxed), 1);
     }
 
     #[test]

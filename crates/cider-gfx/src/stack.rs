@@ -9,8 +9,7 @@
 //! **diplomatic IOSurface** entry points are interposed onto gralloc, and
 //! the `AppleM2CLCD` framebuffer driver class is registered with I/O Kit.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use cider_abi::errno::Errno;
 use cider_core::diplomat::{Diplomat, DiplomaticLibrary};
@@ -43,7 +42,11 @@ impl GfxStack {
 }
 
 /// Shared handle to the stack, captured by library export closures.
-pub type SharedGfx = Rc<RefCell<GfxStack>>;
+///
+/// A `Mutex` (not a `RefCell`) so the export closures are `Send + Sync`
+/// and a bed holding the stack can run on a fleet worker thread; within
+/// one device the lock is uncontended.
+pub type SharedGfx = Arc<Mutex<GfxStack>>;
 
 /// Configuration for [`install_gfx`].
 #[derive(Debug, Clone, Copy)]
@@ -114,9 +117,9 @@ pub const EAGL_SYMBOLS: [&str; 4] = [
 
 fn stateful_noop(gfx: &SharedGfx) -> cider_core::library::NativeFn {
     let gfx = gfx.clone();
-    Rc::new(move |k, _tid, _args| {
+    Arc::new(move |k, _tid, _args| {
         k.charge_cpu(crate::gles::GL_DISPATCH_NS);
-        let mut g = gfx.borrow_mut();
+        let mut g = gfx.lock().unwrap();
         g.egl.current_mut()?.total_calls += 1;
         Ok(0)
     })
@@ -129,8 +132,8 @@ pub fn build_libglesv2(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "glClear",
-            Rc::new(move |k, _t, args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, args| {
+                let mut s = g.lock().unwrap();
                 let GfxStack { gpu, egl, .. } = &mut *s;
                 api::gl_clear(k, egl, gpu, args.first().copied().unwrap_or(0))
             }),
@@ -140,8 +143,8 @@ pub fn build_libglesv2(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "glClearColor",
-            Rc::new(move |k, _t, args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, args| {
+                let mut s = g.lock().unwrap();
                 api::gl_clear_color(
                     k,
                     &mut s.egl,
@@ -154,8 +157,8 @@ pub fn build_libglesv2(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "glDrawArrays",
-            Rc::new(move |k, _t, args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, args| {
+                let mut s = g.lock().unwrap();
                 let GfxStack { gpu, egl, .. } = &mut *s;
                 api::gl_draw_arrays(
                     k,
@@ -170,8 +173,8 @@ pub fn build_libglesv2(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "glDrawElements",
-            Rc::new(move |k, _t, args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, args| {
+                let mut s = g.lock().unwrap();
                 let GfxStack { gpu, egl, .. } = &mut *s;
                 api::gl_draw_arrays(
                     k,
@@ -186,8 +189,8 @@ pub fn build_libglesv2(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "glBindTexture",
-            Rc::new(move |k, _t, args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, args| {
+                let mut s = g.lock().unwrap();
                 api::gl_bind_texture(
                     k,
                     &mut s.egl,
@@ -200,8 +203,8 @@ pub fn build_libglesv2(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "glGenTextures",
-            Rc::new(move |k, _t, _args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, _args| {
+                let mut s = g.lock().unwrap();
                 api::gl_gen_texture(k, &mut s.egl)
             }),
         );
@@ -210,8 +213,8 @@ pub fn build_libglesv2(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "glTexImage2D",
-            Rc::new(move |k, _t, args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, args| {
+                let mut s = g.lock().unwrap();
                 let GfxStack { gpu, egl, .. } = &mut *s;
                 api::gl_tex_image_2d(
                     k,
@@ -226,8 +229,8 @@ pub fn build_libglesv2(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "glUseProgram",
-            Rc::new(move |k, _t, args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, args| {
+                let mut s = g.lock().unwrap();
                 api::gl_use_program(
                     k,
                     &mut s.egl,
@@ -240,8 +243,8 @@ pub fn build_libglesv2(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "glEnable",
-            Rc::new(move |k, _t, args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, args| {
+                let mut s = g.lock().unwrap();
                 api::gl_enable(
                     k,
                     &mut s.egl,
@@ -254,8 +257,8 @@ pub fn build_libglesv2(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "glFenceSync",
-            Rc::new(move |k, _t, _args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, _args| {
+                let mut s = g.lock().unwrap();
                 let GfxStack { gpu, egl, .. } = &mut *s;
                 api::gl_fence_sync(k, egl, gpu)
             }),
@@ -265,8 +268,8 @@ pub fn build_libglesv2(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "glClientWaitSync",
-            Rc::new(move |k, _t, args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, args| {
+                let mut s = g.lock().unwrap();
                 let GfxStack { gpu, egl, .. } = &mut *s;
                 api::gl_client_wait_sync(
                     k,
@@ -281,8 +284,8 @@ pub fn build_libglesv2(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "glFinish",
-            Rc::new(move |k, _t, _args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, _args| {
+                let mut s = g.lock().unwrap();
                 let GfxStack { gpu, egl, .. } = &mut *s;
                 api::gl_finish(k, egl, gpu)
             }),
@@ -321,9 +324,9 @@ pub fn build_libegl(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "eglCreateContext",
-            Rc::new(move |k, _t, _args| {
+            Arc::new(move |k, _t, _args| {
                 k.charge_cpu(4_000);
-                Ok(g.borrow_mut().egl.create_context().0 as i64)
+                Ok(g.lock().unwrap().egl.create_context().0 as i64)
             }),
         );
     }
@@ -331,14 +334,14 @@ pub fn build_libegl(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "eglCreateWindowSurface",
-            Rc::new(move |k, _t, args| {
+            Arc::new(move |k, _t, args| {
                 k.charge_cpu(20_000);
                 let ctx = crate::gles::ContextId(
                     args.first().copied().unwrap_or(0) as u64,
                 );
                 let w = args.get(1).copied().unwrap_or(0) as u32;
                 let h = args.get(2).copied().unwrap_or(0) as u32;
-                let mut s = g.borrow_mut();
+                let mut s = g.lock().unwrap();
                 let GfxStack {
                     egl,
                     flinger,
@@ -354,12 +357,12 @@ pub fn build_libegl(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "eglMakeCurrent",
-            Rc::new(move |k, _t, args| {
+            Arc::new(move |k, _t, args| {
                 k.charge_cpu(2_500);
                 let ctx = crate::gles::ContextId(
                     args.first().copied().unwrap_or(0) as u64,
                 );
-                g.borrow_mut().egl.make_current(ctx).map(|_| 0)
+                g.lock().unwrap().egl.make_current(ctx).map(|_| 0)
             }),
         );
     }
@@ -367,8 +370,8 @@ pub fn build_libegl(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "eglSwapBuffers",
-            Rc::new(move |k, _t, _args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, _args| {
+                let mut s = g.lock().unwrap();
                 let GfxStack {
                     gpu,
                     egl,
@@ -389,11 +392,12 @@ pub fn build_libgralloc(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "gralloc_alloc",
-            Rc::new(move |k, _t, args| {
+            Arc::new(move |k, _t, args| {
                 k.charge_cpu(9_000); // ion allocation + map
                 let w = args.first().copied().unwrap_or(0) as u32;
                 let h = args.get(1).copied().unwrap_or(0) as u32;
-                g.borrow_mut()
+                g.lock()
+                    .unwrap()
                     .gralloc
                     .alloc(w, h, PixelFormat::Rgba8888)
                     .map(|b| b.0 as i64)
@@ -404,10 +408,10 @@ pub fn build_libgralloc(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "gralloc_lock",
-            Rc::new(move |k, _t, args| {
+            Arc::new(move |k, _t, args| {
                 k.charge_cpu(600);
                 let id = BufferId(args.first().copied().unwrap_or(0) as u64);
-                let mut s = g.borrow_mut();
+                let mut s = g.lock().unwrap();
                 let b = s.gralloc.get_mut(id)?;
                 if b.locked {
                     return Err(Errno::EBUSY);
@@ -421,10 +425,10 @@ pub fn build_libgralloc(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "gralloc_unlock",
-            Rc::new(move |k, _t, args| {
+            Arc::new(move |k, _t, args| {
                 k.charge_cpu(600);
                 let id = BufferId(args.first().copied().unwrap_or(0) as u64);
-                let mut s = g.borrow_mut();
+                let mut s = g.lock().unwrap();
                 let b = s.gralloc.get_mut(id)?;
                 if !b.locked {
                     return Err(Errno::EINVAL);
@@ -438,10 +442,10 @@ pub fn build_libgralloc(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "gralloc_retain",
-            Rc::new(move |k, _t, args| {
+            Arc::new(move |k, _t, args| {
                 k.charge_cpu(300);
                 let id = BufferId(args.first().copied().unwrap_or(0) as u64);
-                g.borrow_mut().gralloc.retain(id).map(|_| 0)
+                g.lock().unwrap().gralloc.retain(id).map(|_| 0)
             }),
         );
     }
@@ -449,10 +453,10 @@ pub fn build_libgralloc(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "gralloc_release",
-            Rc::new(move |k, _t, args| {
+            Arc::new(move |k, _t, args| {
                 k.charge_cpu(300);
                 let id = BufferId(args.first().copied().unwrap_or(0) as u64);
-                g.borrow_mut().gralloc.release(id).map(|_| 0)
+                g.lock().unwrap().gralloc.release(id).map(|_| 0)
             }),
         );
     }
@@ -469,9 +473,9 @@ pub fn build_libeglbridge(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "EAGLBridge_initWithAPI",
-            Rc::new(move |k, _t, _args| {
+            Arc::new(move |k, _t, _args| {
                 k.charge_cpu(5_000);
-                Ok(g.borrow_mut().egl.create_context().0 as i64)
+                Ok(g.lock().unwrap().egl.create_context().0 as i64)
             }),
         );
     }
@@ -479,12 +483,12 @@ pub fn build_libeglbridge(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "EAGLBridge_setCurrent",
-            Rc::new(move |k, _t, args| {
+            Arc::new(move |k, _t, args| {
                 k.charge_cpu(2_500);
                 let ctx = crate::gles::ContextId(
                     args.first().copied().unwrap_or(0) as u64,
                 );
-                g.borrow_mut().egl.make_current(ctx).map(|_| 0)
+                g.lock().unwrap().egl.make_current(ctx).map(|_| 0)
             }),
         );
     }
@@ -492,7 +496,7 @@ pub fn build_libeglbridge(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "EAGLBridge_renderbufferStorage",
-            Rc::new(move |k, _t, args| {
+            Arc::new(move |k, _t, args| {
                 // Window memory comes from SurfaceFlinger, so "Cider
                 // manage[s] the iOS display in the same manner that all
                 // Android app windows are managed" (§5.3).
@@ -502,7 +506,7 @@ pub fn build_libeglbridge(gfx: &SharedGfx) -> NativeLibrary {
                 );
                 let w = args.get(1).copied().unwrap_or(0) as u32;
                 let h = args.get(2).copied().unwrap_or(0) as u32;
-                let mut s = g.borrow_mut();
+                let mut s = g.lock().unwrap();
                 let GfxStack {
                     egl,
                     flinger,
@@ -518,8 +522,8 @@ pub fn build_libeglbridge(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "EAGLBridge_present",
-            Rc::new(move |k, _t, _args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, _args| {
+                let mut s = g.lock().unwrap();
                 let GfxStack {
                     gpu,
                     egl,
@@ -536,8 +540,8 @@ pub fn build_libeglbridge(gfx: &SharedGfx) -> NativeLibrary {
         let g = gfx.clone();
         lib.export(
             "glClientWaitSync_cider",
-            Rc::new(move |k, _t, args| {
-                let mut s = g.borrow_mut();
+            Arc::new(move |k, _t, args| {
+                let mut s = g.lock().unwrap();
                 let was = s.gpu.fence_bug;
                 s.gpu.fence_bug = true;
                 let GfxStack { gpu, egl, .. } = &mut *s;
@@ -572,7 +576,7 @@ pub fn install_gfx(
     sys: &mut CiderSystem,
     config: GfxConfig,
 ) -> (SharedGfx, GfxInstallReport) {
-    let gfx: SharedGfx = Rc::new(RefCell::new(GfxStack::new()));
+    let gfx: SharedGfx = Arc::new(Mutex::new(GfxStack::new()));
 
     sys.register_library(build_libglesv2(&gfx));
     sys.register_library(build_libegl(&gfx));
@@ -700,7 +704,7 @@ mod tests {
             .unwrap();
         sys.diplomat_call(tid, lib, "EAGLContext_presentRenderbuffer", &[])
             .unwrap();
-        let g = gfx.borrow();
+        let g = gfx.lock().unwrap();
         assert_eq!(g.flinger.frames_presented, 1);
         assert!(g.gpu.gpu_busy_ns > 0);
     }
@@ -726,9 +730,9 @@ mod tests {
         let fence = sys.diplomat_call(tid, lib, "glFenceSync", &[]).unwrap();
         sys.diplomat_call(tid, lib, "glClientWaitSync", &[fence])
             .unwrap();
-        assert_eq!(gfx.borrow().gpu.bug_stalls, 1);
+        assert_eq!(gfx.lock().unwrap().gpu.bug_stalls, 1);
         // The domestic path stays correct.
-        assert!(!gfx.borrow().gpu.fence_bug);
+        assert!(!gfx.lock().unwrap().gpu.fence_bug);
     }
 
     #[test]
@@ -740,7 +744,7 @@ mod tests {
         let buf = sys
             .diplomat_call(tid, lib, "IOSurfaceCreate", &[256, 256])
             .unwrap();
-        assert_eq!(gfx.borrow().gralloc.live(), 1);
+        assert_eq!(gfx.lock().unwrap().gralloc.live(), 1);
         sys.diplomat_call(tid, lib, "IOSurfaceLock", &[buf])
             .unwrap();
         assert_eq!(
@@ -751,6 +755,6 @@ mod tests {
             .unwrap();
         sys.diplomat_call(tid, lib, "IOSurfaceDecrementUseCount", &[buf])
             .unwrap();
-        assert_eq!(gfx.borrow().gralloc.live(), 0);
+        assert_eq!(gfx.lock().unwrap().gralloc.live(), 0);
     }
 }

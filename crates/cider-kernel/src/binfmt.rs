@@ -6,7 +6,7 @@
 //! registers the Mach-O loader that tags threads with the iOS persona.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cider_abi::errno::Errno;
 use cider_abi::ids::Tid;
@@ -38,7 +38,11 @@ pub struct LoadedProgram {
 }
 
 /// A binary-format loader.
-pub trait BinaryLoader: fmt::Debug {
+///
+/// Loaders are `Send + Sync`: the kernel holding them must cross thread
+/// boundaries when whole devices are farmed out to fleet workers, so
+/// loader state is immutable configuration, never per-exec scratch.
+pub trait BinaryLoader: fmt::Debug + Send + Sync {
     /// Loader name.
     fn name(&self) -> &'static str;
 
@@ -61,7 +65,7 @@ pub trait BinaryLoader: fmt::Debug {
 }
 
 /// Reference-counted loader handle as stored in the kernel.
-pub type BinaryLoaderRef = Rc<dyn BinaryLoader>;
+pub type BinaryLoaderRef = Arc<dyn BinaryLoader>;
 
 #[cfg(test)]
 mod tests {

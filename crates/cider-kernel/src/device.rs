@@ -7,7 +7,7 @@
 //! Kit bridge in `cider-core` installs one to publish device-class
 //! instances.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cider_abi::errno::Errno;
 
@@ -27,7 +27,10 @@ pub struct KernelDevice {
 }
 
 /// Observer of device registration — the Cider I/O Kit bridge.
-pub trait DeviceAddHook {
+///
+/// Hooks are `Send + Sync` so a kernel holding them can migrate to a
+/// fleet worker thread; observers needing mutation use a `Mutex`.
+pub trait DeviceAddHook: Send + Sync {
     /// Called once for every device added after hook installation, and
     /// retroactively for devices already present when the hook installs.
     fn device_added(&self, dev: &KernelDevice);
@@ -37,7 +40,7 @@ pub trait DeviceAddHook {
 #[derive(Default)]
 pub struct DeviceRegistry {
     devices: Vec<KernelDevice>,
-    hooks: Vec<Rc<dyn DeviceAddHook>>,
+    hooks: Vec<Arc<dyn DeviceAddHook>>,
     next_id: u32,
 }
 
@@ -87,7 +90,7 @@ impl DeviceRegistry {
     }
 
     /// Installs a hook; it immediately observes all existing devices.
-    pub fn add_hook(&mut self, hook: Rc<dyn DeviceAddHook>) {
+    pub fn add_hook(&mut self, hook: Arc<dyn DeviceAddHook>) {
         for dev in &self.devices {
             hook.device_added(dev);
         }
@@ -123,16 +126,16 @@ impl DeviceRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
+    use std::sync::Mutex;
 
     #[derive(Default)]
     struct Recorder {
-        seen: RefCell<Vec<String>>,
+        seen: Mutex<Vec<String>>,
     }
 
     impl DeviceAddHook for Recorder {
         fn device_added(&self, dev: &KernelDevice) {
-            self.seen.borrow_mut().push(dev.name.clone());
+            self.seen.lock().unwrap().push(dev.name.clone());
         }
     }
 
@@ -156,18 +159,18 @@ mod tests {
     #[test]
     fn hooks_fire_for_new_devices() {
         let mut r = DeviceRegistry::new();
-        let rec = Rc::new(Recorder::default());
+        let rec = Arc::new(Recorder::default());
         r.add_hook(rec.clone());
         r.add("touchscreen", "input", "/dev/input/event0").unwrap();
-        assert_eq!(*rec.seen.borrow(), vec!["touchscreen"]);
+        assert_eq!(*rec.seen.lock().unwrap(), vec!["touchscreen"]);
     }
 
     #[test]
     fn hooks_observe_existing_devices_retroactively() {
         let mut r = DeviceRegistry::new();
         r.add("gpu", "gpu", "/dev/nvhost").unwrap();
-        let rec = Rc::new(Recorder::default());
+        let rec = Arc::new(Recorder::default());
         r.add_hook(rec.clone());
-        assert_eq!(*rec.seen.borrow(), vec!["gpu"]);
+        assert_eq!(*rec.seen.lock().unwrap(), vec!["gpu"]);
     }
 }

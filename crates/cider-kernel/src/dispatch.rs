@@ -23,7 +23,7 @@
 
 use std::borrow::Cow;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cider_abi::convention::CpuFlags;
 use cider_abi::errno::Errno;
@@ -351,7 +351,7 @@ pub struct UserTrapResult {
 }
 
 /// A kernel ABI personality — the per-persona syscall entry/exit code.
-pub trait Personality: fmt::Debug {
+pub trait Personality: fmt::Debug + Send + Sync {
     /// Name for diagnostics ("linux", "xnu", "xnu-native").
     fn name(&self) -> &'static str;
 
@@ -402,7 +402,7 @@ pub trait Personality: fmt::Debug {
 }
 
 /// A reference-counted personality handle as stored in the kernel.
-pub type PersonalityRef = Rc<dyn Personality>;
+pub type PersonalityRef = Arc<dyn Personality>;
 
 #[cfg(test)]
 mod tests {

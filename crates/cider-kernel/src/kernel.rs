@@ -18,7 +18,7 @@
 
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cider_abi::convention::CpuFlags;
 use cider_abi::errno::Errno;
@@ -47,7 +47,10 @@ use crate::profile::DeviceProfile;
 use crate::vfs::Vfs;
 
 /// A registered program behaviour: the "main" of a simulated binary.
-pub type ProgramBehavior = Rc<dyn Fn(&mut Kernel, Tid) -> i32>;
+///
+/// Behaviours are `Send + Sync` closures so a booted kernel — programs
+/// and all — can be handed to a fleet worker thread.
+pub type ProgramBehavior = Arc<dyn Fn(&mut Kernel, Tid) -> i32 + Send + Sync>;
 
 /// Typed storage for kernel extensions — state that higher layers
 /// (Cider) compile into the kernel. Handlers `take` their state out,
@@ -55,7 +58,7 @@ pub type ProgramBehavior = Rc<dyn Fn(&mut Kernel, Tid) -> i32>;
 /// back.
 #[derive(Default)]
 pub struct Extensions {
-    map: HashMap<std::any::TypeId, Box<dyn std::any::Any>>,
+    map: HashMap<std::any::TypeId, Box<dyn std::any::Any + Send>>,
 }
 
 impl std::fmt::Debug for Extensions {
@@ -66,7 +69,7 @@ impl std::fmt::Debug for Extensions {
 
 impl Extensions {
     /// Stores a value, replacing any previous value of the same type.
-    pub fn insert<T: 'static>(&mut self, value: T) {
+    pub fn insert<T: Send + 'static>(&mut self, value: T) {
         self.map
             .insert(std::any::TypeId::of::<T>(), Box::new(value));
     }
@@ -96,7 +99,7 @@ impl Extensions {
 
 /// Hook invoked after every successful `fork` (Cider uses this for Mach
 /// IPC task initialisation).
-pub trait ForkHook {
+pub trait ForkHook: Send + Sync {
     /// Observe a completed fork.
     fn post_fork(&self, k: &mut Kernel, parent: Pid, child: Pid);
 }
@@ -168,7 +171,7 @@ pub struct Kernel {
     next_wait_channel: u64,
     personalities: Vec<PersonalityRef>,
     binfmts: Vec<BinaryLoaderRef>,
-    fork_hooks: Vec<Rc<dyn ForkHook>>,
+    fork_hooks: Vec<Arc<dyn ForkHook>>,
     programs: HashMap<String, ProgramBehavior>,
     current: Option<Tid>,
     cider_enabled: bool,
@@ -229,7 +232,7 @@ impl Kernel {
             linux_personality: 0,
             scratch: Vec::new(),
         };
-        let linux = Rc::new(LinuxPersonality::new());
+        let linux = Arc::new(LinuxPersonality::new());
         k.linux_personality = k.register_personality(linux);
         // Registering the first (native) personality does not make the
         // kernel a multi-persona kernel.
@@ -285,7 +288,7 @@ impl Kernel {
     }
 
     /// Registers a post-fork hook.
-    pub fn register_fork_hook(&mut self, h: Rc<dyn ForkHook>) {
+    pub fn register_fork_hook(&mut self, h: Arc<dyn ForkHook>) {
         self.fork_hooks.push(h);
     }
 
@@ -2274,7 +2277,7 @@ mod tests {
                 })
             }
         }
-        k.register_binfmt(Rc::new(RawLoader));
+        k.register_binfmt(Arc::new(RawLoader));
         k.vfs.write_file("/tmp/prog", b"RAWdata".to_vec()).unwrap();
         k.sys_exec(tid, "/tmp/prog", &[]).unwrap();
         assert_eq!(k.counters.atexit_callbacks, 0);
@@ -2362,7 +2365,7 @@ mod tests {
         let (pid, tid) = k.spawn_process();
         k.register_program(
             "hello",
-            Rc::new(|k: &mut Kernel, tid| {
+            Arc::new(|k: &mut Kernel, tid| {
                 let _ = k.sys_write(tid, Fd::STDOUT, b"hello, world\n");
                 0
             }),

@@ -17,7 +17,7 @@ pub type PersonalityId = usize;
 
 /// Extension state a higher layer (Cider) attaches to a thread — persona
 /// bookkeeping lives here without the base kernel knowing its shape.
-pub trait ThreadExt: fmt::Debug {
+pub trait ThreadExt: fmt::Debug + Send {
     /// Upcast for downcasting by the owning layer.
     fn as_any(&self) -> &dyn Any;
     /// Mutable upcast.

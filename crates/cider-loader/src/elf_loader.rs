@@ -173,7 +173,7 @@ mod tests {
     fn setup() -> (Kernel, Tid) {
         let mut k = Kernel::boot(DeviceProfile::nexus7());
         install_android_system(&mut k.vfs);
-        k.register_binfmt(std::rc::Rc::new(ElfLoader::new()));
+        k.register_binfmt(std::sync::Arc::new(ElfLoader::new()));
         let (_, tid) = k.spawn_process();
         (k, tid)
     }

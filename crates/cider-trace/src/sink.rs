@@ -3,16 +3,19 @@
 //! A sink is either *disabled* — every call is a no-op on a `None`, no
 //! allocation, no interior mutability touched — or *enabled*, in which
 //! case events land in a shared [`TraceBuffer`] and metrics in a shared
-//! [`Metrics`] registry. Handles clone cheaply (an `Option<Rc>`), so the
+//! [`Metrics`] registry. Handles clone cheaply (an `Option<Arc>`), so the
 //! kernel, the Cider layer, and the graphics stack can all hold one
-//! without ownership gymnastics.
+//! without ownership gymnastics, and a traced kernel stays `Send` so
+//! whole devices can be farmed out to fleet worker threads. The mutex
+//! is never contended in practice — each simulated device owns its own
+//! sink — so the lock is a formality the type system demands, not a
+//! synchronization point.
 //!
 //! Nothing in this module touches the virtual clock: recording cannot
 //! perturb a measurement, which is the subsystem's core invariant.
 
 use std::borrow::Cow;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::event::{EventKind, TraceContext, TraceEvent};
 use crate::metrics::{Metrics, MetricsSnapshot};
@@ -31,7 +34,7 @@ struct TraceState {
 /// A cheap, cloneable tracing handle; inert when disabled.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSink {
-    state: Option<Rc<RefCell<TraceState>>>,
+    state: Option<Arc<Mutex<TraceState>>>,
 }
 
 /// A frozen copy of everything a sink collected.
@@ -54,7 +57,7 @@ impl TraceSink {
     /// An active sink retaining up to `capacity` events.
     pub fn enabled(capacity: usize) -> TraceSink {
         TraceSink {
-            state: Some(Rc::new(RefCell::new(TraceState {
+            state: Some(Arc::new(Mutex::new(TraceState {
                 buffer: TraceBuffer::new(capacity),
                 metrics: Metrics::new(),
             }))),
@@ -74,7 +77,7 @@ impl TraceSink {
     /// Records one event.
     pub fn record(&self, ctx: TraceContext, kind: EventKind) {
         if let Some(state) = &self.state {
-            state.borrow_mut().buffer.push(TraceEvent { ctx, kind });
+            state.lock().unwrap().buffer.push(TraceEvent { ctx, kind });
         }
     }
 
@@ -90,7 +93,7 @@ impl TraceSink {
     /// Adds to a named counter.
     pub fn add(&self, name: &str, delta: u64) {
         if let Some(state) = &self.state {
-            state.borrow_mut().metrics.add(name, delta);
+            state.lock().unwrap().metrics.add(name, delta);
         }
     }
 
@@ -102,27 +105,27 @@ impl TraceSink {
     /// Records a histogram observation.
     pub fn observe(&self, name: &str, value: u64) {
         if let Some(state) = &self.state {
-            state.borrow_mut().metrics.observe(name, value);
+            state.lock().unwrap().metrics.observe(name, value);
         }
     }
 
     /// Reads a counter (0 when disabled or absent).
     pub fn counter(&self, name: &str) -> u64 {
         match &self.state {
-            Some(state) => state.borrow().metrics.counter(name),
+            Some(state) => state.lock().unwrap().metrics.counter(name),
             None => 0,
         }
     }
 
     /// Runs a closure against the live metrics registry, when enabled.
     pub fn with_metrics<R>(&self, f: impl FnOnce(&Metrics) -> R) -> Option<R> {
-        self.state.as_ref().map(|s| f(&s.borrow().metrics))
+        self.state.as_ref().map(|s| f(&s.lock().unwrap().metrics))
     }
 
     /// Snapshots everything collected so far (`None` when disabled).
     pub fn snapshot(&self) -> Option<TraceSnapshot> {
         self.state.as_ref().map(|state| {
-            let state = state.borrow();
+            let state = state.lock().unwrap();
             TraceSnapshot {
                 events: state.buffer.to_vec(),
                 dropped: state.buffer.dropped(),
@@ -134,7 +137,7 @@ impl TraceSink {
     /// Clears collected events and metrics, keeping the sink enabled.
     pub fn clear(&self) {
         if let Some(state) = &self.state {
-            let mut state = state.borrow_mut();
+            let mut state = state.lock().unwrap();
             state.buffer.clear();
             state.metrics.clear();
         }

@@ -23,7 +23,7 @@ pub struct UserClientId(pub u32);
 
 /// A driver class instance — what a C++ `IOService` subclass object is.
 /// `cider-gfx` implements this for `AppleM2CLCD`.
-pub trait IoDriver {
+pub trait IoDriver: Send {
     /// The C++ class name.
     fn class_name(&self) -> &'static str;
 
@@ -92,7 +92,8 @@ pub struct MatchRule {
 /// used to instantiate driver objects by name.
 #[derive(Default)]
 pub struct OsMetaClass {
-    factories: BTreeMap<String, Box<dyn Fn() -> Box<dyn IoDriver>>>,
+    factories:
+        BTreeMap<String, Box<dyn Fn() -> Box<dyn IoDriver> + Send + Sync>>,
 }
 
 impl fmt::Debug for OsMetaClass {
@@ -108,7 +109,7 @@ impl OsMetaClass {
     pub fn register_class(
         &mut self,
         name: impl Into<String>,
-        factory: Box<dyn Fn() -> Box<dyn IoDriver>>,
+        factory: Box<dyn Fn() -> Box<dyn IoDriver> + Send + Sync>,
     ) {
         self.factories.insert(name.into(), factory);
     }

@@ -45,7 +45,7 @@ fn main() {
     let binary = install_ipa_with_shortcut(&mut sys, &mut launcher, &ipa)
         .expect("install");
     sys.kernel
-        .register_program("calc_main", std::rc::Rc::new(|_, _| 0));
+        .register_program("calc_main", std::sync::Arc::new(|_, _| 0));
 
     let mut cp = CiderPress::launch(&mut sys, &gfx, &binary).expect("launch");
     println!("Calculator Pro launched under CiderPress");
@@ -114,7 +114,7 @@ fn main() {
         sys.services.config_value("network").unwrap_or("?")
     );
 
-    let frames = gfx.borrow().flinger.frames_presented;
+    let frames = gfx.lock().unwrap().flinger.frames_presented;
     println!(
         "rendered {frames} frames through diplomatic OpenGL ES \
          ({} diplomat calls total)",
@@ -123,7 +123,7 @@ fn main() {
 
     // Home button: pause, screenshot into recents, then quit.
     cp.pause(&mut sys, &gfx).expect("pause");
-    if let Some((_, shot)) = gfx.borrow().last_screenshot_of() {
+    if let Some((_, shot)) = gfx.lock().unwrap().last_screenshot_of() {
         launcher.push_recent("Calculator Pro", shot);
     }
     cp.stop(&mut sys, &gfx).expect("stop");

@@ -34,7 +34,7 @@ fn main() {
     .expect("decrypt");
     let binary = install_ipa(&mut sys, &ipa).expect("install");
     sys.kernel
-        .register_program("game_main", std::rc::Rc::new(|_, _| 0));
+        .register_program("game_main", std::sync::Arc::new(|_, _| 0));
     let mut cp = CiderPress::launch(&mut sys, &gfx, &binary).expect("launch");
     let input_tid = cp.app.1;
 
@@ -124,7 +124,7 @@ fn main() {
     println!(
         "game loop done: {frames} draw calls, {} composited frames, \
          virtual time {:.2} ms",
-        gfx.borrow().flinger.frames_presented,
+        gfx.lock().unwrap().flinger.frames_presented,
         sys.kernel.clock.now_ns() as f64 / 1e6
     );
     assert!(zoom > 1.0, "net zoom in");

@@ -49,7 +49,7 @@ fn main() {
     // 4. Register what the app's main() does, then tap the shortcut.
     sys.kernel.register_program(
         "app_main",
-        std::rc::Rc::new(|k, tid| {
+        std::sync::Arc::new(|k, tid| {
             let _ = k.sys_write(
                 tid,
                 cider_abi::ids::Fd::STDOUT,

@@ -1,7 +1,7 @@
 //! Prints the full evaluation: Figure 5, Figure 6, and the ablations.
 //!
 //! ```text
-//! cargo run --release -p cider-bench --bin cider-report [-- --raw] [-- --trace]
+//! cargo run --release --bin cider-report [-- --raw] [-- --trace] [-- --fleet]
 //! ```
 //!
 //! With `--raw`, the tables additionally list the raw virtual-time
@@ -20,6 +20,13 @@
 //! conformance matrix from `cider-conform` (default seed and program
 //! count): per-personality agreement across outcome, VFS state,
 //! fd-table shape, cwd, and Mach port topology.
+//!
+//! With `--fleet`, the report ends with fleet-level percentile tables
+//! from `cider-fleet`: a 64-device mixed-persona fleet per workload
+//! (lmbench mix and launch storm), p50/p95/p99 per group. Host-side
+//! fleet progress (`fleet/devices_completed`, per-device wall-clock)
+//! is traced and exported as Chrome `trace_event` JSON under
+//! `target/trace/fleet.trace.json`.
 
 use std::fs;
 use std::path::Path;
@@ -109,10 +116,80 @@ fn dump_trace(config: SystemConfig, snap: &TraceSnapshot, dir: &Path) {
     println!();
 }
 
+fn print_fleet_group(name: &str, g: &cider_fleet::report::GroupReport) {
+    println!(
+        "  {name}: {} devices, {} units, {} faults, {} recoveries",
+        g.devices, g.units_total, g.faults_total, g.recoveries_total
+    );
+    for (counter, p) in &g.counters {
+        println!(
+            "    {counter:<28} p50 {:>12}  p95 {:>12}  p99 {:>12}",
+            p.p50, p.p95, p.p99
+        );
+    }
+    for (latency, p) in &g.latencies {
+        println!(
+            "    {latency:<28} p50 {:>9} ns  p95 {:>9} ns  p99 {:>9} ns",
+            p.p50, p.p95, p.p99
+        );
+    }
+    if let Some(p) = &g.launches_per_vsec_milli {
+        println!(
+            "    {:<28} p50 {:>9.3}  p95 {:>9.3}  p99 {:>9.3}",
+            "launches/vsec",
+            p.p50 as f64 / 1000.0,
+            p.p95 as f64 / 1000.0,
+            p.p99 as f64 / 1000.0
+        );
+    }
+}
+
+fn print_fleet(dir: &Path) {
+    use cider_fleet::{
+        driver::run_fleet_with_sink, FleetReport, FleetSpec, Workload,
+    };
+    let sink = cider_trace::TraceSink::enabled_default();
+    for workload in [
+        Workload::LmbenchMix { ops: 16 },
+        Workload::LaunchStorm { launches: 8 },
+    ] {
+        let spec = FleetSpec::new(64, 42, workload).host_threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        );
+        let run = run_fleet_with_sink(&spec, &sink);
+        let report = FleetReport::from_run(&run);
+        println!(
+            "### fleet: {} x{} devices (mix {}), fingerprint {:016x}",
+            report.workload,
+            report.devices,
+            report.mix,
+            report.fleet_fingerprint
+        );
+        for (name, group) in &report.groups {
+            print_fleet_group(name, group);
+        }
+        println!();
+    }
+    if let Some(snap) = sink.snapshot() {
+        println!(
+            "fleet host progress: {} devices completed",
+            snap.metrics.counter("fleet/devices_completed")
+        );
+        let path = dir.join("fleet.trace.json");
+        match fs::write(&path, chrome::export(&snap)) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => println!("write {} failed: {e}", path.display()),
+        }
+    }
+}
+
 fn main() {
     let raw = std::env::args().any(|a| a == "--raw");
     let trace = std::env::args().any(|a| a == "--trace");
     let conform = std::env::args().any(|a| a == "--conform");
+    let fleet = std::env::args().any(|a| a == "--fleet");
     println!("Cider reproduction — full evaluation (virtual time)\n");
     let fig5 = if trace {
         let (fig5, snapshots) = cider_bench::fig5::run_traced();
@@ -159,5 +236,13 @@ fn main() {
         let cfg = EngineConfig::default();
         println!("\n## Conformance (cider-conform)");
         print!("{}", run_engine(&cfg).render(cfg.seed));
+    }
+    if fleet {
+        println!("\n## Fleet simulation (cider-fleet)");
+        let dir = Path::new("target").join("trace");
+        if let Err(e) = fs::create_dir_all(&dir) {
+            println!("cannot create {}: {e}", dir.display());
+        }
+        print_fleet(&dir);
     }
 }

@@ -15,7 +15,7 @@ fn booted() -> (CiderSystem, SharedGfx) {
     let mut sys = CiderSystem::new(DeviceProfile::nexus7());
     let (gfx, _) = install_gfx(&mut sys, GfxConfig::default());
     sys.kernel
-        .register_program("app_main", std::rc::Rc::new(|_, _| 0));
+        .register_program("app_main", std::sync::Arc::new(|_, _| 0));
     (sys, gfx)
 }
 
@@ -72,7 +72,7 @@ fn full_app_lifecycle() {
         .unwrap();
     sys.diplomat_call(tid, lib, "EAGLContext_presentRenderbuffer", &[])
         .unwrap();
-    assert_eq!(gfx.borrow().flinger.frames_presented, 1);
+    assert_eq!(gfx.lock().unwrap().flinger.frames_presented, 1);
 
     // Lifecycle: pause, resume, stop.
     cp.pause(&mut sys, &gfx).unwrap();
@@ -225,7 +225,7 @@ fn screenshot_flows_into_recents() {
 
     // Draw into the proxied surface and composite.
     {
-        let mut g = gfx.borrow_mut();
+        let mut g = gfx.lock().unwrap();
         let buf = g.flinger.dequeue_buffer(cp.surface).unwrap();
         g.gralloc.get_mut(buf).unwrap().pixels[0] = 0xC1DE;
         g.flinger.queue_buffer(cp.surface).unwrap();
@@ -238,7 +238,8 @@ fn screenshot_flows_into_recents() {
         flinger.composite(&mut sys.kernel, gpu, gralloc);
     }
     let shot = gfx
-        .borrow()
+        .lock()
+        .unwrap()
         .flinger
         .last_screenshot
         .clone()

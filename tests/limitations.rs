@@ -108,7 +108,7 @@ fn webkit_multithreaded_gl_is_hazardous() {
     sys.diplomat_call(t1, lib, "glDrawArrays", &[4, 0, 30])
         .unwrap();
     {
-        let g = gfx.borrow();
+        let g = gfx.lock().unwrap();
         let c1 = g
             .egl
             .context(cider_gfx::gles::ContextId(ctx1 as u64))

@@ -21,7 +21,7 @@ fn booted_with_app() -> (CiderSystem, cider_abi::ids::Pid, cider_abi::ids::Tid)
     let mut sys = CiderSystem::new(DeviceProfile::nexus7());
     let (_, _) = install_gfx(&mut sys, GfxConfig::default());
     sys.kernel
-        .register_program("app_main", std::rc::Rc::new(|_, _| 0));
+        .register_program("app_main", std::sync::Arc::new(|_, _| 0));
     let mut b = MachOBuilder::executable("app_main");
     for dep in FrameworkSet::app_default_deps() {
         b = b.depends_on(&dep);

@@ -20,7 +20,7 @@ fn booted() -> CiderSystem {
     let mut sys = CiderSystem::new(DeviceProfile::nexus7());
     let (_, _) = install_gfx(&mut sys, GfxConfig::default());
     sys.kernel
-        .register_program("app_main", std::rc::Rc::new(|_, _| 0));
+        .register_program("app_main", std::sync::Arc::new(|_, _| 0));
     sys
 }
 
@@ -168,7 +168,7 @@ fn posix_spawn_via_clone_and_exec() {
     let (_, tid) = launch_ios(&mut sys);
     sys.kernel.register_program(
         "hello_world",
-        std::rc::Rc::new(|k, tid| {
+        std::sync::Arc::new(|k, tid| {
             let _ = k.sys_write(tid, cider_abi::ids::Fd::STDOUT, b"spawned\n");
             0
         }),

@@ -3,19 +3,20 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the tiny subset of `bytes` it actually uses: [`Bytes`], a
 //! cheaply cloneable, immutable, contiguous byte container. Reference
-//! counting uses `Rc` rather than atomics because the simulator is
-//! single-threaded by design.
+//! counting uses `Arc`, matching the real crate, so values holding
+//! `Bytes` stay `Send` and whole simulated devices can migrate across
+//! fleet worker threads.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A cheaply cloneable immutable slice of bytes.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Rc<[u8]>,
+    data: Arc<[u8]>,
 }
 
 impl Bytes {
@@ -27,7 +28,7 @@ impl Bytes {
     /// Copies a slice into a new `Bytes`.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
         Bytes {
-            data: Rc::from(data),
+            data: Arc::from(data),
         }
     }
 
@@ -73,7 +74,7 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: Rc::from(v) }
+        Bytes { data: Arc::from(v) }
     }
 }
 
