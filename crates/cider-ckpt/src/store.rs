@@ -1,0 +1,139 @@
+//! Per-device checkpoint retention with exponential spacing.
+//!
+//! A healing fleet driver wants early checkpoints dense (a young
+//! device has little to lose but also little to replay) and later
+//! checkpoints sparse (capture costs grow with state size, and a
+//! mature device crashes rarely). [`SpacingPolicy`] doubles the gap
+//! between snapshots after each capture, up to a cap;
+//! [`CheckpointStore`] keeps the most recent frames as raw bytes —
+//! raw, not decoded, because corruption is injected (and detected) at
+//! the storage boundary.
+
+/// When to take the next periodic checkpoint, in workload units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpacingPolicy {
+    interval: u64,
+    max_interval: u64,
+    next_at: u64,
+}
+
+impl SpacingPolicy {
+    /// Doubling spacing starting at `base` units, capped at
+    /// `max_interval`. The first due point is unit `base`.
+    pub fn exponential(base: u64, max_interval: u64) -> SpacingPolicy {
+        let base = base.max(1);
+        SpacingPolicy {
+            interval: base,
+            max_interval: max_interval.max(base),
+            next_at: base,
+        }
+    }
+
+    /// Whether a checkpoint is due at `cursor` (units completed).
+    pub fn due(&self, cursor: u64) -> bool {
+        cursor >= self.next_at
+    }
+
+    /// Records that a checkpoint was taken at `cursor` and doubles the
+    /// gap to the next one.
+    pub fn taken(&mut self, cursor: u64) {
+        self.interval = (self.interval * 2).min(self.max_interval);
+        self.next_at = cursor + self.interval;
+    }
+
+    /// The unit at which the next checkpoint falls due.
+    pub fn next_at(&self) -> u64 {
+        self.next_at
+    }
+}
+
+/// The retained checkpoint frames of one device, newest last.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    frames: Vec<(u64, Vec<u8>)>,
+    capacity: usize,
+    written_total: u64,
+}
+
+impl CheckpointStore {
+    /// A store retaining up to `capacity` frames (oldest evicted
+    /// first). The cursor-0 baseline, when present, is never evicted:
+    /// it is the restore path of last resort.
+    pub fn with_capacity(capacity: usize) -> CheckpointStore {
+        CheckpointStore {
+            frames: Vec::new(),
+            capacity: capacity.max(2),
+            written_total: 0,
+        }
+    }
+
+    /// Stores a frame captured at `cursor`.
+    pub fn push(&mut self, cursor: u64, bytes: Vec<u8>) {
+        self.frames.push((cursor, bytes));
+        self.written_total += 1;
+        if self.frames.len() > self.capacity {
+            // Evict the oldest non-baseline frame.
+            let victim = if self.frames[0].0 == 0 { 1 } else { 0 };
+            self.frames.remove(victim);
+        }
+    }
+
+    /// Frames currently retained.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total frames ever written (eviction does not subtract).
+    pub fn written_total(&self) -> u64 {
+        self.written_total
+    }
+
+    /// Restore candidates, newest first: `(cursor, bytes)`.
+    pub fn candidates(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.frames.iter().rev().map(|(c, b)| (*c, b.as_slice()))
+    }
+
+    /// The newest retained cursor.
+    pub fn newest_cursor(&self) -> Option<u64> {
+        self.frames.last().map(|(c, _)| *c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spacing_doubles_up_to_cap() {
+        let mut p = SpacingPolicy::exponential(2, 16);
+        let mut taken_at = Vec::new();
+        for cursor in 0..200u64 {
+            if p.due(cursor) {
+                taken_at.push(cursor);
+                p.taken(cursor);
+            }
+        }
+        // Gaps: 4, 8, 16, then capped at 16.
+        assert_eq!(&taken_at[..6], &[2, 6, 14, 30, 46, 62]);
+    }
+
+    #[test]
+    fn store_keeps_baseline_and_newest() {
+        let mut s = CheckpointStore::with_capacity(3);
+        s.push(0, vec![0]);
+        for c in [2u64, 6, 14, 30] {
+            s.push(c, vec![c as u8]);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.written_total(), 5);
+        let cursors: Vec<u64> = s.candidates().map(|(c, _)| c).collect();
+        // Newest first, baseline retained.
+        assert_eq!(cursors, vec![30, 14, 0]);
+        assert_eq!(s.newest_cursor(), Some(30));
+    }
+}

@@ -1,0 +1,166 @@
+//! The byte encoding underneath images and checkpoints.
+//!
+//! Everything is little-endian and length-prefixed; there is no
+//! padding, no alignment, and no variable-width integers — the format
+//! favours auditability over compactness (checkpoints live in memory
+//! and CI artifacts, not on flash).
+
+/// Appends primitive values to a byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Finishes and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes with no length prefix (framing magic).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` length prefix followed by the bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(bytes.len() as u32);
+        self.put_raw(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Reads primitive values back out of a byte slice, tracking the
+/// cursor and failing loudly (with `None`) on truncation.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current cursor position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Option<u32> {
+        let raw = self.get_raw(4)?;
+        Some(u32::from_le_bytes(raw.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        let raw = self.get_raw(8)?;
+        Some(u64::from_le_bytes(raw.try_into().ok()?))
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Option<&'a [u8]> {
+        let n = self.get_u32()? as usize;
+        self.get_raw(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Option<String> {
+        let raw = self.get_bytes()?;
+        String::from_utf8(raw.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_raw(b"CK");
+        w.put_u32(7);
+        w.put_u64(u64::MAX);
+        w.put_str("héllo");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_raw(2), Some(&b"CK"[..]));
+        assert_eq!(r.get_u32(), Some(7));
+        assert_eq!(r.get_u64(), Some(u64::MAX));
+        assert_eq!(r.get_str().as_deref(), Some("héllo"));
+        assert_eq!(r.get_bytes(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_reads_none_not_panic() {
+        let mut w = ByteWriter::new();
+        w.put_str("long enough payload");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(r.get_str().is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_byte_stable() {
+        let encode = || {
+            let mut w = ByteWriter::new();
+            w.put_u64(42);
+            w.put_str("stable");
+            w.into_bytes()
+        };
+        assert_eq!(encode(), encode());
+    }
+}

@@ -4,6 +4,7 @@
 //! cider-conform [--seed N] [--programs N] [--no-faults]
 //!               [--write-corpus DIR] [--max-coverage N]
 //! cider-conform --replay DIR
+//! cider-conform --bisect FILE [--interval N]
 //! ```
 //!
 //! Generation mode runs the engine and prints the per-personality
@@ -11,10 +12,14 @@
 //! corpus is written as `<name>.conform` files (deterministic: the
 //! same seed always produces byte-identical files). Replay mode
 //! re-executes every `.conform` file in a directory and exits
-//! non-zero on the first observation mismatch.
+//! non-zero on the first observation mismatch. Bisect mode time-travel
+//! bisects one corpus entry: it finds the first divergent op and
+//! virtual timestamp per configuration pair via sparse checkpoints
+//! plus binary search, and prints the state delta at that instant.
 
 use std::process::ExitCode;
 
+use cider_conform::bisect::bisect_pairs;
 use cider_conform::engine::{run_engine, EngineConfig};
 use cider_conform::CorpusEntry;
 
@@ -23,6 +28,8 @@ fn main() -> ExitCode {
     let mut cfg = EngineConfig::default();
     let mut write_corpus: Option<String> = None;
     let mut replay: Option<String> = None;
+    let mut bisect_file: Option<String> = None;
+    let mut interval: usize = 4;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -48,11 +55,22 @@ fn main() -> ExitCode {
                 Some(v) => replay = Some(v.clone()),
                 None => return usage("--replay needs a directory"),
             },
+            "--bisect" => match it.next() {
+                Some(v) => bisect_file = Some(v.clone()),
+                None => return usage("--bisect needs a .conform file"),
+            },
+            "--interval" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => interval = v,
+                None => return usage("--interval needs an integer"),
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument: {other}")),
         }
     }
 
+    if let Some(path) = bisect_file {
+        return bisect_entry(&path, interval);
+    }
     if let Some(dir) = replay {
         return replay_dir(&dir);
     }
@@ -73,6 +91,35 @@ fn main() -> ExitCode {
             }
         }
         println!("wrote {} corpus entries to {dir}/", report.corpus.len());
+    }
+    ExitCode::SUCCESS
+}
+
+fn bisect_entry(path: &str, interval: usize) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cider-conform: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entry = match CorpusEntry::parse(&text) {
+        Ok(e) => e,
+        Err(m) => {
+            eprintln!("cider-conform: parse {path}: {m}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bisecting {} ({} ops, interval {interval})",
+        entry.name,
+        entry.program.ops.len()
+    );
+    for b in bisect_pairs(&entry.program, entry.plan.as_ref(), interval) {
+        println!("{}", b.summary());
+        for delta in &b.delta {
+            print!("{delta}");
+        }
     }
     ExitCode::SUCCESS
 }
@@ -132,7 +179,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: cider-conform [--seed N] [--programs N] [--no-faults] \
          [--write-corpus DIR] [--max-coverage N]\n       \
-         cider-conform --replay DIR"
+         cider-conform --replay DIR\n       \
+         cider-conform --bisect FILE [--interval N]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -210,7 +210,7 @@ const MUTEX_BASE: u64 = 0x1000;
 const CV_BASE: u64 = 0x2000;
 const SEM_BASE: u64 = 0x5000;
 
-struct Driver {
+pub(crate) struct Driver {
     cfg: ConfigId,
     k: Kernel,
     pid: Pid,
@@ -225,7 +225,7 @@ struct Driver {
 }
 
 impl Driver {
-    fn boot(cfg: ConfigId, plan: Option<&FaultPlan>) -> Driver {
+    pub(crate) fn boot(cfg: ConfigId, plan: Option<&FaultPlan>) -> Driver {
         let mut k = Kernel::boot(DeviceProfile::nexus7());
         // Common VFS fixture, created before faults are armed so every
         // configuration starts from the identical tree.
@@ -400,7 +400,7 @@ impl Driver {
     // ------------------------------------------------------------------
 
     #[allow(clippy::too_many_lines)]
-    fn run_op(&mut self, op: Op) -> OpObs {
+    pub(crate) fn run_op(&mut self, op: Op) -> OpObs {
         use LinuxSyscall as L;
         use MachTrap as M;
         use XnuSyscall as X;
@@ -851,6 +851,34 @@ impl Driver {
     // ------------------------------------------------------------------
     // Final-state capture.
     // ------------------------------------------------------------------
+
+    /// This configuration's virtual clock, for bisection timestamps.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.k.clock.now_ns()
+    }
+
+    /// The normalized observable state as checkpoint records: the same
+    /// four dimensions [`FinalState`] pins (VFS digest, fd-table
+    /// shape, cwd, live Mach ports), keyed for [`cider_ckpt`] images.
+    /// Deliberately *normalized* rather than raw [`Kernel`] state —
+    /// raw images differ across configurations by construction (clock,
+    /// personality ids), which would make every cross-configuration
+    /// bisection diverge at op 0.
+    pub(crate) fn state_records(&mut self) -> Vec<(String, String)> {
+        let fin = self.final_state();
+        vec![
+            ("vfs".to_string(), format!("{:016x}", fin.vfs)),
+            ("fds".to_string(), fin.fds),
+            ("cwd".to_string(), fin.cwd),
+            (
+                "ports".to_string(),
+                match fin.ports {
+                    Some(n) => n.to_string(),
+                    None => "-".to_string(),
+                },
+            ),
+        ]
+    }
 
     fn final_state(&mut self) -> FinalState {
         let vfs = vfs_fingerprint(&self.k, &["/conform", "/tmp"]);

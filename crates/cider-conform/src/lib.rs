@@ -25,6 +25,7 @@
 //! wall-clock, no global state, and no platform dependence anywhere in
 //! the pipeline.
 
+pub mod bisect;
 pub mod corpus;
 pub mod diff;
 pub mod engine;
@@ -32,6 +33,7 @@ pub mod exec;
 pub mod grammar;
 pub mod shrink;
 
+pub use bisect::{bisect, bisect_pairs, Bisection};
 pub use corpus::CorpusEntry;
 pub use diff::{compare, DiffReport, Dimension, Divergence};
 pub use engine::{run_engine, EngineConfig, EngineReport, Matrix};

@@ -412,6 +412,42 @@ impl CiderState {
         psynch.semaphore_signal(&mut api, addr)
     }
 
+    /// Exports the Cider-resident state — Mach port spaces, task-self
+    /// bindings, and launchd's registry — as stable `(key, value)`
+    /// records for whole-device checkpointing. Per-space records list
+    /// every port name with its right type and queue depth (in space
+    /// order), so a restored replay that reproduces them has rebuilt
+    /// the identical port space.
+    pub fn ckpt_records(&self) -> Vec<(String, String)> {
+        let mut out = vec![(
+            "live_ports".to_string(),
+            self.machipc.live_ports().to_string(),
+        )];
+        for (pid, space) in &self.task_spaces {
+            let mut ports: Vec<String> = self
+                .machipc
+                .space_names(*space)
+                .into_iter()
+                .map(|(name, right)| {
+                    let q = self.machipc.queued(*space, name).unwrap_or(0);
+                    format!("{}:{right:?}/q{q}", name.0)
+                })
+                .collect();
+            ports.sort();
+            out.push((
+                format!("space:{pid:06}"),
+                format!("id={:?} ports=[{}]", space, ports.join(" ")),
+            ));
+        }
+        for (pid, port) in &self.task_self_ports {
+            out.push((format!("task_self:{pid:06}"), port.0.to_string()));
+        }
+        let mut services: Vec<&str> = self.bootstrap.service_names();
+        services.sort_unstable();
+        out.push(("services".to_string(), services.join(",")));
+        out
+    }
+
     /// `semaphore_wait_trap` (creating the semaphore lazily).
     ///
     /// # Errors

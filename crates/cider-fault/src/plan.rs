@@ -41,11 +41,22 @@ pub enum FaultSite {
     /// until the next scheduling point flushes the deferred channel
     /// (models the lost/spurious-wakeup races of §5.3's psynch layer).
     SchedWakeup,
+    /// A periodic device checkpoint is corrupted in storage (bit flip
+    /// or truncation). Restore must detect it via the checkpoint
+    /// checksum and fall back to the previous good checkpoint.
+    CheckpointCorrupt,
+    /// The whole device panics mid-workload (simulated kernel panic).
+    /// The fleet's crash boundary catches it and restores the device
+    /// from its last periodic checkpoint.
+    DeviceCrash,
+    /// The device wedges: a runaway virtual-time burn that trips the
+    /// fleet's per-unit virtual-time watchdog budget.
+    DeviceWedge,
 }
 
 impl FaultSite {
     /// Every site, in a stable order (used by reports and tests).
-    pub const ALL: [FaultSite; 11] = [
+    pub const ALL: [FaultSite; 14] = [
         FaultSite::VfsRead,
         FaultSite::VfsWrite,
         FaultSite::VfsCreate,
@@ -57,6 +68,18 @@ impl FaultSite {
         FaultSite::GpuFenceTimeout,
         FaultSite::InputEventDrop,
         FaultSite::SchedWakeup,
+        FaultSite::CheckpointCorrupt,
+        FaultSite::DeviceCrash,
+        FaultSite::DeviceWedge,
+    ];
+
+    /// The device-lifecycle sites consulted by the fleet's healing
+    /// harness (host side of the crash boundary), not by the kernel:
+    /// they outlive the device state a restore rolls back.
+    pub const DEVICE_LIFECYCLE: [FaultSite; 3] = [
+        FaultSite::CheckpointCorrupt,
+        FaultSite::DeviceCrash,
+        FaultSite::DeviceWedge,
     ];
 
     /// Stable snake_case name, used for trace counters and seeding.
@@ -73,6 +96,9 @@ impl FaultSite {
             FaultSite::GpuFenceTimeout => "gpu_fence_timeout",
             FaultSite::InputEventDrop => "input_event_drop",
             FaultSite::SchedWakeup => "sched_wakeup",
+            FaultSite::CheckpointCorrupt => "checkpoint_corrupt",
+            FaultSite::DeviceCrash => "device_crash",
+            FaultSite::DeviceWedge => "device_wedge",
         }
     }
 }
@@ -165,14 +191,58 @@ impl FaultPlan {
         self.sites.iter().map(|(s, c)| (*s, c))
     }
 
+    /// Restricts the plan to `sites`, keeping the seed and each kept
+    /// site's schedule. Used by the fleet to split one plan between
+    /// the kernel (mechanism sites) and the healing harness
+    /// (device-lifecycle sites) without perturbing either's streams.
+    #[must_use]
+    pub fn only(&self, sites: &[FaultSite]) -> FaultPlan {
+        let mut p = FaultPlan::new(self.seed);
+        for (site, cfg) in self.sites() {
+            if sites.contains(&site) {
+                p = p.site(site, *cfg);
+            }
+        }
+        p
+    }
+
+    /// The complement of [`FaultPlan::only`]: the plan without `sites`.
+    #[must_use]
+    pub fn without(&self, sites: &[FaultSite]) -> FaultPlan {
+        let mut p = FaultPlan::new(self.seed);
+        for (site, cfg) in self.sites() {
+            if !sites.contains(&site) {
+                p = p.site(site, *cfg);
+            }
+        }
+        p
+    }
+
     /// A moderate all-sites plan used by the fault-matrix CI job and
-    /// the report demo: every site armed at ~8% per draw.
+    /// the report demo: every mechanism site armed at ~8% per draw.
+    /// Device-lifecycle sites (crash, wedge, checkpoint corruption)
+    /// stay unarmed — they model whole-device failures and are only
+    /// meaningful under the fleet's healing harness; arm them with
+    /// [`FaultPlan::lifecycle`].
     pub fn matrix(seed: u64) -> FaultPlan {
         let mut plan = FaultPlan::new(seed);
         for site in FaultSite::ALL {
+            if FaultSite::DEVICE_LIFECYCLE.contains(&site) {
+                continue;
+            }
             plan = plan.with(site, 80);
         }
         plan
+    }
+
+    /// A device-lifecycle plan for fleet self-healing experiments:
+    /// crashes at ~3% per workload unit, wedges at ~1%, checkpoint
+    /// corruption at ~5% per checkpoint written.
+    pub fn lifecycle(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with(FaultSite::DeviceCrash, 30)
+            .with(FaultSite::DeviceWedge, 10)
+            .with(FaultSite::CheckpointCorrupt, 50)
     }
 }
 
@@ -210,10 +280,37 @@ mod tests {
     }
 
     #[test]
-    fn matrix_covers_every_site() {
+    fn matrix_covers_every_mechanism_site() {
         let p = FaultPlan::matrix(3);
         for site in FaultSite::ALL {
+            if FaultSite::DEVICE_LIFECYCLE.contains(&site) {
+                assert!(p.get(site).is_none(), "{:?} armed", site);
+            } else {
+                assert!(p.get(site).is_some(), "{:?} missing", site);
+            }
+        }
+    }
+
+    #[test]
+    fn lifecycle_covers_every_lifecycle_site() {
+        let p = FaultPlan::lifecycle(3);
+        for site in FaultSite::DEVICE_LIFECYCLE {
             assert!(p.get(site).is_some(), "{:?} missing", site);
         }
+        assert_eq!(p.sites().count(), FaultSite::DEVICE_LIFECYCLE.len());
+    }
+
+    #[test]
+    fn only_and_without_partition_a_plan() {
+        let p = FaultPlan::matrix(9).with(FaultSite::DeviceCrash, 100);
+        let lifecycle = p.only(&FaultSite::DEVICE_LIFECYCLE);
+        let kernel = p.without(&FaultSite::DEVICE_LIFECYCLE);
+        assert_eq!(lifecycle.sites().count(), 1);
+        assert_eq!(
+            lifecycle.sites().count() + kernel.sites().count(),
+            p.sites().count()
+        );
+        assert_eq!(lifecycle.seed, p.seed);
+        assert_eq!(kernel.seed, p.seed);
     }
 }

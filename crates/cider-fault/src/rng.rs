@@ -36,6 +36,19 @@ impl SplitMix64 {
     pub fn below(&mut self, bound: u64) -> u64 {
         self.next_u64() % bound
     }
+
+    /// The raw stream position. Together with [`SplitMix64::from_state`]
+    /// this makes the stream checkpointable: a restored stream resumes
+    /// exactly where the captured one stood.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Reconstructs a stream at an exact position previously read with
+    /// [`SplitMix64::state`].
+    pub fn from_state(state: u64) -> SplitMix64 {
+        SplitMix64 { state }
+    }
 }
 
 /// FNV-1a over a byte string; used to derive per-site seeds from the

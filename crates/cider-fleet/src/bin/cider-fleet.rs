@@ -5,6 +5,7 @@
 //!     [--devices N] [--seed S] [--threads T] \
 //!     [--workload lmbench|launch_storm|conform] [--units N] \
 //!     [--mix even|ios|android] [--fault-seed S] \
+//!     [--lifecycle-seed S] [--heal] [--watchdog-ns N] \
 //!     [--json PATH] [--bench [PATH]]
 //! ```
 //!
@@ -21,7 +22,9 @@ use std::fs;
 use std::process::ExitCode;
 
 use cider_fault::FaultPlan;
-use cider_fleet::{run_fleet, FleetReport, FleetSpec, PersonaMix, Workload};
+use cider_fleet::{
+    run_fleet, FleetReport, FleetSpec, HealConfig, PersonaMix, Workload,
+};
 
 struct Options {
     devices: u32,
@@ -31,6 +34,9 @@ struct Options {
     units: u32,
     mix: PersonaMix,
     fault_seed: Option<u64>,
+    lifecycle_seed: Option<u64>,
+    heal: bool,
+    watchdog_ns: Option<u64>,
     json: Option<String>,
     bench: Option<String>,
 }
@@ -44,6 +50,9 @@ fn parse_args() -> Result<Options, String> {
         units: 16,
         mix: PersonaMix::EVEN,
         fault_seed: None,
+        lifecycle_seed: None,
+        heal: false,
+        watchdog_ns: None,
         json: None,
         bench: None,
     };
@@ -88,6 +97,21 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--fault-seed: {e}"))?,
                 );
             }
+            "--lifecycle-seed" => {
+                opts.lifecycle_seed = Some(
+                    value("--lifecycle-seed")?
+                        .parse()
+                        .map_err(|e| format!("--lifecycle-seed: {e}"))?,
+                );
+            }
+            "--heal" => opts.heal = true,
+            "--watchdog-ns" => {
+                opts.watchdog_ns = Some(
+                    value("--watchdog-ns")?
+                        .parse()
+                        .map_err(|e| format!("--watchdog-ns: {e}"))?,
+                );
+            }
             "--json" => opts.json = Some(value("--json")?),
             "--bench" => {
                 opts.bench = Some(
@@ -110,12 +134,43 @@ fn workload_for(name: &str, units: u32) -> Result<Workload, String> {
 }
 
 fn run_one(opts: &Options) -> Result<String, String> {
+    if opts.lifecycle_seed.is_some() && !opts.heal {
+        return Err(
+            "--lifecycle-seed injects device crashes/wedges/checkpoint \
+             corruption; it requires --heal"
+                .to_string(),
+        );
+    }
     let workload = workload_for(&opts.workload, opts.units)?;
     let mut spec = FleetSpec::new(opts.devices, opts.seed, workload)
         .mix(opts.mix)
         .host_threads(opts.threads);
-    if let Some(seed) = opts.fault_seed {
-        spec = spec.fault_plan(FaultPlan::matrix(seed));
+    let plan = match (opts.fault_seed, opts.lifecycle_seed) {
+        (Some(f), Some(l)) => {
+            // Mechanism faults in the kernel plus lifecycle faults in
+            // the healing harness, merged into one plan; the harness
+            // splits them back apart by site.
+            let mut p = FaultPlan::matrix(f);
+            for (site, cfg) in FaultPlan::lifecycle(l).sites() {
+                p = p.site(site, *cfg);
+            }
+            Some(p)
+        }
+        (Some(f), None) => Some(FaultPlan::matrix(f)),
+        (None, Some(l)) => Some(FaultPlan::lifecycle(l)),
+        (None, None) => None,
+    };
+    if let Some(plan) = plan {
+        spec = spec.fault_plan(plan);
+    }
+    if opts.heal {
+        let mut config = HealConfig::default();
+        if let Some(budget) = opts.watchdog_ns {
+            config.watchdog_budget_ns = budget;
+        }
+        spec = spec.heal(config);
+    } else if let Some(budget) = opts.watchdog_ns {
+        spec = spec.watchdog_budget_ns(budget);
     }
     let run = run_fleet(&spec);
     Ok(FleetReport::from_run(&run).to_json())

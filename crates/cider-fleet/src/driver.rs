@@ -19,7 +19,8 @@ use std::time::Instant;
 
 use cider_trace::{EventKind, TraceContext, TraceSink};
 
-use crate::device::{run_device, DeviceResult};
+use crate::device::{run_device_with, DeviceResult};
+use crate::heal::run_device_healed;
 use crate::spec::FleetSpec;
 
 /// The raw outcome of a fleet run: every device's result, in
@@ -76,7 +77,10 @@ pub fn run_fleet_with_sink(spec: &FleetSpec, sink: &TraceSink) -> FleetRun {
                     break;
                 };
                 let started = Instant::now();
-                let result = run_device(device);
+                let result = match &spec.heal {
+                    Some(config) => run_device_healed(device, config),
+                    None => run_device_with(device, spec.watchdog_budget_ns),
+                };
                 let wall_ns = started.elapsed().as_nanos() as u64;
                 sink.incr("fleet/devices_completed");
                 sink.observe("fleet/device_wall_ns", wall_ns);
@@ -140,6 +144,34 @@ mod tests {
         let four = run_fleet(&base.host_threads(4));
         assert_eq!(fingerprints(&one), fingerprints(&four));
         assert_eq!(one.fleet_fingerprint(), four.fleet_fingerprint());
+    }
+
+    #[test]
+    fn healed_faulted_fleet_is_thread_invariant() {
+        let base = FleetSpec::new(8, 21, Workload::LmbenchMix { ops: 8 })
+            .fault_plan(cider_fault::FaultPlan::lifecycle(9))
+            .heal(crate::heal::HealConfig::default());
+        let one = run_fleet(&base.clone().host_threads(1));
+        let four = run_fleet(&base.host_threads(4));
+        assert_eq!(one.fleet_fingerprint(), four.fleet_fingerprint());
+        for (a, b) in one.results.iter().zip(&four.results) {
+            assert_eq!(a.heal, b.heal);
+            assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    #[test]
+    fn plain_watchdog_budget_wedges_devices_instead_of_hanging() {
+        let spec = FleetSpec::new(3, 5, Workload::LmbenchMix { ops: 4 })
+            .watchdog_budget_ns(1)
+            .host_threads(2);
+        let run = run_fleet(&spec);
+        for r in &run.results {
+            assert!(matches!(
+                r.outcome,
+                crate::device::DeviceOutcome::Wedged { .. }
+            ));
+        }
     }
 
     #[test]

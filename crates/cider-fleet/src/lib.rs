@@ -43,12 +43,16 @@
 
 pub mod device;
 pub mod driver;
+pub mod heal;
 pub mod report;
 pub mod spec;
 
-pub use device::{run_device, DeviceResult};
+pub use device::{
+    run_device, run_device_with, DeviceOutcome, DeviceResult, DeviceSim,
+};
 pub use driver::{run_fleet, run_fleet_with_sink, FleetRun};
-pub use report::{FleetReport, Percentiles};
+pub use heal::{run_device_healed, HealConfig, HealStats};
+pub use report::{FleetReport, HealSummary, Percentiles};
 pub use spec::{DeviceSpec, FleetSpec, PersonaMix, Workload};
 
 #[cfg(test)]

@@ -133,6 +133,53 @@ impl GroupReport {
     }
 }
 
+/// Fleet-wide self-healing aggregates; present only when the run was
+/// healed ([`crate::spec::FleetSpec::heal`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealSummary {
+    /// Injected crashes caught across the fleet.
+    pub crashes: u64,
+    /// Wedges caught across the fleet (injected or watchdog).
+    pub wedges: u64,
+    /// Checkpoint frames rejected during restores.
+    pub corrupt_detected: u64,
+    /// Restores performed across the fleet.
+    pub restores: u64,
+    /// Workload units re-executed by restores.
+    pub replayed_units: u64,
+    /// Checkpoint frames written across the fleet.
+    pub checkpoints_taken: u64,
+    /// Devices that needed ≥ 1 restore and still completed.
+    pub recovered_devices: u64,
+    /// Devices that exhausted their retries and reported
+    /// [`crate::device::DeviceOutcome::Wedged`].
+    pub wedged_devices: u64,
+}
+
+impl HealSummary {
+    fn from_devices(devices: &[&DeviceResult]) -> HealSummary {
+        let mut s = HealSummary::default();
+        for d in devices {
+            let Some(stats) = &d.heal else { continue };
+            s.crashes += stats.crashes;
+            s.wedges += stats.wedges;
+            s.corrupt_detected += stats.corrupt_detected;
+            s.restores += stats.restores;
+            s.replayed_units += stats.replayed_units;
+            s.checkpoints_taken += stats.checkpoints_taken;
+            let completed =
+                d.outcome == crate::device::DeviceOutcome::Completed;
+            if completed && stats.restores > 0 {
+                s.recovered_devices += 1;
+            }
+            if !completed {
+                s.wedged_devices += 1;
+            }
+        }
+        s
+    }
+}
+
 /// The fleet-level percentile report: deterministic aggregation of a
 /// [`FleetRun`], renderable as stable JSON.
 #[derive(Debug, Clone)]
@@ -149,6 +196,11 @@ pub struct FleetReport {
     pub mix: String,
     /// Fault-plan seed, if the fleet armed one.
     pub fault_seed: Option<u64>,
+    /// Fleet-wide recovery totals; `Some` only for healed runs.
+    pub healing: Option<HealSummary>,
+    /// Devices wedged by the plain-run per-unit watchdog; `Some` only
+    /// when a watchdog budget was armed without healing.
+    pub watchdog_wedged: Option<u64>,
     /// FNV-1a digest over per-device fingerprints in id order.
     pub fleet_fingerprint: u64,
     /// Per-group aggregates: always `all`, plus one group per
@@ -179,6 +231,25 @@ impl FleetReport {
             units_per_device: run.spec.workload.units(),
             mix: run.spec.mix.slug(),
             fault_seed: run.spec.fault_plan.as_ref().map(|p| p.seed),
+            healing: run
+                .spec
+                .heal
+                .as_ref()
+                .map(|_| HealSummary::from_devices(&all)),
+            watchdog_wedged: match (
+                &run.spec.heal,
+                run.spec.watchdog_budget_ns,
+            ) {
+                (None, Some(_)) => Some(
+                    all.iter()
+                        .filter(|d| {
+                            d.outcome
+                                != crate::device::DeviceOutcome::Completed
+                        })
+                        .count() as u64,
+                ),
+                _ => None,
+            },
             fleet_fingerprint: run.fleet_fingerprint(),
             groups,
         }
@@ -204,6 +275,35 @@ impl FleetReport {
                 let _ = writeln!(out, "  \"fault_seed\": {seed},");
             }
             None => out.push_str("  \"fault_seed\": null,\n"),
+        }
+        if let Some(w) = self.watchdog_wedged {
+            let _ = writeln!(out, "  \"watchdog_wedged_devices\": {w},");
+        }
+        if let Some(h) = &self.healing {
+            out.push_str("  \"healing\": {\n");
+            let _ = writeln!(out, "    \"crashes\": {},", h.crashes);
+            let _ = writeln!(out, "    \"wedges\": {},", h.wedges);
+            let _ = writeln!(
+                out,
+                "    \"corrupt_detected\": {},",
+                h.corrupt_detected
+            );
+            let _ = writeln!(out, "    \"restores\": {},", h.restores);
+            let _ =
+                writeln!(out, "    \"replayed_units\": {},", h.replayed_units);
+            let _ = writeln!(
+                out,
+                "    \"checkpoints_taken\": {},",
+                h.checkpoints_taken
+            );
+            let _ = writeln!(
+                out,
+                "    \"recovered_devices\": {},",
+                h.recovered_devices
+            );
+            let _ =
+                writeln!(out, "    \"wedged_devices\": {}", h.wedged_devices);
+            out.push_str("  },\n");
         }
         let _ = writeln!(
             out,
@@ -314,6 +414,57 @@ mod tests {
         // Identical runs render identical bytes.
         let again = FleetReport::from_run(&run_fleet(&spec));
         assert_eq!(report.to_json(), again.to_json());
+    }
+
+    #[test]
+    fn healed_faulted_fleet_reports_recoveries_and_is_stable() {
+        let spec = FleetSpec::new(8, 21, Workload::LmbenchMix { ops: 8 })
+            .fault_plan(cider_fault::FaultPlan::lifecycle(9))
+            .heal(crate::heal::HealConfig::default())
+            .host_threads(2);
+        let report = FleetReport::from_run(&run_fleet(&spec));
+        let healing = report.healing.clone().unwrap();
+        // The healing block renders between fault_seed and the
+        // fingerprint, and re-running yields identical bytes.
+        let json = report.to_json();
+        assert!(json.contains("\"healing\": {"));
+        let again = FleetReport::from_run(&run_fleet(&spec));
+        assert_eq!(json, again.to_json());
+        // Every device wrote at least a baseline checkpoint.
+        assert!(healing.checkpoints_taken >= 8);
+        // Faults seen fleet-wide imply restores recorded fleet-wide.
+        assert_eq!(
+            healing.restores >= 1,
+            healing.crashes + healing.wedges >= 1
+        );
+    }
+
+    #[test]
+    fn plain_report_has_no_healing_block() {
+        let spec = FleetSpec::new(2, 4, Workload::LmbenchMix { ops: 2 });
+        let report = FleetReport::from_run(&run_fleet(&spec));
+        assert!(report.healing.is_none());
+        assert!(report.watchdog_wedged.is_none());
+        let json = report.to_json();
+        assert!(!json.contains("healing"));
+        assert!(!json.contains("watchdog_wedged_devices"));
+    }
+
+    #[test]
+    fn plain_watchdog_run_reports_wedged_device_count() {
+        // An impossible 1 ns per-unit budget wedges every device; the
+        // plain (unhealed) report must surface that count instead of
+        // silently showing zero completed units.
+        let spec = FleetSpec::new(4, 9, Workload::LmbenchMix { ops: 3 })
+            .watchdog_budget_ns(1);
+        let report = FleetReport::from_run(&run_fleet(&spec));
+        assert_eq!(report.watchdog_wedged, Some(4));
+        assert!(report.to_json().contains("\"watchdog_wedged_devices\": 4,"));
+        // A generous budget reports the field with zero wedges.
+        let calm = FleetSpec::new(4, 9, Workload::LmbenchMix { ops: 3 })
+            .watchdog_budget_ns(u64::MAX / 2);
+        let calm_report = FleetReport::from_run(&run_fleet(&calm));
+        assert_eq!(calm_report.watchdog_wedged, Some(0));
     }
 
     #[test]

@@ -11,6 +11,8 @@
 use cider_bench::config::SystemConfig;
 use cider_fault::{splitmix64, FaultPlan};
 
+use crate::heal::HealConfig;
+
 /// iOS/Android population ratio of a fleet, in thousandths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PersonaMix {
@@ -120,6 +122,16 @@ pub struct FleetSpec {
     /// Host worker threads the driver uses (not part of any device's
     /// identity: results must be byte-identical for any value ≥ 1).
     pub host_threads: usize,
+    /// Self-healing configuration; `Some` runs every device under the
+    /// checkpoint/restore recovery state machine
+    /// ([`crate::heal::run_device_healed`]).
+    pub heal: Option<HealConfig>,
+    /// Per-unit virtual-time watchdog budget for plain (non-healing)
+    /// runs: a device whose unit exceeds it reports
+    /// [`crate::device::DeviceOutcome::Wedged`] instead of hanging the
+    /// pool. Ignored when `heal` is set (the heal config carries its
+    /// own budget).
+    pub watchdog_budget_ns: Option<u64>,
 }
 
 impl FleetSpec {
@@ -132,6 +144,8 @@ impl FleetSpec {
             mix: PersonaMix::EVEN,
             fault_plan: None,
             host_threads: 1,
+            heal: None,
+            watchdog_budget_ns: None,
         }
     }
 
@@ -153,6 +167,20 @@ impl FleetSpec {
     #[must_use]
     pub fn host_threads(mut self, threads: usize) -> FleetSpec {
         self.host_threads = threads.max(1);
+        self
+    }
+
+    /// Runs every device under the self-healing state machine.
+    #[must_use]
+    pub fn heal(mut self, config: HealConfig) -> FleetSpec {
+        self.heal = Some(config);
+        self
+    }
+
+    /// Arms a per-unit watchdog budget on plain runs.
+    #[must_use]
+    pub fn watchdog_budget_ns(mut self, budget_ns: u64) -> FleetSpec {
+        self.watchdog_budget_ns = Some(budget_ns);
         self
     }
 

@@ -31,6 +31,23 @@ pub struct VirtualClock {
     metrics: Metrics,
     charges: CounterId,
     advanced_ns: CounterId,
+    /// Virtual instant past which [`VirtualClock::advance`] trips the
+    /// watchdog. `u64::MAX` (the default) means disarmed; the hot-path
+    /// cost of the bound is one always-predicted compare.
+    watchdog_limit_ns: u64,
+}
+
+/// Typed panic payload thrown when an armed watchdog expires. Fleet
+/// drivers install a crash boundary (`catch_unwind`) around each
+/// workload unit and downcast to this to distinguish a runaway device
+/// (report it `Wedged`, or restore it from a checkpoint) from a
+/// genuine kernel bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogExpired {
+    /// Virtual time at the expiring charge.
+    pub now_ns: u64,
+    /// The armed budget limit.
+    pub limit_ns: u64,
 }
 
 impl Default for VirtualClock {
@@ -50,6 +67,7 @@ impl VirtualClock {
             metrics,
             charges,
             advanced_ns,
+            watchdog_limit_ns: u64::MAX,
         }
     }
 
@@ -58,12 +76,39 @@ impl VirtualClock {
         self.now_ns
     }
 
+    /// Arms the virtual-time watchdog: any [`VirtualClock::advance`]
+    /// that carries the clock past `limit_ns` panics with a
+    /// [`WatchdogExpired`] payload. Callers are expected to hold a
+    /// `catch_unwind` boundary; the panic is the mechanism that stops
+    /// a runaway (wedged) simulation from burning virtual time
+    /// forever, since a wedge by definition never returns to a place
+    /// that could check a flag.
+    pub fn arm_watchdog(&mut self, limit_ns: u64) {
+        self.watchdog_limit_ns = limit_ns;
+    }
+
+    /// Disarms the watchdog.
+    pub fn disarm_watchdog(&mut self) {
+        self.watchdog_limit_ns = u64::MAX;
+    }
+
+    /// The armed watchdog limit, or `u64::MAX` when disarmed.
+    pub fn watchdog_limit_ns(&self) -> u64 {
+        self.watchdog_limit_ns
+    }
+
     /// Advances the clock by `ns` nanoseconds.
     #[inline]
     pub fn advance(&mut self, ns: u64) {
         self.now_ns += ns;
         self.metrics.incr_fast(self.charges);
         self.metrics.add_fast(self.advanced_ns, ns);
+        if self.now_ns > self.watchdog_limit_ns {
+            std::panic::panic_any(WatchdogExpired {
+                now_ns: self.now_ns,
+                limit_ns: self.watchdog_limit_ns,
+            });
+        }
     }
 
     /// The clock's own metric counters ([`CHARGES_COUNTER`],
@@ -181,6 +226,42 @@ mod tests {
         assert_eq!(c.now_ns(), 150);
         assert_eq!(c.metrics().counter(CHARGES_COUNTER), 2);
         assert_eq!(c.metrics().counter(ADVANCED_NS_COUNTER), 150);
+    }
+
+    #[test]
+    fn watchdog_panics_past_limit_with_typed_payload() {
+        let mut c = VirtualClock::new();
+        c.arm_watchdog(1_000);
+        c.advance(900);
+        c.advance(100); // exactly at the limit: still fine
+        assert_eq!(c.now_ns(), 1_000);
+        let err = std::panic::catch_unwind(move || c.advance(1))
+            .expect_err("advance past an armed limit must panic");
+        let w = err
+            .downcast_ref::<WatchdogExpired>()
+            .expect("payload downcasts to WatchdogExpired");
+        assert_eq!(w.now_ns, 1_001);
+        assert_eq!(w.limit_ns, 1_000);
+    }
+
+    #[test]
+    fn disarmed_watchdog_never_fires() {
+        let mut c = VirtualClock::new();
+        c.arm_watchdog(10);
+        c.disarm_watchdog();
+        assert_eq!(c.watchdog_limit_ns(), u64::MAX);
+        c.advance(1_000_000);
+        assert_eq!(c.now_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn arming_does_not_perturb_time_or_metrics() {
+        let mut c = VirtualClock::new();
+        c.advance(50);
+        c.arm_watchdog(u64::MAX / 2);
+        assert_eq!(c.now_ns(), 50);
+        assert_eq!(c.metrics().counter(CHARGES_COUNTER), 1);
+        assert_eq!(c.metrics().counter(ADVANCED_NS_COUNTER), 50);
     }
 
     #[test]

@@ -234,6 +234,43 @@ impl IpcObjects {
     pub fn live_objects(&self) -> usize {
         self.pipes.len() + self.sockets.len()
     }
+
+    /// Exports the table — ids, end liveness, and the exact buffered
+    /// bytes — as stable `(key, value)` records for whole-device
+    /// checkpointing. Buffer contents matter: a restored device must
+    /// read back precisely the bytes its crashed predecessor had in
+    /// flight.
+    pub fn ckpt_records(&self) -> Vec<(String, String)> {
+        let mut out = vec![("next_id".to_string(), self.next_id.to_string())];
+        for (id, p) in &self.pipes {
+            let (a, b) = p.buf.as_slices();
+            out.push((
+                format!("pipe:{id:06}"),
+                format!(
+                    "w={} r={} len={} digest={:016x}",
+                    p.write_open,
+                    p.read_open,
+                    p.buf.len(),
+                    crate::kernel::fnv1a_pair(a, b),
+                ),
+            ));
+        }
+        for (id, s) in &self.sockets {
+            for side in 0..2 {
+                let (a, b) = s.buf[side].as_slices();
+                out.push((
+                    format!("sock:{id:06}/{side}"),
+                    format!(
+                        "open={} len={} digest={:016x}",
+                        s.open[side],
+                        s.buf[side].len(),
+                        crate::kernel::fnv1a_pair(a, b),
+                    ),
+                ));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1776,6 +1776,245 @@ impl Kernel {
             .filter(|p| p.state == ProcessState::Running)
             .count()
     }
+
+    /// Exports every kernel-owned piece of device state as named,
+    /// ordered record sections for whole-device checkpointing
+    /// (`cider-ckpt` assembles them into a `StateImage`). Two kernels
+    /// that produce identical sections are observably identical: the
+    /// records cover the virtual clock, event counters, allocator
+    /// cursors, process and thread tables (including fd shapes, memory
+    /// summaries, signal state, and console digests), the full VFS
+    /// tree with file-content digests, in-flight pipe/socket bytes,
+    /// scheduler bands, and fault-injection stream positions.
+    ///
+    /// Program behaviours (`register_program` closures) and
+    /// personality dispatch tables are deliberately absent: they are
+    /// code, not state, and are reconstructed by re-booting, which is
+    /// why restore is replay-based.
+    pub fn ckpt_sections(&self) -> Vec<(String, Vec<(String, String)>)> {
+        vec![
+            ("clock".to_string(), self.ckpt_clock()),
+            ("kernel/counters".to_string(), self.ckpt_counters()),
+            ("kernel/ids".to_string(), self.ckpt_ids()),
+            ("kernel/procs".to_string(), self.ckpt_procs()),
+            ("kernel/threads".to_string(), self.ckpt_threads()),
+            ("kernel/vfs".to_string(), self.ckpt_vfs()),
+            ("kernel/ipc".to_string(), self.ipc.ckpt_records()),
+            ("sched".to_string(), self.sched.ckpt_records()),
+            ("faults".to_string(), self.faults.ckpt_records()),
+        ]
+    }
+
+    fn ckpt_clock(&self) -> Vec<(String, String)> {
+        let m = self.clock.metrics();
+        vec![
+            ("now_ns".to_string(), self.clock.now_ns().to_string()),
+            (
+                "charges".to_string(),
+                m.counter(crate::clock::CHARGES_COUNTER).to_string(),
+            ),
+            (
+                "advanced_ns".to_string(),
+                m.counter(crate::clock::ADVANCED_NS_COUNTER).to_string(),
+            ),
+            (
+                "watchdog_limit_ns".to_string(),
+                self.clock.watchdog_limit_ns().to_string(),
+            ),
+        ]
+    }
+
+    fn ckpt_counters(&self) -> Vec<(String, String)> {
+        let c = &self.counters;
+        [
+            ("traps", c.traps),
+            ("syscalls", c.syscalls),
+            ("forks", c.forks),
+            ("execs", c.execs),
+            ("exits", c.exits),
+            ("signals_delivered", c.signals_delivered),
+            ("atfork_callbacks", c.atfork_callbacks),
+            ("atexit_callbacks", c.atexit_callbacks),
+            ("context_switches", c.context_switches),
+            ("persona_checks", c.persona_checks),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+    }
+
+    fn ckpt_ids(&self) -> Vec<(String, String)> {
+        vec![
+            ("next_pid".to_string(), self.next_pid.to_string()),
+            ("next_tid".to_string(), self.next_tid.to_string()),
+            (
+                "next_wait_channel".to_string(),
+                self.next_wait_channel.to_string(),
+            ),
+            (
+                "current".to_string(),
+                match self.current {
+                    Some(t) => t.0.to_string(),
+                    None => "-".to_string(),
+                },
+            ),
+            ("cider_enabled".to_string(), self.cider_enabled.to_string()),
+            (
+                "linux_personality".to_string(),
+                format!("{:?}", self.linux_personality),
+            ),
+            (
+                "personalities".to_string(),
+                self.personalities.len().to_string(),
+            ),
+            ("binfmts".to_string(), self.binfmts.len().to_string()),
+            ("programs".to_string(), self.programs.len().to_string()),
+            (
+                "deferred_wakeups".to_string(),
+                self.deferred_wakeups
+                    .iter()
+                    .map(|w| w.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+        ]
+    }
+
+    fn ckpt_procs(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (pid, p) in &self.procs {
+            let fds: Vec<String> = p
+                .fds
+                .iter()
+                .map(|(fd, obj)| {
+                    let ce = p.fds.cloexec(fd).unwrap_or(false);
+                    format!("{}={:?}{}", fd.0, obj, if ce { "*" } else { "" })
+                })
+                .collect();
+            let handlers: Vec<String> = p
+                .sig_handlers
+                .iter()
+                .map(|(sig, d)| format!("{sig}={d:?}"))
+                .collect();
+            out.push((
+                format!("pid:{pid:06}"),
+                format!(
+                    "state={:?} parent={} cwd={} threads={:?} \
+                     children={:?} fds=[{}] mm={}/{}p/{}B \
+                     prog={}({}) fmt={} dylibs={} sig=[{}] \
+                     console={:016x}/{}",
+                    p.state,
+                    p.parent.map(|x| x.0 as i64).unwrap_or(-1),
+                    p.cwd,
+                    p.threads.iter().map(|t| t.0).collect::<Vec<_>>(),
+                    p.children.iter().map(|c| c.0).collect::<Vec<_>>(),
+                    fds.join(" "),
+                    p.mm.mapping_count(),
+                    p.mm.total_ptes(),
+                    p.mm.total_bytes(),
+                    p.program.path,
+                    p.program.argv.join(","),
+                    p.program.format,
+                    p.program.dylib_count,
+                    handlers.join(" "),
+                    fnv1a_pair(&p.console, &[]),
+                    p.console.len(),
+                ),
+            ));
+        }
+        out
+    }
+
+    fn ckpt_threads(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (tid, t) in &self.threads {
+            out.push((
+                format!("tid:{tid:06}"),
+                format!(
+                    "pid={} state={:?} persona={:?} sigmask={:#x} \
+                     pending={:?} delivered={} ext={}",
+                    t.pid.0,
+                    t.state,
+                    t.personality,
+                    t.sigmask,
+                    t.pending,
+                    t.delivered.len(),
+                    t.ext.is_some(),
+                ),
+            ));
+        }
+        out
+    }
+
+    fn ckpt_vfs(&self) -> Vec<(String, String)> {
+        let mut out = vec![(
+            "node_count".to_string(),
+            self.vfs.node_count().to_string(),
+        )];
+        self.ckpt_vfs_walk("/", 0, &mut out);
+        out
+    }
+
+    fn ckpt_vfs_walk(
+        &self,
+        path: &str,
+        depth: usize,
+        out: &mut Vec<(String, String)>,
+    ) {
+        // Symlinked directory cycles are impossible to build through
+        // the public VFS API today, but a depth cap keeps the walk
+        // total even if that ever changes.
+        if depth > 32 {
+            return;
+        }
+        let Ok(r) = self.vfs.resolve(path) else {
+            return;
+        };
+        let st = self.vfs.stat(r.ino);
+        use cider_abi::types::FileType;
+        let detail = match st.file_type {
+            FileType::Regular => {
+                let digest = self
+                    .vfs
+                    .read_file(path)
+                    .map(|d| fnv1a_pair(&d, &[]))
+                    .unwrap_or(0);
+                format!(
+                    "file mode={:o} size={} digest={digest:016x}",
+                    st.mode, st.size
+                )
+            }
+            FileType::Directory => {
+                format!("dir mode={:o} entries={}", st.mode, st.size)
+            }
+            other => format!("{other:?} mode={:o} size={}", st.mode, st.size),
+        };
+        out.push((path.to_string(), detail));
+        if st.file_type == FileType::Directory {
+            if let Ok(names) = self.vfs.readdir(path) {
+                for name in names {
+                    let child = if path == "/" {
+                        format!("/{name}")
+                    } else {
+                        format!("{path}/{name}")
+                    };
+                    self.ckpt_vfs_walk(&child, depth + 1, out);
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over two byte slices (a `VecDeque`'s halves, or one slice and
+/// an empty tail). Kept here so every kernel-side exporter hashes
+/// content the same way.
+pub(crate) fn fnv1a_pair(a: &[u8], b: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &byte in a.iter().chain(b) {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 // ----------------------------------------------------------------------

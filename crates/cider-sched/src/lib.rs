@@ -441,6 +441,57 @@ impl Scheduler {
         self.queues.iter().any(|q| q.iter().any(|&t| t != tid.0))
     }
 
+    /// Exports the scheduler's complete observable state as stable
+    /// `(key, value)` records for whole-device checkpointing: the
+    /// tie-breaker stream position, boost bookkeeping, every
+    /// per-thread entry (in tid order), and the occupied run queues
+    /// (band-major FIFO order). Two schedulers that produce these
+    /// records identically are behaviourally indistinguishable.
+    pub fn ckpt_records(&self) -> Vec<(String, String)> {
+        let mut out = vec![
+            ("seed".to_string(), self.seed.to_string()),
+            (
+                "rng_state".to_string(),
+                format!("{:016x}", self.rng.state()),
+            ),
+            ("last_boost_ns".to_string(), self.last_boost_ns.to_string()),
+            ("need_resched".to_string(), self.need_resched.to_string()),
+            (
+                "yielded".to_string(),
+                self.yielded
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".to_string()),
+            ),
+        ];
+        for (tid, e) in &self.entries {
+            let depressed = e
+                .depressed_from
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            out.push((
+                format!("tid:{tid}"),
+                format!(
+                    "base={} eff={} quantum_ns={} persona={:?} \
+                     policy={:?} depressed={depressed} state={:?}",
+                    e.base_pri,
+                    e.eff_pri,
+                    e.quantum_left_ns,
+                    e.persona,
+                    e.policy,
+                    e.state
+                ),
+            ));
+        }
+        for (pri, q) in self.queues.iter().enumerate() {
+            if !q.is_empty() {
+                let ids: Vec<String> =
+                    q.iter().map(|t| t.to_string()).collect();
+                out.push((format!("queue:{pri:03}"), ids.join(",")));
+            }
+        }
+        out
+    }
+
     /// MLFQ anti-starvation boost: every [`BOOST_PERIOD_NS`] of virtual
     /// time, every non-depressed timeshare thread returns to the top
     /// user band. FIFO order is preserved band-major (highest first), so

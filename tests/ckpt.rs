@@ -1,0 +1,202 @@
+//! Checkpoint/restore and fleet self-healing: the crash-consistency
+//! contract.
+//!
+//! Three layers are pinned here. Frame level: a serialized checkpoint
+//! survives the byte round trip exactly, and any single flipped bit is
+//! caught by the checksum — corruption is detected, never silently
+//! restored. Device level: `restore(checkpoint(d)) ≡ d` — re-booting a
+//! device and deterministically replaying to a checkpoint's cursor
+//! reproduces the checkpointed state image byte-for-byte, and the
+//! resumed device finishes with the same trace fingerprint as one that
+//! never stopped (property-tested across seeds, workloads and
+//! checkpoint positions). Fleet level: a 64-device fleet under
+//! injected crashes/wedges/checkpoint corruption heals itself — killed
+//! devices restore from their last good frame and replay forward — and
+//! the final report JSON, recovery ledger included, is byte-identical
+//! across repeat runs and host-thread counts.
+
+use cider_bench::config::SystemConfig;
+use cider_ckpt::{Checkpoint, CkptError, CkptHeader};
+use cider_fault::{FaultPlan, FaultSite};
+use cider_fleet::{
+    run_device, run_device_healed, DeviceOutcome, DeviceSim, DeviceSpec,
+    FleetReport, FleetSpec, HealConfig, PersonaMix, Workload,
+};
+use proptest::prelude::*;
+
+fn spec(seed: u64, ios: bool, workload: Workload) -> DeviceSpec {
+    DeviceSpec {
+        device_id: 0,
+        seed,
+        config: if ios {
+            SystemConfig::CiderIos
+        } else {
+            SystemConfig::CiderAndroid
+        },
+        workload,
+        fault_plan: None,
+    }
+}
+
+fn checkpoint_at(sim: &DeviceSim, spec: &DeviceSpec) -> Vec<u8> {
+    Checkpoint::new(
+        CkptHeader {
+            device_id: spec.device_id,
+            seed: spec.seed,
+            config: spec.config.slug().to_string(),
+            workload: spec.workload.slug().to_string(),
+            cursor: sim.cursor(),
+            virtual_ns: sim.now_ns(),
+        },
+        sim.capture(),
+    )
+    .to_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// restore(checkpoint(d)) ≡ d: checkpoint mid-run, re-boot, replay
+    /// to the cursor — the state image matches byte-for-byte and the
+    /// finished device is fingerprint-identical to an uninterrupted
+    /// run.
+    #[test]
+    fn restore_of_checkpoint_is_identity(
+        seed in 0u64..1_000_000,
+        ops in 2u32..8,
+        at in 1u64..8,
+        ios in any::<bool>(),
+    ) {
+        let s = spec(seed, ios, Workload::LmbenchMix { ops });
+        let cut = at % u64::from(ops);
+
+        // The uninterrupted run.
+        let direct = run_device(&s);
+
+        // Checkpoint at `cut`, then restore: fresh boot + replay.
+        let mut live = DeviceSim::boot(&s);
+        for _ in 0..cut {
+            live.step();
+        }
+        let bytes = checkpoint_at(&live, &s);
+        let ckpt = Checkpoint::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(ckpt.header.cursor, cut);
+
+        let mut restored = DeviceSim::boot(&s);
+        for _ in 0..ckpt.header.cursor {
+            restored.step();
+        }
+        prop_assert_eq!(&restored.capture(), &ckpt.image);
+        prop_assert_eq!(restored.now_ns(), ckpt.header.virtual_ns);
+
+        // The restored device finishes exactly like the direct one.
+        while !restored.done() {
+            restored.step();
+        }
+        let resumed = restored.finish(DeviceOutcome::Completed, None);
+        prop_assert_eq!(
+            resumed.trace_fingerprint,
+            direct.trace_fingerprint
+        );
+        prop_assert_eq!(resumed.virtual_ns, direct.virtual_ns);
+    }
+
+    /// Every single-bit flip anywhere in a frame is caught: restore
+    /// reports a checksum (or structural) error instead of handing
+    /// back corrupt state.
+    #[test]
+    fn any_bit_flip_is_detected(
+        seed in 0u64..100_000,
+        bit in 0usize..4096,
+    ) {
+        let s = spec(seed, seed % 2 == 0, Workload::LmbenchMix { ops: 2 });
+        let mut sim = DeviceSim::boot(&s);
+        sim.step();
+        let mut bytes = checkpoint_at(&sim, &s);
+        let pos = bit % (bytes.len() * 8);
+        bytes[pos / 8] ^= 1 << (pos % 8);
+        prop_assert!(Checkpoint::from_bytes(&bytes).is_err());
+    }
+}
+
+#[test]
+fn truncated_frame_is_rejected_not_panicked() {
+    let s = spec(7, true, Workload::LmbenchMix { ops: 2 });
+    let sim = DeviceSim::boot(&s);
+    let bytes = checkpoint_at(&sim, &s);
+    for cut in [0, 1, 4, bytes.len() / 2, bytes.len() - 1] {
+        let err = Checkpoint::from_bytes(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CkptError::Truncated
+                    | CkptError::ChecksumMismatch { .. }
+                    | CkptError::Malformed
+            ),
+            "cut={cut}: {err}"
+        );
+    }
+}
+
+fn healing_fleet(threads: usize) -> FleetSpec {
+    FleetSpec::new(64, 42, Workload::LmbenchMix { ops: 8 })
+        .mix(PersonaMix::EVEN)
+        .fault_plan(FaultPlan::lifecycle(23))
+        .heal(HealConfig::default())
+        .host_threads(threads)
+}
+
+/// The headline fleet-healing contract: 64 devices under injected
+/// crashes/wedges/checkpoint corruption, every killed device recovers,
+/// and the aggregated report (recovery ledger included) renders
+/// byte-identical JSON across repeat runs and 1 vs 8 host threads.
+#[test]
+fn faulted_fleet_heals_and_report_is_thread_invariant() {
+    let first =
+        FleetReport::from_run(&cider_fleet::run_fleet(&healing_fleet(1)));
+    let again =
+        FleetReport::from_run(&cider_fleet::run_fleet(&healing_fleet(1)));
+    let wide =
+        FleetReport::from_run(&cider_fleet::run_fleet(&healing_fleet(8)));
+    assert_eq!(first.to_json(), again.to_json(), "repeat run diverged");
+    assert_eq!(first.to_json(), wide.to_json(), "thread count leaked");
+
+    let healing = first.healing.as_ref().expect("healed run");
+    // The lifecycle plan really killed devices, and they came back:
+    // every fault was answered by a restore and every device finished
+    // its full workload (no device wedged out at these rates).
+    assert!(healing.crashes + healing.wedges > 0, "no faults fired");
+    assert!(healing.recovered_devices > 0, "nobody recovered");
+    assert_eq!(first.groups["all"].units_total, 64 * 8);
+    assert_eq!(healing.wedged_devices, 0);
+    // Baseline frames alone give one checkpoint per device.
+    assert!(healing.checkpoints_taken >= 64);
+}
+
+/// Corrupt frames are part of the healing loop, not an abort: with
+/// certain corruption on every write plus guaranteed crashes, restores
+/// fall back past rejected frames (checksum mismatch in the ledger)
+/// and the device still completes.
+#[test]
+fn corrupt_checkpoints_fall_back_to_older_good_frames() {
+    let plan = FaultPlan::new(5)
+        .with(FaultSite::DeviceCrash, 120)
+        .with(FaultSite::CheckpointCorrupt, 1000);
+    let s = DeviceSpec {
+        fault_plan: Some(plan),
+        ..spec(31, true, Workload::LmbenchMix { ops: 10 })
+    };
+    let r = run_device_healed(&s, &HealConfig::default());
+    assert_eq!(r.outcome, DeviceOutcome::Completed);
+    let stats = r.heal.expect("healed run");
+    assert!(stats.crashes > 0, "crash plan never fired");
+    assert!(stats.corrupt_detected > 0, "corruption never detected");
+    assert!(
+        stats
+            .ledger
+            .iter()
+            .any(|l| l.contains("rejected") && l.contains("checksum")),
+        "ledger missing checksum rejection: {:?}",
+        stats.ledger
+    );
+}
