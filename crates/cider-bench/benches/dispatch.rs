@@ -18,7 +18,9 @@ use std::time::Instant;
 
 use cider_abi::syscall::{MachTrap, SyscallName, XnuTrap};
 use cider_bench::config::{SystemConfig, TestBed};
-use cider_bench::lmbench::{trap_number, Call};
+use cider_bench::lmbench::{
+    fork_exec_lat, fork_exec_warm_lat, trap_number, Call,
+};
 use cider_core::wire;
 use cider_core::xnu_abi::XnuPersonality;
 use cider_kernel::dispatch::{
@@ -190,7 +192,42 @@ fn measure_persona(config: SystemConfig) -> PersonaCosts {
     }
 }
 
-fn write_json(lookups: &LookupNumbers, personas: &[PersonaCosts]) {
+/// One launch-storm cell: the virtual-time cost of a `fork+exec` app
+/// launch on one configuration, cold (closure walk + eager PTE copy)
+/// and warm (prelinked shared cache + copy-on-write fork).
+struct LaunchStorm {
+    config: SystemConfig,
+    cold_launch_ns: u64,
+    warm_launch_ns: u64,
+}
+
+impl LaunchStorm {
+    fn launches_per_sec(ns: u64) -> f64 {
+        1e9 / ns as f64
+    }
+}
+
+fn measure_launch_storm(config: SystemConfig) -> LaunchStorm {
+    let ios = config.runs_ios_binary();
+    let mut bed = TestBed::builder(config).build();
+    let (_, tid) = bed.spawn_measured().expect("bench binaries installed");
+    let cold_launch_ns =
+        fork_exec_lat(&mut bed, tid, ios).expect("cold launch").ns;
+    let warm_launch_ns = fork_exec_warm_lat(&mut bed, tid, ios)
+        .expect("warm launch")
+        .ns;
+    LaunchStorm {
+        config,
+        cold_launch_ns,
+        warm_launch_ns,
+    }
+}
+
+fn write_json(
+    lookups: &LookupNumbers,
+    personas: &[PersonaCosts],
+    storms: &[LaunchStorm],
+) {
     let mut s = String::from("{\n");
     s.push_str("  \"null_syscall_dispatch\": {\n");
     s.push_str(&format!(
@@ -241,6 +278,33 @@ fn write_json(lookups: &LookupNumbers, personas: &[PersonaCosts]) {
             )),
         }
         let sep = if i + 1 == personas.len() { "" } else { "," };
+        s.push_str(&format!("    }}{sep}\n"));
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"launch_storm\": {\n");
+    for (i, storm) in storms.iter().enumerate() {
+        s.push_str(&format!("    \"{}\": {{\n", storm.config.slug()));
+        s.push_str(&format!(
+            "      \"cold_launch_ns\": {},\n",
+            storm.cold_launch_ns
+        ));
+        s.push_str(&format!(
+            "      \"warm_launch_ns\": {},\n",
+            storm.warm_launch_ns
+        ));
+        s.push_str(&format!(
+            "      \"cold_launches_per_sec\": {:.1},\n",
+            LaunchStorm::launches_per_sec(storm.cold_launch_ns)
+        ));
+        s.push_str(&format!(
+            "      \"warm_launches_per_sec\": {:.1},\n",
+            LaunchStorm::launches_per_sec(storm.warm_launch_ns)
+        ));
+        s.push_str(&format!(
+            "      \"warm_speedup\": {:.2}\n",
+            storm.cold_launch_ns as f64 / storm.warm_launch_ns as f64
+        ));
+        let sep = if i + 1 == storms.len() { "" } else { "," };
         s.push_str(&format!("    }}{sep}\n"));
     }
     s.push_str("  }\n}\n");
@@ -334,13 +398,24 @@ fn main() {
     let lookups = measure_lookups();
     let personas: Vec<PersonaCosts> =
         PERSONAS.into_iter().map(measure_persona).collect();
-    write_json(&lookups, &personas);
+    let storms: Vec<LaunchStorm> =
+        PERSONAS.into_iter().map(measure_launch_storm).collect();
+    write_json(&lookups, &personas, &storms);
     println!(
         "dispatch lookup: dense {:.2}ns vs btreemap {:.2}ns ({:.1}x)",
         lookups.null_dense_ns,
         lookups.null_btreemap_ns,
         lookups.null_btreemap_ns / lookups.null_dense_ns,
     );
+    for storm in &storms {
+        println!(
+            "launch storm {}: cold {}ns warm {}ns ({:.1}x)",
+            storm.config.slug(),
+            storm.cold_launch_ns,
+            storm.warm_launch_ns,
+            storm.cold_launch_ns as f64 / storm.warm_launch_ns as f64,
+        );
+    }
 
     let mut c = common::criterion();
     bench(&mut c);

@@ -137,6 +137,7 @@ pub struct TestBedBuilder {
     config: SystemConfig,
     traced: bool,
     fault_plan: Option<cider_fault::FaultPlan>,
+    warm_start: bool,
 }
 
 impl TestBedBuilder {
@@ -146,6 +147,7 @@ impl TestBedBuilder {
             config,
             traced: false,
             fault_plan: None,
+            warm_start: false,
         }
     }
 
@@ -174,6 +176,16 @@ impl TestBedBuilder {
         self
     }
 
+    /// Boots with zygote-style warm start enabled: the first
+    /// `exec(ios)` bakes the prelinked shared cache, later launches
+    /// replay it, and `fork` goes copy-on-write. Off by default — the
+    /// pinned fig5 ratios and golden tables describe the cold machine.
+    #[must_use]
+    pub fn warm_start(mut self) -> TestBedBuilder {
+        self.warm_start = true;
+        self
+    }
+
     /// Boots the bed: the right kernel flavour, the graphics stack
     /// (with the fence bug only on Cider), the benchmark binaries, the
     /// registered program behaviours, and whatever optional subsystems
@@ -185,6 +197,9 @@ impl TestBedBuilder {
         }
         if let Some(plan) = self.fault_plan {
             bed.enable_faults(plan);
+        }
+        if self.warm_start {
+            bed.sys.kernel.warm.set_enabled(true);
         }
         bed
     }

@@ -28,6 +28,9 @@ pub enum Micro {
     ForkExecAndroid,
     /// fork + exec of an iOS binary.
     ForkExecIos,
+    /// fork + exec of an iOS binary with zygote-style warm start:
+    /// copy-on-write fork + prelinked shared cache.
+    ForkExecIosWarm,
     /// fork + sh running a Linux binary.
     ForkShAndroid,
     /// fork + sh running an iOS binary.
@@ -58,6 +61,7 @@ impl Micro {
             Micro::ForkExit,
             Micro::ForkExecAndroid,
             Micro::ForkExecIos,
+            Micro::ForkExecIosWarm,
             Micro::ForkShAndroid,
             Micro::ForkShIos,
             Micro::Pipe,
@@ -87,6 +91,7 @@ impl Micro {
             Micro::ForkExit => "fork+exit".into(),
             Micro::ForkExecAndroid => "fork+exec(android)".into(),
             Micro::ForkExecIos => "fork+exec(ios)".into(),
+            Micro::ForkExecIosWarm => "fork+exec(ios) warm".into(),
             Micro::ForkShAndroid => "fork+sh(android)".into(),
             Micro::ForkShIos => "fork+sh(ios)".into(),
             Micro::Pipe => "pipe".into(),
@@ -110,6 +115,7 @@ impl Micro {
             Micro::ForkExit
             | Micro::ForkExecAndroid
             | Micro::ForkExecIos
+            | Micro::ForkExecIosWarm
             | Micro::ForkShAndroid
             | Micro::ForkShIos => "process",
             Micro::LatCtx(_) => "context switch",
@@ -121,7 +127,7 @@ impl Micro {
     /// all ("This test is not possible on vanilla Android", §6.2).
     pub fn possible_on(self, config: SystemConfig) -> bool {
         match self {
-            Micro::ForkExecIos | Micro::ForkShIos => {
+            Micro::ForkExecIos | Micro::ForkExecIosWarm | Micro::ForkShIos => {
                 config != SystemConfig::VanillaAndroid
             }
             // The iPad cannot run Linux binaries; its "(android)" rows
@@ -163,6 +169,9 @@ pub fn run_micro(
             lmbench::fork_exec_lat(bed, tid, false).ok()?.ns
         }
         Micro::ForkExecIos => lmbench::fork_exec_lat(bed, tid, true).ok()?.ns,
+        Micro::ForkExecIosWarm => {
+            lmbench::fork_exec_warm_lat(bed, tid, true).ok()?.ns
+        }
         Micro::ForkShAndroid => lmbench::fork_sh_lat(bed, tid, false).ok()?.ns,
         Micro::ForkShIos => lmbench::fork_sh_lat(bed, tid, true).ok()?.ns,
         Micro::Pipe => lmbench::pipe_lat(bed, tid).ok()?.ns,
@@ -230,6 +239,7 @@ fn run_inner(traced: bool) -> (Table, Option<Snapshots>) {
     }
     // The paper's normalization for rows vanilla cannot run (§6.2).
     table.fallback("fork+exec(ios)", "fork+exec(android)");
+    table.fallback("fork+exec(ios) warm", "fork+exec(android)");
     table.fallback("fork+sh(ios)", "fork+sh(android)");
     // The iPad's android-binary rows don't exist; its iOS rows normalise
     // against the same fallbacks.
@@ -278,6 +288,19 @@ mod tests {
         assert!(cell("fork+exec(ios)", VanillaAndroid).is_none());
         assert!(cell("fork+sh(ios)", VanillaAndroid).is_none());
         assert!(cell("fork+exec(ios)", CiderIos).unwrap() > 5.0);
+
+        // Zygote-style warm start: the prelinked cache + CoW fork make
+        // the warm launch at least 3x faster than the cold one (both
+        // cells normalise against the same fallback, so their ratio is
+        // the raw speedup).
+        let cold = cell("fork+exec(ios)", CiderIos).unwrap();
+        let warm = cell("fork+exec(ios) warm", CiderIos).unwrap();
+        assert!(
+            cold / warm >= 3.0,
+            "warm speedup {} (cold {cold} vs warm {warm})",
+            cold / warm
+        );
+        assert!(cell("fork+exec(ios) warm", VanillaAndroid).is_none());
 
         // select at 250 fds fails only on the iPad.
         assert!(cell("select 250fd", IpadMini).is_none());

@@ -293,6 +293,60 @@ pub fn fork_exec_lat(
     Ok(VirtualDuration::from_nanos((k.clock.now_ns() - t0) / iters))
 }
 
+/// Warm-start `fork+exec`: the same launch as [`fork_exec_lat`], but
+/// with zygote-style warm start enabled on the kernel for its duration
+/// — `fork` goes copy-on-write and `exec(ios)` maps the prelinked
+/// shared cache. The launches are driven from a dedicated warm
+/// "zygote" parent: one untimed exec pays the cold closure walk that
+/// bakes the cache (as the first launch on a fleet device does), a
+/// second untimed exec re-loads the parent itself from the cache so
+/// its handler registration is the coalesced prelinked one, and only
+/// then are the launches timed. The bed's shared measured process is
+/// never touched, and warm mode (not the baked cache) is switched off
+/// again on return, so rows measured after this one still see the
+/// cold machine.
+///
+/// # Errors
+///
+/// Kernel errors.
+pub fn fork_exec_warm_lat(
+    bed: &mut TestBed,
+    _tid: Tid,
+    exec_ios: bool,
+) -> Result<VirtualDuration, Errno> {
+    let hello = bed.hello_path(exec_ios);
+    let zygote = if exec_ios {
+        crate::config::paths::LMBENCH_MACHO
+    } else {
+        crate::config::paths::LMBENCH_ELF
+    };
+    let (_, ztid) = bed.sys.spawn_process();
+    let k = &mut bed.sys.kernel;
+    let was_enabled = k.warm.is_enabled();
+    k.warm.set_enabled(true);
+    let run = (|| {
+        // Untimed: the first exec's cold walk bakes the cache; the
+        // second re-loads the zygote from it (cache-resident image,
+        // coalesced callbacks).
+        cider_core::exec::sys_exec_fixup(k, ztid, zygote, &[zygote])?;
+        cider_core::exec::sys_exec_fixup(k, ztid, zygote, &[zygote])?;
+
+        let t0 = k.clock.now_ns();
+        let iters = 3;
+        for _ in 0..iters {
+            let (child_pid, child_tid) = k.sys_fork(ztid)?;
+            cider_core::exec::sys_exec_fixup(k, child_tid, hello, &[hello])?;
+            k.run_entry(child_tid)?;
+            k.sys_waitpid(ztid, child_pid)?;
+        }
+        let per_launch = (k.clock.now_ns() - t0) / iters;
+        k.sys_exit(ztid, 0)?;
+        Ok(VirtualDuration::from_nanos(per_launch))
+    })();
+    k.warm.set_enabled(was_enabled);
+    run
+}
+
 /// lmbench `fork+sh`: the child execs the shell, which launches the
 /// target binary.
 ///

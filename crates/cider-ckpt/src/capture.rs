@@ -67,6 +67,7 @@ mod tests {
             "kernel/threads",
             "kernel/vfs",
             "kernel/ipc",
+            "kernel/warm",
             "sched",
             "faults",
         ] {

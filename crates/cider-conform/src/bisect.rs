@@ -340,6 +340,38 @@ mod tests {
     }
 
     #[test]
+    fn fork_heavy_warm_program_bisects_clean() {
+        // Regression for the zygote warm-start ops: CoW forks,
+        // first-write faults and warm/cold exec toggles must stay
+        // observation-identical across every configuration pair, and
+        // the probe replays (which rebuild half-materialized CoW state
+        // from op 0) must agree with the forward scan.
+        let p = parse(
+            "fork_write page=1\ntouch_pages n=3\nexec_warm path=7\n\
+             fork_write page=1\ntouch_pages n=3\nexit_child code=0\n\
+             waitpid\nexec_cold path=7\nfork_write page=2\nwaitpid\n",
+        );
+        for b in bisect_pairs(&p, None, 3) {
+            assert_eq!(b.first_divergent_op, None, "{}", b.summary());
+            assert!(b.delta.is_empty());
+        }
+    }
+
+    #[test]
+    fn finds_a_divergence_planted_amid_warm_forks() {
+        // The diag trap still bisects to its exact op when the
+        // surrounding program is churning CoW fork state.
+        let p = parse(
+            "fork_write page=0\ntouch_pages n=2\nexec_warm path=7\n\
+             fork_write page=0\ndiag n=1\ntouch_pages n=2\nwaitpid\n",
+        );
+        let pair = (ConfigId::XnuTranslated, ConfigId::XnuNative);
+        let b = bisect(&p, None, pair, 2);
+        assert_eq!(b.first_divergent_op, Some(4), "{}", b.summary());
+        assert_eq!(b.op_line.as_deref(), Some("diag n=1"));
+    }
+
+    #[test]
     fn finds_the_diag_divergence_at_its_op() {
         // Pad the canonical diag divergence with agreeing ops so the
         // search actually has a range to narrow.

@@ -210,6 +210,10 @@ const MUTEX_BASE: u64 = 0x1000;
 const CV_BASE: u64 = 0x2000;
 const SEM_BASE: u64 = 0x5000;
 
+/// Pages in the anonymous region the `fork_write`/`touch_pages` ops
+/// target; operand indices wrap modulo this.
+const HEAP_PAGES: u64 = 8;
+
 pub(crate) struct Driver {
     cfg: ConfigId,
     k: Kernel,
@@ -222,6 +226,10 @@ pub(crate) struct Driver {
     /// Addresses returned by `vm_allocate`, LIFO for deallocate.
     vm: Vec<u64>,
     kq: KQueue,
+    /// Base of the anonymous region `fork_write`/`touch_pages` target;
+    /// mapped lazily so programs without those ops keep historical
+    /// address-space shapes.
+    heap: Option<u64>,
 }
 
 impl Driver {
@@ -272,6 +280,7 @@ impl Driver {
             children: Vec::new(),
             vm: Vec::new(),
             kq: KQueue::new(),
+            heap: None,
         }
     }
 
@@ -791,6 +800,96 @@ impl Driver {
                     timer_ms: 0,
                 },
             ),
+            Op::ForkWrite { page } => {
+                // Fork through the ABI, then take a write fault in the
+                // new child through the direct kernel path (faults have
+                // no syscall number). Under CoW the first write
+                // materializes exactly one deferred PTE (`ok:1`); an
+                // eager fork already owns the page (`ok:0`) — the
+                // observation is the differential signal.
+                let heap = match self.ensure_heap() {
+                    Ok(base) => base,
+                    Err(e) => return OpObs::Err(e.name()),
+                };
+                let obs = self.unix(
+                    X::Fork,
+                    Some(L::Fork),
+                    SyscallArgs::none(),
+                    DataMode::Ignore,
+                );
+                let obs = self.track_child(obs);
+                if !matches!(obs, OpObs::Ok { .. }) {
+                    return obs;
+                }
+                let Some(&child) = self.children.last() else {
+                    return obs;
+                };
+                let Some(ctid) = self.child_tid(child) else {
+                    return obs;
+                };
+                let addr = heap
+                    + u64::from(page) % HEAP_PAGES
+                        * cider_kernel::mm::PAGE_SIZE;
+                match self.k.sys_page_write(ctid, addr) {
+                    Ok(n) => OpObs::Ok {
+                        v: n as i64,
+                        data: None,
+                    },
+                    Err(e) => OpObs::Err(e.name()),
+                }
+            }
+            Op::TouchPages { n } => {
+                // First-write each of `n` pages in the most recent
+                // child (the process that can be carrying CoW debt),
+                // or the root process when no child is alive. The
+                // observed value is the number of PTEs materialized.
+                let heap = match self.ensure_heap() {
+                    Ok(base) => base,
+                    Err(e) => return OpObs::Err(e.name()),
+                };
+                let tid = self
+                    .children
+                    .last()
+                    .and_then(|&c| self.child_tid(c))
+                    .unwrap_or(self.tid);
+                let mut materialized = 0_i64;
+                for i in 0..=u64::from(n) % HEAP_PAGES {
+                    match self.k.sys_page_write(
+                        tid,
+                        heap + i * cider_kernel::mm::PAGE_SIZE,
+                    ) {
+                        Ok(m) => materialized += m as i64,
+                        Err(e) => return OpObs::Err(e.name()),
+                    }
+                }
+                OpObs::Ok {
+                    v: materialized,
+                    data: None,
+                }
+            }
+            Op::ExecWarm { path } => {
+                // Warm start is kernel policy, not ABI surface: toggle
+                // it on, then execve. The trap still fails uniformly
+                // (no binfmts here), pinning the entry path while every
+                // *later* fork in the program runs copy-on-write.
+                self.k.warm.set_enabled(true);
+                let mut args = SyscallArgs::none();
+                args.data = SyscallData::Exec {
+                    path: pool_path(path).into(),
+                    argv: vec!["conform".to_string()],
+                };
+                self.unix(X::Execve, Some(L::Execve), args, DataMode::Ignore)
+            }
+            Op::ExecCold { path } => {
+                // The cold control: warm start off, same execve.
+                self.k.warm.set_enabled(false);
+                let mut args = SyscallArgs::none();
+                args.data = SyscallData::Exec {
+                    path: pool_path(path).into(),
+                    argv: vec!["conform".to_string()],
+                };
+                self.unix(X::Execve, Some(L::Execve), args, DataMode::Ignore)
+            }
             Op::KqPoll => match self.kq.poll(&mut self.k, self.tid) {
                 Ok(evs) => {
                     let mut bytes = Vec::with_capacity(evs.len() * 18);
@@ -846,6 +945,23 @@ impl Driver {
 
     fn child_tid(&self, pid: Pid) -> Option<Tid> {
         self.k.process(pid).ok()?.threads.first().copied()
+    }
+
+    /// Maps the shared anonymous test region in the root process on
+    /// first use. Forked children inherit it (eagerly or CoW), so the
+    /// page ops address the same virtual range in every process.
+    fn ensure_heap(&mut self) -> Result<u64, cider_abi::Errno> {
+        if let Some(base) = self.heap {
+            return Ok(base);
+        }
+        let base = self.k.process_mut(self.pid)?.mm.map(
+            HEAP_PAGES * cider_kernel::mm::PAGE_SIZE,
+            cider_kernel::mm::Prot::RW,
+            cider_kernel::mm::MappingKind::Anonymous,
+            "[conform-heap]",
+        )?;
+        self.heap = Some(base);
+        Ok(base)
     }
 
     // ------------------------------------------------------------------

@@ -53,62 +53,160 @@ pub const SIGNAL_POOL: [i32; 6] = [1, 2, 10, 12, 15, 17];
 pub enum Op {
     // --- Unix class (both ABIs) ---
     Getpid,
-    Open { path: u8, flags: u8 },
-    Close { fd: u8 },
-    Read { fd: u8, len: u8 },
-    Write { fd: u8, len: u8 },
-    Dup { fd: u8 },
+    Open {
+        path: u8,
+        flags: u8,
+    },
+    Close {
+        fd: u8,
+    },
+    Read {
+        fd: u8,
+        len: u8,
+    },
+    Write {
+        fd: u8,
+        len: u8,
+    },
+    Dup {
+        fd: u8,
+    },
     Pipe,
     Socketpair,
-    Mkdir { path: u8 },
-    Unlink { path: u8 },
-    Stat { path: u8 },
-    Chdir { path: u8 },
-    Select { n: u8 },
+    Mkdir {
+        path: u8,
+    },
+    Unlink {
+        path: u8,
+    },
+    Stat {
+        path: u8,
+    },
+    Chdir {
+        path: u8,
+    },
+    Select {
+        n: u8,
+    },
     Fork,
-    ExitChild { code: u8 },
+    ExitChild {
+        code: u8,
+    },
     Waitpid,
-    Kill { sig: u8 },
-    Sigaction { sig: u8, disp: u8 },
-    Nanosleep { ms: u8 },
-    Execve { path: u8 },
-    Spawn { path: u8 },
+    Kill {
+        sig: u8,
+    },
+    Sigaction {
+        sig: u8,
+        disp: u8,
+    },
+    Nanosleep {
+        ms: u8,
+    },
+    Execve {
+        path: u8,
+    },
+    Spawn {
+        path: u8,
+    },
     // --- scheduler doors (POSIX yield / Mach thread_switch) ---
     SchedYield,
-    ThreadSwitch { opt: u8 },
+    ThreadSwitch {
+        opt: u8,
+    },
     // --- psynch (XNU-only Unix-class traps) ---
-    MutexWait { m: u8 },
-    MutexDrop { m: u8 },
-    CvWait { cv: u8, m: u8 },
-    CvSignal { cv: u8 },
-    CvBroad { cv: u8 },
+    MutexWait {
+        m: u8,
+    },
+    MutexDrop {
+        m: u8,
+    },
+    CvWait {
+        cv: u8,
+        m: u8,
+    },
+    CvSignal {
+        cv: u8,
+    },
+    CvBroad {
+        cv: u8,
+    },
     // --- Mach class (XNU-only) ---
     TaskSelf,
     ThreadSelf,
     HostSelf,
     ReplyPort,
     PortAllocate,
-    PortDeallocate { slot: u8 },
-    InsertRight { slot: u8 },
-    MsgSend { slot: u8, len: u8 },
-    MsgRecv { slot: u8 },
-    SemSignal { sem: u8 },
-    SemWait { sem: u8 },
-    VmAllocate { pages: u8 },
+    PortDeallocate {
+        slot: u8,
+    },
+    InsertRight {
+        slot: u8,
+    },
+    MsgSend {
+        slot: u8,
+        len: u8,
+    },
+    MsgRecv {
+        slot: u8,
+    },
+    SemSignal {
+        sem: u8,
+    },
+    SemWait {
+        sem: u8,
+    },
+    VmAllocate {
+        pages: u8,
+    },
     VmDeallocate,
     // --- MachDep / Diag entry paths (XNU-only) ---
-    MachDep { n: u8 },
-    Diag { n: u8 },
+    MachDep {
+        n: u8,
+    },
+    Diag {
+        n: u8,
+    },
     // --- kqueue (library level, runs under every configuration) ---
-    KqAddRead { fd: u8 },
-    KqDelRead { fd: u8 },
-    KqAddTimer { t: u8, ms: u8 },
-    KqDelTimer { t: u8 },
+    KqAddRead {
+        fd: u8,
+    },
+    KqDelRead {
+        fd: u8,
+    },
+    KqAddTimer {
+        t: u8,
+        ms: u8,
+    },
+    KqDelTimer {
+        t: u8,
+    },
     KqPoll,
+    // --- zygote warm start (CoW fork + prelinked shared cache) ---
+    /// Fork, then write one page in the child so a copy-on-write fork
+    /// materializes exactly that PTE (an eager fork already owns it).
+    ForkWrite {
+        page: u8,
+    },
+    /// Write `n` pages in the calling process; under CoW each first
+    /// write pays the deferred PTE copy, later writes are free.
+    TouchPages {
+        n: u8,
+    },
+    /// Toggle the kernel's warm-start cache on, then execve. The
+    /// conformance kernels register no binfmts, so the trap fails
+    /// uniformly — the op pins the entry path, not a real launch.
+    ExecWarm {
+        path: u8,
+    },
+    /// Toggle warm start off, then execve (the cold control).
+    ExecCold {
+        path: u8,
+    },
 }
 
 /// Number of op kinds in the grammar.
-pub const KIND_COUNT: usize = 48;
+pub const KIND_COUNT: usize = 52;
 
 impl Op {
     /// The dispatch-table entry this op exercises on the translated XNU
@@ -136,6 +234,7 @@ impl Op {
             Op::Kill { .. } => "unix/kill",
             Op::Sigaction { .. } => "unix/sigaction",
             Op::Execve { .. } => "unix/execve",
+            Op::ExecWarm { .. } | Op::ExecCold { .. } => "unix/execve",
             Op::Spawn { .. } => "unix/posix_spawn",
             Op::ThreadSwitch { .. } => "mach/thread_switch",
             Op::MutexWait { .. } => "unix/psynch_mutexwait",
@@ -157,6 +256,8 @@ impl Op {
             Op::VmAllocate { .. } => "mach/mach_vm_allocate",
             Op::VmDeallocate => "mach/mach_vm_deallocate",
             Op::Nanosleep { .. }
+            | Op::ForkWrite { .. }
+            | Op::TouchPages { .. }
             | Op::SchedYield
             | Op::MachDep { .. }
             | Op::Diag { .. }
@@ -228,6 +329,10 @@ impl Op {
             Op::KqAddTimer { t, ms } => format!("kq_add_timer t={t} ms={ms}"),
             Op::KqDelTimer { t } => format!("kq_del_timer t={t}"),
             Op::KqPoll => "kq_poll".into(),
+            Op::ForkWrite { page } => format!("fork_write page={page}"),
+            Op::TouchPages { n } => format!("touch_pages n={n}"),
+            Op::ExecWarm { path } => format!("exec_warm path={path}"),
+            Op::ExecCold { path } => format!("exec_cold path={path}"),
         }
     }
 
@@ -365,6 +470,16 @@ impl Op {
             }
             "kq_del_timer" => Op::KqDelTimer { t: f(&["t"])?[0] },
             "kq_poll" => Op::KqPoll,
+            "fork_write" => Op::ForkWrite {
+                page: f(&["page"])?[0],
+            },
+            "touch_pages" => Op::TouchPages { n: f(&["n"])?[0] },
+            "exec_warm" => Op::ExecWarm {
+                path: f(&["path"])?[0],
+            },
+            "exec_cold" => Op::ExecCold {
+                path: f(&["path"])?[0],
+            },
             _ => return None,
         };
         // Round-trip check doubles as arity validation: stray fields on
@@ -507,8 +622,20 @@ fn make_op(k: usize, rng: &mut SplitMix64) -> Op {
             path: rng.below(PATH_POOL.len() as u64) as u8,
         },
         46 => Op::SchedYield,
-        _ => Op::ThreadSwitch {
+        47 => Op::ThreadSwitch {
             opt: rng.below(3) as u8,
+        },
+        48 => Op::ForkWrite {
+            page: rng.below(8) as u8,
+        },
+        49 => Op::TouchPages {
+            n: rng.below(6) as u8,
+        },
+        50 => Op::ExecWarm {
+            path: rng.below(PATH_POOL.len() as u64) as u8,
+        },
+        _ => Op::ExecCold {
+            path: rng.below(PATH_POOL.len() as u64) as u8,
         },
     }
 }

@@ -52,11 +52,17 @@ pub enum FaultSite {
     /// The device wedges: a runaway virtual-time burn that trips the
     /// fleet's per-unit virtual-time watchdog budget.
     DeviceWedge,
+    /// The prelinked dyld shared cache fails its digest check when a
+    /// warm `exec(ios)` tries to map it. The loader must invalidate
+    /// the cache and fall back to the cold closure walk (which
+    /// re-bakes it). Only consulted when warm start is enabled, so
+    /// cold-machine runs never draw from its stream.
+    SharedCacheCorrupt,
 }
 
 impl FaultSite {
     /// Every site, in a stable order (used by reports and tests).
-    pub const ALL: [FaultSite; 14] = [
+    pub const ALL: [FaultSite; 15] = [
         FaultSite::VfsRead,
         FaultSite::VfsWrite,
         FaultSite::VfsCreate,
@@ -71,6 +77,7 @@ impl FaultSite {
         FaultSite::CheckpointCorrupt,
         FaultSite::DeviceCrash,
         FaultSite::DeviceWedge,
+        FaultSite::SharedCacheCorrupt,
     ];
 
     /// The device-lifecycle sites consulted by the fleet's healing
@@ -99,6 +106,7 @@ impl FaultSite {
             FaultSite::CheckpointCorrupt => "checkpoint_corrupt",
             FaultSite::DeviceCrash => "device_crash",
             FaultSite::DeviceWedge => "device_wedge",
+            FaultSite::SharedCacheCorrupt => "shared_cache_corrupt",
         }
     }
 }

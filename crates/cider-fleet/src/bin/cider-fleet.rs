@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p cider-fleet --bin cider-fleet -- \
 //!     [--devices N] [--seed S] [--threads T] \
-//!     [--workload lmbench|launch_storm|conform] [--units N] \
+//!     [--workload lmbench|launch_storm|launch_storm_warm|conform] \
+//!     [--units N] \
 //!     [--mix even|ios|android] [--fault-seed S] \
 //!     [--lifecycle-seed S] [--heal] [--watchdog-ns N] \
 //!     [--json PATH] [--bench [PATH]]
@@ -128,6 +129,9 @@ fn workload_for(name: &str, units: u32) -> Result<Workload, String> {
     match name {
         "lmbench" => Ok(Workload::LmbenchMix { ops: units }),
         "launch_storm" => Ok(Workload::LaunchStorm { launches: units }),
+        "launch_storm_warm" => {
+            Ok(Workload::LaunchStormWarm { launches: units })
+        }
         "conform" => Ok(Workload::ConformOps { programs: units }),
         other => Err(format!("unknown workload {other:?}")),
     }
@@ -176,7 +180,7 @@ fn run_one(opts: &Options) -> Result<String, String> {
     Ok(FleetReport::from_run(&run).to_json())
 }
 
-/// The canonical checked-in matrix: both headline workloads across
+/// The canonical checked-in matrix: the headline workloads across
 /// the three persona mixes, 64 devices per cell, faults off so the
 /// latency numbers are the clean baseline.
 fn bench_matrix(threads: usize) -> String {
@@ -188,6 +192,7 @@ fn bench_matrix(threads: usize) -> String {
     let workloads = [
         Workload::LmbenchMix { ops: 16 },
         Workload::LaunchStorm { launches: 8 },
+        Workload::LaunchStormWarm { launches: 8 },
     ];
     let mut cells = Vec::new();
     for workload in workloads {

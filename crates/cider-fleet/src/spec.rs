@@ -75,6 +75,15 @@ pub enum Workload {
         /// App launches per device.
         launches: u32,
     },
+    /// A launch storm with zygote-style warm start enabled: the first
+    /// launch walks the dylib closure cold and bakes the prelinked
+    /// shared-cache image; every later launch forks copy-on-write and
+    /// maps the cache O(1), so the per-device throughput shows the
+    /// fleet-level warm-start win.
+    LaunchStormWarm {
+        /// App launches per device.
+        launches: u32,
+    },
     /// Differential ABI conformance operations: each device generates
     /// and executes `programs` seeded syscall programs through the
     /// cider-conform engine and folds the observations into its trace
@@ -91,6 +100,7 @@ impl Workload {
         match self {
             Workload::LmbenchMix { .. } => "lmbench_mix",
             Workload::LaunchStorm { .. } => "launch_storm",
+            Workload::LaunchStormWarm { .. } => "launch_storm_warm",
             Workload::ConformOps { .. } => "conform_ops",
         }
     }
@@ -99,7 +109,8 @@ impl Workload {
     pub fn units(self) -> u32 {
         match self {
             Workload::LmbenchMix { ops } => ops,
-            Workload::LaunchStorm { launches } => launches,
+            Workload::LaunchStorm { launches }
+            | Workload::LaunchStormWarm { launches } => launches,
             Workload::ConformOps { programs } => programs,
         }
     }

@@ -45,6 +45,7 @@ use crate::process::{
 };
 use crate::profile::DeviceProfile;
 use crate::vfs::Vfs;
+use crate::warm::WarmStart;
 
 /// A registered program behaviour: the "main" of a simulated binary.
 ///
@@ -159,6 +160,11 @@ pub struct Kernel {
     /// charges trap time against it and asks for preemption decisions;
     /// the scheduler itself never touches the clock.
     pub sched: Scheduler,
+    /// Zygote-style warm-start state: the prelinked dyld shared cache
+    /// and copy-on-write fork counters. Disabled by default — the cold
+    /// machine the goldens describe; test beds opt in via
+    /// [`crate::warm::WarmStart::set_enabled`].
+    pub warm: WarmStart,
     /// Wait channels whose `wakeup` was swallowed by the
     /// [`FaultSite::SchedWakeup`] injection; flushed (threads finally
     /// woken) at the next scheduling point so virtual time cannot
@@ -217,6 +223,7 @@ impl Kernel {
             trace: TraceSink::disabled(),
             faults: FaultLayer::inactive(),
             sched: Scheduler::new(Kernel::DEFAULT_SCHED_SEED),
+            warm: WarmStart::new(),
             deferred_wakeups: Vec::new(),
             procs: BTreeMap::new(),
             threads: BTreeMap::new(),
@@ -1323,18 +1330,38 @@ impl Kernel {
         let prepare = self.process(parent_pid)?.callbacks.atfork_prepare.len();
         self.run_user_callbacks(prepare, true);
 
-        // Kernel: duplicate the address space, visiting every PTE.
+        // Kernel: duplicate the address space. Eagerly — visiting every
+        // PTE now — on the cold machine; lazily when warm start is on:
+        // no PTE is copied here, the child pays pte_copy_ns page by
+        // page at first write (sys_page_write), and debt dropped by a
+        // following exec/exit is never paid at all.
         if self.fault_at(FaultSite::ForkPteCopy) {
             return Err(Errno::ENOMEM);
         }
-        let (mm, ptes) = self.process(parent_pid)?.mm.fork_duplicate();
-        self.charge_cpu(self.profile.pte_copy_ns * ptes);
+        let cow = self.warm.is_enabled();
+        let (mm, ptes) = if cow {
+            self.process(parent_pid)?.mm.fork_duplicate_cow()
+        } else {
+            self.process(parent_pid)?.mm.fork_duplicate()
+        };
+        if cow {
+            self.warm.stats.cow_forks += 1;
+            self.warm.stats.cow_deferred_ptes += ptes;
+        } else {
+            self.charge_cpu(self.profile.pte_copy_ns * ptes);
+        }
         if self.trace.is_enabled() {
             self.trace.record(
                 self.trace_ctx(tid),
-                EventKind::PageTableCopy { ptes },
+                EventKind::PageTableCopy {
+                    ptes: if cow { 0 } else { ptes },
+                },
             );
-            self.trace.add("mm/forked_ptes", ptes);
+            if cow {
+                self.trace.add("mm/cow_deferred_ptes", ptes);
+            } else {
+                self.trace.add("mm/forked_ptes", ptes);
+            }
             self.trace.incr("kernel/forks");
         }
 
@@ -1376,6 +1403,47 @@ impl Kernel {
 
         self.counters.forks += 1;
         Ok((child_pid, child_tid))
+    }
+
+    /// A user-level store to `addr`: the copy-on-write first-write
+    /// fault path. If the containing page is CoW-pending (deferred by a
+    /// warm-mode fork), the page materializes here — `pte_copy_ns` is
+    /// charged now, and the elapsed time lands on the faulting thread's
+    /// quantum exactly as trap time does, so preemption decisions are
+    /// identical whether the copy was paid at fork or at fault. Writes
+    /// to already-materialized or never-deferred pages are free.
+    /// Returns the number of PTEs materialized (0 or 1).
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the thread is unknown, `EFAULT` if `addr` is not
+    /// mapped.
+    pub fn sys_page_write(
+        &mut self,
+        tid: Tid,
+        addr: u64,
+    ) -> Result<u64, Errno> {
+        let fault_start_ns = self.clock.now_ns();
+        let pid = self.thread(tid)?.pid;
+        let materialized = self.process_mut(pid)?.mm.page_write(addr)?;
+        if materialized > 0 {
+            self.charge_cpu(self.profile.pte_copy_ns * materialized);
+            self.warm.stats.cow_faults += materialized;
+            if self.trace.is_enabled() {
+                self.trace.record(
+                    self.trace_ctx(tid),
+                    EventKind::PageTableCopy { ptes: materialized },
+                );
+                self.trace.incr("mm/cow_faults");
+            }
+        }
+        let now = self.clock.now_ns();
+        self.sched
+            .charge(tid, now.saturating_sub(fault_start_ns), now);
+        if self.sched.take_resched() {
+            self.schedule();
+        }
+        Ok(materialized)
     }
 
     fn run_user_callbacks(&mut self, count: usize, atfork: bool) {
@@ -1800,9 +1868,14 @@ impl Kernel {
             ("kernel/threads".to_string(), self.ckpt_threads()),
             ("kernel/vfs".to_string(), self.ckpt_vfs()),
             ("kernel/ipc".to_string(), self.ipc.ckpt_records()),
+            ("kernel/warm".to_string(), self.ckpt_warm()),
             ("sched".to_string(), self.sched.ckpt_records()),
             ("faults".to_string(), self.faults.ckpt_records()),
         ]
+    }
+
+    fn ckpt_warm(&self) -> Vec<(String, String)> {
+        vec![("warm".to_string(), self.warm.ckpt_record())]
     }
 
     fn ckpt_clock(&self) -> Vec<(String, String)> {
@@ -1896,11 +1969,23 @@ impl Kernel {
                 .iter()
                 .map(|(sig, d)| format!("{sig}={d:?}"))
                 .collect();
+            // CoW debt is appended only when present, so processes on
+            // the cold machine keep their exact historical record
+            // bytes.
+            let cow = if p.mm.cow_pending_ptes() + p.mm.cow_dirty_pages() > 0 {
+                format!(
+                    "+cow{}p/{}d",
+                    p.mm.cow_pending_ptes(),
+                    p.mm.cow_dirty_pages()
+                )
+            } else {
+                String::new()
+            };
             out.push((
                 format!("pid:{pid:06}"),
                 format!(
                     "state={:?} parent={} cwd={} threads={:?} \
-                     children={:?} fds=[{}] mm={}/{}p/{}B \
+                     children={:?} fds=[{}] mm={}/{}p/{}B{} \
                      prog={}({}) fmt={} dylibs={} sig=[{}] \
                      console={:016x}/{}",
                     p.state,
@@ -1912,6 +1997,7 @@ impl Kernel {
                     p.mm.mapping_count(),
                     p.mm.total_ptes(),
                     p.mm.total_bytes(),
+                    cow,
                     p.program.path,
                     p.program.argv.join(","),
                     p.program.format,

@@ -40,7 +40,9 @@ pub mod mm;
 pub mod process;
 pub mod profile;
 pub mod vfs;
+pub mod warm;
 
 pub use clock::{Stopwatch, VirtualClock, VirtualDuration};
 pub use kernel::{Extensions, Kernel, KernelCounters, LinuxPersonality};
 pub use profile::{DeviceProfile, Toolchain};
+pub use warm::{BakedImage, SharedCacheImage, WarmStart, WarmStats};

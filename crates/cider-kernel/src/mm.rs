@@ -6,7 +6,7 @@
 //! process (90 MB of dyld-mapped libraries) pays "almost 1 ms of extra
 //! overhead" per fork compared to a Linux process.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use cider_abi::errno::Errno;
@@ -105,6 +105,13 @@ impl Mapping {
 pub struct AddressSpace {
     maps: BTreeMap<u64, Mapping>,
     next_free: u64,
+    /// Copy-on-write debt per mapping start: PTEs whose duplication was
+    /// deferred at `fork` time and is still owed. Empty outside a CoW
+    /// child.
+    cow_pending: BTreeMap<u64, u64>,
+    /// Page addresses already materialized by a first write (so repeat
+    /// writes to the same page are free, as on real hardware).
+    cow_dirty: BTreeSet<u64>,
 }
 
 /// Base of the mmap allocation area.
@@ -116,6 +123,8 @@ impl AddressSpace {
         AddressSpace {
             maps: BTreeMap::new(),
             next_free: MMAP_BASE,
+            cow_pending: BTreeMap::new(),
+            cow_dirty: BTreeSet::new(),
         }
     }
 
@@ -198,7 +207,14 @@ impl AddressSpace {
     ///
     /// Returns `EINVAL` if no mapping starts there.
     pub fn unmap(&mut self, start: u64) -> Result<Mapping, Errno> {
-        self.maps.remove(&start).ok_or(Errno::EINVAL)
+        let m = self.maps.remove(&start).ok_or(Errno::EINVAL)?;
+        self.cow_pending.remove(&start);
+        let gone: Vec<u64> =
+            self.cow_dirty.range(start..m.end()).copied().collect();
+        for page in gone {
+            self.cow_dirty.remove(&page);
+        }
+        Ok(m)
     }
 
     /// Iterates over all mappings in address order.
@@ -246,13 +262,86 @@ impl AddressSpace {
     /// charges `pte_copy_ns` per entry).
     pub fn fork_duplicate(&self) -> (AddressSpace, u64) {
         let ptes = self.total_ptes();
-        (self.clone(), ptes)
+        let mut child = self.clone();
+        // An eager fork copies everything up front, so the child starts
+        // with no outstanding CoW debt even if the parent carried some.
+        child.cow_pending.clear();
+        child.cow_dirty.clear();
+        (child, ptes)
+    }
+
+    /// Duplicates the address space for a copy-on-write `fork`: no PTE
+    /// is copied now; instead every mapping's PTE count is recorded as
+    /// debt the child pays page by page on first write. Returns the
+    /// child space and the number of PTEs whose copy was deferred.
+    ///
+    /// Shared-cache mappings are excluded exactly as in
+    /// [`AddressSpace::total_ptes`] — their entries were never going to
+    /// be duplicated in the first place.
+    pub fn fork_duplicate_cow(&self) -> (AddressSpace, u64) {
+        let mut child = self.clone();
+        child.cow_pending.clear();
+        child.cow_dirty.clear();
+        let mut deferred = 0;
+        for m in self.maps.values() {
+            if m.kind == MappingKind::SharedCache {
+                continue;
+            }
+            let ptes = m.pte_count();
+            child.cow_pending.insert(m.start, ptes);
+            deferred += ptes;
+        }
+        (child, deferred)
+    }
+
+    /// Records a user-level store to `addr`. If the containing page is
+    /// CoW-pending, it is materialized: the debt for its mapping drops
+    /// by one and the page joins the dirty set. Returns the number of
+    /// PTEs materialized by this write (0 or 1) — the caller charges
+    /// `pte_copy_ns` per entry, which is how deferred fork cost lands
+    /// on the faulting thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns `EFAULT` when `addr` is not mapped.
+    pub fn page_write(&mut self, addr: u64) -> Result<u64, Errno> {
+        let m = self.find(addr).ok_or(Errno::EFAULT)?;
+        let (start, page) = (m.start, addr - addr % PAGE_SIZE);
+        if self.cow_dirty.contains(&page) {
+            return Ok(0);
+        }
+        match self.cow_pending.get_mut(&start) {
+            Some(pending) if *pending > 0 => {
+                *pending -= 1;
+                if *pending == 0 {
+                    self.cow_pending.remove(&start);
+                }
+                self.cow_dirty.insert(page);
+                Ok(1)
+            }
+            _ => Ok(0),
+        }
+    }
+
+    /// Outstanding CoW debt: PTEs deferred at fork time and not yet
+    /// paid for by a first write (never charged if `exec`/`exit` drops
+    /// the space first — that is the warm-start win).
+    pub fn cow_pending_ptes(&self) -> u64 {
+        self.cow_pending.values().sum()
+    }
+
+    /// Pages materialized by first writes since the CoW fork.
+    pub fn cow_dirty_pages(&self) -> u64 {
+        self.cow_dirty.len() as u64
     }
 
     /// Drops everything, as `exec` does before loading the new image.
+    /// Outstanding CoW debt vanishes unpaid.
     pub fn clear(&mut self) {
         self.maps.clear();
         self.next_free = MMAP_BASE;
+        self.cow_pending.clear();
+        self.cow_dirty.clear();
     }
 }
 
@@ -344,5 +433,80 @@ mod tests {
     fn prot_display() {
         assert_eq!(Prot::RX.to_string(), "r-x");
         assert_eq!(Prot::RW.to_string(), "rw-");
+    }
+
+    #[test]
+    fn cow_fork_defers_all_ptes_and_pays_per_first_write() {
+        let mut a = AddressSpace::new();
+        let s = a
+            .map(4 * PAGE_SIZE, Prot::RW, MappingKind::Anonymous, "[heap]")
+            .unwrap();
+        let (mut child, deferred) = a.fork_duplicate_cow();
+        assert_eq!(deferred, 4);
+        assert_eq!(child.cow_pending_ptes(), 4);
+        // First write to a page costs one PTE, the second is free.
+        assert_eq!(child.page_write(s).unwrap(), 1);
+        assert_eq!(child.page_write(s + 1).unwrap(), 0);
+        assert_eq!(child.page_write(s + PAGE_SIZE).unwrap(), 1);
+        assert_eq!(child.cow_pending_ptes(), 2);
+        assert_eq!(child.cow_dirty_pages(), 2);
+        // The parent carries no debt and pays nothing on writes.
+        assert_eq!(a.cow_pending_ptes(), 0);
+        assert_eq!(a.page_write(s).unwrap(), 0);
+    }
+
+    #[test]
+    fn cow_fork_excludes_shared_cache_like_eager_fork() {
+        let mut a = AddressSpace::new();
+        a.map(8 * PAGE_SIZE, Prot::RX, MappingKind::SharedCache, "cache")
+            .unwrap();
+        a.map(2 * PAGE_SIZE, Prot::RW, MappingKind::Anonymous, "[heap]")
+            .unwrap();
+        let (child, deferred) = a.fork_duplicate_cow();
+        assert_eq!(deferred, a.total_ptes());
+        assert_eq!(deferred, 2);
+        assert_eq!(child.cow_pending_ptes(), 2);
+    }
+
+    #[test]
+    fn cow_debt_matches_eager_cost_and_dies_with_the_space() {
+        let mut a = AddressSpace::new();
+        let s = a
+            .map(6 * PAGE_SIZE, Prot::RW, MappingKind::Anonymous, "x")
+            .unwrap();
+        let (_, eager) = a.fork_duplicate();
+        let (mut child, deferred) = a.fork_duplicate_cow();
+        assert_eq!(eager, deferred);
+        child.page_write(s).unwrap();
+        // pending + dirty always accounts for every deferred PTE.
+        assert_eq!(child.cow_pending_ptes() + child.cow_dirty_pages(), 6);
+        child.clear();
+        assert_eq!(child.cow_pending_ptes(), 0);
+        assert_eq!(child.cow_dirty_pages(), 0);
+    }
+
+    #[test]
+    fn page_write_faults_on_unmapped_and_unmap_drops_debt() {
+        let mut a = AddressSpace::new();
+        assert_eq!(a.page_write(0x1234), Err(Errno::EFAULT));
+        let s = a
+            .map(2 * PAGE_SIZE, Prot::RW, MappingKind::Anonymous, "x")
+            .unwrap();
+        let (mut child, _) = a.fork_duplicate_cow();
+        child.page_write(s).unwrap();
+        child.unmap(s).unwrap();
+        assert_eq!(child.cow_pending_ptes(), 0);
+        assert_eq!(child.cow_dirty_pages(), 0);
+    }
+
+    #[test]
+    fn eager_fork_of_a_cow_child_clears_inherited_debt() {
+        let mut a = AddressSpace::new();
+        a.map(3 * PAGE_SIZE, Prot::RW, MappingKind::Anonymous, "x")
+            .unwrap();
+        let (child, _) = a.fork_duplicate_cow();
+        let (grandchild, ptes) = child.fork_duplicate();
+        assert_eq!(ptes, 3);
+        assert_eq!(grandchild.cow_pending_ptes(), 0);
     }
 }

@@ -20,6 +20,7 @@ use cider_abi::ids::Tid;
 use cider_fault::FaultSite;
 use cider_kernel::kernel::Kernel;
 use cider_kernel::mm::{MappingKind, Prot};
+use cider_kernel::warm::{BakedImage, SharedCacheImage};
 
 use crate::framework_set::TOTAL_MAPPED_BYTES;
 use crate::macho::{FileType, MachO};
@@ -93,10 +94,43 @@ pub fn run_dyld(
             }
             stats.images += 1;
         }
+    } else if let Some(cache) = warm_cache_hit(k, root_deps) {
+        // Zygote-style warm start: the device holds a prelinked cache
+        // baked by an earlier cold walk for exactly these roots.
+        // Replay the baked closure — same images, same bind order,
+        // same mapped sizes, so the resulting address space and
+        // callback registrations are indistinguishable from a cold
+        // walk — but with zero filesystem traffic and in-cache bind
+        // cost per image instead of resolve+open+read+map.
+        // Exactly as on the iPad's prelinked cache, initialiser and
+        // terminator handling of cache residents is coalesced: only
+        // the directly linked images register their own atfork/atexit
+        // callbacks.
+        k.charge_cpu(k.profile.dylib_map_ns); // map the prelinked region
+        for img in &cache.images {
+            k.process_mut(pid)?.mm.map(
+                img.vmsize,
+                Prot::RX,
+                MappingKind::Dylib,
+                img.path.clone(),
+            )?;
+            k.charge_cpu(600); // in-cache bind, no I/O
+            if root_deps.contains(&img.path) {
+                images.push(img.path.clone());
+            }
+            stats.images += 1;
+        }
+        stats.mapped_bytes = cache.total_bytes;
+        stats.used_shared_cache = true;
+        k.warm.stats.warm_execs += 1;
+        if k.trace.is_enabled() {
+            k.trace.incr("dyld/warm_execs");
+        }
     } else {
         // The Cider prototype path: walk the filesystem per image.
         let mut seen = BTreeSet::new();
         let mut work: VecDeque<String> = root_deps.to_vec().into();
+        let mut closure: Vec<BakedImage> = Vec::new();
         while let Some(path) = work.pop_front() {
             if !seen.insert(path.clone()) {
                 continue;
@@ -130,17 +164,64 @@ pub fn run_dyld(
             )?;
             k.charge_cpu(k.profile.dylib_map_ns);
             stats.mapped_bytes += vmsize;
+            closure.push(BakedImage {
+                path: path.clone(),
+                vmsize,
+            });
             images.push(path);
             for d in m.dylib_deps() {
                 work.push_back(d.to_string());
             }
             stats.images += 1;
         }
+        // First successful cold walk on a warm device bakes the cache.
+        // A later roots-mismatch walk keeps the first bake: per-app
+        // closures share one device cache keyed on the roots it was
+        // baked for.
+        if k.warm.is_enabled() && k.warm.cache().is_none() {
+            k.warm.install(SharedCacheImage::bake(
+                root_deps.to_vec(),
+                closure,
+                stats.mapped_bytes,
+            ));
+            if k.trace.is_enabled() {
+                k.trace.incr("dyld/cache_bakes");
+            }
+        }
     }
 
     // Every image registers atfork + atexit handlers with libSystem.
     k.register_image_callbacks(pid, &images)?;
     Ok(stats)
+}
+
+/// The warm-path gate: returns the baked cache to replay when warm
+/// start is on, a cache exists, it was baked for exactly these roots,
+/// the [`FaultSite::SharedCacheCorrupt`] fault does not fire, and the
+/// digest still verifies. Corruption (fault or digest mismatch)
+/// invalidates the cache, so the caller falls back to the cold walk —
+/// which launches anyway and re-bakes.
+fn warm_cache_hit(
+    k: &mut Kernel,
+    root_deps: &[String],
+) -> Option<SharedCacheImage> {
+    if !k.warm.is_enabled() {
+        return None;
+    }
+    let roots: Vec<&str> = root_deps.iter().map(String::as_str).collect();
+    let cache = k
+        .warm
+        .cache()
+        .filter(|c| c.matches_roots(&roots))
+        .cloned()?;
+    if k.fault_at(FaultSite::SharedCacheCorrupt) || !cache.verify() {
+        k.warm.invalidate();
+        if k.trace.is_enabled() {
+            k.trace.incr("dyld/cache_invalidations");
+        }
+        return None;
+    }
+    Some(cache)
 }
 
 #[cfg(test)]
@@ -224,5 +305,132 @@ mod tests {
         let stats =
             run_dyld(&mut k, tid, &[dep.clone(), dep.clone(), dep]).unwrap();
         assert_eq!(stats.images, 1);
+    }
+
+    /// Address-space snapshot: (start, len, name) of every mapping.
+    fn mm_shape(k: &Kernel, tid: Tid) -> Vec<(u64, u64, String)> {
+        let pid = k.thread(tid).unwrap().pid;
+        k.process(pid)
+            .unwrap()
+            .mm
+            .iter()
+            .map(|m| (m.start, m.len, m.name.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn first_warm_launch_bakes_then_replays_without_fs_traffic() {
+        let (mut k, tid) = kernel_with_frameworks(DeviceProfile::nexus7());
+        k.warm.set_enabled(true);
+        let deps = FrameworkSet::app_default_deps();
+
+        // Cold walk with an empty cache: full fs traffic, then a bake.
+        let t0 = k.clock.now_ns();
+        let cold = run_dyld(&mut k, tid, &deps).unwrap();
+        let cold_cost = k.clock.now_ns() - t0;
+        assert_eq!(cold.fs_opens, FRAMEWORK_COUNT as u32);
+        assert!(!cold.used_shared_cache);
+        assert_eq!(k.warm.stats.cold_bakes, 1);
+        let cache = k.warm.cache().unwrap();
+        assert_eq!(cache.images.len(), FRAMEWORK_COUNT);
+        assert!(cache.verify());
+        let cold_shape = mm_shape(&k, tid);
+
+        // A second exec replays the bake: zero fs opens, same closure,
+        // same address-space shape, much cheaper.
+        let (mut k2, tid2) = kernel_with_frameworks(DeviceProfile::nexus7());
+        k2.warm = k.warm.clone();
+        let t0 = k2.clock.now_ns();
+        let warm = run_dyld(&mut k2, tid2, &deps).unwrap();
+        let warm_cost = k2.clock.now_ns() - t0;
+        assert!(warm.used_shared_cache);
+        assert_eq!(warm.fs_opens, 0);
+        assert_eq!(warm.images, cold.images);
+        assert_eq!(warm.mapped_bytes, cold.mapped_bytes);
+        assert_eq!(mm_shape(&k2, tid2), cold_shape);
+        assert_eq!(k2.warm.stats.warm_execs, 1);
+        assert!(
+            warm_cost * 3 < cold_cost,
+            "warm {warm_cost} vs cold {cold_cost}"
+        );
+
+        // Prelinking coalesces cache residents' handlers: only the
+        // direct roots register callbacks, exactly as on the iPad's
+        // shared cache.
+        let pid = k2.thread(tid2).unwrap().pid;
+        let p = k2.process(pid).unwrap();
+        assert_eq!(p.callbacks.atfork_total(), deps.len() * 3);
+        assert_eq!(p.callbacks.atexit.len(), deps.len());
+    }
+
+    #[test]
+    fn corrupt_cache_invalidates_and_cold_walk_rebakes() {
+        use cider_fault::FaultPlan;
+
+        let (mut k, tid) = kernel_with_frameworks(DeviceProfile::nexus7());
+        k.warm.set_enabled(true);
+        let deps = FrameworkSet::app_default_deps();
+        run_dyld(&mut k, tid, &deps).unwrap(); // bake
+
+        // Arm SharedCacheCorrupt to fire on the next (warm) exec.
+        k.faults = cider_fault::FaultLayer::with_plan(
+            FaultPlan::new(1).with(FaultSite::SharedCacheCorrupt, 1000),
+        );
+        let (_, tid2) = k.spawn_process();
+        let stats = run_dyld(&mut k, tid2, &deps).unwrap();
+        // It still launched — via the cold walk — and re-baked.
+        assert!(!stats.used_shared_cache);
+        assert_eq!(stats.fs_opens, FRAMEWORK_COUNT as u32);
+        assert_eq!(k.warm.stats.invalidations, 1);
+        assert_eq!(k.warm.stats.cold_bakes, 2);
+        assert!(k.warm.cache().is_some());
+    }
+
+    #[test]
+    fn digest_mismatch_behaves_like_the_corruption_fault() {
+        let (mut k, tid) = kernel_with_frameworks(DeviceProfile::nexus7());
+        k.warm.set_enabled(true);
+        let deps = FrameworkSet::app_default_deps();
+        run_dyld(&mut k, tid, &deps).unwrap();
+
+        // Flip a byte of the baked closure behind the digest's back.
+        let mut cache = k.warm.cache().unwrap().clone();
+        cache.images[0].vmsize ^= 1;
+        k.warm.install(cache);
+        let bakes_before = k.warm.stats.cold_bakes;
+
+        let (_, tid2) = k.spawn_process();
+        let stats = run_dyld(&mut k, tid2, &deps).unwrap();
+        assert!(!stats.used_shared_cache);
+        assert_eq!(k.warm.stats.invalidations, 1);
+        assert_eq!(k.warm.stats.cold_bakes, bakes_before + 1);
+    }
+
+    #[test]
+    fn roots_mismatch_walks_cold_but_keeps_the_first_bake() {
+        let (mut k, tid) = kernel_with_frameworks(DeviceProfile::nexus7());
+        k.warm.set_enabled(true);
+        run_dyld(&mut k, tid, &FrameworkSet::app_default_deps()).unwrap();
+        let digest = k.warm.cache().unwrap().digest;
+
+        let (_, tid2) = k.spawn_process();
+        let stats = run_dyld(
+            &mut k,
+            tid2,
+            &["/usr/lib/libSystem.B.dylib".to_string()],
+        )
+        .unwrap();
+        assert!(!stats.used_shared_cache);
+        assert_eq!(k.warm.stats.cold_bakes, 1, "first bake kept");
+        assert_eq!(k.warm.cache().unwrap().digest, digest);
+    }
+
+    #[test]
+    fn disabled_warm_start_never_consults_the_cache() {
+        let (mut k, tid) = kernel_with_frameworks(DeviceProfile::nexus7());
+        let deps = FrameworkSet::app_default_deps();
+        run_dyld(&mut k, tid, &deps).unwrap();
+        assert!(k.warm.cache().is_none());
+        assert_eq!(k.warm.stats.cold_bakes, 0);
     }
 }

@@ -119,6 +119,119 @@ proptest! {
     }
 }
 
+/// Warm-start state is part of the crash-consistency contract: a
+/// checkpoint cut mid-storm carries the populated shared-cache image
+/// in `kernel/warm`, restores by replay byte-for-byte (the replay
+/// re-bakes the cache deterministically), and the resumed device
+/// finishes fingerprint-identical to one that never stopped.
+#[test]
+fn warm_storm_checkpoint_round_trips_with_populated_cache() {
+    let s = spec(13, true, Workload::LaunchStormWarm { launches: 6 });
+    let direct = run_device(&s);
+
+    let mut live = DeviceSim::boot(&s);
+    for _ in 0..3 {
+        live.step();
+    }
+    let bytes = checkpoint_at(&live, &s);
+    let ckpt = Checkpoint::from_bytes(&bytes).unwrap();
+
+    // The captured image holds a baked cache, not a cold stub.
+    let warm = ckpt.image.section("kernel/warm").expect("kernel/warm");
+    let record = &warm.records[0].1;
+    assert!(
+        record.contains("enabled=true"),
+        "warm off in image: {record}"
+    );
+    assert!(!record.contains("cache=none"), "cache not baked: {record}");
+    assert!(
+        !record.contains("cow_forks=0 "),
+        "storm never CoW-forked: {record}"
+    );
+
+    let mut restored = DeviceSim::boot(&s);
+    for _ in 0..ckpt.header.cursor {
+        restored.step();
+    }
+    assert_eq!(restored.capture(), ckpt.image);
+    while !restored.done() {
+        restored.step();
+    }
+    let resumed = restored.finish(DeviceOutcome::Completed, None);
+    assert_eq!(resumed.trace_fingerprint, direct.trace_fingerprint);
+    assert_eq!(resumed.virtual_ns, direct.virtual_ns);
+}
+
+/// A half-materialized CoW fork — forked, some pages written, the rest
+/// still owed — is observable state: the procs section records the
+/// outstanding debt, the image round-trips exactly, and a bit flipped
+/// inside the CoW record itself is rejected by the frame checksum.
+#[test]
+fn half_materialized_cow_fork_is_checkpointed_and_checksummed() {
+    use cider_ckpt::capture_kernel;
+    use cider_kernel::mm::{MappingKind, Prot, PAGE_SIZE};
+    use cider_kernel::profile::DeviceProfile;
+    use cider_kernel::Kernel;
+
+    let boot = || {
+        let mut k = Kernel::boot(DeviceProfile::nexus7());
+        k.warm.set_enabled(true);
+        let (pid, tid) = k.spawn_process();
+        let base = k
+            .process_mut(pid)
+            .unwrap()
+            .mm
+            .map(4 * PAGE_SIZE, Prot::RW, MappingKind::Anonymous, "[heap]")
+            .unwrap();
+        let (_child, ctid) = k.sys_fork(tid).unwrap();
+        for page in 0..2 {
+            assert_eq!(
+                k.sys_page_write(ctid, base + page * PAGE_SIZE),
+                Ok(1),
+                "first write must materialize"
+            );
+        }
+        k
+    };
+    let img = capture_kernel(&boot());
+    assert_eq!(img, capture_kernel(&boot()), "CoW capture not repeatable");
+
+    let procs = img.section("kernel/procs").expect("kernel/procs");
+    assert!(
+        procs.records.iter().any(|(_, v)| v.contains("+cow2p/2d")),
+        "outstanding CoW debt missing from procs: {:?}",
+        procs.records
+    );
+    let warm = img.section("kernel/warm").expect("kernel/warm");
+    assert!(
+        warm.records[0].1.contains("cow_forks=1"),
+        "fork not counted: {}",
+        warm.records[0].1
+    );
+
+    let bytes = Checkpoint::new(
+        CkptHeader {
+            device_id: 9,
+            seed: 0,
+            config: "cider_ios".to_string(),
+            workload: "cow".to_string(),
+            cursor: 0,
+            virtual_ns: 0,
+        },
+        img.clone(),
+    )
+    .to_bytes();
+    assert_eq!(Checkpoint::from_bytes(&bytes).unwrap().image, img);
+
+    let at = bytes
+        .windows(4)
+        .position(|w| w == b"+cow")
+        .expect("CoW record bytes in frame");
+    let mut bad = bytes.clone();
+    bad[at] ^= 0x04;
+    assert!(Checkpoint::from_bytes(&bad).is_err());
+}
+
 #[test]
 fn truncated_frame_is_rejected_not_panicked() {
     let s = spec(7, true, Workload::LmbenchMix { ops: 2 });

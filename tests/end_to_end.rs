@@ -446,3 +446,75 @@ fn fault_matrix_never_panics_and_recovers() {
         });
     }
 }
+
+// ----------------------------------------------------------------------
+// Warm start under fault injection: a corrupt shared cache must cost a
+// cold walk, never a failed launch.
+// ----------------------------------------------------------------------
+
+use cider_bench::config::{SystemConfig, TestBed};
+use cider_bench::lmbench;
+
+#[test]
+fn corrupt_shared_cache_falls_back_to_cold_walk_and_still_launches() {
+    let mut bed = TestBed::builder(SystemConfig::CiderIos)
+        .traced()
+        .warm_start()
+        .build();
+    let (_pid, tid) = bed.spawn_measured().unwrap();
+    // Every consult of the cache from here on reports corruption.
+    bed.enable_faults(
+        FaultPlan::new(7).with(FaultSite::SharedCacheCorrupt, 1000),
+    );
+    for i in 0..3 {
+        lmbench::fork_exec_lat(&mut bed, tid, true).unwrap_or_else(|e| {
+            panic!("launch {i}: corruption must degrade, not fail: {e:?}")
+        });
+    }
+    let stats = bed.sys.kernel.warm.stats;
+    assert!(stats.invalidations > 0, "cache was never invalidated");
+    assert!(
+        stats.cold_bakes > stats.warm_execs,
+        "every launch should have fallen back cold: {stats:?}"
+    );
+    let snap = bed.trace_snapshot().unwrap();
+    assert!(snap.metrics.counter("dyld/cache_invalidations") > 0);
+    assert!(snap.metrics.counter("fault/shared_cache_corrupt") > 0);
+}
+
+/// The full fault matrix (which now arms `shared_cache_corrupt`
+/// automatically) over a warm-start launch storm, on the CI seeds:
+/// injected faults surface as clean errnos or silent cold walks, and
+/// the cache machinery keeps working.
+#[test]
+fn fault_matrix_auto_covers_the_warm_start_machinery() {
+    let mut invalidations = 0;
+    for seed in [11u64, 23, 47] {
+        let mut bed = TestBed::builder(SystemConfig::CiderIos)
+            .traced()
+            .warm_start()
+            .build();
+        let (_pid, tid) = bed.spawn_measured().unwrap();
+        bed.enable_faults(FaultPlan::matrix(seed));
+        for _ in 0..8 {
+            // Any failure must be a clean injected errno, never a
+            // panic or a wedged kernel.
+            let _ = lmbench::fork_exec_lat(&mut bed, tid, true);
+        }
+        assert!(
+            bed.sys.kernel.faults.injected_total() > 0,
+            "seed {seed}: matrix never fired"
+        );
+        let stats = &bed.sys.kernel.warm.stats;
+        assert!(
+            stats.cold_bakes + stats.warm_execs > 0,
+            "seed {seed}: warm machinery never engaged"
+        );
+        invalidations += stats.invalidations;
+    }
+    assert!(
+        invalidations > 0,
+        "shared_cache_corrupt never fired across the CI seeds — \
+         the matrix is not covering the new site"
+    );
+}

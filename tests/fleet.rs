@@ -68,6 +68,30 @@ fn fleet_json_is_identical_across_runs_and_thread_counts() {
     assert!(first.groups["all"].faults_total > 0);
 }
 
+/// CoW first-write fault charges land on the faulting thread's virtual
+/// clock; if one were lost or double-charged depending on host
+/// scheduling, the warm-storm report would differ between 1 and 8
+/// worker threads. The fault matrix rides along so cache invalidations
+/// (shared_cache_corrupt) are part of the replayed schedule too.
+#[test]
+fn warm_storm_fleet_is_host_thread_invariant() {
+    let spec = |threads: usize| {
+        FleetSpec::new(24, 11, Workload::LaunchStormWarm { launches: 6 })
+            .mix(PersonaMix::EVEN)
+            .fault_plan(FaultPlan::matrix(47))
+            .host_threads(threads)
+    };
+    let one = FleetReport::from_run(&run_fleet(&spec(1)));
+    let wide = FleetReport::from_run(&run_fleet(&spec(8)));
+    assert_eq!(
+        one.to_json(),
+        wide.to_json(),
+        "CoW fault charges desynced virtual time across host threads"
+    );
+    assert!(one.groups["all"].launches_per_vsec_milli.is_some());
+    assert!(one.groups["all"].faults_total > 0, "matrix never fired");
+}
+
 #[test]
 fn launch_storm_fleet_reports_per_persona_throughput() {
     let spec = FleetSpec::new(16, 7, Workload::LaunchStorm { launches: 4 })

@@ -789,3 +789,151 @@ fn context_switch_trace_replays_on_ci_seeds() {
         }
     }
 }
+
+// ----------------------------------------------------------------------
+// Warm start changes only virtual time, never observable semantics: a
+// launch storm on a warm-start bed must produce the same syscall
+// results and the same end-of-run kernel state (ids, processes,
+// threads, VFS, IPC) as the cold machine. Timing sections (clock,
+// scheduler, per-launch durations), fault streams and the warm cache
+// record itself are the *intended* deltas and are excluded.
+// ----------------------------------------------------------------------
+
+/// Checkpoint sections that must be warm/cold invariant.
+const WARM_INVARIANT_SECTIONS: [&str; 5] = [
+    "kernel/ids",
+    "kernel/procs",
+    "kernel/threads",
+    "kernel/vfs",
+    "kernel/ipc",
+];
+
+#[allow(clippy::type_complexity)]
+fn launch_observation(
+    seed: u64,
+    warm: bool,
+    launches: usize,
+) -> (Vec<String>, Vec<(String, Vec<(String, String)>)>) {
+    let builder = TestBed::builder(SystemConfig::CiderIos);
+    let builder = if warm { builder.warm_start() } else { builder };
+    let mut bed = builder.build();
+    bed.sys.kernel.sched.reseed(seed);
+    let (_pid, tid) = bed.spawn_measured().unwrap();
+    let mut results = Vec::new();
+    for _ in 0..launches {
+        results.push(
+            match cider_bench::lmbench::fork_exec_lat(&mut bed, tid, true) {
+                Ok(_) => "ok".to_string(),
+                Err(e) => format!("err:{}", e.name()),
+            },
+        );
+    }
+    let sections = bed
+        .sys
+        .kernel
+        .ckpt_sections()
+        .into_iter()
+        .filter(|(name, _)| WARM_INVARIANT_SECTIONS.contains(&name.as_str()))
+        .collect();
+    (results, sections)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn warm_start_is_observation_identical_to_cold(
+        seed in any::<u64>(),
+        launches in 1usize..3,
+    ) {
+        let (cold_res, cold_state) = launch_observation(seed, false, launches);
+        let (warm_res, warm_state) = launch_observation(seed, true, launches);
+        prop_assert_eq!(cold_res, warm_res, "syscall results diverged");
+        prop_assert_eq!(cold_state, warm_state, "kernel state diverged");
+    }
+}
+
+/// The acceptance seeds, pinned: warm ≡ cold on exactly the seeds the
+/// CI fault-matrix and determinism jobs run.
+#[test]
+fn warm_equals_cold_on_ci_seeds() {
+    for seed in [11u64, 23, 47] {
+        let (cold_res, cold_state) = launch_observation(seed, false, 2);
+        let (warm_res, warm_state) = launch_observation(seed, true, 2);
+        assert_eq!(cold_res, warm_res, "seed {seed}: results diverged");
+        assert_eq!(cold_state, warm_state, "seed {seed}: state diverged");
+        assert!(
+            cold_res.iter().all(|r| r == "ok"),
+            "seed {seed}: launches failed: {cold_res:?}"
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// Copy-on-write forks diverge from eager forks only in *when* the PTE
+// copies are charged: touching k of the child's n deferred pages costs
+// exactly k page copies, and the remaining debt is the exact gap to
+// the eager fork's clock.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cow_fork_charges_exactly_the_touched_pages(
+        pages in 1u64..6,
+        touched in prop::collection::vec(any::<u8>(), 0..12),
+    ) {
+        use cider_kernel::mm::{MappingKind, Prot, PAGE_SIZE};
+
+        let run = |cow: bool| -> (u64, u64, u64) {
+            let mut k = Kernel::boot(DeviceProfile::nexus7());
+            k.warm.set_enabled(cow);
+            let (pid, tid) = k.spawn_process();
+            let base = k
+                .process_mut(pid)
+                .unwrap()
+                .mm
+                .map(
+                    pages * PAGE_SIZE,
+                    Prot::RW,
+                    MappingKind::Anonymous,
+                    "[heap]",
+                )
+                .unwrap();
+            let before = k.clock.now_ns();
+            let (child, ctid) = k.sys_fork(tid).unwrap();
+            let fork_ns = k.clock.now_ns() - before;
+            let mut materialized = 0;
+            for &t in &touched {
+                let addr = base + (u64::from(t) % pages) * PAGE_SIZE;
+                materialized += k.sys_page_write(ctid, addr).unwrap();
+            }
+            let debt =
+                k.process(child).unwrap().mm.cow_pending_ptes();
+            (fork_ns, materialized, debt)
+        };
+
+        let (eager_ns, eager_mat, eager_debt) = run(false);
+        let (cow_ns, cow_mat, cow_debt) = run(true);
+        let pte = DeviceProfile::nexus7().pte_copy_ns;
+        let distinct = {
+            let mut seen: Vec<u64> = touched
+                .iter()
+                .map(|&t| u64::from(t) % pages)
+                .collect();
+            seen.sort_unstable();
+            seen.dedup();
+            seen.len() as u64
+        };
+
+        // Eager: every PTE is copied at fork, writes are free.
+        prop_assert_eq!(eager_mat, 0);
+        prop_assert_eq!(eager_debt, 0);
+        // CoW: the fork is cheaper by exactly the deferred copies, and
+        // each distinct touched page materializes exactly one PTE.
+        prop_assert_eq!(cow_mat, distinct);
+        prop_assert_eq!(cow_debt, pages - distinct);
+        prop_assert_eq!(eager_ns - cow_ns, pages * pte);
+    }
+}
