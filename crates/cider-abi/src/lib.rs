@@ -30,6 +30,7 @@ pub mod convention;
 pub mod errno;
 pub mod ids;
 pub mod persona;
+pub mod rights;
 pub mod sched;
 pub mod signal;
 pub mod syscall;
@@ -39,5 +40,6 @@ pub use convention::{CallingConvention, CpuFlags, SyscallOutcome};
 pub use errno::{Errno, XnuErrno};
 pub use ids::{Fd, Gid, Pid, PortName, Tid, Uid};
 pub use persona::Persona;
+pub use rights::{ReceiveRight, SendOnceRight, SendRight};
 pub use signal::{Signal, XnuSignal};
 pub use syscall::{LinuxSyscall, SyscallName, TrapClass, XnuTrap};

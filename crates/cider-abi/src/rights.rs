@@ -1,0 +1,99 @@
+//! Typed Mach port rights.
+//!
+//! The raw Mach interface is stringly-typed: every right is a bare `u32`
+//! name and the *kind* of right it denotes lives only in the kernel's
+//! per-space table, so user code can (and in real iOS, does) pass a
+//! send-once name where a receive right is required and only find out at
+//! trap time. IPC v2 lifts the kind into the type system: a
+//! [`ReceiveRight`] can only be minted by allocating a port or moving a
+//! receive right, a [`SendRight`] only by inserting or copying one, and
+//! APIs that need a specific kind take the specific newtype.
+//!
+//! Each right wraps the task-local [`PortName`] it is known by. The
+//! newtypes are deliberately *not* `Copy`-less linear tokens — the
+//! simulator's refcounts stay authoritative — but they make mismatched
+//! dispositions unrepresentable in the typed call paths.
+
+use std::fmt;
+
+use crate::ids::PortName;
+
+macro_rules! right_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(PortName);
+
+        impl $name {
+            /// Wraps a validated name. Callers outside the IPC subsystem
+            /// should obtain rights from the typed allocation APIs rather
+            /// than conjuring them from raw names.
+            pub const fn from_name(name: PortName) -> Self {
+                Self(name)
+            }
+
+            /// The task-local name this right is known by.
+            pub const fn name(self) -> PortName {
+                self.0
+            }
+
+            /// The raw `u32` the wire format and trap registers carry.
+            pub const fn as_raw(self) -> u32 {
+                self.0.as_raw()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0.as_raw())
+            }
+        }
+
+        impl From<$name> for PortName {
+            fn from(r: $name) -> PortName {
+                r.name()
+            }
+        }
+    };
+}
+
+right_newtype!(
+    /// A send right: many may exist per port; each is a counted reference.
+    SendRight, "send:"
+);
+right_newtype!(
+    /// A send-once right: consumed by the first message sent through it.
+    SendOnceRight, "sonce:"
+);
+right_newtype!(
+    /// The receive right: exactly one per live port; dequeues messages.
+    ReceiveRight, "recv:"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rights_carry_their_name() {
+        let r = ReceiveRight::from_name(PortName::new(0x103));
+        assert_eq!(r.name(), PortName::new(0x103));
+        assert_eq!(r.as_raw(), 0x103);
+        assert_eq!(r.to_string(), "recv:259");
+        let s = SendRight::from_name(PortName::new(7));
+        assert_eq!(PortName::from(s), PortName::new(7));
+        assert_eq!(s.to_string(), "send:7");
+        assert_eq!(
+            SendOnceRight::from_name(PortName::new(9)).to_string(),
+            "sonce:9"
+        );
+    }
+
+    #[test]
+    fn rights_of_different_kinds_are_distinct_types() {
+        // Compile-time property: these are three distinct nominal types.
+        fn takes_recv(_: ReceiveRight) {}
+        takes_recv(ReceiveRight::from_name(PortName::new(1)));
+        // `takes_recv(SendRight::from_name(..))` would not compile.
+    }
+}

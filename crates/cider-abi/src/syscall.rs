@@ -248,6 +248,11 @@ syscall_enum! {
         SwtchPri = 59,
         Swtch = 60,
         ThreadSwitch = 61,
+        // IPC v2 batched submission: the TrapRing submission/completion
+        // queue pays one kernel crossing per flush. Real XNU has no such
+        // traps; the simulator claims the two numbers after thread_switch.
+        RingSubmit = 62,
+        RingFlush = 63,
     }
 }
 

@@ -192,6 +192,92 @@ fn measure_persona(config: SystemConfig) -> PersonaCosts {
     }
 }
 
+/// IPC v2 costs for one iOS persona, against the v1 row measured on
+/// the same configuration with the feature off.
+///
+/// `mach_msg_ns` is the combined-option round trip —
+/// `MACH_SEND_MSG|MACH_RCV_MSG` in one trap, rights resolved through
+/// the typed refcounted table and the message queued lock-free — where
+/// v1 pays two crossings and a subsystem mutex on each. `ool_16k_ns`
+/// round-trips a 16 KiB out-of-line descriptor, which v2 moves by
+/// remapping four pages instead of copying 16384 bytes.
+/// `ring_batch_per_msg_ns` round-trips [`RING_BATCH_MSGS`] messages as
+/// interleaved send/receive ring submissions paying a single
+/// `ring_flush` crossing for the whole batch.
+struct IpcV2Costs {
+    config: SystemConfig,
+    v1_mach_msg_ns: u64,
+    mach_msg_ns: u64,
+    ool_16k_ns: u64,
+    ring_batch_per_msg_ns: u64,
+}
+
+/// Messages per ring batch: 16 interleaved send/receive entries fill
+/// the submission ring exactly once per flush.
+const RING_BATCH_MSGS: u64 = 8;
+
+/// Bytes of the out-of-line payload: four pages, comfortably past the
+/// inline threshold so v2 takes the remap path.
+const OOL_BYTES: usize = 16 * 1024;
+
+fn measure_ipc_v2(config: SystemConfig, v1_mach_msg_ns: u64) -> IpcV2Costs {
+    let mut bed = TestBed::builder(config).ipc_v2().build();
+    let (_, tid) = bed.spawn_measured().expect("bench binaries installed");
+    let port = bed.sys.mach_port_allocate(tid).expect("ports zone");
+    let send = bed.sys.mach_make_send(tid, port).expect("send right");
+    let nr = XnuTrap::Mach(MachTrap::MachMsgTrap).encode();
+
+    let mach_msg_ns = virtual_ns_per_call(&mut bed, 64, |bed| {
+        let msg = UserMessage::simple(send, 7, &b"ping"[..]);
+        let mut args = SyscallArgs::regs([
+            3, // MACH_SEND_MSG | MACH_RCV_MSG: one crossing, not two.
+            0,
+            port.as_raw() as i64,
+            0,
+            0,
+            0,
+            0,
+        ]);
+        args.data = SyscallData::Bytes(wire::encode_user_message(&msg).into());
+        let r = bed.sys.trap(tid, nr, &args);
+        assert_eq!(r.reg, 0, "mach_msg v2 combined round trip");
+    });
+
+    let ool_16k_ns = virtual_ns_per_call(&mut bed, 64, |bed| {
+        let mut msg = UserMessage::simple(send, 8, &b"ool"[..]);
+        msg.ool.push(vec![0xA5u8; OOL_BYTES].into());
+        let mut args =
+            SyscallArgs::regs([3, 0, port.as_raw() as i64, 0, 0, 0, 0]);
+        args.data = SyscallData::Bytes(wire::encode_user_message(&msg).into());
+        let r = bed.sys.trap(tid, nr, &args);
+        assert_eq!(r.reg, 0, "mach_msg v2 OOL round trip");
+    });
+
+    let batch_ns = virtual_ns_per_call(&mut bed, 16, |bed| {
+        for i in 0..RING_BATCH_MSGS {
+            let msg = UserMessage::simple(send, 0x900 + i as i32, &b"b"[..]);
+            let early =
+                bed.sys.ring_submit(tid, cider_core::RingOp::Send(msg));
+            assert!(early.expect("submit").is_empty(), "ring overflowed");
+            bed.sys
+                .ring_submit(tid, cider_core::RingOp::Recv(port))
+                .expect("submit");
+        }
+        let cs = bed.sys.ring_flush(tid).expect("flush");
+        assert_eq!(cs.len() as u64, 2 * RING_BATCH_MSGS);
+        assert!(cs.iter().all(|c| c.kr.is_success()));
+    });
+    let ring_batch_per_msg_ns = batch_ns / RING_BATCH_MSGS;
+
+    IpcV2Costs {
+        config,
+        v1_mach_msg_ns,
+        mach_msg_ns,
+        ool_16k_ns,
+        ring_batch_per_msg_ns,
+    }
+}
+
 /// One launch-storm cell: the virtual-time cost of a `fork+exec` app
 /// launch on one configuration, cold (closure walk + eager PTE copy)
 /// and warm (prelinked shared cache + copy-on-write fork).
@@ -226,6 +312,7 @@ fn measure_launch_storm(config: SystemConfig) -> LaunchStorm {
 fn write_json(
     lookups: &LookupNumbers,
     personas: &[PersonaCosts],
+    ipc_v2: &[IpcV2Costs],
     storms: &[LaunchStorm],
 ) {
     let mut s = String::from("{\n");
@@ -278,6 +365,30 @@ fn write_json(
             )),
         }
         let sep = if i + 1 == personas.len() { "" } else { "," };
+        s.push_str(&format!("    }}{sep}\n"));
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"ipc_v2_virtual_ns\": {\n");
+    for (i, v2) in ipc_v2.iter().enumerate() {
+        s.push_str(&format!("    \"{}\": {{\n", v2.config.slug()));
+        s.push_str(&format!("      \"mach_msg\": {},\n", v2.mach_msg_ns));
+        s.push_str(&format!(
+            "      \"mach_msg_speedup\": {:.2},\n",
+            v2.v1_mach_msg_ns as f64 / v2.mach_msg_ns as f64
+        ));
+        s.push_str(&format!(
+            "      \"mach_msg_ool_16k\": {},\n",
+            v2.ool_16k_ns
+        ));
+        s.push_str(&format!(
+            "      \"ring_batch_per_msg\": {},\n",
+            v2.ring_batch_per_msg_ns
+        ));
+        s.push_str(&format!(
+            "      \"ring_batch_msgs\": {}\n",
+            RING_BATCH_MSGS
+        ));
+        let sep = if i + 1 == ipc_v2.len() { "" } else { "," };
         s.push_str(&format!("    }}{sep}\n"));
     }
     s.push_str("  },\n");
@@ -389,6 +500,30 @@ fn bench(c: &mut Criterion) {
                     bed.sys.trap(tid, nr, &rcv)
                 })
             });
+            // Host time of the v2 combined-option trap (last in the
+            // loop, so flipping the bed to v2 taints nothing above).
+            bed.sys.enable_ipc_v2();
+            group.bench_function(
+                format!("mach_msg_v2/{}", config.slug()),
+                |b| {
+                    b.iter(|| {
+                        let msg = UserMessage::simple(send, 7, &b"ping"[..]);
+                        let mut args = SyscallArgs::regs([
+                            3,
+                            0,
+                            port.as_raw() as i64,
+                            0,
+                            0,
+                            0,
+                            0,
+                        ]);
+                        args.data = SyscallData::Bytes(
+                            wire::encode_user_message(&msg).into(),
+                        );
+                        bed.sys.trap(tid, nr, &args)
+                    })
+                },
+            );
         }
     }
     group.finish();
@@ -398,15 +533,44 @@ fn main() {
     let lookups = measure_lookups();
     let personas: Vec<PersonaCosts> =
         PERSONAS.into_iter().map(measure_persona).collect();
+    let ipc_v2: Vec<IpcV2Costs> = personas
+        .iter()
+        .filter_map(|p| p.mach_msg_ns.map(|v1| measure_ipc_v2(p.config, v1)))
+        .collect();
     let storms: Vec<LaunchStorm> =
         PERSONAS.into_iter().map(measure_launch_storm).collect();
-    write_json(&lookups, &personas, &storms);
+    write_json(&lookups, &personas, &ipc_v2, &storms);
     println!(
         "dispatch lookup: dense {:.2}ns vs btreemap {:.2}ns ({:.1}x)",
         lookups.null_dense_ns,
         lookups.null_btreemap_ns,
         lookups.null_btreemap_ns / lookups.null_dense_ns,
     );
+    for v2 in &ipc_v2 {
+        println!(
+            "ipc v2 {}: mach_msg {}ns (v1 {}ns, {:.2}x) ool16k {}ns \
+             ring {}ns/msg",
+            v2.config.slug(),
+            v2.mach_msg_ns,
+            v2.v1_mach_msg_ns,
+            v2.v1_mach_msg_ns as f64 / v2.mach_msg_ns as f64,
+            v2.ool_16k_ns,
+            v2.ring_batch_per_msg_ns,
+        );
+        // The redesign's headline acceptance: halving the crossings
+        // (and dropping the subsystem mutex) at least halves the
+        // round trip, and a flushed batch beats the per-message trap.
+        assert!(
+            v2.mach_msg_ns * 2 <= v2.v1_mach_msg_ns,
+            "{}: v2 mach_msg lost its 2x win",
+            v2.config.slug()
+        );
+        assert!(
+            v2.ring_batch_per_msg_ns < v2.mach_msg_ns,
+            "{}: ring batch costs more than single traps",
+            v2.config.slug()
+        );
+    }
     for storm in &storms {
         println!(
             "launch storm {}: cold {}ns warm {}ns ({:.1}x)",

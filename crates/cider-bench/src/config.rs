@@ -138,6 +138,7 @@ pub struct TestBedBuilder {
     traced: bool,
     fault_plan: Option<cider_fault::FaultPlan>,
     warm_start: bool,
+    ipc_v2: bool,
 }
 
 impl TestBedBuilder {
@@ -148,6 +149,7 @@ impl TestBedBuilder {
             traced: false,
             fault_plan: None,
             warm_start: false,
+            ipc_v2: false,
         }
     }
 
@@ -186,6 +188,16 @@ impl TestBedBuilder {
         self
     }
 
+    /// Boots with Mach IPC v2 enabled: typed rights over lock-free
+    /// queues, OOL page remap instead of copy, and the batched
+    /// submission ring. Off by default — the pinned v1 `mach_msg`
+    /// rows and all non-IPC goldens describe the mutex-and-copy path.
+    #[must_use]
+    pub fn ipc_v2(mut self) -> TestBedBuilder {
+        self.ipc_v2 = true;
+        self
+    }
+
     /// Boots the bed: the right kernel flavour, the graphics stack
     /// (with the fence bug only on Cider), the benchmark binaries, the
     /// registered program behaviours, and whatever optional subsystems
@@ -200,6 +212,9 @@ impl TestBedBuilder {
         }
         if self.warm_start {
             bed.sys.kernel.warm.set_enabled(true);
+        }
+        if self.ipc_v2 {
+            bed.sys.enable_ipc_v2();
         }
         bed
     }

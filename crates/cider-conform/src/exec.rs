@@ -20,7 +20,7 @@ use cider_abi::ids::{Pid, PortName, Tid};
 use cider_abi::syscall::{LinuxSyscall, MachTrap, XnuSyscall, XnuTrap};
 use cider_abi::{Persona, Signal, SyscallOutcome};
 use cider_core::kqueue::{EvAction, EvFilter, KQueue, Kevent};
-use cider_core::{attach_persona_ext, wire, with_state, CiderState};
+use cider_core::{attach_persona_ext, wire, with_state, CiderState, RingOp};
 use cider_core::{XnuNativePersonality, XnuPersonality};
 use cider_fault::{FaultLayer, FaultPlan};
 use cider_kernel::dispatch::{SyscallArgs, SyscallData, UserTrapResult};
@@ -29,6 +29,7 @@ use cider_kernel::profile::DeviceProfile;
 use cider_kernel::Kernel;
 use cider_trace::TraceSink;
 use cider_xnu::ipc::UserMessage;
+use cider_xnu::KernReturn;
 use std::fmt;
 use std::sync::Arc;
 
@@ -889,6 +890,73 @@ impl Driver {
                     argv: vec!["conform".to_string()],
                 };
                 self.unix(X::Execve, Some(L::Execve), args, DataMode::Ignore)
+            }
+            Op::MsgSendOol { slot, kb } => {
+                if !self.is_xnu() {
+                    return OpObs::Skip;
+                }
+                // IPC v2 is kernel policy, not ABI surface: the op
+                // turns it on (mirroring exec_warm for warm start), so
+                // above-threshold OOL regions move by page remap and
+                // every later IPC op in the program runs the v2 path.
+                with_state(&mut self.k, |_, st| st.machipc.set_v2(true));
+                let dest = PortName(self.port_arg(slot) as u32);
+                let pages = 1 + kb as usize % 4;
+                let blob: Vec<u8> =
+                    (0..pages * 4096).map(|i| (i % 251) as u8).collect();
+                let mut msg =
+                    UserMessage::simple(dest, 0x200 + kb as i32, &b"ool"[..]);
+                msg.ool.push(blob.into());
+                let mut args = SyscallArgs::regs([1, 0, 0, 0, 0, 0, 0]);
+                args.data =
+                    SyscallData::Bytes(wire::encode_user_message(&msg).into());
+                self.mach(M::MachMsgTrap, args, DataMode::Ignore)
+            }
+            Op::RingSubmit { slot, len } => {
+                if !self.is_xnu() {
+                    return OpObs::Skip;
+                }
+                let dest = PortName(self.port_arg(slot) as u32);
+                let body: Vec<u8> = vec![b'r'; 1 + len as usize % 32];
+                let msg = UserMessage::simple(dest, 0x300 + len as i32, body);
+                let mut args = SyscallArgs::none();
+                args.data = SyscallData::Bytes(
+                    wire::encode_ring_ops(&[RingOp::Send(msg)]).into(),
+                );
+                self.mach(M::RingSubmit, args, DataMode::Ignore)
+            }
+            Op::RingFlush => {
+                // The completion block travels out-of-band; hashing it
+                // pins the batched results into the observation.
+                self.mach(M::RingFlush, SyscallArgs::none(), DataMode::Hash)
+            }
+            Op::PortRightDealloc { slot } => {
+                if !self.is_xnu() {
+                    return OpObs::Skip;
+                }
+                let name = PortName(self.port_arg(slot) as u32);
+                let (pid, tid) = (self.pid, self.tid);
+                let kr = with_state(&mut self.k, |k2, st| {
+                    let space = st.task_space(pid);
+                    // Typed validation first: only a name the space
+                    // holds a genuine send right under deallocates.
+                    match st.machipc.send_right(space, name) {
+                        Ok(send) => match st.port_deallocate_for(
+                            k2,
+                            tid,
+                            pid,
+                            send.name(),
+                        ) {
+                            Ok(()) => KernReturn::Success,
+                            Err(e) => e,
+                        },
+                        Err(e) => e,
+                    }
+                });
+                OpObs::Kern {
+                    v: kr.as_raw(),
+                    data: None,
+                }
             }
             Op::KqPoll => match self.kq.poll(&mut self.k, self.tid) {
                 Ok(evs) => {

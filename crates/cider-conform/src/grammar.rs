@@ -203,10 +203,32 @@ pub enum Op {
     ExecCold {
         path: u8,
     },
+    // --- IPC v2 (typed rights, OOL remap, batched traps) ---
+    /// Enables IPC v2 (kernel policy, not ABI surface), then sends a
+    /// message carrying `1+kb%4` pages of out-of-line data: regions at
+    /// or above the inline threshold move by page remap, the rest copy.
+    MsgSendOol {
+        slot: u8,
+        kb: u8,
+    },
+    /// Enqueues one send on the calling thread's trap ring — no kernel
+    /// crossing for the message until the ring flushes.
+    RingSubmit {
+        slot: u8,
+        len: u8,
+    },
+    /// Flushes the trap ring: one kernel crossing executes every
+    /// queued operation and returns the completion block.
+    RingFlush,
+    /// Validates a name as a *typed* send right, then releases one
+    /// reference through the typed deallocate path.
+    PortRightDealloc {
+        slot: u8,
+    },
 }
 
 /// Number of op kinds in the grammar.
-pub const KIND_COUNT: usize = 52;
+pub const KIND_COUNT: usize = 56;
 
 impl Op {
     /// The dispatch-table entry this op exercises on the translated XNU
@@ -251,6 +273,9 @@ impl Op {
             Op::InsertRight { .. } => "mach/mach_port_insert_right",
             Op::MsgSend { .. } => "mach/mach_msg_trap",
             Op::MsgRecv { .. } => "mach/mach_msg_trap",
+            Op::MsgSendOol { .. } => "mach/mach_msg_trap",
+            Op::RingSubmit { .. } => "mach/ring_submit",
+            Op::RingFlush => "mach/ring_flush",
             Op::SemSignal { .. } => "mach/semaphore_signal_trap",
             Op::SemWait { .. } => "mach/semaphore_wait_trap",
             Op::VmAllocate { .. } => "mach/mach_vm_allocate",
@@ -258,6 +283,7 @@ impl Op {
             Op::Nanosleep { .. }
             | Op::ForkWrite { .. }
             | Op::TouchPages { .. }
+            | Op::PortRightDealloc { .. }
             | Op::SchedYield
             | Op::MachDep { .. }
             | Op::Diag { .. }
@@ -333,6 +359,16 @@ impl Op {
             Op::TouchPages { n } => format!("touch_pages n={n}"),
             Op::ExecWarm { path } => format!("exec_warm path={path}"),
             Op::ExecCold { path } => format!("exec_cold path={path}"),
+            Op::MsgSendOol { slot, kb } => {
+                format!("mach_msg_ool slot={slot} kb={kb}")
+            }
+            Op::RingSubmit { slot, len } => {
+                format!("ring_submit slot={slot} len={len}")
+            }
+            Op::RingFlush => "ring_flush".into(),
+            Op::PortRightDealloc { slot } => {
+                format!("port_right_dealloc slot={slot}")
+            }
         }
     }
 
@@ -479,6 +515,24 @@ impl Op {
             },
             "exec_cold" => Op::ExecCold {
                 path: f(&["path"])?[0],
+            },
+            "mach_msg_ool" => {
+                let v = f(&["slot", "kb"])?;
+                Op::MsgSendOol {
+                    slot: v[0],
+                    kb: v[1],
+                }
+            }
+            "ring_submit" => {
+                let v = f(&["slot", "len"])?;
+                Op::RingSubmit {
+                    slot: v[0],
+                    len: v[1],
+                }
+            }
+            "ring_flush" => Op::RingFlush,
+            "port_right_dealloc" => Op::PortRightDealloc {
+                slot: f(&["slot"])?[0],
             },
             _ => return None,
         };
@@ -634,8 +688,20 @@ fn make_op(k: usize, rng: &mut SplitMix64) -> Op {
         50 => Op::ExecWarm {
             path: rng.below(PATH_POOL.len() as u64) as u8,
         },
-        _ => Op::ExecCold {
+        51 => Op::ExecCold {
             path: rng.below(PATH_POOL.len() as u64) as u8,
+        },
+        52 => Op::MsgSendOol {
+            slot: rng.below(4) as u8,
+            kb: rng.below(4) as u8,
+        },
+        53 => Op::RingSubmit {
+            slot: rng.below(4) as u8,
+            len: rng.below(32) as u8,
+        },
+        54 => Op::RingFlush,
+        _ => Op::PortRightDealloc {
+            slot: rng.below(4) as u8,
         },
     }
 }

@@ -1,0 +1,98 @@
+//! Hand-pinned regression entries under `tests/regress/` at the
+//! workspace root: unlike `tests/corpus/` (which the engine owns and
+//! regenerates byte-for-byte from the default seed), these are curated
+//! programs that must keep replaying and bisecting identically.
+//!
+//! The IPC-heavy entry drives the v2 surface — an out-of-line message,
+//! a ring submission, and a ring flush — before hitting the known
+//! `diag` outcome divergence between the translated and the native XNU
+//! personality. Time-travel bisection must walk *past* the IPC ops
+//! (their state and virtual clocks agree on both sides) and land
+//! exactly on the diag op.
+//!
+//! Regenerate the golden with `UPDATE_GOLDEN=1 cargo test -p
+//! cider-conform --test regress`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cider_conform::corpus::EntryClass;
+use cider_conform::{bisect, ConfigId, CorpusEntry, Program};
+
+const IPC_HEAVY: &str = "port_allocate\n\
+                         insert_right slot=0\n\
+                         mach_msg_ool slot=1 kb=2\n\
+                         ring_submit slot=0 len=4\n\
+                         ring_flush\n\
+                         diag n=1\n";
+
+fn regress_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/regress/div_ipc_ring.conform")
+}
+
+fn capture_entry() -> CorpusEntry {
+    CorpusEntry::capture(
+        "div_ipc_ring".into(),
+        EntryClass::Divergence,
+        7,
+        0,
+        None,
+        "outcome|xnu|xnu-native|kern:4|kern:0".into(),
+        Program::parse(IPC_HEAVY).unwrap(),
+    )
+}
+
+/// The checked-in entry matches a fresh capture byte-for-byte and
+/// replays green.
+#[test]
+fn ipc_heavy_entry_is_pinned_and_replays() {
+    let entry = capture_entry();
+    let text = entry.serialize();
+    let path = regress_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &text).unwrap();
+    }
+    let want = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    assert_eq!(
+        text, want,
+        "regress entry drifted; regenerate with UPDATE_GOLDEN=1"
+    );
+    let parsed = CorpusEntry::parse(&want).unwrap();
+    parsed.replay().unwrap_or_else(|m| panic!("{m}"));
+}
+
+/// Bisection over the IPC-heavy program is deterministic and lands on
+/// the diag op — the last op, after the whole v2 IPC prefix — for the
+/// xnu/xnu-native pair, while the xnu/linux pair (where every op is
+/// outside the shared vocabulary) never diverges.
+#[test]
+fn ipc_heavy_bisection_is_deterministic() {
+    let program = Program::parse(IPC_HEAVY).unwrap();
+    let a = bisect(
+        &program,
+        None,
+        (ConfigId::XnuTranslated, ConfigId::XnuNative),
+        2,
+    );
+    let b = bisect(
+        &program,
+        None,
+        (ConfigId::XnuTranslated, ConfigId::XnuNative),
+        2,
+    );
+    assert_eq!(a.summary(), b.summary());
+    assert_eq!(a.first_divergent_op, Some(5), "{}", a.summary());
+    assert_eq!(a.op_line.as_deref(), Some("diag n=1"));
+    assert!(!a.delta.is_empty());
+
+    let l = bisect(
+        &program,
+        None,
+        (ConfigId::XnuTranslated, ConfigId::Linux),
+        2,
+    );
+    assert_eq!(l.first_divergent_op, None, "{}", l.summary());
+}

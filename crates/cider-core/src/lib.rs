@@ -38,6 +38,7 @@ pub mod kqueue;
 pub mod library;
 pub mod machoload;
 pub mod persona;
+pub mod ring;
 pub mod services;
 pub mod state;
 pub mod system;
@@ -51,6 +52,7 @@ pub use kqueue::KQueue;
 pub use library::{LibraryHost, NativeLibrary};
 pub use machoload::{MachOLoader, MachTaskForkHook};
 pub use persona::{attach_persona_ext, persona_of, set_persona, PersonaExt};
+pub use ring::{RingCompletion, RingOp, TrapRing, RING_CAPACITY};
 pub use services::Services;
 pub use state::{with_state, CiderState};
 pub use system::CiderSystem;

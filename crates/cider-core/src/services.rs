@@ -275,10 +275,10 @@ fn register_with_launchd(
         let lspace = st.task_space(launchd.pid);
         st.bootstrap.launchd_space = Some(lspace);
         let dspace = st.task_space(d.pid);
-        let send = st.machipc.make_send(dspace, d.port)?;
-        let in_launchd =
-            st.machipc.copy_send_to_space(dspace, send, lspace)?;
-        st.bootstrap.register(name.to_string(), in_launchd);
+        let recv = st.machipc.receive_right(dspace, d.port)?;
+        let send = st.machipc.insert_send(dspace, recv)?;
+        let in_launchd = st.machipc.copy_send(dspace, send, lspace)?;
+        st.bootstrap.register(name.to_string(), in_launchd.name());
         Ok::<_, KernReturn>(())
     })
     .map_err(ServiceError::Mach)
@@ -434,10 +434,11 @@ impl Services {
         let launchd = self.launchd;
         with_state(k, |_, st| {
             let lspace = st.task_space(launchd.pid);
-            let send = st.machipc.make_send(lspace, launchd.port)?;
+            let recv = st.machipc.receive_right(lspace, launchd.port)?;
+            let send = st.machipc.insert_send(lspace, recv)?;
             let cspace = st.task_space(pid);
-            let name = st.machipc.copy_send_to_space(lspace, send, cspace)?;
-            Ok(name)
+            let name = st.machipc.copy_send(lspace, send, cspace)?;
+            Ok(name.name())
         })
     }
 

@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 
 use cider_abi::ids::{Pid, PortName, Tid};
+use cider_abi::rights::ReceiveRight;
 use cider_ducttape::adapter::{DuctTape, DuctTapeState};
 use cider_ducttape::cxx::CxxRuntime;
 use cider_fault::FaultSite;
@@ -20,6 +21,7 @@ use cider_xnu::ipc::{
 use cider_xnu::kern_return::{KernResult, KernReturn};
 use cider_xnu::psynch::{PsynchOutcome, PsynchState};
 
+use crate::ring::{RingCompletion, RingOp, TrapRing};
 use crate::services::BootstrapRegistry;
 
 /// All Cider kernel-resident state.
@@ -40,6 +42,8 @@ pub struct CiderState {
     task_self_ports: BTreeMap<u32, PortName>,
     /// launchd's service registry.
     pub bootstrap: BootstrapRegistry,
+    /// Per-thread batched trap submission rings.
+    rings: BTreeMap<u32, TrapRing>,
 }
 
 impl std::fmt::Debug for CiderState {
@@ -65,6 +69,7 @@ impl CiderState {
             task_spaces: BTreeMap::new(),
             task_self_ports: BTreeMap::new(),
             bootstrap: BootstrapRegistry::new(),
+            rings: BTreeMap::new(),
         }
     }
 
@@ -114,7 +119,7 @@ impl CiderState {
             ..
         } = self;
         let mut api = DuctTape::new(k, ducttape, tid);
-        let name = machipc.port_allocate(&mut api, space)?;
+        let name = machipc.alloc_receive(&mut api, space)?.name();
         machipc.set_kobject(
             space,
             name,
@@ -148,7 +153,7 @@ impl CiderState {
             ducttape, machipc, ..
         } = self;
         let mut api = DuctTape::new(k, ducttape, tid);
-        machipc.port_allocate(&mut api, space)
+        machipc.alloc_receive(&mut api, space).map(|r| r.name())
     }
 
     /// `mach_port_deallocate` in a process's space.
@@ -240,12 +245,13 @@ impl CiderState {
             // Queue overflow on the destination port.
             return Err(KernReturn::SendTooLarge);
         }
+        let ool_before = self.machipc.stats.ool_bytes_remapped;
         let result = {
             let CiderState {
                 ducttape, machipc, ..
             } = self;
             let mut api = DuctTape::new(k, ducttape, tid);
-            machipc.msg_send(&mut api, space, msg)
+            machipc.send(&mut api, space, msg)
         };
         if result.is_ok() && k.trace.is_enabled() {
             k.trace.record(
@@ -254,6 +260,16 @@ impl CiderState {
             );
             k.trace.incr("mach/msgs_sent");
             k.trace.add("mach/bytes_sent", bytes);
+            // The ipc/* counter family only exists on the v2 path, so
+            // v1 traces (and their fingerprints) are unchanged.
+            if self.machipc.v2_enabled() {
+                k.trace.incr("ipc/msg_send");
+                let remapped =
+                    self.machipc.stats.ool_bytes_remapped - ool_before;
+                if remapped > 0 {
+                    k.trace.add("ipc/ool_bytes_remapped", remapped);
+                }
+            }
         }
         result
     }
@@ -275,7 +291,10 @@ impl CiderState {
                 ducttape, machipc, ..
             } = self;
             let mut api = DuctTape::new(k, ducttape, tid);
-            machipc.msg_receive(&mut api, space, name)
+            // The raw name comes straight from trap registers; the
+            // receive path re-validates it under the port lock, so the
+            // unchecked constructor keeps the error codes identical.
+            machipc.receive(&mut api, space, ReceiveRight::from_name(name))
         };
         if let Ok(msg) = &result {
             if k.trace.is_enabled() {
@@ -290,6 +309,47 @@ impl CiderState {
             }
         }
         result
+    }
+
+    // ------------------------------------------------------------------
+    // Batched trap submission (IPC v2).
+    // ------------------------------------------------------------------
+
+    /// The calling thread's submission ring, created on first use. The
+    /// ring models a queue pair shared between user space and the
+    /// kernel, so submissions can land here without a trap.
+    pub fn ring_mut(&mut self, tid: Tid) -> &mut TrapRing {
+        self.rings.entry(tid.as_raw()).or_default()
+    }
+
+    /// Executes every pending submission on a thread's ring, in order,
+    /// publishing one completion per entry. The whole batch shares the
+    /// single kernel crossing the `ring_flush` trap already paid.
+    pub fn ring_flush(&mut self, k: &mut Kernel, tid: Tid, pid: Pid) -> usize {
+        let ops = self.ring_mut(tid).drain_submissions();
+        let n = ops.len();
+        for (seq, op) in ops {
+            let (kr, received) = match op {
+                RingOp::Send(msg) => {
+                    match self.msg_send_for(k, tid, pid, msg) {
+                        Ok(()) => (KernReturn::Success, None),
+                        Err(e) => (e, None),
+                    }
+                }
+                RingOp::Recv(name) => {
+                    match self.msg_receive_for(k, tid, pid, name) {
+                        Ok(m) => (KernReturn::Success, Some(m)),
+                        Err(e) => (e, None),
+                    }
+                }
+            };
+            self.ring_mut(tid)
+                .complete(RingCompletion { seq, kr, received });
+        }
+        if k.trace.is_enabled() {
+            k.trace.incr("ipc/ring_flush");
+        }
+        n
     }
 
     /// Destroys a process's IPC space (task teardown at exit).
@@ -537,16 +597,46 @@ mod tests {
         with_state(&mut k, |k, st| {
             let port = st.port_allocate_for(k, tid, pid).unwrap();
             let space = st.task_space(pid);
-            let send = st.machipc.make_send(space, port).unwrap();
+            let recv = st.machipc.receive_right(space, port).unwrap();
+            let send = st.machipc.insert_send(space, recv).unwrap();
             st.msg_send_for(
                 k,
                 tid,
                 pid,
-                UserMessage::simple(send, 3, &b"abc"[..]),
+                UserMessage::simple(send.name(), 3, &b"abc"[..]),
             )
             .unwrap();
             let got = st.msg_receive_for(k, tid, pid, port).unwrap();
             assert_eq!(got.msg_id, 3);
+            st.machipc.check_invariants();
+        });
+    }
+
+    #[test]
+    fn ring_flush_executes_a_batch_in_order() {
+        let (mut k, pid, tid) = setup();
+        with_state(&mut k, |k, st| {
+            st.machipc.set_v2(true);
+            let port = st.port_allocate_for(k, tid, pid).unwrap();
+            let space = st.task_space(pid);
+            let recv = st.machipc.receive_right(space, port).unwrap();
+            let send = st.machipc.insert_send(space, recv).unwrap();
+            for i in 0..3 {
+                st.ring_mut(tid)
+                    .push(RingOp::Send(UserMessage::simple(
+                        send.name(),
+                        i,
+                        &b"b"[..],
+                    )))
+                    .unwrap();
+            }
+            st.ring_mut(tid).push(RingOp::Recv(port)).unwrap();
+            assert_eq!(st.ring_flush(k, tid, pid), 4);
+            let cs = st.ring_mut(tid).take_completions();
+            assert_eq!(cs.len(), 4);
+            assert!(cs.iter().all(|c| c.kr == KernReturn::Success));
+            // The receive completed against the first queued send.
+            assert_eq!(cs[3].received.as_ref().unwrap().msg_id, 0);
             st.machipc.check_invariants();
         });
     }

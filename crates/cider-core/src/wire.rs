@@ -11,6 +11,9 @@ use cider_abi::ids::PortName;
 use cider_xnu::ipc::{
     PortDescriptor, PortDisposition, ReceivedMessage, UserMessage,
 };
+use cider_xnu::kern_return::KernReturn;
+
+use crate::ring::{RingCompletion, RingOp};
 
 fn disp_to_u8(d: PortDisposition) -> u8 {
     match d {
@@ -191,6 +194,109 @@ pub fn decode_received_message(
     })
 }
 
+/// Encodes a batch of ring submissions into the `ring_submit` trap
+/// buffer form.
+pub fn encode_ring_ops(ops: &[RingOp]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 16 * ops.len());
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        match op {
+            RingOp::Send(m) => {
+                out.push(1);
+                let msg = encode_user_message(m);
+                out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                out.extend_from_slice(&msg);
+            }
+            RingOp::Recv(name) => {
+                out.push(2);
+                out.extend_from_slice(&name.as_raw().to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a `ring_submit` trap buffer back into ring submissions.
+///
+/// # Errors
+///
+/// `EFAULT` on truncation, `EINVAL` on unknown tags, `EMSGSIZE` on
+/// absurd batch sizes.
+pub fn decode_ring_ops(bytes: &[u8]) -> Result<Vec<RingOp>, Errno> {
+    let mut c = Cursor { b: bytes, pos: 0 };
+    let n = c.u32()?;
+    if n as usize > 4 * crate::ring::RING_CAPACITY {
+        return Err(Errno::EMSGSIZE);
+    }
+    let mut ops = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        match c.u8()? {
+            1 => {
+                let blob = c.blob()?;
+                ops.push(RingOp::Send(decode_user_message(&blob)?));
+            }
+            2 => ops.push(RingOp::Recv(PortName(c.u32()?))),
+            _ => return Err(Errno::EINVAL),
+        }
+    }
+    Ok(ops)
+}
+
+/// Encodes a batch of ring completions into the `ring_flush` result
+/// buffer form.
+pub fn encode_ring_completions(cs: &[RingCompletion]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 16 * cs.len());
+    out.extend_from_slice(&(cs.len() as u32).to_le_bytes());
+    for c in cs {
+        out.extend_from_slice(&c.seq.to_le_bytes());
+        out.extend_from_slice(&(c.kr.as_raw() as i32).to_le_bytes());
+        match &c.received {
+            Some(m) => {
+                out.push(1);
+                let msg = encode_received_message(m);
+                out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                out.extend_from_slice(&msg);
+            }
+            None => out.push(0),
+        }
+    }
+    out
+}
+
+/// Decodes a `ring_flush` result buffer back into completions (used by
+/// user-space stand-ins).
+///
+/// # Errors
+///
+/// `EFAULT` on truncation, `EINVAL` on unknown codes or flags.
+pub fn decode_ring_completions(
+    bytes: &[u8],
+) -> Result<Vec<RingCompletion>, Errno> {
+    let mut c = Cursor { b: bytes, pos: 0 };
+    let n = c.u32()?;
+    if n > 4096 {
+        return Err(Errno::EMSGSIZE);
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let seq = {
+            let b = c.take(8)?;
+            u64::from_le_bytes(b.try_into().expect("8-byte slice"))
+        };
+        let kr = KernReturn::from_raw(c.i32()? as i64).ok_or(Errno::EINVAL)?;
+        let received = match c.u8()? {
+            0 => None,
+            1 => {
+                let blob = c.blob()?;
+                Some(decode_received_message(&blob)?)
+            }
+            _ => return Err(Errno::EINVAL),
+        };
+        out.push(RingCompletion { seq, kr, received });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +335,46 @@ mod tests {
             decode_user_message(&bytes[..bytes.len() - 1]),
             Err(Errno::EFAULT)
         );
+    }
+
+    #[test]
+    fn ring_ops_roundtrip() {
+        let ops = vec![
+            RingOp::Send(UserMessage::simple(PortName(0x103), 9, &b"rq"[..])),
+            RingOp::Recv(PortName(0x107)),
+        ];
+        let bytes = encode_ring_ops(&ops);
+        assert_eq!(decode_ring_ops(&bytes).unwrap(), ops);
+        assert_eq!(decode_ring_ops(&bytes[..3]), Err(Errno::EFAULT));
+    }
+
+    #[test]
+    fn ring_completions_roundtrip() {
+        let cs = vec![
+            RingCompletion {
+                seq: 0,
+                kr: KernReturn::Success,
+                received: None,
+            },
+            RingCompletion {
+                seq: 1,
+                kr: KernReturn::Success,
+                received: Some(ReceivedMessage {
+                    msg_id: 9,
+                    body: Bytes::from(&b"rq"[..]),
+                    reply_port: PortName::NULL,
+                    ports: Vec::new(),
+                    ool: Vec::new(),
+                }),
+            },
+            RingCompletion {
+                seq: 2,
+                kr: KernReturn::RcvTimedOut,
+                received: None,
+            },
+        ];
+        let bytes = encode_ring_completions(&cs);
+        assert_eq!(decode_ring_completions(&bytes).unwrap(), cs);
     }
 
     #[test]

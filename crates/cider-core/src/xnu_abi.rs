@@ -757,13 +757,14 @@ fn build_mach_table() -> Result<SyscallTable, DispatchError> {
                 Ok(t) => t.pid,
                 Err(_) => return TrapResult::ok(0),
             };
-            let recv = PortName(args.regs[0] as u32);
+            let name = PortName(args.regs[0] as u32);
             let kr = with_state(k, |_k2, st| {
                 let space = st.task_space(pid);
-                st.machipc.make_send(space, recv)
+                let recv = st.machipc.receive_right(space, name)?;
+                st.machipc.insert_send(space, recv)
             });
             match kr {
-                Ok(n) => TrapResult::ok(n.as_raw() as i64),
+                Ok(s) => TrapResult::ok(s.name().as_raw() as i64),
                 Err(e) => TrapResult::ok(e.as_raw()),
             }
         },
@@ -813,6 +814,59 @@ fn build_mach_table() -> Result<SyscallTable, DispatchError> {
             };
         }
         TrapResult::ok(KernReturn::Success.as_raw())
+    })?;
+
+    t.install(M::RingSubmit.number(), "ring_submit", |k, tid, args| {
+        // Batch submission over the trap ABI: one crossing moves many
+        // entries into the thread's ring (callers with the shared
+        // mapping skip even this and write the queue directly).
+        let pid = match k.thread(tid) {
+            Ok(t) => t.pid,
+            Err(_) => {
+                return TrapResult::ok(KernReturn::InvalidArgument.as_raw())
+            }
+        };
+        let SyscallData::Bytes(buf) = &args.data else {
+            return TrapResult::ok(KernReturn::InvalidArgument.as_raw());
+        };
+        let ops = match wire::decode_ring_ops(buf) {
+            Ok(o) => o,
+            Err(_) => {
+                return TrapResult::ok(KernReturn::InvalidArgument.as_raw())
+            }
+        };
+        with_state(k, |k2, st| {
+            for op in ops {
+                if st.ring_mut(tid).is_full()
+                    || k2.fault_at(cider_fault::FaultSite::TrapRingOverflow)
+                {
+                    // Overflow degrades to an immediate flush; we are
+                    // already inside the kernel, so the batch just loses
+                    // some of its amortisation, never the operations.
+                    st.ring_flush(k2, tid, pid);
+                }
+                st.ring_mut(tid).push(op).expect("ring was just flushed");
+            }
+        });
+        TrapResult::ok(KernReturn::Success.as_raw())
+    })?;
+
+    t.install(M::RingFlush.number(), "ring_flush", |k, tid, _| {
+        // The completion count travels in the buffer, not the return
+        // register — the register keeps the kern_return error band.
+        let pid = match k.thread(tid) {
+            Ok(t) => t.pid,
+            Err(_) => {
+                return TrapResult::ok(KernReturn::InvalidArgument.as_raw())
+            }
+        };
+        let cs = with_state(k, |k2, st| {
+            st.ring_flush(k2, tid, pid);
+            st.ring_mut(tid).take_completions()
+        });
+        let mut r = TrapResult::ok(KernReturn::Success.as_raw());
+        r.out_data = wire::encode_ring_completions(&cs);
+        r
     })?;
 
     t.install(

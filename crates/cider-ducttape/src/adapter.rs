@@ -77,6 +77,8 @@ impl DuctTapeState {
             "dt_thread_wakeup",
             "dt_mach_absolute_time",
             "dt_kprintf",
+            "dt_vm_remap",
+            "dt_copyin",
         ] {
             s.symbols
                 .define(sym, Zone::DuctTape)
@@ -95,6 +97,8 @@ impl DuctTapeState {
             ("thread_wakeup", "dt_thread_wakeup"),
             ("mach_absolute_time", "dt_mach_absolute_time"),
             ("kprintf", "dt_kprintf"),
+            ("vm_map_remap", "dt_vm_remap"),
+            ("copyin", "dt_copyin"),
         ] {
             s.symbols
                 .map_external(foreign, provider)
@@ -238,6 +242,26 @@ impl ForeignKernelApi for DuctTape<'_> {
     fn kprintf(&mut self, msg: &str) {
         self.state.klog.push(msg.to_string());
     }
+
+    fn vm_remap_pages(&mut self, pages: u64) -> bool {
+        self.cross();
+        if self.kernel.fault_at(cider_fault::FaultSite::OolRemapFail) {
+            // vm_map_remap failed (fragmented target map, wired pages);
+            // the IPC layer degrades to an inline copy.
+            return false;
+        }
+        // Moving an OOL region is pure page-table surgery: one PTE per
+        // page, no bytes touched.
+        self.kernel
+            .charge_cpu(self.kernel.profile.pte_copy_ns * pages);
+        true
+    }
+
+    fn copyin(&mut self, bytes: u64) {
+        self.cross();
+        let ns = (bytes as f64 * self.kernel.profile.copy_byte_ns) as u64;
+        self.kernel.charge_cpu(ns);
+    }
 }
 
 #[cfg(test)]
@@ -310,15 +334,15 @@ mod tests {
             let mut api = DuctTape::new(&mut k, &mut st, tid);
             ipc.bootstrap(&mut api);
             let task = ipc.create_space();
-            let port = ipc.port_allocate(&mut api, task).unwrap();
-            let send = ipc.make_send(task, port).unwrap();
-            ipc.msg_send(
+            let recv = ipc.alloc_receive(&mut api, task).unwrap();
+            let send = ipc.insert_send(task, recv).unwrap();
+            ipc.send(
                 &mut api,
                 task,
-                UserMessage::simple(send, 7, &b"through duct tape"[..]),
+                UserMessage::simple(send.name(), 7, &b"through duct tape"[..]),
             )
             .unwrap();
-            let got = ipc.msg_receive(&mut api, task, port).unwrap();
+            let got = ipc.receive(&mut api, task, recv).unwrap();
             assert_eq!(&got.body[..], b"through duct tape");
         }
         ipc.check_invariants();

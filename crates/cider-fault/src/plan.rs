@@ -58,11 +58,20 @@ pub enum FaultSite {
     /// re-bakes it). Only consulted when warm start is enabled, so
     /// cold-machine runs never draw from its stream.
     SharedCacheCorrupt,
+    /// `vm_map_remap` of an out-of-line message region fails
+    /// (fragmented target map, wired source pages). IPC v2 degrades
+    /// gracefully: the region is copied inline instead of remapped.
+    /// Only consulted on the v2 OOL fast path.
+    OolRemapFail,
+    /// A trap-ring submission finds the ring full. The submitter
+    /// degrades by flushing immediately (one extra kernel crossing)
+    /// and then retrying the enqueue.
+    TrapRingOverflow,
 }
 
 impl FaultSite {
     /// Every site, in a stable order (used by reports and tests).
-    pub const ALL: [FaultSite; 15] = [
+    pub const ALL: [FaultSite; 17] = [
         FaultSite::VfsRead,
         FaultSite::VfsWrite,
         FaultSite::VfsCreate,
@@ -78,6 +87,8 @@ impl FaultSite {
         FaultSite::DeviceCrash,
         FaultSite::DeviceWedge,
         FaultSite::SharedCacheCorrupt,
+        FaultSite::OolRemapFail,
+        FaultSite::TrapRingOverflow,
     ];
 
     /// The device-lifecycle sites consulted by the fleet's healing
@@ -107,6 +118,8 @@ impl FaultSite {
             FaultSite::DeviceCrash => "device_crash",
             FaultSite::DeviceWedge => "device_wedge",
             FaultSite::SharedCacheCorrupt => "shared_cache_corrupt",
+            FaultSite::OolRemapFail => "ool_remap_fail",
+            FaultSite::TrapRingOverflow => "trap_ring_overflow",
         }
     }
 }

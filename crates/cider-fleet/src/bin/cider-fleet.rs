@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p cider-fleet --bin cider-fleet -- \
 //!     [--devices N] [--seed S] [--threads T] \
-//!     [--workload lmbench|launch_storm|launch_storm_warm|conform] \
+//!     [--workload lmbench|launch_storm|launch_storm_warm|ipc_storm|conform] \
 //!     [--units N] \
 //!     [--mix even|ios|android] [--fault-seed S] \
 //!     [--lifecycle-seed S] [--heal] [--watchdog-ns N] \
@@ -132,6 +132,7 @@ fn workload_for(name: &str, units: u32) -> Result<Workload, String> {
         "launch_storm_warm" => {
             Ok(Workload::LaunchStormWarm { launches: units })
         }
+        "ipc_storm" => Ok(Workload::IpcStorm { msgs: units }),
         "conform" => Ok(Workload::ConformOps { programs: units }),
         other => Err(format!("unknown workload {other:?}")),
     }
@@ -193,6 +194,9 @@ fn bench_matrix(threads: usize) -> String {
         Workload::LmbenchMix { ops: 16 },
         Workload::LaunchStorm { launches: 8 },
         Workload::LaunchStormWarm { launches: 8 },
+        // Appended last so the earlier cells of the committed
+        // BENCH_fleet.json stay byte-identical.
+        Workload::IpcStorm { msgs: 8 },
     ];
     let mut cells = Vec::new();
     for workload in workloads {

@@ -23,9 +23,12 @@ use cider_bench::lmbench;
 use cider_bench::SystemConfig;
 use cider_ckpt::StateImage;
 use cider_conform::{execute, generate, Coverage};
+use cider_core::RingOp;
 use cider_fault::{FaultLayer, SplitMix64};
 use cider_kernel::clock::WatchdogExpired;
 use cider_trace::{Metrics, MetricsSnapshot};
+use cider_xnu::ipc::UserMessage;
+use cider_xnu::KernReturn;
 
 use crate::heal::HealStats;
 use crate::spec::{DeviceSpec, Workload};
@@ -255,6 +258,20 @@ impl DeviceSim {
                     self.units += 1;
                 }
             }
+            Workload::IpcStorm { .. } => {
+                // IPC v2 is device policy, toggled deterministically
+                // before every unit (mirroring the warm-start toggle)
+                // so checkpoint replay re-derives the same state.
+                self.bed.sys.enable_ipc_v2();
+                let t0 = self.now_ns();
+                if let Ok(n) =
+                    ipc_storm_unit(&mut self.bed, self.tid, self.cursor)
+                {
+                    self.workload.observe("ipc/unit", self.now_ns() - t0);
+                    self.workload.add("ipc/messages", n);
+                    self.units += 1;
+                }
+            }
             Workload::ConformOps { .. } => {
                 // The conform engine boots its own differential beds;
                 // the observations fold into the fingerprint so
@@ -411,6 +428,44 @@ impl DeviceSim {
     }
 }
 
+/// One IPC-storm unit: allocate a port, round-trip one out-of-line
+/// message (two pages, so v2 remaps instead of copying), then push a
+/// small ring batch through one batched flush trap and drain the port.
+/// Returns the messages delivered. Under an armed fault plan any
+/// injected Mach error simply fails the unit; the device carries on.
+fn ipc_storm_unit(
+    bed: &mut TestBed,
+    tid: Tid,
+    cursor: u64,
+) -> Result<u64, KernReturn> {
+    // Stay below the default port queue limit of 5.
+    const RING_BATCH: u64 = 4;
+    let recv = bed.sys.mach_port_allocate(tid)?;
+    let send = bed.sys.mach_make_send(tid, recv)?;
+    let mut delivered = 0u64;
+
+    let blob: Vec<u8> = (0..2 * 4096u64)
+        .map(|i| (i.wrapping_add(cursor)) as u8)
+        .collect();
+    let mut msg = UserMessage::simple(send, 0x600, &b"ool"[..]);
+    msg.ool.push(blob.into());
+    bed.sys.mach_msg_send(tid, msg)?;
+    bed.sys.mach_msg_receive(tid, recv)?;
+    delivered += 1;
+
+    for i in 0..RING_BATCH {
+        let body = vec![b's'; 1 + ((cursor + i) % 24) as usize];
+        let msg = UserMessage::simple(send, 0x700 + i as i32, body);
+        bed.sys.ring_submit(tid, RingOp::Send(msg))?;
+    }
+    bed.sys.ring_flush(tid)?;
+    for _ in 0..RING_BATCH {
+        bed.sys.mach_msg_receive(tid, recv)?;
+        delivered += 1;
+    }
+    Ok(delivered)
+}
+
 /// Runs one device to completion with no watchdog. Pure function of
 /// the spec: no host state, no wall clock, no shared mutability.
 pub fn run_device(spec: &DeviceSpec) -> DeviceResult {
@@ -529,6 +584,29 @@ mod tests {
         let again = storm(Workload::LaunchStormWarm { launches: 8 });
         assert_eq!(warm.trace_fingerprint, again.trace_fingerprint);
         assert_eq!(warm.virtual_ns, again.virtual_ns);
+    }
+
+    #[test]
+    fn ipc_storm_delivers_and_replays_byte_identically() {
+        let storm = || {
+            run_device(&DeviceSpec {
+                device_id: 4,
+                seed: 13,
+                config: SystemConfig::CiderIos,
+                workload: Workload::IpcStorm { msgs: 6 },
+                fault_plan: None,
+            })
+        };
+        let a = storm();
+        assert_eq!(a.units_completed, 6);
+        // One OOL round-trip plus a ring batch of four per unit.
+        assert_eq!(a.workload_metrics.counter("ipc/messages"), 30);
+        // The OOL blobs crossed by page remap, not byte copy.
+        assert!(a.kernel_metrics.counter("ipc/ool_bytes_remapped") > 0);
+        assert!(a.kernel_metrics.counter("ipc/ring_flush") > 0);
+        let b = storm();
+        assert_eq!(a.trace_fingerprint, b.trace_fingerprint);
+        assert_eq!(a.virtual_ns, b.virtual_ns);
     }
 
     #[test]

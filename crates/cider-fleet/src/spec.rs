@@ -84,6 +84,15 @@ pub enum Workload {
         /// App launches per device.
         launches: u32,
     },
+    /// A Mach IPC storm over the v2 fast path: each unit allocates a
+    /// port, round-trips one out-of-line message (large enough that v2
+    /// remaps its pages instead of copying), then pushes a ring batch
+    /// of small sends through one batched `ring_flush` trap and drains
+    /// the port.
+    IpcStorm {
+        /// Storm units (port + OOL round-trip + ring batch) per device.
+        msgs: u32,
+    },
     /// Differential ABI conformance operations: each device generates
     /// and executes `programs` seeded syscall programs through the
     /// cider-conform engine and folds the observations into its trace
@@ -101,6 +110,7 @@ impl Workload {
             Workload::LmbenchMix { .. } => "lmbench_mix",
             Workload::LaunchStorm { .. } => "launch_storm",
             Workload::LaunchStormWarm { .. } => "launch_storm_warm",
+            Workload::IpcStorm { .. } => "ipc_storm",
             Workload::ConformOps { .. } => "conform_ops",
         }
     }
@@ -111,6 +121,7 @@ impl Workload {
             Workload::LmbenchMix { ops } => ops,
             Workload::LaunchStorm { launches }
             | Workload::LaunchStormWarm { launches } => launches,
+            Workload::IpcStorm { msgs } => msgs,
             Workload::ConformOps { programs } => programs,
         }
     }

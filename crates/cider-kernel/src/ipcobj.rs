@@ -37,8 +37,11 @@ pub struct SocketEnd {
 #[derive(Debug, Default)]
 struct PipeObject {
     buf: VecDeque<u8>,
-    write_open: bool,
-    read_open: bool,
+    // Descriptor reference counts per end: `dup` and `fork` both create
+    // additional descriptors pointing at the same end, so an end is only
+    // really closed when the last descriptor referencing it goes away.
+    writers: u32,
+    readers: u32,
 }
 
 /// Default pipe capacity (64 KiB, as on Linux).
@@ -48,7 +51,8 @@ pub const PIPE_CAPACITY: usize = 65536;
 struct SocketObject {
     // buf[i] holds data travelling *towards* side i.
     buf: [VecDeque<u8>; 2],
-    open: [bool; 2],
+    // Descriptor reference counts per side (see `PipeObject`).
+    refs: [u32; 2],
 }
 
 /// Kernel table of live pipes and socketpairs.
@@ -73,8 +77,8 @@ impl IpcObjects {
             id,
             PipeObject {
                 buf: VecDeque::new(),
-                write_open: true,
-                read_open: true,
+                writers: 1,
+                readers: 1,
             },
         );
         PipeId(id)
@@ -88,7 +92,7 @@ impl IpcObjects {
             id,
             SocketObject {
                 buf: [VecDeque::new(), VecDeque::new()],
-                open: [true, true],
+                refs: [1, 1],
             },
         );
         SocketId(id)
@@ -106,7 +110,7 @@ impl IpcObjects {
         data: &[u8],
     ) -> Result<usize, Errno> {
         let p = self.pipes.get_mut(&id.0).ok_or(Errno::EBADF)?;
-        if !p.read_open {
+        if p.readers == 0 {
             return Err(Errno::EPIPE);
         }
         let room = PIPE_CAPACITY.saturating_sub(p.buf.len());
@@ -131,7 +135,7 @@ impl IpcObjects {
     ) -> Result<usize, Errno> {
         let p = self.pipes.get_mut(&id.0).ok_or(Errno::EBADF)?;
         if p.buf.is_empty() {
-            return if p.write_open {
+            return if p.writers > 0 {
                 Err(Errno::EAGAIN)
             } else {
                 Ok(0)
@@ -149,16 +153,29 @@ impl IpcObjects {
         self.pipes.get(&id.0).map(|p| p.buf.len()).unwrap_or(0)
     }
 
-    /// Marks one end closed; destroys the object when both are closed.
+    /// Drops one descriptor reference to an end; an end counts as closed
+    /// when its last reference goes, and the object is destroyed when
+    /// both ends are closed.
     pub fn pipe_close(&mut self, end: PipeEnd) {
         if let Some(p) = self.pipes.get_mut(&end.id.0) {
             if end.write_end {
-                p.write_open = false;
+                p.writers = p.writers.saturating_sub(1);
             } else {
-                p.read_open = false;
+                p.readers = p.readers.saturating_sub(1);
             }
-            if !p.write_open && !p.read_open {
+            if p.writers == 0 && p.readers == 0 {
                 self.pipes.remove(&end.id.0);
+            }
+        }
+    }
+
+    /// Adds a descriptor reference to an end (`dup`, `fork`).
+    pub fn pipe_retain(&mut self, end: PipeEnd) {
+        if let Some(p) = self.pipes.get_mut(&end.id.0) {
+            if end.write_end {
+                p.writers += 1;
+            } else {
+                p.readers += 1;
             }
         }
     }
@@ -176,7 +193,7 @@ impl IpcObjects {
     ) -> Result<usize, Errno> {
         let s = self.sockets.get_mut(&id.0).ok_or(Errno::EBADF)?;
         let to = (1 - from_side) as usize;
-        if !s.open[to] {
+        if s.refs[to] == 0 {
             return Err(Errno::EPIPE);
         }
         let room = PIPE_CAPACITY.saturating_sub(s.buf[to].len());
@@ -202,7 +219,7 @@ impl IpcObjects {
         let s = self.sockets.get_mut(&id.0).ok_or(Errno::EBADF)?;
         let q = &mut s.buf[side as usize];
         if q.is_empty() {
-            let peer_open = s.open[(1 - side) as usize];
+            let peer_open = s.refs[(1 - side) as usize] > 0;
             return if peer_open { Err(Errno::EAGAIN) } else { Ok(0) };
         }
         let n = buf.len().min(q.len());
@@ -220,13 +237,22 @@ impl IpcObjects {
             .unwrap_or(0)
     }
 
-    /// Marks one side closed; destroys the pair when both sides close.
+    /// Drops one descriptor reference to a side; destroys the pair when
+    /// the last reference to both sides is gone.
     pub fn socket_close(&mut self, end: SocketEnd) {
         if let Some(s) = self.sockets.get_mut(&end.id.0) {
-            s.open[end.side as usize] = false;
-            if !s.open[0] && !s.open[1] {
+            let side = end.side as usize;
+            s.refs[side] = s.refs[side].saturating_sub(1);
+            if s.refs[0] == 0 && s.refs[1] == 0 {
                 self.sockets.remove(&end.id.0);
             }
+        }
+    }
+
+    /// Adds a descriptor reference to a side (`dup`, `fork`).
+    pub fn socket_retain(&mut self, end: SocketEnd) {
+        if let Some(s) = self.sockets.get_mut(&end.id.0) {
+            s.refs[end.side as usize] += 1;
         }
     }
 
@@ -248,8 +274,8 @@ impl IpcObjects {
                 format!("pipe:{id:06}"),
                 format!(
                     "w={} r={} len={} digest={:016x}",
-                    p.write_open,
-                    p.read_open,
+                    p.writers > 0,
+                    p.readers > 0,
                     p.buf.len(),
                     crate::kernel::fnv1a_pair(a, b),
                 ),
@@ -262,7 +288,7 @@ impl IpcObjects {
                     format!("sock:{id:06}/{side}"),
                     format!(
                         "open={} len={} digest={:016x}",
-                        s.open[side],
+                        s.refs[side] > 0,
                         s.buf[side].len(),
                         crate::kernel::fnv1a_pair(a, b),
                     ),
@@ -335,6 +361,45 @@ mod tests {
             write_end: false,
         });
         assert_eq!(t.live_objects(), 0);
+    }
+
+    #[test]
+    fn retained_pipe_ends_survive_one_close() {
+        let mut t = IpcObjects::new();
+        let id = t.create_pipe();
+        let w = PipeEnd {
+            id,
+            write_end: true,
+        };
+        let r = PipeEnd {
+            id,
+            write_end: false,
+        };
+        // A fork duplicates both descriptors: two refs per end.
+        t.pipe_retain(w);
+        t.pipe_retain(r);
+        // The child exits, closing its copies; the parent's stay usable.
+        t.pipe_close(w);
+        t.pipe_close(r);
+        assert_eq!(t.pipe_write(id, b"still here").unwrap(), 10);
+        let mut buf = [0u8; 16];
+        assert_eq!(t.pipe_read(id, &mut buf).unwrap(), 10);
+        t.pipe_close(w);
+        t.pipe_close(r);
+        assert_eq!(t.live_objects(), 0);
+    }
+
+    #[test]
+    fn retained_socket_side_survives_one_close() {
+        let mut t = IpcObjects::new();
+        let id = t.create_socketpair();
+        let s0 = SocketEnd { id, side: 0 };
+        t.socket_retain(s0);
+        t.socket_close(s0);
+        // Side 0 still has a live reference: the peer sees no EPIPE.
+        t.socket_send(id, 1, b"hi").unwrap();
+        t.socket_close(s0);
+        assert_eq!(t.socket_send(id, 1, b"x"), Err(Errno::EPIPE));
     }
 
     #[test]

@@ -1150,7 +1150,13 @@ impl Kernel {
     /// `EBADF`.
     pub fn sys_dup(&mut self, tid: Tid, fd: Fd) -> Result<Fd, Errno> {
         self.enter_syscall();
-        self.process_of_mut(tid)?.fds.dup(fd)
+        let new = self.process_of_mut(tid)?.fds.dup(fd)?;
+        match *self.process_of(tid)?.fds.get(new)? {
+            FileObject::Pipe(end) => self.ipc.pipe_retain(end),
+            FileObject::Socket(end) => self.ipc.socket_retain(end),
+            _ => {}
+        }
+        Ok(new)
     }
 
     /// Passes an open descriptor to another process (the `SCM_RIGHTS`
@@ -1365,8 +1371,18 @@ impl Kernel {
             self.trace.incr("kernel/forks");
         }
 
-        // Kernel: clone the descriptor table.
+        // Kernel: clone the descriptor table. Every cloned pipe/socket
+        // descriptor is a new reference to the shared end, so the child's
+        // later close (or exit) cannot tear the object out from under the
+        // parent.
         let (fds, fd_count) = self.process(parent_pid)?.fds.fork_clone();
+        for (_, obj) in fds.iter() {
+            match *obj {
+                FileObject::Pipe(end) => self.ipc.pipe_retain(end),
+                FileObject::Socket(end) => self.ipc.socket_retain(end),
+                _ => {}
+            }
+        }
         self.charge_cpu(self.profile.fd_clone_ns * fd_count as u64);
 
         let child_pid = Pid(self.next_pid);

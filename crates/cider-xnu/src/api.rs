@@ -81,6 +81,15 @@ pub trait ForeignKernelApi {
     fn mach_absolute_time(&self) -> u64;
     /// `kprintf` diagnostics.
     fn kprintf(&mut self, msg: &str);
+
+    /// `vm_map_copyin`/`vm_map_copyout` by remap: moves `pages` whole
+    /// pages of an out-of-line message region from sender to receiver by
+    /// retargeting page tables instead of copying bytes. Returns `false`
+    /// when the host cannot (or, under fault injection, will not) remap —
+    /// the caller must fall back to an inline copy.
+    fn vm_remap_pages(&mut self, pages: u64) -> bool;
+    /// Inline boundary copy of `bytes` payload bytes (`copyin`/`copyout`).
+    fn copyin(&mut self, bytes: u64);
 }
 
 impl fmt::Debug for dyn ForeignKernelApi + '_ {
@@ -111,6 +120,12 @@ pub struct MockForeignKernel {
     pub now: u64,
     /// kprintf log.
     pub log: Vec<String>,
+    /// Pages moved by OOL remap.
+    pub remapped_pages: u64,
+    /// Bytes moved by inline copy.
+    pub copied_bytes: u64,
+    /// When set, `vm_remap_pages` refuses (tests the inline fallback).
+    pub refuse_remap: bool,
 }
 
 impl MockForeignKernel {
@@ -166,6 +181,16 @@ impl ForeignKernelApi for MockForeignKernel {
     }
     fn kprintf(&mut self, msg: &str) {
         self.log.push(msg.to_string());
+    }
+    fn vm_remap_pages(&mut self, pages: u64) -> bool {
+        if self.refuse_remap {
+            return false;
+        }
+        self.remapped_pages += pages;
+        true
+    }
+    fn copyin(&mut self, bytes: u64) {
+        self.copied_bytes += bytes;
     }
 }
 

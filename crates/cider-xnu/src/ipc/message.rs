@@ -54,6 +54,15 @@ pub enum TransitKind {
     Receive,
 }
 
+/// Out-of-line regions at or above this many bytes are eligible for
+/// page-table remap under IPC v2 (one 4 KiB page); smaller regions are
+/// cheaper to copy inline than to retarget mappings for.
+pub const OOL_INLINE_THRESHOLD: usize = 4096;
+
+/// Bytes per page for OOL remap accounting (matches the kernel
+/// simulator's `PAGE_SIZE`; cider-xnu cannot depend on cider-kernel).
+pub const OOL_PAGE_BYTES: u64 = 4096;
+
 /// A message as user space composes it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UserMessage {

@@ -6,16 +6,39 @@
 //! providing inter-process communication and memory sharing" (§4.2). All
 //! locking and allocation goes through the [`ForeignKernelApi`], so the
 //! code itself never touches the domestic kernel.
+//!
+//! # IPC v2
+//!
+//! The subsystem has two personalities selected by [`MachIpc::set_v2`]:
+//!
+//! * **v1** (default): every message operation takes the subsystem mutex
+//!   through the duct tape (two `lck_mtx` crossings per op) and copies
+//!   all payload inline. This is the original lock-coarse model and its
+//!   virtual-time charging is bit-for-bit unchanged.
+//! * **v2**: rights are atomic refcounts
+//!   ([`RightCount`](crate::ipc::port::RightCount)), message queues are
+//!   lock-free and delivered in `(stamp, seq)` order
+//!   ([`LockFreeQueue`](crate::ipc::lockfree::LockFreeQueue)), and
+//!   out-of-line regions at or above [`OOL_INLINE_THRESHOLD`] move by
+//!   page-table remap (`vm_remap_pages`) instead of byte copy, falling
+//!   back to an inline copy when the host refuses the remap.
+//!
+//! The typed API ([`MachIpc::alloc_receive`], [`MachIpc::insert_send`],
+//! [`MachIpc::send`], [`MachIpc::receive`], ...) is the supported
+//! surface; the old name-based free functions remain as thin deprecated
+//! shims for out-of-tree callers.
 
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use cider_abi::ids::PortName;
+use cider_abi::rights::{ReceiveRight, SendOnceRight, SendRight};
 
 use crate::api::{Event, ForeignKernelApi, ZoneHandle};
 use crate::ipc::message::{
     notify_ids, Message, PortDescriptor, PortDisposition, ReceivedMessage,
-    TransitKind, TransitRight, UserMessage,
+    TransitKind, TransitRight, UserMessage, OOL_INLINE_THRESHOLD,
+    OOL_PAGE_BYTES,
 };
 use crate::ipc::port::{KernelObject, Port, PortId, RightType, SpaceId};
 use crate::ipc::space::IpcSpace;
@@ -34,6 +57,8 @@ pub struct IpcStats {
     pub rights_transferred: u64,
     /// No-senders notifications fired.
     pub no_senders_fired: u64,
+    /// Out-of-line bytes moved by page remap instead of copy (v2 only).
+    pub ool_bytes_remapped: u64,
 }
 
 /// The Mach IPC subsystem state.
@@ -45,6 +70,7 @@ pub struct MachIpc {
     next_space: u64,
     lock: Option<crate::api::LckMtx>,
     ports_zone: Option<ZoneHandle>,
+    v2: bool,
     /// Observable statistics.
     pub stats: IpcStats,
 }
@@ -66,6 +92,7 @@ impl MachIpc {
             next_space: 1,
             lock: None,
             ports_zone: None,
+            v2: false,
             stats: IpcStats::default(),
         }
     }
@@ -76,6 +103,18 @@ impl MachIpc {
         self.lock = Some(api.lck_mtx_alloc());
         self.ports_zone = Some(api.zinit("ipc.ports", 168));
         api.kprintf("mach_ipc: bootstrap complete");
+    }
+
+    /// Switches the message path between v1 (lock-coarse, copy-always)
+    /// and v2 (lock-free queues, OOL remap). Off by default; flipping it
+    /// mid-run only affects subsequent operations.
+    pub fn set_v2(&mut self, on: bool) {
+        self.v2 = on;
+    }
+
+    /// Whether the v2 message path is active.
+    pub fn v2_enabled(&self) -> bool {
+        self.v2
     }
 
     fn with_lock<R>(
@@ -156,16 +195,17 @@ impl MachIpc {
     }
 
     /// `mach_port_allocate(MACH_PORT_RIGHT_RECEIVE)`: creates a port and
-    /// returns the receive right's name.
+    /// returns its typed receive right.
     ///
     /// # Errors
     ///
-    /// `InvalidArgument` for unknown spaces.
-    pub fn port_allocate(
+    /// `InvalidArgument` for unknown spaces, `ResourceShortage` on zone
+    /// exhaustion.
+    pub fn alloc_receive(
         &mut self,
         api: &mut dyn ForeignKernelApi,
         space: SpaceId,
-    ) -> KernResult<PortName> {
+    ) -> KernResult<ReceiveRight> {
         self.with_lock(api, |ipc, api| {
             ipc.space(space)?;
             if let Some(z) = ipc.ports_zone {
@@ -178,11 +218,49 @@ impl MachIpc {
             let id = PortId(ipc.next_port);
             ipc.next_port += 1;
             ipc.ports.insert(id.0, Port::new(id, space));
-            Ok(ipc
-                .space_mut(space)
-                .expect("checked above")
-                .insert_new(id, RightType::Receive))
+            Ok(ReceiveRight::from_name(
+                ipc.space_mut(space)
+                    .expect("checked above")
+                    .insert_new(id, RightType::Receive),
+            ))
         })
+    }
+
+    /// Resolves a raw name (from trap registers or the wire) into a
+    /// validated [`ReceiveRight`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidName` for unknown names, `InvalidRight` when the name does
+    /// not denote a receive right.
+    pub fn receive_right(
+        &self,
+        space: SpaceId,
+        name: PortName,
+    ) -> KernResult<ReceiveRight> {
+        let entry = self.space(space)?.lookup(name)?;
+        if entry.right != RightType::Receive {
+            return Err(KernReturn::InvalidRight);
+        }
+        Ok(ReceiveRight::from_name(name))
+    }
+
+    /// Resolves a raw name into a validated [`SendRight`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidName` for unknown names, `InvalidRight` when the name does
+    /// not denote a send right.
+    pub fn send_right(
+        &self,
+        space: SpaceId,
+        name: PortName,
+    ) -> KernResult<SendRight> {
+        let entry = self.space(space)?.lookup(name)?;
+        if entry.right != RightType::Send {
+            return Err(KernReturn::InvalidRight);
+        }
+        Ok(SendRight::from_name(name))
     }
 
     /// Binds a kernel object to a port (task self, I/O Kit connection).
@@ -238,25 +316,48 @@ impl MachIpc {
         Ok(())
     }
 
-    /// Makes a send right from a receive right in the same space
+    /// Mints a send right from a receive right in the same space
     /// (`mach_port_insert_right(..., MACH_MSG_TYPE_MAKE_SEND)`).
     ///
     /// # Errors
     ///
-    /// `InvalidRight` if `recv_name` is not a receive right.
-    pub fn make_send(
+    /// `InvalidName`/`InvalidRight` if the receive right is stale.
+    pub fn insert_send(
         &mut self,
         space: SpaceId,
-        recv_name: PortName,
-    ) -> KernResult<PortName> {
-        let entry = self.space(space)?.lookup(recv_name)?;
+        recv: ReceiveRight,
+    ) -> KernResult<SendRight> {
+        let entry = self.space(space)?.lookup(recv.name())?;
         if entry.right != RightType::Receive {
             return Err(KernReturn::InvalidRight);
         }
         let port = self.port_mut(entry.port)?;
-        port.srights += 1;
+        port.srights.inc();
         port.make_send_count += 1;
-        Ok(self.space_mut(space)?.add_send_right(entry.port))
+        Ok(SendRight::from_name(
+            self.space_mut(space)?.add_send_right(entry.port),
+        ))
+    }
+
+    /// Mints a send-once right from a receive right in the same space
+    /// (`MACH_MSG_TYPE_MAKE_SEND_ONCE`).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidName`/`InvalidRight` if the receive right is stale.
+    pub fn insert_send_once(
+        &mut self,
+        space: SpaceId,
+        recv: ReceiveRight,
+    ) -> KernResult<SendOnceRight> {
+        let entry = self.space(space)?.lookup(recv.name())?;
+        if entry.right != RightType::Receive {
+            return Err(KernReturn::InvalidRight);
+        }
+        self.port_mut(entry.port)?.sorights.inc();
+        Ok(SendOnceRight::from_name(
+            self.space_mut(space)?.add_send_once_right(entry.port),
+        ))
     }
 
     /// Copies a send right from one space into another — how launchd
@@ -264,22 +365,25 @@ impl MachIpc {
     ///
     /// # Errors
     ///
-    /// `InvalidRight` if `name` is not a send right in `from`.
-    pub fn copy_send_to_space(
+    /// `InvalidRight` if the right is stale, `InvalidCapability` if the
+    /// port died.
+    pub fn copy_send(
         &mut self,
         from: SpaceId,
-        name: PortName,
+        send: SendRight,
         to: SpaceId,
-    ) -> KernResult<PortName> {
-        let entry = self.space(from)?.lookup(name)?;
+    ) -> KernResult<SendRight> {
+        let entry = self.space(from)?.lookup(send.name())?;
         if entry.right != RightType::Send {
             return Err(KernReturn::InvalidRight);
         }
         if self.port(entry.port)?.is_dead() {
             return Err(KernReturn::InvalidCapability);
         }
-        self.port_mut(entry.port)?.srights += 1;
-        Ok(self.space_mut(to)?.add_send_right(entry.port))
+        self.port_mut(entry.port)?.srights.inc();
+        Ok(SendRight::from_name(
+            self.space_mut(to)?.add_send_right(entry.port),
+        ))
     }
 
     /// Releases one user reference on a send/send-once/dead name
@@ -301,7 +405,7 @@ impl MachIpc {
                 {
                     let port = self.port_mut(pid)?;
                     if !port.is_dead() {
-                        port.srights -= 1;
+                        port.srights.dec();
                     }
                 }
                 self.maybe_fire_no_senders(api, pid);
@@ -309,7 +413,7 @@ impl MachIpc {
             RightType::SendOnce => {
                 let port = self.port_mut(before.port)?;
                 if !port.is_dead() {
-                    port.sorights -= 1;
+                    port.sorights.dec();
                 }
             }
             RightType::DeadName => {}
@@ -345,11 +449,7 @@ impl MachIpc {
         let msgs = {
             let Ok(port) = self.port_mut(pid) else { return };
             port.receiver = None;
-            let mut drained = Vec::new();
-            while let Some(m) = port.msgs.dequeue_head() {
-                drained.push(m);
-            }
-            drained
+            port.msgs.drain().collect::<Vec<_>>()
         };
         for m in msgs {
             self.destroy_message_rights(api, m);
@@ -362,8 +462,8 @@ impl MachIpc {
             }
         }
         if let Ok(port) = self.port_mut(pid) {
-            port.srights = 0;
-            port.sorights = 0;
+            port.srights.set(0);
+            port.sorights.set(0);
             port.ns_notify = None;
         }
         api.kprintf("mach_ipc: port died");
@@ -384,7 +484,7 @@ impl MachIpc {
                     let fire = {
                         if let Ok(p) = self.port_mut(r.port) {
                             if !p.is_dead() {
-                                p.srights -= 1;
+                                p.srights.dec();
                             }
                             true
                         } else {
@@ -398,7 +498,7 @@ impl MachIpc {
                 TransitKind::SendOnce => {
                     if let Ok(p) = self.port_mut(r.port) {
                         if !p.is_dead() {
-                            p.sorights -= 1;
+                            p.sorights.dec();
                         }
                     }
                 }
@@ -443,7 +543,9 @@ impl MachIpc {
     ) {
         let fire = {
             let Ok(port) = self.port(pid) else { return };
-            port.srights == 0 && !port.is_dead() && port.ns_notify.is_some()
+            port.srights.get() == 0
+                && !port.is_dead()
+                && port.ns_notify.is_some()
         };
         if !fire {
             return;
@@ -463,7 +565,7 @@ impl MachIpc {
             ports: Vec::new(),
             ool: Vec::new(),
         };
-        if self.msg_send(api, sid, notify).is_ok() {
+        if self.send(api, sid, notify).is_ok() {
             self.stats.no_senders_fired += 1;
         }
     }
@@ -483,7 +585,7 @@ impl MachIpc {
                 if entry.right != RightType::Send {
                     return Err(KernReturn::InvalidRight);
                 }
-                self.port_mut(entry.port)?.srights += 1;
+                self.port_mut(entry.port)?.srights.inc();
                 Ok(TransitRight {
                     port: entry.port,
                     kind: TransitKind::Send,
@@ -506,7 +608,7 @@ impl MachIpc {
                     return Err(KernReturn::InvalidRight);
                 }
                 let port = self.port_mut(entry.port)?;
-                port.srights += 1;
+                port.srights.inc();
                 port.make_send_count += 1;
                 Ok(TransitRight {
                     port: entry.port,
@@ -517,7 +619,7 @@ impl MachIpc {
                 if entry.right != RightType::Receive {
                     return Err(KernReturn::InvalidRight);
                 }
-                self.port_mut(entry.port)?.sorights += 1;
+                self.port_mut(entry.port)?.sorights.inc();
                 Ok(TransitRight {
                     port: entry.port,
                     kind: TransitKind::SendOnce,
@@ -550,25 +652,38 @@ impl MachIpc {
     /// `mach_msg(MACH_SEND_MSG)`: validates the destination right,
     /// processes dispositions, and queues the message.
     ///
+    /// Under v2 the subsystem mutex is skipped (the queue is lock-free
+    /// and rights are atomic), inline payload is charged through
+    /// `copyin`, and out-of-line regions at or above
+    /// [`OOL_INLINE_THRESHOLD`] move by page remap with inline-copy
+    /// fallback.
+    ///
     /// # Errors
     ///
     /// `SendInvalidDest` for dead or invalid destinations,
     /// `SendTooLarge` when the queue is at its limit,
     /// `InvalidRight` for disposition mismatches.
-    pub fn msg_send(
+    pub fn send(
         &mut self,
         api: &mut dyn ForeignKernelApi,
         space: SpaceId,
         msg: UserMessage,
     ) -> KernResult<()> {
-        self.with_lock(api, |ipc, api| ipc.msg_send_locked(api, space, msg))
+        if self.v2 {
+            self.send_inner(api, space, msg, true)
+        } else {
+            self.with_lock(api, |ipc, api| {
+                ipc.send_inner(api, space, msg, false)
+            })
+        }
     }
 
-    fn msg_send_locked(
+    fn send_inner(
         &mut self,
         api: &mut dyn ForeignKernelApi,
         space: SpaceId,
         msg: UserMessage,
+        v2: bool,
     ) -> KernResult<()> {
         let dest = self
             .space(space)?
@@ -613,21 +728,39 @@ impl MachIpc {
         match msg.remote_disposition {
             PortDisposition::MoveSend => {
                 self.space_mut(space)?.release(msg.remote_port)?;
-                self.port_mut(dest_port)?.srights -= 1;
+                self.port_mut(dest_port)?.srights.dec();
             }
             PortDisposition::MoveSendOnce => {
                 if dest.right != RightType::SendOnce {
                     return Err(KernReturn::InvalidRight);
                 }
                 self.space_mut(space)?.release(msg.remote_port)?;
-                self.port_mut(dest_port)?.sorights -= 1;
+                self.port_mut(dest_port)?.sorights.dec();
             }
             _ => {
                 if dest.right == RightType::SendOnce {
                     // Send-once rights are always consumed.
                     self.space_mut(space)?.release(msg.remote_port)?;
-                    self.port_mut(dest_port)?.sorights -= 1;
+                    self.port_mut(dest_port)?.sorights.dec();
                 }
+            }
+        }
+
+        if v2 {
+            // v2 pays its boundary costs explicitly: inline payload is
+            // copied in; OOL regions over the threshold move by remapping
+            // whole pages, falling back to a copy if the host refuses.
+            api.copyin(msg.body.len() as u64);
+            for blob in &msg.ool {
+                let len = blob.len() as u64;
+                if blob.len() >= OOL_INLINE_THRESHOLD {
+                    let pages = len.div_ceil(OOL_PAGE_BYTES);
+                    if api.vm_remap_pages(pages) {
+                        self.stats.ool_bytes_remapped += len;
+                        continue;
+                    }
+                }
+                api.copyin(len);
             }
         }
 
@@ -641,7 +774,14 @@ impl MachIpc {
         };
         self.stats.bytes_moved += queued.size() as u64;
         self.stats.msgs_sent += 1;
-        self.port_mut(dest_port)?.msgs.enqueue_tail(queued);
+        if v2 {
+            // Lock-free enqueue: the producer's claim is stamped with its
+            // virtual-time instant; delivery follows (stamp, seq) order.
+            let stamp = api.mach_absolute_time();
+            self.port_mut(dest_port)?.msgs.enqueue(stamp, queued);
+        } else {
+            self.port_mut(dest_port)?.msgs.enqueue_tail(queued);
+        }
         api.thread_wakeup(Event(0x1000_0000 + dest_port.0));
         // A moved send right may have been the last one.
         if msg.remote_disposition == PortDisposition::MoveSend {
@@ -651,23 +791,30 @@ impl MachIpc {
     }
 
     /// `mach_msg(MACH_RCV_MSG)` with zero timeout: dequeues the next
-    /// message on the named receive right, materialising carried rights
-    /// as names in the receiving space.
+    /// message on the receive right, materialising carried rights as
+    /// names in the receiving space. Under v2 the subsystem mutex is
+    /// skipped and the body copy-out is charged through `copyin`.
     ///
     /// # Errors
     ///
-    /// `RcvInvalidName` if the name is not a receive right;
+    /// `RcvInvalidName` if the right is stale;
     /// `RcvTimedOut` when the queue is empty (callers block through the
     /// foreign API and retry).
-    pub fn msg_receive(
+    pub fn receive(
         &mut self,
         api: &mut dyn ForeignKernelApi,
         space: SpaceId,
-        recv_name: PortName,
+        recv: ReceiveRight,
     ) -> KernResult<ReceivedMessage> {
-        self.with_lock(api, |ipc, api| {
-            ipc.msg_receive_locked(api, space, recv_name)
-        })
+        if self.v2 {
+            let got = self.msg_receive_locked(api, space, recv.name())?;
+            api.copyin(got.body.len() as u64);
+            Ok(got)
+        } else {
+            self.with_lock(api, |ipc, api| {
+                ipc.msg_receive_locked(api, space, recv.name())
+            })
+        }
     }
 
     fn msg_receive_locked(
@@ -736,6 +883,70 @@ impl MachIpc {
         })
     }
 
+    // ------------------------------------------------------------------
+    // Deprecated name-based shims (pre-v2 API).
+    // ------------------------------------------------------------------
+
+    /// Old name-based allocation.
+    #[deprecated(note = "use the typed `MachIpc::alloc_receive`")]
+    pub fn port_allocate(
+        &mut self,
+        api: &mut dyn ForeignKernelApi,
+        space: SpaceId,
+    ) -> KernResult<PortName> {
+        self.alloc_receive(api, space).map(|r| r.name())
+    }
+
+    /// Old name-based send-right minting.
+    #[deprecated(note = "use the typed `MachIpc::insert_send`")]
+    pub fn make_send(
+        &mut self,
+        space: SpaceId,
+        recv_name: PortName,
+    ) -> KernResult<PortName> {
+        let recv = self.receive_right(space, recv_name)?;
+        self.insert_send(space, recv).map(|s| s.name())
+    }
+
+    /// Old name-based cross-space copy.
+    #[deprecated(note = "use the typed `MachIpc::copy_send`")]
+    pub fn copy_send_to_space(
+        &mut self,
+        from: SpaceId,
+        name: PortName,
+        to: SpaceId,
+    ) -> KernResult<PortName> {
+        let send = self.send_right(from, name)?;
+        self.copy_send(from, send, to).map(|s| s.name())
+    }
+
+    /// Old spelling of [`MachIpc::send`].
+    #[deprecated(note = "use `MachIpc::send`")]
+    pub fn msg_send(
+        &mut self,
+        api: &mut dyn ForeignKernelApi,
+        space: SpaceId,
+        msg: UserMessage,
+    ) -> KernResult<()> {
+        self.send(api, space, msg)
+    }
+
+    /// Old name-based receive.
+    #[deprecated(note = "use the typed `MachIpc::receive`")]
+    pub fn msg_receive(
+        &mut self,
+        api: &mut dyn ForeignKernelApi,
+        space: SpaceId,
+        recv_name: PortName,
+    ) -> KernResult<ReceivedMessage> {
+        // The typed path re-validates, so errors keep the RCV convention.
+        self.receive(api, space, ReceiveRight::from_name(recv_name))
+    }
+
+    // ------------------------------------------------------------------
+    // Observability.
+    // ------------------------------------------------------------------
+
     /// Messages currently queued on the port a receive-right name denotes.
     ///
     /// # Errors
@@ -803,12 +1014,14 @@ impl MachIpc {
                 }
             }
             assert_eq!(
-                port.srights, send,
+                port.srights.get(),
+                send,
                 "send-right count mismatch on {:?}",
                 port.id
             );
             assert_eq!(
-                port.sorights, sonce,
+                port.sorights.get(),
+                sonce,
                 "send-once count mismatch on {:?}",
                 port.id
             );
@@ -833,16 +1046,15 @@ mod tests {
         let (mut ipc, mut api) = setup();
         let server = ipc.create_space();
         let client = ipc.create_space();
-        let recv = ipc.port_allocate(&mut api, server).unwrap();
-        let send_srv = ipc.make_send(server, recv).unwrap();
-        let send_cli =
-            ipc.copy_send_to_space(server, send_srv, client).unwrap();
+        let recv = ipc.alloc_receive(&mut api, server).unwrap();
+        let send_srv = ipc.insert_send(server, recv).unwrap();
+        let send_cli = ipc.copy_send(server, send_srv, client).unwrap();
 
-        let msg = UserMessage::simple(send_cli, 42, &b"hello"[..]);
-        ipc.msg_send(&mut api, client, msg).unwrap();
-        assert_eq!(ipc.queued(server, recv).unwrap(), 1);
+        let msg = UserMessage::simple(send_cli.name(), 42, &b"hello"[..]);
+        ipc.send(&mut api, client, msg).unwrap();
+        assert_eq!(ipc.queued(server, recv.name()).unwrap(), 1);
 
-        let got = ipc.msg_receive(&mut api, server, recv).unwrap();
+        let got = ipc.receive(&mut api, server, recv).unwrap();
         assert_eq!(got.msg_id, 42);
         assert_eq!(&got.body[..], b"hello");
         assert_eq!(got.reply_port, PortName::NULL);
@@ -853,9 +1065,9 @@ mod tests {
     fn receive_empty_times_out_and_blocks() {
         let (mut ipc, mut api) = setup();
         let s = ipc.create_space();
-        let recv = ipc.port_allocate(&mut api, s).unwrap();
+        let recv = ipc.alloc_receive(&mut api, s).unwrap();
         assert_eq!(
-            ipc.msg_receive(&mut api, s, recv).unwrap_err(),
+            ipc.receive(&mut api, s, recv).unwrap_err(),
             KernReturn::RcvTimedOut
         );
         // The caller was parked on the port's wait event.
@@ -867,25 +1079,24 @@ mod tests {
         let (mut ipc, mut api) = setup();
         let server = ipc.create_space();
         let client = ipc.create_space();
-        let srv_recv = ipc.port_allocate(&mut api, server).unwrap();
-        let srv_send = ipc.make_send(server, srv_recv).unwrap();
-        let cli_send =
-            ipc.copy_send_to_space(server, srv_send, client).unwrap();
-        let cli_reply = ipc.port_allocate(&mut api, client).unwrap();
+        let srv_recv = ipc.alloc_receive(&mut api, server).unwrap();
+        let srv_send = ipc.insert_send(server, srv_recv).unwrap();
+        let cli_send = ipc.copy_send(server, srv_send, client).unwrap();
+        let cli_reply = ipc.alloc_receive(&mut api, client).unwrap();
 
-        let mut msg = UserMessage::simple(cli_send, 7, &b"req"[..]);
-        msg.local_port = cli_reply;
-        ipc.msg_send(&mut api, client, msg).unwrap();
+        let mut msg = UserMessage::simple(cli_send.name(), 7, &b"req"[..]);
+        msg.local_port = cli_reply.name();
+        ipc.send(&mut api, client, msg).unwrap();
         ipc.check_invariants();
 
-        let req = ipc.msg_receive(&mut api, server, srv_recv).unwrap();
+        let req = ipc.receive(&mut api, server, srv_recv).unwrap();
         assert!(req.reply_port.is_valid());
 
         // Server answers through the send-once right.
         let mut resp = UserMessage::simple(req.reply_port, 8, &b"resp"[..]);
         resp.remote_disposition = PortDisposition::MoveSendOnce;
-        ipc.msg_send(&mut api, server, resp).unwrap();
-        let got = ipc.msg_receive(&mut api, client, cli_reply).unwrap();
+        ipc.send(&mut api, server, resp).unwrap();
+        let got = ipc.receive(&mut api, client, cli_reply).unwrap();
         assert_eq!(got.msg_id, 8);
         assert_eq!(&got.body[..], b"resp");
         ipc.check_invariants();
@@ -897,29 +1108,29 @@ mod tests {
         let a = ipc.create_space();
         let b = ipc.create_space();
         // a creates a port and sends b a send right to it.
-        let chan = ipc.port_allocate(&mut api, a).unwrap();
-        let b_recv = ipc.port_allocate(&mut api, b).unwrap();
-        let b_send_in_b = ipc.make_send(b, b_recv).unwrap();
-        let b_send_in_a = ipc.copy_send_to_space(b, b_send_in_b, a).unwrap();
+        let chan = ipc.alloc_receive(&mut api, a).unwrap();
+        let b_recv = ipc.alloc_receive(&mut api, b).unwrap();
+        let b_send_in_b = ipc.insert_send(b, b_recv).unwrap();
+        let b_send_in_a = ipc.copy_send(b, b_send_in_b, a).unwrap();
 
-        let mut msg = UserMessage::simple(b_send_in_a, 1, &b""[..]);
+        let mut msg = UserMessage::simple(b_send_in_a.name(), 1, &b""[..]);
         msg.ports.push(PortDescriptor {
-            name: chan,
+            name: chan.name(),
             disposition: PortDisposition::MakeSend,
         });
-        ipc.msg_send(&mut api, a, msg).unwrap();
+        ipc.send(&mut api, a, msg).unwrap();
         ipc.check_invariants();
 
-        let got = ipc.msg_receive(&mut api, b, b_recv).unwrap();
+        let got = ipc.receive(&mut api, b, b_recv).unwrap();
         assert_eq!(got.ports.len(), 1);
         // b can now send to a's port.
-        ipc.msg_send(
+        ipc.send(
             &mut api,
             b,
             UserMessage::simple(got.ports[0], 2, &b"via right"[..]),
         )
         .unwrap();
-        let m = ipc.msg_receive(&mut api, a, chan).unwrap();
+        let m = ipc.receive(&mut api, a, chan).unwrap();
         assert_eq!(m.msg_id, 2);
         ipc.check_invariants();
     }
@@ -929,23 +1140,23 @@ mod tests {
         let (mut ipc, mut api) = setup();
         let a = ipc.create_space();
         let b = ipc.create_space();
-        let chan = ipc.port_allocate(&mut api, a).unwrap();
-        let b_recv = ipc.port_allocate(&mut api, b).unwrap();
+        let chan = ipc.alloc_receive(&mut api, a).unwrap();
+        let b_recv = ipc.alloc_receive(&mut api, b).unwrap();
         let to_b = {
-            let s = ipc.make_send(b, b_recv).unwrap();
-            ipc.copy_send_to_space(b, s, a).unwrap()
+            let s = ipc.insert_send(b, b_recv).unwrap();
+            ipc.copy_send(b, s, a).unwrap()
         };
-        let mut msg = UserMessage::simple(to_b, 9, &b""[..]);
+        let mut msg = UserMessage::simple(to_b.name(), 9, &b""[..]);
         msg.ports.push(PortDescriptor {
-            name: chan,
+            name: chan.name(),
             disposition: PortDisposition::MoveReceive,
         });
-        ipc.msg_send(&mut api, a, msg).unwrap();
-        let got = ipc.msg_receive(&mut api, b, b_recv).unwrap();
-        let new_recv = got.ports[0];
+        ipc.send(&mut api, a, msg).unwrap();
+        let got = ipc.receive(&mut api, b, b_recv).unwrap();
+        let new_recv = ipc.receive_right(b, got.ports[0]).unwrap();
         // b now owns the receive right; a's name is gone.
-        assert!(ipc.queued(b, new_recv).is_ok());
-        assert!(ipc.queued(a, chan).is_err());
+        assert!(ipc.queued(b, new_recv.name()).is_ok());
+        assert!(ipc.queued(a, chan.name()).is_err());
         ipc.check_invariants();
     }
 
@@ -953,24 +1164,28 @@ mod tests {
     fn qlimit_enforced() {
         let (mut ipc, mut api) = setup();
         let s = ipc.create_space();
-        let recv = ipc.port_allocate(&mut api, s).unwrap();
-        let send = ipc.make_send(s, recv).unwrap();
+        let recv = ipc.alloc_receive(&mut api, s).unwrap();
+        let send = ipc.insert_send(s, recv).unwrap();
         for i in 0..crate::ipc::port::QLIMIT_DEFAULT {
-            ipc.msg_send(
+            ipc.send(
                 &mut api,
                 s,
-                UserMessage::simple(send, i as i32, &b""[..]),
+                UserMessage::simple(send.name(), i as i32, &b""[..]),
             )
             .unwrap();
         }
         assert_eq!(
-            ipc.msg_send(&mut api, s, UserMessage::simple(send, 99, &b""[..]))
-                .unwrap_err(),
+            ipc.send(
+                &mut api,
+                s,
+                UserMessage::simple(send.name(), 99, &b""[..])
+            )
+            .unwrap_err(),
             KernReturn::SendTooLarge
         );
-        ipc.set_qlimit(s, recv, crate::ipc::port::QLIMIT_MAX)
+        ipc.set_qlimit(s, recv.name(), crate::ipc::port::QLIMIT_MAX)
             .unwrap();
-        ipc.msg_send(&mut api, s, UserMessage::simple(send, 99, &b""[..]))
+        ipc.send(&mut api, s, UserMessage::simple(send.name(), 99, &b""[..]))
             .unwrap();
         ipc.check_invariants();
     }
@@ -980,13 +1195,17 @@ mod tests {
         let (mut ipc, mut api) = setup();
         let srv = ipc.create_space();
         let cli = ipc.create_space();
-        let recv = ipc.port_allocate(&mut api, srv).unwrap();
-        let s0 = ipc.make_send(srv, recv).unwrap();
-        let s1 = ipc.copy_send_to_space(srv, s0, cli).unwrap();
-        ipc.port_destroy(&mut api, srv, recv).unwrap();
+        let recv = ipc.alloc_receive(&mut api, srv).unwrap();
+        let s0 = ipc.insert_send(srv, recv).unwrap();
+        let s1 = ipc.copy_send(srv, s0, cli).unwrap();
+        ipc.port_destroy(&mut api, srv, recv.name()).unwrap();
         assert_eq!(
-            ipc.msg_send(&mut api, cli, UserMessage::simple(s1, 0, &b""[..]))
-                .unwrap_err(),
+            ipc.send(
+                &mut api,
+                cli,
+                UserMessage::simple(s1.name(), 0, &b""[..])
+            )
+            .unwrap_err(),
             KernReturn::SendInvalidDest
         );
         ipc.check_invariants();
@@ -996,21 +1215,19 @@ mod tests {
     fn no_senders_notification_fires() {
         let (mut ipc, mut api) = setup();
         let srv = ipc.create_space();
-        let service = ipc.port_allocate(&mut api, srv).unwrap();
-        let notify = ipc.port_allocate(&mut api, srv).unwrap();
-        // Arm: make a send-once right targeting the notify port.
-        let entry = ipc.space(srv).unwrap().lookup(notify).unwrap();
-        ipc.port_mut(entry.port).unwrap().sorights += 1;
-        let sonce =
-            ipc.space_mut(srv).unwrap().add_send_once_right(entry.port);
-        ipc.arm_no_senders(srv, service, sonce).unwrap();
+        let service = ipc.alloc_receive(&mut api, srv).unwrap();
+        let notify = ipc.alloc_receive(&mut api, srv).unwrap();
+        // Arm: mint a send-once right targeting the notify port.
+        let sonce = ipc.insert_send_once(srv, notify).unwrap();
+        ipc.arm_no_senders(srv, service.name(), sonce.name())
+            .unwrap();
 
         // One send right exists, then is dropped.
-        let send = ipc.make_send(srv, service).unwrap();
-        ipc.port_deallocate(&mut api, srv, send).unwrap();
+        let send = ipc.insert_send(srv, service).unwrap();
+        ipc.port_deallocate(&mut api, srv, send.name()).unwrap();
 
         assert_eq!(ipc.stats.no_senders_fired, 1);
-        let got = ipc.msg_receive(&mut api, srv, notify).unwrap();
+        let got = ipc.receive(&mut api, srv, notify).unwrap();
         assert_eq!(got.msg_id, notify_ids::NO_SENDERS);
         ipc.check_invariants();
     }
@@ -1020,9 +1237,9 @@ mod tests {
         let (mut ipc, mut api) = setup();
         let a = ipc.create_space();
         let b = ipc.create_space();
-        let recv = ipc.port_allocate(&mut api, a).unwrap();
-        let s = ipc.make_send(a, recv).unwrap();
-        ipc.copy_send_to_space(a, s, b).unwrap();
+        let recv = ipc.alloc_receive(&mut api, a).unwrap();
+        let s = ipc.insert_send(a, recv).unwrap();
+        ipc.copy_send(a, s, b).unwrap();
         assert_eq!(ipc.live_ports(), 1);
         ipc.destroy_space(&mut api, a).unwrap();
         // Port died with its receive right.
@@ -1034,12 +1251,12 @@ mod tests {
     fn copy_send_disposition_preserves_sender_right() {
         let (mut ipc, mut api) = setup();
         let s = ipc.create_space();
-        let recv = ipc.port_allocate(&mut api, s).unwrap();
-        let send = ipc.make_send(s, recv).unwrap();
-        ipc.msg_send(&mut api, s, UserMessage::simple(send, 1, &b""[..]))
+        let recv = ipc.alloc_receive(&mut api, s).unwrap();
+        let send = ipc.insert_send(s, recv).unwrap();
+        ipc.send(&mut api, s, UserMessage::simple(send.name(), 1, &b""[..]))
             .unwrap();
         // CopySend: the sender still holds its right.
-        assert!(ipc.space(s).unwrap().lookup(send).is_ok());
+        assert!(ipc.send_right(s, send.name()).is_ok());
         ipc.check_invariants();
     }
 
@@ -1047,13 +1264,109 @@ mod tests {
     fn stats_track_traffic() {
         let (mut ipc, mut api) = setup();
         let s = ipc.create_space();
-        let recv = ipc.port_allocate(&mut api, s).unwrap();
-        let send = ipc.make_send(s, recv).unwrap();
-        ipc.msg_send(&mut api, s, UserMessage::simple(send, 1, &b"xyz"[..]))
-            .unwrap();
-        ipc.msg_receive(&mut api, s, recv).unwrap();
+        let recv = ipc.alloc_receive(&mut api, s).unwrap();
+        let send = ipc.insert_send(s, recv).unwrap();
+        ipc.send(
+            &mut api,
+            s,
+            UserMessage::simple(send.name(), 1, &b"xyz"[..]),
+        )
+        .unwrap();
+        ipc.receive(&mut api, s, recv).unwrap();
         assert_eq!(ipc.stats.msgs_sent, 1);
         assert_eq!(ipc.stats.msgs_received, 1);
         assert_eq!(ipc.stats.bytes_moved, 3);
+    }
+
+    #[test]
+    fn typed_resolvers_reject_wrong_kinds() {
+        let (mut ipc, mut api) = setup();
+        let s = ipc.create_space();
+        let recv = ipc.alloc_receive(&mut api, s).unwrap();
+        let send = ipc.insert_send(s, recv).unwrap();
+        assert_eq!(
+            ipc.receive_right(s, send.name()).unwrap_err(),
+            KernReturn::InvalidRight
+        );
+        assert_eq!(
+            ipc.send_right(s, recv.name()).unwrap_err(),
+            KernReturn::InvalidRight
+        );
+        assert!(ipc.receive_right(s, recv.name()).is_ok());
+        assert!(ipc.send_right(s, send.name()).is_ok());
+    }
+
+    #[test]
+    fn v2_send_receive_skips_the_subsystem_mutex() {
+        let (mut ipc, mut api) = setup();
+        ipc.set_v2(true);
+        let s = ipc.create_space();
+        let recv = ipc.alloc_receive(&mut api, s).unwrap();
+        let send = ipc.insert_send(s, recv).unwrap();
+        let locks_before = api.lock_ops.len();
+        ipc.send(
+            &mut api,
+            s,
+            UserMessage::simple(send.name(), 5, &b"fast"[..]),
+        )
+        .unwrap();
+        let got = ipc.receive(&mut api, s, recv).unwrap();
+        assert_eq!(got.msg_id, 5);
+        // No lck_mtx traffic on the v2 message path.
+        assert_eq!(api.lock_ops.len(), locks_before);
+        // Inline payload was charged through copyin (send + receive).
+        assert_eq!(api.copied_bytes, 8);
+        ipc.check_invariants();
+    }
+
+    #[test]
+    fn v2_large_ool_remaps_instead_of_copying() {
+        let (mut ipc, mut api) = setup();
+        ipc.set_v2(true);
+        let s = ipc.create_space();
+        let recv = ipc.alloc_receive(&mut api, s).unwrap();
+        let send = ipc.insert_send(s, recv).unwrap();
+        let mut msg = UserMessage::simple(send.name(), 1, &b""[..]);
+        msg.ool.push(Bytes::from(vec![0xAB; 16 * 1024]));
+        ipc.send(&mut api, s, msg).unwrap();
+        assert_eq!(api.remapped_pages, 4);
+        assert_eq!(ipc.stats.ool_bytes_remapped, 16 * 1024);
+        assert_eq!(api.copied_bytes, 0);
+        let got = ipc.receive(&mut api, s, recv).unwrap();
+        assert_eq!(got.ool[0].len(), 16 * 1024);
+    }
+
+    #[test]
+    fn v2_ool_falls_back_to_copy_when_remap_refused() {
+        let (mut ipc, mut api) = setup();
+        ipc.set_v2(true);
+        api.refuse_remap = true;
+        let s = ipc.create_space();
+        let recv = ipc.alloc_receive(&mut api, s).unwrap();
+        let send = ipc.insert_send(s, recv).unwrap();
+        let mut msg = UserMessage::simple(send.name(), 1, &b""[..]);
+        msg.ool.push(Bytes::from(vec![0xCD; 8192]));
+        ipc.send(&mut api, s, msg).unwrap();
+        // Degraded gracefully: bytes were copied inline, none remapped.
+        assert_eq!(api.remapped_pages, 0);
+        assert_eq!(ipc.stats.ool_bytes_remapped, 0);
+        assert_eq!(api.copied_bytes, 8192);
+        let got = ipc.receive(&mut api, s, recv).unwrap();
+        assert_eq!(got.ool[0].len(), 8192);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let (mut ipc, mut api) = setup();
+        let s = ipc.create_space();
+        let recv = ipc.port_allocate(&mut api, s).unwrap();
+        let send = ipc.make_send(s, recv).unwrap();
+        ipc.msg_send(&mut api, s, UserMessage::simple(send, 3, &b"old"[..]))
+            .unwrap();
+        let got = ipc.msg_receive(&mut api, s, recv).unwrap();
+        assert_eq!(got.msg_id, 3);
+        assert_eq!(&got.body[..], b"old");
+        ipc.check_invariants();
     }
 }

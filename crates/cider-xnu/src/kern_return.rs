@@ -57,6 +57,29 @@ impl KernReturn {
         }
     }
 
+    /// Decodes a raw `kern_return_t` back into the typed code. The
+    /// inverse of [`KernReturn::as_raw`]; `None` for values outside the
+    /// modelled subset (trap handlers treat those as `Failure`).
+    pub fn from_raw(raw: i64) -> Option<KernReturn> {
+        Some(match raw {
+            0 => KernReturn::Success,
+            3 => KernReturn::NoSpace,
+            4 => KernReturn::InvalidArgument,
+            5 => KernReturn::Failure,
+            6 => KernReturn::ResourceShortage,
+            15 => KernReturn::InvalidName,
+            17 => KernReturn::InvalidRight,
+            20 => KernReturn::InvalidCapability,
+            0x1000_0003 => KernReturn::SendInvalidDest,
+            0x1000_0004 => KernReturn::SendTooLarge,
+            0x1000_4002 => KernReturn::RcvInvalidName,
+            0x1000_4003 => KernReturn::RcvTimedOut,
+            0x1000_4004 => KernReturn::RcvTooLarge,
+            -303 => KernReturn::MigBadId,
+            _ => return None,
+        })
+    }
+
     /// Whether the code is `KERN_SUCCESS`.
     pub fn is_success(self) -> bool {
         self == KernReturn::Success
@@ -85,6 +108,29 @@ mod tests {
         assert_eq!(KernReturn::SendInvalidDest.as_raw(), 0x10000003);
         assert_eq!(KernReturn::RcvTimedOut.as_raw(), 0x10004003);
         assert_eq!(KernReturn::MigBadId.as_raw(), -303);
+    }
+
+    #[test]
+    fn from_raw_inverts_as_raw() {
+        for kr in [
+            KernReturn::Success,
+            KernReturn::NoSpace,
+            KernReturn::InvalidArgument,
+            KernReturn::Failure,
+            KernReturn::ResourceShortage,
+            KernReturn::InvalidName,
+            KernReturn::InvalidRight,
+            KernReturn::InvalidCapability,
+            KernReturn::SendInvalidDest,
+            KernReturn::SendTooLarge,
+            KernReturn::RcvInvalidName,
+            KernReturn::RcvTimedOut,
+            KernReturn::RcvTooLarge,
+            KernReturn::MigBadId,
+        ] {
+            assert_eq!(KernReturn::from_raw(kr.as_raw()), Some(kr));
+        }
+        assert_eq!(KernReturn::from_raw(0x7fff_ffff), None);
     }
 
     #[test]

@@ -27,11 +27,14 @@
 //! let mut ipc = MachIpc::new();
 //! ipc.bootstrap(&mut api);
 //! let task = ipc.create_space();
-//! let port = ipc.port_allocate(&mut api, task)?;
-//! let send = ipc.make_send(task, port)?;
-//! ipc.msg_send(&mut api, task, UserMessage::simple(send, 1, &b"hi"[..]))?;
-//! let msg = ipc.msg_receive(&mut api, task, port)?;
-//! assert_eq!(&msg.body[..], b"hi");
+//! // The typed rights API: allocation yields a ReceiveRight, minting a
+//! // SendRight requires one — mismatches are compile errors, not traps.
+//! let recv = ipc.alloc_receive(&mut api, task)?;
+//! let send = ipc.insert_send(task, recv)?;
+//! let msg = UserMessage::simple(send.name(), 1, &b"hi"[..]);
+//! ipc.send(&mut api, task, msg)?;
+//! let got = ipc.receive(&mut api, task, recv)?;
+//! assert_eq!(&got.body[..], b"hi");
 //! # Ok::<(), cider_xnu::kern_return::KernReturn>(())
 //! ```
 

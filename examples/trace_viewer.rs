@@ -22,7 +22,30 @@ use std::path::Path;
 
 use cider_bench::config::{SystemConfig, TestBed};
 use cider_bench::fig5::{run_micro, Micro};
+use cider_core::RingOp;
 use cider_trace::{chrome, flame, TraceSnapshot};
+use cider_xnu::ipc::UserMessage;
+
+/// A short Mach IPC v2 burst so the `ipc/` counters have something to
+/// show: one out-of-line round trip (large enough to take the page
+/// remap path) and a ring batch of four messages behind one flush.
+fn ipc_burst(bed: &mut TestBed, tid: cider_abi::ids::Tid) {
+    bed.sys.enable_ipc_v2();
+    let port = bed.sys.mach_port_allocate(tid).expect("ports zone");
+    let send = bed.sys.mach_make_send(tid, port).expect("send right");
+    let mut msg = UserMessage::simple(send, 0x1C, &b"ool"[..]);
+    msg.ool.push(vec![0x5Au8; 8192].into());
+    bed.sys.mach_msg_send(tid, msg).expect("ool send");
+    bed.sys.mach_msg_receive(tid, port).expect("ool receive");
+    for i in 0..4 {
+        let msg = UserMessage::simple(send, 0x20 + i, &b"ring"[..]);
+        bed.sys.ring_submit(tid, RingOp::Send(msg)).expect("submit");
+        bed.sys
+            .ring_submit(tid, RingOp::Recv(port))
+            .expect("submit");
+    }
+    bed.sys.ring_flush(tid).expect("flush");
+}
 
 fn drive(config: SystemConfig) -> TraceSnapshot {
     let mut bed = TestBed::builder(config).traced().build();
@@ -37,6 +60,9 @@ fn drive(config: SystemConfig) -> TraceSnapshot {
         Micro::LatCtx(4),
     ] {
         let _ = run_micro(&mut bed, pid, tid, micro);
+    }
+    if config.runs_ios_binary() {
+        ipc_burst(&mut bed, tid);
     }
     bed.trace_snapshot().expect("tracing enabled")
 }
@@ -63,9 +89,9 @@ fn main() {
     }
 
     println!("\n== mechanism counters (Cider iOS) ==");
-    for prefix in
-        ["kernel/", "signal/", "dyld/", "mach/", "persona/", "sched/"]
-    {
+    for prefix in [
+        "kernel/", "signal/", "dyld/", "mach/", "ipc/", "persona/", "sched/",
+    ] {
         for (name, v) in cider_ios.metrics.counters_with_prefix(prefix) {
             println!("  {name:<36} {v}");
         }

@@ -92,6 +92,32 @@ fn warm_storm_fleet_is_host_thread_invariant() {
     assert!(one.groups["all"].faults_total > 0, "matrix never fired");
 }
 
+/// The IPC storm drives the v2 fast path — typed rights, lock-free
+/// queues, OOL remap, batched ring flushes — on every device. Message
+/// delivery order inside the lock-free queues is (stamp, seq) virtual
+/// order, so the report must be byte-identical across 1 and 8 host
+/// threads; the fault matrix rides along so injected Mach errors
+/// (port allocation, send, OOL remap refusal, ring overflow) are part
+/// of the replayed schedule too.
+#[test]
+fn ipc_storm_fleet_is_host_thread_invariant() {
+    let spec = |threads: usize| {
+        FleetSpec::new(24, 11, Workload::IpcStorm { msgs: 6 })
+            .mix(PersonaMix::EVEN)
+            .fault_plan(FaultPlan::matrix(47))
+            .host_threads(threads)
+    };
+    let one = FleetReport::from_run(&run_fleet(&spec(1)));
+    let wide = FleetReport::from_run(&run_fleet(&spec(8)));
+    assert_eq!(
+        one.to_json(),
+        wide.to_json(),
+        "IPC v2 delivery order desynced across host threads"
+    );
+    assert!(one.groups["all"].latencies.contains_key("ipc/unit"));
+    assert!(one.groups["all"].faults_total > 0, "matrix never fired");
+}
+
 #[test]
 fn launch_storm_fleet_reports_per_persona_throughput() {
     let spec = FleetSpec::new(16, 7, Workload::LaunchStorm { launches: 4 })

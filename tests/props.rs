@@ -4,6 +4,7 @@
 
 use bytes::Bytes;
 use cider_abi::ids::PortName;
+use cider_abi::rights::ReceiveRight;
 use cider_apps::vm::{assemble, disassemble, Insn};
 use cider_core::wire;
 use cider_ducttape::adapter::{DuctTape, DuctTapeState};
@@ -129,16 +130,22 @@ proptest! {
             let mut api = DuctTape::new(&mut k, &mut st, tid);
             match op {
                 IpcOp::AllocatePort { space } => {
-                    let _ = ipc.port_allocate(&mut api, sp(space));
+                    let _ = ipc.alloc_receive(&mut api, sp(space));
                 }
                 IpcOp::MakeSend { space, pick } => {
                     if let Some(n) = pick_name(&ipc, sp(space), pick, true) {
-                        let _ = ipc.make_send(sp(space), n);
+                        if let Ok(recv) = ipc.receive_right(sp(space), n) {
+                            let _ = ipc.insert_send(sp(space), recv);
+                        }
                     }
                 }
                 IpcOp::CopySend { from, pick, to } => {
                     if let Some(n) = pick_name(&ipc, sp(from), pick, false) {
-                        let _ = ipc.copy_send_to_space(sp(from), n, sp(to));
+                        // `pick_name` may yield a send-once right, which
+                        // `send_right` correctly refuses to validate.
+                        if let Ok(send) = ipc.send_right(sp(from), n) {
+                            let _ = ipc.copy_send(sp(from), send, sp(to));
+                        }
                     }
                 }
                 IpcOp::Deallocate { space, pick } => {
@@ -175,18 +182,144 @@ proptest! {
                                 });
                             }
                         }
-                        let _ = ipc.msg_send(&mut api, sp(space), msg);
+                        let _ = ipc.send(&mut api, sp(space), msg);
                     }
                 }
                 IpcOp::Receive { space, pick } => {
                     if let Some(n) = pick_name(&ipc, sp(space), pick, true) {
-                        let _ = ipc.msg_receive(&mut api, sp(space), n);
+                        let _ = ipc.receive(
+                            &mut api,
+                            sp(space),
+                            ReceiveRight::from_name(n),
+                        );
                     }
                 }
             }
             // The invariant holds after *every* operation.
             ipc.check_invariants();
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// IPC v2: the lock-free queue is pinned to a reference VecDeque model,
+// and OOL payloads survive both the page-remap path and the copy
+// fallback bit for bit.
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum QueueOp {
+    Enqueue { stamp: u64 },
+    EnqueueTail,
+    Dequeue,
+}
+
+fn queue_op_strategy() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        (0u64..64).prop_map(|stamp| QueueOp::Enqueue { stamp }),
+        Just(QueueOp::EnqueueTail),
+        Just(QueueOp::Dequeue),
+    ]
+}
+
+proptest! {
+    /// Reference model: stable insertion sorted by stamp (each new claim
+    /// takes the largest sequence number, so it lands after every entry
+    /// with an equal-or-smaller stamp), FIFO pop — exactly the
+    /// `(stamp, seq)` delivery rule the lock-free queue guarantees.
+    #[test]
+    fn lockfree_queue_matches_vecdeque_model(
+        ops in prop::collection::vec(queue_op_strategy(), 1..80)
+    ) {
+        use cider_xnu::ipc::LockFreeQueue;
+        use std::collections::VecDeque;
+
+        let mut q: LockFreeQueue<u32> = LockFreeQueue::new();
+        let mut model: VecDeque<(u64, u32)> = VecDeque::new();
+        let mut next_item = 0u32;
+        for op in ops {
+            match op {
+                QueueOp::Enqueue { stamp } => {
+                    q.enqueue(stamp, next_item);
+                    let at = model
+                        .iter()
+                        .rposition(|&(s, _)| s <= stamp)
+                        .map(|i| i + 1)
+                        .unwrap_or(0);
+                    model.insert(at, (stamp, next_item));
+                    next_item += 1;
+                }
+                QueueOp::EnqueueTail => {
+                    q.enqueue_tail(next_item);
+                    let stamp = model.back().map(|&(s, _)| s).unwrap_or(0);
+                    model.push_back((stamp, next_item));
+                    next_item += 1;
+                }
+                QueueOp::Dequeue => {
+                    prop_assert_eq!(
+                        q.dequeue_head(),
+                        model.pop_front().map(|(_, v)| v)
+                    );
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+            let got: Vec<u32> = q.iter().copied().collect();
+            let want: Vec<u32> = model.iter().map(|&(_, v)| v).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under v2, out-of-line regions round-trip bit-identically whether
+    /// the host remaps the pages or refuses and forces the copy
+    /// fallback — and the remap accounting matches exactly the
+    /// above-threshold bytes.
+    #[test]
+    fn ool_round_trip_is_bit_identical(
+        blobs in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 0..3 * 4096),
+            1..4,
+        ),
+        body in prop::collection::vec(any::<u8>(), 0..64),
+        refuse in any::<bool>(),
+    ) {
+        use cider_xnu::api::MockForeignKernel;
+        use cider_xnu::ipc::OOL_INLINE_THRESHOLD;
+
+        let mut api = MockForeignKernel::new();
+        api.refuse_remap = refuse;
+        let mut ipc = MachIpc::new();
+        ipc.bootstrap(&mut api);
+        ipc.set_v2(true);
+        let space = ipc.create_space();
+        let recv = ipc.alloc_receive(&mut api, space).unwrap();
+        let send = ipc.insert_send(space, recv).unwrap();
+
+        let mut msg =
+            UserMessage::simple(send.name(), 42, Bytes::from(body.clone()));
+        msg.ool = blobs.iter().cloned().map(Bytes::from).collect();
+        let large: u64 = blobs
+            .iter()
+            .filter(|b| b.len() >= OOL_INLINE_THRESHOLD)
+            .map(|b| b.len() as u64)
+            .sum();
+        ipc.send(&mut api, space, msg).unwrap();
+        let got = ipc.receive(&mut api, space, recv).unwrap();
+        prop_assert_eq!(got.body, Bytes::from(body));
+        let got_ool: Vec<Vec<u8>> =
+            got.ool.iter().map(|b| b.to_vec()).collect();
+        prop_assert_eq!(got_ool, blobs);
+        // Every above-threshold byte remaps when the host allows it;
+        // none do when it refuses and the copy fallback runs.
+        prop_assert_eq!(
+            ipc.stats.ool_bytes_remapped,
+            if refuse { 0 } else { large }
+        );
+        ipc.check_invariants();
     }
 }
 
