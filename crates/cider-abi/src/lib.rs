@@ -29,6 +29,7 @@
 pub mod convention;
 pub mod errno;
 pub mod ids;
+pub mod memorystatus;
 pub mod persona;
 pub mod rights;
 pub mod sched;

@@ -1,0 +1,229 @@
+//! Memorystatus and app-lifecycle vocabulary shared by the kernel's
+//! jetsam subsystem and the Foundation-flavored framework layer.
+//!
+//! iOS keeps every process in a *jetsam priority band*
+//! (`bsd/sys/kern_memorystatus.h`); when the free-memory watermark
+//! drops, the memorystatus thread kills from the lowest occupied band
+//! upward until pressure clears. UIKit drives those bands from the app
+//! lifecycle: a foregrounded app sits high, a backgrounded one drops,
+//! a suspended one sits just above idle. This module pins both
+//! vocabularies so cider-kernel (the killer) and cider-frameworks
+//! (the state machine) agree on the numbers.
+
+/// Number of jetsam priority bands (XNU's `JETSAM_PRIORITY_MAX + 1`
+/// rounded to the bands this model distinguishes).
+pub const JETSAM_BANDS: usize = 21;
+
+/// Idle band: first to be killed under any pressure.
+pub const JETSAM_PRIORITY_IDLE: u8 = 0;
+
+/// Suspended apps (frozen in memory, no CPU).
+pub const JETSAM_PRIORITY_SUSPENDED: u8 = 2;
+
+/// Backgrounded apps still finishing a task.
+pub const JETSAM_PRIORITY_BACKGROUND: u8 = 3;
+
+/// The foreground app.
+pub const JETSAM_PRIORITY_FOREGROUND: u8 = 10;
+
+/// System daemons (launchd, notifyd, configd): killed only at
+/// critical pressure, never below it.
+pub const JETSAM_PRIORITY_DAEMON: u8 = 18;
+
+/// Top band; nothing in this model may be jetsammed out of it.
+pub const JETSAM_PRIORITY_MAX: u8 = 20;
+
+/// Clamps a raw band argument into the valid jetsam range.
+pub fn clamp_jetsam_band(band: i64) -> u8 {
+    band.clamp(JETSAM_PRIORITY_IDLE as i64, JETSAM_PRIORITY_MAX as i64) as u8
+}
+
+/// Memory-pressure level, derived from total tracked footprint vs the
+/// device's jetsam watermarks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+)]
+pub enum PressureLevel {
+    /// Footprint below the warn watermark: nobody is killed.
+    #[default]
+    Normal,
+    /// Above warn: idle and suspended bands become eligible.
+    Warn,
+    /// Above critical: everything below the daemon band is eligible.
+    Critical,
+}
+
+impl PressureLevel {
+    /// Highest band a jetsam pass may kill at this level, exclusive.
+    /// `None` means no band is eligible (no pressure).
+    pub fn kill_below(self) -> Option<u8> {
+        match self {
+            PressureLevel::Normal => None,
+            PressureLevel::Warn => Some(JETSAM_PRIORITY_BACKGROUND),
+            PressureLevel::Critical => Some(JETSAM_PRIORITY_DAEMON),
+        }
+    }
+
+    /// Stable lowercase name for traces and checkpoint records.
+    pub fn name(self) -> &'static str {
+        match self {
+            PressureLevel::Normal => "normal",
+            PressureLevel::Warn => "warn",
+            PressureLevel::Critical => "critical",
+        }
+    }
+}
+
+/// App lifecycle states, UIKit-flavored. The framework layer's state
+/// machine moves through these; the kernel only sees the jetsam band
+/// each state maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AppState {
+    /// `main` has run, `application:didFinishLaunching` has not.
+    Launching,
+    /// On screen, receiving events.
+    Foreground,
+    /// Off screen, still executing (finite background task).
+    Background,
+    /// Frozen: resident but not scheduled.
+    Suspended,
+    /// Killed by the memorystatus subsystem (or a lifecycle fault).
+    Jetsammed,
+}
+
+impl AppState {
+    /// Every state, in a stable order.
+    pub const ALL: [AppState; 5] = [
+        AppState::Launching,
+        AppState::Foreground,
+        AppState::Background,
+        AppState::Suspended,
+        AppState::Jetsammed,
+    ];
+
+    /// Stable snake_case name for traces and goldens.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppState::Launching => "launching",
+            AppState::Foreground => "foreground",
+            AppState::Background => "background",
+            AppState::Suspended => "suspended",
+            AppState::Jetsammed => "jetsammed",
+        }
+    }
+
+    /// The jetsam band a process in this state is parked in.
+    pub fn jetsam_band(self) -> u8 {
+        match self {
+            AppState::Launching => JETSAM_PRIORITY_BACKGROUND,
+            AppState::Foreground => JETSAM_PRIORITY_FOREGROUND,
+            AppState::Background => JETSAM_PRIORITY_BACKGROUND,
+            AppState::Suspended => JETSAM_PRIORITY_SUSPENDED,
+            AppState::Jetsammed => JETSAM_PRIORITY_IDLE,
+        }
+    }
+}
+
+/// Lifecycle events the framework layer delivers. Transition legality
+/// lives with the state machine in cider-frameworks; this is just the
+/// shared vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LifecycleEvent {
+    /// `application:didFinishLaunchingWithOptions:` returned.
+    DidFinishLaunching,
+    /// `applicationDidBecomeActive`.
+    EnterForeground,
+    /// `applicationDidEnterBackground`.
+    EnterBackground,
+    /// The background task budget expired; the app is frozen.
+    Suspend,
+    /// The memorystatus subsystem killed the process.
+    Jetsam,
+    /// The supervisor relaunched a jetsammed app.
+    Relaunch,
+}
+
+impl LifecycleEvent {
+    /// Every event, in a stable order (property tests draw from this).
+    pub const ALL: [LifecycleEvent; 6] = [
+        LifecycleEvent::DidFinishLaunching,
+        LifecycleEvent::EnterForeground,
+        LifecycleEvent::EnterBackground,
+        LifecycleEvent::Suspend,
+        LifecycleEvent::Jetsam,
+        LifecycleEvent::Relaunch,
+    ];
+
+    /// Stable snake_case name for traces and goldens.
+    pub fn name(self) -> &'static str {
+        match self {
+            LifecycleEvent::DidFinishLaunching => "did_finish_launching",
+            LifecycleEvent::EnterForeground => "enter_foreground",
+            LifecycleEvent::EnterBackground => "enter_background",
+            LifecycleEvent::Suspend => "suspend",
+            LifecycleEvent::Jetsam => "jetsam",
+            LifecycleEvent::Relaunch => "relaunch",
+        }
+    }
+}
+
+// Band ordering the jetsam pass depends on, pinned at compile time.
+const _: () = assert!(JETSAM_PRIORITY_IDLE < JETSAM_PRIORITY_SUSPENDED);
+const _: () = assert!(JETSAM_PRIORITY_SUSPENDED < JETSAM_PRIORITY_BACKGROUND);
+const _: () = assert!(JETSAM_PRIORITY_BACKGROUND < JETSAM_PRIORITY_FOREGROUND);
+const _: () = assert!(JETSAM_PRIORITY_FOREGROUND < JETSAM_PRIORITY_DAEMON);
+const _: () = assert!(JETSAM_PRIORITY_DAEMON < JETSAM_PRIORITY_MAX);
+const _: () = assert!((JETSAM_PRIORITY_MAX as usize) < JETSAM_BANDS);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_clamp_into_range() {
+        assert_eq!(clamp_jetsam_band(-3), JETSAM_PRIORITY_IDLE);
+        assert_eq!(clamp_jetsam_band(10), JETSAM_PRIORITY_FOREGROUND);
+        assert_eq!(clamp_jetsam_band(999), JETSAM_PRIORITY_MAX);
+    }
+
+    #[test]
+    fn pressure_levels_widen_the_kill_window() {
+        assert_eq!(PressureLevel::Normal.kill_below(), None);
+        let warn = PressureLevel::Warn.kill_below().unwrap();
+        let crit = PressureLevel::Critical.kill_below().unwrap();
+        assert!(warn < crit);
+        // The foreground app survives warn pressure but not critical.
+        assert!(JETSAM_PRIORITY_FOREGROUND >= warn);
+        assert!(JETSAM_PRIORITY_FOREGROUND < crit);
+        // Daemons survive both.
+        assert!(JETSAM_PRIORITY_DAEMON >= crit);
+    }
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in AppState::ALL {
+            assert!(seen.insert(s.name()), "dup {s:?}");
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for e in LifecycleEvent::ALL {
+            assert!(seen.insert(e.name()), "dup {e:?}");
+        }
+    }
+
+    #[test]
+    fn states_map_to_ordered_bands() {
+        assert!(
+            AppState::Foreground.jetsam_band()
+                > AppState::Background.jetsam_band()
+        );
+        assert!(
+            AppState::Background.jetsam_band()
+                > AppState::Suspended.jetsam_band()
+        );
+        assert!(
+            AppState::Suspended.jetsam_band()
+                > AppState::Jetsammed.jetsam_band()
+        );
+    }
+}

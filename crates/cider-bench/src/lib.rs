@@ -6,6 +6,8 @@
 //! * [`lmbench`] — the lmbench 3.0 microbenchmarks (Figure 5);
 //! * [`fig5`] / [`fig6`] — full-figure runners producing normalized
 //!   tables;
+//! * [`apps`] — the app-framework scenario table (launch, jetsam
+//!   round trip, realtime audio) built on `cider-frameworks`;
 //! * [`ablations`] — shared-cache, diplomat-aggregation, fence-bug, and
 //!   duct-tape-overhead experiments;
 //! * [`report`] — the normalized-table formatter.
@@ -14,6 +16,7 @@
 //! under `benches/` measure the same operations in host time.
 
 pub mod ablations;
+pub mod apps;
 pub mod config;
 pub mod fig5;
 pub mod fig6;

@@ -33,8 +33,14 @@ use cider_xnu::KernReturn;
 use std::fmt;
 use std::sync::Arc;
 
+use cider_abi::memorystatus::{AppState, LifecycleEvent};
+use cider_frameworks::bundle::Bundle;
+use cider_frameworks::lifecycle::AppLifecycle;
+
 use crate::fnv1a;
-use crate::grammar::{Op, Program, FLAG_COMBOS, PATH_POOL, SIGNAL_POOL};
+use crate::grammar::{
+    Op, Program, BUNDLE_POOL, FLAG_COMBOS, PATH_POOL, SIGNAL_POOL,
+};
 
 /// Which kernel configuration an observation came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -231,6 +237,10 @@ pub(crate) struct Driver {
     /// mapped lazily so programs without those ops keep historical
     /// address-space shapes.
     heap: Option<u64>,
+    /// App lifecycle machine for the root process, attached lazily by
+    /// the first `app_background` op so programs without app ops keep
+    /// the memorystatus table empty.
+    app: Option<AppLifecycle>,
 }
 
 impl Driver {
@@ -243,6 +253,16 @@ impl Driver {
             .write_file(
                 "/conform/seed",
                 b"cider conformance seed 0123456789".to_vec(),
+            )
+            .expect("fresh fs");
+        // Bundle fixture for the `bundle_open` op: one real app bundle
+        // with an Info.plist; the other pool entries stay error paths.
+        k.vfs.mkdir_p("/conform/app.app").expect("fresh fs");
+        k.vfs
+            .write_file(
+                "/conform/app.app/Info.plist",
+                b"CFBundleIdentifier=com.conform.app\nCFBundleName=Conform\n"
+                    .to_vec(),
             )
             .expect("fresh fs");
         let (pid, tid) = match cfg {
@@ -282,6 +302,7 @@ impl Driver {
             vm: Vec::new(),
             kq: KQueue::new(),
             heap: None,
+            app: None,
         }
     }
 
@@ -958,6 +979,72 @@ impl Driver {
                     data: None,
                 }
             }
+            Op::MemorystatusSetPriority { band } => {
+                // Direct kernel path under every configuration: the
+                // memorystatus table, like the virtual clock, sits
+                // below the ABI translation layer.
+                match self.k.sys_memorystatus_set_priority(
+                    self.tid,
+                    self.pid,
+                    i64::from(band),
+                ) {
+                    Ok(b) => OpObs::Ok {
+                        v: i64::from(b),
+                        data: None,
+                    },
+                    Err(e) => OpObs::Err(e.name()),
+                }
+            }
+            Op::BundleOpen { path } => {
+                let dir = BUNDLE_POOL[path as usize % BUNDLE_POOL.len()];
+                match Bundle::open(&mut self.k, self.tid, dir) {
+                    Ok(b) => OpObs::Ok {
+                        v: b.info.len() as i64,
+                        data: None,
+                    },
+                    Err(e) => OpObs::Err(e.name()),
+                }
+            }
+            Op::AppBackground => {
+                let mut app = self.app.take().unwrap_or_else(|| {
+                    AppLifecycle::attach(&mut self.k, self.pid)
+                });
+                // Complete a pending launch first (the machine only
+                // backgrounds a foregrounded app), then deliver the
+                // background event; illegal transitions are EINVAL.
+                if app.state() == AppState::Launching {
+                    let _ = app.apply(
+                        &mut self.k,
+                        LifecycleEvent::DidFinishLaunching,
+                    );
+                }
+                let obs = match app
+                    .apply(&mut self.k, LifecycleEvent::EnterBackground)
+                {
+                    Ok(next) => OpObs::Ok {
+                        v: i64::from(next.jetsam_band()),
+                        data: None,
+                    },
+                    Err(_) => OpObs::Err("EINVAL"),
+                };
+                self.app = Some(app);
+                obs
+            }
+            Op::JetsamTick => match self.k.sys_jetsam_tick(self.tid) {
+                Ok(killed) => {
+                    if let Some(app) = &mut self.app {
+                        if killed.contains(&app.pid) {
+                            let _ =
+                                app.apply(&mut self.k, LifecycleEvent::Jetsam);
+                        }
+                    }
+                    OpObs::Ok {
+                        v: killed.len() as i64,
+                        data: None,
+                    }
+                }
+                Err(e) => OpObs::Err(e.name()),
+            },
             Op::KqPoll => match self.kq.poll(&mut self.k, self.tid) {
                 Ok(evs) => {
                     let mut bytes = Vec::with_capacity(evs.len() * 18);

@@ -48,6 +48,16 @@ pub const FLAG_COMBOS: [(u32, u32); 6] = [
 /// Raw values are Linux numbering (the engine renumbers per ABI).
 pub const SIGNAL_POOL: [i32; 6] = [1, 2, 10, 12, 15, 17];
 
+/// Bundle directories the `bundle_open` op probes. The first exists
+/// with an `Info.plist` (created by the conformance fixture); the rest
+/// exercise the missing-plist and missing-directory error paths.
+pub const BUNDLE_POOL: [&str; 4] = [
+    "/conform/app.app",
+    "/conform/sub",
+    "/missing/nope.app",
+    "/conform/a",
+];
+
 /// One workload operation. Fields are pool indices, not kernel values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
@@ -225,10 +235,31 @@ pub enum Op {
     PortRightDealloc {
         slot: u8,
     },
+    // --- app frameworks / memorystatus (direct kernel paths) ---
+    /// Moves the calling process into jetsam band `band % 21` via the
+    /// memorystatus syscall; the band sticks until the next app op.
+    MemorystatusSetPriority {
+        band: u8,
+    },
+    /// Opens a bundle directory from [`BUNDLE_POOL`] `NSBundle`-style:
+    /// read and parse its `Info.plist` through the kernel VFS. The
+    /// observation is the parsed entry count or the errno.
+    BundleOpen {
+        path: u8,
+    },
+    /// Drives the app lifecycle toward the background: attaches the
+    /// machine on first use (Launching), completes the launch when
+    /// needed, then delivers `EnterBackground` — `EINVAL` when the
+    /// transition is illegal in the current state.
+    AppBackground,
+    /// Runs one memorystatus pass (watermarks are unset in the
+    /// conformance kernels, so only an armed `jetsam_kill` fault can
+    /// claim a victim). Observes the kill count.
+    JetsamTick,
 }
 
 /// Number of op kinds in the grammar.
-pub const KIND_COUNT: usize = 56;
+pub const KIND_COUNT: usize = 60;
 
 impl Op {
     /// The dispatch-table entry this op exercises on the translated XNU
@@ -291,7 +322,11 @@ impl Op {
             | Op::KqDelRead { .. }
             | Op::KqAddTimer { .. }
             | Op::KqDelTimer { .. }
-            | Op::KqPoll => return None,
+            | Op::KqPoll
+            | Op::MemorystatusSetPriority { .. }
+            | Op::BundleOpen { .. }
+            | Op::AppBackground
+            | Op::JetsamTick => return None,
         })
     }
 
@@ -369,6 +404,12 @@ impl Op {
             Op::PortRightDealloc { slot } => {
                 format!("port_right_dealloc slot={slot}")
             }
+            Op::MemorystatusSetPriority { band } => {
+                format!("memorystatus_set_priority band={band}")
+            }
+            Op::BundleOpen { path } => format!("bundle_open path={path}"),
+            Op::AppBackground => "app_background".into(),
+            Op::JetsamTick => "jetsam_tick".into(),
         }
     }
 
@@ -534,6 +575,14 @@ impl Op {
             "port_right_dealloc" => Op::PortRightDealloc {
                 slot: f(&["slot"])?[0],
             },
+            "memorystatus_set_priority" => Op::MemorystatusSetPriority {
+                band: f(&["band"])?[0],
+            },
+            "bundle_open" => Op::BundleOpen {
+                path: f(&["path"])?[0],
+            },
+            "app_background" => Op::AppBackground,
+            "jetsam_tick" => Op::JetsamTick,
             _ => return None,
         };
         // Round-trip check doubles as arity validation: stray fields on
@@ -700,9 +749,17 @@ fn make_op(k: usize, rng: &mut SplitMix64) -> Op {
             len: rng.below(32) as u8,
         },
         54 => Op::RingFlush,
-        _ => Op::PortRightDealloc {
+        55 => Op::PortRightDealloc {
             slot: rng.below(4) as u8,
         },
+        56 => Op::MemorystatusSetPriority {
+            band: rng.below(21) as u8,
+        },
+        57 => Op::BundleOpen {
+            path: rng.below(BUNDLE_POOL.len() as u64) as u8,
+        },
+        58 => Op::AppBackground,
+        _ => Op::JetsamTick,
     }
 }
 

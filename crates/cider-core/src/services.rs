@@ -16,6 +16,7 @@ use cider_kernel::process::ProcessState;
 use cider_xnu::ipc::{PortDescriptor, PortDisposition, UserMessage};
 use cider_xnu::kern_return::{KernResult, KernReturn};
 
+use crate::ring::RingOp;
 use crate::state::with_state;
 
 /// Typed failures of the service layer — what used to be `.expect()`
@@ -533,19 +534,32 @@ impl Services {
                     }
                 }
                 msg_ids::NOTIFY_POST => {
+                    // The fan-out goes through the daemon's trap ring:
+                    // every delivery is enqueued without a kernel
+                    // crossing, then one batched flush sends them all
+                    // (IPC v2's blessed path for service traffic).
                     let targets = self
                         .notify_regs
                         .get(&name)
                         .cloned()
                         .unwrap_or_default();
-                    for t in targets {
-                        let deliver = UserMessage::simple(
-                            t,
-                            msg_ids::NOTIFY_DELIVER,
-                            Bytes::from(name.clone().into_bytes()),
-                        );
-                        let _ = with_state(k, |k2, st| {
-                            st.msg_send_for(k2, d.tid, d.pid, deliver)
+                    if !targets.is_empty() {
+                        with_state(k, |k2, st| {
+                            for t in targets {
+                                let deliver = UserMessage::simple(
+                                    t,
+                                    msg_ids::NOTIFY_DELIVER,
+                                    Bytes::from(name.clone().into_bytes()),
+                                );
+                                let _ = st
+                                    .ring_mut(d.tid)
+                                    .push(RingOp::Send(deliver));
+                            }
+                            st.ring_flush(k2, d.tid, d.pid);
+                            // The daemon has no consumer for its own
+                            // completion queue; drain it so ring state
+                            // stays bounded across posts.
+                            st.ring_mut(d.tid).take_completions();
                         });
                     }
                 }
@@ -597,8 +611,12 @@ impl Services {
                             m
                         }
                     };
-                    let _ = with_state(k, |k2, st| {
-                        st.msg_send_for(k2, d.tid, d.pid, reply)
+                    // Replies ride the ring too: configd batches its
+                    // outbound traffic like notifyd's fan-out.
+                    with_state(k, |k2, st| {
+                        let _ = st.ring_mut(d.tid).push(RingOp::Send(reply));
+                        st.ring_flush(k2, d.tid, d.pid);
+                        st.ring_mut(d.tid).take_completions();
                     });
                 }
                 _ => {}

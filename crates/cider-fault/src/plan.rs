@@ -67,11 +67,21 @@ pub enum FaultSite {
     /// degrades by flushing immediately (one extra kernel crossing)
     /// and then retrying the enqueue.
     TrapRingOverflow,
+    /// The memorystatus subsystem jetsams a process even though its
+    /// band would normally survive the current pressure level (models
+    /// the aggressive/spurious kills real jetsam performs under
+    /// transient spikes). The app-framework supervisor must relaunch
+    /// the victim through its lifecycle state machine.
+    JetsamKill,
+    /// A bundle resource lookup finds the backing file missing or
+    /// unreadable (`ENOENT` on a localized resource). NSBundle-style
+    /// loading degrades to the base (unlocalized) resource.
+    BundleMissing,
 }
 
 impl FaultSite {
     /// Every site, in a stable order (used by reports and tests).
-    pub const ALL: [FaultSite; 17] = [
+    pub const ALL: [FaultSite; 19] = [
         FaultSite::VfsRead,
         FaultSite::VfsWrite,
         FaultSite::VfsCreate,
@@ -89,6 +99,8 @@ impl FaultSite {
         FaultSite::SharedCacheCorrupt,
         FaultSite::OolRemapFail,
         FaultSite::TrapRingOverflow,
+        FaultSite::JetsamKill,
+        FaultSite::BundleMissing,
     ];
 
     /// The device-lifecycle sites consulted by the fleet's healing
@@ -120,6 +132,8 @@ impl FaultSite {
             FaultSite::SharedCacheCorrupt => "shared_cache_corrupt",
             FaultSite::OolRemapFail => "ool_remap_fail",
             FaultSite::TrapRingOverflow => "trap_ring_overflow",
+            FaultSite::JetsamKill => "jetsam_kill",
+            FaultSite::BundleMissing => "bundle_missing",
         }
     }
 }

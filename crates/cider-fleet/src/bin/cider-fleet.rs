@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p cider-fleet --bin cider-fleet -- \
 //!     [--devices N] [--seed S] [--threads T] \
-//!     [--workload lmbench|launch_storm|launch_storm_warm|ipc_storm|conform] \
+//!     [--workload lmbench|launch_storm|launch_storm_warm|ipc_storm|conform|app_lifecycle] \
 //!     [--units N] \
 //!     [--mix even|ios|android] [--fault-seed S] \
 //!     [--lifecycle-seed S] [--heal] [--watchdog-ns N] \
@@ -134,6 +134,7 @@ fn workload_for(name: &str, units: u32) -> Result<Workload, String> {
         }
         "ipc_storm" => Ok(Workload::IpcStorm { msgs: units }),
         "conform" => Ok(Workload::ConformOps { programs: units }),
+        "app_lifecycle" => Ok(Workload::AppLifecycle { cycles: units }),
         other => Err(format!("unknown workload {other:?}")),
     }
 }
@@ -197,6 +198,7 @@ fn bench_matrix(threads: usize) -> String {
         // Appended last so the earlier cells of the committed
         // BENCH_fleet.json stay byte-identical.
         Workload::IpcStorm { msgs: 8 },
+        Workload::AppLifecycle { cycles: 4 },
     ];
     let mut cells = Vec::new();
     for workload in workloads {

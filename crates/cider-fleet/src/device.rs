@@ -17,6 +17,7 @@
 //! fingerprints.
 
 use cider_abi::ids::{Pid, Tid};
+use cider_bench::apps;
 use cider_bench::config::TestBed;
 use cider_bench::fig5::{run_micro, Micro};
 use cider_bench::lmbench;
@@ -25,6 +26,7 @@ use cider_ckpt::StateImage;
 use cider_conform::{execute, generate, Coverage};
 use cider_core::RingOp;
 use cider_fault::{FaultLayer, SplitMix64};
+use cider_frameworks::scenarios;
 use cider_kernel::clock::WatchdogExpired;
 use cider_trace::{Metrics, MetricsSnapshot};
 use cider_xnu::ipc::UserMessage;
@@ -285,6 +287,27 @@ impl DeviceSim {
                         .write_str(&outcome.observation(config).to_line());
                 }
                 self.units += 1;
+            }
+            Workload::AppLifecycle { .. } => {
+                // The scenario bundle is (re)installed before every
+                // unit — idempotent overlay writes, mirroring the
+                // policy-toggle idiom — so checkpoint replay
+                // re-derives the same VFS state wherever it resumes.
+                let spec = apps::app_spec(&mut self.bed);
+                let on_render = apps::render_trap(self.spec.config);
+                let t0 = self.now_ns();
+                if let Ok(out) = scenarios::full_cycle(
+                    &mut self.bed.sys,
+                    &spec,
+                    8,
+                    self.spec.seed ^ self.cursor,
+                    on_render,
+                ) {
+                    self.workload.observe("app/cycle", self.now_ns() - t0);
+                    self.workload.add("app/transitions", out.transitions);
+                    self.workload.add("app/audio_missed", out.audio_missed);
+                    self.units += 1;
+                }
             }
         }
         self.cursor += 1;

@@ -101,6 +101,15 @@ pub enum Workload {
         /// Generated programs per device.
         programs: u32,
     },
+    /// The app-framework lifecycle workload: each unit runs one full
+    /// launch → background → suspend → jetsam → supervisor-relaunch
+    /// cycle plus a short realtime-audio burst through
+    /// `cider-frameworks`, driving the memorystatus bands under real
+    /// watermark pressure.
+    AppLifecycle {
+        /// Lifecycle cycles per device.
+        cycles: u32,
+    },
 }
 
 impl Workload {
@@ -112,6 +121,7 @@ impl Workload {
             Workload::LaunchStormWarm { .. } => "launch_storm_warm",
             Workload::IpcStorm { .. } => "ipc_storm",
             Workload::ConformOps { .. } => "conform_ops",
+            Workload::AppLifecycle { .. } => "app_lifecycle",
         }
     }
 
@@ -123,6 +133,7 @@ impl Workload {
             | Workload::LaunchStormWarm { launches } => launches,
             Workload::IpcStorm { msgs } => msgs,
             Workload::ConformOps { programs } => programs,
+            Workload::AppLifecycle { cycles } => cycles,
         }
     }
 }

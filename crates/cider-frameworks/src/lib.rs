@@ -1,0 +1,38 @@
+//! Foundation-flavored app framework layer for the Cider reproduction.
+//!
+//! Cider's measurements are only as meaningful as the app behavior
+//! above the ABI: real iOS apps spend their lives in Foundation calls,
+//! bundle/resource loading, and lifecycle transitions — not raw
+//! syscalls. This crate models that layer deterministically on top of
+//! the existing stack:
+//!
+//! * [`bundle`] — `NSBundle`/`NSFileManager`-style bundle and resource
+//!   loading resolved through the kernel VFS from installed `.ipa`
+//!   layouts, with Info.plist-style metadata and the localized
+//!   (`*.lproj`) resource lookup order;
+//! * [`lifecycle`] — the UIKit app lifecycle state machine
+//!   (launch → foreground → background → suspended → jetsam) whose
+//!   states park the process in the kernel's memorystatus jetsam
+//!   bands, plus the supervisor that relaunches jetsammed apps;
+//! * [`audio`] — audio-style periodic real-time render threads with
+//!   fixed-period deadline accounting on the PR 5 scheduler's
+//!   high-priority bands;
+//! * [`scenarios`] — the three end-to-end scenarios the fig6-style
+//!   app golden pins: launch-to-foreground, background-jetsam-relaunch,
+//!   and realtime-audio.
+//!
+//! Everything here runs in virtual time from seeds: byte-identical
+//! across runs, host thread counts, and checkpoint/restore.
+
+pub mod audio;
+pub mod bundle;
+pub mod lifecycle;
+pub mod scenarios;
+
+pub use audio::{AudioReport, AudioSession};
+pub use bundle::{Bundle, FileManager};
+pub use lifecycle::{AppLifecycle, AppSupervisor, LifecycleError};
+pub use scenarios::{
+    background_jetsam_relaunch, install_scenario_bundle, launch_to_foreground,
+    realtime_audio, AppSpec, ScenarioOutcome,
+};

@@ -23,6 +23,7 @@ use std::sync::Arc;
 use cider_abi::convention::CpuFlags;
 use cider_abi::errno::Errno;
 use cider_abi::ids::{Fd, Pid, Tid};
+use cider_abi::memorystatus::PressureLevel;
 use cider_abi::persona::Persona;
 use cider_abi::signal::Signal;
 use cider_abi::types::{OpenFlags, Stat};
@@ -39,6 +40,7 @@ use crate::dispatch::{
 };
 use crate::fdtable::FileObject;
 use crate::ipcobj::IpcObjects;
+use crate::memorystatus::MemoryStatus;
 use crate::process::{
     DeliveredSignal, PersonalityId, Process, ProcessState, SigDisposition,
     Thread, ThreadState, UserCallback, WaitChannel,
@@ -165,6 +167,11 @@ pub struct Kernel {
     /// machine the goldens describe; test beds opt in via
     /// [`crate::warm::WarmStart::set_enabled`].
     pub warm: WarmStart,
+    /// Jetsam bands, footprint accounting, and pressure-driven kills.
+    /// Pure bookkeeping: nothing is tracked (and no cost is charged)
+    /// until the app-framework layer registers processes, so untracked
+    /// workloads stay byte-identical to a kernel without it.
+    pub memorystatus: MemoryStatus,
     /// Wait channels whose `wakeup` was swallowed by the
     /// [`FaultSite::SchedWakeup`] injection; flushed (threads finally
     /// woken) at the next scheduling point so virtual time cannot
@@ -224,6 +231,7 @@ impl Kernel {
             faults: FaultLayer::inactive(),
             sched: Scheduler::new(Kernel::DEFAULT_SCHED_SEED),
             warm: WarmStart::new(),
+            memorystatus: MemoryStatus::new(),
             deferred_wakeups: Vec::new(),
             procs: BTreeMap::new(),
             threads: BTreeMap::new(),
@@ -1597,6 +1605,7 @@ impl Kernel {
         proc.mm.clear();
         proc.state = ProcessState::Zombie(code);
         let parent = proc.parent;
+        self.memorystatus.untrack(pid);
         self.counters.exits += 1;
 
         if let Some(parent) = parent {
@@ -1633,6 +1642,114 @@ impl Kernel {
         self.procs.remove(&child.0);
         self.process_mut(pid)?.children.retain(|&c| c != child);
         Ok(code)
+    }
+
+    // ------------------------------------------------------------------
+    // Memorystatus (jetsam).
+    // ------------------------------------------------------------------
+
+    /// `memorystatus_control(SET_PRIORITY)`: parks a running process
+    /// in a jetsam band, registering it with the subsystem if needed.
+    /// Returns the clamped band.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the caller or target is unknown, or the target is a
+    /// zombie.
+    pub fn sys_memorystatus_set_priority(
+        &mut self,
+        tid: Tid,
+        target: Pid,
+        band: i64,
+    ) -> Result<u8, Errno> {
+        self.enter_syscall();
+        let _ = self.thread(tid)?;
+        if self.process(target)?.state != ProcessState::Running {
+            return Err(Errno::ESRCH);
+        }
+        let band = cider_abi::memorystatus::clamp_jetsam_band(band);
+        self.memorystatus.track(target, band);
+        Ok(band)
+    }
+
+    /// `memorystatus_control(GET_LEVEL)`: the current memory-pressure
+    /// level derived from the device watermarks.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the calling thread is unknown.
+    pub fn sys_memorystatus_get_level(
+        &mut self,
+        tid: Tid,
+    ) -> Result<PressureLevel, Errno> {
+        self.enter_syscall();
+        let _ = self.thread(tid)?;
+        Ok(self.memorystatus.level())
+    }
+
+    /// One pass of the memorystatus thread: while the pressure level
+    /// leaves a kill window open, jetsam the lowest-band (then
+    /// largest-footprint) victim; then consult the
+    /// [`FaultSite::JetsamKill`] injection for a spurious kill under a
+    /// transient spike. Returns the victims, in kill order.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` if the calling thread is unknown.
+    pub fn sys_jetsam_tick(&mut self, tid: Tid) -> Result<Vec<Pid>, Errno> {
+        use cider_abi::memorystatus::JETSAM_PRIORITY_FOREGROUND;
+        self.enter_syscall();
+        let _ = self.thread(tid)?;
+        self.memorystatus.stats.ticks += 1;
+        let mut killed = Vec::new();
+        while let Some(below) = self.memorystatus.level().kill_below() {
+            let Some(victim) = self.memorystatus.select_victim(below) else {
+                break;
+            };
+            self.jetsam_kill(victim, "pressure")?;
+            self.memorystatus.stats.pressure_kills += 1;
+            killed.push(victim);
+        }
+        if self.fault_at(FaultSite::JetsamKill) {
+            // A transient spike the watermarks never saw: the window
+            // reaches the foreground band inclusive.
+            if let Some(victim) = self
+                .memorystatus
+                .select_victim(JETSAM_PRIORITY_FOREGROUND + 1)
+            {
+                self.jetsam_kill(victim, "fault")?;
+                self.memorystatus.stats.fault_kills += 1;
+                killed.push(victim);
+            }
+        }
+        Ok(killed)
+    }
+
+    /// Kills one jetsam victim through the ordinary exit path (same
+    /// zombie a SIGKILL leaves) and counts it in the trace.
+    fn jetsam_kill(
+        &mut self,
+        victim: Pid,
+        why: &'static str,
+    ) -> Result<(), Errno> {
+        let vtid =
+            self.process(victim)?.threads.clone().into_iter().find(|t| {
+                self.thread(*t)
+                    .map(|th| th.state != ThreadState::Exited)
+                    .unwrap_or(false)
+            });
+        match vtid {
+            Some(vtid) => {
+                self.sys_exit(vtid, 128 + Signal::SIGKILL.as_raw())?;
+            }
+            // No live thread: drop the bookkeeping entry directly.
+            None => self.memorystatus.untrack(victim),
+        }
+        if self.trace.is_enabled() {
+            self.trace.incr("app/jetsam_kill");
+            self.trace.incr(&format!("app/jetsam_kill/{why}"));
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1885,6 +2002,13 @@ impl Kernel {
             ("kernel/vfs".to_string(), self.ckpt_vfs()),
             ("kernel/ipc".to_string(), self.ipc.ckpt_records()),
             ("kernel/warm".to_string(), self.ckpt_warm()),
+            (
+                "kernel/memorystatus".to_string(),
+                vec![(
+                    "memorystatus".to_string(),
+                    self.memorystatus.ckpt_record(),
+                )],
+            ),
             ("sched".to_string(), self.sched.ckpt_records()),
             ("faults".to_string(), self.faults.ckpt_records()),
         ]

@@ -36,6 +36,7 @@ pub mod dispatch;
 pub mod fdtable;
 pub mod ipcobj;
 pub mod kernel;
+pub mod memorystatus;
 pub mod mm;
 pub mod process;
 pub mod profile;
@@ -44,5 +45,6 @@ pub mod warm;
 
 pub use clock::{Stopwatch, VirtualClock, VirtualDuration};
 pub use kernel::{Extensions, Kernel, KernelCounters, LinuxPersonality};
+pub use memorystatus::{MemoryStatus, MemoryStatusStats};
 pub use profile::{DeviceProfile, Toolchain};
 pub use warm::{BakedImage, SharedCacheImage, WarmStart, WarmStats};

@@ -20,9 +20,12 @@
 use std::fs;
 use std::path::Path;
 
+use cider_abi::memorystatus::LifecycleEvent;
+use cider_bench::apps::{app_spec, render_trap};
 use cider_bench::config::{SystemConfig, TestBed};
 use cider_bench::fig5::{run_micro, Micro};
 use cider_core::RingOp;
+use cider_frameworks::scenarios;
 use cider_trace::{chrome, flame, TraceSnapshot};
 use cider_xnu::ipc::UserMessage;
 
@@ -63,8 +66,22 @@ fn drive(config: SystemConfig) -> TraceSnapshot {
     }
     if config.runs_ios_binary() {
         ipc_burst(&mut bed, tid);
+        app_lane(&mut bed);
     }
     bed.trace_snapshot().expect("tracing enabled")
+}
+
+/// Populates the app-lifecycle lane: one full launch → background →
+/// suspend → jetsam → relaunch cycle plus a short realtime-audio burst,
+/// so the `app/` counters (lifecycle transitions, jetsam kills, bundle
+/// and resource loads, deadline misses) show real traffic.
+fn app_lane(bed: &mut TestBed) {
+    let spec = app_spec(bed);
+    scenarios::background_jetsam_relaunch(&mut bed.sys, &spec)
+        .expect("jetsam round trip");
+    let on_render = render_trap(bed.config);
+    scenarios::realtime_audio(&mut bed.sys, &spec, 16, 23, on_render)
+        .expect("audio session");
 }
 
 fn main() {
@@ -96,6 +113,21 @@ fn main() {
             println!("  {name:<36} {v}");
         }
     }
+
+    println!("\n== app lifecycle lane (Cider iOS) ==");
+    for (name, v) in cider_ios.metrics.counters_with_prefix("app/") {
+        println!("  {name:<36} {v}");
+    }
+    print!("  transition order                    ");
+    for ev in LifecycleEvent::ALL {
+        let n = cider_ios
+            .metrics
+            .counter(&format!("app/lifecycle/{}", ev.name()));
+        if n > 0 {
+            print!(" {}x{n}", ev.name());
+        }
+    }
+    println!();
 
     println!("\n== scheduler (Cider iOS, lat_ctx 4p) ==");
     for (name, h) in cider_ios.metrics.histograms_with_prefix("sched/") {

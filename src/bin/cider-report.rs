@@ -21,6 +21,12 @@
 //! count): per-personality agreement across outcome, VFS state,
 //! fd-table shape, cwd, and Mach port topology.
 //!
+//! With `--apps`, the report includes the app-framework scenario table
+//! from `cider-bench::apps`: launch-to-foreground,
+//! background-jetsam-relaunch, and realtime-audio across the four
+//! configurations (normalized like Figure 5; audio misses are raw
+//! counts).
+//!
 //! With `--fleet`, the report ends with fleet-level percentile tables
 //! from `cider-fleet`: a 64-device mixed-persona fleet per workload
 //! (lmbench mix and launch storm), p50/p95/p99 per group. Host-side
@@ -190,6 +196,7 @@ fn main() {
     let trace = std::env::args().any(|a| a == "--trace");
     let conform = std::env::args().any(|a| a == "--conform");
     let fleet = std::env::args().any(|a| a == "--fleet");
+    let apps = std::env::args().any(|a| a == "--apps");
     println!("Cider reproduction — full evaluation (virtual time)\n");
     let fig5 = if trace {
         let (fig5, snapshots) = cider_bench::fig5::run_traced();
@@ -214,6 +221,13 @@ fn main() {
     println!("{fig6}");
     if raw {
         print_raw(&fig6);
+    }
+    if apps {
+        let table = cider_bench::apps::run();
+        println!("{table}");
+        if raw {
+            print_raw(&table);
+        }
     }
     println!("## Ablations");
     match cider_bench::ablations::run_all() {

@@ -259,6 +259,7 @@ use cider_abi::errno::Errno;
 use cider_abi::syscall::LinuxSyscall;
 use cider_core::state::with_state;
 use cider_fault::{FaultLayer, FaultPlan, FaultSite};
+use cider_frameworks::scenarios;
 use cider_kernel::dispatch::{SyscallArgs, SyscallData};
 use cider_kernel::kernel::Kernel;
 
@@ -416,6 +417,41 @@ fn fault_matrix_never_panics_and_recovers() {
             }
         }
 
+        // App-framework scenarios under the same matrix: bundle loads
+        // may vanish mid-lookup (BundleMissing) and jetsam passes may
+        // take spurious foreground victims (JetsamKill). Either way
+        // the scenario fails with a clean errno or completes with the
+        // supervisor having recovered the kill — never a panic.
+        match scenarios::install_scenario_bundle(
+            &mut sys,
+            "Faulty",
+            "com.example.faulty",
+        ) {
+            Ok(spec) => {
+                for _ in 0..8 {
+                    if let Err(e) =
+                        scenarios::background_jetsam_relaunch(&mut sys, &spec)
+                    {
+                        // EIO: a spurious JetsamKill took the wrong
+                        // process; the rest are injected VFS/exec
+                        // errnos surfacing through launch.
+                        assert!(
+                            matches!(
+                                e,
+                                Errno::EIO
+                                    | Errno::ENOENT
+                                    | Errno::ENOSPC
+                                    | Errno::ENOMEM
+                                    | Errno::ENOEXEC
+                            ),
+                            "seed {seed}: dirty scenario errno {e:?}"
+                        );
+                    }
+                }
+            }
+            Err(e) => assert_eq!(e, Errno::ENOSPC, "seed {seed}"),
+        }
+
         // Daemon death: the supervisor must bring notifyd back even
         // when the respawn path itself is being fault-injected.
         let victim = sys.services.notifyd;
@@ -445,6 +481,83 @@ fn fault_matrix_never_panics_and_recovers() {
             st.machipc.check_invariants();
         });
     }
+}
+
+#[test]
+fn spurious_jetsam_kill_is_recovered_by_the_app_supervisor() {
+    use cider_abi::memorystatus::{AppState, LifecycleEvent};
+    use cider_frameworks::AppSupervisor;
+
+    let (mut sys, _gfx) = booted();
+    sys.kernel.trace = cider_trace::TraceSink::enabled_default();
+    let spec = scenarios::install_scenario_bundle(
+        &mut sys,
+        "Spiky",
+        "com.example.spiky",
+    )
+    .unwrap();
+    let (_, mut app, _tid) =
+        scenarios::launch_to_foreground(&mut sys, &spec).unwrap();
+
+    // No watermark pressure at all — only the transient-spike fault,
+    // whose kill window reaches the foreground band inclusive.
+    sys.kernel.faults = FaultLayer::with_plan(
+        FaultPlan::new(3).with(FaultSite::JetsamKill, 1000),
+    );
+    let kernel_tid = sys.kernel_task.1;
+    let killed = sys.kernel.sys_jetsam_tick(kernel_tid).unwrap();
+    assert!(killed.contains(&app.pid), "spike must reach the foreground");
+    assert_eq!(sys.kernel.memorystatus.stats.fault_kills, 1);
+    assert_eq!(sys.kernel.memorystatus.stats.pressure_kills, 0);
+
+    // The supervisor notices the kill and relaunches the app.
+    app.apply(&mut sys.kernel, LifecycleEvent::Jetsam).unwrap();
+    let mut sup = AppSupervisor::new(&spec.binary_path, &spec.bundle_id);
+    sup.check(&mut sys, &mut app).unwrap().expect("relaunched");
+    assert_eq!(app.state(), AppState::Launching);
+    assert!(sys
+        .kernel
+        .faults
+        .recoveries()
+        .iter()
+        .any(|r| r.action.starts_with("app/relaunch")));
+    let snap = sys.kernel.trace.snapshot().unwrap();
+    assert!(snap.metrics.counter("app/jetsam_kill/fault") > 0);
+}
+
+#[test]
+fn vanished_bundle_resource_degrades_to_the_fallback_localization() {
+    use cider_frameworks::Bundle;
+
+    let (mut sys, _gfx) = booted();
+    sys.kernel.trace = cider_trace::TraceSink::enabled_default();
+    let spec = scenarios::install_scenario_bundle(
+        &mut sys,
+        "Ghost",
+        "com.example.ghost",
+    )
+    .unwrap();
+    let (_pid, tid) = sys.launch_ios_app(&spec.binary_path, &["app"]).unwrap();
+    let bundle = Bundle::open(&mut sys.kernel, tid, &spec.bundle_dir).unwrap();
+
+    // One injection budgeted: the requested `fr` localization
+    // vanishes mid-lookup and the load degrades to `en`.
+    sys.kernel.faults = FaultLayer::with_plan(FaultPlan::new(9).site(
+        FaultSite::BundleMissing,
+        cider_fault::SiteConfig::with_probability(1000).budget(1),
+    ));
+    let (path, bytes) = bundle
+        .load_resource(&mut sys.kernel, "Main", "strings", Some("fr"))
+        .unwrap();
+    assert!(path.contains("en.lproj"), "fell back past fr: {path}");
+    assert_eq!(bytes, b"title=Scenario");
+    assert!(sys
+        .kernel
+        .faults
+        .recoveries()
+        .iter()
+        .any(|r| r.action.starts_with("bundle/fallback")));
+    assert!(sys.kernel.faults.injected_total() > 0);
 }
 
 // ----------------------------------------------------------------------

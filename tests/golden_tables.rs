@@ -50,3 +50,8 @@ fn fig5_table_matches_golden() {
 fn fig6_table_matches_golden() {
     check("fig6.txt", &cider_bench::fig6::run().to_string());
 }
+
+#[test]
+fn app_scenario_table_matches_golden() {
+    check("fig_apps.txt", &cider_bench::apps::run().to_string());
+}

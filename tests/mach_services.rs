@@ -107,7 +107,10 @@ fn wire_level_mach_msg_roundtrip() {
 fn ios_app_talks_to_notifyd_like_on_ios() {
     // "every app monitors a Mach IPC port for incoming low-level event
     // notifications" (§5.2) — here the full register/post/deliver cycle.
+    // notifyd's delivery fan-out rides the IPC v2 trap ring, so the
+    // ring-batch counter must rise across the post.
     let (mut sys, _, tid) = booted_with_app();
+    sys.kernel.trace = cider_trace::TraceSink::enabled_default();
     let notify_port = sys
         .bootstrap_look_up(tid, "com.apple.system.notification_center")
         .unwrap();
@@ -129,11 +132,28 @@ fn ios_app_talks_to_notifyd_like_on_ios() {
         msg_ids::NOTIFY_POST,
         Bytes::from(&b"com.apple.springboard.ready"[..]),
     );
+    let flushes_before = sys
+        .kernel
+        .trace
+        .snapshot()
+        .map(|s| s.metrics.counter("ipc/ring_flush"))
+        .unwrap_or(0);
     sys.mach_msg_send(tid, post).unwrap();
     sys.run_services();
 
     let got = sys.mach_msg_receive(tid, delivery).unwrap();
     assert_eq!(got.msg_id, msg_ids::NOTIFY_DELIVER);
+    let flushes_after = sys
+        .kernel
+        .trace
+        .snapshot()
+        .map(|s| s.metrics.counter("ipc/ring_flush"))
+        .unwrap();
+    assert!(
+        flushes_after > flushes_before,
+        "notifyd delivery did not go through a ring batch \
+         ({flushes_before} -> {flushes_after})"
+    );
     cider_core::with_state(&mut sys.kernel, |_, st| {
         st.machipc.check_invariants()
     });

@@ -1070,3 +1070,102 @@ proptest! {
         prop_assert_eq!(eager_ns - cow_ns, pages * pte);
     }
 }
+
+// ----------------------------------------------------------------------
+// App lifecycle: the state machine takes exactly the transitions
+// `AppLifecycle::legal` admits for any seeded event stream — an
+// illegal event leaves the state, the transition count, and the
+// memorystatus band untouched — and jetsam under a fixed pressure
+// schedule is byte-identical across runs and fleet host-thread counts.
+// ----------------------------------------------------------------------
+
+use cider_abi::memorystatus::{AppState, LifecycleEvent};
+use cider_frameworks::AppLifecycle;
+
+fn lifecycle_event_strategy() -> impl Strategy<Value = LifecycleEvent> {
+    (0usize..LifecycleEvent::ALL.len()).prop_map(|i| LifecycleEvent::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lifecycle_takes_only_legal_transitions(
+        events in prop::collection::vec(lifecycle_event_strategy(), 1..48)
+    ) {
+        let mut k = Kernel::boot(DeviceProfile::nexus7());
+        let (pid, _tid) = k.spawn_process();
+        let mut app = AppLifecycle::attach(&mut k, pid);
+        prop_assert_eq!(app.state(), AppState::Launching);
+        let mut taken = 0u64;
+        for ev in events {
+            let before = app.state();
+            let band_before = k.memorystatus.band(pid);
+            match AppLifecycle::legal(before, ev) {
+                Some(next) => {
+                    prop_assert_eq!(app.apply(&mut k, ev), Ok(next));
+                    prop_assert_eq!(app.state(), next);
+                    taken += 1;
+                    // A legal transition re-bands the process (a
+                    // jetsammed process is gone from memorystatus, so
+                    // its band stays wherever exit left it).
+                    if next != AppState::Jetsammed {
+                        prop_assert_eq!(
+                            k.memorystatus.band(pid),
+                            Some(next.jetsam_band())
+                        );
+                    }
+                }
+                None => {
+                    let err = app.apply(&mut k, ev).unwrap_err();
+                    prop_assert_eq!(err.state, before);
+                    prop_assert_eq!(err.event, ev);
+                    // Rejected: nothing moved.
+                    prop_assert_eq!(app.state(), before);
+                    prop_assert_eq!(k.memorystatus.band(pid), band_before);
+                }
+            }
+            prop_assert_eq!(app.transitions, taken);
+        }
+    }
+}
+
+/// Jetsam under the scenario's fixed watermark pressure is
+/// byte-identical across runs and across fleet host-thread counts, on
+/// exactly the seeds the CI determinism jobs run.
+#[test]
+fn jetsam_pressure_is_byte_identical_across_runs_and_threads() {
+    use cider_fleet::{run_fleet, FleetSpec, PersonaMix, Workload};
+    for seed in [11u64, 23, 47] {
+        let spec = |threads: usize| {
+            FleetSpec::new(4, seed, Workload::AppLifecycle { cycles: 2 })
+                .mix(PersonaMix::EVEN)
+                .host_threads(threads)
+        };
+        let once = run_fleet(&spec(1));
+        let again = run_fleet(&spec(1));
+        let wide = run_fleet(&spec(8));
+        assert_eq!(
+            once.fleet_fingerprint(),
+            again.fleet_fingerprint(),
+            "seed {seed}: jetsam replay diverged across runs"
+        );
+        assert_eq!(
+            once.fleet_fingerprint(),
+            wide.fleet_fingerprint(),
+            "seed {seed}: jetsam replay diverged across host threads"
+        );
+        for r in &once.results {
+            assert_eq!(
+                r.units_completed, 2,
+                "seed {seed} device {}: lifecycle cycles failed",
+                r.device_id
+            );
+            assert!(
+                r.kernel_metrics.counter("app/jetsam_kill") > 0,
+                "seed {seed} device {}: no jetsam kills",
+                r.device_id
+            );
+        }
+    }
+}
